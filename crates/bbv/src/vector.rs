@@ -1,0 +1,148 @@
+//! Sparse feature vectors (basic-block vectors).
+
+use std::collections::HashMap;
+
+/// A sparse non-negative feature vector keyed by dimension index.
+///
+/// Dimensions encode `(thread, basic block)` pairs so per-thread behaviour
+/// is preserved under concatenation (§III-B: "per-region BBVs of each
+/// thread are concatenated into a longer, global BBV").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(u64, f64)>,
+}
+
+impl SparseVec {
+    /// Builds a vector from an accumulation map.
+    pub fn from_map(map: &HashMap<u64, u64>) -> Self {
+        let mut entries: Vec<(u64, f64)> = map
+            .iter()
+            .filter(|(_, &v)| v > 0)
+            .map(|(&k, &v)| (k, v as f64))
+            .collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        SparseVec { entries }
+    }
+
+    /// The non-zero `(dimension, weight)` pairs, sorted by dimension.
+    pub fn entries(&self) -> &[(u64, f64)] {
+        &self.entries
+    }
+
+    /// Number of non-zero dimensions.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector has no non-zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of weights (the L1 norm for non-negative vectors).
+    pub fn l1(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Returns an L1-normalized copy (vectors compare by *shape* of work,
+    /// not slice length — slices are only approximately equal-sized).
+    #[must_use]
+    pub fn normalized(&self) -> SparseVec {
+        let l1 = self.l1();
+        if l1 == 0.0 {
+            return self.clone();
+        }
+        SparseVec {
+            entries: self
+                .entries
+                .iter()
+                .map(|&(k, v)| (k, v / l1))
+                .collect(),
+        }
+    }
+
+    /// Euclidean distance to another sparse vector.
+    pub fn distance(&self, other: &SparseVec) -> f64 {
+        let mut i = 0;
+        let mut j = 0;
+        let mut acc = 0.0f64;
+        while i < self.entries.len() || j < other.entries.len() {
+            match (self.entries.get(i), other.entries.get(j)) {
+                (Some(&(ka, va)), Some(&(kb, vb))) => {
+                    if ka == kb {
+                        acc += (va - vb) * (va - vb);
+                        i += 1;
+                        j += 1;
+                    } else if ka < kb {
+                        acc += va * va;
+                        i += 1;
+                    } else {
+                        acc += vb * vb;
+                        j += 1;
+                    }
+                }
+                (Some(&(_, va)), None) => {
+                    acc += va * va;
+                    i += 1;
+                }
+                (None, Some(&(_, vb))) => {
+                    acc += vb * vb;
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+/// Encodes a `(thread, block)` pair as a vector dimension.
+pub(crate) fn dim(tid: usize, block: u32) -> u64 {
+    ((tid as u64) << 32) | u64::from(block)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(pairs: &[(u64, u64)]) -> SparseVec {
+        let map: HashMap<u64, u64> = pairs.iter().copied().collect();
+        SparseVec::from_map(&map)
+    }
+
+    #[test]
+    fn from_map_sorts_and_drops_zeros() {
+        let v = vec_of(&[(5, 2), (1, 3), (9, 0)]);
+        assert_eq!(v.entries(), &[(1, 3.0), (5, 2.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.l1(), 5.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = vec_of(&[(0, 1), (1, 3)]).normalized();
+        assert!((v.l1() - 1.0).abs() < 1e-12);
+        assert!((v.entries()[1].1 - 0.75).abs() < 1e-12);
+        let empty = SparseVec::default().normalized();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn distance_properties() {
+        let a = vec_of(&[(0, 3)]);
+        let b = vec_of(&[(1, 4)]);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12, "disjoint dims");
+        assert_eq!(a.distance(&a), 0.0);
+        let c = vec_of(&[(0, 1)]);
+        assert!((a.distance(&c) - 2.0).abs() < 1e-12, "shared dim");
+        // Symmetry.
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn dim_encoding_separates_threads() {
+        assert_ne!(dim(0, 7), dim(1, 7));
+        assert_eq!(dim(2, 7) >> 32, 2);
+        assert_eq!(dim(2, 7) & 0xffff_ffff, 7);
+    }
+}

@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks for the performance-critical components:
+//! the functional VM, cache hierarchy, branch predictor, BBV distance,
+//! random projection, and k-means.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lp_isa::{AluOp, Machine, ProgramBuilder, Reg};
+use lp_simpoint::{kmeans, project};
+use lp_isa::{Addr, Pc};
+use lp_uarch::{BranchPredictor, MemoryHierarchy, SimConfig};
+use std::sync::Arc;
+
+fn vm_throughput(c: &mut Criterion) {
+    let mut pb = ProgramBuilder::new("bench");
+    let mut code = pb.main_code();
+    code.li(Reg::R1, 0);
+    code.counted_loop("hot", Reg::R2, 1_000_000, |c| {
+        c.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        c.alui(AluOp::Mul, Reg::R3, Reg::R1, 17);
+        c.alui(AluOp::Xor, Reg::R3, Reg::R3, 0x55);
+    });
+    code.halt();
+    code.finish();
+    let program = Arc::new(pb.finish());
+
+    let mut g = c.benchmark_group("vm");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("step_100k", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(program.clone(), 1);
+            for _ in 0..100_000 {
+                black_box(m.step(0).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn cache_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uarch");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("hierarchy_10k_stream", |b| {
+        let cfg = SimConfig::gainestown(8);
+        b.iter(|| {
+            let mut h = MemoryHierarchy::new(&cfg);
+            for i in 0..10_000u64 {
+                black_box(h.access_data(0, Addr(i * 64), i % 7 == 0, true));
+            }
+        })
+    });
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("branch_predictor_10k", |b| {
+        b.iter(|| {
+            let mut bp = BranchPredictor::default();
+            for i in 0..10_000u32 {
+                let pc = Pc::new(lp_isa::ImageId(0), i % 37);
+                black_box(bp.predict_cond(pc, i % 3 != 0));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn clustering(c: &mut Criterion) {
+    // 100 sparse vectors of 200 nnz each.
+    let vectors: Vec<Vec<(u64, f64)>> = (0..100)
+        .map(|i| {
+            (0..200)
+                .map(|j| ((i * 31 + j * 7) % 4096, (j + 1) as f64))
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[(u64, f64)]> = vectors.iter().map(|v| v.as_slice()).collect();
+
+    let mut g = c.benchmark_group("simpoint");
+    g.bench_function("project_100x200_to_100d", |b| {
+        b.iter(|| black_box(project(&refs, 100, 42)))
+    });
+    let points = project(&refs, 100, 42);
+    g.bench_function("kmeans_k10", |b| {
+        b.iter(|| black_box(kmeans(&points, 10, 7, 60)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = vm_throughput, cache_hierarchy, clustering
+}
+criterion_main!(benches);

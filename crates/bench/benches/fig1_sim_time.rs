@@ -1,0 +1,86 @@
+//! Fig. 1: approximate time to evaluate multi-threaded benchmarks with
+//! different methodologies, at the paper's 100 KIPS detailed-simulation
+//! speed, assuming unlimited parallel simulation hosts.
+//!
+//! The paper computes this for the real suites' instruction counts
+//! (multi-trillion for SPEC ref); we print both our synthetic suites'
+//! actual counts and, for scale context, the counts re-inflated by the
+//! DESIGN.md ~1000x scaling factor.
+
+use lp_bench::table::{f, title, Table};
+use lp_bench::{analyze_app, geomean, SPEC_THREADS};
+use looppoint::{human_duration, SimTimeModel};
+use lp_omp::WaitPolicy;
+use lp_workloads::{npb_workloads, spec_workloads, InputClass};
+
+fn main() {
+    title(
+        "Fig. 1",
+        "Approximate evaluation time per methodology (100 KIPS detailed, parallel hosts)",
+    );
+    let model = SimTimeModel::default();
+    let scale_back = 1000.0; // DESIGN.md §7 instruction-count scaling
+
+    let suites: [(&str, Vec<lp_workloads::WorkloadSpec>, InputClass); 3] = [
+        ("SPEC train", spec_workloads(), InputClass::Train),
+        ("SPEC ref", spec_workloads(), InputClass::Ref),
+        ("NPB C", npb_workloads(), InputClass::NpbC),
+    ];
+
+    let mut t = Table::new(&[
+        "Suite",
+        "Full detailed",
+        "Time-based (10%)",
+        "BarrierPoint",
+        "LoopPoint",
+        "LoopPoint speedup",
+    ]);
+    for (label, specs, input) in suites {
+        let mut fulls = Vec::new();
+        let mut times = Vec::new();
+        let mut barrier_largest = Vec::new();
+        let mut looppoint_largest = Vec::new();
+        let mut lp_speedups = Vec::new();
+        for spec in &specs {
+            let (program, nthreads, analysis) =
+                analyze_app(spec, input, SPEC_THREADS, WaitPolicy::Passive);
+            let total = analysis.profile.total_insts as f64 * scale_back;
+            fulls.push(total);
+            times.push(total);
+            // BarrierPoint: bounded by the largest inter-barrier region.
+            let bp = looppoint::baselines::analyze_barrierpoint(
+                &analysis.pinball,
+                &program,
+                std::sync::Arc::new(analysis.dcfg),
+                &Default::default(),
+                u64::MAX,
+            )
+            .unwrap();
+            barrier_largest.push(bp.largest_region() as f64 * scale_back);
+            let largest = analysis
+                .looppoints
+                .iter()
+                .map(|r| r.filtered_insts)
+                .max()
+                .unwrap_or(0) as f64
+                * scale_back;
+            looppoint_largest.push(largest);
+            lp_speedups.push(analysis.profile.total_filtered as f64 / (largest / scale_back));
+            let _ = nthreads;
+        }
+        let sum = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        t.row(&[
+            label.to_string(),
+            human_duration(model.full_detailed(sum(&fulls) as u64)),
+            human_duration(model.time_based(sum(&times) as u64, 0.1)),
+            human_duration(model.checkpoint_parallel(sum(&barrier_largest) as u64)),
+            human_duration(model.checkpoint_parallel(sum(&looppoint_largest) as u64)),
+            format!("{}x", f(geomean(lp_speedups.iter().copied()), 0)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPaper shape: full detailed and time-based approach months-years for ref inputs;\n\
+         BarrierPoint helps only when inter-barrier regions are small; LoopPoint stays hours."
+    );
+}

@@ -1,0 +1,50 @@
+//! Fig. 3: per-thread instruction share per slice — homogeneous
+//! applications keep near-equal shares; 657.xz_s.2 does not, which is why
+//! BBVs are concatenated per thread before clustering.
+
+use lp_bench::table::{f, title, Table};
+use lp_bench::analyze_app;
+use lp_omp::WaitPolicy;
+use lp_workloads::InputClass;
+
+fn share_table(name: &str) {
+    let spec = lp_workloads::find(name).unwrap();
+    let (_p, nthreads, analysis) = analyze_app(&spec, InputClass::Train, 8, WaitPolicy::Passive);
+    println!("\n{name} ({nthreads} threads): per-slice per-thread share of filtered instructions");
+    let mut headers: Vec<String> = vec!["slice".to_string()];
+    headers.extend((0..nthreads).map(|t| format!("t{t}")));
+    headers.push("spread".to_string());
+    let href: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&href);
+    for s in &analysis.profile.slices {
+        let total: u64 = s.per_thread_insts.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        let shares: Vec<f64> = s
+            .per_thread_insts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect();
+        let max = shares.iter().cloned().fold(0.0, f64::max);
+        let min = shares.iter().cloned().fold(1.0, f64::min);
+        let mut row = vec![s.index.to_string()];
+        row.extend(shares.iter().map(|v| f(*v, 3)));
+        row.push(f(max - min, 3));
+        t.row(&row);
+    }
+    t.print();
+}
+
+fn main() {
+    title(
+        "Fig. 3",
+        "Variation in per-thread instruction share per slice (heterogeneity)",
+    );
+    share_table("603.bwaves_s.1"); // homogeneous
+    share_table("657.xz_s.2"); // clearly non-homogeneous, as in the paper
+    println!(
+        "\nPaper shape: xz_s.2's shares diverge strongly across slices; the concatenated\n\
+         per-thread BBVs capture this for clustering."
+    );
+}

@@ -1,0 +1,84 @@
+//! Fig. 9: LoopPoint vs BarrierPoint *theoretical* speedups for ref
+//! inputs (passive wait policy). As in the paper, no full detailed
+//! reference run is attempted at ref scale — these are instruction-count
+//! reductions from the up-front analysis alone.
+
+use lp_bench::paper;
+use lp_bench::table::{title, Table, x};
+use lp_bench::{analyze_app, geomean, SPEC_THREADS};
+use looppoint::baselines::analyze_barrierpoint;
+use lp_omp::WaitPolicy;
+use lp_workloads::{spec_workloads, InputClass};
+
+fn main() {
+    title(
+        "Fig. 9",
+        "LoopPoint vs BarrierPoint theoretical speedup (SPEC ref, passive)",
+    );
+    let mut t = Table::new(&[
+        "Application",
+        "LP serial",
+        "LP parallel",
+        "BP serial",
+        "BP parallel",
+        "barriers",
+    ]);
+    let mut lp_s = Vec::new();
+    let mut lp_p = Vec::new();
+    let mut bp_s = Vec::new();
+    let mut bp_p = Vec::new();
+    for spec in spec_workloads() {
+        let (program, _n, analysis) =
+            analyze_app(&spec, InputClass::Ref, SPEC_THREADS, WaitPolicy::Passive);
+        let total = analysis.profile.total_filtered as f64;
+        let sum: u64 = analysis.looppoints.iter().map(|r| r.filtered_insts).sum();
+        let max = analysis
+            .looppoints
+            .iter()
+            .map(|r| r.filtered_insts)
+            .max()
+            .unwrap_or(1);
+        let lp_serial = total / sum.max(1) as f64;
+        let lp_parallel = total / max.max(1) as f64;
+
+        let bp = analyze_barrierpoint(
+            &analysis.pinball,
+            &program,
+            std::sync::Arc::new(analysis.dcfg),
+            &Default::default(),
+            u64::MAX,
+        )
+        .unwrap();
+
+        lp_s.push(lp_serial);
+        lp_p.push(lp_parallel);
+        bp_s.push(bp.theoretical_serial());
+        bp_p.push(bp.theoretical_parallel());
+        t.row(&[
+            spec.name.to_string(),
+            x(lp_serial),
+            x(lp_parallel),
+            x(bp.theoretical_serial()),
+            x(bp.theoretical_parallel()),
+            bp.barriers.to_string(),
+        ]);
+    }
+    t.row(&[
+        "GEOMEAN (measured)".to_string(),
+        x(geomean(lp_s.iter().copied())),
+        x(geomean(lp_p.iter().copied())),
+        x(geomean(bp_s.iter().copied())),
+        x(geomean(bp_p.iter().copied())),
+        String::new(),
+    ]);
+    t.print();
+    println!(
+        "\nPaper reference (real-scale): LoopPoint ref avg serial {}x / parallel {}x, max {}x;\n\
+         BarrierPoint lags wherever inter-barrier regions are huge (638.imagick-like) or\n\
+         absent (657.xz). Our ~1000x-smaller inputs shrink absolute factors; the per-app\n\
+         LoopPoint-vs-BarrierPoint ordering is the reproduced shape.",
+        paper::FIG9_AVG_SERIAL_REF,
+        paper::FIG9_AVG_PARALLEL_REF,
+        paper::FIG9_MAX_SPEEDUP_REF
+    );
+}

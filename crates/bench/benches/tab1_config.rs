@@ -1,0 +1,39 @@
+//! Table I: the primary characteristics of the simulated system.
+
+use lp_bench::table::{title, Table};
+use lp_uarch::SimConfig;
+
+fn main() {
+    title(
+        "Table I",
+        "The primary characteristics of the simulated system",
+    );
+    let mut t = Table::new(&["Component", "Features"]);
+    for (component, features) in SimConfig::gainestown(8).table_rows() {
+        t.row(&[component, features]);
+    }
+    t.print();
+
+    println!("\nVariant configurations used in the evaluation:");
+    let mut t = Table::new(&["Config", "Core model", "Cores", "Purpose"]);
+    for (cfg, purpose) in [
+        (SimConfig::gainestown(8), "Fig. 5a/7/8 target machine"),
+        (SimConfig::gainestown(16), "Fig. 6/10 16-thread runs"),
+        (
+            SimConfig::gainestown_inorder(8),
+            "Fig. 5b microarchitecture-portability study",
+        ),
+        (
+            SimConfig::recording_host(8),
+            "pinball recording host (constrained replay)",
+        ),
+    ] {
+        t.row(&[
+            cfg.name.clone(),
+            cfg.core.name().to_string(),
+            cfg.ncores.to_string(),
+            purpose.to_string(),
+        ]);
+    }
+    t.print();
+}

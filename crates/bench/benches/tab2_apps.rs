@@ -1,0 +1,22 @@
+//! Table II: SPEC CPU2017 speed application attributes.
+
+use lp_bench::table::{title, Table};
+use lp_workloads::spec_workloads;
+
+fn main() {
+    title("Table II", "SPEC CPU2017 speed application attributes (stand-ins)");
+    let mut t = Table::new(&["Application", "Lang.", "KLOC", "Application Area", "Threads"]);
+    for w in spec_workloads() {
+        t.row(&[
+            w.name.to_string(),
+            w.language.to_string(),
+            w.kloc.to_string(),
+            w.area.to_string(),
+            w.fixed_threads
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "8 (default)".to_string()),
+        ]);
+    }
+    t.print();
+    println!("\nNote: variants of one binary (e.g. 603.bwaves_s.1/.2) differ by input.");
+}

@@ -1,0 +1,35 @@
+//! Table III: SPEC CPU2017 speed synchronization primitives used.
+
+use lp_bench::table::{title, Table};
+use lp_workloads::spec_workloads;
+
+fn yn(b: bool) -> String {
+    if b { "Y".to_string() } else { String::new() }
+}
+
+fn main() {
+    title(
+        "Table III",
+        "Synchronization primitives used (sta4=static for, dyn4=dynamic for, bar=barrier, \
+         ma=master, si=single, red=reduction, at=atomic, lck=lock)",
+    );
+    let mut t = Table::new(&[
+        "Application", "sta4", "dyn4", "bar", "ma", "si", "red", "at", "lck",
+    ]);
+    for w in spec_workloads() {
+        let s = w.sync;
+        t.row(&[
+            w.name.to_string(),
+            yn(s.static_for),
+            yn(s.dynamic_for),
+            yn(s.barrier),
+            yn(s.master),
+            yn(s.single),
+            yn(s.reduction),
+            yn(s.atomic),
+            yn(s.lock),
+        ]);
+    }
+    t.print();
+    println!("\nNote: 657.xz_s uses no barriers at all (BarrierPoint-unsuitable, Fig. 9).");
+}

@@ -1,0 +1,195 @@
+//! # lp-bench — the experiment harness
+//!
+//! Shared machinery for the bench targets that regenerate every table and
+//! figure of the LoopPoint paper (see `benches/`). Each target is a
+//! `harness = false` executable run by `cargo bench`; it prints the same
+//! rows/series the paper reports, next to the paper's published values
+//! where the paper states them.
+//!
+//! Absolute numbers are not expected to match (the substrate is a scaled
+//! simulator, not the authors' testbed); the *shape* — who wins, by what
+//! rough factor, where the crossovers fall — is the reproduction target.
+//! `EXPERIMENTS.md` records paper-vs-measured for each experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod table;
+
+use looppoint::{
+    analyze, error_pct, extrapolate, simulate_representatives,
+    simulate_representatives_checkpointed, simulate_whole, speedups, Analysis, LoopPointConfig,
+    Prediction, RegionResult, SpeedupReport,
+};
+use lp_omp::WaitPolicy;
+use lp_sim::SimStats;
+use lp_uarch::SimConfig;
+use lp_workloads::{build, InputClass, WorkloadSpec};
+use std::sync::Arc;
+
+/// Thread count used for the SPEC-like evaluation (the paper's default).
+pub const SPEC_THREADS: usize = 8;
+
+/// Default slice base for bench-scale pipelines (per-thread filtered
+/// instructions; the paper's 100 M scaled per DESIGN.md §7).
+pub const BENCH_SLICE_BASE: u64 = 8_000;
+
+/// Everything measured for one application/policy configuration.
+#[derive(Debug)]
+pub struct AppEval {
+    /// Workload name.
+    pub name: String,
+    /// Wait policy evaluated.
+    pub policy: WaitPolicy,
+    /// Team size actually used.
+    pub nthreads: usize,
+    /// The analysis (slices, clustering, looppoints).
+    pub analysis: Analysis,
+    /// Per-region simulation results.
+    pub results: Vec<RegionResult>,
+    /// Extrapolated whole-program metrics.
+    pub prediction: Prediction,
+    /// Full-application reference simulation.
+    pub full: SimStats,
+    /// Speedup accounting.
+    pub speedup: SpeedupReport,
+}
+
+impl AppEval {
+    /// Absolute runtime-prediction error in percent (Fig. 5 bars).
+    pub fn runtime_error_pct(&self) -> f64 {
+        error_pct(self.prediction.total_cycles, self.full.cycles as f64)
+    }
+
+    /// Absolute difference in branch MPKI (Fig. 7b bars).
+    pub fn branch_mpki_diff(&self) -> f64 {
+        (self.prediction.branch_mpki - self.full.branch_mpki()).abs()
+    }
+
+    /// Absolute difference in L2 MPKI (Fig. 7c bars).
+    pub fn l2_mpki_diff(&self) -> f64 {
+        (self.prediction.l2_mpki - self.full.l2_mpki()).abs()
+    }
+
+    /// Absolute error in predicted cycle count, percent (Fig. 7a bars).
+    pub fn cycles_error_pct(&self) -> f64 {
+        self.runtime_error_pct()
+    }
+}
+
+/// The default pipeline configuration for bench runs.
+pub fn bench_config() -> LoopPointConfig {
+    LoopPointConfig::with_slice_base(BENCH_SLICE_BASE)
+}
+
+/// Runs the complete LoopPoint pipeline for one workload: analysis, region
+/// simulation (in parallel), extrapolation, full-run reference, speedups.
+///
+/// # Panics
+/// Panics on any pipeline failure (bench targets want loud failures).
+pub fn evaluate_app(
+    spec: &WorkloadSpec,
+    input: InputClass,
+    requested_threads: usize,
+    policy: WaitPolicy,
+    simcfg: &SimConfig,
+) -> AppEval {
+    evaluate_app_mode(spec, input, requested_threads, policy, simcfg, false)
+}
+
+/// Like [`evaluate_app`], selecting checkpoint-driven region simulation
+/// (`checkpointed = true`, two warmup slices per region) — the mode the
+/// actual-speedup figures (Fig. 8/10) use.
+///
+/// # Panics
+/// Panics on any pipeline failure.
+pub fn evaluate_app_mode(
+    spec: &WorkloadSpec,
+    input: InputClass,
+    requested_threads: usize,
+    policy: WaitPolicy,
+    simcfg: &SimConfig,
+    checkpointed: bool,
+) -> AppEval {
+    let nthreads = spec.effective_threads(requested_threads);
+    let program = build(spec, input, requested_threads, policy);
+    let analysis = analyze(&program, nthreads, &bench_config())
+        .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", spec.name));
+    // Regions run back-to-back: each region's wall time is then measured
+    // without host contention, so the *parallel* speedup (full wall over
+    // the largest single region, §V-B's "assuming sufficient parallel
+    // resources") is computed from clean per-region times.
+    let results = if checkpointed {
+        simulate_representatives_checkpointed(&analysis, &program, nthreads, simcfg, 2, false)
+            .unwrap_or_else(|e| panic!("{}: region simulation failed: {e}", spec.name))
+    } else {
+        simulate_representatives(&analysis, &program, nthreads, simcfg, false)
+            .unwrap_or_else(|e| panic!("{}: region simulation failed: {e}", spec.name))
+    };
+    let prediction = extrapolate(&results);
+    let full = simulate_whole(&program, nthreads, simcfg)
+        .unwrap_or_else(|e| panic!("{}: full simulation failed: {e}", spec.name));
+    let speedup = speedups(&analysis, &results, &full);
+    AppEval {
+        name: spec.name.to_string(),
+        policy,
+        nthreads,
+        analysis,
+        results,
+        prediction,
+        full,
+        speedup,
+    }
+}
+
+/// Analysis-only evaluation (for `ref`-scale experiments where, exactly as
+/// in the paper, the full detailed reference is impractical and only
+/// theoretical speedups are reported).
+///
+/// # Panics
+/// Panics on analysis failure.
+pub fn analyze_app(
+    spec: &WorkloadSpec,
+    input: InputClass,
+    requested_threads: usize,
+    policy: WaitPolicy,
+) -> (Arc<lp_isa::Program>, usize, Analysis) {
+    let nthreads = spec.effective_threads(requested_threads);
+    let program = build(spec, input, requested_threads, policy);
+    let analysis = analyze(&program, nthreads, &bench_config())
+        .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", spec.name));
+    (program, nthreads, analysis)
+}
+
+/// Geometric-mean helper for speedup summaries.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic-mean helper for error summaries.
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}

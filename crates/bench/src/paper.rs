@@ -1,0 +1,68 @@
+//! Reference values the paper reports, for side-by-side printing.
+//!
+//! These are transcribed from the HPCA 2022 text; bench targets print them
+//! next to measured values so the *shape* comparison is explicit.
+
+/// §V-A.1 / abstract: average absolute runtime error, active wait policy,
+/// SPEC train, 8 threads.
+pub const FIG5_AVG_ERROR_ACTIVE_PCT: f64 = 2.33;
+
+/// §V-A.1: average absolute runtime error, passive wait policy.
+pub const FIG5_AVG_ERROR_PASSIVE_PCT: f64 = 2.23;
+
+/// §V-A.2: NPB average absolute error with 8 threads.
+pub const FIG6_AVG_ERROR_8T_PCT: f64 = 2.87;
+
+/// §V-A.2: NPB average absolute error with 16 threads.
+pub const FIG6_AVG_ERROR_16T_PCT: f64 = 1.78;
+
+/// §V-B: maximum speedup for train inputs.
+pub const FIG8_MAX_SPEEDUP_TRAIN: f64 = 801.0;
+
+/// §V-B: average serial speedup, train inputs.
+pub const FIG8_AVG_SERIAL_TRAIN: f64 = 9.0;
+
+/// §V-B: average parallel speedup, train inputs.
+pub const FIG8_AVG_PARALLEL_TRAIN: f64 = 303.0;
+
+/// §V-B: average serial speedup, ref inputs.
+pub const FIG9_AVG_SERIAL_REF: f64 = 244.0;
+
+/// §V-B / abstract: average parallel speedup, ref inputs.
+pub const FIG9_AVG_PARALLEL_REF: f64 = 11_587.0;
+
+/// §V-B / abstract: maximum speedup, ref inputs.
+pub const FIG9_MAX_SPEEDUP_REF: f64 = 31_253.0;
+
+/// §V-B: NPB 8-thread maximum parallel speedup.
+pub const FIG10_MAX_8T: f64 = 2_503.0;
+
+/// §V-B: NPB 8-thread average parallel speedup.
+pub const FIG10_AVG_8T: f64 = 1_031.0;
+
+/// §V-B: NPB 16-thread maximum parallel speedup.
+pub const FIG10_MAX_16T: f64 = 1_498.0;
+
+/// §V-B: NPB 16-thread average parallel speedup.
+pub const FIG10_AVG_16T: f64 = 606.0;
+
+/// §II: average error of naive MT-SimPoint with the active wait policy.
+pub const SEC2_NAIVE_ACTIVE_AVG_PCT: f64 = 25.0;
+
+/// §II: maximum error of naive MT-SimPoint with the active wait policy.
+pub const SEC2_NAIVE_ACTIVE_MAX_PCT: f64 = 68.44;
+
+/// §II: maximum error of naive MT-SimPoint with the passive wait policy.
+pub const SEC2_NAIVE_PASSIVE_MAX_PCT: f64 = 20.0;
+
+/// §V-A.1: constrained-replay runtime error observed for `657.xz_s.2`.
+pub const SEC5_CONSTRAINED_XZ_ERROR_PCT: f64 = 19.6;
+
+/// §IV-F: maximum spin-filtered instruction reduction (657.xz_s.2 active).
+pub const SEC4_MAX_FILTER_REDUCTION_PCT: f64 = 40.0;
+
+/// Fig. 1 premise: assumed detailed simulation speed.
+pub const FIG1_DETAILED_KIPS: f64 = 100.0;
+
+/// §VI: industrial-simulator slowdown the paper cites.
+pub const SEC6_SIM_SLOWDOWN: f64 = 10_000.0;

@@ -1,0 +1,178 @@
+//! BarrierPoint: inter-barrier regions as the unit of work.
+
+use crate::error::LoopPointError;
+use lp_bbv::SparseVec;
+use lp_isa::{Program, Retired};
+use lp_pinball::{ExecObserver, Pinball};
+use lp_simpoint::{cluster, Clustering, SimpointConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One inter-barrier region.
+#[derive(Debug, Clone)]
+pub struct BarrierRegion {
+    /// Region index in execution order.
+    pub index: usize,
+    /// Spin-filtered instructions in the region.
+    pub filtered_insts: u64,
+    /// All instructions in the region.
+    pub total_insts: u64,
+    /// Spin-filtered concatenated per-thread BBV.
+    pub bbv: SparseVec,
+}
+
+/// BarrierPoint analysis results.
+#[derive(Debug)]
+pub struct BarrierPointAnalysis {
+    /// All inter-barrier regions in execution order.
+    pub regions: Vec<BarrierRegion>,
+    /// Clustering over region BBVs.
+    pub clustering: Clustering,
+    /// Representative region index per cluster.
+    pub representatives: Vec<usize>,
+    /// Whole-program spin-filtered instructions.
+    pub total_filtered: u64,
+    /// Barriers observed.
+    pub barriers: u64,
+}
+
+impl BarrierPointAnalysis {
+    /// Theoretical serial speedup: whole-program filtered work over the
+    /// summed size of the representatives.
+    pub fn theoretical_serial(&self) -> f64 {
+        let sum: u64 = self
+            .representatives
+            .iter()
+            .map(|&i| self.regions[i].filtered_insts)
+            .sum();
+        if sum == 0 {
+            1.0
+        } else {
+            self.total_filtered as f64 / sum as f64
+        }
+    }
+
+    /// Theoretical parallel speedup: bounded by the largest representative
+    /// (a single huge inter-barrier region caps this at ~1×, the Fig. 9
+    /// failure mode).
+    pub fn theoretical_parallel(&self) -> f64 {
+        let max = self
+            .representatives
+            .iter()
+            .map(|&i| self.regions[i].filtered_insts)
+            .max()
+            .unwrap_or(0);
+        if max == 0 {
+            1.0
+        } else {
+            self.total_filtered as f64 / max as f64
+        }
+    }
+
+    /// The largest inter-barrier region's filtered size.
+    pub fn largest_region(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.filtered_insts)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+struct BarrierSlicer {
+    program: Arc<Program>,
+    bar_gen_addr: lp_isa::Addr,
+    dcfg: std::sync::Arc<lp_dcfg::Dcfg>,
+    entering_block: Vec<bool>,
+    cur_bbv: HashMap<u64, u64>,
+    cur_filtered: u64,
+    cur_total: u64,
+    regions: Vec<BarrierRegion>,
+    total_filtered: u64,
+    barriers: u64,
+}
+
+impl BarrierSlicer {
+    fn close(&mut self) {
+        let mut bbv_map = HashMap::new();
+        std::mem::swap(&mut bbv_map, &mut self.cur_bbv);
+        self.regions.push(BarrierRegion {
+            index: self.regions.len(),
+            filtered_insts: self.cur_filtered,
+            total_insts: self.cur_total,
+            bbv: SparseVec::from_map(&bbv_map),
+        });
+        self.cur_filtered = 0;
+        self.cur_total = 0;
+    }
+}
+
+impl ExecObserver for BarrierSlicer {
+    fn on_retire(&mut self, r: &Retired) {
+        self.cur_total += 1;
+        if !self.program.is_library_pc(r.pc) {
+            self.cur_filtered += 1;
+            if self.entering_block[r.tid] {
+                if let Some(b) = self.dcfg.block_of(r.pc) {
+                    let block = self.dcfg.block(b);
+                    *self
+                        .cur_bbv
+                        .entry(((r.tid as u64) << 32) | u64::from(b.0))
+                        .or_default() += u64::from(block.len);
+                }
+            }
+        }
+        self.entering_block[r.tid] = r.ctrl.is_some();
+        self.total_filtered += u64::from(!self.program.is_library_pc(r.pc));
+        // Barrier completion: the last arriver stores the next generation.
+        if let Some(m) = r.mem {
+            if m.write && m.addr == self.bar_gen_addr {
+                self.barriers += 1;
+                self.close();
+            }
+        }
+    }
+}
+
+/// Runs the BarrierPoint analysis on a recorded pinball: slices at barrier
+/// completions, collects per-region spin-filtered BBVs, and clusters them.
+///
+/// # Errors
+/// Replay failures.
+pub fn analyze_barrierpoint(
+    pinball: &Pinball,
+    program: &Arc<Program>,
+    dcfg: std::sync::Arc<lp_dcfg::Dcfg>,
+    simpoint: &SimpointConfig,
+    max_steps: u64,
+) -> Result<BarrierPointAnalysis, LoopPointError> {
+    let nthreads = pinball.nthreads();
+    let mut slicer = BarrierSlicer {
+        program: program.clone(),
+        bar_gen_addr: lp_omp::barrier_gen_addr(),
+        dcfg,
+        entering_block: vec![true; nthreads],
+        cur_bbv: HashMap::new(),
+        cur_filtered: 0,
+        cur_total: 0,
+        regions: Vec::new(),
+        total_filtered: 0,
+        barriers: 0,
+    };
+    pinball.replay(program.clone(), &mut [&mut slicer], max_steps)?;
+    if slicer.cur_total > 0 || slicer.regions.is_empty() {
+        slicer.close();
+    }
+
+    let vectors: Vec<&[(u64, f64)]> = slicer.regions.iter().map(|r| r.bbv.entries()).collect();
+    let clustering = cluster(&vectors, simpoint);
+    let representatives = clustering.representatives.clone();
+
+    Ok(BarrierPointAnalysis {
+        regions: slicer.regions,
+        clustering,
+        representatives,
+        total_filtered: slicer.total_filtered,
+        barriers: slicer.barriers,
+    })
+}

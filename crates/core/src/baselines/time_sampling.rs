@@ -1,0 +1,98 @@
+//! Time-based sampling (ESESC-style, §II / Fig. 1).
+//!
+//! Alternates short detailed intervals with fast-forward phases across the
+//! *entire* application and extrapolates each interval's timing over its
+//! fast-forwarded neighbourhood. Accurate, but the whole application must
+//! still be visited functionally — the property that caps its speedup well
+//! below checkpoint-based methods.
+
+use crate::error::LoopPointError;
+use lp_isa::Program;
+use lp_sim::{Mode, Simulator, StopCond};
+use lp_uarch::SimConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Result of a time-based-sampling run.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeSamplingResult {
+    /// Extrapolated whole-program runtime in cycles.
+    pub predicted_cycles: f64,
+    /// Instructions simulated in detail.
+    pub detailed_insts: u64,
+    /// Instructions fast-forwarded.
+    pub ff_insts: u64,
+    /// Wall-clock cost of the whole pass.
+    pub wall: Duration,
+}
+
+impl TimeSamplingResult {
+    /// Fraction of the application simulated in detail.
+    pub fn detailed_fraction(&self) -> f64 {
+        let total = (self.detailed_insts + self.ff_insts) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.detailed_insts as f64 / total
+        }
+    }
+}
+
+/// Runs time-based sampling: every period of `period` global instructions
+/// begins with `detail` instructions of detailed simulation, the rest is
+/// fast-forwarded; per-interval cycles are scaled to the full period.
+///
+/// # Errors
+/// Simulation failures.
+///
+/// # Panics
+/// Panics if `detail == 0` or `detail > period`.
+pub fn time_based_sampling(
+    program: &Arc<Program>,
+    nthreads: usize,
+    simcfg: &SimConfig,
+    detail: u64,
+    period: u64,
+    max_steps: u64,
+) -> Result<TimeSamplingResult, LoopPointError> {
+    assert!(detail > 0 && detail <= period);
+    let wall = std::time::Instant::now();
+    let mut sim = Simulator::new(program.clone(), nthreads, simcfg.clone());
+    let mut predicted = 0.0f64;
+    let mut detailed_insts = 0u64;
+    let mut ff_insts = 0u64;
+    let mut next_boundary = 0u64;
+
+    while !sim.machine().is_finished() {
+        next_boundary += detail;
+        let d = sim.run(
+            Mode::Detailed,
+            Some(StopCond::AtGlobalInst(next_boundary)),
+            max_steps,
+        )?;
+        detailed_insts += d.instructions;
+        if sim.machine().is_finished() {
+            predicted += d.cycles as f64;
+            break;
+        }
+        next_boundary += period - detail;
+        let f = sim.run(
+            Mode::FastForward,
+            Some(StopCond::AtGlobalInst(next_boundary)),
+            max_steps,
+        )?;
+        ff_insts += f.instructions;
+        // Scale the detailed interval's cycles over the whole period.
+        let interval_insts = d.instructions + f.instructions;
+        if d.instructions > 0 {
+            predicted += d.cycles as f64 * interval_insts as f64 / d.instructions as f64;
+        }
+    }
+
+    Ok(TimeSamplingResult {
+        predicted_cycles: predicted,
+        detailed_insts,
+        ff_insts,
+        wall: wall.elapsed(),
+    })
+}

@@ -1,0 +1,68 @@
+//! Pipeline configuration.
+
+use lp_pinball::RecordConfig;
+use lp_simpoint::SimpointConfig;
+
+/// Configuration of the end-to-end LoopPoint pipeline.
+///
+/// Defaults reproduce the paper's settings, scaled ~1000× down in
+/// instruction counts so whole pipelines (including the full-application
+/// reference simulations the paper itself could not afford for `ref`
+/// inputs) run in seconds: the paper's per-thread slice size of 100 M
+/// instructions becomes [`LoopPointConfig::slice_base`] = 25 000, while
+/// `maxK = 50` and the 100-dimension projection are kept verbatim.
+#[derive(Debug, Clone)]
+pub struct LoopPointConfig {
+    /// Per-thread slice size in *spin-filtered* instructions; the global
+    /// slice target is `slice_base × nthreads` (§III-B: N × 100 M, scaled).
+    pub slice_base: u64,
+    /// Clustering parameters (projection dims, maxK, BIC threshold, seed).
+    pub simpoint: SimpointConfig,
+    /// Recording (flow-control) parameters.
+    pub record: RecordConfig,
+    /// Hard step budget for any single simulation or replay.
+    pub max_steps: u64,
+    /// Whether profiling filters library-image (spin) instructions; `false`
+    /// is the §IV-F ablation.
+    pub filter_spin: bool,
+    /// Slice-length policy (§III-B supports varying-length intervals).
+    pub slice_policy: lp_bbv::SlicePolicy,
+}
+
+impl Default for LoopPointConfig {
+    fn default() -> Self {
+        LoopPointConfig {
+            slice_base: 25_000,
+            simpoint: SimpointConfig::default(),
+            record: RecordConfig::default(),
+            max_steps: 4_000_000_000,
+            filter_spin: true,
+            slice_policy: lp_bbv::SlicePolicy::Fixed,
+        }
+    }
+}
+
+impl LoopPointConfig {
+    /// A configuration with a custom per-thread slice size.
+    pub fn with_slice_base(slice_base: u64) -> Self {
+        LoopPointConfig {
+            slice_base,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let cfg = LoopPointConfig::default();
+        assert_eq!(cfg.simpoint.max_k, 50);
+        assert_eq!(cfg.simpoint.proj_dims, 100);
+        assert_eq!(cfg.slice_base, 25_000);
+        let custom = LoopPointConfig::with_slice_base(1000);
+        assert_eq!(custom.slice_base, 1000);
+    }
+}

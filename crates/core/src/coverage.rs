@@ -1,0 +1,89 @@
+//! Coverage diagnostics for an analysis: how much of the program the
+//! chosen looppoints stand for, and how concentrated the clustering is.
+//!
+//! SimPoint-style methodologies are often judged by how few representatives
+//! cover how much of the execution; these helpers expose that for reports
+//! and for the sanity checks a user should run before trusting an
+//! extrapolation (§V-A's caveat about unstable regions applies when
+//! coverage is thin).
+
+use crate::pipeline::Analysis;
+
+/// Coverage summary of an [`Analysis`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coverage {
+    /// Number of slices profiled.
+    pub slices: usize,
+    /// Number of representatives selected.
+    pub looppoints: usize,
+    /// Fraction of whole-program filtered work the largest cluster holds.
+    pub largest_cluster_share: f64,
+    /// Smallest number of looppoints whose clusters cover ≥ 90 % of the
+    /// filtered work.
+    pub looppoints_for_90pct: usize,
+    /// Detailed-simulation fraction: representative instructions over
+    /// whole-program filtered instructions (the inverse of the theoretical
+    /// serial speedup).
+    pub detailed_fraction: f64,
+}
+
+impl Analysis {
+    /// Computes the coverage summary.
+    pub fn coverage(&self) -> Coverage {
+        let total = self.profile.total_filtered.max(1) as f64;
+        let mut shares: Vec<f64> = self
+            .looppoints
+            .iter()
+            .map(|lp| lp.cluster_filtered_insts as f64 / total)
+            .collect();
+        shares.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let largest = shares.first().copied().unwrap_or(0.0);
+        let mut acc = 0.0;
+        let mut needed = shares.len();
+        for (i, s) in shares.iter().enumerate() {
+            acc += s;
+            if acc >= 0.9 {
+                needed = i + 1;
+                break;
+            }
+        }
+        let rep_insts: u64 = self.looppoints.iter().map(|lp| lp.filtered_insts).sum();
+        Coverage {
+            slices: self.profile.slices.len(),
+            looppoints: self.looppoints.len(),
+            largest_cluster_share: largest,
+            looppoints_for_90pct: needed,
+            detailed_fraction: rep_insts as f64 / total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{analyze, LoopPointConfig};
+    use lp_omp::WaitPolicy;
+
+    #[test]
+    fn coverage_invariants() {
+        let program = crate::testutil::phased_program(2, WaitPolicy::Passive, 8);
+        let analysis = analyze(&program, 2, &LoopPointConfig::with_slice_base(2_000)).unwrap();
+        let cov = analysis.coverage();
+        assert_eq!(cov.slices, analysis.profile.slices.len());
+        assert_eq!(cov.looppoints, analysis.looppoints.len());
+        assert!(cov.largest_cluster_share > 0.0 && cov.largest_cluster_share <= 1.0);
+        assert!(cov.looppoints_for_90pct >= 1);
+        assert!(cov.looppoints_for_90pct <= cov.looppoints);
+        // Cluster shares sum to 1 (every slice belongs to some cluster),
+        // so 90% coverage always exists.
+        let total_share: f64 = analysis
+            .looppoints
+            .iter()
+            .map(|lp| lp.cluster_filtered_insts as f64)
+            .sum::<f64>()
+            / analysis.profile.total_filtered as f64;
+        assert!((total_share - 1.0).abs() < 1e-9);
+        // Sampling means detailed fraction < 1.
+        assert!(cov.detailed_fraction < 1.0);
+        assert!(cov.detailed_fraction > 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Unified error type for the pipeline.
+
+use lp_pinball::PinballError;
+use lp_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from any stage of the LoopPoint pipeline.
+#[derive(Debug)]
+pub enum LoopPointError {
+    /// Recording or constrained replay failed.
+    Pinball(PinballError),
+    /// A timing simulation failed.
+    Sim(SimError),
+    /// The application produced no usable slices (e.g. it contains no
+    /// main-image loops, so no legal region boundaries exist).
+    NoSlices {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LoopPointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopPointError::Pinball(e) => write!(f, "pinball stage failed: {e}"),
+            LoopPointError::Sim(e) => write!(f, "simulation stage failed: {e}"),
+            LoopPointError::NoSlices { reason } => write!(f, "no usable slices: {reason}"),
+        }
+    }
+}
+
+impl Error for LoopPointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoopPointError::Pinball(e) => Some(e),
+            LoopPointError::Sim(e) => Some(e),
+            LoopPointError::NoSlices { .. } => None,
+        }
+    }
+}
+
+impl From<PinballError> for LoopPointError {
+    fn from(e: PinballError) -> Self {
+        LoopPointError::Pinball(e)
+    }
+}
+
+impl From<SimError> for LoopPointError {
+    fn from(e: SimError) -> Self {
+        LoopPointError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LoopPointError::NoSlices {
+            reason: "no loops".into(),
+        };
+        assert!(e.to_string().contains("no loops"));
+        assert!(e.source().is_none());
+        let e: LoopPointError = SimError::StepLimit { limit: 5 }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,79 @@
+//! # looppoint — checkpoint-driven sampled simulation for multi-threaded
+//! applications
+//!
+//! A Rust reproduction of **LoopPoint** (Sabu, Patil, Heirman, Carlson —
+//! HPCA 2022): a sampling methodology that reduces a multi-threaded
+//! application to a handful of representative regions ("looppoints"),
+//! simulates only those in detail, and extrapolates whole-program
+//! performance — independent of the synchronization primitives the
+//! application uses.
+//!
+//! ## The pipeline
+//!
+//! ```text
+//!  record ──▶ constrained replay ──▶ DCFG ──▶ loop-aligned, spin-filtered
+//!  (pinball)  (reproducible)         (loops)  slicing + per-thread BBVs
+//!                                                      │
+//!       unconstrained simulation  ◀── looppoints ◀── k-means + BIC
+//!       of each region (warmup +      (PC,count)      clustering
+//!       detailed), in parallel        markers
+//!                                                      │
+//!                 total runtime = Σ runtimeᵢ × multiplierᵢ   (Eq. 1–2)
+//! ```
+//!
+//! Entry points:
+//! * [`analyze`] — the one-time, up-front application analysis (§III-A..E);
+//! * [`simulate_representatives`] — binary-driven unconstrained simulation
+//!   of every looppoint with fast-forward warmup (§III-F, §V-A);
+//! * [`extrapolate`] — Eq. 1/2 runtime and metric reconstruction (§III-G);
+//! * [`speedups`] — theoretical/actual, serial/parallel speedups (§V-B);
+//! * [`baselines`] — BarrierPoint, naive multi-threaded SimPoint, and
+//!   time-based sampling, for the paper's comparisons;
+//! * [`constrained`] — timing simulation on constrained replay, with its
+//!   artificial thread stalls (§V-A.1).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use looppoint::{analyze, simulate_representatives, extrapolate, LoopPointConfig};
+//! use lp_uarch::SimConfig;
+//! # fn program() -> std::sync::Arc<lp_isa::Program> { unimplemented!() }
+//!
+//! # fn main() -> Result<(), looppoint::LoopPointError> {
+//! let program = program(); // any lp-isa program (see lp-workloads)
+//! let nthreads = 8;
+//! let analysis = analyze(&program, nthreads, &LoopPointConfig::default())?;
+//! let results = simulate_representatives(
+//!     &analysis, &program, nthreads, &SimConfig::gainestown(8), true)?;
+//! let prediction = extrapolate(&results);
+//! println!("predicted runtime: {} cycles", prediction.total_cycles);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod config;
+pub mod constrained;
+mod coverage;
+mod error;
+mod extrapolate;
+mod pipeline;
+pub mod report;
+mod simulate;
+mod speedup;
+#[cfg(test)]
+mod testutil;
+
+pub use config::LoopPointConfig;
+pub use error::LoopPointError;
+pub use extrapolate::{error_pct, extrapolate, Prediction};
+pub use coverage::Coverage;
+pub use pipeline::{analyze, Analysis, LoopPointRegion};
+pub use simulate::{
+    simulate_representatives, simulate_representatives_checkpointed,
+    simulate_representatives_opts, simulate_whole, RegionResult,
+};
+pub use speedup::{human_duration, speedups, SimTimeModel, SpeedupReport};

@@ -1,0 +1,157 @@
+//! The up-front analysis: record → replay → DCFG → slice → cluster.
+
+use crate::config::LoopPointConfig;
+use crate::error::LoopPointError;
+use lp_bbv::{LoopAlignedSlicer, SliceProfile};
+use lp_dcfg::{Dcfg, DcfgBuilder};
+use lp_isa::{Marker, Program};
+use lp_pinball::Pinball;
+use lp_simpoint::{cluster, Clustering};
+use std::sync::Arc;
+
+/// One selected representative region — a *looppoint*.
+#[derive(Debug, Clone)]
+pub struct LoopPointRegion {
+    /// Index of the representative slice in the profile.
+    pub slice_index: usize,
+    /// Cluster this region represents.
+    pub cluster: usize,
+    /// Start boundary (`None` = program start).
+    pub start: Option<Marker>,
+    /// End boundary (`None` = program end).
+    pub end: Option<Marker>,
+    /// Eq. 2 multiplier: cluster filtered instructions over this region's
+    /// filtered instructions.
+    pub multiplier: f64,
+    /// Spin-filtered instructions in the representative slice itself.
+    pub filtered_insts: u64,
+    /// Spin-filtered instructions across the whole cluster.
+    pub cluster_filtered_insts: u64,
+}
+
+impl LoopPointRegion {
+    /// Start marker (panics if the region starts at program begin; test
+    /// helper).
+    pub fn region_start(&self) -> lp_isa::Marker {
+        self.start.expect("region has a start marker")
+    }
+
+    /// End marker (panics if the region runs to program end; test helper).
+    pub fn region_end(&self) -> lp_isa::Marker {
+        self.end.expect("region has an end marker")
+    }
+
+    /// The fraction of whole-program (filtered) work this region stands
+    /// for.
+    pub fn weight(&self, total_filtered: u64) -> f64 {
+        if total_filtered == 0 {
+            0.0
+        } else {
+            self.cluster_filtered_insts as f64 / total_filtered as f64
+        }
+    }
+}
+
+/// Results of the one-time application analysis.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The whole-program pinball the analysis replayed.
+    pub pinball: Pinball,
+    /// The dynamic control-flow graph (loops, blocks).
+    pub dcfg: Dcfg,
+    /// The loop-aligned, spin-filtered slice profile.
+    pub profile: SliceProfile,
+    /// The chosen clustering of slice BBVs.
+    pub clustering: Clustering,
+    /// The selected representative regions.
+    pub looppoints: Vec<LoopPointRegion>,
+}
+
+impl Analysis {
+    /// Sum of multiplier-weighted filtered instructions — equals the
+    /// whole-program filtered count by construction (a useful invariant).
+    pub fn reconstructed_filtered_insts(&self) -> f64 {
+        self.looppoints
+            .iter()
+            .map(|r| r.filtered_insts as f64 * r.multiplier)
+            .sum()
+    }
+}
+
+/// Runs the one-time, up-front application analysis (§III-A through
+/// §III-E): records a flow-controlled pinball, replays it twice (DCFG, then
+/// loop-aligned spin-filtered BBV slicing), clusters the slice vectors, and
+/// selects one representative region per cluster with its Eq. 2 multiplier.
+///
+/// # Errors
+/// Pinball/record failures, or [`LoopPointError::NoSlices`] when the
+/// program has no main-image loops to bound slices with.
+pub fn analyze(
+    program: &Arc<Program>,
+    nthreads: usize,
+    cfg: &LoopPointConfig,
+) -> Result<Analysis, LoopPointError> {
+    // 1. Reproducible capture (§III-H).
+    let pinball = Pinball::record(program, nthreads, cfg.record)?;
+
+    // 2. DCFG: identify loops (§III-D).
+    let mut dcfg_builder = DcfgBuilder::new(program.clone(), nthreads);
+    pinball.replay(program.clone(), &mut [&mut dcfg_builder], cfg.max_steps)?;
+    let dcfg = dcfg_builder.finish();
+    if dcfg.main_image_loop_headers().is_empty() {
+        return Err(LoopPointError::NoSlices {
+            reason: "program has no main-image loop headers".to_string(),
+        });
+    }
+
+    // 3. Loop-aligned, spin-filtered slicing + per-thread BBVs (§III-B/C).
+    let mut slicer = LoopAlignedSlicer::new(program.clone(), &dcfg, nthreads, cfg.slice_base);
+    slicer.set_spin_filter(cfg.filter_spin);
+    slicer.set_policy(cfg.slice_policy);
+    pinball.replay(program.clone(), &mut [&mut slicer], cfg.max_steps)?;
+    let profile = slicer.finish();
+    if profile.slices.is_empty() {
+        return Err(LoopPointError::NoSlices {
+            reason: "profiling produced no slices".to_string(),
+        });
+    }
+
+    // 4. Cluster slice BBVs (§III-E) and pick representatives.
+    let vectors: Vec<&[(u64, f64)]> = profile
+        .slices
+        .iter()
+        .map(|s| s.bbv.entries())
+        .collect();
+    let clustering = cluster(&vectors, &cfg.simpoint);
+
+    let mut looppoints = Vec::with_capacity(clustering.k);
+    for (cluster_id, &rep) in clustering.representatives.iter().enumerate() {
+        let rep_slice = &profile.slices[rep];
+        let cluster_filtered: u64 = clustering
+            .members(cluster_id)
+            .map(|i| profile.slices[i].filtered_insts)
+            .sum();
+        let multiplier = if rep_slice.filtered_insts == 0 {
+            0.0
+        } else {
+            cluster_filtered as f64 / rep_slice.filtered_insts as f64
+        };
+        looppoints.push(LoopPointRegion {
+            slice_index: rep,
+            cluster: cluster_id,
+            start: rep_slice.start,
+            end: rep_slice.end,
+            multiplier,
+            filtered_insts: rep_slice.filtered_insts,
+            cluster_filtered_insts: cluster_filtered,
+        });
+    }
+
+    Ok(Analysis {
+        pinball,
+        dcfg,
+        profile,
+        clustering,
+        looppoints,
+    })
+}

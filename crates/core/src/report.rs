@@ -1,0 +1,103 @@
+//! Human-readable analysis reports (the console output of the artifact's
+//! driver script).
+
+use crate::pipeline::Analysis;
+use lp_isa::Program;
+use std::fmt::Write;
+
+/// Renders a multi-line report of an [`Analysis`]: profile shape, spin
+/// filtering, cluster assignment per slice, and the selected looppoints
+/// with symbolized `(PC, count)` markers.
+pub fn analysis_report(program: &Program, analysis: &Analysis) -> String {
+    let mut out = String::new();
+    let p = &analysis.profile;
+    let _ = writeln!(out, "program: {}", program.name());
+    let _ = writeln!(
+        out,
+        "profile: {} instructions total, {} after spin filtering ({:.1}% filtered out)",
+        p.total_insts,
+        p.total_filtered,
+        p.filter_ratio() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "slices: {} of ~{} filtered instructions each ({} threads)",
+        p.slices.len(),
+        p.slice_target,
+        p.nthreads
+    );
+    let _ = writeln!(
+        out,
+        "clustering: k = {} (BIC {:.1}, sse {:.3})",
+        analysis.clustering.k, analysis.clustering.bic, analysis.clustering.sse
+    );
+    let cov = analysis.coverage();
+    let _ = writeln!(
+        out,
+        "coverage: largest cluster {:.1}% of filtered work; {} looppoints reach 90%; \
+         detailed fraction {:.2}%",
+        cov.largest_cluster_share * 100.0,
+        cov.looppoints_for_90pct,
+        cov.detailed_fraction * 100.0
+    );
+
+    let _ = writeln!(out, "\nslice  cluster  filtered  boundary (end)");
+    for s in &p.slices {
+        let boundary = match s.end {
+            Some(m) => format!("{} @ {}", program.symbolize(m.pc), m.count),
+            None => "(program end)".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:>5}  {:>7}  {:>8}  {}",
+            s.index, analysis.clustering.assignments[s.index], s.filtered_insts, boundary
+        );
+    }
+
+    let _ = writeln!(out, "\nlooppoints ({}):", analysis.looppoints.len());
+    for lp in &analysis.looppoints {
+        let fmt_marker = |m: Option<lp_isa::Marker>| match m {
+            Some(m) => format!("{} @ {}", program.symbolize(m.pc), m.count),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  slice {:>3}  cluster {:>2}  multiplier {:>8.3}  start {:<24} end {}",
+            lp.slice_index,
+            lp.cluster,
+            lp.multiplier,
+            fmt_marker(lp.start),
+            fmt_marker(lp.end),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, LoopPointConfig};
+    use lp_omp::WaitPolicy;
+
+    #[test]
+    fn report_contains_key_sections() {
+        let program = crate::testutil::phased_program(2, WaitPolicy::Passive, 6);
+        let analysis = analyze(&program, 2, &LoopPointConfig::with_slice_base(2_000)).unwrap();
+        let report = analysis_report(&program, &analysis);
+        assert!(report.contains("program: phased"));
+        assert!(report.contains("clustering: k ="));
+        assert!(report.contains("looppoints ("));
+        assert!(report.contains("multiplier"));
+        // Symbolized markers use exported loop names.
+        assert!(
+            report.contains("compute.loop") || report.contains("stream.loop"),
+            "{report}"
+        );
+        // One line per slice.
+        let slice_lines = report
+            .lines()
+            .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .count();
+        assert!(slice_lines >= analysis.profile.slices.len());
+    }
+}

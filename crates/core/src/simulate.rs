@@ -1,0 +1,232 @@
+//! Unconstrained, binary-driven simulation of looppoint regions.
+
+use crate::error::LoopPointError;
+use crate::pipeline::{Analysis, LoopPointRegion};
+use lp_isa::Program;
+use lp_sim::{Mode, SimError, SimStats, Simulator, StopCond};
+use lp_uarch::SimConfig;
+use std::sync::Arc;
+
+/// Detailed statistics for one simulated looppoint.
+#[derive(Debug, Clone)]
+pub struct RegionResult {
+    /// The region that was simulated.
+    pub region: LoopPointRegion,
+    /// Region statistics (with warmup accounting in the `ff_*` fields).
+    pub stats: SimStats,
+}
+
+/// Simulates one region: fast-forward (warming caches and predictors) from
+/// program start to the region's start marker, then detailed until its end
+/// marker (§III-F's binary-driven warmup).
+fn simulate_one(
+    region: &LoopPointRegion,
+    program: &Arc<Program>,
+    nthreads: usize,
+    simcfg: &SimConfig,
+    max_steps: u64,
+    warmup: bool,
+) -> Result<SimStats, SimError> {
+    let mut sim = Simulator::new(program.clone(), nthreads, simcfg.clone());
+    sim.set_ff_warming(warmup);
+    if let Some(s) = region.start {
+        sim.watch_pc(s.pc);
+    }
+    if let Some(e) = region.end {
+        sim.watch_pc(e.pc);
+    }
+    if let Some(s) = region.start {
+        sim.run(Mode::FastForward, Some(StopCond::Marker(s)), max_steps)?;
+    }
+    sim.run(
+        Mode::Detailed,
+        region.end.map(StopCond::Marker),
+        max_steps,
+    )
+}
+
+/// Simulates every looppoint unconstrained on `simcfg`.
+///
+/// With `parallel = true`, regions run on separate OS threads — the
+/// deployment §III-J describes (checkpoints simulated in parallel given
+/// enough resources); wall-clock times then feed the *actual parallel*
+/// speedup numbers.
+///
+/// # Errors
+/// The first region failure is returned.
+pub fn simulate_representatives(
+    analysis: &Analysis,
+    program: &Arc<Program>,
+    nthreads: usize,
+    simcfg: &SimConfig,
+    parallel: bool,
+) -> Result<Vec<RegionResult>, LoopPointError> {
+    simulate_representatives_opts(analysis, program, nthreads, simcfg, parallel, true)
+}
+
+/// Like [`simulate_representatives`], with explicit control over
+/// fast-forward warming (`warmup = false` is the cold-start ablation).
+///
+/// # Errors
+/// The first region failure is returned.
+pub fn simulate_representatives_opts(
+    analysis: &Analysis,
+    program: &Arc<Program>,
+    nthreads: usize,
+    simcfg: &SimConfig,
+    parallel: bool,
+    warmup: bool,
+) -> Result<Vec<RegionResult>, LoopPointError> {
+    let max_steps = 4_000_000_000;
+    if !parallel {
+        return analysis
+            .looppoints
+            .iter()
+            .map(|region| {
+                simulate_one(region, program, nthreads, simcfg, max_steps, warmup)
+                    .map(|stats| RegionResult {
+                        region: region.clone(),
+                        stats,
+                    })
+                    .map_err(LoopPointError::from)
+            })
+            .collect();
+    }
+
+    let results: Vec<Result<RegionResult, SimError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = analysis
+            .looppoints
+            .iter()
+            .map(|region| {
+                scope.spawn(move || {
+                    simulate_one(region, program, nthreads, simcfg, max_steps, warmup).map(|stats| {
+                        RegionResult {
+                            region: region.clone(),
+                            stats,
+                        }
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("region simulation thread panicked"))
+            .collect()
+    });
+    results
+        .into_iter()
+        .map(|r| r.map_err(LoopPointError::from))
+        .collect()
+}
+
+/// Simulates every looppoint **checkpoint-driven**: each region restores a
+/// pinball checkpoint taken `warmup_slices` slices before its start marker,
+/// fast-forwards (warming caches and predictors) through that short warmup
+/// window, and then runs detailed to the end marker.
+///
+/// This is the deployment the paper's title describes: regions ship as
+/// checkpoints, so no simulation time is spent re-executing the program
+/// prefix — the property behind the large *actual* speedups of §V-B.
+/// Checkpoint construction replays the analysis pinball and is a one-time,
+/// shareable cost (like pinball generation itself); it is not charged to
+/// the per-region simulation time.
+///
+/// # Errors
+/// The first region failure is returned.
+pub fn simulate_representatives_checkpointed(
+    analysis: &Analysis,
+    program: &Arc<Program>,
+    nthreads: usize,
+    simcfg: &SimConfig,
+    warmup_slices: usize,
+    parallel: bool,
+) -> Result<Vec<RegionResult>, LoopPointError> {
+    let max_steps: u64 = 4_000_000_000;
+    // Build checkpoints serially (they replay the shared pinball).
+    let mut prepared: Vec<(LoopPointRegion, Option<(lp_isa::MachineState, Vec<(lp_isa::Pc, u64)>)>)> =
+        Vec::with_capacity(analysis.looppoints.len());
+    for region in &analysis.looppoints {
+        let warm_idx = region.slice_index.saturating_sub(warmup_slices);
+        let warm_marker = analysis.profile.slices[warm_idx].start;
+        let ckpt = match warm_marker {
+            None => None, // region near program start: simulate from reset
+            Some(marker) => {
+                let mut watch = Vec::new();
+                if let Some(s) = region.start {
+                    watch.push(s.pc);
+                }
+                if let Some(e) = region.end {
+                    watch.push(e.pc);
+                }
+                let (ckpt, counts) = analysis
+                    .pinball
+                    .checkpoint_at_with_counts(program.clone(), marker, &watch)?;
+                let counts: Vec<(lp_isa::Pc, u64)> = counts.into_iter().collect();
+                Some((ckpt.state().clone(), counts))
+            }
+        };
+        prepared.push((region.clone(), ckpt));
+    }
+
+    let run_one = |(region, ckpt): &(
+        LoopPointRegion,
+        Option<(lp_isa::MachineState, Vec<(lp_isa::Pc, u64)>)>,
+    )|
+     -> Result<RegionResult, SimError> {
+        let mut sim = match ckpt {
+            None => Simulator::new(program.clone(), nthreads, simcfg.clone()),
+            Some((state, counts)) => {
+                let machine = lp_isa::Machine::from_snapshot(program.clone(), state);
+                let mut sim = Simulator::from_machine(machine, simcfg.clone());
+                for &(pc, count) in counts {
+                    sim.watch_pc_from(pc, count);
+                }
+                sim
+            }
+        };
+        if let Some(s) = region.start {
+            sim.watch_pc(s.pc);
+        }
+        if let Some(e) = region.end {
+            sim.watch_pc(e.pc);
+        }
+        if let Some(s) = region.start {
+            sim.run(Mode::FastForward, Some(StopCond::Marker(s)), max_steps)?;
+        }
+        let stats = sim.run(Mode::Detailed, region.end.map(StopCond::Marker), max_steps)?;
+        Ok(RegionResult {
+            region: region.clone(),
+            stats,
+        })
+    };
+
+    let results: Vec<Result<RegionResult, SimError>> = if parallel {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = prepared.iter().map(|p| scope.spawn(move || run_one(p))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("region simulation thread panicked"))
+                .collect()
+        })
+    } else {
+        prepared.iter().map(run_one).collect()
+    };
+    results
+        .into_iter()
+        .map(|r| r.map_err(LoopPointError::from))
+        .collect()
+}
+
+/// Simulates the whole application in detailed mode (the reference run the
+/// prediction error is measured against).
+///
+/// # Errors
+/// Propagates simulator failures.
+pub fn simulate_whole(
+    program: &Arc<Program>,
+    nthreads: usize,
+    simcfg: &SimConfig,
+) -> Result<SimStats, LoopPointError> {
+    lp_sim::simulate_full(program.clone(), nthreads, simcfg.clone(), 4_000_000_000)
+        .map_err(LoopPointError::from)
+}

@@ -1,0 +1,69 @@
+//! Small synthetic programs for unit tests (the full suites live in
+//! `lp-workloads`).
+
+use lp_isa::{AluOp, Program, ProgramBuilder, Reg};
+use lp_omp::{LockId, OmpRuntime, WaitPolicy, APP_BASE};
+use std::sync::Arc;
+
+/// A lock/atomic-contended parallel program (used to exercise constrained
+/// replay's artificial stalls).
+pub fn contended_program(nthreads: usize) -> Arc<Program> {
+    let mut pb = ProgramBuilder::new("contended");
+    let mut rt = OmpRuntime::build(&mut pb, nthreads, WaitPolicy::Passive);
+    let mut c = pb.main_code();
+    rt.emit_main_init(&mut c);
+    rt.emit_parallel(&mut c, "work", |c, rt| {
+        rt.emit_static_for(c, "work.loop", 512, |c, rt| {
+            c.li(Reg::R1, APP_BASE as i64);
+            c.li(Reg::R2, 1);
+            c.atomic_add(Reg::R3, Reg::R1, 0, Reg::R2);
+            rt.emit_critical(c, LockId(0), |c, _| {
+                c.load(Reg::R4, Reg::R1, 8);
+                c.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+                c.store(Reg::R4, Reg::R1, 8);
+            });
+        });
+    });
+    rt.emit_shutdown(&mut c);
+    c.halt();
+    c.finish();
+    Arc::new(pb.finish())
+}
+
+/// A two-phase parallel program: a compute-bound phase then a
+/// memory-streaming phase, repeated `rounds` times — enough phase structure
+/// for clustering to find.
+pub fn phased_program(nthreads: usize, policy: WaitPolicy, rounds: u64) -> Arc<Program> {
+    let mut pb = ProgramBuilder::new("phased");
+    let mut rt = OmpRuntime::build(&mut pb, nthreads, policy);
+    let mut c = pb.main_code();
+    rt.emit_main_init(&mut c);
+    c.li(Reg::R10, rounds as i64);
+    c.counted_loop_reg("rounds", Reg::R10, |c| {
+        // R10 is clobber-protected: parallel bodies use r1..r15 on worker
+        // threads only; on the main thread the runtime preserves r10
+        // because bodies here avoid it.
+        rt.emit_parallel(c, "compute", |c, rt| {
+            rt.emit_static_for(c, "compute.loop", 2048, |c, _| {
+                c.alui(AluOp::Mul, Reg::R1, Reg::R16, 17);
+                c.alui(AluOp::Add, Reg::R1, Reg::R1, 3);
+                c.alui(AluOp::Xor, Reg::R2, Reg::R1, 0x55);
+                c.alui(AluOp::Mul, Reg::R3, Reg::R2, 31);
+            });
+        });
+        rt.emit_parallel(c, "stream", |c, rt| {
+            rt.emit_static_for(c, "stream.loop", 2048, |c, _| {
+                c.li(Reg::R1, (APP_BASE + 0x10000) as i64);
+                c.alui(AluOp::Shl, Reg::R2, Reg::R16, 6); // 64B stride
+                c.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R2);
+                c.load(Reg::R3, Reg::R1, 0);
+                c.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+                c.store(Reg::R3, Reg::R1, 0);
+            });
+        });
+    });
+    rt.emit_shutdown(&mut c);
+    c.halt();
+    c.finish();
+    Arc::new(pb.finish())
+}

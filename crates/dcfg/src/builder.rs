@@ -1,0 +1,110 @@
+//! Edge collection from the retirement stream.
+
+use crate::graph::Dcfg;
+use lp_isa::{CtrlKind, Pc, Program, Retired};
+use lp_pinball::ExecObserver;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Classification of a recorded control-flow edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum EdgeKind {
+    /// Branch (taken or fall-through) or jump: stays within a routine.
+    Intra,
+    /// Call edge (routine entry).
+    Call,
+    /// Return edge.
+    Ret,
+}
+
+#[derive(Debug, Default, Clone)]
+pub(crate) struct EdgeData {
+    pub kind: Option<EdgeKind>,
+    /// Trip count per thread.
+    pub counts: Vec<u64>,
+}
+
+/// Observer that accumulates a DCFG from retirements.
+///
+/// Feed it to [`lp_pinball::Pinball::replay`], then call
+/// [`DcfgBuilder::finish`].
+///
+/// ```
+/// use lp_dcfg::DcfgBuilder;
+/// use lp_isa::{ProgramBuilder, Reg, AluOp};
+/// use lp_pinball::{Pinball, RecordConfig};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut pb = ProgramBuilder::new("demo");
+/// let mut c = pb.main_code();
+/// let header = c.counted_loop("hot", Reg::R1, 25, |c| {
+///     c.alui(AluOp::Add, Reg::R2, Reg::R2, 1);
+/// });
+/// c.halt();
+/// c.finish();
+/// let program = Arc::new(pb.finish());
+///
+/// let pinball = Pinball::record(&program, 1, RecordConfig::default())?;
+/// let mut builder = DcfgBuilder::new(program.clone(), 1);
+/// pinball.replay(program, &mut [&mut builder], u64::MAX)?;
+/// let dcfg = builder.finish();
+/// assert!(dcfg.is_loop_header(header));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DcfgBuilder {
+    program: Arc<Program>,
+    pub(crate) nthreads: usize,
+    pub(crate) edges: HashMap<(Pc, Pc), EdgeData>,
+    /// Per-thread PC of the last retired instruction, to record
+    /// fall-through edges out of non-control instructions *only* when they
+    /// terminate a block (we derive those statically instead).
+    entry_pcs: Vec<Pc>,
+}
+
+impl DcfgBuilder {
+    /// Creates a builder for executions of `program` with `nthreads`
+    /// threads.
+    pub fn new(program: Arc<Program>, nthreads: usize) -> Self {
+        let mut entry_pcs = vec![program.entry_main()];
+        if let Some(w) = program.entry_worker() {
+            entry_pcs.push(w);
+        }
+        DcfgBuilder {
+            program,
+            nthreads,
+            edges: HashMap::new(),
+            entry_pcs,
+        }
+    }
+
+    fn record(&mut self, tid: usize, from: Pc, to: Pc, kind: EdgeKind) {
+        let data = self.edges.entry((from, to)).or_insert_with(|| EdgeData {
+            kind: None,
+            counts: vec![0; self.nthreads],
+        });
+        data.kind.get_or_insert(kind);
+        data.counts[tid] += 1;
+    }
+
+    /// Finalizes the graph: derives non-overlapping basic blocks, splits
+    /// routines at call edges, computes dominators, and identifies natural
+    /// loops.
+    pub fn finish(self) -> Dcfg {
+        Dcfg::build(self.program.clone(), self.entry_pcs.clone(), self)
+    }
+}
+
+impl ExecObserver for DcfgBuilder {
+    fn on_retire(&mut self, r: &Retired) {
+        let Some(ctrl) = r.ctrl else { return };
+        let kind = match ctrl.kind {
+            CtrlKind::CondTaken | CtrlKind::CondNotTaken | CtrlKind::Jump => EdgeKind::Intra,
+            CtrlKind::Call => EdgeKind::Call,
+            CtrlKind::Ret => EdgeKind::Ret,
+        };
+        self.record(r.tid, r.pc, ctrl.target, kind);
+    }
+}

@@ -1,0 +1,278 @@
+//! Routine partitioning, dominator analysis, and natural-loop detection.
+
+use crate::graph::{BasicBlock, BlockId};
+use lp_isa::Pc;
+use std::collections::{HashMap, HashSet};
+
+/// A routine: blocks reachable from one entry over intra-routine edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Routine {
+    /// Entry block's leader PC.
+    pub entry: Pc,
+    /// Blocks belonging to the routine.
+    pub blocks: Vec<BlockId>,
+}
+
+/// A natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// Loop header (entry) PC — the candidate region-boundary marker.
+    pub header: Pc,
+    /// The header's block.
+    pub header_block: BlockId,
+    /// Blocks in the loop body (header included).
+    pub blocks: Vec<BlockId>,
+    /// Dynamic trips over the loop's back edges.
+    pub back_edge_trips: u64,
+    /// Times the header block executed (≈ iteration count).
+    pub iterations: u64,
+}
+
+/// Partitions blocks into routines and finds natural loops in each.
+///
+/// `intra` edges are branch/jump/fall-through transfers (call and return
+/// edges split routines). Dominators use the iterative algorithm of Cooper,
+/// Harvey & Kennedy on each routine's subgraph.
+pub(crate) fn find_loops(
+    blocks: &[BasicBlock],
+    intra: &[(BlockId, BlockId, u64)],
+    routine_entries: &HashSet<BlockId>,
+) -> (Vec<Routine>, Vec<LoopInfo>) {
+    // Adjacency over all blocks.
+    let n = blocks.len();
+    let mut succ: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    for &(f, t, c) in intra {
+        succ[f.0 as usize].push((t.0 as usize, c));
+    }
+
+    let mut entries: Vec<usize> = routine_entries.iter().map(|b| b.0 as usize).collect();
+    entries.sort_unstable();
+
+    let mut routines = Vec::new();
+    let mut loops: Vec<LoopInfo> = Vec::new();
+
+    for &entry in &entries {
+        // Routine subgraph: DFS from the entry, not crossing into other
+        // routine entries (tail-merged code stays with its first routine).
+        let mut member: HashMap<usize, usize> = HashMap::new(); // global -> local
+        let mut order: Vec<usize> = Vec::new(); // local -> global
+        let mut stack = vec![entry];
+        member.insert(entry, 0);
+        order.push(entry);
+        while let Some(b) = stack.pop() {
+            for &(s, _) in &succ[b] {
+                if s != entry && routine_entries.contains(&BlockId(s as u32)) {
+                    continue;
+                }
+                if !member.contains_key(&s) {
+                    member.insert(s, order.len());
+                    order.push(s);
+                    stack.push(s);
+                }
+            }
+        }
+        let m = order.len();
+        routines.push(Routine {
+            entry: blocks[entry].leader,
+            blocks: order.iter().map(|&g| BlockId(g as u32)).collect(),
+        });
+        if m <= 1 {
+            continue;
+        }
+
+        // Local adjacency and predecessors, RPO.
+        let mut lsucc: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut lpred: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (&g, &l) in &member {
+            for &(s, _) in &succ[g] {
+                if let Some(&ls) = member.get(&s) {
+                    lsucc[l].push(ls);
+                    lpred[ls].push(l);
+                }
+            }
+        }
+        let rpo = reverse_postorder(0, &lsucc);
+        let idom = dominators(0, &rpo, &lpred);
+
+        // Back edges: u -> h with h dominating u.
+        let mut headers: HashMap<usize, (Vec<usize>, u64)> = HashMap::new();
+        for (&g, &l) in &member {
+            for &(sg, count) in &succ[g] {
+                let Some(&h) = member.get(&sg) else { continue };
+                if dominates(h, l, &idom) {
+                    let e = headers.entry(h).or_insert_with(|| (Vec::new(), 0));
+                    e.0.push(l);
+                    e.1 += count;
+                }
+            }
+        }
+
+        // Natural loop bodies: reverse reachability from back-edge sources
+        // to the header.
+        for (h, (sources, trips)) in headers {
+            let mut body: HashSet<usize> = HashSet::new();
+            body.insert(h);
+            let mut stack: Vec<usize> = Vec::new();
+            for &s in &sources {
+                if body.insert(s) {
+                    stack.push(s);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in &lpred[b] {
+                    if body.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            let header_global = order[h];
+            let mut body_ids: Vec<BlockId> =
+                body.iter().map(|&l| BlockId(order[l] as u32)).collect();
+            body_ids.sort();
+            loops.push(LoopInfo {
+                header: blocks[header_global].leader,
+                header_block: BlockId(header_global as u32),
+                blocks: body_ids,
+                back_edge_trips: trips,
+                iterations: blocks[header_global].executions,
+            });
+        }
+    }
+
+    loops.sort_by_key(|l| l.header);
+    loops.dedup_by_key(|l| l.header);
+    (routines, loops)
+}
+
+fn reverse_postorder(entry: usize, succ: &[Vec<usize>]) -> Vec<usize> {
+    let n = succ.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with an explicit state stack.
+    let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+    visited[entry] = true;
+    while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+        if *child < succ[node].len() {
+            let next = succ[node][*child];
+            *child += 1;
+            if !visited[next] {
+                visited[next] = true;
+                stack.push((next, 0));
+            }
+        } else {
+            post.push(node);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Cooper-Harvey-Kennedy iterative dominator computation. Returns the
+/// immediate-dominator array (local indices; `idom[entry] == entry`).
+fn dominators(entry: usize, rpo: &[usize], pred: &[Vec<usize>]) -> Vec<usize> {
+    let n = pred.len();
+    let undefined = usize::MAX;
+    let mut rpo_number = vec![undefined; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_number[b] = i;
+    }
+    let mut idom = vec![undefined; n];
+    idom[entry] = entry;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom = undefined;
+            for &p in &pred[b] {
+                if idom[p] == undefined {
+                    continue;
+                }
+                new_idom = if new_idom == undefined {
+                    p
+                } else {
+                    intersect(p, new_idom, &idom, &rpo_number)
+                };
+            }
+            if new_idom != undefined && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(mut a: usize, mut b: usize, idom: &[usize], rpo_number: &[usize]) -> usize {
+    while a != b {
+        while rpo_number[a] > rpo_number[b] {
+            a = idom[a];
+        }
+        while rpo_number[b] > rpo_number[a] {
+            b = idom[b];
+        }
+    }
+    a
+}
+
+fn dominates(h: usize, mut u: usize, idom: &[usize]) -> bool {
+    // Walk the dominator tree upward from u.
+    loop {
+        if u == h {
+            return true;
+        }
+        if idom[u] == usize::MAX || idom[u] == u {
+            return false;
+        }
+        u = idom[u];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpo_of_diamond() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let succ = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let rpo = reverse_postorder(0, &succ);
+        assert_eq!(rpo[0], 0);
+        assert_eq!(*rpo.last().unwrap(), 3);
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let succ = vec![vec![1usize, 2], vec![3], vec![3], vec![]];
+        let mut pred = vec![Vec::new(); 4];
+        for (f, ss) in succ.iter().enumerate() {
+            for &t in ss {
+                pred[t].push(f);
+            }
+        }
+        let rpo = reverse_postorder(0, &succ);
+        let idom = dominators(0, &rpo, &pred);
+        assert_eq!(idom[1], 0);
+        assert_eq!(idom[2], 0);
+        assert_eq!(idom[3], 0, "join is dominated by the fork, not a branch");
+        assert!(dominates(0, 3, &idom));
+        assert!(!dominates(1, 3, &idom));
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        // 0 -> 1 (header), 1 -> 2, 2 -> 1 (back edge), 1 -> 3
+        let succ = vec![vec![1usize], vec![2, 3], vec![1], vec![]];
+        let mut pred = vec![Vec::new(); 4];
+        for (f, ss) in succ.iter().enumerate() {
+            for &t in ss {
+                pred[t].push(f);
+            }
+        }
+        let rpo = reverse_postorder(0, &succ);
+        let idom = dominators(0, &rpo, &pred);
+        assert!(dominates(1, 2, &idom), "header dominates body");
+        assert!(!dominates(2, 1, &idom));
+    }
+}

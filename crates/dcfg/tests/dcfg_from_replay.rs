@@ -1,0 +1,223 @@
+//! End-to-end DCFG construction from constrained pinball replays.
+
+use lp_dcfg::DcfgBuilder;
+use lp_isa::{AluOp, ProgramBuilder, Reg};
+use lp_omp::{OmpRuntime, WaitPolicy, APP_BASE};
+use lp_pinball::{ExecObserver, Pinball, RecordConfig};
+use std::sync::Arc;
+
+fn build_dcfg(program: &Arc<lp_isa::Program>, nthreads: usize) -> lp_dcfg::Dcfg {
+    let pinball = Pinball::record(program, nthreads, RecordConfig::default()).unwrap();
+    let mut builder = DcfgBuilder::new(program.clone(), nthreads);
+    {
+        let obs: &mut dyn ExecObserver = &mut builder;
+        pinball.replay(program.clone(), &mut [obs], u64::MAX).unwrap();
+    }
+    builder.finish()
+}
+
+#[test]
+fn single_threaded_loop_is_found() {
+    let mut pb = ProgramBuilder::new("st-loop");
+    let mut c = pb.main_code();
+    c.li(Reg::R1, 0);
+    let hdr = c.counted_loop("main.loop", Reg::R2, 37, |c| {
+        c.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+    });
+    c.halt();
+    c.finish();
+    let p = Arc::new(pb.finish());
+    let dcfg = build_dcfg(&p, 1);
+
+    assert!(dcfg.is_loop_header(hdr), "counted loop header identified");
+    let l = dcfg
+        .loops()
+        .iter()
+        .find(|l| l.header == hdr)
+        .expect("loop present");
+    assert_eq!(l.iterations, 37, "header executed once per iteration");
+    assert_eq!(l.back_edge_trips, 36, "back edge taken n-1 times");
+    assert_eq!(dcfg.main_image_loop_headers(), vec![hdr]);
+}
+
+#[test]
+fn nested_loops_have_two_headers() {
+    let mut pb = ProgramBuilder::new("nested");
+    let mut c = pb.main_code();
+    c.li(Reg::R1, 0);
+    let outer = c.counted_loop("outer", Reg::R2, 5, |c| {
+        c.counted_loop("inner", Reg::R3, 10, |c| {
+            c.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        });
+    });
+    c.halt();
+    c.finish();
+    let p = Arc::new(pb.finish());
+    let inner = p.symbol("inner").unwrap();
+    let dcfg = build_dcfg(&p, 1);
+
+    assert!(dcfg.is_loop_header(outer));
+    let inner_loop = dcfg
+        .loops()
+        .iter()
+        .find(|l| l.header == inner)
+        .expect("inner loop found");
+    assert_eq!(inner_loop.iterations, 50, "10 iterations x 5 outer trips");
+    let outer_loop = dcfg.loops().iter().find(|l| l.header == outer).unwrap();
+    assert_eq!(outer_loop.iterations, 5);
+    assert!(
+        outer_loop.blocks.len() > inner_loop.blocks.len(),
+        "outer body contains the inner loop"
+    );
+}
+
+#[test]
+fn library_spin_loops_are_excluded_from_main_headers() {
+    let nthreads = 4;
+    let mut pb = ProgramBuilder::new("spin");
+    let mut rt = OmpRuntime::build(&mut pb, nthreads, WaitPolicy::Active);
+    let mut c = pb.main_code();
+    rt.emit_main_init(&mut c);
+    rt.emit_parallel(&mut c, "work", |c, rt| {
+        rt.emit_static_for(c, "work.loop", 64, |c, _| {
+            c.li(Reg::R1, APP_BASE as i64);
+            c.li(Reg::R2, 1);
+            c.atomic_add(Reg::R3, Reg::R1, 0, Reg::R2);
+        });
+        rt.emit_barrier(c);
+    });
+    rt.emit_shutdown(&mut c);
+    c.halt();
+    c.finish();
+    let p = Arc::new(pb.finish());
+    let work_hdr = p.symbol("work.loop").unwrap();
+    let dcfg = build_dcfg(&p, nthreads);
+
+    // The barrier/doorbell spin loops are genuine loops in the library
+    // image — found by the analysis, but never legal region boundaries.
+    let lib_loops: Vec<_> = dcfg
+        .loops()
+        .iter()
+        .filter(|l| p.is_library_pc(l.header))
+        .collect();
+    assert!(
+        !lib_loops.is_empty(),
+        "active-policy spin loops must appear in the DCFG"
+    );
+    let mains = dcfg.main_image_loop_headers();
+    assert!(mains.contains(&work_hdr));
+    assert!(mains.iter().all(|pc| !p.is_library_pc(*pc)));
+}
+
+#[test]
+fn worksharing_iteration_counts_are_schedule_invariant() {
+    // Global header executions equal the total trip count regardless of the
+    // schedule (static vs dynamic) — the invariance (PC, count) relies on.
+    for dynamic in [false, true] {
+        let nthreads = 4;
+        let total = 96u64;
+        let mut pb = ProgramBuilder::new("sched");
+        let mut rt = OmpRuntime::build(&mut pb, nthreads, WaitPolicy::Passive);
+        let mut c = pb.main_code();
+        rt.emit_main_init(&mut c);
+        if dynamic {
+            rt.emit_dyn_reset(&mut c);
+        }
+        rt.emit_parallel(&mut c, "work", |c, rt| {
+            let body = |c: &mut lp_isa::CodeBuilder<'_>, rt: &mut OmpRuntime| {
+                rt.emit_reduce_add_u64(c, Reg::R16, APP_BASE);
+            };
+            if dynamic {
+                rt.emit_dynamic_for(c, "work.loop", total, 5, body);
+            } else {
+                rt.emit_static_for(c, "work.loop", total, body);
+            }
+        });
+        rt.emit_shutdown(&mut c);
+        c.halt();
+        c.finish();
+        let p = Arc::new(pb.finish());
+        let hdr = p.symbol("work.loop").unwrap();
+        let dcfg = build_dcfg(&p, nthreads);
+        let l = dcfg
+            .loops()
+            .iter()
+            .find(|l| l.header == hdr)
+            .unwrap_or_else(|| panic!("worksharing loop found (dynamic={dynamic})"));
+        assert_eq!(
+            l.iterations, total,
+            "global iteration count invariant (dynamic={dynamic})"
+        );
+    }
+}
+
+#[test]
+fn edges_carry_per_thread_counts() {
+    let nthreads = 4;
+    let mut pb = ProgramBuilder::new("per-thread");
+    let mut rt = OmpRuntime::build(&mut pb, nthreads, WaitPolicy::Passive);
+    let mut c = pb.main_code();
+    rt.emit_main_init(&mut c);
+    rt.emit_parallel(&mut c, "work", |c, rt| {
+        rt.emit_static_for(c, "work.loop", 40, |c, _| {
+            c.alui(AluOp::Add, Reg::R1, Reg::R16, 1);
+        });
+    });
+    rt.emit_shutdown(&mut c);
+    c.halt();
+    c.finish();
+    let p = Arc::new(pb.finish());
+    let dcfg = build_dcfg(&p, nthreads);
+    // Find the back edge of the worksharing loop and check per-thread trips.
+    let hdr = p.symbol("work.loop").unwrap();
+    let back = dcfg
+        .edges()
+        .iter()
+        .find(|e| e.to == hdr && e.from > hdr)
+        .expect("back edge recorded");
+    assert_eq!(back.per_thread.len(), nthreads);
+    assert_eq!(back.per_thread.iter().sum::<u64>(), back.total);
+    // Static schedule of 40 over 4 threads: each thread loops 10 times,
+    // taking the back edge 9 times.
+    for (t, &c) in back.per_thread.iter().enumerate() {
+        assert_eq!(c, 9, "thread {t}");
+    }
+}
+
+#[test]
+fn blocks_are_non_overlapping_and_cover_executed_pcs() {
+    let mut pb = ProgramBuilder::new("cover");
+    let mut c = pb.main_code();
+    c.li(Reg::R1, 0);
+    c.counted_loop("l", Reg::R2, 3, |c| {
+        c.alui(AluOp::Add, Reg::R1, Reg::R1, 2);
+    });
+    c.halt();
+    c.finish();
+    let p = Arc::new(pb.finish());
+    let dcfg = build_dcfg(&p, 1);
+
+    // Non-overlap: each block's range is disjoint.
+    let mut ranges: Vec<(u32, u32)> = dcfg
+        .blocks()
+        .iter()
+        .map(|b| (b.leader.offset, b.leader.offset + b.len))
+        .collect();
+    ranges.sort();
+    for w in ranges.windows(2) {
+        assert!(w[0].1 <= w[1].0, "blocks overlap: {:?}", w);
+    }
+    // Every executed pc maps to a block.
+    let pinball = Pinball::record(&p, 1, RecordConfig::default()).unwrap();
+    let mut missing = 0;
+    let mut check = lp_pinball::FnObserver(|r: &lp_isa::Retired| {
+        if dcfg.block_of(r.pc).is_none() {
+            missing += 1;
+        }
+    });
+    {
+        let obs: &mut dyn ExecObserver = &mut check;
+        pinball.replay(p.clone(), &mut [obs], u64::MAX).unwrap();
+    }
+    assert_eq!(missing, 0, "all executed PCs covered by blocks");
+}

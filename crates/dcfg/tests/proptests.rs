@@ -1,0 +1,115 @@
+//! Property-based tests: randomized structured programs must always yield
+//! well-formed DCFGs whose loop census matches the generator's ground
+//! truth.
+
+use lp_dcfg::DcfgBuilder;
+use lp_isa::{AluOp, CodeBuilder, ProgramBuilder, Reg};
+use lp_pinball::{Pinball, RecordConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A generator-side description of a (possibly nested) loop structure.
+#[derive(Debug, Clone)]
+enum Shape {
+    /// `body_len` straight-line ALU instructions.
+    Straight(u8),
+    /// A counted loop with `trips` iterations around inner shapes.
+    Loop { trips: u8, inner: Vec<Shape> },
+}
+
+fn arb_shape(depth: u32) -> impl Strategy<Value = Shape> {
+    let leaf = (1u8..6).prop_map(Shape::Straight);
+    // Trips start at 2: a 1-trip loop never takes its back edge, so a
+    // *dynamic* CFG correctly does not classify it as a loop.
+    leaf.prop_recursive(depth, 8, 3, |inner| {
+        (2u8..6, prop::collection::vec(inner, 1..3))
+            .prop_map(|(trips, inner)| Shape::Loop { trips, inner })
+    })
+}
+
+/// Emits a shape; returns how many loops it contains and the total trip
+/// count of header executions expected (given `outer_execs` executions of
+/// this shape).
+fn emit(
+    c: &mut CodeBuilder<'_>,
+    shape: &Shape,
+    idx: &mut u32,
+    outer_execs: u64,
+    expected: &mut Vec<(lp_isa::Pc, u64)>,
+) {
+    match shape {
+        Shape::Straight(n) => {
+            for _ in 0..*n {
+                c.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+            }
+        }
+        Shape::Loop { trips, inner } => {
+            let reg = Reg::from_index(2 + (*idx % 12) as u8);
+            let name = format!("loop{idx}");
+            *idx += 1;
+            let my_execs = outer_execs * u64::from(*trips);
+            let slot = expected.len();
+            expected.push((lp_isa::Pc::INVALID, my_execs));
+            let header = c.counted_loop(&name, reg, u64::from(*trips), |c| {
+                // Keep at least one instruction so the header block exists.
+                c.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+                for s in inner {
+                    emit(c, s, idx, my_execs, expected);
+                }
+            });
+            expected[slot].0 = header;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated loop is discovered with exactly the iteration count
+    /// the generator prescribed, and blocks never overlap.
+    #[test]
+    fn loop_census_matches_ground_truth(shapes in prop::collection::vec(arb_shape(2), 1..4)) {
+        let mut pb = ProgramBuilder::new("prop-dcfg");
+        let mut c = pb.main_code();
+        c.li(Reg::R1, 0);
+        let mut idx = 0;
+        let mut expected = Vec::new();
+        for s in &shapes {
+            emit(&mut c, s, &mut idx, 1, &mut expected);
+        }
+        c.halt();
+        c.finish();
+        let p = Arc::new(pb.finish());
+
+        let pinball = Pinball::record(&p, 1, RecordConfig::default()).unwrap();
+        let mut b = DcfgBuilder::new(p.clone(), 1);
+        pinball.replay(p.clone(), &mut [&mut b], u64::MAX).unwrap();
+        let dcfg = b.finish();
+
+        for &(header, execs) in &expected {
+            prop_assert!(dcfg.is_loop_header(header), "loop at {header} found");
+            let info = dcfg
+                .loops()
+                .iter()
+                .find(|l| l.header == header)
+                .expect("loop info");
+            prop_assert_eq!(info.iterations, execs, "trip count at {}", header);
+        }
+        // No spurious main-image loops beyond the generated ones.
+        prop_assert_eq!(dcfg.main_image_loop_headers().len(), expected.len());
+
+        // Blocks are disjoint.
+        let mut ranges: Vec<(u64, u64)> = dcfg
+            .blocks()
+            .iter()
+            .map(|b| {
+                let base = b.leader.to_word();
+                (base, base + u64::from(b.len))
+            })
+            .collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "blocks overlap: {:?}", w);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Program-counter and memory-address newtypes plus the address-space layout.
+
+use std::fmt;
+
+/// Identifier of a code image (the main executable or a library).
+///
+/// Mirrors the role of a loaded module in a real process: the LoopPoint
+/// spin-filtering heuristic keys off whether a PC belongs to the main image
+/// or to a synchronization library image (`libiomp5.so` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ImageId(pub u16);
+
+impl fmt::Display for ImageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "img{}", self.0)
+    }
+}
+
+/// A program counter: an instruction slot within an image.
+///
+/// `offset` is an instruction index, not a byte offset; the abstract ISA has
+/// fixed-slot instructions. `Pc` is `Copy`, ordered, and hashable so it can
+/// key DCFG nodes, BBV dimensions, and `(PC, count)` region markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc {
+    /// Image this PC belongs to.
+    pub image: ImageId,
+    /// Instruction index within the image.
+    pub offset: u32,
+}
+
+impl Pc {
+    /// A sentinel PC that never names a real instruction.
+    pub const INVALID: Pc = Pc {
+        image: ImageId(u16::MAX),
+        offset: u32::MAX,
+    };
+
+    /// Creates a PC from an image id and instruction index.
+    pub fn new(image: ImageId, offset: u32) -> Self {
+        Pc { image, offset }
+    }
+
+    /// The PC of the next sequential instruction slot.
+    #[must_use]
+    pub fn next(self) -> Self {
+        Pc {
+            image: self.image,
+            offset: self.offset + 1,
+        }
+    }
+
+    /// Whether this PC is the [`Pc::INVALID`] sentinel.
+    pub fn is_invalid(self) -> bool {
+        self == Pc::INVALID
+    }
+
+    /// Encodes this PC as a 64-bit word (a "function pointer" value usable
+    /// by [`crate::Inst::CallInd`]).
+    pub fn to_word(self) -> u64 {
+        (u64::from(self.image.0) << 32) | u64::from(self.offset)
+    }
+
+    /// Decodes a PC from its [`Pc::to_word`] encoding.
+    pub fn from_word(word: u64) -> Self {
+        Pc {
+            image: ImageId((word >> 32) as u16),
+            offset: word as u32,
+        }
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:#x}", self.image, self.offset)
+    }
+}
+
+
+/// A `(PC, count)` execution point: the `count`-th global execution of the
+/// instruction at `pc`.
+///
+/// LoopPoint region boundaries are markers at main-image loop entries
+/// (§III-C of the paper); counts are global (all-thread) execution counts,
+/// which makes markers valid even in the presence of spin-loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Marker {
+    /// Marker instruction address.
+    pub pc: Pc,
+    /// Global execution count of `pc` at the boundary (1-based).
+    pub count: u64,
+}
+
+impl Marker {
+    /// Creates a marker.
+    pub fn new(pc: Pc, count: u64) -> Self {
+        Marker { pc, count }
+    }
+}
+
+impl fmt::Display for Marker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.pc, self.count)
+    }
+}
+
+/// A byte address in the flat simulated address space.
+///
+/// All memory accesses are 8-byte words; the machine aligns addresses down to
+/// a word boundary. Arithmetic helpers keep workload generators readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Word size in bytes for every memory access.
+    pub const WORD: u64 = 8;
+
+    /// The address of the `i`-th word after `self`.
+    #[must_use]
+    pub fn word(self, i: u64) -> Addr {
+        Addr(self.0 + i * Self::WORD)
+    }
+
+    /// Aligns the address down to a word boundary.
+    #[must_use]
+    pub fn align_word(self) -> Addr {
+        Addr(self.0 & !(Self::WORD - 1))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// The address-space layout: a shared low range and per-thread private
+/// stripes in the high range.
+///
+/// The pinball recorder only logs accesses to the *shared* range (PinPlay
+/// likewise records only shared-memory dependencies), and the coherence model
+/// in `lp-uarch` can skip invalidation traffic for private stripes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLayout {
+    /// First address of the private region.
+    pub private_base: u64,
+    /// Size in bytes of each per-thread private stripe.
+    pub private_stride: u64,
+}
+
+impl Default for MemLayout {
+    fn default() -> Self {
+        MemLayout {
+            private_base: 1 << 40,
+            private_stride: 1 << 32,
+        }
+    }
+}
+
+impl MemLayout {
+    /// Returns the owning thread if `addr` falls in a private stripe.
+    pub fn private_owner(&self, addr: Addr) -> Option<usize> {
+        if addr.0 >= self.private_base {
+            Some(((addr.0 - self.private_base) / self.private_stride) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Whether `addr` lies in the shared region.
+    pub fn is_shared(&self, addr: Addr) -> bool {
+        addr.0 < self.private_base
+    }
+
+    /// Base address of thread `tid`'s private stripe.
+    pub fn private_for(&self, tid: usize) -> Addr {
+        Addr(self.private_base + tid as u64 * self.private_stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_ordering_and_next() {
+        let a = Pc::new(ImageId(0), 5);
+        let b = a.next();
+        assert!(a < b);
+        assert_eq!(b.offset, 6);
+        assert_eq!(b.image, ImageId(0));
+        assert!(Pc::INVALID.is_invalid());
+        assert!(!a.is_invalid());
+    }
+
+    #[test]
+    fn addr_word_arithmetic() {
+        let a = Addr(0x1000);
+        assert_eq!(a.word(3), Addr(0x1018));
+        assert_eq!(Addr(0x1007).align_word(), Addr(0x1000));
+        assert_eq!(Addr(0x1008).align_word(), Addr(0x1008));
+    }
+
+    #[test]
+    fn layout_classifies_shared_and_private() {
+        let l = MemLayout::default();
+        assert!(l.is_shared(Addr(0)));
+        assert!(l.is_shared(Addr((1 << 40) - 8)));
+        assert_eq!(l.private_owner(Addr(1 << 40)), Some(0));
+        assert_eq!(l.private_owner(l.private_for(3)), Some(3));
+        assert_eq!(l.private_owner(Addr(42)), None);
+        assert!(!l.is_shared(l.private_for(0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Pc::new(ImageId(2), 16).to_string(), "img2:0x10");
+        assert_eq!(Addr(255).to_string(), "0xff");
+    }
+}

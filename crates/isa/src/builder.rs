@@ -1,0 +1,578 @@
+//! Program construction DSL.
+//!
+//! [`ProgramBuilder`] owns images under construction and a global label
+//! table; [`CodeBuilder`] appends instructions to one image at a time.
+//! Labels are program-global, so runtime code emitted into a library image
+//! can be called from the main image and vice versa.
+//!
+//! ## Register conventions
+//!
+//! The builder reserves [`Reg::R31`] as an always-zero register: every entry
+//! point it creates begins with `li r31, 0`, and generated control flow
+//! (e.g. [`CodeBuilder::counted_loop`]) compares against it. Runtime code in
+//! `lp-omp` additionally reserves `r24`–`r30`; application code should use
+//! `r1`–`r23`.
+
+use crate::addr::{Addr, ImageId, MemLayout, Pc};
+use crate::image::{Image, ImageKind};
+use crate::inst::{AluOp, Cond, FpuOp, Inst, Reg};
+use crate::program::Program;
+use std::collections::HashMap;
+
+/// A forward-declarable code label.
+///
+/// Created with [`ProgramBuilder::new_label`] or [`CodeBuilder::new_label`],
+/// bound with [`CodeBuilder::bind`], and usable as a branch/jump/call target
+/// before or after binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+#[derive(Debug)]
+struct ImageBuild {
+    name: String,
+    kind: ImageKind,
+    insts: Vec<Inst>,
+}
+
+/// Builds a [`Program`]: images, labels, entry points, and initial data.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    images: Vec<ImageBuild>,
+    main_image: Option<ImageId>,
+    bound: Vec<Option<Pc>>,
+    fixups: Vec<(Pc, Label)>,
+    entry_main: Option<Label>,
+    entry_worker: Option<Label>,
+    init_data: Vec<(Addr, u64)>,
+    symbols: HashMap<String, Label>,
+    layout: MemLayout,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            images: Vec::new(),
+            main_image: None,
+            bound: Vec::new(),
+            fixups: Vec::new(),
+            entry_main: None,
+            entry_worker: None,
+            init_data: Vec::new(),
+            symbols: HashMap::new(),
+            layout: MemLayout::default(),
+        }
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.bound.len() as u32);
+        self.bound.push(None);
+        l
+    }
+
+    fn image_code(&mut self, id: ImageId, prologue_zero: bool) -> CodeBuilder<'_> {
+        let mut cb = CodeBuilder { pb: self, image: id };
+        if prologue_zero {
+            cb.li(Reg::R31, 0);
+        }
+        cb
+    }
+
+    /// Returns a code builder appending to the main image, creating the
+    /// image on first use. The main entry defaults to the first instruction
+    /// emitted here (a `li r31, 0` prologue the builder inserts).
+    pub fn main_code(&mut self) -> CodeBuilder<'_> {
+        let (id, fresh) = match self.main_image {
+            Some(id) => (id, false),
+            None => {
+                let id = ImageId(self.images.len() as u16);
+                self.images.push(ImageBuild {
+                    name: "app".to_string(),
+                    kind: ImageKind::Main,
+                    insts: Vec::new(),
+                });
+                self.main_image = Some(id);
+                (id, true)
+            }
+        };
+        if fresh {
+            let entry = self.new_label();
+            let mut cb = CodeBuilder { pb: self, image: id };
+            cb.bind(entry);
+            cb.pb.entry_main = Some(entry);
+            cb.li(Reg::R31, 0);
+            cb
+        } else {
+            self.image_code(id, false)
+        }
+    }
+
+    /// Creates a library image and returns a code builder for it.
+    ///
+    /// Code in library images is spin-filtered by the LoopPoint profiler and
+    /// its loop entries never become region boundaries.
+    pub fn library_code(&mut self, name: impl Into<String>) -> CodeBuilder<'_> {
+        let id = ImageId(self.images.len() as u16);
+        self.images.push(ImageBuild {
+            name: name.into(),
+            kind: ImageKind::Library,
+            insts: Vec::new(),
+        });
+        self.image_code(id, false)
+    }
+
+    /// Declares `label` as the worker-pool entry point.
+    ///
+    /// Worker threads of a [`crate::Machine`] begin execution here; the
+    /// label must be bound by the time [`ProgramBuilder::finish`] is called.
+    pub fn set_worker_entry(&mut self, label: Label) {
+        self.entry_worker = Some(label);
+    }
+
+    /// Overrides the main-thread entry point.
+    pub fn set_main_entry(&mut self, label: Label) {
+        self.entry_main = Some(label);
+    }
+
+    /// Pre-initializes consecutive shared-memory words starting at `addr`.
+    pub fn data(&mut self, addr: Addr, words: &[u64]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.init_data.push((addr.word(i as u64), w));
+        }
+    }
+
+    /// Pre-initializes consecutive shared-memory words with `f64` values.
+    pub fn data_f64(&mut self, addr: Addr, values: &[f64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.init_data.push((addr.word(i as u64), v.to_bits()));
+        }
+    }
+
+    /// Overrides the default address-space layout.
+    pub fn set_layout(&mut self, layout: MemLayout) {
+        self.layout = layout;
+    }
+
+    fn resolve(&self, label: Label) -> Pc {
+        self.bound[label.0 as usize]
+            .unwrap_or_else(|| panic!("label {:?} used but never bound", label))
+    }
+
+    /// Finalizes the program, patching all label references.
+    ///
+    /// # Panics
+    /// Panics if any referenced label was never bound, or if no main image
+    /// was created.
+    pub fn finish(mut self) -> Program {
+        let fixups = std::mem::take(&mut self.fixups);
+        for (slot, label) in fixups {
+            let target = self.resolve(label);
+            let inst = &mut self.images[slot.image.0 as usize].insts[slot.offset as usize];
+            match inst {
+                Inst::Branch { target: t, .. }
+                | Inst::Jump { target: t }
+                | Inst::Call { target: t } => *t = target,
+                Inst::Li { imm, .. } => *imm = target.to_word() as i64,
+                other => panic!("fixup on unsupported instruction {other:?}"),
+            }
+        }
+        let entry_main = self
+            .entry_main
+            .map(|l| self.resolve(l))
+            .expect("program has no main image / entry point");
+        let entry_worker = self.entry_worker.map(|l| self.resolve(l));
+        let symbols = self
+            .symbols
+            .iter()
+            .map(|(name, &l)| (name.clone(), self.resolve(l)))
+            .collect();
+        let images = self
+            .images
+            .into_iter()
+            .enumerate()
+            .map(|(i, ib)| Image::new(ImageId(i as u16), ib.name, ib.kind, ib.insts))
+            .collect();
+        Program::from_parts(
+            self.name,
+            images,
+            entry_main,
+            entry_worker,
+            self.layout,
+            self.init_data,
+            symbols,
+        )
+    }
+}
+
+/// Appends instructions to one image of a [`ProgramBuilder`].
+#[derive(Debug)]
+pub struct CodeBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    image: ImageId,
+}
+
+impl<'a> CodeBuilder<'a> {
+    /// The PC of the next instruction slot.
+    pub fn here(&self) -> Pc {
+        Pc::new(
+            self.image,
+            self.pb.images[self.image.0 as usize].insts.len() as u32,
+        )
+    }
+
+    /// Creates a fresh, unbound label (shared with the program builder).
+    pub fn new_label(&mut self) -> Label {
+        self.pb.new_label()
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let here = self.here();
+        let slot = &mut self.pb.bound[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(here);
+    }
+
+    /// Creates a label, binds it here, and exports it as a named symbol.
+    pub fn export_label(&mut self, name: impl Into<String>) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        self.pb.symbols.insert(name.into(), l);
+        l
+    }
+
+    /// Emits a raw instruction, returning its PC.
+    pub fn emit(&mut self, inst: Inst) -> Pc {
+        let pc = self.here();
+        self.pb.images[self.image.0 as usize].insts.push(inst);
+        pc
+    }
+
+    fn emit_fixup(&mut self, inst: Inst, label: Label) -> Pc {
+        let pc = self.emit(inst);
+        self.pb.fixups.push((pc, label));
+        pc
+    }
+
+    /// Finishes this code section (consumes the builder, releasing the
+    /// borrow on the program builder).
+    pub fn finish(self) {}
+
+    // ---- plain instructions -------------------------------------------------
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> Pc {
+        self.emit(Inst::Nop)
+    }
+
+    /// Emits a spin-hint `pause`.
+    pub fn pause(&mut self) -> Pc {
+        self.emit(Inst::Pause)
+    }
+
+    /// Emits `halt`, terminating the executing thread.
+    pub fn halt(&mut self) -> Pc {
+        self.emit(Inst::Halt)
+    }
+
+    /// Emits `rd = imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> Pc {
+        self.emit(Inst::Li { rd, imm })
+    }
+
+    /// Emits `rd = imm` with an `f64` immediate (stored as bits).
+    pub fn lf(&mut self, rd: Reg, v: f64) -> Pc {
+        self.emit(Inst::Li {
+            rd,
+            imm: v.to_bits() as i64,
+        })
+    }
+
+    /// Emits `rd = ra op rb`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, ra: Reg, rb: Reg) -> Pc {
+        self.emit(Inst::Alu { op, rd, ra, rb })
+    }
+
+    /// Emits `rd = ra + rb`.
+    pub fn alu_add(&mut self, rd: Reg, ra: Reg, rb: Reg) -> Pc {
+        self.alu(AluOp::Add, rd, ra, rb)
+    }
+
+    /// Emits `rd = ra op imm`.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, ra: Reg, imm: i64) -> Pc {
+        self.emit(Inst::AluI { op, rd, ra, imm })
+    }
+
+    /// Emits `rd = ra + imm`.
+    pub fn alui_add(&mut self, rd: Reg, ra: Reg, imm: i64) -> Pc {
+        self.alui(AluOp::Add, rd, ra, imm)
+    }
+
+    /// Emits `rd = ra fpop rb`.
+    pub fn fpu(&mut self, op: FpuOp, rd: Reg, ra: Reg, rb: Reg) -> Pc {
+        self.emit(Inst::Fpu { op, rd, ra, rb })
+    }
+
+    /// Emits `rd = mem[base + off]`.
+    pub fn load(&mut self, rd: Reg, base: Reg, off: i64) -> Pc {
+        self.emit(Inst::Load { rd, base, off })
+    }
+
+    /// Emits `mem[base + off] = rs`.
+    pub fn store(&mut self, rs: Reg, base: Reg, off: i64) -> Pc {
+        self.emit(Inst::Store { rs, base, off })
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: Cond, ra: Reg, rb: Reg, label: Label) -> Pc {
+        self.emit_fixup(
+            Inst::Branch {
+                cond,
+                ra,
+                rb,
+                target: Pc::INVALID,
+            },
+            label,
+        )
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> Pc {
+        self.emit_fixup(Inst::Jump { target: Pc::INVALID }, label)
+    }
+
+    /// Emits a call to `label` (may be in another image).
+    pub fn call(&mut self, label: Label) -> Pc {
+        self.emit_fixup(Inst::Call { target: Pc::INVALID }, label)
+    }
+
+    /// Emits an indirect call through `ra` (holding a [`Pc::to_word`] value).
+    pub fn call_ind(&mut self, ra: Reg) -> Pc {
+        self.emit(Inst::CallInd { ra })
+    }
+
+    /// Emits `rd = address-of(label)` as a [`Pc::to_word`] encoding.
+    ///
+    /// The immediate is patched when the program is finished, so the label
+    /// may still be unbound here.
+    pub fn li_label(&mut self, rd: Reg, label: Label) -> Pc {
+        self.emit_fixup(Inst::Li { rd, imm: 0 }, label)
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) -> Pc {
+        self.emit(Inst::Ret)
+    }
+
+    /// Emits `rd = tid`.
+    pub fn tid(&mut self, rd: Reg) -> Pc {
+        self.emit(Inst::Tid { rd })
+    }
+
+    /// Emits an atomic fetch-add.
+    pub fn atomic_add(&mut self, rd: Reg, base: Reg, off: i64, rs: Reg) -> Pc {
+        self.emit(Inst::AtomicAdd { rd, base, off, rs })
+    }
+
+    /// Emits an atomic exchange.
+    pub fn atomic_xchg(&mut self, rd: Reg, base: Reg, off: i64, rs: Reg) -> Pc {
+        self.emit(Inst::AtomicXchg { rd, base, off, rs })
+    }
+
+    /// Emits an atomic compare-and-swap.
+    pub fn atomic_cas(&mut self, rd: Reg, base: Reg, off: i64, expected: Reg, new: Reg) -> Pc {
+        self.emit(Inst::AtomicCas {
+            rd,
+            base,
+            off,
+            expected,
+            new,
+        })
+    }
+
+    /// Emits a memory fence.
+    pub fn fence(&mut self) -> Pc {
+        self.emit(Inst::Fence)
+    }
+
+    /// Emits a futex wait on `mem[base+off] == expected`.
+    pub fn futex_wait(&mut self, base: Reg, off: i64, expected: Reg) -> Pc {
+        self.emit(Inst::FutexWait { base, off, expected })
+    }
+
+    /// Emits a futex wake of up to `count` waiters on `mem[base+off]`.
+    pub fn futex_wake(&mut self, base: Reg, off: i64, count: u32) -> Pc {
+        self.emit(Inst::FutexWake { base, off, count })
+    }
+
+    // ---- structured control flow --------------------------------------------
+
+    /// Emits a counted loop running `body` exactly `n` times.
+    ///
+    /// `counter` is clobbered (counts down from `n` to zero). The loop header
+    /// — the first instruction of the body — is exported as symbol `name`
+    /// and returned; it is the PC a LoopPoint region marker would use.
+    pub fn counted_loop(
+        &mut self,
+        name: &str,
+        counter: Reg,
+        n: u64,
+        body: impl FnOnce(&mut CodeBuilder<'_>),
+    ) -> Pc {
+        self.li(counter, n as i64);
+        let exit = self.new_label();
+        // Skip entirely when n == 0.
+        self.branch(Cond::Eq, counter, Reg::R31, exit);
+        let header_label = self.new_label();
+        self.bind(header_label);
+        let header = self.here();
+        if !name.is_empty() {
+            let l = self.export_label(format!("{name}"));
+            debug_assert_eq!(self.pb.resolve(l), header);
+        }
+        body(self);
+        self.alui(AluOp::Sub, counter, counter, 1);
+        self.branch(Cond::Ne, counter, Reg::R31, header_label);
+        self.bind(exit);
+        header
+    }
+
+    /// Emits a loop whose trip count is taken from `counter` at run time
+    /// (counts `counter` down to zero; body runs `counter` times).
+    pub fn counted_loop_reg(
+        &mut self,
+        name: &str,
+        counter: Reg,
+        body: impl FnOnce(&mut CodeBuilder<'_>),
+    ) -> Pc {
+        let exit = self.new_label();
+        self.branch(Cond::Eq, counter, Reg::R31, exit);
+        let header_label = self.new_label();
+        self.bind(header_label);
+        let header = self.here();
+        if !name.is_empty() {
+            self.export_label(name.to_string());
+        }
+        body(self);
+        self.alui(AluOp::Sub, counter, counter, 1);
+        self.branch(Cond::Ne, counter, Reg::R31, header_label);
+        self.bind(exit);
+        header
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_patch_forward_and_backward() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut c = pb.main_code();
+        let fwd = c.new_label();
+        c.jump(fwd);
+        let back_pc = c.here();
+        let back = c.new_label();
+        c.bind(back);
+        c.nop();
+        c.bind(fwd);
+        c.branch(Cond::Eq, Reg::R31, Reg::R31, back);
+        c.halt();
+        c.finish();
+        let p = pb.finish();
+        // jump at offset 1 (after prologue li) targets the branch slot.
+        let jump = p.inst(Pc::new(ImageId(0), 1)).unwrap();
+        match jump {
+            Inst::Jump { target } => assert_eq!(target.offset, 3),
+            other => panic!("expected jump, got {other:?}"),
+        }
+        let br = p.inst(Pc::new(ImageId(0), 3)).unwrap();
+        match br {
+            Inst::Branch { target, .. } => assert_eq!(*target, back_pc),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut c = pb.main_code();
+        let l = c.new_label();
+        c.jump(l);
+        c.finish();
+        let _ = pb.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut c = pb.main_code();
+        let l = c.new_label();
+        c.bind(l);
+        c.bind(l);
+    }
+
+    #[test]
+    fn library_images_are_marked() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut lib = pb.library_code("libomp");
+        let entry = lib.export_label("worker");
+        lib.halt();
+        lib.finish();
+        pb.set_worker_entry(entry);
+        let mut c = pb.main_code();
+        c.halt();
+        c.finish();
+        let p = pb.finish();
+        let w = p.entry_worker().unwrap();
+        assert!(p.is_library_pc(w));
+        assert!(!p.is_library_pc(p.entry_main()));
+        assert_eq!(p.images().len(), 2);
+    }
+
+    #[test]
+    fn data_words_are_laid_out_consecutively() {
+        let mut pb = ProgramBuilder::new("t");
+        pb.data(Addr(0x100), &[1, 2, 3]);
+        pb.data_f64(Addr(0x200), &[1.5]);
+        let mut c = pb.main_code();
+        c.halt();
+        c.finish();
+        let p = pb.finish();
+        assert_eq!(p.init_data()[0], (Addr(0x100), 1));
+        assert_eq!(p.init_data()[1], (Addr(0x108), 2));
+        assert_eq!(p.init_data()[2], (Addr(0x110), 3));
+        assert_eq!(p.init_data()[3], (Addr(0x200), 1.5f64.to_bits()));
+    }
+
+    #[test]
+    fn counted_loop_shape() {
+        let mut pb = ProgramBuilder::new("t");
+        let mut c = pb.main_code();
+        let header = c.counted_loop("body", Reg::R1, 3, |c| {
+            c.nop();
+        });
+        c.halt();
+        c.finish();
+        let p = pb.finish();
+        assert_eq!(p.symbol("body"), Some(header));
+        // The back edge targets the header.
+        let mut back_edges = 0;
+        for (pc, inst) in p.images()[0].iter() {
+            if let Inst::Branch { target, .. } = inst {
+                if *target == header && pc > header {
+                    back_edges += 1;
+                }
+            }
+        }
+        assert_eq!(back_edges, 1);
+    }
+}

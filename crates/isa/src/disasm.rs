@@ -1,0 +1,201 @@
+//! Human-readable instruction and program listings.
+
+use crate::addr::Pc;
+use crate::image::Image;
+use crate::inst::{AluOp, Cond, FpuOp, Inst};
+use crate::program::Program;
+use std::fmt;
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for FpuOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FpuOp::FAdd => "fadd",
+            FpuOp::FSub => "fsub",
+            FpuOp::FMul => "fmul",
+            FpuOp::FDiv => "fdiv",
+            FpuOp::FSqrt => "fsqrt",
+            FpuOp::FCmpLt => "fcmplt",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+        };
+        f.write_str(s)
+    }
+}
+
+fn off(v: i64) -> String {
+    if v < 0 {
+        format!("-{:#x}", v.unsigned_abs())
+    } else {
+        format!("+{v:#x}")
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Nop => write!(f, "nop"),
+            Inst::Pause => write!(f, "pause"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Li { rd, imm } => write!(f, "li      {rd}, {imm:#x}"),
+            Inst::Alu { op, rd, ra, rb } => write!(f, "{op:<7} {rd}, {ra}, {rb}"),
+            Inst::AluI { op, rd, ra, imm } => write!(f, "{op}i{:<width$} {rd}, {ra}, {imm:#x}", "", width = 6usize.saturating_sub(op.to_string().len() + 1)),
+            Inst::Fpu { op, rd, ra, rb } => write!(f, "{op:<7} {rd}, {ra}, {rb}"),
+            Inst::Load { rd, base, off: o } => write!(f, "ld      {rd}, [{base}{}]", off(o)),
+            Inst::Store { rs, base, off: o } => write!(f, "st      {rs}, [{base}{}]", off(o)),
+            Inst::Branch { cond, ra, rb, target } => {
+                write!(f, "b{cond:<6} {ra}, {rb}, {target}")
+            }
+            Inst::Jump { target } => write!(f, "j       {target}"),
+            Inst::Call { target } => write!(f, "call    {target}"),
+            Inst::CallInd { ra } => write!(f, "callr   {ra}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Tid { rd } => write!(f, "tid     {rd}"),
+            Inst::AtomicAdd { rd, base, off: o, rs } => {
+                write!(f, "amoadd  {rd}, [{base}{}], {rs}", off(o))
+            }
+            Inst::AtomicXchg { rd, base, off: o, rs } => {
+                write!(f, "amoswap {rd}, [{base}{}], {rs}", off(o))
+            }
+            Inst::AtomicCas { rd, base, off: o, expected, new } => {
+                write!(f, "amocas  {rd}, [{base}{}], {expected}, {new}", off(o))
+            }
+            Inst::Fence => write!(f, "fence"),
+            Inst::FutexWait { base, off: o, expected } => {
+                write!(f, "fuwait  [{base}{}], {expected}", off(o))
+            }
+            Inst::FutexWake { base, off: o, count } => {
+                write!(f, "fuwake  [{base}{}], {count}", off(o))
+            }
+        }
+    }
+}
+
+impl Program {
+    /// Produces an assembly-style listing of one image, annotated with
+    /// symbol labels — a debugging aid (think `objdump -d`).
+    pub fn disassemble(&self, image: &Image) -> String {
+        let mut out = String::new();
+        use fmt::Write;
+        let _ = writeln!(out, "; image {} ({:?})", image.name(), image.kind());
+        for (pc, inst) in image.iter() {
+            let sym = self.symbolize(pc);
+            if !sym.contains('+') && !sym.contains(':') {
+                let _ = writeln!(out, "{sym}:");
+            }
+            let _ = writeln!(out, "  {pc}  {inst}");
+        }
+        out
+    }
+
+    /// Disassembles every image.
+    pub fn disassemble_all(&self) -> String {
+        self.images()
+            .iter()
+            .map(|img| self.disassemble(img))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Formats a marker position as `symbol+delta (count N)` for reports.
+pub fn describe_marker(program: &Program, marker: crate::addr::Marker) -> String {
+    format!("{} (count {})", program.symbolize(marker.pc), marker.count)
+}
+
+/// Formats a PC with its symbol, for diagnostics.
+pub fn describe_pc(program: &Program, pc: Pc) -> String {
+    format!("{pc} [{}]", program.symbolize(pc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Marker, ProgramBuilder, Reg};
+
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new("dis");
+        let mut c = pb.main_code();
+        c.export_label("main");
+        c.li(Reg::R1, 16);
+        c.counted_loop("main.loop", Reg::R2, 3, |c| {
+            c.load(Reg::R3, Reg::R1, 8);
+            c.alui(crate::AluOp::Add, Reg::R3, Reg::R3, 1);
+            c.store(Reg::R3, Reg::R1, 8);
+        });
+        c.halt();
+        c.finish();
+        pb.finish()
+    }
+
+    #[test]
+    fn instruction_mnemonics() {
+        assert_eq!(Inst::Nop.to_string(), "nop");
+        assert_eq!(Inst::Ret.to_string(), "ret");
+        let li = Inst::Li { rd: Reg::R3, imm: 255 };
+        assert_eq!(li.to_string(), "li      r3, 0xff");
+        let ld = Inst::Load { rd: Reg::R1, base: Reg::R2, off: 8 };
+        assert_eq!(ld.to_string(), "ld      r1, [r2+0x8]");
+        let st = Inst::Store { rs: Reg::R1, base: Reg::R2, off: -8 };
+        assert_eq!(st.to_string(), "st      r1, [r2-0x8]");
+        let b = Inst::Branch {
+            cond: Cond::Ne,
+            ra: Reg::R1,
+            rb: Reg::R31,
+            target: Pc::new(crate::ImageId(0), 4),
+        };
+        assert!(b.to_string().starts_with("bne"));
+        assert!(b.to_string().contains("img0:0x4"));
+    }
+
+    #[test]
+    fn listing_contains_symbols_and_all_slots() {
+        let p = program();
+        let listing = p.disassemble_all();
+        assert!(listing.contains("main:"), "{listing}");
+        assert!(listing.contains("main.loop:"), "{listing}");
+        assert!(listing.contains("ld      r3"), "{listing}");
+        assert!(listing.contains("halt"));
+        // One line per instruction plus labels/headers.
+        let inst_lines = listing.lines().filter(|l| l.starts_with("  img")).count();
+        assert_eq!(inst_lines, p.code_size());
+    }
+
+    #[test]
+    fn describe_helpers() {
+        let p = program();
+        let hdr = p.symbol("main.loop").unwrap();
+        let d = describe_marker(&p, Marker::new(hdr, 7));
+        assert_eq!(d, "main.loop (count 7)");
+        assert!(describe_pc(&p, hdr).contains("main.loop"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for functional execution.
+
+use crate::addr::Pc;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by [`crate::Machine`] execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A thread fetched from a PC that names no instruction.
+    InvalidPc {
+        /// The faulting thread.
+        tid: usize,
+        /// The invalid PC.
+        pc: Pc,
+    },
+    /// `Ret` executed with an empty call stack.
+    CallStackUnderflow {
+        /// The faulting thread.
+        tid: usize,
+        /// PC of the offending `Ret`.
+        pc: Pc,
+    },
+    /// The per-thread call stack exceeded its depth limit.
+    CallStackOverflow {
+        /// The faulting thread.
+        tid: usize,
+        /// PC of the offending `Call`.
+        pc: Pc,
+    },
+    /// A thread id outside the machine's thread pool was referenced.
+    BadThread {
+        /// The out-of-range thread id.
+        tid: usize,
+        /// Number of threads in the pool.
+        nthreads: usize,
+    },
+    /// Live threads exist but all are blocked (futex deadlock).
+    Deadlock,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::InvalidPc { tid, pc } => {
+                write!(f, "thread {tid} fetched invalid pc {pc}")
+            }
+            MachineError::CallStackUnderflow { tid, pc } => {
+                write!(f, "thread {tid} returned with empty call stack at {pc}")
+            }
+            MachineError::CallStackOverflow { tid, pc } => {
+                write!(f, "thread {tid} overflowed call stack at {pc}")
+            }
+            MachineError::BadThread { tid, nthreads } => {
+                write!(f, "thread id {tid} out of range (pool of {nthreads})")
+            }
+            MachineError::Deadlock => write!(f, "all live threads are blocked"),
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{ImageId, Pc};
+
+    #[test]
+    fn display_messages() {
+        let e = MachineError::InvalidPc {
+            tid: 2,
+            pc: Pc::new(ImageId(0), 7),
+        };
+        assert_eq!(e.to_string(), "thread 2 fetched invalid pc img0:0x7");
+        let e = MachineError::BadThread { tid: 9, nthreads: 8 };
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MachineError>();
+    }
+}

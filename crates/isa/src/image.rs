@@ -1,0 +1,103 @@
+//! Code images: the unit of code layout and of the spin-filtering heuristic.
+
+use crate::addr::{ImageId, Pc};
+use crate::inst::Inst;
+
+/// Whether an image is the application's main executable or a library.
+///
+/// LoopPoint's synchronization filter (§IV-F of the paper) treats *all* code
+/// in synchronization-library images as potential busy-waiting: such
+/// instructions are executed but excluded from BBVs and filtered instruction
+/// counts, and loop entries inside libraries are never region boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImageKind {
+    /// The main application binary; its loop entries may bound regions.
+    Main,
+    /// A library image (e.g. the OpenMP runtime); fully filtered.
+    Library,
+}
+
+/// A loaded code image: a named, contiguous array of instructions.
+#[derive(Debug, Clone)]
+pub struct Image {
+    id: ImageId,
+    name: String,
+    kind: ImageKind,
+    insts: Vec<Inst>,
+}
+
+impl Image {
+    /// Creates an image; normally done through [`crate::ProgramBuilder`].
+    pub fn new(id: ImageId, name: impl Into<String>, kind: ImageKind, insts: Vec<Inst>) -> Self {
+        Image {
+            id,
+            name: name.into(),
+            kind,
+            insts,
+        }
+    }
+
+    /// The image's identifier.
+    pub fn id(&self) -> ImageId {
+        self.id
+    }
+
+    /// Human-readable image name (e.g. `"app"` or `"libomp"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this is the main image or a library.
+    pub fn kind(&self) -> ImageKind {
+        self.kind
+    }
+
+    /// Number of instruction slots in the image.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the image contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `offset`, if in bounds.
+    pub fn inst(&self, offset: u32) -> Option<&Inst> {
+        self.insts.get(offset as usize)
+    }
+
+    /// All instructions with their PCs.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, &Inst)> {
+        let id = self.id;
+        self.insts
+            .iter()
+            .enumerate()
+            .map(move |(i, inst)| (Pc::new(id, i as u32), inst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_accessors() {
+        let img = Image::new(
+            ImageId(1),
+            "app",
+            ImageKind::Main,
+            vec![Inst::Nop, Inst::Halt],
+        );
+        assert_eq!(img.id(), ImageId(1));
+        assert_eq!(img.name(), "app");
+        assert_eq!(img.kind(), ImageKind::Main);
+        assert_eq!(img.len(), 2);
+        assert!(!img.is_empty());
+        assert_eq!(img.inst(0), Some(&Inst::Nop));
+        assert_eq!(img.inst(1), Some(&Inst::Halt));
+        assert_eq!(img.inst(2), None);
+        let pcs: Vec<Pc> = img.iter().map(|(pc, _)| pc).collect();
+        assert_eq!(pcs, vec![Pc::new(ImageId(1), 0), Pc::new(ImageId(1), 1)]);
+    }
+}

@@ -1,0 +1,635 @@
+//! The abstract instruction set.
+//!
+//! Instructions are compact, `Copy`, and carry concrete register operands so
+//! timing models can extract dependence information without decoding state.
+
+use crate::addr::Pc;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An architectural integer register.
+///
+/// The machine has 32 general-purpose 64-bit registers. Floating-point
+/// operations reinterpret register bits as `f64` (one register file keeps the
+/// ISA small without losing the latency distinction, which lives in
+/// [`InstClass`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0 = 0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    R16,
+    R17,
+    R18,
+    R19,
+    R20,
+    R21,
+    R22,
+    R23,
+    R24,
+    R25,
+    R26,
+    R27,
+    R28,
+    R29,
+    R30,
+    R31,
+}
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// All registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Self::COUNT as u8).map(Reg::from_index)
+    }
+
+    /// Register with the given index.
+    ///
+    /// # Panics
+    /// Panics if `i >= Reg::COUNT`.
+    pub fn from_index(i: u8) -> Reg {
+        const TABLE: [Reg; Reg::COUNT] = [
+            Reg::R0,
+            Reg::R1,
+            Reg::R2,
+            Reg::R3,
+            Reg::R4,
+            Reg::R5,
+            Reg::R6,
+            Reg::R7,
+            Reg::R8,
+            Reg::R9,
+            Reg::R10,
+            Reg::R11,
+            Reg::R12,
+            Reg::R13,
+            Reg::R14,
+            Reg::R15,
+            Reg::R16,
+            Reg::R17,
+            Reg::R18,
+            Reg::R19,
+            Reg::R20,
+            Reg::R21,
+            Reg::R22,
+            Reg::R23,
+            Reg::R24,
+            Reg::R25,
+            Reg::R26,
+            Reg::R27,
+            Reg::R28,
+            Reg::R29,
+            Reg::R30,
+            Reg::R31,
+        ];
+        TABLE[i as usize]
+    }
+
+    /// Index of this register.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// An architectural register file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegFile(pub [u64; Reg::COUNT]);
+
+impl Default for RegFile {
+    fn default() -> Self {
+        RegFile([0; Reg::COUNT])
+    }
+}
+
+impl Index<Reg> for RegFile {
+    type Output = u64;
+    fn index(&self, r: Reg) -> &u64 {
+        &self.0[r.index()]
+    }
+}
+
+impl IndexMut<Reg> for RegFile {
+    fn index_mut(&mut self, r: Reg) -> &mut u64 {
+        &mut self.0[r.index()]
+    }
+}
+
+/// Integer ALU operations (register-register and register-immediate forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    /// Integer division; division by zero yields zero (documented semantics,
+    /// no trap, keeping workload code branch-free around modular arithmetic).
+    Div,
+    /// Remainder; remainder by zero yields the dividend.
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+impl AluOp {
+    /// Applies the operation to two operand values.
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+}
+
+/// Floating-point operations over `f64` values stored as register bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FpuOp {
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    /// Unary square root; the second operand is ignored.
+    FSqrt,
+    /// `rd = if fa < fb { 1 } else { 0 }` as an integer value.
+    FCmpLt,
+}
+
+impl FpuOp {
+    /// Applies the operation to two operands given as raw `f64` bits.
+    pub fn apply(self, a_bits: u64, b_bits: u64) -> u64 {
+        let a = f64::from_bits(a_bits);
+        let b = f64::from_bits(b_bits);
+        match self {
+            FpuOp::FAdd => (a + b).to_bits(),
+            FpuOp::FSub => (a - b).to_bits(),
+            FpuOp::FMul => (a * b).to_bits(),
+            FpuOp::FDiv => (a / b).to_bits(),
+            FpuOp::FSqrt => a.abs().sqrt().to_bits(),
+            FpuOp::FCmpLt => u64::from(a < b),
+        }
+    }
+}
+
+/// Branch comparison conditions over unsigned register values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Le,
+    Gt,
+}
+
+impl Cond {
+    /// Evaluates the condition on two operand values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+        }
+    }
+}
+
+/// One instruction of the abstract ISA.
+///
+/// Control-flow targets are concrete [`Pc`]s; the [`crate::ProgramBuilder`]
+/// patches label references before a [`crate::Program`] is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// No operation.
+    Nop,
+    /// Spin-loop hint (cheap, like x86 `PAUSE`).
+    Pause,
+    /// Terminates the executing thread.
+    Halt,
+    /// `rd = imm`.
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value (sign-extended to 64 bits).
+        imm: i64,
+    },
+    /// `rd = ra op rb`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        rb: Reg,
+    },
+    /// `rd = ra op imm`.
+    AluI {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// Immediate operand.
+        imm: i64,
+    },
+    /// `rd = ra fpop rb` over `f64` bit patterns.
+    Fpu {
+        /// Operation.
+        op: FpuOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        rb: Reg,
+    },
+    /// `rd = mem[ra + off]`.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        off: i64,
+    },
+    /// `mem[base + off] = rs`.
+    Store {
+        /// Source register.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        off: i64,
+    },
+    /// Conditional direct branch: `if ra cond rb goto target`.
+    Branch {
+        /// Comparison condition.
+        cond: Cond,
+        /// First comparison operand.
+        ra: Reg,
+        /// Second comparison operand.
+        rb: Reg,
+        /// Branch target.
+        target: Pc,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Jump target.
+        target: Pc,
+    },
+    /// Direct call; pushes the return PC on the thread's call stack.
+    Call {
+        /// Callee entry PC.
+        target: Pc,
+    },
+    /// Indirect call through a register holding a [`Pc::to_word`] encoding.
+    CallInd {
+        /// Register holding the encoded callee PC.
+        ra: Reg,
+    },
+    /// Return to the PC on top of the call stack.
+    Ret,
+    /// `rd =` executing thread id.
+    Tid {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// Atomic fetch-add: `rd = mem[base+off]; mem[base+off] += rs`.
+    AtomicAdd {
+        /// Receives the old memory value.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+        /// Addend register.
+        rs: Reg,
+    },
+    /// Atomic exchange: `rd = mem[base+off]; mem[base+off] = rs`.
+    AtomicXchg {
+        /// Receives the old memory value.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+        /// New value register.
+        rs: Reg,
+    },
+    /// Atomic compare-and-swap; `rd` receives the old value.
+    AtomicCas {
+        /// Receives the old memory value.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+        /// Expected value register.
+        expected: Reg,
+        /// Replacement value register.
+        new: Reg,
+    },
+    /// Memory fence (ordering only; a timing event, not a functional one).
+    Fence,
+    /// Block if `mem[base+off] == expected` (futex-style sleep).
+    ///
+    /// On wake-up the instruction re-executes, mirroring the kernel/user
+    /// futex retry loop. If the value differs the instruction retires
+    /// immediately without blocking.
+    FutexWait {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+        /// Register holding the expected value.
+        expected: Reg,
+    },
+    /// Wake up to `count` threads blocked on `mem[base+off]`.
+    FutexWake {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+        /// Maximum number of threads to wake.
+        count: u32,
+    },
+}
+
+/// Timing class of an instruction, consumed by core models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum InstClass {
+    IntAlu,
+    IntMul,
+    IntDiv,
+    Fp,
+    FpDiv,
+    Load,
+    Store,
+    Branch,
+    Jump,
+    Call,
+    Ret,
+    Atomic,
+    Fence,
+    Pause,
+    Futex,
+    Other,
+}
+
+/// Kind of control transfer a retired instruction performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtrlKind {
+    /// Conditional branch, taken.
+    CondTaken,
+    /// Conditional branch, not taken.
+    CondNotTaken,
+    /// Unconditional direct jump.
+    Jump,
+    /// Direct call.
+    Call,
+    /// Return.
+    Ret,
+}
+
+impl Inst {
+    /// Timing class of this instruction.
+    pub fn class(&self) -> InstClass {
+        match self {
+            Inst::Nop | Inst::Li { .. } | Inst::Tid { .. } => InstClass::IntAlu,
+            Inst::Alu { op, .. } | Inst::AluI { op, .. } => match op {
+                AluOp::Mul => InstClass::IntMul,
+                AluOp::Div | AluOp::Rem => InstClass::IntDiv,
+                _ => InstClass::IntAlu,
+            },
+            Inst::Fpu { op, .. } => match op {
+                FpuOp::FDiv | FpuOp::FSqrt => InstClass::FpDiv,
+                _ => InstClass::Fp,
+            },
+            Inst::Load { .. } => InstClass::Load,
+            Inst::Store { .. } => InstClass::Store,
+            Inst::Branch { .. } => InstClass::Branch,
+            Inst::Jump { .. } => InstClass::Jump,
+            Inst::Call { .. } | Inst::CallInd { .. } => InstClass::Call,
+            Inst::Ret => InstClass::Ret,
+            Inst::AtomicAdd { .. } | Inst::AtomicXchg { .. } | Inst::AtomicCas { .. } => {
+                InstClass::Atomic
+            }
+            Inst::Fence => InstClass::Fence,
+            Inst::Pause => InstClass::Pause,
+            Inst::FutexWait { .. } | Inst::FutexWake { .. } => InstClass::Futex,
+            Inst::Halt => InstClass::Other,
+        }
+    }
+
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. }
+                | Inst::Jump { .. }
+                | Inst::Call { .. }
+                | Inst::CallInd { .. }
+                | Inst::Ret
+        )
+    }
+
+    /// Whether this instruction reads or writes memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. }
+                | Inst::Store { .. }
+                | Inst::AtomicAdd { .. }
+                | Inst::AtomicXchg { .. }
+                | Inst::AtomicCas { .. }
+                | Inst::FutexWait { .. }
+                | Inst::FutexWake { .. }
+        )
+    }
+
+    /// Source registers read by this instruction (up to three).
+    pub fn srcs(&self) -> [Option<Reg>; 3] {
+        match *self {
+            Inst::Alu { ra, rb, .. } | Inst::Fpu { ra, rb, .. } => [Some(ra), Some(rb), None],
+            Inst::AluI { ra, .. } => [Some(ra), None, None],
+            Inst::Load { base, .. } => [Some(base), None, None],
+            Inst::Store { rs, base, .. } => [Some(rs), Some(base), None],
+            Inst::Branch { ra, rb, .. } => [Some(ra), Some(rb), None],
+            Inst::AtomicAdd { base, rs, .. } | Inst::AtomicXchg { base, rs, .. } => {
+                [Some(base), Some(rs), None]
+            }
+            Inst::AtomicCas {
+                base,
+                expected,
+                new,
+                ..
+            } => [Some(base), Some(expected), Some(new)],
+            Inst::FutexWait { base, expected, .. } => [Some(base), Some(expected), None],
+            Inst::FutexWake { base, .. } => [Some(base), None, None],
+            Inst::CallInd { ra } => [Some(ra), None, None],
+            _ => [None, None, None],
+        }
+    }
+
+    /// Destination register written by this instruction, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match *self {
+            Inst::Li { rd, .. }
+            | Inst::Alu { rd, .. }
+            | Inst::AluI { rd, .. }
+            | Inst::Fpu { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::Tid { rd }
+            | Inst::AtomicAdd { rd, .. }
+            | Inst::AtomicXchg { rd, .. }
+            | Inst::AtomicCas { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(3, 4), 7);
+        assert_eq!(AluOp::Sub.apply(3, 4), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(6, 7), 42);
+        assert_eq!(AluOp::Div.apply(42, 6), 7);
+        assert_eq!(AluOp::Div.apply(42, 0), 0);
+        assert_eq!(AluOp::Rem.apply(43, 6), 1);
+        assert_eq!(AluOp::Rem.apply(43, 0), 43);
+        assert_eq!(AluOp::Shl.apply(1, 65), 2, "shift amount is masked to 6 bits");
+        assert_eq!(AluOp::Shr.apply(8, 2), 2);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn fpu_semantics() {
+        let a = 2.0f64.to_bits();
+        let b = 8.0f64.to_bits();
+        assert_eq!(f64::from_bits(FpuOp::FAdd.apply(a, b)), 10.0);
+        assert_eq!(f64::from_bits(FpuOp::FMul.apply(a, b)), 16.0);
+        assert_eq!(f64::from_bits(FpuOp::FDiv.apply(b, a)), 4.0);
+        assert_eq!(f64::from_bits(FpuOp::FSqrt.apply((16.0f64).to_bits(), 0)), 4.0);
+        assert_eq!(FpuOp::FCmpLt.apply(a, b), 1);
+        assert_eq!(FpuOp::FCmpLt.apply(b, a), 0);
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Ne.eval(5, 6));
+        assert!(Cond::Lt.eval(5, 6));
+        assert!(Cond::Ge.eval(6, 6));
+        assert!(Cond::Le.eval(6, 6));
+        assert!(Cond::Gt.eval(7, 6));
+        assert!(!Cond::Gt.eval(6, 6));
+    }
+
+    #[test]
+    fn classes_and_operands() {
+        let i = Inst::Alu {
+            op: AluOp::Mul,
+            rd: Reg::R1,
+            ra: Reg::R2,
+            rb: Reg::R3,
+        };
+        assert_eq!(i.class(), InstClass::IntMul);
+        assert_eq!(i.dst(), Some(Reg::R1));
+        assert_eq!(i.srcs(), [Some(Reg::R2), Some(Reg::R3), None]);
+        assert!(!i.is_control());
+        assert!(!i.is_mem());
+
+        let b = Inst::Branch {
+            cond: Cond::Eq,
+            ra: Reg::R0,
+            rb: Reg::R0,
+            target: Pc::INVALID,
+        };
+        assert!(b.is_control());
+        assert_eq!(b.class(), InstClass::Branch);
+
+        let l = Inst::Load {
+            rd: Reg::R4,
+            base: Reg::R5,
+            off: 8,
+        };
+        assert!(l.is_mem());
+        assert_eq!(l.class(), InstClass::Load);
+
+        let cas = Inst::AtomicCas {
+            rd: Reg::R1,
+            base: Reg::R2,
+            off: 0,
+            expected: Reg::R3,
+            new: Reg::R4,
+        };
+        assert_eq!(cas.class(), InstClass::Atomic);
+        assert_eq!(cas.srcs(), [Some(Reg::R2), Some(Reg::R3), Some(Reg::R4)]);
+        assert!(cas.is_mem());
+    }
+
+    #[test]
+    fn regfile_indexing() {
+        let mut rf = RegFile::default();
+        rf[Reg::R7] = 99;
+        assert_eq!(rf[Reg::R7], 99);
+        assert_eq!(rf[Reg::R0], 0);
+        assert_eq!(Reg::all().count(), Reg::COUNT);
+        assert_eq!(Reg::from_index(31), Reg::R31);
+    }
+}

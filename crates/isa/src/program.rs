@@ -1,0 +1,170 @@
+//! A complete executable program: images, entry points, and initial data.
+
+use crate::addr::{Addr, ImageId, MemLayout, Pc};
+use crate::image::{Image, ImageKind};
+use crate::inst::Inst;
+use std::collections::HashMap;
+
+/// An executable program produced by [`crate::ProgramBuilder`].
+///
+/// A program bundles its code [`Image`]s, a main entry point, an optional
+/// worker entry point (the parked dispatch loop that the `lp-omp` runtime
+/// emits for its thread pool), the address-space [`MemLayout`], initial data
+/// for shared memory, and a symbol table for diagnostics.
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: String,
+    images: Vec<Image>,
+    entry_main: Pc,
+    entry_worker: Option<Pc>,
+    layout: MemLayout,
+    init_data: Vec<(Addr, u64)>,
+    symbols: HashMap<String, Pc>,
+}
+
+impl Program {
+    /// Assembles a program from parts; normally done by the builder.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: String,
+        images: Vec<Image>,
+        entry_main: Pc,
+        entry_worker: Option<Pc>,
+        layout: MemLayout,
+        init_data: Vec<(Addr, u64)>,
+        symbols: HashMap<String, Pc>,
+    ) -> Self {
+        Program {
+            name,
+            images,
+            entry_main,
+            entry_worker,
+            layout,
+            init_data,
+            symbols,
+        }
+    }
+
+    /// The program's name (used in reports and pinball metadata).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All code images.
+    pub fn images(&self) -> &[Image] {
+        &self.images
+    }
+
+    /// Looks up an image by id.
+    pub fn image(&self, id: ImageId) -> Option<&Image> {
+        self.images.get(id.0 as usize)
+    }
+
+    /// Fetches the instruction at `pc`.
+    pub fn inst(&self, pc: Pc) -> Option<&Inst> {
+        self.image(pc.image)?.inst(pc.offset)
+    }
+
+    /// Whether `pc` lies in a library image (and is thus spin-filtered).
+    ///
+    /// PCs naming no image are reported as library so malformed markers can
+    /// never become region boundaries.
+    pub fn is_library_pc(&self, pc: Pc) -> bool {
+        match self.image(pc.image) {
+            Some(img) => img.kind() == ImageKind::Library,
+            None => true,
+        }
+    }
+
+    /// Entry PC for the main thread.
+    pub fn entry_main(&self) -> Pc {
+        self.entry_main
+    }
+
+    /// Entry PC for pool worker threads, if the program has one.
+    pub fn entry_worker(&self) -> Option<Pc> {
+        self.entry_worker
+    }
+
+    /// The address-space layout.
+    pub fn layout(&self) -> MemLayout {
+        self.layout
+    }
+
+    /// Initial shared-memory contents as `(address, word)` pairs.
+    pub fn init_data(&self) -> &[(Addr, u64)] {
+        &self.init_data
+    }
+
+    /// Resolves a symbol (label exported by the builder) to its PC.
+    pub fn symbol(&self, name: &str) -> Option<Pc> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Finds the innermost symbol at or before `pc` in the same image,
+    /// formatted as `sym+delta`. Purely for human-readable reports.
+    pub fn symbolize(&self, pc: Pc) -> String {
+        let best = self
+            .symbols
+            .iter()
+            .filter(|(_, &s)| s.image == pc.image && s.offset <= pc.offset)
+            .max_by_key(|(_, &s)| s.offset);
+        match best {
+            Some((name, &s)) if s.offset == pc.offset => name.clone(),
+            Some((name, &s)) => format!("{}+{}", name, pc.offset - s.offset),
+            None => pc.to_string(),
+        }
+    }
+
+    /// Total instruction slots across all images.
+    pub fn code_size(&self) -> usize {
+        self.images.iter().map(Image::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::Reg;
+
+    fn tiny_program() -> Program {
+        let mut pb = ProgramBuilder::new("tiny");
+        let mut c = pb.main_code();
+        c.export_label("start");
+        c.li(Reg::R1, 1);
+        c.export_label("mid");
+        c.nop();
+        c.halt();
+        c.finish();
+        pb.finish()
+    }
+
+    #[test]
+    fn symbols_and_fetch() {
+        let p = tiny_program();
+        let start = p.symbol("start").unwrap();
+        // Entry precedes `start` by the builder's `li r31, 0` prologue.
+        assert_eq!(p.entry_main().next(), start);
+        assert!(p.inst(start).is_some());
+        assert_eq!(p.symbolize(start), "start");
+        let mid = p.symbol("mid").unwrap();
+        assert_eq!(p.symbolize(mid), "mid");
+        assert_eq!(p.symbolize(mid.next()), "mid+1");
+        assert!(p.symbol("nope").is_none());
+    }
+
+    #[test]
+    fn library_pc_classification() {
+        let p = tiny_program();
+        assert!(!p.is_library_pc(p.entry_main()));
+        assert!(p.is_library_pc(Pc::INVALID), "unknown images are filtered");
+    }
+
+    #[test]
+    fn code_size_counts_all_images() {
+        let p = tiny_program();
+        // prologue li + li + nop + halt
+        assert_eq!(p.code_size(), 4);
+    }
+}

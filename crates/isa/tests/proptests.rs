@@ -1,0 +1,121 @@
+//! Property-based tests for the ISA and machine.
+
+use lp_isa::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_aluop() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+    ]
+}
+
+proptest! {
+    /// ALU semantics agree with a straightforward reference model.
+    #[test]
+    fn alu_matches_reference(op in arb_aluop(), a: u64, b: u64) {
+        let expect = match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => if b == 0 { 0 } else { a / b },
+            AluOp::Rem => if b == 0 { a } else { a % b },
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a << (b & 63),
+            AluOp::Shr => a >> (b & 63),
+        };
+        prop_assert_eq!(op.apply(a, b), expect);
+    }
+
+    /// PC word encoding is a bijection over its domain.
+    #[test]
+    fn pc_word_roundtrip(image in 0u16..u16::MAX, offset: u32) {
+        let pc = Pc::new(ImageId(image), offset);
+        prop_assert_eq!(Pc::from_word(pc.to_word()), pc);
+    }
+
+    /// Memory is a flat word store: the last write to a word wins and
+    /// word accesses never alias distinct word addresses.
+    #[test]
+    fn memory_is_a_word_store(writes in prop::collection::vec((0u64..1u64<<20, any::<u64>()), 1..64)) {
+        let mut mem = Memory::new();
+        let mut model = std::collections::HashMap::new();
+        for &(addr, val) in &writes {
+            let a = Addr(addr).align_word();
+            mem.store(a, val);
+            model.insert(a, val);
+        }
+        for (&a, &v) in &model {
+            prop_assert_eq!(mem.load(a), v);
+        }
+    }
+
+    /// Executing a random straight-line ALU program is deterministic and
+    /// snapshot/restore at any point reproduces the same final registers.
+    #[test]
+    fn snapshot_restore_any_cut_point(
+        ops in prop::collection::vec((arb_aluop(), 0u8..8, 0u8..8, 0u8..8, any::<i16>()), 1..40),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut pb = ProgramBuilder::new("prop");
+        let mut c = pb.main_code();
+        for (i, &(op, rd, ra, _rb, imm)) in ops.iter().enumerate() {
+            if i % 3 == 0 {
+                c.li(Reg::from_index(rd), i64::from(imm));
+            }
+            c.alui(op, Reg::from_index(rd), Reg::from_index(ra), i64::from(imm));
+        }
+        c.halt();
+        c.finish();
+        let p = Arc::new(pb.finish());
+
+        let mut m1 = Machine::new(p.clone(), 1);
+        m1.run_to_completion(1_000_000).unwrap();
+
+        let cut = ((ops.len() as f64) * cut_frac) as u64;
+        let mut m2 = Machine::new(p.clone(), 1);
+        for _ in 0..cut {
+            m2.step(0).unwrap();
+        }
+        let snap = m2.snapshot();
+        let mut m3 = Machine::from_snapshot(p, &snap);
+        m3.run_to_completion(1_000_000).unwrap();
+        prop_assert_eq!(m1.regs(0), m3.regs(0));
+    }
+
+    /// Loop trip counts: a counted loop of n iterations retires exactly
+    /// n executions of its header.
+    #[test]
+    fn counted_loop_trip_count(n in 0u64..200) {
+        let mut pb = ProgramBuilder::new("loop");
+        let mut c = pb.main_code();
+        let hdr = c.counted_loop("l", Reg::R1, n, |c| {
+            c.alui(AluOp::Add, Reg::R2, Reg::R2, 1);
+        });
+        c.halt();
+        c.finish();
+        let p = Arc::new(pb.finish());
+        let mut m = Machine::new(p, 1);
+        let mut count = 0u64;
+        while !m.is_finished() {
+            if let StepResult::Retired(r) = m.step(0).unwrap() {
+                if r.pc == hdr {
+                    count += 1;
+                }
+            }
+        }
+        prop_assert_eq!(count, n);
+        prop_assert_eq!(m.regs(0)[Reg::R2], n);
+    }
+}

@@ -1,0 +1,483 @@
+//! Main-image codegen helpers for OpenMP worksharing constructs.
+//!
+//! These mirror what an OpenMP compiler emits *into the application binary*:
+//! bounds math for static schedules, the dispatch loop around the runtime's
+//! dynamic chunk dispatcher, `master`/`single` guards, and reductions. Loop
+//! headers they create live in the **main image**, so they are legitimate
+//! LoopPoint region-boundary candidates.
+//!
+//! Register use: `r16`–`r23` for loop control (`r16` is the induction
+//! variable handed to bodies); bodies may use `r1`–`r15`.
+
+use crate::runtime::{LockId, OmpRuntime};
+use lp_isa::{AluOp, CodeBuilder, Cond, FpuOp, Pc, Reg};
+
+impl OmpRuntime {
+    /// Emits `#pragma omp for schedule(static)` over `0..total`.
+    ///
+    /// Iterations are divided into contiguous per-thread blocks. `body`
+    /// receives the induction variable in `r16` and may use `r1`–`r15`.
+    /// The loop header (first body instruction) is exported as symbol
+    /// `name` and returned.
+    ///
+    /// No implicit barrier is emitted (the region's join barrier usually
+    /// suffices; emit one explicitly for `nowait`-free semantics).
+    pub fn emit_static_for(
+        &mut self,
+        c: &mut CodeBuilder<'_>,
+        name: &str,
+        total: u64,
+        body: impl FnOnce(&mut CodeBuilder<'_>, &mut OmpRuntime),
+    ) -> Pc {
+        let n = self.nthreads() as i64;
+        c.tid(Reg::R18);
+        c.li(Reg::R19, total as i64);
+        c.li(Reg::R20, n);
+        c.alu(AluOp::Div, Reg::R21, Reg::R19, Reg::R20); // base = total / n
+        c.alu(AluOp::Rem, Reg::R22, Reg::R19, Reg::R20); // rem  = total % n
+        // start = tid * base + min(tid, rem); len = base + (tid < rem)
+        c.alu(AluOp::Mul, Reg::R16, Reg::R18, Reg::R21);
+        let ge_rem = c.new_label();
+        let start_done = c.new_label();
+        c.branch(Cond::Ge, Reg::R18, Reg::R22, ge_rem);
+        c.alu(AluOp::Add, Reg::R16, Reg::R16, Reg::R18); // + tid
+        c.alui(AluOp::Add, Reg::R21, Reg::R21, 1); // len = base + 1
+        c.jump(start_done);
+        c.bind(ge_rem);
+        c.alu(AluOp::Add, Reg::R16, Reg::R16, Reg::R22); // + rem
+        c.bind(start_done);
+        c.alu(AluOp::Add, Reg::R17, Reg::R16, Reg::R21); // end = start + len
+        let exit = c.new_label();
+        let header_label = c.new_label();
+        c.branch(Cond::Ge, Reg::R16, Reg::R17, exit);
+        c.bind(header_label);
+        let header = c.here();
+        if !name.is_empty() {
+            c.export_label(name.to_string());
+        }
+        body(c, self);
+        c.alui(AluOp::Add, Reg::R16, Reg::R16, 1);
+        c.branch(Cond::Lt, Reg::R16, Reg::R17, header_label);
+        c.bind(exit);
+        header
+    }
+
+    /// Emits `#pragma omp for schedule(dynamic, chunk)` over `0..total`.
+    ///
+    /// Threads grab `chunk`-sized blocks from the runtime's shared dispatch
+    /// counter. The caller **must** emit [`OmpRuntime::emit_dyn_reset`] in
+    /// serial code before the enclosing parallel region. `body` receives the
+    /// induction variable in `r16`. Returns the exported loop-header PC.
+    pub fn emit_dynamic_for(
+        &mut self,
+        c: &mut CodeBuilder<'_>,
+        name: &str,
+        total: u64,
+        chunk: u64,
+        body: impl FnOnce(&mut CodeBuilder<'_>, &mut OmpRuntime),
+    ) -> Pc {
+        assert!(chunk >= 1, "dynamic schedule needs chunk >= 1");
+        let dispatch = self.dispatch_next_fn;
+        let dloop = c.new_label();
+        let dexit = c.new_label();
+        let clamp_done = c.new_label();
+        c.bind(dloop);
+        c.li(Reg::R27, chunk as i64);
+        c.call(dispatch); // r26 = chunk start
+        c.li(Reg::R17, total as i64);
+        c.branch(Cond::Ge, Reg::R26, Reg::R17, dexit);
+        // end = min(start + chunk, total)
+        c.alui(AluOp::Add, Reg::R18, Reg::R26, chunk as i64);
+        c.branch(Cond::Le, Reg::R18, Reg::R17, clamp_done);
+        c.alui(AluOp::Add, Reg::R18, Reg::R17, 0);
+        c.bind(clamp_done);
+        c.alui(AluOp::Add, Reg::R16, Reg::R26, 0); // idx = start
+        let header_label = c.new_label();
+        c.bind(header_label);
+        let header = c.here();
+        if !name.is_empty() {
+            c.export_label(name.to_string());
+        }
+        body(c, self);
+        c.alui(AluOp::Add, Reg::R16, Reg::R16, 1);
+        c.branch(Cond::Lt, Reg::R16, Reg::R18, header_label);
+        c.jump(dloop);
+        c.bind(dexit);
+        header
+    }
+
+    /// Emits `#pragma omp parallel for schedule(static)` — the combined
+    /// construct: a parallel region whose entire body is one static
+    /// worksharing loop (with the region's implicit join barrier).
+    /// Returns nothing; the loop header is exported as `name`.
+    pub fn emit_parallel_for_static(
+        &mut self,
+        c: &mut CodeBuilder<'_>,
+        name: &str,
+        total: u64,
+        body: impl FnOnce(&mut CodeBuilder<'_>, &mut OmpRuntime),
+    ) {
+        let loop_name = name.to_string();
+        self.emit_parallel(c, name, move |c, rt| {
+            rt.emit_static_for(c, &loop_name, total, body);
+        });
+    }
+
+    /// Emits `#pragma omp parallel for schedule(dynamic, chunk)` — the
+    /// combined construct, including the serial dispatch-counter reset.
+    pub fn emit_parallel_for_dynamic(
+        &mut self,
+        c: &mut CodeBuilder<'_>,
+        name: &str,
+        total: u64,
+        chunk: u64,
+        body: impl FnOnce(&mut CodeBuilder<'_>, &mut OmpRuntime),
+    ) {
+        self.emit_dyn_reset(c);
+        let loop_name = name.to_string();
+        self.emit_parallel(c, name, move |c, rt| {
+            rt.emit_dynamic_for(c, &loop_name, total, chunk, body);
+        });
+    }
+
+    /// Emits `#pragma omp master`: `body` runs on thread 0 only.
+    pub fn emit_master(
+        &mut self,
+        c: &mut CodeBuilder<'_>,
+        body: impl FnOnce(&mut CodeBuilder<'_>, &mut OmpRuntime),
+    ) {
+        let skip = c.new_label();
+        c.tid(Reg::R26);
+        c.branch(Cond::Ne, Reg::R26, Reg::R31, skip);
+        body(c, self);
+        c.bind(skip);
+    }
+
+    /// Emits `#pragma omp single`: `body` runs on the first thread to
+    /// arrive each time the construct executes; all threads then join a
+    /// barrier (OpenMP's implicit `single` barrier).
+    pub fn emit_single(
+        &mut self,
+        c: &mut CodeBuilder<'_>,
+        body: impl FnOnce(&mut CodeBuilder<'_>, &mut OmpRuntime),
+    ) {
+        let site = self.alloc_single_site();
+        let n = self.nthreads() as i64;
+        let skip = c.new_label();
+        c.li(Reg::R26, site);
+        c.li(Reg::R27, 1);
+        c.atomic_add(Reg::R28, Reg::R26, 0, Reg::R27);
+        c.alui(AluOp::Rem, Reg::R28, Reg::R28, n);
+        c.branch(Cond::Ne, Reg::R28, Reg::R31, skip);
+        body(c, self);
+        c.bind(skip);
+        self.emit_barrier(c);
+    }
+
+    /// Emits `#pragma omp critical` protected by `lock`.
+    pub fn emit_critical(
+        &mut self,
+        c: &mut CodeBuilder<'_>,
+        lock: LockId,
+        body: impl FnOnce(&mut CodeBuilder<'_>, &mut OmpRuntime),
+    ) {
+        self.emit_lock_acquire(c, lock);
+        body(c, self);
+        self.emit_lock_release(c, lock);
+    }
+
+    /// Emits an integer `reduction(+)` update: atomically adds `value` to
+    /// the shared word at the immediate address `result_addr`.
+    pub fn emit_reduce_add_u64(&self, c: &mut CodeBuilder<'_>, value: Reg, result_addr: u64) {
+        c.li(Reg::R26, result_addr as i64);
+        c.atomic_add(Reg::R27, Reg::R26, 0, value);
+    }
+
+    /// Emits a floating-point `reduction(+)` update under the reserved
+    /// reduce lock (atomic f64 addition does not exist; real runtimes use a
+    /// critical section or CAS loops here too).
+    pub fn emit_reduce_add_f64(&self, c: &mut CodeBuilder<'_>, value: Reg, result_addr: u64) {
+        self.emit_lock_acquire(c, LockId::REDUCE);
+        c.li(Reg::R26, result_addr as i64);
+        c.load(Reg::R27, Reg::R26, 0);
+        c.fpu(FpuOp::FAdd, Reg::R27, Reg::R27, value);
+        c.store(Reg::R27, Reg::R26, 0);
+        self.emit_lock_release(c, LockId::REDUCE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{OmpRuntime, WaitPolicy, APP_BASE};
+    use lp_isa::{Addr, AluOp, Machine, ProgramBuilder, Reg};
+    use std::sync::Arc;
+
+    const SUM: u64 = APP_BASE;
+    const FSUM: u64 = APP_BASE + 8;
+    const COUNT: u64 = APP_BASE + 16;
+    const DATA: u64 = APP_BASE + 0x1000;
+
+    fn run_workshare(
+        policy: WaitPolicy,
+        nthreads: usize,
+        build: impl FnOnce(&mut lp_isa::CodeBuilder<'_>, &mut OmpRuntime),
+    ) -> Machine {
+        let mut pb = ProgramBuilder::new("ws-test");
+        let mut rt = OmpRuntime::build(&mut pb, nthreads, policy);
+        let mut c = pb.main_code();
+        rt.emit_main_init(&mut c);
+        build(&mut c, &mut rt);
+        rt.emit_shutdown(&mut c);
+        c.halt();
+        c.finish();
+        let mut m = Machine::new(Arc::new(pb.finish()), nthreads);
+        m.run_to_completion(100_000_000).unwrap();
+        assert!(m.is_finished());
+        m
+    }
+
+    /// Sum of 0..total via a worksharing loop writing to an atomic.
+    fn sum_program(
+        policy: WaitPolicy,
+        nthreads: usize,
+        total: u64,
+        dynamic: Option<u64>,
+    ) -> Machine {
+        run_workshare(policy, nthreads, |c, rt| {
+            if dynamic.is_some() {
+                rt.emit_dyn_reset(c);
+            }
+            rt.emit_parallel(c, "sum", |c, rt| {
+                let body = |c: &mut lp_isa::CodeBuilder<'_>, rt: &mut OmpRuntime| {
+                    // r16 holds the induction variable.
+                    rt.emit_reduce_add_u64(c, Reg::R16, SUM);
+                };
+                match dynamic {
+                    Some(chunk) => {
+                        rt.emit_dynamic_for(c, "sum.loop", total, chunk, body);
+                    }
+                    None => {
+                        rt.emit_static_for(c, "sum.loop", total, body);
+                    }
+                }
+            });
+        })
+    }
+
+    #[test]
+    fn static_for_covers_all_iterations() {
+        for n in [1, 3, 8] {
+            let m = sum_program(WaitPolicy::Passive, n, 100, None);
+            assert_eq!(m.mem().load(Addr(SUM)), 4950, "nthreads={n}");
+        }
+    }
+
+    #[test]
+    fn static_for_uneven_split() {
+        // total not divisible by nthreads exercises the remainder path.
+        let m = sum_program(WaitPolicy::Active, 8, 103, None);
+        assert_eq!(m.mem().load(Addr(SUM)), 103 * 102 / 2);
+    }
+
+    #[test]
+    fn dynamic_for_covers_all_iterations() {
+        for chunk in [1, 4, 7, 64] {
+            let m = sum_program(WaitPolicy::Passive, 4, 100, Some(chunk));
+            assert_eq!(m.mem().load(Addr(SUM)), 4950, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn dynamic_for_active_policy() {
+        let m = sum_program(WaitPolicy::Active, 8, 200, Some(8));
+        assert_eq!(m.mem().load(Addr(SUM)), 200 * 199 / 2);
+    }
+
+    #[test]
+    fn master_runs_once() {
+        let m = run_workshare(WaitPolicy::Passive, 8, |c, rt| {
+            rt.emit_parallel(c, "m", |c, rt| {
+                rt.emit_master(c, |c, _| {
+                    c.li(Reg::R1, 1);
+                    c.li(Reg::R2, COUNT as i64);
+                    c.atomic_add(Reg::R3, Reg::R2, 0, Reg::R1);
+                });
+            });
+        });
+        assert_eq!(m.mem().load(Addr(COUNT)), 1);
+    }
+
+    #[test]
+    fn single_runs_once_per_encounter() {
+        let m = run_workshare(WaitPolicy::Passive, 4, |c, rt| {
+            rt.emit_parallel(c, "s", |c, rt| {
+                // Two dynamic encounters of two distinct single sites.
+                rt.emit_single(c, |c, _| {
+                    c.li(Reg::R1, 1);
+                    c.li(Reg::R2, COUNT as i64);
+                    c.atomic_add(Reg::R3, Reg::R2, 0, Reg::R1);
+                });
+                rt.emit_single(c, |c, _| {
+                    c.li(Reg::R1, 100);
+                    c.li(Reg::R2, COUNT as i64);
+                    c.atomic_add(Reg::R3, Reg::R2, 0, Reg::R1);
+                });
+            });
+        });
+        assert_eq!(m.mem().load(Addr(COUNT)), 101);
+    }
+
+    #[test]
+    fn critical_protects_rmw() {
+        let m = run_workshare(WaitPolicy::Active, 4, |c, rt| {
+            rt.emit_parallel(c, "c", |c, rt| {
+                c.li(Reg::R5, 50);
+                c.counted_loop_reg("", Reg::R5, |c| {
+                    rt.emit_critical(c, crate::LockId(2), |c, _| {
+                        c.li(Reg::R2, COUNT as i64);
+                        c.load(Reg::R1, Reg::R2, 0);
+                        c.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+                        c.store(Reg::R1, Reg::R2, 0);
+                    });
+                });
+            });
+        });
+        assert_eq!(m.mem().load(Addr(COUNT)), 200);
+    }
+
+    #[test]
+    fn f64_reduction_is_exact_for_integers() {
+        let m = run_workshare(WaitPolicy::Passive, 4, |c, rt| {
+            rt.emit_parallel(c, "f", |c, rt| {
+                rt.emit_static_for(c, "f.loop", 10, |c, rt| {
+                    // value = 1.5 per iteration
+                    c.lf(Reg::R1, 1.5);
+                    rt.emit_reduce_add_f64(c, Reg::R1, FSUM);
+                });
+            });
+        });
+        assert_eq!(m.mem().load_f64(Addr(FSUM)), 15.0);
+    }
+
+    #[test]
+    fn static_for_writes_disjoint_slices() {
+        // Every thread writes its iterations; all array cells end filled.
+        let total = 64u64;
+        let m = run_workshare(WaitPolicy::Passive, 8, |c, rt| {
+            rt.emit_parallel(c, "w", |c, rt| {
+                rt.emit_static_for(c, "w.loop", total, |c, _| {
+                    c.li(Reg::R1, DATA as i64);
+                    c.alui(AluOp::Shl, Reg::R2, Reg::R16, 3);
+                    c.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R2);
+                    c.alui(AluOp::Add, Reg::R3, Reg::R16, 1);
+                    c.store(Reg::R3, Reg::R1, 0);
+                });
+            });
+        });
+        for i in 0..total {
+            assert_eq!(m.mem().load(Addr(DATA).word(i)), i + 1, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn single_with_one_thread_runs_every_encounter() {
+        let m = run_workshare(WaitPolicy::Passive, 1, |c, rt| {
+            rt.emit_parallel(c, "s1", |c, rt| {
+                rt.emit_single(c, |c, _| {
+                    c.li(Reg::R1, 1);
+                    c.li(Reg::R2, COUNT as i64);
+                    c.atomic_add(Reg::R3, Reg::R2, 0, Reg::R1);
+                });
+            });
+        });
+        assert_eq!(m.mem().load(Addr(COUNT)), 1);
+    }
+
+    #[test]
+    fn single_runs_once_per_round_in_a_loop() {
+        // The same single *site* encountered repeatedly executes exactly
+        // once per encounter (the modulo-nthreads ticket resets).
+        let nthreads = 4;
+        let rounds = 5u64;
+        let m = run_workshare(WaitPolicy::Passive, nthreads, |c, rt| {
+            rt.emit_parallel(c, "sr", |c, rt| {
+                c.li(Reg::R9, rounds as i64);
+                c.counted_loop_reg("", Reg::R9, |c| {
+                    rt.emit_single(c, |c, _| {
+                        c.li(Reg::R1, 1);
+                        c.li(Reg::R2, COUNT as i64);
+                        c.atomic_add(Reg::R3, Reg::R2, 0, Reg::R1);
+                    });
+                });
+            });
+        });
+        assert_eq!(m.mem().load(Addr(COUNT)), rounds);
+    }
+
+    #[test]
+    fn two_sequential_worksharing_loops_in_one_region() {
+        // Static-for twice in one parallel region with an explicit barrier
+        // between: phase B reads what phase A wrote.
+        let nthreads = 4;
+        let m = run_workshare(WaitPolicy::Active, nthreads, |c, rt| {
+            rt.emit_parallel(c, "two", |c, rt| {
+                rt.emit_static_for(c, "two.a", 32, |c, _| {
+                    c.li(Reg::R1, DATA as i64);
+                    c.alui(AluOp::Shl, Reg::R2, Reg::R16, 3);
+                    c.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R2);
+                    c.alui(AluOp::Add, Reg::R3, Reg::R16, 100);
+                    c.store(Reg::R3, Reg::R1, 0);
+                });
+                rt.emit_barrier(c);
+                rt.emit_static_for(c, "two.b", 32, |c, rt| {
+                    // Read the cell 31-idx (written by a different thread).
+                    c.li(Reg::R1, DATA as i64);
+                    c.li(Reg::R4, 31);
+                    c.alu(AluOp::Sub, Reg::R4, Reg::R4, Reg::R16);
+                    c.alui(AluOp::Shl, Reg::R2, Reg::R4, 3);
+                    c.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R2);
+                    c.load(Reg::R3, Reg::R1, 0);
+                    rt.emit_reduce_add_u64(c, Reg::R3, SUM);
+                });
+            });
+        });
+        // Sum of (100 + i) for i in 0..32.
+        assert_eq!(m.mem().load(Addr(SUM)), 32 * 100 + 31 * 32 / 2);
+    }
+
+    #[test]
+    fn combined_parallel_for_constructs() {
+        for dynamic in [false, true] {
+            let m = run_workshare(WaitPolicy::Passive, 4, |c, rt| {
+                let body = |c: &mut lp_isa::CodeBuilder<'_>, rt: &mut OmpRuntime| {
+                    rt.emit_reduce_add_u64(c, Reg::R16, SUM);
+                };
+                if dynamic {
+                    rt.emit_parallel_for_dynamic(c, "pf", 80, 4, body);
+                } else {
+                    rt.emit_parallel_for_static(c, "pf", 80, body);
+                }
+            });
+            assert_eq!(m.mem().load(Addr(SUM)), 80 * 79 / 2, "dynamic={dynamic}");
+        }
+    }
+
+    #[test]
+    fn loop_headers_live_in_main_image() {
+        let mut pb = ProgramBuilder::new("hdr");
+        let mut rt = OmpRuntime::build(&mut pb, 2, WaitPolicy::Passive);
+        let mut c = pb.main_code();
+        rt.emit_main_init(&mut c);
+        rt.emit_parallel(&mut c, "p", |c, rt| {
+            rt.emit_static_for(c, "p.loop", 8, |c, _| {
+                c.nop();
+            });
+        });
+        rt.emit_shutdown(&mut c);
+        c.halt();
+        c.finish();
+        let p = pb.finish();
+        let hdr = p.symbol("p.loop").expect("header exported");
+        assert!(!p.is_library_pc(hdr), "worksharing headers are app code");
+    }
+}

@@ -1,0 +1,100 @@
+//! # lp-omp — an OpenMP-like runtime model
+//!
+//! The LoopPoint paper filters synchronization by *image*: everything in
+//! `libiomp5.so` is treated as potential busy-waiting and excluded from BBVs
+//! and filtered instruction counts (§IV-F). For that heuristic to be
+//! exercised faithfully, the reproduction needs a runtime whose
+//! synchronization code **really executes instructions at library-image
+//! PCs** — spin loops under the active wait policy, futex sleeps under the
+//! passive policy.
+//!
+//! This crate code-generates such a runtime into a library image of an
+//! `lp-isa` program:
+//!
+//! * a **worker dispatch loop** (the thread pool): workers park on a
+//!   doorbell generation counter and run parallel-region bodies dispatched
+//!   through an indirect call, exactly like an OpenMP hot team;
+//! * a **sense-reversing centralized barrier** with active (spin + pause)
+//!   or passive (futex) waiting, selected by [`WaitPolicy`] — the analogue
+//!   of `OMP_WAIT_POLICY`;
+//! * **test-and-set locks** (spin or futex), a **dynamic-for chunk
+//!   dispatcher** (`__kmpc_dispatch_next` analogue), and main-image codegen
+//!   helpers for `parallel`, static/dynamic `for`, `master`, `single`,
+//!   `critical`, and reductions.
+//!
+//! ## Register conventions
+//!
+//! The runtime reserves `r24`–`r31`: `r24` holds the runtime state base,
+//! `r25` the doorbell generation, `r26`–`r30` are runtime scratch, and `r31`
+//! is the builder's zero register. Structured-loop helpers use `r16`–`r23`
+//! for loop control and hand the induction variable to bodies in `r16`;
+//! application bodies may freely use `r1`–`r15`.
+//!
+//! ## Example
+//!
+//! ```
+//! use lp_isa::{Machine, ProgramBuilder, Reg, Addr};
+//! use lp_omp::{OmpRuntime, WaitPolicy};
+//! use std::sync::Arc;
+//!
+//! let nthreads = 4;
+//! let mut pb = ProgramBuilder::new("demo");
+//! let mut rt = OmpRuntime::build(&mut pb, nthreads, WaitPolicy::Passive);
+//! let mut c = pb.main_code();
+//! rt.emit_main_init(&mut c);
+//! rt.emit_parallel(&mut c, "sum", |c, _rt| {
+//!     // Each thread atomically adds its tid to a shared cell.
+//!     c.tid(Reg::R1);
+//!     c.li(Reg::R2, 0x200_0000);
+//!     c.atomic_add(Reg::R3, Reg::R2, 0, Reg::R1);
+//! });
+//! rt.emit_shutdown(&mut c);
+//! c.halt();
+//! c.finish();
+//! let program = Arc::new(pb.finish());
+//!
+//! let mut m = Machine::new(program, nthreads);
+//! m.run_to_completion(1_000_000).unwrap();
+//! assert_eq!(m.mem().load(Addr(0x200_0000)), 0 + 1 + 2 + 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constructs;
+mod runtime;
+
+pub use runtime::{LockId, OmpRuntime, WaitPolicy};
+
+/// Base address of the runtime's shared state block.
+pub const RT_BASE: u64 = 0x10_0000;
+
+/// Address of the runtime's barrier generation word.
+///
+/// The last thread arriving at a barrier stores the next generation here —
+/// one store per completed barrier episode — which is what the
+/// BarrierPoint baseline keys its inter-barrier region boundaries on.
+pub fn barrier_gen_addr() -> lp_isa::Addr {
+    lp_isa::Addr(RT_BASE + layout::BAR_GEN as u64)
+}
+
+/// Suggested base address for application shared data (clear of the
+/// runtime's state block and single-site slots).
+pub const APP_BASE: u64 = 0x100_0000;
+
+pub(crate) mod layout {
+    //! Offsets of runtime state words relative to [`super::RT_BASE`].
+    pub const DOORBELL: i64 = 0;
+    pub const TASK_PTR: i64 = 8;
+    pub const NTHREADS: i64 = 16;
+    pub const SHUTDOWN: i64 = 24;
+    pub const BAR_COUNT: i64 = 32;
+    pub const BAR_GEN: i64 = 40;
+    pub const DYN_NEXT: i64 = 48;
+    /// Byte offset of the lock array (16 word-sized locks).
+    pub const LOCKS: i64 = 0x100;
+    /// Number of locks in the lock array.
+    pub const NUM_LOCKS: usize = 16;
+    /// First byte offset for `single`-construct site slots (bump-allocated).
+    pub const SINGLE_SITES: i64 = 0x200;
+}

@@ -1,0 +1,202 @@
+//! Region checkpoints: pinballs for selected simulation regions.
+
+use crate::pinball::{Pinball, PinballError};
+use crate::replay::Replayer;
+use lp_isa::{MachineState, Marker, Pc, Program};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A checkpoint of the replayed execution at a `(PC, count)` marker.
+///
+/// This is the region pinball of §IV-C: restoring it and replaying the race
+/// log tail reproduces the region exactly as recorded. LoopPoint generates
+/// one per representative region (usually positioned a warmup distance
+/// before the region's start marker).
+#[derive(Debug, Clone)]
+pub struct RegionCheckpoint {
+    name: String,
+    marker: Marker,
+    state: MachineState,
+    event_start: usize,
+    /// Global instructions retired from program start up to the checkpoint.
+    instructions_before: u64,
+}
+
+impl RegionCheckpoint {
+    /// The marker the checkpoint was taken at.
+    pub fn marker(&self) -> Marker {
+        self.marker
+    }
+
+    /// Checkpoint name (program plus marker).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Instructions retired before the checkpoint (the fast-forward length
+    /// a simulator is spared).
+    pub fn instructions_before(&self) -> u64 {
+        self.instructions_before
+    }
+
+    /// The architectural snapshot.
+    pub fn state(&self) -> &MachineState {
+        &self.state
+    }
+
+    /// Index into the race log where replay resumes.
+    pub fn event_start(&self) -> usize {
+        self.event_start
+    }
+}
+
+impl Pinball {
+    /// Replays until the `marker.count`-th global execution of `marker.pc`
+    /// and snapshots the machine there.
+    ///
+    /// # Errors
+    /// [`PinballError::MarkerNotReached`] if the recording ends first, plus
+    /// any replay error.
+    pub fn checkpoint_at(
+        &self,
+        program: Arc<Program>,
+        marker: Marker,
+    ) -> Result<RegionCheckpoint, PinballError> {
+        self.checkpoint_at_with_counts(program, marker, &[])
+            .map(|(ckpt, _)| ckpt)
+    }
+
+    /// Like [`Pinball::checkpoint_at`], additionally returning the global
+    /// execution counts that each `watch` PC had reached at the checkpoint
+    /// — what a simulator resuming from the checkpoint needs to keep using
+    /// whole-program `(PC, count)` markers.
+    ///
+    /// # Errors
+    /// [`PinballError::MarkerNotReached`] if the recording ends first, plus
+    /// any replay error.
+    pub fn checkpoint_at_with_counts(
+        &self,
+        program: Arc<Program>,
+        marker: Marker,
+        watch: &[Pc],
+    ) -> Result<(RegionCheckpoint, HashMap<Pc, u64>), PinballError> {
+        let mut rep = self.replayer(program);
+        let mut seen: u64 = 0;
+        let mut instructions: u64 = 0;
+        let mut counts: HashMap<Pc, u64> = watch.iter().map(|&pc| (pc, 0)).collect();
+        while let Some(r) = rep.step()? {
+            instructions += 1;
+            if let Some(c) = counts.get_mut(&r.pc) {
+                *c += 1;
+            }
+            if r.pc == marker.pc {
+                seen += 1;
+                if seen == marker.count {
+                    let (state, event_start) = rep.snapshot();
+                    let ckpt = RegionCheckpoint {
+                        name: format!("{}@{}", self.name(), marker),
+                        marker,
+                        state,
+                        event_start,
+                        instructions_before: instructions,
+                    };
+                    return Ok((ckpt, counts));
+                }
+            }
+        }
+        Err(PinballError::MarkerNotReached { executed: seen })
+    }
+
+    /// Creates a replayer resuming from a region checkpoint.
+    pub fn replayer_from<'p>(
+        &'p self,
+        program: Arc<Program>,
+        ckpt: &RegionCheckpoint,
+    ) -> Replayer<'p> {
+        Replayer::from_state(
+            program,
+            &ckpt.state,
+            self.events(),
+            ckpt.event_start,
+            self.nthreads(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pinball::RecordConfig;
+    use lp_isa::{AluOp, ProgramBuilder, Reg};
+    use lp_omp::{OmpRuntime, WaitPolicy, APP_BASE};
+
+    fn looped_program(nthreads: usize) -> (Arc<Program>, lp_isa::Pc) {
+        let mut pb = ProgramBuilder::new("ckpt");
+        let mut rt = OmpRuntime::build(&mut pb, nthreads, WaitPolicy::Passive);
+        let mut c = pb.main_code();
+        rt.emit_main_init(&mut c);
+        rt.emit_parallel(&mut c, "work", |c, rt| {
+            rt.emit_static_for(c, "work.loop", 128, |c, _| {
+                c.li(Reg::R1, APP_BASE as i64);
+                c.li(Reg::R2, 1);
+                c.atomic_add(Reg::R3, Reg::R1, 0, Reg::R2);
+            });
+        });
+        rt.emit_shutdown(&mut c);
+        c.halt();
+        c.finish();
+        let p = Arc::new(pb.finish());
+        let hdr = p.symbol("work.loop").unwrap();
+        (p, hdr)
+    }
+
+    #[test]
+    fn checkpoint_resumes_identically_to_full_replay() {
+        let (p, hdr) = looped_program(4);
+        let pb = Pinball::record(&p, 4, RecordConfig::default()).unwrap();
+        let marker = Marker::new(hdr, 40);
+        let ckpt = pb.checkpoint_at(p.clone(), marker).unwrap();
+        assert!(ckpt.instructions_before() > 0);
+
+        // Full replay final state.
+        let mut full = pb.replayer(p.clone());
+        while full.step().unwrap().is_some() {}
+        let expect = full.machine().mem().load(lp_isa::Addr(APP_BASE));
+
+        // Resume from the checkpoint: remaining instructions must complete
+        // the program to the same state.
+        let mut rest = pb.replayer_from(p.clone(), &ckpt);
+        let mut tail_insts = 0u64;
+        while rest.step().unwrap().is_some() {
+            tail_insts += 1;
+        }
+        assert_eq!(rest.machine().mem().load(lp_isa::Addr(APP_BASE)), expect);
+        assert_eq!(
+            ckpt.instructions_before() + tail_insts,
+            pb.instructions(),
+            "checkpoint splits the stream exactly"
+        );
+    }
+
+    #[test]
+    fn checkpoint_state_reflects_partial_progress() {
+        let (p, hdr) = looped_program(2);
+        let pb = Pinball::record(&p, 2, RecordConfig::default()).unwrap();
+        let ckpt = pb.checkpoint_at(p.clone(), Marker::new(hdr, 64)).unwrap();
+        let m = lp_isa::Machine::from_snapshot(p, ckpt.state());
+        let done = m.mem().load(lp_isa::Addr(APP_BASE));
+        // 64th header execution seen; the atomic of that iteration may not
+        // have retired yet, but earlier iterations have.
+        assert!(done >= 32 && done < 128, "partial progress, got {done}");
+    }
+
+    #[test]
+    fn unreachable_marker_errors() {
+        let (p, hdr) = looped_program(2);
+        let pb = Pinball::record(&p, 2, RecordConfig::default()).unwrap();
+        let err = pb
+            .checkpoint_at(p, Marker::new(hdr, 1_000_000))
+            .unwrap_err();
+        assert!(matches!(err, PinballError::MarkerNotReached { executed } if executed == 128));
+    }
+}

@@ -1,0 +1,34 @@
+//! # lp-pinball — user-level checkpoints for reproducible analysis
+//!
+//! This crate is the PinPlay substitute (§III-H, §IV-C of the paper). A
+//! [`Pinball`] is a self-contained, replayable capture of a multi-threaded
+//! execution: the initial architectural state plus a **race log** — the
+//! global order of shared-memory accesses (and futex blocks) observed while
+//! recording. Replaying the pinball enforces that order, so every analysis
+//! pass (DCFG construction, BBV profiling, region-boundary search) sees an
+//! identical execution — the paper's *reproducible, constrained analysis*.
+//!
+//! Recording runs under **flow control**: threads advance round-robin in
+//! fixed instruction quanta, the paper's mechanism (§III-B) for keeping all
+//! threads at equal forward progress so host-side scheduling noise cannot
+//! skew the captured profile.
+//!
+//! [`RegionCheckpoint`]s snapshot the machine at a `(PC, count)` marker
+//! mid-replay; they are the region pinballs LoopPoint ships to simulators.
+//! Constrained *timing* simulation on top of a replay (with its artificial
+//! thread stalls, §V-A.1) lives in the `looppoint` crate, which combines a
+//! [`Replayer`] with `lp-sim`'s timing model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod fileio;
+mod observer;
+mod pinball;
+mod replay;
+
+pub use checkpoint::RegionCheckpoint;
+pub use observer::{ExecObserver, FnObserver};
+pub use pinball::{Pinball, PinballError, RaceEvent, RaceKind, RecordConfig, ReplayStats};
+pub use replay::Replayer;

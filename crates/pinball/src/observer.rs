@@ -1,0 +1,49 @@
+//! Execution observers: the Pin-tool analogue.
+
+use lp_isa::Retired;
+
+/// Receives every retired instruction during a (replayed) execution.
+///
+/// Profiling passes (`lp-dcfg`, `lp-bbv`) implement this; several observers
+/// can run over a single replay, mirroring how Pin tools stack analysis
+/// callbacks on one instrumented run.
+pub trait ExecObserver {
+    /// Called once per retired instruction, in global retirement order.
+    fn on_retire(&mut self, r: &Retired);
+}
+
+/// Adapts a closure into an [`ExecObserver`].
+#[derive(Debug)]
+pub struct FnObserver<F: FnMut(&Retired)>(pub F);
+
+impl<F: FnMut(&Retired)> ExecObserver for FnObserver<F> {
+    fn on_retire(&mut self, r: &Retired) {
+        (self.0)(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_isa::{Inst, InstClass, Pc, Retired};
+
+    #[test]
+    fn fn_observer_forwards() {
+        let mut count = 0usize;
+        let mut obs = FnObserver(|_r: &Retired| count += 1);
+        let r = Retired {
+            tid: 0,
+            pc: Pc::INVALID,
+            inst: Inst::Nop,
+            class: InstClass::IntAlu,
+            next_pc: Pc::INVALID,
+            mem: None,
+            ctrl: None,
+            global_seq: 0,
+        };
+        obs.on_retire(&r);
+        obs.on_retire(&r);
+        drop(obs);
+        assert_eq!(count, 2);
+    }
+}

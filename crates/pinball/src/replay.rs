@@ -1,0 +1,343 @@
+//! Constrained replay: re-execution that honours the recorded
+//! shared-access order.
+
+use crate::pinball::{PinballError, RaceEvent, RaceKind};
+use lp_isa::{Machine, MachineState, Program, Retired, StepResult, ThreadState};
+use std::sync::Arc;
+
+/// Per-thread scheduling classification cached between steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Runnable, next instruction does not touch shared memory.
+    Free,
+    /// Runnable, next instruction is a shared access (ordered by the log).
+    AtShared,
+    /// Blocked or halted.
+    NotRunnable,
+}
+
+/// Step-wise constrained replayer.
+///
+/// Scheduling rule: threads whose next instruction is private (registers or
+/// private memory) run freely; shared-memory accesses are only allowed in
+/// the recorded order. Futex blocks are replayed from the log too, so futex
+/// queue order — and therefore wake order — matches the recording exactly.
+/// Given the per-thread determinism of the ISA, this reproduces the recorded
+/// execution's shared state at every log point.
+#[derive(Debug)]
+pub struct Replayer<'p> {
+    machine: Machine,
+    events: &'p [RaceEvent],
+    idx: usize,
+    class: Vec<Class>,
+}
+
+impl<'p> Replayer<'p> {
+    /// Builds a replayer from a snapshot plus the log tail starting at
+    /// `event_start`. Used by whole-program replay (`event_start = 0`) and
+    /// by region checkpoints.
+    pub(crate) fn from_state(
+        program: Arc<Program>,
+        state: &MachineState,
+        events: &'p [RaceEvent],
+        event_start: usize,
+        nthreads: usize,
+    ) -> Self {
+        let machine = Machine::from_snapshot(program, state);
+        let mut rep = Replayer {
+            machine,
+            events,
+            idx: event_start,
+            class: vec![Class::Free; nthreads],
+        };
+        for tid in 0..nthreads {
+            rep.reclassify(tid);
+        }
+        rep
+    }
+
+    /// The underlying machine (read-only).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Index of the next unconsumed race-log entry.
+    pub fn event_index(&self) -> usize {
+        self.idx
+    }
+
+    /// Whether the replayed execution has finished.
+    pub fn is_finished(&self) -> bool {
+        self.machine.is_finished()
+    }
+
+    fn reclassify(&mut self, tid: usize) {
+        self.class[tid] = if self.machine.thread_state(tid) != ThreadState::Running {
+            Class::NotRunnable
+        } else {
+            match self.machine.preview_access(tid) {
+                Some(acc) if acc.shared => Class::AtShared,
+                _ => Class::Free,
+            }
+        };
+    }
+
+    fn reclassify_woken(&mut self) {
+        for tid in 0..self.class.len() {
+            if self.class[tid] == Class::NotRunnable
+                && self.machine.thread_state(tid) == ThreadState::Running
+            {
+                self.reclassify(tid);
+            }
+        }
+    }
+
+    /// Executes until the next retirement, returning it — or `None` when
+    /// the program has finished.
+    ///
+    /// # Errors
+    /// [`PinballError::Diverged`] if the log cannot be honoured (which, for
+    /// a log recorded from the same program and state, indicates a bug).
+    pub fn step(&mut self) -> Result<Option<Retired>, PinballError> {
+        loop {
+            if self.machine.is_finished() {
+                return Ok(None);
+            }
+            // Prefer a thread that is off the shared-access critical path.
+            let free = (0..self.class.len()).find(|&t| self.class[t] == Class::Free);
+            let tid = match free {
+                Some(t) => t,
+                None => {
+                    let Some(ev) = self.events.get(self.idx) else {
+                        // Log exhausted with only shared accesses pending:
+                        // the recording ended here too, so any remaining
+                        // runnable work would be divergence.
+                        if (0..self.class.len()).any(|t| self.class[t] == Class::AtShared) {
+                            return Err(PinballError::Diverged {
+                                at_event: self.idx,
+                                reason: "race log exhausted with shared accesses pending"
+                                    .to_string(),
+                            });
+                        }
+                        return Err(PinballError::Diverged {
+                            at_event: self.idx,
+                            reason: "no runnable thread (deadlock)".to_string(),
+                        });
+                    };
+                    ev.tid as usize
+                }
+            };
+
+            let following_log = free.is_none();
+            match self.machine.step(tid)? {
+                StepResult::Retired(r) => {
+                    let was_shared = r.mem.is_some_and(|m| m.shared);
+                    if following_log {
+                        let ev = self.events[self.idx];
+                        if ev.kind != RaceKind::Access || !was_shared {
+                            return Err(PinballError::Diverged {
+                                at_event: self.idx,
+                                reason: format!(
+                                    "expected {:?} by thread {}, got retirement (shared={})",
+                                    ev.kind, ev.tid, was_shared
+                                ),
+                            });
+                        }
+                        self.idx += 1;
+                    } else if was_shared {
+                        return Err(PinballError::Diverged {
+                            at_event: self.idx,
+                            reason: format!(
+                                "free-scheduled thread {tid} performed a shared access"
+                            ),
+                        });
+                    }
+                    self.reclassify(tid);
+                    if matches!(r.inst, lp_isa::Inst::FutexWake { .. }) {
+                        self.reclassify_woken();
+                    }
+                    return Ok(Some(r));
+                }
+                StepResult::Blocked => {
+                    if !following_log {
+                        return Err(PinballError::Diverged {
+                            at_event: self.idx,
+                            reason: format!("free-scheduled thread {tid} blocked"),
+                        });
+                    }
+                    let ev = self.events[self.idx];
+                    if ev.kind != RaceKind::Block {
+                        return Err(PinballError::Diverged {
+                            at_event: self.idx,
+                            reason: format!(
+                                "expected Access by thread {}, but thread blocked",
+                                ev.tid
+                            ),
+                        });
+                    }
+                    self.idx += 1;
+                    self.reclassify(tid);
+                    // No retirement; continue scheduling.
+                }
+                StepResult::Idle => {
+                    return Err(PinballError::Diverged {
+                        at_event: self.idx,
+                        reason: format!("log named non-runnable thread {tid}"),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Takes a snapshot of the current machine state plus the replay
+    /// position (for region checkpoints).
+    pub fn snapshot(&self) -> (MachineState, usize) {
+        (self.machine.snapshot(), self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pinball::{Pinball, RecordConfig};
+    use lp_isa::{Addr, AluOp, Machine, ProgramBuilder, Reg};
+    use lp_omp::{OmpRuntime, WaitPolicy, APP_BASE};
+    use std::sync::Arc;
+
+    fn racy_program(nthreads: usize, policy: WaitPolicy) -> Arc<lp_isa::Program> {
+        // Threads contend on locks and atomics; the final shared state is
+        // schedule-independent but the access *order* is not — exactly what
+        // the race log must pin down.
+        let mut pb = ProgramBuilder::new("racy");
+        let mut rt = OmpRuntime::build(&mut pb, nthreads, policy);
+        let mut c = pb.main_code();
+        rt.emit_main_init(&mut c);
+        rt.emit_dyn_reset(&mut c);
+        rt.emit_parallel(&mut c, "work", |c, rt| {
+            rt.emit_dynamic_for(c, "work.loop", 64, 3, |c, rt| {
+                c.li(Reg::R1, APP_BASE as i64);
+                c.li(Reg::R2, 1);
+                c.atomic_add(Reg::R3, Reg::R1, 0, Reg::R2);
+                rt.emit_critical(c, lp_omp::LockId(1), |c, _| {
+                    c.load(Reg::R4, Reg::R1, 8);
+                    c.alui(AluOp::Add, Reg::R4, Reg::R4, 2);
+                    c.store(Reg::R4, Reg::R1, 8);
+                });
+            });
+        });
+        rt.emit_shutdown(&mut c);
+        c.halt();
+        c.finish();
+        Arc::new(pb.finish())
+    }
+
+    #[test]
+    fn record_then_replay_matches_instruction_counts() {
+        for policy in [WaitPolicy::Passive, WaitPolicy::Active] {
+            let p = racy_program(4, policy);
+            let pb = Pinball::record(&p, 4, RecordConfig::default()).unwrap();
+            let stats = pb.replay(p.clone(), &mut [], u64::MAX).unwrap();
+            assert_eq!(
+                stats.instructions,
+                pb.instructions(),
+                "replay must retire exactly the recorded stream ({policy})"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_final_memory() {
+        let p = racy_program(4, WaitPolicy::Passive);
+        let pb = Pinball::record(&p, 4, RecordConfig::default()).unwrap();
+        let mut rep = pb.replayer(p.clone());
+        while rep.step().unwrap().is_some() {}
+        assert!(rep.is_finished());
+        assert_eq!(rep.machine().mem().load(Addr(APP_BASE)), 64);
+        assert_eq!(rep.machine().mem().load(Addr(APP_BASE + 8)), 128);
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_runs() {
+        let p = racy_program(8, WaitPolicy::Active);
+        let pb = Pinball::record(&p, 8, RecordConfig::default()).unwrap();
+        let a = pb.replay(p.clone(), &mut [], u64::MAX).unwrap();
+        let b = pb.replay(p.clone(), &mut [], u64::MAX).unwrap();
+        assert_eq!(a, b, "two replays are bit-identical");
+        assert_eq!(a.per_thread, b.per_thread);
+    }
+
+    #[test]
+    fn different_quanta_record_different_interleavings_same_result() {
+        // Recording on "different hosts" (different flow-control quanta)
+        // yields different race logs but the same functional outcome.
+        let p = racy_program(4, WaitPolicy::Passive);
+        let pb1 = Pinball::record(
+            &p,
+            4,
+            RecordConfig {
+                quantum: 13,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pb2 = Pinball::record(
+            &p,
+            4,
+            RecordConfig {
+                quantum: 173,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(
+            pb1.events(),
+            pb2.events(),
+            "hosts interleave shared accesses differently"
+        );
+        let mut r1 = pb1.replayer(p.clone());
+        while r1.step().unwrap().is_some() {}
+        let mut r2 = pb2.replayer(p.clone());
+        while r2.step().unwrap().is_some() {}
+        assert_eq!(
+            r1.machine().mem().load(Addr(APP_BASE)),
+            r2.machine().mem().load(Addr(APP_BASE))
+        );
+    }
+
+    #[test]
+    fn single_threaded_pinball_has_no_blocks() {
+        let mut pbuild = ProgramBuilder::new("st");
+        let mut c = pbuild.main_code();
+        c.li(Reg::R1, 0x40);
+        c.counted_loop("l", Reg::R2, 10, |c| {
+            c.load(Reg::R3, Reg::R1, 0);
+            c.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+            c.store(Reg::R3, Reg::R1, 0);
+        });
+        c.halt();
+        c.finish();
+        let p = Arc::new(pbuild.finish());
+        let pb = Pinball::record(&p, 1, RecordConfig::default()).unwrap();
+        assert!(pb
+            .events()
+            .iter()
+            .all(|e| e.kind == crate::pinball::RaceKind::Access));
+        assert_eq!(pb.events().len(), 20, "10 loads + 10 stores");
+        let stats = pb.replay(p, &mut [], u64::MAX).unwrap();
+        assert_eq!(stats.instructions, pb.instructions());
+    }
+
+    #[test]
+    fn recording_does_not_perturb_program_results() {
+        // The recorded program's functional result equals a plain run.
+        let p = racy_program(4, WaitPolicy::Passive);
+        let mut plain = Machine::new(p.clone(), 4);
+        plain.run_to_completion(u64::MAX).unwrap();
+        let pb = Pinball::record(&p, 4, RecordConfig::default()).unwrap();
+        let mut rep = pb.replayer(p);
+        while rep.step().unwrap().is_some() {}
+        assert_eq!(
+            plain.mem().load(Addr(APP_BASE)),
+            rep.machine().mem().load(Addr(APP_BASE))
+        );
+    }
+}

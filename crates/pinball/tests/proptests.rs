@@ -1,0 +1,83 @@
+//! Property-based record/replay equivalence on randomized contended
+//! programs.
+
+use lp_isa::{Addr, AluOp, Machine, ProgramBuilder, Reg};
+use lp_omp::{LockId, OmpRuntime, WaitPolicy, APP_BASE};
+use lp_pinball::{Pinball, RecordConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a randomized parallel program: each thread mixes atomic adds,
+/// locked updates, and private compute, with parameters drawn by proptest.
+fn random_program(
+    nthreads: usize,
+    policy: WaitPolicy,
+    iters: u64,
+    chunk: u64,
+    use_lock: bool,
+) -> Arc<lp_isa::Program> {
+    let mut pb = ProgramBuilder::new("prop");
+    let mut rt = OmpRuntime::build(&mut pb, nthreads, policy);
+    let mut c = pb.main_code();
+    rt.emit_main_init(&mut c);
+    rt.emit_dyn_reset(&mut c);
+    rt.emit_parallel(&mut c, "work", |c, rt| {
+        rt.emit_dynamic_for(c, "work.loop", iters, chunk, |c, rt| {
+            c.li(Reg::R1, APP_BASE as i64);
+            c.li(Reg::R2, 1);
+            c.atomic_add(Reg::R3, Reg::R1, 0, Reg::R2);
+            if use_lock {
+                rt.emit_critical(c, LockId(4), |c, _| {
+                    c.load(Reg::R4, Reg::R1, 8);
+                    c.alui(AluOp::Add, Reg::R4, Reg::R4, 3);
+                    c.store(Reg::R4, Reg::R1, 8);
+                });
+            }
+        });
+    });
+    rt.emit_shutdown(&mut c);
+    c.halt();
+    c.finish();
+    Arc::new(pb.finish())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any program shape, policy, thread count, and recording quantum:
+    /// replay retires exactly the recorded stream and reproduces the final
+    /// shared state of a plain run.
+    #[test]
+    fn record_replay_equivalence(
+        nthreads in 1usize..6,
+        active in any::<bool>(),
+        iters in 8u64..64,
+        chunk in 1u64..8,
+        use_lock in any::<bool>(),
+        quantum in 7u64..300,
+    ) {
+        let policy = if active { WaitPolicy::Active } else { WaitPolicy::Passive };
+        let p = random_program(nthreads, policy, iters, chunk, use_lock);
+
+        let mut plain = Machine::new(p.clone(), nthreads);
+        plain.run_to_completion(u64::MAX).unwrap();
+
+        let pb = Pinball::record(&p, nthreads, RecordConfig { quantum, max_steps: u64::MAX })
+            .unwrap();
+        let mut rep = pb.replayer(p.clone());
+        let mut retired = 0u64;
+        while rep.step().unwrap().is_some() {
+            retired += 1;
+        }
+        prop_assert_eq!(retired, pb.instructions());
+        prop_assert!(rep.is_finished());
+        prop_assert_eq!(
+            rep.machine().mem().load(Addr(APP_BASE)),
+            plain.mem().load(Addr(APP_BASE))
+        );
+        prop_assert_eq!(
+            rep.machine().mem().load(Addr(APP_BASE + 8)),
+            plain.mem().load(Addr(APP_BASE + 8))
+        );
+    }
+}

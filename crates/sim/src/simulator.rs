@@ -1,0 +1,623 @@
+//! The unconstrained multicore simulator driver.
+
+use crate::stats::{IpcSample, SimStats};
+use crate::timing::TimingModel;
+use lp_isa::{Inst, Machine, MachineError, Marker, Pc, Program, StepResult, ThreadState};
+use lp_uarch::SimConfig;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Simulation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Functional execution with cache/branch-predictor warming only.
+    FastForward,
+    /// Full core timing.
+    Detailed,
+}
+
+/// A stop condition for a simulation segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCond {
+    /// Stop after the `count`-th global execution of the marker PC.
+    Marker(Marker),
+    /// Stop once the machine's global retired-instruction count reaches
+    /// this value (the boundary representation naive instruction-count
+    /// sampling uses — unstable across interleavings, which is the point
+    /// of the §II comparison).
+    AtGlobalInst(u64),
+}
+
+impl From<Marker> for StopCond {
+    fn from(m: Marker) -> Self {
+        StopCond::Marker(m)
+    }
+}
+
+/// Errors from simulation runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The functional machine faulted.
+    Machine(MachineError),
+    /// All live threads were blocked.
+    Deadlock {
+        /// Global instructions retired when the deadlock was detected.
+        at_instructions: u64,
+    },
+    /// The program finished before the stop marker was reached.
+    MarkerNotReached {
+        /// The marker that was never hit.
+        marker: Marker,
+        /// How many times its PC had executed.
+        executed: u64,
+    },
+    /// The step budget was exhausted.
+    StepLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Machine(e) => write!(f, "machine fault: {e}"),
+            SimError::Deadlock { at_instructions } => {
+                write!(f, "deadlock after {at_instructions} instructions")
+            }
+            SimError::MarkerNotReached { marker, executed } => write!(
+                f,
+                "program ended before marker {marker} (pc executed {executed} times)"
+            ),
+            SimError::StepLimit { limit } => write!(f, "step limit of {limit} exhausted"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for SimError {
+    fn from(e: MachineError) -> Self {
+        SimError::Machine(e)
+    }
+}
+
+/// Result of a region simulation: warmup plus detailed stats.
+#[derive(Debug, Clone)]
+pub struct RegionSim {
+    /// Detailed statistics for the region (warmup fields filled in).
+    pub stats: SimStats,
+}
+
+/// Unconstrained multicore timing simulator.
+///
+/// Threads map 1:1 onto cores; a min-cycle scheduler always steps the
+/// runnable core with the smallest local clock, so thread interleaving is
+/// decided by the simulated microarchitecture (the paper's *unconstrained
+/// simulation*).
+///
+/// ```
+/// use lp_isa::{ProgramBuilder, Reg, AluOp};
+/// use lp_sim::{Simulator, Mode};
+/// use lp_uarch::SimConfig;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), lp_sim::SimError> {
+/// let mut pb = ProgramBuilder::new("demo");
+/// let mut c = pb.main_code();
+/// c.counted_loop("l", Reg::R1, 100, |c| {
+///     c.alui(AluOp::Mul, Reg::R2, Reg::R2, 3);
+/// });
+/// c.halt();
+/// c.finish();
+///
+/// let mut sim = Simulator::new(Arc::new(pb.finish()), 1, SimConfig::gainestown(1));
+/// let stats = sim.run(Mode::Detailed, None, u64::MAX)?;
+/// assert!(stats.ipc() > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    machine: Machine,
+    timing: TimingModel,
+    parked: Vec<bool>,
+    watch: Vec<(Pc, u64)>,
+    sample_interval: Option<u64>,
+    ff_instructions: u64,
+    ff_wall: std::time::Duration,
+}
+
+impl Simulator {
+    /// Creates a simulator for `program` with a team of `nthreads` threads
+    /// on configuration `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `nthreads` exceeds the configured core count.
+    pub fn new(program: Arc<Program>, nthreads: usize, cfg: SimConfig) -> Self {
+        assert!(
+            nthreads <= cfg.ncores,
+            "team of {nthreads} exceeds {} cores",
+            cfg.ncores
+        );
+        Self::from_machine(Machine::new(program, nthreads), cfg)
+    }
+
+    /// Creates a simulator resuming from an existing machine state (the
+    /// checkpoint-driven mode: the machine typically comes from a pinball
+    /// region checkpoint). Timing state starts cold; pair with a warmup
+    /// segment. Use [`Simulator::watch_pc_from`] to seed marker counts
+    /// with their values at the checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the machine's thread count exceeds the configured cores.
+    pub fn from_machine(machine: Machine, cfg: SimConfig) -> Self {
+        let nthreads = machine.num_threads();
+        assert!(
+            nthreads <= cfg.ncores,
+            "team of {nthreads} exceeds {} cores",
+            cfg.ncores
+        );
+        // Threads already parked on futexes at the checkpoint must not be
+        // scheduled until woken.
+        let parked = (0..nthreads)
+            .map(|tid| matches!(machine.thread_state(tid), ThreadState::Blocked { .. }))
+            .collect();
+        Simulator {
+            timing: TimingModel::new(cfg, nthreads),
+            parked,
+            watch: Vec::new(),
+            sample_interval: None,
+            ff_instructions: 0,
+            ff_wall: std::time::Duration::ZERO,
+            machine,
+        }
+    }
+
+    /// The simulated machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        self.timing.config()
+    }
+
+    /// Read-only access to the functional machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Registers `pc` for global execution counting (markers must be
+    /// watched before the run that crosses them).
+    pub fn watch_pc(&mut self, pc: Pc) {
+        self.watch_pc_from(pc, 0);
+    }
+
+    /// Registers `pc` with an initial count — the count the pc had already
+    /// reached at the state this simulator resumed from (checkpoint-driven
+    /// runs keep using whole-program `(PC, count)` markers this way).
+    pub fn watch_pc_from(&mut self, pc: Pc, initial: u64) {
+        if !self.watch.iter().any(|(p, _)| *p == pc) {
+            self.watch.push((pc, initial));
+        }
+    }
+
+    /// Times the watched PC has executed so far.
+    pub fn watch_count(&self, pc: Pc) -> u64 {
+        self.watch
+            .iter()
+            .find(|(p, _)| *p == pc)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Disables cache/predictor warming during fast-forward (cold-start
+    /// ablation).
+    pub fn set_ff_warming(&mut self, enabled: bool) {
+        self.timing.set_ff_warming(enabled);
+    }
+
+    /// Enables IPC-over-time sampling every `interval` instructions during
+    /// detailed runs (Fig. 4b traces).
+    pub fn set_ipc_sampling(&mut self, interval: u64) {
+        assert!(interval > 0);
+        self.sample_interval = Some(interval);
+    }
+
+    fn pick_next(&self) -> Option<usize> {
+        let mut best: Option<(usize, u64)> = None;
+        for tid in 0..self.timing.ncores() {
+            if self.machine.thread_state(tid) == ThreadState::Running {
+                let now = self.timing.core_now(tid);
+                if best.map_or(true, |(_, b)| now < b) {
+                    best = Some((tid, now));
+                }
+            }
+        }
+        best.map(|(tid, _)| tid)
+    }
+
+    /// Runs in `mode` until `stop` is crossed (or program end when `stop`
+    /// is `None`), with a hard step budget.
+    ///
+    /// Detailed runs reset hierarchy/branch statistics at entry (keeping
+    /// warmed state) and report statistics for the segment only.
+    ///
+    /// # Errors
+    /// [`SimError::MarkerNotReached`] if the program finished first;
+    /// [`SimError::Deadlock`] / [`SimError::StepLimit`] / machine faults.
+    pub fn run(
+        &mut self,
+        mode: Mode,
+        stop: Option<StopCond>,
+        max_steps: u64,
+    ) -> Result<SimStats, SimError> {
+        if let Some(StopCond::Marker(m)) = stop {
+            assert!(
+                self.watch.iter().any(|(p, _)| *p == m.pc),
+                "stop marker {m} must be watched before running"
+            );
+        }
+        let wall_start = Instant::now();
+        let detailed = mode == Mode::Detailed;
+        if detailed {
+            self.timing.reset_stats();
+        }
+        let cycles_start = self.timing.max_cycle();
+        let mut stats = SimStats {
+            per_thread_instructions: vec![0; self.timing.ncores()],
+            ..Default::default()
+        };
+        let mut steps: u64 = 0;
+        let mut sample_insts: u64 = 0;
+        let mut sample_cycle_base = cycles_start;
+        let mut stopped_at_marker = false;
+
+        'outer: while steps < max_steps {
+            if self.machine.is_finished() {
+                break;
+            }
+            let Some(tid) = self.pick_next() else {
+                return Err(SimError::Deadlock {
+                    at_instructions: stats.instructions,
+                });
+            };
+            match self.machine.step(tid)? {
+                StepResult::Idle => unreachable!("picked a runnable thread"),
+                StepResult::Blocked => {
+                    self.parked[tid] = true;
+                }
+                StepResult::Retired(r) => {
+                    steps += 1;
+                    stats.instructions += 1;
+                    stats.per_thread_instructions[tid] += 1;
+                    if !self.machine.program().is_library_pc(r.pc) {
+                        stats.filtered_instructions += 1;
+                    }
+
+                    self.timing.account(&r, mode);
+
+                    if matches!(r.inst, Inst::FutexWake { .. }) {
+                        self.unpark_woken(tid);
+                    }
+
+                    if detailed {
+                        if let Some(interval) = self.sample_interval {
+                            sample_insts += 1;
+                            if sample_insts >= interval {
+                                let cyc = self.timing.max_cycle();
+                                let window_cycles = cyc.saturating_sub(sample_cycle_base).max(1);
+                                stats.ipc_trace.push(IpcSample {
+                                    instructions: stats.instructions,
+                                    cycles: cyc - cycles_start,
+                                    ipc: sample_insts as f64 / window_cycles as f64,
+                                });
+                                sample_insts = 0;
+                                sample_cycle_base = cyc;
+                            }
+                        }
+                    }
+
+                    // Marker bookkeeping last: the marker occurrence itself
+                    // belongs to the segment that ends at it.
+                    for (pc, count) in &mut self.watch {
+                        if *pc == r.pc {
+                            *count += 1;
+                            if let Some(StopCond::Marker(m)) = stop {
+                                if m.pc == *pc && *count == m.count {
+                                    stopped_at_marker = true;
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                    if let Some(StopCond::AtGlobalInst(n)) = stop {
+                        if self.machine.global_retired() >= n {
+                            stopped_at_marker = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(cond) = stop {
+            if !stopped_at_marker {
+                if steps >= max_steps && !self.machine.is_finished() {
+                    return Err(SimError::StepLimit { limit: max_steps });
+                }
+                match cond {
+                    StopCond::Marker(m) => {
+                        return Err(SimError::MarkerNotReached {
+                            marker: m,
+                            executed: self.watch_count(m.pc),
+                        })
+                    }
+                    StopCond::AtGlobalInst(_) => {
+                        // The program ended before the requested index; for
+                        // instruction-count regions that is a valid, shorter
+                        // region rather than an error.
+                    }
+                }
+            }
+        } else if steps >= max_steps && !self.machine.is_finished() {
+            return Err(SimError::StepLimit { limit: max_steps });
+        }
+
+        stats.cycles = self.timing.max_cycle().saturating_sub(cycles_start);
+        if detailed {
+            self.timing.collect_into(&mut stats);
+            stats.wall = wall_start.elapsed();
+            stats.ff_instructions = self.ff_instructions;
+            stats.ff_wall = self.ff_wall;
+        } else {
+            self.ff_instructions += stats.instructions;
+            self.ff_wall += wall_start.elapsed();
+            stats.ff_instructions = self.ff_instructions;
+            stats.ff_wall = self.ff_wall;
+        }
+        Ok(stats)
+    }
+
+    fn unpark_woken(&mut self, waker: usize) {
+        let wake_cycle = self.timing.core_now(waker);
+        for tid in 0..self.parked.len() {
+            if self.parked[tid] && self.machine.thread_state(tid) == ThreadState::Running {
+                self.parked[tid] = false;
+                self.timing.advance_core_to(tid, wake_cycle);
+            }
+        }
+    }
+}
+
+/// Runs a whole program in detailed mode.
+///
+/// # Errors
+/// Propagates any [`SimError`] from the run.
+pub fn simulate_full(
+    program: Arc<Program>,
+    nthreads: usize,
+    cfg: SimConfig,
+    max_steps: u64,
+) -> Result<SimStats, SimError> {
+    let mut sim = Simulator::new(program, nthreads, cfg);
+    sim.run(Mode::Detailed, None, max_steps)
+}
+
+/// Runs one region: fast-forwards (with warming) from program start to
+/// `start`, then simulates in detail until `end`.
+///
+/// Passing `start = None` begins detailed simulation at program start.
+///
+/// # Errors
+/// Propagates any [`SimError`]; in particular markers that are never
+/// reached surface as [`SimError::MarkerNotReached`].
+pub fn simulate_region(
+    program: Arc<Program>,
+    nthreads: usize,
+    cfg: SimConfig,
+    start: Option<Marker>,
+    end: Marker,
+    max_steps: u64,
+) -> Result<RegionSim, SimError> {
+    let mut sim = Simulator::new(program, nthreads, cfg);
+    if let Some(s) = start {
+        sim.watch_pc(s.pc);
+    }
+    sim.watch_pc(end.pc);
+    if let Some(s) = start {
+        sim.run(Mode::FastForward, Some(StopCond::Marker(s)), max_steps)?;
+    }
+    let stats = sim.run(Mode::Detailed, Some(StopCond::Marker(end)), max_steps)?;
+    Ok(RegionSim { stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_isa::{AluOp, ProgramBuilder, Reg};
+    use lp_omp::{OmpRuntime, WaitPolicy};
+
+    const BUDGET: u64 = 200_000_000;
+
+    /// A small two-phase program: a cache-friendly compute loop, then a
+    /// memory-streaming loop over a large array.
+    fn two_phase_program(iters: u64) -> (Arc<Program>, Pc) {
+        let mut pb = ProgramBuilder::new("two-phase");
+        let mut c = pb.main_code();
+        c.li(Reg::R1, 1);
+        c.counted_loop("compute", Reg::R2, iters, |c| {
+            c.alui(AluOp::Mul, Reg::R1, Reg::R1, 3);
+            c.alui(AluOp::Add, Reg::R1, Reg::R1, 7);
+        });
+        c.li(Reg::R3, 0x100_0000); // array base
+        let hdr = c.counted_loop("stream", Reg::R2, iters, |c| {
+            c.load(Reg::R4, Reg::R3, 0);
+            c.alui(AluOp::Add, Reg::R3, Reg::R3, 64);
+            c.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R4);
+        });
+        c.halt();
+        c.finish();
+        (Arc::new(pb.finish()), hdr)
+    }
+
+    #[test]
+    fn full_simulation_produces_sane_stats() {
+        let (p, _) = two_phase_program(1000);
+        let stats = simulate_full(p, 1, lp_uarch::SimConfig::gainestown(1), BUDGET).unwrap();
+        assert!(stats.instructions > 6000);
+        assert!(stats.cycles > 0);
+        let ipc = stats.ipc();
+        assert!(ipc > 0.1 && ipc < 4.0, "ipc={ipc}");
+        assert!(stats.mem.loads >= 1000);
+        assert!(stats.mem.l1d_misses > 0, "streaming loop must miss");
+    }
+
+    #[test]
+    fn inorder_is_slower_than_ooo() {
+        let (p, _) = two_phase_program(2000);
+        let ooo = simulate_full(p.clone(), 1, lp_uarch::SimConfig::gainestown(1), BUDGET)
+            .unwrap();
+        let ino = simulate_full(p, 1, lp_uarch::SimConfig::gainestown_inorder(1), BUDGET)
+            .unwrap();
+        assert_eq!(ooo.instructions, ino.instructions, "same functional path");
+        assert!(
+            ino.cycles > ooo.cycles,
+            "in-order {} should exceed OoO {}",
+            ino.cycles,
+            ooo.cycles
+        );
+    }
+
+    #[test]
+    fn region_simulation_stops_at_marker() {
+        let (p, stream_hdr) = two_phase_program(1000);
+        // Region = stream iterations 100..=200 (global counts).
+        let start = Marker::new(stream_hdr, 100);
+        let end = Marker::new(stream_hdr, 200);
+        let cfg = lp_uarch::SimConfig::gainestown(1);
+        let region = simulate_region(p, 1, cfg, Some(start), end, BUDGET).unwrap();
+        // 100 stream iterations x 5 instructions (load/add/add/sub/branch).
+        assert_eq!(region.stats.instructions, 500);
+        assert!(region.stats.ff_instructions > 0, "warmup happened");
+    }
+
+    #[test]
+    fn marker_not_reached_is_reported() {
+        let (p, hdr) = two_phase_program(10);
+        let cfg = lp_uarch::SimConfig::gainestown(1);
+        let err = simulate_region(p, 1, cfg, None, Marker::new(hdr, 500), BUDGET).unwrap_err();
+        assert!(matches!(err, SimError::MarkerNotReached { .. }), "{err}");
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let (p, _) = two_phase_program(100_000);
+        let err = simulate_full(p, 1, lp_uarch::SimConfig::gainestown(1), 1000).unwrap_err();
+        assert!(matches!(err, SimError::StepLimit { limit: 1000 }));
+    }
+
+    fn parallel_program(nthreads: usize, policy: WaitPolicy) -> Arc<Program> {
+        let mut pb = ProgramBuilder::new("par");
+        let mut rt = OmpRuntime::build(&mut pb, nthreads, policy);
+        let mut c = pb.main_code();
+        rt.emit_main_init(&mut c);
+        rt.emit_parallel(&mut c, "work", |c, rt| {
+            rt.emit_static_for(c, "work.loop", 4096, |c, _| {
+                // idx in r16: touch a shared array.
+                c.li(Reg::R1, 0x100_0000);
+                c.alui(AluOp::Shl, Reg::R2, Reg::R16, 3);
+                c.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R2);
+                c.load(Reg::R3, Reg::R1, 0);
+                c.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+                c.store(Reg::R3, Reg::R1, 0);
+            });
+        });
+        rt.emit_shutdown(&mut c);
+        c.halt();
+        c.finish();
+        Arc::new(pb.finish())
+    }
+
+    #[test]
+    fn multithreaded_simulation_completes_and_scales() {
+        let cfg8 = lp_uarch::SimConfig::gainestown(8);
+        let s1 = simulate_full(parallel_program(1, WaitPolicy::Passive), 1, cfg8.clone(), BUDGET)
+            .unwrap();
+        let s8 = simulate_full(parallel_program(8, WaitPolicy::Passive), 8, cfg8, BUDGET)
+            .unwrap();
+        assert!(
+            (s8.cycles as f64) < s1.cycles as f64 / 2.0,
+            "8 threads ({}) should be much faster than 1 ({})",
+            s8.cycles,
+            s1.cycles
+        );
+    }
+
+    #[test]
+    fn active_policy_retires_spin_instructions() {
+        let passive =
+            simulate_full(parallel_program(4, WaitPolicy::Passive), 4,
+                lp_uarch::SimConfig::gainestown(4), BUDGET).unwrap();
+        let active =
+            simulate_full(parallel_program(4, WaitPolicy::Active), 4,
+                lp_uarch::SimConfig::gainestown(4), BUDGET).unwrap();
+        assert!(
+            active.instructions > passive.instructions,
+            "spinning inflates instruction count: active={} passive={}",
+            active.instructions,
+            passive.instructions
+        );
+        // Spin instructions are in the library image, so the *filtered*
+        // counts must be close (they differ only by futex-vs-spin runtime
+        // code paths, not by application work).
+        let diff = (active.filtered_instructions as f64 - passive.filtered_instructions as f64)
+            .abs()
+            / passive.filtered_instructions as f64;
+        assert!(diff < 0.01, "filtered counts nearly equal, diff={diff}");
+    }
+
+    #[test]
+    fn ipc_sampling_produces_trace() {
+        let (p, _) = two_phase_program(5000);
+        let mut sim = Simulator::new(p, 1, lp_uarch::SimConfig::gainestown(1));
+        sim.set_ipc_sampling(1000);
+        let stats = sim.run(Mode::Detailed, None, BUDGET).unwrap();
+        assert!(stats.ipc_trace.len() >= 10);
+        // The compute phase should have higher IPC than the streaming phase.
+        let first = stats.ipc_trace[1].ipc;
+        let last = stats.ipc_trace[stats.ipc_trace.len() - 2].ipc;
+        assert!(
+            first > last,
+            "compute IPC {first} should exceed streaming IPC {last}"
+        );
+    }
+
+    #[test]
+    fn watch_counts_accumulate_across_runs() {
+        let (p, hdr) = two_phase_program(50);
+        let mut sim = Simulator::new(p, 1, lp_uarch::SimConfig::gainestown(1));
+        sim.watch_pc(hdr);
+        sim.run(Mode::FastForward, Some(StopCond::Marker(Marker::new(hdr, 10))), BUDGET)
+            .unwrap();
+        assert_eq!(sim.watch_count(hdr), 10);
+        sim.run(Mode::Detailed, Some(StopCond::Marker(Marker::new(hdr, 30))), BUDGET)
+            .unwrap();
+        assert_eq!(sim.watch_count(hdr), 30);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = parallel_program(4, WaitPolicy::Active);
+        let a = simulate_full(p.clone(), 4, lp_uarch::SimConfig::gainestown(4), BUDGET).unwrap();
+        let b = simulate_full(p, 4, lp_uarch::SimConfig::gainestown(4), BUDGET).unwrap();
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

@@ -1,0 +1,177 @@
+//! Timing-model effects the evaluation depends on: wait-policy costs,
+//! coherence interference, mispredict penalties, and prefetching.
+
+use lp_isa::{AluOp, Cond, Program, ProgramBuilder, Reg};
+use lp_omp::{OmpRuntime, WaitPolicy, APP_BASE};
+use lp_sim::simulate_full;
+use lp_uarch::SimConfig;
+use std::sync::Arc;
+
+const BUDGET: u64 = 500_000_000;
+
+/// Imbalanced barrier program: thread 0 does 10× the work of the others.
+fn imbalanced(policy: WaitPolicy, nthreads: usize) -> Arc<Program> {
+    let mut pb = ProgramBuilder::new("imb");
+    let mut rt = OmpRuntime::build(&mut pb, nthreads, policy);
+    let mut c = pb.main_code();
+    rt.emit_main_init(&mut c);
+    rt.emit_parallel(&mut c, "work", |c, rt| {
+        c.tid(Reg::R1);
+        let heavy = c.new_label();
+        let done = c.new_label();
+        c.branch(Cond::Eq, Reg::R1, Reg::R31, heavy);
+        c.li(Reg::R2, 200);
+        c.jump(done);
+        c.bind(heavy);
+        c.li(Reg::R2, 2000);
+        c.bind(done);
+        c.counted_loop_reg("", Reg::R2, |c| {
+            c.alui(AluOp::Mul, Reg::R3, Reg::R3, 13);
+        });
+        rt.emit_barrier(c);
+    });
+    rt.emit_shutdown(&mut c);
+    c.halt();
+    c.finish();
+    Arc::new(pb.finish())
+}
+
+#[test]
+fn active_waiting_burns_instructions_not_time() {
+    // With one slow thread, active waiters spin (retiring instructions)
+    // while passive waiters sleep; the *runtime* is dominated by the slow
+    // thread either way, so cycles should be in the same ballpark while
+    // instruction counts differ hugely.
+    let cfg = SimConfig::gainestown(4);
+    let act = simulate_full(imbalanced(WaitPolicy::Active, 4), 4, cfg.clone(), BUDGET).unwrap();
+    let pas = simulate_full(imbalanced(WaitPolicy::Passive, 4), 4, cfg, BUDGET).unwrap();
+    assert!(
+        act.instructions > pas.instructions * 2,
+        "spinning inflates instructions: {} vs {}",
+        act.instructions,
+        pas.instructions
+    );
+    let cycle_ratio = act.cycles as f64 / pas.cycles as f64;
+    assert!(
+        (0.5..2.0).contains(&cycle_ratio),
+        "runtimes comparable, ratio {cycle_ratio}"
+    );
+}
+
+/// Threads repeatedly writing the same shared line (true sharing) vs
+/// disjoint lines.
+fn sharing(nthreads: usize, same_line: bool) -> Arc<Program> {
+    let mut pb = ProgramBuilder::new("share");
+    let mut rt = OmpRuntime::build(&mut pb, nthreads, WaitPolicy::Passive);
+    let mut c = pb.main_code();
+    rt.emit_main_init(&mut c);
+    rt.emit_parallel(&mut c, "w", |c, _| {
+        c.tid(Reg::R1);
+        if same_line {
+            c.li(Reg::R2, APP_BASE as i64); // everyone hits one line
+        } else {
+            c.li(Reg::R3, 4096);
+            c.alu(AluOp::Mul, Reg::R2, Reg::R1, Reg::R3);
+            c.alui(AluOp::Add, Reg::R2, Reg::R2, APP_BASE as i64);
+        }
+        c.li(Reg::R4, 2000);
+        c.counted_loop_reg("", Reg::R4, |c| {
+            c.load(Reg::R5, Reg::R2, 0);
+            c.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+            c.store(Reg::R5, Reg::R2, 0);
+        });
+    });
+    rt.emit_shutdown(&mut c);
+    c.halt();
+    c.finish();
+    Arc::new(pb.finish())
+}
+
+#[test]
+fn true_sharing_costs_more_than_disjoint_lines() {
+    let cfg = SimConfig::gainestown(4);
+    let shared = simulate_full(sharing(4, true), 4, cfg.clone(), BUDGET).unwrap();
+    let disjoint = simulate_full(sharing(4, false), 4, cfg, BUDGET).unwrap();
+    assert!(
+        shared.mem.invalidations > disjoint.mem.invalidations * 5,
+        "ping-pong invalidations: {} vs {}",
+        shared.mem.invalidations,
+        disjoint.mem.invalidations
+    );
+    assert!(
+        shared.cycles > disjoint.cycles,
+        "coherence traffic slows the shared-line version: {} vs {}",
+        shared.cycles,
+        disjoint.cycles
+    );
+}
+
+/// Data-dependent (unpredictable) branches vs a fixed pattern.
+fn branchy(pseudo_random: bool) -> Arc<Program> {
+    let mut pb = ProgramBuilder::new("br");
+    let mut c = pb.main_code();
+    c.li(Reg::R1, 0x9e3779b9);
+    c.li(Reg::R5, 0);
+    c.counted_loop("l", Reg::R2, 20_000, |c| {
+        if pseudo_random {
+            c.alui(AluOp::Mul, Reg::R1, Reg::R1, 6364136223846793005u64 as i64);
+            c.alui(AluOp::Add, Reg::R1, Reg::R1, 1442695040888963407u64 as i64);
+            c.alui(AluOp::Shr, Reg::R3, Reg::R1, 33);
+            c.alui(AluOp::And, Reg::R3, Reg::R3, 1);
+        } else {
+            c.li(Reg::R3, 1);
+        }
+        let skip = c.new_label();
+        c.branch(Cond::Eq, Reg::R3, Reg::R31, skip);
+        c.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+        c.bind(skip);
+    });
+    c.halt();
+    c.finish();
+    Arc::new(pb.finish())
+}
+
+#[test]
+fn unpredictable_branches_cost_cycles() {
+    let cfg = SimConfig::gainestown(1);
+    let random = simulate_full(branchy(true), 1, cfg.clone(), BUDGET).unwrap();
+    let fixed = simulate_full(branchy(false), 1, cfg, BUDGET).unwrap();
+    assert!(
+        random.branch_mpki() > fixed.branch_mpki() * 5.0,
+        "mispredicts: {} vs {} MPKI",
+        random.branch_mpki(),
+        fixed.branch_mpki()
+    );
+    // Per-instruction cost must be higher for the unpredictable version.
+    let cpi_r = random.cycles as f64 / random.instructions as f64;
+    let cpi_f = fixed.cycles as f64 / fixed.instructions as f64;
+    assert!(cpi_r > cpi_f, "CPI {cpi_r:.3} vs {cpi_f:.3}");
+}
+
+#[test]
+fn prefetcher_speeds_up_streaming() {
+    let mut pb = ProgramBuilder::new("stream");
+    let mut c = pb.main_code();
+    c.li(Reg::R1, APP_BASE as i64);
+    c.counted_loop("s", Reg::R2, 20_000, |c| {
+        c.load(Reg::R3, Reg::R1, 0);
+        c.alui(AluOp::Add, Reg::R1, Reg::R1, 64);
+    });
+    c.halt();
+    c.finish();
+    let p = Arc::new(pb.finish());
+
+    let base = SimConfig::gainestown(1);
+    let mut pf = SimConfig::gainestown(1);
+    pf.prefetch_next_line = true;
+
+    let without = simulate_full(p.clone(), 1, base, BUDGET).unwrap();
+    let with = simulate_full(p, 1, pf, BUDGET).unwrap();
+    assert!(with.mem.prefetches > 10_000, "prefetcher active");
+    assert!(
+        with.cycles < without.cycles * 9 / 10,
+        "prefetching speeds streaming: {} vs {}",
+        with.cycles,
+        without.cycles
+    );
+}

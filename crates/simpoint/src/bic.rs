@@ -1,0 +1,77 @@
+//! Bayesian Information Criterion for k-means clusterings.
+
+use crate::kmeans::KmeansResult;
+
+/// Scores a clustering with the spherical-Gaussian BIC of Pelleg & Moore
+/// (the criterion SimPoint uses for model selection, §III-E).
+///
+/// Higher is better. Degenerate (zero-variance) fits are scored with a
+/// variance floor so that k = n does not trivially win; the floor is sized
+/// for L1-normalized, randomly projected BBVs, where genuine phase
+/// differences are O(0.1) and within-phase noise is orders of magnitude
+/// smaller.
+pub fn bic_score(points: &[Vec<f64>], km: &KmeansResult) -> f64 {
+    let r = points.len() as f64;
+    let m = points[0].len() as f64;
+    let k = km.centroids.len() as f64;
+
+    let mut sizes = vec![0usize; km.centroids.len()];
+    for &a in &km.assignments {
+        sizes[a] += 1;
+    }
+
+    // Pooled spherical variance estimate with a floor.
+    let dof = (r - k).max(1.0);
+    let sigma2 = (km.sse / (dof * m)).max(1e-4);
+
+    let mut ll = 0.0;
+    for &sz in &sizes {
+        if sz == 0 {
+            continue;
+        }
+        let rn = sz as f64;
+        ll += rn * rn.ln() - rn * r.ln();
+    }
+    ll -= r * m / 2.0 * (2.0 * std::f64::consts::PI * sigma2).ln();
+    ll -= (r - k) * m / 2.0;
+
+    let params = k * (m + 1.0);
+    ll - params / 2.0 * r.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::kmeans;
+
+    #[test]
+    fn true_k_beats_underfit_and_heavy_overfit() {
+        // Three well-separated blobs in 2D.
+        let mut pts = Vec::new();
+        for c in [0.0, 100.0, 200.0] {
+            for i in 0..12 {
+                pts.push(vec![c + (i % 4) as f64 * 0.1, c - (i % 3) as f64 * 0.1]);
+            }
+        }
+        let score = |k: usize| {
+            let km = kmeans(&pts, k, 7, 60);
+            bic_score(&pts, &km)
+        };
+        let s1 = score(1);
+        let s3 = score(3);
+        let s30 = score(30);
+        assert!(s3 > s1, "true k should beat k=1: {s3} vs {s1}");
+        assert!(s3 > s30, "true k should beat extreme overfit: {s3} vs {s30}");
+    }
+
+    #[test]
+    fn penalty_prefers_true_k_over_overfit() {
+        // 7 distinct values, 40 points: k = 7 explains everything; k = 20
+        // fits no better and pays a larger parameter penalty.
+        let pts: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 7) as f64]).collect();
+        let km7 = kmeans(&pts, 7, 1, 60);
+        let km20 = kmeans(&pts, 20, 1, 60);
+        assert!(km7.sse < 1e-9, "7 clusters fit exactly");
+        assert!(bic_score(&pts, &km7) > bic_score(&pts, &km20));
+    }
+}

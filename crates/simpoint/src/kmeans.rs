@@ -1,0 +1,166 @@
+//! Lloyd's k-means with k-means++ seeding.
+
+use crate::dist2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one k-means run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Cluster index per point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their centroids.
+    pub sse: f64,
+}
+
+/// Runs k-means (k-means++ init, Lloyd iterations until convergence or
+/// `max_iters`).
+///
+/// # Panics
+/// Panics if `points` is empty or `k == 0`.
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> KmeansResult {
+    assert!(!points.is_empty() && k > 0);
+    let k = k.min(points.len());
+    let dims = points[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let nd = dist2(p, centroids.last().unwrap());
+            if nd < d2[i] {
+                d2[i] = nd;
+            }
+        }
+    }
+
+    // Start unassigned so the first Lloyd iteration always updates
+    // centroids (k = 1 must converge to the mean, not the seed point).
+    let mut assignments = vec![usize::MAX; points.len()];
+    let mut sse = f64::INFINITY;
+    for _ in 0..max_iters {
+        // Assign.
+        let mut changed = false;
+        let mut new_sse = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (mut best_c, mut best_d) = (0usize, f64::INFINITY);
+            for (c, cent) in centroids.iter().enumerate() {
+                let d = dist2(p, cent);
+                if d < best_d {
+                    best_d = d;
+                    best_c = c;
+                }
+            }
+            if assignments[i] != best_c {
+                assignments[i] = best_c;
+                changed = true;
+            }
+            new_sse += best_d;
+        }
+        sse = new_sse;
+        if !changed {
+            break;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; dims]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, v) in sums[c].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, cent) in centroids.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for (x, s) in cent.iter_mut().zip(&sums[c]) {
+                    *x = s / counts[c] as f64;
+                }
+            }
+        }
+    }
+
+    KmeansResult {
+        assignments,
+        centroids,
+        sse,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: f64, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![center + (i as f64) * 0.01, center - (i as f64) * 0.01])
+            .collect()
+    }
+
+    #[test]
+    fn two_blobs_two_clusters() {
+        let mut pts = blob(0.0, 10);
+        pts.extend(blob(100.0, 10));
+        let r = kmeans(&pts, 2, 1, 50);
+        let first = r.assignments[0];
+        assert!(r.assignments[..10].iter().all(|&a| a == first));
+        assert!(r.assignments[10..].iter().all(|&a| a != first));
+        assert!(r.sse < 1.0, "tight blobs, sse={}", r.sse);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_sse() {
+        let pts = vec![vec![0.0], vec![10.0], vec![20.0]];
+        let r = kmeans(&pts, 3, 2, 50);
+        assert!(r.sse < 1e-12);
+        let mut a = r.assignments.clone();
+        a.sort_unstable();
+        a.dedup();
+        assert_eq!(a.len(), 3, "each point its own cluster");
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        let r = kmeans(&pts, 1, 3, 50);
+        assert!((r.centroids[0][0] - 1.0).abs() < 1e-12);
+        assert!((r.centroids[0][1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut pts = blob(0.0, 20);
+        pts.extend(blob(50.0, 20));
+        let a = kmeans(&pts, 4, 9, 50);
+        let b = kmeans(&pts, 4, 9, 50);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let r = kmeans(&pts, 10, 4, 50);
+        assert_eq!(r.centroids.len(), 2);
+    }
+}

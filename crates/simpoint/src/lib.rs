@@ -1,0 +1,271 @@
+//! # lp-simpoint — SimPoint-style clustering
+//!
+//! The clustering machinery of §III-E: basic-block vectors are projected
+//! down to a small number of dimensions (the paper uses 100) by a random
+//! linear projection, clustered with k-means for every candidate cluster
+//! count up to `maxK = 50`, and the final clustering chosen by the
+//! Bayesian Information Criterion — the smallest `k` whose BIC score
+//! reaches a fixed fraction of the best observed score, exactly the
+//! SimPoint 3.2 selection rule.
+//!
+//! The crate is self-contained (it knows nothing about programs or BBVs):
+//! inputs are sparse `(dimension, weight)` vectors, outputs are cluster
+//! assignments plus one representative index per cluster (the member
+//! closest to its centroid).
+//!
+//! All randomness (projection hashing, k-means++ seeding) is derived from
+//! an explicit seed, making the whole LoopPoint pipeline reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bic;
+mod kmeans;
+mod projection;
+
+pub use bic::bic_score;
+pub use kmeans::{kmeans, KmeansResult};
+pub use projection::project;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`cluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimpointConfig {
+    /// Maximum number of clusters to consider (paper: 50).
+    pub max_k: usize,
+    /// Random-projection target dimensionality (paper: 100).
+    pub proj_dims: usize,
+    /// Seed for projection and k-means initialization.
+    pub seed: u64,
+    /// Select the smallest k whose BIC ≥ `bic_threshold × best BIC`
+    /// (SimPoint's default is 0.9).
+    pub bic_threshold: f64,
+    /// Lloyd-iteration budget per k.
+    pub max_iters: usize,
+}
+
+impl Default for SimpointConfig {
+    fn default() -> Self {
+        SimpointConfig {
+            max_k: 50,
+            proj_dims: 100,
+            seed: 0x10_0990,
+            bic_threshold: 0.9,
+            max_iters: 60,
+        }
+    }
+}
+
+/// A finished clustering of the input vectors.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Chosen number of clusters.
+    pub k: usize,
+    /// Cluster assignment per input vector.
+    pub assignments: Vec<usize>,
+    /// Index of each cluster's representative (member nearest its
+    /// centroid).
+    pub representatives: Vec<usize>,
+    /// Members per cluster.
+    pub cluster_sizes: Vec<usize>,
+    /// BIC score of the chosen clustering.
+    pub bic: f64,
+    /// Sum of squared distances to assigned centroids.
+    pub sse: f64,
+}
+
+impl Clustering {
+    /// Input indices grouped by cluster.
+    pub fn members(&self, cluster: usize) -> impl Iterator<Item = usize> + '_ {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &c)| c == cluster)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Clusters sparse vectors: L1-normalize → random-project → k-means with
+/// BIC model selection.
+///
+/// Returns the chosen [`Clustering`].
+///
+/// ```
+/// use lp_simpoint::{cluster, SimpointConfig};
+///
+/// // Two obvious phases on disjoint dimensions.
+/// let a = vec![(0u64, 10.0), (1, 5.0)];
+/// let b = vec![(100u64, 10.0), (101, 5.0)];
+/// let vectors: Vec<&[(u64, f64)]> = vec![&a, &a, &b, &b];
+/// let c = cluster(&vectors, &SimpointConfig::default());
+/// assert_eq!(c.k, 2);
+/// assert_eq!(c.assignments[0], c.assignments[1]);
+/// assert_ne!(c.assignments[0], c.assignments[2]);
+/// ```
+///
+/// # Panics
+/// Panics if `vectors` is empty.
+pub fn cluster(vectors: &[&[(u64, f64)]], cfg: &SimpointConfig) -> Clustering {
+    assert!(!vectors.is_empty(), "need at least one vector");
+    let points = project(vectors, cfg.proj_dims, cfg.seed);
+    let n = points.len();
+    let max_k = cfg.max_k.min(n);
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5ee_d);
+    let mut best: Option<(f64, KmeansResult, usize)> = None;
+    let mut all: Vec<(usize, f64, KmeansResult)> = Vec::new();
+    for k in 1..=max_k {
+        let km = kmeans(&points, k, rng.gen(), cfg.max_iters);
+        let bic = bic_score(&points, &km);
+        if best.as_ref().map_or(true, |(b, _, _)| bic > *b) {
+            best = Some((bic, km.clone(), k));
+        }
+        all.push((k, bic, km));
+    }
+    let best_bic = best.as_ref().unwrap().0;
+    // Smallest k reaching the threshold fraction of the best score. BIC
+    // scores are typically negative; "fraction of best" follows SimPoint's
+    // scoring by ranking against the observed range.
+    let min_bic = all
+        .iter()
+        .map(|(_, b, _)| *b)
+        .fold(f64::INFINITY, f64::min);
+    let span = (best_bic - min_bic).max(f64::EPSILON);
+    let chosen = all
+        .iter()
+        .find(|(_, b, _)| (b - min_bic) / span >= cfg.bic_threshold)
+        .unwrap_or_else(|| all.last().unwrap());
+    let (k, bic, km) = (chosen.0, chosen.1, chosen.2.clone());
+
+    // Representatives: nearest member to each centroid.
+    let mut representatives = vec![usize::MAX; k];
+    let mut best_dist = vec![f64::INFINITY; k];
+    for (i, p) in points.iter().enumerate() {
+        let c = km.assignments[i];
+        let d = dist2(p, &km.centroids[c]);
+        if d < best_dist[c] {
+            best_dist[c] = d;
+            representatives[c] = i;
+        }
+    }
+    let mut cluster_sizes = vec![0usize; k];
+    for &a in &km.assignments {
+        cluster_sizes[a] += 1;
+    }
+    // Drop empty clusters (k-means can produce them on degenerate data):
+    // remap assignments densely.
+    let mut remap = vec![usize::MAX; k];
+    let mut dense = 0usize;
+    for c in 0..k {
+        if cluster_sizes[c] > 0 {
+            remap[c] = dense;
+            dense += 1;
+        }
+    }
+    let assignments: Vec<usize> = km.assignments.iter().map(|&a| remap[a]).collect();
+    let representatives: Vec<usize> = (0..k)
+        .filter(|&c| cluster_sizes[c] > 0)
+        .map(|c| representatives[c])
+        .collect();
+    let cluster_sizes: Vec<usize> = cluster_sizes.into_iter().filter(|&s| s > 0).collect();
+
+    Clustering {
+        k: dense,
+        assignments,
+        representatives,
+        cluster_sizes,
+        bic,
+        sse: km.sse,
+    }
+}
+
+pub(crate) fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(groups: &[(u64, usize)]) -> Vec<Vec<(u64, f64)>> {
+        // Each group g produces `count` near-identical vectors on distinct
+        // dimensions.
+        let mut out = Vec::new();
+        for &(base_dim, count) in groups {
+            for i in 0..count {
+                out.push(vec![
+                    (base_dim, 100.0 + (i % 3) as f64),
+                    (base_dim + 1, 50.0),
+                ]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn separates_obvious_phases() {
+        let vecs = synth(&[(0, 10), (1000, 10), (2000, 10)]);
+        let refs: Vec<&[(u64, f64)]> = vecs.iter().map(|v| v.as_slice()).collect();
+        let c = cluster(&refs, &SimpointConfig::default());
+        assert!(c.k >= 3, "three phases should give >= 3 clusters, got {}", c.k);
+        // All members of one synthetic group share a cluster.
+        for g in 0..3 {
+            let first = c.assignments[g * 10];
+            for i in 0..10 {
+                assert_eq!(c.assignments[g * 10 + i], first, "group {g} split");
+            }
+        }
+        // Representatives point into their own clusters.
+        for (cl, &r) in c.representatives.iter().enumerate() {
+            assert_eq!(c.assignments[r], cl);
+        }
+        assert_eq!(c.cluster_sizes.iter().sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn single_phase_collapses_to_one_cluster() {
+        let vecs = synth(&[(0, 20)]);
+        let refs: Vec<&[(u64, f64)]> = vecs.iter().map(|v| v.as_slice()).collect();
+        let c = cluster(&refs, &SimpointConfig::default());
+        assert_eq!(c.k, 1, "identical behaviour is one phase");
+        assert_eq!(c.representatives.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let vecs = synth(&[(0, 8), (500, 8)]);
+        let refs: Vec<&[(u64, f64)]> = vecs.iter().map(|v| v.as_slice()).collect();
+        let a = cluster(&refs, &SimpointConfig::default());
+        let b = cluster(&refs, &SimpointConfig::default());
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.representatives, b.representatives);
+    }
+
+    #[test]
+    fn respects_max_k() {
+        let vecs = synth(&[(0, 4), (100, 4), (200, 4), (300, 4)]);
+        let refs: Vec<&[(u64, f64)]> = vecs.iter().map(|v| v.as_slice()).collect();
+        let c = cluster(
+            &refs,
+            &SimpointConfig {
+                max_k: 2,
+                ..Default::default()
+            },
+        );
+        assert!(c.k <= 2);
+    }
+
+    #[test]
+    fn handles_single_vector() {
+        let vecs = synth(&[(0, 1)]);
+        let refs: Vec<&[(u64, f64)]> = vecs.iter().map(|v| v.as_slice()).collect();
+        let c = cluster(&refs, &SimpointConfig::default());
+        assert_eq!(c.k, 1);
+        assert_eq!(c.representatives, vec![0]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Seeded random linear projection of sparse vectors.
+
+/// Projects L1-normalized sparse vectors into `dims` dimensions using a
+//  sign-random projection derived from a hash of `(input dim, output dim,
+/// seed)` — equivalent to a ±1 random matrix without materializing it over
+/// the unbounded sparse dimension space (the paper projects BBVs to 100
+/// dimensions, §III-E).
+pub fn project(vectors: &[&[(u64, f64)]], dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(dims > 0);
+    vectors
+        .iter()
+        .map(|entries| {
+            let l1: f64 = entries.iter().map(|&(_, w)| w).sum();
+            let scale = if l1 > 0.0 { 1.0 / l1 } else { 0.0 };
+            let mut out = vec![0.0f64; dims];
+            for &(d, w) in entries.iter() {
+                let wn = w * scale;
+                for (j, slot) in out.iter_mut().enumerate() {
+                    if sign(d, j as u64, seed) {
+                        *slot += wn;
+                    } else {
+                        *slot -= wn;
+                    }
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+fn sign(dim: u64, j: u64, seed: u64) -> bool {
+    // SplitMix64-style mix over the triple.
+    let mut x = dim
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(j.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(seed);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_project_identically() {
+        let a = vec![(3u64, 5.0), (9, 1.0)];
+        let p = project(&[&a, &a], 16, 42);
+        assert_eq!(p[0], p[1]);
+        assert_eq!(p[0].len(), 16);
+    }
+
+    #[test]
+    fn scaling_is_removed_by_normalization() {
+        let a = vec![(3u64, 5.0), (9, 1.0)];
+        let b = vec![(3u64, 50.0), (9, 10.0)];
+        let p = project(&[&a, &b], 16, 42);
+        for (x, y) in p[0].iter().zip(&p[1]) {
+            assert!((x - y).abs() < 1e-12, "L1 normalization makes them equal");
+        }
+    }
+
+    #[test]
+    fn different_vectors_differ() {
+        let a = vec![(3u64, 1.0)];
+        let b = vec![(4u64, 1.0)];
+        let p = project(&[&a, &b], 32, 42);
+        assert_ne!(p[0], p[1]);
+    }
+
+    #[test]
+    fn distance_roughly_preserved() {
+        // Close sparse vectors stay closer than distant ones after
+        // projection (Johnson-Lindenstrauss flavour, sanity only).
+        let a = vec![(0u64, 10.0), (1, 10.0)];
+        let b = vec![(0u64, 10.0), (1, 9.0)]; // close to a
+        let c = vec![(7u64, 10.0), (8, 10.0)]; // far from a
+        let p = project(&[&a, &b, &c], 64, 7);
+        let d = |x: &Vec<f64>, y: &Vec<f64>| -> f64 {
+            x.iter().zip(y).map(|(u, v)| (u - v) * (u - v)).sum()
+        };
+        assert!(d(&p[0], &p[1]) < d(&p[0], &p[2]));
+    }
+
+    #[test]
+    fn seed_changes_projection() {
+        let a = vec![(3u64, 5.0)];
+        let p1 = project(&[&a], 32, 1);
+        let p2 = project(&[&a], 32, 2);
+        assert_ne!(p1[0], p2[0]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for clustering.
+
+use lp_simpoint::{cluster, kmeans, project, SimpointConfig};
+use proptest::prelude::*;
+
+fn arb_vectors() -> impl Strategy<Value = Vec<Vec<(u64, f64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u64..512, 1.0f64..1000.0), 1..20),
+        2..30,
+    )
+}
+
+proptest! {
+    /// Clustering output is structurally sound for arbitrary inputs:
+    /// assignments in range, representatives members of their clusters,
+    /// sizes summing to n.
+    #[test]
+    fn clustering_is_structurally_sound(vectors in arb_vectors()) {
+        let refs: Vec<&[(u64, f64)]> = vectors.iter().map(|v| v.as_slice()).collect();
+        let cfg = SimpointConfig { max_k: 8, ..Default::default() };
+        let c = cluster(&refs, &cfg);
+        prop_assert!(c.k >= 1 && c.k <= refs.len().min(8));
+        prop_assert_eq!(c.assignments.len(), refs.len());
+        for &a in &c.assignments {
+            prop_assert!(a < c.k);
+        }
+        prop_assert_eq!(c.representatives.len(), c.k);
+        for (cl, &rep) in c.representatives.iter().enumerate() {
+            prop_assert!(rep < refs.len());
+            prop_assert_eq!(c.assignments[rep], cl, "representative in own cluster");
+        }
+        prop_assert_eq!(c.cluster_sizes.iter().sum::<usize>(), refs.len());
+        prop_assert!(c.cluster_sizes.iter().all(|&s| s > 0), "no empty clusters");
+    }
+
+    /// Determinism: same inputs and seed give identical output.
+    #[test]
+    fn clustering_is_deterministic(vectors in arb_vectors()) {
+        let refs: Vec<&[(u64, f64)]> = vectors.iter().map(|v| v.as_slice()).collect();
+        let cfg = SimpointConfig { max_k: 6, ..Default::default() };
+        let a = cluster(&refs, &cfg);
+        let b = cluster(&refs, &cfg);
+        prop_assert_eq!(a.assignments, b.assignments);
+        prop_assert_eq!(a.representatives, b.representatives);
+    }
+
+    /// Projection is invariant to positive scaling of a vector (L1
+    /// normalization) and produces finite outputs.
+    #[test]
+    fn projection_scale_invariance(
+        v in prop::collection::vec((0u64..4096, 1.0f64..100.0), 1..30),
+        scale in 0.5f64..100.0,
+    ) {
+        let scaled: Vec<(u64, f64)> = v.iter().map(|&(d, w)| (d, w * scale)).collect();
+        let p = project(&[&v, &scaled], 32, 99);
+        for (a, b) in p[0].iter().zip(&p[1]) {
+            prop_assert!(a.is_finite());
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    /// k-means SSE equals the sum of squared distances implied by its own
+    /// assignments/centroids (internal consistency).
+    #[test]
+    fn kmeans_sse_is_consistent(
+        pts in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 2..40),
+        k in 1usize..6,
+    ) {
+        let r = kmeans(&pts, k, 11, 60);
+        let mut sse = 0.0;
+        for (p, &a) in pts.iter().zip(&r.assignments) {
+            sse += p.iter().zip(&r.centroids[a]).map(|(x, y)| (x - y) * (x - y)).sum::<f64>();
+        }
+        prop_assert!((sse - r.sse).abs() < 1e-6 * (1.0 + sse), "{sse} vs {}", r.sse);
+        // And each point is assigned to its *nearest* centroid.
+        for (p, &a) in pts.iter().zip(&r.assignments) {
+            let d = |c: &Vec<f64>| c.iter().zip(p).map(|(x, y)| (x - y) * (x - y)).sum::<f64>();
+            let mine = d(&r.centroids[a]);
+            for c in &r.centroids {
+                prop_assert!(mine <= d(c) + 1e-9);
+            }
+        }
+    }
+}

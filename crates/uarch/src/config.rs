@@ -1,0 +1,289 @@
+//! Named machine configurations (Table I and variants).
+
+use crate::branch::BranchPredictorConfig;
+use crate::cache::CacheConfig;
+use lp_isa::InstClass;
+
+/// Core timing model selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreModel {
+    /// Out-of-order scoreboard core.
+    OutOfOrder {
+        /// Reorder-buffer entries bounding in-flight instructions.
+        rob: u32,
+        /// Issue/commit width per cycle.
+        width: u32,
+    },
+    /// Strictly in-order, single-issue core (Fig. 5b portability study).
+    InOrder,
+}
+
+impl CoreModel {
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreModel::OutOfOrder { .. } => "out-of-order",
+            CoreModel::InOrder => "in-order",
+        }
+    }
+}
+
+/// Execution latencies per instruction class (excluding memory, which the
+/// hierarchy provides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyTable {
+    int_alu: u32,
+    int_mul: u32,
+    int_div: u32,
+    fp: u32,
+    fp_div: u32,
+    store: u32,
+    branch: u32,
+    atomic_extra: u32,
+    futex: u32,
+    pause: u32,
+}
+
+impl Default for LatencyTable {
+    fn default() -> Self {
+        LatencyTable {
+            int_alu: 1,
+            int_mul: 3,
+            int_div: 18,
+            fp: 4,
+            fp_div: 24,
+            store: 1,
+            branch: 1,
+            atomic_extra: 8,
+            futex: 40,
+            pause: 1,
+        }
+    }
+}
+
+impl LatencyTable {
+    /// Execution latency for `class`, *excluding* memory-hierarchy time
+    /// (loads/atomics add their cache access latency on top).
+    pub fn latency(&self, class: InstClass) -> u32 {
+        match class {
+            InstClass::IntAlu => self.int_alu,
+            InstClass::IntMul => self.int_mul,
+            InstClass::IntDiv => self.int_div,
+            InstClass::Fp => self.fp,
+            InstClass::FpDiv => self.fp_div,
+            InstClass::Load => 0, // entirely from the hierarchy
+            InstClass::Store => self.store,
+            InstClass::Branch | InstClass::Jump | InstClass::Call | InstClass::Ret => self.branch,
+            InstClass::Atomic => self.atomic_extra,
+            InstClass::Fence => self.int_alu,
+            InstClass::Pause => self.pause,
+            InstClass::Futex => self.futex,
+            InstClass::Other => self.int_alu,
+        }
+    }
+}
+
+/// A complete simulated-machine configuration.
+///
+/// [`SimConfig::gainestown`] reproduces Table I; the other constructors
+/// provide the in-order variant used in the microarchitecture-portability
+/// study (Fig. 5b) and a distinct *recording host* whose different cache
+/// sizes and latencies make constrained replays reflect a foreign machine's
+/// thread interleaving.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Configuration name for reports.
+    pub name: String,
+    /// Number of cores (= maximum team size it can run unconstrained).
+    pub ncores: usize,
+    /// Core clock in GHz (Table I: 2.66).
+    pub freq_ghz: f64,
+    /// Core model.
+    pub core: CoreModel,
+    /// Branch predictor tables.
+    pub branch: BranchPredictorConfig,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private unified L2.
+    pub l2: CacheConfig,
+    /// Shared L3.
+    pub l3: CacheConfig,
+    /// Main-memory access latency in cycles.
+    pub mem_latency: u32,
+    /// Execution latencies.
+    pub lat: LatencyTable,
+    /// Mispredict pipeline-flush penalty in cycles.
+    pub mispredict_penalty: u32,
+    /// Enable the L2 next-line prefetcher (off in the calibrated Table I
+    /// config; an ablation knob).
+    pub prefetch_next_line: bool,
+}
+
+impl SimConfig {
+    /// The Table I machine: Gainestown-like out-of-order multicore.
+    pub fn gainestown(ncores: usize) -> SimConfig {
+        SimConfig {
+            name: format!("gainestown-{ncores}c"),
+            ncores,
+            freq_ghz: 2.66,
+            core: CoreModel::OutOfOrder { rob: 128, width: 4 },
+            branch: BranchPredictorConfig::default(),
+            l1i: CacheConfig {
+                size_bytes: 32 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                latency: 1,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 << 10,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 << 10,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 12,
+            },
+            l3: CacheConfig {
+                size_bytes: 8 << 20,
+                assoc: 16,
+                line_bytes: 64,
+                latency: 40,
+            },
+            mem_latency: 200,
+            lat: LatencyTable::default(),
+            mispredict_penalty: 14,
+            prefetch_next_line: false,
+        }
+    }
+
+    /// Table I machine with the in-order core model (all other parameters
+    /// unchanged), as used for Fig. 5b.
+    pub fn gainestown_inorder(ncores: usize) -> SimConfig {
+        let mut cfg = Self::gainestown(ncores);
+        cfg.name = format!("gainestown-inorder-{ncores}c");
+        cfg.core = CoreModel::InOrder;
+        cfg
+    }
+
+    /// The machine pinballs are *recorded* on: a deliberately different
+    /// microarchitecture (smaller caches, slower memory, narrower core), so
+    /// the recorded thread interleaving differs from the simulated target —
+    /// the situation §III-H/§V-A.1 of the paper describes.
+    pub fn recording_host(ncores: usize) -> SimConfig {
+        SimConfig {
+            name: format!("recording-host-{ncores}c"),
+            ncores,
+            freq_ghz: 2.0,
+            core: CoreModel::OutOfOrder { rob: 64, width: 2 },
+            branch: BranchPredictorConfig {
+                bimodal_entries: 1024,
+                gshare_entries: 1024,
+                chooser_entries: 1024,
+                btb_entries: 512,
+                ras_depth: 8,
+            },
+            l1i: CacheConfig {
+                size_bytes: 16 << 10,
+                assoc: 2,
+                line_bytes: 64,
+                latency: 1,
+            },
+            l1d: CacheConfig {
+                size_bytes: 16 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                latency: 3,
+            },
+            l2: CacheConfig {
+                size_bytes: 128 << 10,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 10,
+            },
+            l3: CacheConfig {
+                size_bytes: 2 << 20,
+                assoc: 16,
+                line_bytes: 64,
+                latency: 30,
+            },
+            mem_latency: 260,
+            lat: LatencyTable::default(),
+            mispredict_penalty: 10,
+            prefetch_next_line: false,
+        }
+    }
+
+    /// Rows of the Table I description for this configuration.
+    pub fn table_rows(&self) -> Vec<(String, String)> {
+        let core = match self.core {
+            CoreModel::OutOfOrder { rob, .. } => {
+                format!("{} GHz, {} entry ROB", self.freq_ghz, rob)
+            }
+            CoreModel::InOrder => format!("{} GHz, in-order", self.freq_ghz),
+        };
+        vec![
+            (
+                "Processor".to_string(),
+                format!("{} cores, Gainestown-like microarch.", self.ncores),
+            ),
+            ("Core".to_string(), core),
+            ("Branch predictor".to_string(), "Pentium M".to_string()),
+            ("L1-I cache".to_string(), self.l1i.describe()),
+            ("L1-D cache".to_string(), self.l1d.describe()),
+            ("L2 cache".to_string(), self.l2.describe()),
+            ("L3 cache".to_string(), self.l3.describe()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_values() {
+        let cfg = SimConfig::gainestown(8);
+        assert_eq!(cfg.ncores, 8);
+        assert_eq!(cfg.freq_ghz, 2.66);
+        assert_eq!(cfg.core, CoreModel::OutOfOrder { rob: 128, width: 4 });
+        assert_eq!(cfg.l1i.describe(), "32K, 4-way, LRU");
+        assert_eq!(cfg.l1d.describe(), "32K, 8-way, LRU");
+        assert_eq!(cfg.l2.describe(), "256K, 8-way, LRU");
+        assert_eq!(cfg.l3.describe(), "8M, 16-way, LRU");
+        let rows = cfg.table_rows();
+        assert_eq!(rows.len(), 7);
+        assert!(rows[1].1.contains("128 entry ROB"));
+    }
+
+    #[test]
+    fn variants_differ_where_expected() {
+        let ooo = SimConfig::gainestown(8);
+        let ino = SimConfig::gainestown_inorder(8);
+        assert_eq!(ino.core, CoreModel::InOrder);
+        assert_eq!(ino.l1d, ooo.l1d, "only the core model changes for Fig 5b");
+        let host = SimConfig::recording_host(8);
+        assert_ne!(host.l1d, ooo.l1d, "recording host must differ");
+        assert_ne!(host.mem_latency, ooo.mem_latency);
+    }
+
+    #[test]
+    fn latency_table_ordering() {
+        let lat = LatencyTable::default();
+        assert!(lat.latency(InstClass::IntDiv) > lat.latency(InstClass::IntMul));
+        assert!(lat.latency(InstClass::IntMul) > lat.latency(InstClass::IntAlu));
+        assert!(lat.latency(InstClass::FpDiv) > lat.latency(InstClass::Fp));
+        assert_eq!(lat.latency(InstClass::Load), 0, "loads priced by hierarchy");
+        assert!(lat.latency(InstClass::Futex) > lat.latency(InstClass::Atomic));
+    }
+
+    #[test]
+    fn core_model_names() {
+        assert_eq!(CoreModel::InOrder.name(), "in-order");
+        assert_eq!(CoreModel::OutOfOrder { rob: 1, width: 1 }.name(), "out-of-order");
+    }
+}

@@ -1,0 +1,62 @@
+//! The artifact's `matrix-omp` demo application.
+
+use crate::kernels::Schedule;
+use crate::recipe::{Phase, Recipe, Suite, SyncPrimitives, WorkloadSpec};
+use lp_omp::APP_BASE;
+
+/// The `demo-matrix-N` application of the LoopPoint artifact: a small
+/// OpenMP matrix kernel usable to test the end-to-end methodology quickly
+/// (`./run-looppoint.py -p demo-matrix-1`).
+///
+/// `variant` selects among the artifact's demo-matrix-1/2/3 (differing in
+/// rounds and loop sizes).
+pub fn matrix_demo(variant: usize) -> WorkloadSpec {
+    let (name, rounds, n): (&'static str, u64, u64) = match variant {
+        1 => ("demo-matrix-1", 2, 1024),
+        2 => ("demo-matrix-2", 3, 1024),
+        _ => ("demo-matrix-3", 2, 2048),
+    };
+    let a = APP_BASE + 0x10_000;
+    let b = APP_BASE + 0x200_000;
+    WorkloadSpec {
+        name,
+        suite: Suite::Demo,
+        language: "C",
+        kloc: 1,
+        area: "Matrix arithmetic demo",
+        sync: SyncPrimitives {
+            static_for: true,
+            reduction: true,
+            atomic: true,
+            ..Default::default()
+        },
+        fixed_threads: None,
+        recipe: Recipe {
+            init_arrays: vec![(a, n), (b, n)],
+            base_rounds: rounds,
+            phases: vec![
+                Phase::Stencil { src: a, dst: b, iters: n, sched: Schedule::Static },
+                Phase::FpCompute { iters: n / 2, depth: 6, div: false, sched: Schedule::Static },
+                Phase::Reduce { iters: n / 2, addr: APP_BASE + 0x100 },
+            ],
+            scale_iters: false,
+            use_master: false,
+            use_single: false,
+            use_barrier: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_variants() {
+        assert_eq!(matrix_demo(1).name, "demo-matrix-1");
+        assert_eq!(matrix_demo(2).name, "demo-matrix-2");
+        assert_eq!(matrix_demo(3).name, "demo-matrix-3");
+        assert_eq!(matrix_demo(99).name, "demo-matrix-3");
+        assert_eq!(matrix_demo(1).suite, Suite::Demo);
+    }
+}

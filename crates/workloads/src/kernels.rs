@@ -1,0 +1,263 @@
+//! Reusable loop kernels the workload recipes are assembled from.
+//!
+//! Every kernel emits a worksharing loop (static or dynamic schedule) whose
+//! body exercises one behaviour class: streaming, stencil, random access,
+//! integer/floating-point compute chains, reductions, or lock-contended
+//! updates. Loop headers get unique exported names, so each kernel is a
+//! distinct code signature for BBV clustering.
+//!
+//! Register budget inside bodies: `r1`–`r15` (per `lp-omp` conventions);
+//! the induction variable arrives in `r16`.
+
+use lp_isa::{AluOp, CodeBuilder, FpuOp, Reg};
+use lp_omp::{LockId, OmpRuntime};
+
+/// Schedule selector for worksharing kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// `schedule(static)`.
+    Static,
+    /// `schedule(dynamic, chunk)`.
+    Dynamic {
+        /// Chunk size.
+        chunk: u64,
+    },
+}
+
+/// Parameters shared by every kernel invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelCtx {
+    /// Loop trip count.
+    pub iters: u64,
+    /// Schedule.
+    pub schedule: Schedule,
+}
+
+fn workshare(
+    c: &mut CodeBuilder<'_>,
+    rt: &mut OmpRuntime,
+    name: &str,
+    ctx: KernelCtx,
+    body: impl FnOnce(&mut CodeBuilder<'_>, &mut OmpRuntime),
+) {
+    match ctx.schedule {
+        Schedule::Static => {
+            rt.emit_static_for(c, name, ctx.iters, body);
+        }
+        Schedule::Dynamic { chunk } => {
+            rt.emit_dynamic_for(c, name, ctx.iters, chunk, body);
+        }
+    }
+}
+
+/// Sequentially initializes `words` words at `base` (pre-touch / warmup
+/// phase; gives cold-start transients their own code signature).
+pub fn init_array(
+    c: &mut CodeBuilder<'_>,
+    rt: &mut OmpRuntime,
+    name: &str,
+    base: u64,
+    words: u64,
+) {
+    rt.emit_static_for(c, name, words, |c, _| {
+        c.li(Reg::R1, base as i64);
+        c.alui(AluOp::Shl, Reg::R2, Reg::R16, 3);
+        c.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R2);
+        c.alui(AluOp::Add, Reg::R3, Reg::R16, 1);
+        c.store(Reg::R3, Reg::R1, 0);
+    });
+}
+
+/// Streaming read-modify-write over consecutive cache lines.
+pub fn stream(
+    c: &mut CodeBuilder<'_>,
+    rt: &mut OmpRuntime,
+    name: &str,
+    ctx: KernelCtx,
+    base: u64,
+    stride_words: u64,
+) {
+    workshare(c, rt, name, ctx, |c, _| {
+        c.li(Reg::R1, base as i64);
+        c.li(Reg::R4, stride_words as i64 * 8);
+        c.alu(AluOp::Mul, Reg::R2, Reg::R16, Reg::R4);
+        c.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R2);
+        c.load(Reg::R3, Reg::R1, 0);
+        c.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+        c.store(Reg::R3, Reg::R1, 0);
+    });
+}
+
+/// 1-D three-point stencil with floating-point arithmetic.
+pub fn stencil(
+    c: &mut CodeBuilder<'_>,
+    rt: &mut OmpRuntime,
+    name: &str,
+    ctx: KernelCtx,
+    src: u64,
+    dst: u64,
+) {
+    workshare(c, rt, name, ctx, |c, _| {
+        c.li(Reg::R1, src as i64);
+        c.alui(AluOp::Shl, Reg::R2, Reg::R16, 3);
+        c.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R2);
+        c.load(Reg::R3, Reg::R1, 0);
+        c.load(Reg::R4, Reg::R1, 8);
+        c.load(Reg::R5, Reg::R1, 16);
+        c.fpu(FpuOp::FAdd, Reg::R6, Reg::R3, Reg::R4);
+        c.fpu(FpuOp::FAdd, Reg::R6, Reg::R6, Reg::R5);
+        c.lf(Reg::R7, 1.0 / 3.0);
+        c.fpu(FpuOp::FMul, Reg::R6, Reg::R6, Reg::R7);
+        c.li(Reg::R8, dst as i64);
+        c.alu(AluOp::Add, Reg::R8, Reg::R8, Reg::R2);
+        c.store(Reg::R6, Reg::R8, 0);
+    });
+}
+
+/// Pseudo-random gather over a table (LCG computed in registers — the
+/// cache-hostile access pattern of sparse/irregular codes).
+pub fn random_access(
+    c: &mut CodeBuilder<'_>,
+    rt: &mut OmpRuntime,
+    name: &str,
+    ctx: KernelCtx,
+    base: u64,
+    table_words: u64,
+) {
+    assert!(table_words.is_power_of_two());
+    workshare(c, rt, name, ctx, |c, _| {
+        // LCG over the induction variable: a*x + c, masked to the table.
+        c.li(Reg::R1, 6364136223846793005u64 as i64);
+        c.alu(AluOp::Mul, Reg::R2, Reg::R16, Reg::R1);
+        c.alui(AluOp::Add, Reg::R2, Reg::R2, 1442695040888963407u64 as i64);
+        c.alui(AluOp::Shr, Reg::R2, Reg::R2, 11);
+        c.alui(AluOp::And, Reg::R2, Reg::R2, (table_words - 1) as i64);
+        c.li(Reg::R3, base as i64);
+        c.alui(AluOp::Shl, Reg::R2, Reg::R2, 3);
+        c.alu(AluOp::Add, Reg::R3, Reg::R3, Reg::R2);
+        c.load(Reg::R4, Reg::R3, 0);
+        c.alu(AluOp::Xor, Reg::R5, Reg::R5, Reg::R4);
+    });
+}
+
+/// Dependent integer compute chain (latency-bound; mul/add/xor mix).
+pub fn int_compute(
+    c: &mut CodeBuilder<'_>,
+    rt: &mut OmpRuntime,
+    name: &str,
+    ctx: KernelCtx,
+    depth: u32,
+) {
+    workshare(c, rt, name, ctx, |c, _| {
+        c.alui(AluOp::Add, Reg::R1, Reg::R16, 1);
+        for i in 0..depth {
+            c.alui(AluOp::Mul, Reg::R1, Reg::R1, 17 + i64::from(i % 5));
+            c.alui(AluOp::Xor, Reg::R1, Reg::R1, 0x5bd1);
+        }
+    });
+}
+
+/// Floating-point compute chain (FMA-like chains with an occasional
+/// divide; the profile of dense numerical kernels).
+pub fn fp_compute(
+    c: &mut CodeBuilder<'_>,
+    rt: &mut OmpRuntime,
+    name: &str,
+    ctx: KernelCtx,
+    depth: u32,
+    with_div: bool,
+) {
+    workshare(c, rt, name, ctx, |c, _| {
+        c.lf(Reg::R1, 1.0001);
+        c.lf(Reg::R2, 0.9997);
+        c.lf(Reg::R3, 1.5);
+        for _ in 0..depth {
+            c.fpu(FpuOp::FMul, Reg::R3, Reg::R3, Reg::R1);
+            c.fpu(FpuOp::FAdd, Reg::R3, Reg::R3, Reg::R2);
+        }
+        if with_div {
+            c.fpu(FpuOp::FDiv, Reg::R3, Reg::R3, Reg::R1);
+        }
+    });
+}
+
+/// Worksharing loop feeding an integer `reduction(+)`.
+pub fn reduce_sum(
+    c: &mut CodeBuilder<'_>,
+    rt: &mut OmpRuntime,
+    name: &str,
+    ctx: KernelCtx,
+    result_addr: u64,
+) {
+    workshare(c, rt, name, ctx, |c, rt| {
+        c.alui(AluOp::Mul, Reg::R1, Reg::R16, 3);
+        c.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+        rt.emit_reduce_add_u64(c, Reg::R1, result_addr);
+    });
+}
+
+/// Lock-contended shared counter updates (critical sections).
+pub fn locked_update(
+    c: &mut CodeBuilder<'_>,
+    rt: &mut OmpRuntime,
+    name: &str,
+    ctx: KernelCtx,
+    lock: LockId,
+    counter_addr: u64,
+) {
+    workshare(c, rt, name, ctx, |c, rt| {
+        rt.emit_critical(c, lock, |c, _| {
+            c.li(Reg::R1, counter_addr as i64);
+            c.load(Reg::R2, Reg::R1, 0);
+            c.alui(AluOp::Add, Reg::R2, Reg::R2, 1);
+            c.store(Reg::R2, Reg::R1, 0);
+        });
+    });
+}
+
+/// Atomic histogram updates (integer-sort/counting flavour).
+pub fn atomic_histogram(
+    c: &mut CodeBuilder<'_>,
+    rt: &mut OmpRuntime,
+    name: &str,
+    ctx: KernelCtx,
+    base: u64,
+    buckets: u64,
+) {
+    assert!(buckets.is_power_of_two());
+    workshare(c, rt, name, ctx, |c, _| {
+        c.li(Reg::R1, 2862933555777941757u64 as i64);
+        c.alu(AluOp::Mul, Reg::R2, Reg::R16, Reg::R1);
+        c.alui(AluOp::Shr, Reg::R2, Reg::R2, 17);
+        c.alui(AluOp::And, Reg::R2, Reg::R2, (buckets - 1) as i64);
+        c.li(Reg::R3, base as i64);
+        c.alui(AluOp::Shl, Reg::R2, Reg::R2, 3);
+        c.alu(AluOp::Add, Reg::R3, Reg::R3, Reg::R2);
+        c.li(Reg::R4, 1);
+        c.atomic_add(Reg::R5, Reg::R3, 0, Reg::R4);
+    });
+}
+
+/// Skewed per-iteration work: iteration `i` runs an inner loop of
+/// `base + (i % spread)` steps. With a dynamic schedule this produces the
+/// thread-imbalance profile of `657.xz_s.2` (Fig. 3).
+pub fn skewed_work(
+    c: &mut CodeBuilder<'_>,
+    rt: &mut OmpRuntime,
+    name: &str,
+    ctx: KernelCtx,
+    base: u64,
+    spread: u64,
+) {
+    assert!(spread.is_power_of_two());
+    workshare(c, rt, name, ctx, |c, _| {
+        c.alui(AluOp::And, Reg::R1, Reg::R16, (spread - 1) as i64);
+        c.alui(AluOp::Add, Reg::R1, Reg::R1, base as i64);
+        // Inner loop in r1 (counts down); header intentionally unnamed so
+        // the outer worksharing header remains the region marker.
+        c.counted_loop_reg("", Reg::R1, |c| {
+            c.alui(AluOp::Mul, Reg::R2, Reg::R2, 13);
+            c.alui(AluOp::Add, Reg::R2, Reg::R2, 7);
+        });
+    });
+}

@@ -1,0 +1,268 @@
+//! NAS-Parallel-Benchmarks-like kernel recipes (OpenMP version 3.3, class
+//! C scale, §IV-B — `dc` is omitted exactly as in the paper).
+
+use crate::kernels::Schedule;
+use crate::recipe::{Phase, Recipe, Suite, SyncPrimitives, WorkloadSpec};
+use lp_omp::APP_BASE;
+
+const A0: u64 = APP_BASE + 0x10_000;
+const A1: u64 = APP_BASE + 0x200_000;
+const A2: u64 = APP_BASE + 0x400_000;
+const RESULT: u64 = APP_BASE + 0x100;
+const STATIC: Schedule = Schedule::Static;
+
+fn npb(
+    name: &'static str,
+    area: &'static str,
+    sync: SyncPrimitives,
+    recipe: Recipe,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        suite: Suite::Npb,
+        language: "Fortran",
+        kloc: 10,
+        area,
+        sync,
+        fixed_threads: None,
+        recipe,
+    }
+}
+
+/// The nine NPB-like kernels (all but `dc`).
+pub fn npb_workloads() -> Vec<WorkloadSpec> {
+    let bar_sta = SyncPrimitives {
+        static_for: true,
+        barrier: true,
+        ..Default::default()
+    };
+    vec![
+        npb(
+            "npb-bt",
+            "Block tridiagonal solver",
+            bar_sta,
+            Recipe {
+                init_arrays: vec![(A0, 8192), (A1, 8192)],
+                base_rounds: 3,
+                phases: vec![
+                    Phase::Stencil { src: A0, dst: A1, iters: 1536, sched: STATIC },
+                    Phase::Stencil { src: A1, dst: A0, iters: 1536, sched: STATIC },
+                    Phase::FpCompute { iters: 1024, depth: 6, div: false, sched: STATIC },
+                ],
+                scale_iters: false,
+                use_master: false,
+                use_single: false,
+                use_barrier: true,
+            },
+        ),
+        npb(
+            "npb-cg",
+            "Conjugate gradient",
+            SyncPrimitives {
+                static_for: true,
+                reduction: true,
+                atomic: true,
+                ..Default::default()
+            },
+            Recipe {
+                init_arrays: vec![(A2, 16384)],
+                base_rounds: 3,
+                phases: vec![
+                    Phase::Random { base: A2, table_words: 16384, iters: 2048, sched: STATIC },
+                    Phase::Reduce { iters: 1024, addr: RESULT },
+                ],
+                scale_iters: false,
+                use_master: false,
+                use_single: false,
+                use_barrier: false,
+            },
+        ),
+        npb(
+            "npb-ep",
+            "Embarrassingly parallel",
+            SyncPrimitives {
+                static_for: true,
+                reduction: true,
+                atomic: true,
+                ..Default::default()
+            },
+            Recipe {
+                init_arrays: vec![],
+                base_rounds: 3,
+                phases: vec![
+                    Phase::FpCompute { iters: 3072, depth: 10, div: true, sched: STATIC },
+                    Phase::Reduce { iters: 512, addr: RESULT },
+                ],
+                scale_iters: false,
+                use_master: false,
+                use_single: false,
+                use_barrier: false,
+            },
+        ),
+        npb(
+            "npb-ft",
+            "3-D FFT",
+            SyncPrimitives {
+                static_for: true,
+                barrier: true,
+                master: true,
+                ..Default::default()
+            },
+            Recipe {
+                init_arrays: vec![(A0, 32768)],
+                base_rounds: 2,
+                phases: vec![
+                    // Strided passes — the transpose-like access of FFT.
+                    Phase::Stream { base: A0, stride: 1, iters: 2048, sched: STATIC },
+                    Phase::Stream { base: A0, stride: 16, iters: 2048, sched: STATIC },
+                    Phase::FpCompute { iters: 1024, depth: 8, div: false, sched: STATIC },
+                ],
+                scale_iters: false,
+                use_master: true,
+                use_single: false,
+                use_barrier: true,
+            },
+        ),
+        npb(
+            "npb-is",
+            "Integer sort",
+            SyncPrimitives {
+                static_for: true,
+                atomic: true,
+                ..Default::default()
+            },
+            Recipe {
+                init_arrays: vec![(A0, 8192)],
+                base_rounds: 3,
+                phases: vec![
+                    Phase::Histogram { iters: 2048, base: A0, buckets: 4096 },
+                    Phase::Stream { base: A0, stride: 1, iters: 2048, sched: STATIC },
+                ],
+                scale_iters: false,
+                use_master: false,
+                use_single: false,
+                use_barrier: false,
+            },
+        ),
+        npb(
+            "npb-lu",
+            "LU solver",
+            SyncPrimitives {
+                static_for: true,
+                barrier: true,
+                ..Default::default()
+            },
+            Recipe {
+                init_arrays: vec![(A0, 8192), (A1, 8192)],
+                base_rounds: 3,
+                phases: vec![
+                    Phase::Stencil { src: A0, dst: A1, iters: 1280, sched: STATIC },
+                    Phase::FpCompute { iters: 1280, depth: 7, div: true, sched: STATIC },
+                ],
+                scale_iters: false,
+                use_master: false,
+                use_single: false,
+                use_barrier: true,
+            },
+        ),
+        npb(
+            "npb-mg",
+            "Multigrid",
+            bar_sta,
+            Recipe {
+                init_arrays: vec![(A0, 16384), (A1, 4096)],
+                base_rounds: 3,
+                phases: vec![
+                    // Fine and coarse grid sweeps.
+                    Phase::Stencil { src: A0, dst: A0 + 8, iters: 2048, sched: STATIC },
+                    Phase::Stencil { src: A1, dst: A1 + 8, iters: 512, sched: STATIC },
+                ],
+                scale_iters: false,
+                use_master: false,
+                use_single: false,
+                use_barrier: true,
+            },
+        ),
+        npb(
+            "npb-sp",
+            "Scalar pentadiagonal solver",
+            bar_sta,
+            Recipe {
+                init_arrays: vec![(A0, 8192), (A1, 8192)],
+                base_rounds: 3,
+                phases: vec![
+                    Phase::Stencil { src: A0, dst: A1, iters: 1536, sched: STATIC },
+                    Phase::Stream { base: A1, stride: 8, iters: 1024, sched: STATIC },
+                    Phase::FpCompute { iters: 768, depth: 5, div: false, sched: STATIC },
+                ],
+                scale_iters: false,
+                use_master: false,
+                use_single: false,
+                use_barrier: true,
+            },
+        ),
+        npb(
+            "npb-ua",
+            "Unstructured adaptive mesh",
+            SyncPrimitives {
+                static_for: true,
+                dynamic_for: true,
+                atomic: true,
+                lock: true,
+                ..Default::default()
+            },
+            Recipe {
+                init_arrays: vec![(A2, 8192)],
+                base_rounds: 3,
+                phases: vec![
+                    Phase::Random {
+                        base: A2,
+                        table_words: 8192,
+                        iters: 1280,
+                        sched: Schedule::Dynamic { chunk: 8 },
+                    },
+                    Phase::Skewed {
+                        iters: 512,
+                        base: 4,
+                        spread: 16,
+                        sched: Schedule::Dynamic { chunk: 4 },
+                    },
+                    Phase::Locked { iters: 256, lock: 3, addr: RESULT + 24 },
+                    Phase::Histogram { iters: 768, base: A2, buckets: 1024 },
+                ],
+                scale_iters: false,
+                use_master: false,
+                use_single: false,
+                use_barrier: false,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_kernels_no_dc() {
+        let npb = npb_workloads();
+        assert_eq!(npb.len(), 9);
+        assert!(npb.iter().all(|w| w.suite == Suite::Npb));
+        assert!(
+            !npb.iter().any(|w| w.name.contains("dc")),
+            "dc is excluded, as in the paper"
+        );
+        let mut names: Vec<_> = npb.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn npb_kernels_follow_requested_threads() {
+        for w in npb_workloads() {
+            assert_eq!(w.effective_threads(8), 8);
+            assert_eq!(w.effective_threads(16), 16, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Functional correctness of the kernel building blocks.
+
+use lp_isa::{Addr, Machine, ProgramBuilder, Reg};
+use lp_omp::{LockId, OmpRuntime, WaitPolicy, APP_BASE};
+use lp_workloads::kernels::{self, KernelCtx, Schedule};
+use std::sync::Arc;
+
+fn run(
+    nthreads: usize,
+    build: impl FnOnce(&mut lp_isa::CodeBuilder<'_>, &mut OmpRuntime),
+) -> Machine {
+    let mut pb = ProgramBuilder::new("kern");
+    let mut rt = OmpRuntime::build(&mut pb, nthreads, WaitPolicy::Passive);
+    let mut c = pb.main_code();
+    rt.emit_main_init(&mut c);
+    build(&mut c, &mut rt);
+    rt.emit_shutdown(&mut c);
+    c.halt();
+    c.finish();
+    let mut m = Machine::new(Arc::new(pb.finish()), nthreads);
+    m.run_to_completion(200_000_000).unwrap();
+    assert!(m.is_finished());
+    m
+}
+
+const CTX: KernelCtx = KernelCtx {
+    iters: 64,
+    schedule: Schedule::Static,
+};
+
+#[test]
+fn init_array_writes_index_plus_one() {
+    let base = APP_BASE + 0x1000;
+    let m = run(4, |c, rt| {
+        rt.emit_parallel(c, "init", |c, rt| {
+            kernels::init_array(c, rt, "init.loop", base, 64);
+        });
+    });
+    for i in 0..64 {
+        assert_eq!(m.mem().load(Addr(base).word(i)), i + 1);
+    }
+}
+
+#[test]
+fn stream_increments_every_strided_word() {
+    let base = APP_BASE + 0x1000;
+    let m = run(4, |c, rt| {
+        rt.emit_parallel(c, "s", |c, rt| {
+            kernels::stream(c, rt, "s.loop", CTX, base, 8);
+        });
+    });
+    for i in 0..64u64 {
+        assert_eq!(m.mem().load(Addr(base + i * 64)), 1, "word {i}");
+    }
+}
+
+#[test]
+fn stencil_averages_three_neighbours() {
+    let src = APP_BASE + 0x1000;
+    let dst = APP_BASE + 0x4000;
+    let m = run(2, |c, rt| {
+        // Seed src with a constant so the average is exact.
+        rt.emit_parallel(c, "seed", |c, rt| {
+            rt.emit_static_for(c, "seed.loop", 70, |c, _| {
+                c.lf(Reg::R1, 3.0);
+                c.li(Reg::R2, src as i64);
+                c.alui(lp_isa::AluOp::Shl, Reg::R3, Reg::R16, 3);
+                c.alu(lp_isa::AluOp::Add, Reg::R2, Reg::R2, Reg::R3);
+                c.store(Reg::R1, Reg::R2, 0);
+            });
+        });
+        rt.emit_parallel(c, "st", |c, rt| {
+            kernels::stencil(c, rt, "st.loop", CTX, src, dst);
+        });
+    });
+    for i in 0..64u64 {
+        let v = m.mem().load_f64(Addr(dst).word(i));
+        assert!((v - 3.0).abs() < 1e-12, "cell {i} = {v}");
+    }
+}
+
+#[test]
+fn reduce_sum_totals_3i_plus_1() {
+    let result = APP_BASE + 0x100;
+    let m = run(4, |c, rt| {
+        rt.emit_parallel(c, "r", |c, rt| {
+            kernels::reduce_sum(c, rt, "r.loop", CTX, result);
+        });
+    });
+    let expect: u64 = (0..64).map(|i| 3 * i + 1).sum();
+    assert_eq!(m.mem().load(Addr(result)), expect);
+}
+
+#[test]
+fn locked_update_is_exact_under_contention() {
+    let counter = APP_BASE + 0x100;
+    let m = run(8, |c, rt| {
+        rt.emit_parallel(c, "l", |c, rt| {
+            kernels::locked_update(
+                c,
+                rt,
+                "l.loop",
+                KernelCtx {
+                    iters: 256,
+                    schedule: Schedule::Static,
+                },
+                LockId(5),
+                counter,
+            );
+        });
+    });
+    assert_eq!(m.mem().load(Addr(counter)), 256);
+}
+
+#[test]
+fn histogram_buckets_total_the_iterations() {
+    let base = APP_BASE + 0x8000;
+    let buckets = 256u64;
+    let m = run(4, |c, rt| {
+        rt.emit_parallel(c, "h", |c, rt| {
+            kernels::atomic_histogram(
+                c,
+                rt,
+                "h.loop",
+                KernelCtx {
+                    iters: 500,
+                    schedule: Schedule::Static,
+                },
+                base,
+                buckets,
+            );
+        });
+    });
+    let total: u64 = (0..buckets).map(|i| m.mem().load(Addr(base).word(i))).sum();
+    assert_eq!(total, 500, "every iteration lands in exactly one bucket");
+}
+
+#[test]
+fn skewed_work_runs_all_iterations_under_dynamic_schedule() {
+    // The inner loops terminate and the outer worksharing loop covers the
+    // range for every schedule.
+    for sched in [Schedule::Static, Schedule::Dynamic { chunk: 3 }] {
+        let m = run(4, |c, rt| {
+            if matches!(sched, Schedule::Dynamic { .. }) {
+                rt.emit_dyn_reset(c);
+            }
+            rt.emit_parallel(c, "sk", |c, rt| {
+                kernels::skewed_work(
+                    c,
+                    rt,
+                    "sk.loop",
+                    KernelCtx {
+                        iters: 48,
+                        schedule: sched,
+                    },
+                    4,
+                    16,
+                );
+            });
+        });
+        assert!(m.is_finished());
+    }
+}

@@ -1,0 +1,74 @@
+//! Inspect a workload the way the paper's tooling does: disassemble its
+//! images, build the DCFG from a constrained replay, list discovered loops
+//! with iteration counts, and emit a Graphviz rendering.
+//!
+//! Run with: `cargo run --release --example inspect_program [app] [dot-file]`
+
+use lp_dcfg::DcfgBuilder;
+use lp_omp::WaitPolicy;
+use lp_pinball::{Pinball, RecordConfig};
+use lp_workloads::{build, InputClass};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "619.lbm_s.1".into());
+    let spec = lp_workloads::find(&name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let nthreads = spec.effective_threads(4);
+    let program = build(&spec, InputClass::Test, 4, WaitPolicy::Passive);
+
+    println!("== {} ==", program.name());
+    println!(
+        "{} images, {} instruction slots total\n",
+        program.images().len(),
+        program.code_size()
+    );
+
+    // Show the first instructions of the main image.
+    let main_img = &program.images()[program.entry_main().image.0 as usize];
+    let listing = program.disassemble(main_img);
+    println!("main image listing (first 25 lines):");
+    for line in listing.lines().take(25) {
+        println!("{line}");
+    }
+
+    // DCFG from a recorded, replayed execution.
+    let pinball = Pinball::record(&program, nthreads, RecordConfig::default())?;
+    let mut builder = DcfgBuilder::new(program.clone(), nthreads);
+    pinball.replay(program.clone(), &mut [&mut builder], u64::MAX)?;
+    let dcfg = builder.finish();
+
+    println!(
+        "\nDCFG: {} blocks, {} edges, {} routines, {} natural loops",
+        dcfg.blocks().len(),
+        dcfg.edges().len(),
+        dcfg.routines().len(),
+        dcfg.loops().len()
+    );
+    println!("\nloops (main-image headers are legal region boundaries):");
+    let mut loops: Vec<_> = dcfg.loops().to_vec();
+    loops.sort_by_key(|l| std::cmp::Reverse(l.iterations));
+    for l in loops.iter().take(12) {
+        let where_ = if program.is_library_pc(l.header) {
+            "library (filtered)"
+        } else {
+            "main image"
+        };
+        println!(
+            "  {:<28} {:>9} iterations, {:>2} blocks  [{where_}]",
+            program.symbolize(l.header),
+            l.iterations,
+            l.blocks.len()
+        );
+    }
+
+    // Graphviz export.
+    if let Some(path) = std::env::args().nth(2) {
+        std::fs::write(&path, dcfg.to_dot())?;
+        println!("\nwrote Graphviz rendering to {path} (render with `dot -Tsvg`)");
+    } else {
+        println!(
+            "\n(pass a second argument to write the DCFG as a Graphviz .dot file)"
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,233 @@
+//! The artifact's `run-looppoint.py` driver, reimplemented for this
+//! reproduction: runs the end-to-end methodology for one or more programs
+//! and prints error and speedup numbers on the console.
+//!
+//! ```text
+//! run-looppoint -p demo-matrix-1 -n 8
+//! run-looppoint -p demo-matrix-2,demo-matrix-3 -w active -i test
+//! run-looppoint -p 627.cam4_s.1 -i train -w active
+//! run-looppoint -p 619.lbm_s.1 --native
+//! ```
+
+use looppoint::{
+    analyze, error_pct, extrapolate, simulate_representatives_checkpointed, simulate_whole,
+    speedups, LoopPointConfig,
+};
+use lp_omp::WaitPolicy;
+use lp_uarch::SimConfig;
+use lp_workloads::{build, matrix_demo, InputClass, WorkloadSpec};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    programs: Vec<String>,
+    ncores: usize,
+    input: InputClass,
+    policy: WaitPolicy,
+    native: bool,
+    verbose: bool,
+    slice_base: u64,
+}
+
+const USAGE: &str = "\
+run-looppoint — end-to-end LoopPoint sampling for one or more programs
+
+USAGE:
+    run-looppoint [OPTIONS]
+
+OPTIONS:
+    -p, --program <names>      comma-separated programs (demo-matrix-1..3,
+                               any SPEC-like app e.g. 627.cam4_s.1, or any
+                               NPB-like kernel e.g. npb-cg)
+                               [default: demo-matrix-1]
+    -n, --ncores <n>           number of threads [default: 8]
+    -i, --input-class <class>  test | train | ref | C [default: test]
+    -w, --wait-policy <p>      passive | active [default: passive]
+        --slice-base <n>       per-thread slice size in filtered
+                               instructions [default: 8000]
+        --native               run the program natively (functional only)
+    -v, --verbose              print the full analysis report (slices,
+                               clusters, symbolized markers)
+        --force                start a new end-to-end run (accepted for
+                               artifact-script compatibility; runs are
+                               always fresh here)
+    -h, --help                 print this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        programs: vec!["demo-matrix-1".to_string()],
+        ncores: 8,
+        input: InputClass::Test,
+        policy: WaitPolicy::Passive,
+        native: false,
+        verbose: false,
+        slice_base: 8_000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "-p" | "--program" => {
+                args.programs = value("-p")?.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "-n" | "--ncores" => {
+                args.ncores = value("-n")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+            }
+            "-i" | "--input-class" => {
+                args.input = match value("-i")?.as_str() {
+                    "test" => InputClass::Test,
+                    "train" => InputClass::Train,
+                    "ref" => InputClass::Ref,
+                    "C" | "c" => InputClass::NpbC,
+                    other => return Err(format!("unknown input class '{other}'")),
+                };
+            }
+            "-w" | "--wait-policy" => {
+                args.policy = match value("-w")?.as_str() {
+                    "passive" => WaitPolicy::Passive,
+                    "active" => WaitPolicy::Active,
+                    other => return Err(format!("unknown wait policy '{other}'")),
+                };
+            }
+            "--slice-base" => {
+                args.slice_base = value("--slice-base")?
+                    .parse()
+                    .map_err(|e| format!("bad slice base: {e}"))?;
+            }
+            "--native" => args.native = true,
+            "-v" | "--verbose" => args.verbose = true,
+            "--force" | "--reuse-profile" | "--reuse-fullsim" => {
+                // Artifact-script compatibility: accepted, nothing to reuse.
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn resolve(name: &str) -> Option<WorkloadSpec> {
+    match name {
+        "demo-matrix-1" => Some(matrix_demo(1)),
+        "demo-matrix-2" => Some(matrix_demo(2)),
+        "demo-matrix-3" => Some(matrix_demo(3)),
+        other => lp_workloads::find(other),
+    }
+}
+
+fn run_one(spec: &WorkloadSpec, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let nthreads = spec.effective_threads(args.ncores);
+    let program = build(spec, args.input, args.ncores, args.policy);
+    println!(
+        "\n=== {} | input {} | {} threads | {} wait policy ===",
+        spec.name,
+        args.input.name(),
+        nthreads,
+        args.policy
+    );
+
+    if args.native {
+        let start = std::time::Instant::now();
+        let mut m = lp_isa::Machine::new(program, nthreads);
+        m.run_to_completion(u64::MAX)?;
+        println!(
+            "native run: {} instructions in {:.2?} ({:.1} Minst/s)",
+            m.global_retired(),
+            start.elapsed(),
+            m.global_retired() as f64 / start.elapsed().as_secs_f64() / 1e6
+        );
+        return Ok(());
+    }
+
+    let simcfg = SimConfig::gainestown(nthreads.max(args.ncores));
+    let cfg = LoopPointConfig::with_slice_base(args.slice_base);
+
+    println!("[1/4] profiling (record + constrained replays) ...");
+    let analysis = analyze(&program, nthreads, &cfg)?;
+    println!(
+        "      {} slices, {} clusters -> {} looppoints; spin filter removed {:.1}% of instructions",
+        analysis.profile.slices.len(),
+        analysis.clustering.k,
+        analysis.looppoints.len(),
+        analysis.profile.filter_ratio() * 100.0
+    );
+
+    if args.verbose {
+        println!("\n{}", looppoint::report::analysis_report(&program, &analysis));
+    }
+    println!("[2/4] simulating {} regions (checkpoint-driven, 2-slice warmup) ...", analysis.looppoints.len());
+    let results =
+        simulate_representatives_checkpointed(&analysis, &program, nthreads, &simcfg, 2, false)?;
+
+    println!("[3/4] extrapolating whole-program performance ...");
+    let prediction = extrapolate(&results);
+
+    if args.input == InputClass::Ref {
+        // As in the paper, no full detailed reference at ref scale.
+        let total = analysis.profile.total_filtered;
+        let sum: u64 = analysis.looppoints.iter().map(|r| r.filtered_insts).sum();
+        let max = analysis.looppoints.iter().map(|r| r.filtered_insts).max().unwrap_or(1);
+        println!("[4/4] ref inputs: skipping full-application reference (impractical, as in the paper)");
+        println!("      predicted runtime: {:.0} cycles", prediction.total_cycles);
+        println!(
+            "      theoretical speedup: serial {:.1}x, parallel {:.1}x",
+            total as f64 / sum.max(1) as f64,
+            total as f64 / max as f64
+        );
+        return Ok(());
+    }
+
+    println!("[4/4] full-application reference simulation ...");
+    let full = simulate_whole(&program, nthreads, &simcfg)?;
+    let err = error_pct(prediction.total_cycles, full.cycles as f64);
+    let sp = speedups(&analysis, &results, &full);
+
+    println!("\nresults:");
+    println!("  predicted runtime : {:>12.0} cycles", prediction.total_cycles);
+    println!("  measured runtime  : {:>12} cycles", full.cycles);
+    println!("  runtime error     : {err:.2}%");
+    println!(
+        "  branch MPKI       : predicted {:.3}, measured {:.3}",
+        prediction.branch_mpki,
+        full.branch_mpki()
+    );
+    println!(
+        "  L2 MPKI           : predicted {:.3}, measured {:.3}",
+        prediction.l2_mpki,
+        full.l2_mpki()
+    );
+    println!(
+        "  speedup           : theoretical serial {:.1}x / parallel {:.1}x, actual serial {:.1}x / parallel {:.1}x",
+        sp.theoretical_serial, sp.theoretical_parallel, sp.actual_serial, sp.actual_parallel
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for name in &args.programs {
+        let Some(spec) = resolve(name) else {
+            eprintln!("error: unknown program '{name}' (see --help)");
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = run_one(&spec, &args) {
+            eprintln!("error: {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
