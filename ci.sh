@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, and the full test suite.
+#
+# Everything runs --offline against the vendored dev-dependency stubs in
+# vendor/ — no network access is required (or attempted).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test =="
+cargo test --workspace --offline -q
+
+echo "CI green."

@@ -121,11 +121,15 @@ mod tests {
         let p = Arc::new(pb.finish());
         let pinball = Pinball::record(&p, 2, RecordConfig::default()).unwrap();
         let mut dcfg_b = DcfgBuilder::new(p.clone(), 2);
-        pinball.replay(p.clone(), &mut [&mut dcfg_b], u64::MAX).unwrap();
+        pinball
+            .replay(p.clone(), &mut [&mut dcfg_b], u64::MAX)
+            .unwrap();
         let dcfg = dcfg_b.finish();
 
         let mut slicer = FixedSlicer::new(&dcfg, 2, 500);
-        pinball.replay(p.clone(), &mut [&mut slicer], u64::MAX).unwrap();
+        pinball
+            .replay(p.clone(), &mut [&mut slicer], u64::MAX)
+            .unwrap();
         let slices = slicer.finish();
         assert!(slices.len() >= 4);
         for s in &slices[..slices.len() - 1] {

@@ -100,12 +100,7 @@ impl<'d> LoopAlignedSlicer<'d> {
     /// `slice_base` is the per-thread slice size; the global target is
     /// `slice_base × nthreads` filtered instructions (the paper's
     /// N × 100 M, scaled).
-    pub fn new(
-        program: Arc<Program>,
-        dcfg: &'d Dcfg,
-        nthreads: usize,
-        slice_base: u64,
-    ) -> Self {
+    pub fn new(program: Arc<Program>, dcfg: &'d Dcfg, nthreads: usize, slice_base: u64) -> Self {
         assert!(slice_base > 0);
         let header_counts = dcfg
             .main_image_loop_headers()
@@ -208,8 +203,7 @@ impl ExecObserver for LoopAlignedSlicer<'_> {
                 if let Some(b) = self.dcfg.block_of(r.pc) {
                     let block = self.dcfg.block(b);
                     // Standard BBV weighting: entries × block length.
-                    *self.cur_bbv.entry(dim(r.tid, b.0)).or_default() +=
-                        u64::from(block.len);
+                    *self.cur_bbv.entry(dim(r.tid, b.0)).or_default() += u64::from(block.len);
                 }
             }
         }
@@ -324,7 +318,11 @@ mod tests {
         // homogeneous workload.
         let max = *mid.per_thread_insts.iter().max().unwrap() as f64;
         let min = *mid.per_thread_insts.iter().min().unwrap() as f64;
-        assert!(min > 0.0 && max / min < 2.0, "balanced: {:?}", mid.per_thread_insts);
+        assert!(
+            min > 0.0 && max / min < 2.0,
+            "balanced: {:?}",
+            mid.per_thread_insts
+        );
     }
 
     #[test]
@@ -333,10 +331,14 @@ mod tests {
         let pinball = Pinball::record(&p, 4, RecordConfig::default()).unwrap();
         let run = || {
             let mut dcfg_b = DcfgBuilder::new(p.clone(), 4);
-            pinball.replay(p.clone(), &mut [&mut dcfg_b], u64::MAX).unwrap();
+            pinball
+                .replay(p.clone(), &mut [&mut dcfg_b], u64::MAX)
+                .unwrap();
             let dcfg = dcfg_b.finish();
             let mut slicer = LoopAlignedSlicer::new(p.clone(), &dcfg, 4, 300);
-            pinball.replay(p.clone(), &mut [&mut slicer], u64::MAX).unwrap();
+            pinball
+                .replay(p.clone(), &mut [&mut slicer], u64::MAX)
+                .unwrap();
             slicer.finish()
         };
         let a = run();
@@ -355,11 +357,15 @@ mod tests {
         let p = work_program(2, WaitPolicy::Passive, 6000);
         let pinball = Pinball::record(&p, 2, RecordConfig::default()).unwrap();
         let mut dcfg_b = DcfgBuilder::new(p.clone(), 2);
-        pinball.replay(p.clone(), &mut [&mut dcfg_b], u64::MAX).unwrap();
+        pinball
+            .replay(p.clone(), &mut [&mut dcfg_b], u64::MAX)
+            .unwrap();
         let dcfg = dcfg_b.finish();
         let mut slicer = LoopAlignedSlicer::new(p.clone(), &dcfg, 2, 1000);
         slicer.set_policy(SlicePolicy::Varying);
-        pinball.replay(p.clone(), &mut [&mut slicer], u64::MAX).unwrap();
+        pinball
+            .replay(p.clone(), &mut [&mut slicer], u64::MAX)
+            .unwrap();
         let profile = slicer.finish();
         assert!(profile.slices.len() >= 6);
         let full: Vec<u64> = profile.slices[..profile.slices.len() - 1]

@@ -53,11 +53,7 @@ impl SparseVec {
             return self.clone();
         }
         SparseVec {
-            entries: self
-                .entries
-                .iter()
-                .map(|&(k, v)| (k, v / l1))
-                .collect(),
+            entries: self.entries.iter().map(|&(k, v)| (k, v / l1)).collect(),
         }
     }
 

@@ -3,9 +3,9 @@
 //! random projection, and k-means.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lp_isa::{Addr, Pc};
 use lp_isa::{AluOp, Machine, ProgramBuilder, Reg};
 use lp_simpoint::{kmeans, project};
-use lp_isa::{Addr, Pc};
 use lp_uarch::{BranchPredictor, MemoryHierarchy, SimConfig};
 use std::sync::Arc;
 

@@ -2,7 +2,7 @@
 //! cores (class C, passive wait policy).
 
 use lp_bench::paper;
-use lp_bench::table::{title, Table, x};
+use lp_bench::table::{title, x, Table};
 use lp_bench::{evaluate_app_mode, geomean};
 use lp_omp::WaitPolicy;
 use lp_uarch::SimConfig;

@@ -7,9 +7,9 @@
 //! actual counts and, for scale context, the counts re-inflated by the
 //! DESIGN.md ~1000x scaling factor.
 
+use looppoint::{human_duration, SimTimeModel};
 use lp_bench::table::{f, title, Table};
 use lp_bench::{analyze_app, geomean, SPEC_THREADS};
-use looppoint::{human_duration, SimTimeModel};
 use lp_omp::WaitPolicy;
 use lp_workloads::{npb_workloads, spec_workloads, InputClass};
 

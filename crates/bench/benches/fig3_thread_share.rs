@@ -2,8 +2,8 @@
 //! applications keep near-equal shares; 657.xz_s.2 does not, which is why
 //! BBVs are concatenated per thread before clustering.
 
-use lp_bench::table::{f, title, Table};
 use lp_bench::analyze_app;
+use lp_bench::table::{f, title, Table};
 use lp_omp::WaitPolicy;
 use lp_workloads::InputClass;
 

@@ -3,9 +3,9 @@
 
 use lp_bench::table::{f, title, Table};
 use lp_bench::{analyze_app, SPEC_THREADS};
+use lp_omp::WaitPolicy;
 use lp_sim::{Mode, Simulator, StopCond};
 use lp_uarch::SimConfig;
-use lp_omp::WaitPolicy;
 use lp_workloads::InputClass;
 
 fn main() {
@@ -25,13 +25,25 @@ fn main() {
         .unwrap();
     println!("\nchosen region (slice {}):", region.slice_index);
     if let Some(s) = region.start {
-        println!("  start marker: pc={} [{}], count={}", s.pc, program.symbolize(s.pc), s.count);
+        println!(
+            "  start marker: pc={} [{}], count={}",
+            s.pc,
+            program.symbolize(s.pc),
+            s.count
+        );
     }
     if let Some(e) = region.end {
-        println!("  end marker:   pc={} [{}], count={}", e.pc, program.symbolize(e.pc), e.count);
+        println!(
+            "  end marker:   pc={} [{}], count={}",
+            e.pc,
+            program.symbolize(e.pc),
+            e.count
+        );
     }
-    println!("  multiplier: {:.2}  (cluster {} of {})",
-        region.multiplier, region.cluster, analysis.clustering.k);
+    println!(
+        "  multiplier: {:.2}  (cluster {} of {})",
+        region.multiplier, region.cluster, analysis.clustering.k
+    );
 
     // (4b) IPC over time: full application.
     let cfg = SimConfig::gainestown(SPEC_THREADS);
@@ -39,7 +51,10 @@ fn main() {
     let interval = analysis.profile.total_insts / 60;
     sim.set_ipc_sampling(interval.max(1));
     let full = sim.run(Mode::Detailed, None, u64::MAX).unwrap();
-    println!("\nIPC over time (full application, {} samples):", full.ipc_trace.len());
+    println!(
+        "\nIPC over time (full application, {} samples):",
+        full.ipc_trace.len()
+    );
     let mut t = Table::new(&["insts", "ipc", "bar"]);
     for s in &full.ipc_trace {
         let bars = "#".repeat((s.ipc * 4.0).round() as usize);

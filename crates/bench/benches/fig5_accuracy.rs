@@ -6,10 +6,10 @@
 //!     microarchitecture-portability study (analysis is done once and
 //!     reused, exactly as the paper argues it can be).
 
+use looppoint::{error_pct, extrapolate, simulate_representatives, simulate_whole};
 use lp_bench::paper;
 use lp_bench::table::{f, title, Table};
 use lp_bench::{analyze_app, evaluate_app, mean, SPEC_THREADS};
-use looppoint::{error_pct, extrapolate, simulate_representatives, simulate_whole};
 use lp_omp::WaitPolicy;
 use lp_uarch::SimConfig;
 use lp_workloads::{spec_workloads, InputClass};
@@ -24,8 +24,20 @@ fn main() {
     let mut active_errs = Vec::new();
     let mut passive_errs = Vec::new();
     for spec in spec_workloads() {
-        let ea = evaluate_app(&spec, InputClass::Train, SPEC_THREADS, WaitPolicy::Active, &ooo);
-        let ep = evaluate_app(&spec, InputClass::Train, SPEC_THREADS, WaitPolicy::Passive, &ooo);
+        let ea = evaluate_app(
+            &spec,
+            InputClass::Train,
+            SPEC_THREADS,
+            WaitPolicy::Active,
+            &ooo,
+        );
+        let ep = evaluate_app(
+            &spec,
+            InputClass::Train,
+            SPEC_THREADS,
+            WaitPolicy::Passive,
+            &ooo,
+        );
         active_errs.push(ea.runtime_error_pct());
         passive_errs.push(ep.runtime_error_pct());
         t.row(&[
@@ -65,7 +77,10 @@ fn main() {
         errs.push(err);
         t.row(&[spec.name.to_string(), f(err, 2)]);
     }
-    t.row(&["AVERAGE (measured)".to_string(), f(mean(errs.iter().copied()), 2)]);
+    t.row(&[
+        "AVERAGE (measured)".to_string(),
+        f(mean(errs.iter().copied()), 2),
+    ]);
     t.print();
     println!("\nPaper shape: looppoints chosen once remain accurate across core models.");
 }

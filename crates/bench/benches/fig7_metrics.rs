@@ -24,10 +24,29 @@ fn main() {
         "L2MPKI act",
         "L2MPKI pas",
     ]);
-    let mut sums = [Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut sums = [
+        Vec::new(),
+        Vec::new(),
+        Vec::new(),
+        Vec::new(),
+        Vec::new(),
+        Vec::new(),
+    ];
     for spec in spec_workloads() {
-        let a = evaluate_app(&spec, InputClass::Train, SPEC_THREADS, WaitPolicy::Active, &cfg);
-        let p = evaluate_app(&spec, InputClass::Train, SPEC_THREADS, WaitPolicy::Passive, &cfg);
+        let a = evaluate_app(
+            &spec,
+            InputClass::Train,
+            SPEC_THREADS,
+            WaitPolicy::Active,
+            &cfg,
+        );
+        let p = evaluate_app(
+            &spec,
+            InputClass::Train,
+            SPEC_THREADS,
+            WaitPolicy::Passive,
+            &cfg,
+        );
         let vals = [
             a.cycles_error_pct(),
             p.cycles_error_pct(),

@@ -2,7 +2,7 @@
 //! LoopPoint over full detailed simulation, SPEC train, active policy.
 
 use lp_bench::paper;
-use lp_bench::table::{title, Table, x};
+use lp_bench::table::{title, x, Table};
 use lp_bench::{evaluate_app_mode, geomean, SPEC_THREADS};
 use lp_omp::WaitPolicy;
 use lp_uarch::SimConfig;

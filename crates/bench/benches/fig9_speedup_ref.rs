@@ -3,10 +3,10 @@
 //! reference run is attempted at ref scale — these are instruction-count
 //! reductions from the up-front analysis alone.
 
-use lp_bench::paper;
-use lp_bench::table::{title, Table, x};
-use lp_bench::{analyze_app, geomean, SPEC_THREADS};
 use looppoint::baselines::analyze_barrierpoint;
+use lp_bench::paper;
+use lp_bench::table::{title, x, Table};
+use lp_bench::{analyze_app, geomean, SPEC_THREADS};
 use lp_omp::WaitPolicy;
 use lp_workloads::{spec_workloads, InputClass};
 

@@ -1,22 +1,17 @@
 //! Ablations of the design choices DESIGN.md calls out: slice size, maxK,
 //! the spin filter, warmup, and projection dimensionality.
 
-use lp_bench::table::{f, title, Table};
-use lp_bench::SPEC_THREADS;
 use looppoint::{
     analyze, error_pct, extrapolate, simulate_representatives, simulate_representatives_opts,
     simulate_whole, LoopPointConfig,
 };
+use lp_bench::table::{f, title, Table};
+use lp_bench::SPEC_THREADS;
 use lp_omp::WaitPolicy;
 use lp_uarch::SimConfig;
 use lp_workloads::{build, InputClass};
 
-fn eval_app(
-    app: &str,
-    cfg: &LoopPointConfig,
-    policy: WaitPolicy,
-    warmup: bool,
-) -> (f64, usize) {
+fn eval_app(app: &str, cfg: &LoopPointConfig, policy: WaitPolicy, warmup: bool) -> (f64, usize) {
     let spec = lp_workloads::find(app).unwrap();
     let n = spec.effective_threads(SPEC_THREADS);
     let program = build(&spec, InputClass::Train, SPEC_THREADS, policy);

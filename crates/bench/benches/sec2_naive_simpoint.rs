@@ -3,11 +3,11 @@
 //! especially under the active wait policy (paper: avg 25%, up to 68.44%
 //! active; up to 20% passive).
 
+use looppoint::baselines::{analyze_naive, extrapolate_naive, simulate_naive_regions};
+use looppoint::{error_pct, simulate_whole};
 use lp_bench::paper;
 use lp_bench::table::{f, title, Table};
 use lp_bench::{analyze_app, mean, BENCH_SLICE_BASE, SPEC_THREADS};
-use looppoint::baselines::{analyze_naive, extrapolate_naive, simulate_naive_regions};
-use looppoint::{error_pct, simulate_whole};
 use lp_omp::WaitPolicy;
 use lp_uarch::SimConfig;
 use lp_workloads::{spec_workloads, InputClass};
@@ -23,7 +23,10 @@ fn main() {
     let mut pas = Vec::new();
     for spec in spec_workloads() {
         let mut errs = [0.0f64; 2];
-        for (i, policy) in [WaitPolicy::Active, WaitPolicy::Passive].into_iter().enumerate() {
+        for (i, policy) in [WaitPolicy::Active, WaitPolicy::Passive]
+            .into_iter()
+            .enumerate()
+        {
             let (program, nthreads, analysis) =
                 analyze_app(&spec, InputClass::Train, SPEC_THREADS, policy);
             let slice_size = BENCH_SLICE_BASE * nthreads as u64;
@@ -52,7 +55,11 @@ fn main() {
         f(mean(act.iter().copied()), 2),
         f(mean(pas.iter().copied()), 2),
     ]);
-    t.row(&["MAX (measured)".to_string(), f(max(&act), 2), f(max(&pas), 2)]);
+    t.row(&[
+        "MAX (measured)".to_string(),
+        f(max(&act), 2),
+        f(max(&pas), 2),
+    ]);
     t.print();
     println!(
         "\nPaper reference: active avg ~{}%, max {}%; passive up to {}%.\n\

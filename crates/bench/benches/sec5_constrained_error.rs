@@ -3,11 +3,11 @@
 //! observes up to 19.6% error for 657.xz_s.2, an application with few
 //! synchronization points and high run-to-run variability.
 
+use looppoint::constrained::simulate_constrained;
+use looppoint::{error_pct, simulate_whole};
 use lp_bench::paper;
 use lp_bench::table::{f, title, Table};
 use lp_bench::{analyze_app, SPEC_THREADS};
-use looppoint::constrained::simulate_constrained;
-use looppoint::{error_pct, simulate_whole};
 use lp_omp::WaitPolicy;
 use lp_uarch::SimConfig;
 use lp_workloads::InputClass;

@@ -4,8 +4,17 @@ use lp_bench::table::{title, Table};
 use lp_workloads::spec_workloads;
 
 fn main() {
-    title("Table II", "SPEC CPU2017 speed application attributes (stand-ins)");
-    let mut t = Table::new(&["Application", "Lang.", "KLOC", "Application Area", "Threads"]);
+    title(
+        "Table II",
+        "SPEC CPU2017 speed application attributes (stand-ins)",
+    );
+    let mut t = Table::new(&[
+        "Application",
+        "Lang.",
+        "KLOC",
+        "Application Area",
+        "Threads",
+    ]);
     for w in spec_workloads() {
         t.row(&[
             w.name.to_string(),

@@ -4,7 +4,11 @@ use lp_bench::table::{title, Table};
 use lp_workloads::spec_workloads;
 
 fn yn(b: bool) -> String {
-    if b { "Y".to_string() } else { String::new() }
+    if b {
+        "Y".to_string()
+    } else {
+        String::new()
+    }
 }
 
 fn main() {
@@ -14,7 +18,15 @@ fn main() {
          ma=master, si=single, red=reduction, at=atomic, lck=lock)",
     );
     let mut t = Table::new(&[
-        "Application", "sta4", "dyn4", "bar", "ma", "si", "red", "at", "lck",
+        "Application",
+        "sta4",
+        "dyn4",
+        "bar",
+        "ma",
+        "si",
+        "red",
+        "at",
+        "lck",
     ]);
     for w in spec_workloads() {
         let s = w.sync;

@@ -49,7 +49,14 @@ impl Table {
                 .join("  ")
         };
         println!("{}", fmt_row(&self.headers));
-        println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
         for row in &self.rows {
             println!("{}", fmt_row(row));
         }
@@ -91,7 +98,7 @@ mod tests {
     #[test]
     fn formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
-        assert_eq!(x(3.14), "3.1x");
+        assert_eq!(x(3.15), "3.1x");
         assert_eq!(x(314.0), "314x");
     }
 }

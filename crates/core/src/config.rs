@@ -27,6 +27,11 @@ pub struct LoopPointConfig {
     pub filter_spin: bool,
     /// Slice-length policy (§III-B supports varying-length intervals).
     pub slice_policy: lp_bbv::SlicePolicy,
+    /// Observability handle spans/metrics from [`crate::analyze`] and the
+    /// simulators it drives are recorded into. Defaults to the
+    /// process-global observer ([`lp_obs::global`]); set explicitly to
+    /// capture a pipeline run in isolation.
+    pub obs: lp_obs::Observer,
 }
 
 impl Default for LoopPointConfig {
@@ -38,6 +43,7 @@ impl Default for LoopPointConfig {
             max_steps: 4_000_000_000,
             filter_spin: true,
             slice_policy: lp_bbv::SlicePolicy::Fixed,
+            obs: lp_obs::global(),
         }
     }
 }
@@ -49,6 +55,13 @@ impl LoopPointConfig {
             slice_base,
             ..Default::default()
         }
+    }
+
+    /// Routes this pipeline's spans and metrics to `obs` (builder style).
+    #[must_use]
+    pub fn with_observer(mut self, obs: lp_obs::Observer) -> Self {
+        self.obs = obs;
+        self
     }
 }
 

@@ -115,10 +115,8 @@ mod tests {
         let program = crate::testutil::contended_program(4);
         let pinball = Pinball::record(&program, 4, RecordConfig::default()).unwrap();
         let cfg = SimConfig::gainestown(4);
-        let constrained =
-            simulate_constrained(&pinball, &program, &cfg, u64::MAX).unwrap();
-        let unconstrained =
-            lp_sim::simulate_full(program.clone(), 4, cfg, u64::MAX).unwrap();
+        let constrained = simulate_constrained(&pinball, &program, &cfg, u64::MAX).unwrap();
+        let unconstrained = lp_sim::simulate_full(program.clone(), 4, cfg, u64::MAX).unwrap();
         let deviation = (constrained.cycles as f64 - unconstrained.cycles as f64).abs()
             / unconstrained.cycles as f64;
         assert!(

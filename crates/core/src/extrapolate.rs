@@ -97,10 +97,7 @@ mod tests {
 
     #[test]
     fn eq1_weighted_sum() {
-        let results = vec![
-            result(3.0, 1000, 2000, 10, 4),
-            result(1.0, 500, 1000, 0, 0),
-        ];
+        let results = vec![result(3.0, 1000, 2000, 10, 4), result(1.0, 500, 1000, 0, 0)];
         let p = extrapolate(&results);
         assert!((p.total_cycles - 3500.0).abs() < 1e-9);
         assert!((p.total_instructions - 7000.0).abs() < 1e-9);

@@ -68,12 +68,12 @@ mod speedup;
 mod testutil;
 
 pub use config::LoopPointConfig;
+pub use coverage::Coverage;
 pub use error::LoopPointError;
 pub use extrapolate::{error_pct, extrapolate, Prediction};
-pub use coverage::Coverage;
 pub use pipeline::{analyze, Analysis, LoopPointRegion};
 pub use simulate::{
-    simulate_representatives, simulate_representatives_checkpointed,
-    simulate_representatives_opts, simulate_whole, RegionResult,
+    simulate_representatives, simulate_representatives_checkpointed, simulate_representatives_opts,
+    simulate_whole, RegionResult,
 };
 pub use speedup::{human_duration, speedups, SimTimeModel, SpeedupReport};

@@ -91,13 +91,31 @@ pub fn analyze(
     nthreads: usize,
     cfg: &LoopPointConfig,
 ) -> Result<Analysis, LoopPointError> {
+    let obs = &cfg.obs;
+    let mut analyze_span = obs.span("analyze", "pipeline");
+    analyze_span.arg("nthreads", nthreads);
+
     // 1. Reproducible capture (§III-H).
-    let pinball = Pinball::record(program, nthreads, cfg.record)?;
+    let pinball = {
+        let mut span = obs.span("analyze.record", "pipeline");
+        let pinball = Pinball::record(program, nthreads, cfg.record)?;
+        span.arg("instructions", pinball.instructions());
+        pinball
+    };
+    lp_obs::lp_debug!(
+        "analyze: recorded pinball of {} instructions",
+        pinball.instructions()
+    );
 
     // 2. DCFG: identify loops (§III-D).
-    let mut dcfg_builder = DcfgBuilder::new(program.clone(), nthreads);
-    pinball.replay(program.clone(), &mut [&mut dcfg_builder], cfg.max_steps)?;
-    let dcfg = dcfg_builder.finish();
+    let dcfg = {
+        let mut span = obs.span("analyze.dcfg", "pipeline");
+        let mut dcfg_builder = DcfgBuilder::new(program.clone(), nthreads);
+        pinball.replay(program.clone(), &mut [&mut dcfg_builder], cfg.max_steps)?;
+        let dcfg = dcfg_builder.finish();
+        span.arg("loop_headers", dcfg.main_image_loop_headers().len());
+        dcfg
+    };
     if dcfg.main_image_loop_headers().is_empty() {
         return Err(LoopPointError::NoSlices {
             reason: "program has no main-image loop headers".to_string(),
@@ -105,25 +123,36 @@ pub fn analyze(
     }
 
     // 3. Loop-aligned, spin-filtered slicing + per-thread BBVs (§III-B/C).
-    let mut slicer = LoopAlignedSlicer::new(program.clone(), &dcfg, nthreads, cfg.slice_base);
-    slicer.set_spin_filter(cfg.filter_spin);
-    slicer.set_policy(cfg.slice_policy);
-    pinball.replay(program.clone(), &mut [&mut slicer], cfg.max_steps)?;
-    let profile = slicer.finish();
+    let profile = {
+        let mut span = obs.span("analyze.slicing", "pipeline");
+        let mut slicer = LoopAlignedSlicer::new(program.clone(), &dcfg, nthreads, cfg.slice_base);
+        slicer.set_spin_filter(cfg.filter_spin);
+        slicer.set_policy(cfg.slice_policy);
+        pinball.replay(program.clone(), &mut [&mut slicer], cfg.max_steps)?;
+        let profile = slicer.finish();
+        span.arg("slices", profile.slices.len());
+        profile
+    };
     if profile.slices.is_empty() {
         return Err(LoopPointError::NoSlices {
             reason: "profiling produced no slices".to_string(),
         });
     }
+    obs.counter("analyze.slices")
+        .add(profile.slices.len() as u64);
+    lp_obs::lp_debug!("analyze: {} slices profiled", profile.slices.len());
 
     // 4. Cluster slice BBVs (§III-E) and pick representatives.
-    let vectors: Vec<&[(u64, f64)]> = profile
-        .slices
-        .iter()
-        .map(|s| s.bbv.entries())
-        .collect();
-    let clustering = cluster(&vectors, &cfg.simpoint);
+    let clustering = {
+        let mut span = obs.span("analyze.clustering", "pipeline");
+        let vectors: Vec<&[(u64, f64)]> = profile.slices.iter().map(|s| s.bbv.entries()).collect();
+        let clustering = cluster(&vectors, &cfg.simpoint);
+        span.arg("k", clustering.k);
+        clustering
+    };
+    obs.gauge("analyze.k").set(clustering.k as f64);
 
+    let mut select_span = obs.span("analyze.select", "pipeline");
     let mut looppoints = Vec::with_capacity(clustering.k);
     for (cluster_id, &rep) in clustering.representatives.iter().enumerate() {
         let rep_slice = &profile.slices[rep];
@@ -146,6 +175,11 @@ pub fn analyze(
             cluster_filtered_insts: cluster_filtered,
         });
     }
+    select_span.arg("looppoints", looppoints.len());
+    drop(select_span);
+    obs.counter("analyze.looppoints")
+        .add(looppoints.len() as u64);
+    analyze_span.arg("looppoints", looppoints.len());
 
     Ok(Analysis {
         pinball,

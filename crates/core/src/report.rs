@@ -96,7 +96,12 @@ mod tests {
         // One line per slice.
         let slice_lines = report
             .lines()
-            .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .filter(|l| {
+                l.trim_start()
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit())
+            })
             .count();
         assert!(slice_lines >= analysis.profile.slices.len());
     }

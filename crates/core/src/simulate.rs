@@ -7,6 +7,13 @@ use lp_sim::{Mode, SimError, SimStats, Simulator, StopCond};
 use lp_uarch::SimConfig;
 use std::sync::Arc;
 
+/// A region paired with its optional checkpoint payload: the snapshotted
+/// machine state plus the global `(PC, count)` watch counts at that point.
+type PreparedRegion = (
+    LoopPointRegion,
+    Option<(lp_isa::MachineState, Vec<(lp_isa::Pc, u64)>)>,
+);
+
 /// Detailed statistics for one simulated looppoint.
 #[derive(Debug, Clone)]
 pub struct RegionResult {
@@ -27,6 +34,11 @@ fn simulate_one(
     max_steps: u64,
     warmup: bool,
 ) -> Result<SimStats, SimError> {
+    let obs = lp_obs::global();
+    let mut span = obs.span("region.sim", "pipeline");
+    span.arg("cluster", region.cluster);
+    span.arg("slice_index", region.slice_index);
+    span.arg("multiplier", region.multiplier);
     let mut sim = Simulator::new(program.clone(), nthreads, simcfg.clone());
     sim.set_ff_warming(warmup);
     if let Some(s) = region.start {
@@ -38,11 +50,11 @@ fn simulate_one(
     if let Some(s) = region.start {
         sim.run(Mode::FastForward, Some(StopCond::Marker(s)), max_steps)?;
     }
-    sim.run(
-        Mode::Detailed,
-        region.end.map(StopCond::Marker),
-        max_steps,
-    )
+    let stats = sim.run(Mode::Detailed, region.end.map(StopCond::Marker), max_steps)?;
+    span.arg("instructions", stats.instructions);
+    span.arg("cycles", stats.cycles);
+    obs.counter("region.sims").inc();
+    Ok(stats)
 }
 
 /// Simulates every looppoint unconstrained on `simcfg`.
@@ -99,12 +111,12 @@ pub fn simulate_representatives_opts(
             .iter()
             .map(|region| {
                 scope.spawn(move || {
-                    simulate_one(region, program, nthreads, simcfg, max_steps, warmup).map(|stats| {
-                        RegionResult {
+                    simulate_one(region, program, nthreads, simcfg, max_steps, warmup).map(
+                        |stats| RegionResult {
                             region: region.clone(),
                             stats,
-                        }
-                    })
+                        },
+                    )
                 })
             })
             .collect();
@@ -142,9 +154,10 @@ pub fn simulate_representatives_checkpointed(
     parallel: bool,
 ) -> Result<Vec<RegionResult>, LoopPointError> {
     let max_steps: u64 = 4_000_000_000;
+    let obs = lp_obs::global();
     // Build checkpoints serially (they replay the shared pinball).
-    let mut prepared: Vec<(LoopPointRegion, Option<(lp_isa::MachineState, Vec<(lp_isa::Pc, u64)>)>)> =
-        Vec::with_capacity(analysis.looppoints.len());
+    let ckpt_span = obs.span("region.checkpoints", "pipeline");
+    let mut prepared: Vec<PreparedRegion> = Vec::with_capacity(analysis.looppoints.len());
     for region in &analysis.looppoints {
         let warm_idx = region.slice_index.saturating_sub(warmup_slices);
         let warm_marker = analysis.profile.slices[warm_idx].start;
@@ -158,21 +171,23 @@ pub fn simulate_representatives_checkpointed(
                 if let Some(e) = region.end {
                     watch.push(e.pc);
                 }
-                let (ckpt, counts) = analysis
-                    .pinball
-                    .checkpoint_at_with_counts(program.clone(), marker, &watch)?;
+                let (ckpt, counts) =
+                    analysis
+                        .pinball
+                        .checkpoint_at_with_counts(program.clone(), marker, &watch)?;
                 let counts: Vec<(lp_isa::Pc, u64)> = counts.into_iter().collect();
                 Some((ckpt.state().clone(), counts))
             }
         };
         prepared.push((region.clone(), ckpt));
     }
+    drop(ckpt_span);
 
-    let run_one = |(region, ckpt): &(
-        LoopPointRegion,
-        Option<(lp_isa::MachineState, Vec<(lp_isa::Pc, u64)>)>,
-    )|
-     -> Result<RegionResult, SimError> {
+    let run_one = |(region, ckpt): &PreparedRegion| -> Result<RegionResult, SimError> {
+        let obs = lp_obs::global();
+        let mut span = obs.span("region.sim", "pipeline");
+        span.arg("cluster", region.cluster);
+        span.arg("checkpointed", u64::from(ckpt.is_some()));
         let mut sim = match ckpt {
             None => Simulator::new(program.clone(), nthreads, simcfg.clone()),
             Some((state, counts)) => {
@@ -194,6 +209,9 @@ pub fn simulate_representatives_checkpointed(
             sim.run(Mode::FastForward, Some(StopCond::Marker(s)), max_steps)?;
         }
         let stats = sim.run(Mode::Detailed, region.end.map(StopCond::Marker), max_steps)?;
+        span.arg("instructions", stats.instructions);
+        span.arg("cycles", stats.cycles);
+        obs.counter("region.sims").inc();
         Ok(RegionResult {
             region: region.clone(),
             stats,
@@ -202,7 +220,10 @@ pub fn simulate_representatives_checkpointed(
 
     let results: Vec<Result<RegionResult, SimError>> = if parallel {
         std::thread::scope(|scope| {
-            let handles: Vec<_> = prepared.iter().map(|p| scope.spawn(move || run_one(p))).collect();
+            let handles: Vec<_> = prepared
+                .iter()
+                .map(|p| scope.spawn(move || run_one(p)))
+                .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("region simulation thread panicked"))
@@ -227,6 +248,7 @@ pub fn simulate_whole(
     nthreads: usize,
     simcfg: &SimConfig,
 ) -> Result<SimStats, LoopPointError> {
+    let _span = lp_obs::global().span("sim.whole", "pipeline");
     lp_sim::simulate_full(program.clone(), nthreads, simcfg.clone(), 4_000_000_000)
         .map_err(LoopPointError::from)
 }

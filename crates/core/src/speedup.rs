@@ -26,10 +26,7 @@ pub struct SpeedupReport {
 /// and the full-application reference simulation.
 pub fn speedups(analysis: &Analysis, results: &[RegionResult], full: &SimStats) -> SpeedupReport {
     let total_filtered = analysis.profile.total_filtered as f64;
-    let sum_region: f64 = results
-        .iter()
-        .map(|r| r.region.filtered_insts as f64)
-        .sum();
+    let sum_region: f64 = results.iter().map(|r| r.region.filtered_insts as f64).sum();
     let max_region = results
         .iter()
         .map(|r| r.region.filtered_insts as f64)

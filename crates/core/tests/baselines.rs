@@ -14,10 +14,7 @@ use std::sync::Arc;
 
 const BUDGET: u64 = 2_000_000_000;
 
-fn setup(
-    name: &str,
-    policy: WaitPolicy,
-) -> (Arc<lp_isa::Program>, usize, looppoint::Analysis) {
+fn setup(name: &str, policy: WaitPolicy) -> (Arc<lp_isa::Program>, usize, looppoint::Analysis) {
     let spec = lp_workloads::find(name).unwrap();
     let n = spec.effective_threads(4);
     let p = build(&spec, InputClass::Train, 4, policy);
@@ -31,14 +28,8 @@ fn barrierpoint_works_on_barrier_rich_apps() {
     // regions, good theoretical speedup.
     let (p, _n, analysis) = setup("npb-bt", WaitPolicy::Passive);
     let dcfg = std::sync::Arc::new(analysis.dcfg);
-    let bp = analyze_barrierpoint(
-        &analysis.pinball,
-        &p,
-        dcfg,
-        &Default::default(),
-        BUDGET,
-    )
-    .unwrap();
+    let bp =
+        analyze_barrierpoint(&analysis.pinball, &p, dcfg, &Default::default(), BUDGET).unwrap();
     assert!(bp.barriers > 10, "barrier-rich app, got {}", bp.barriers);
     assert!(bp.regions.len() > 10);
     assert!(

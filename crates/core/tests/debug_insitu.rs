@@ -19,22 +19,46 @@ fn insitu_vs_region() {
     let cfg = SimConfig::gainestown(n);
     let analysis = analyze(&p, n, &LoopPointConfig::with_slice_base(8000)).unwrap();
     // Pick the biggest-multiplier region with both markers.
-    let r = analysis.looppoints.iter().filter(|r| r.start.is_some() && r.end.is_some())
-        .max_by(|a,b| a.multiplier.partial_cmp(&b.multiplier).unwrap()).unwrap();
+    let r = analysis
+        .looppoints
+        .iter()
+        .filter(|r| r.start.is_some() && r.end.is_some())
+        .max_by(|a, b| a.multiplier.partial_cmp(&b.multiplier).unwrap())
+        .unwrap();
     let (s, e) = (r.region_start(), r.region_end());
     println!("region start={s} end={e}");
     // In-situ: detailed all the way, split at markers.
     let mut sim = Simulator::new(p.clone(), n, cfg.clone());
-    sim.watch_pc(s.pc); sim.watch_pc(e.pc);
-    let pre = sim.run(Mode::Detailed, Some(StopCond::Marker(s)), u64::MAX).unwrap();
-    let insitu = sim.run(Mode::Detailed, Some(StopCond::Marker(e)), u64::MAX).unwrap();
-    println!("insitu: insts={} cycles={} ipc={:.2} (pre insts={})",
-        insitu.instructions, insitu.cycles, insitu.instructions as f64 / insitu.cycles as f64, pre.instructions);
+    sim.watch_pc(s.pc);
+    sim.watch_pc(e.pc);
+    let pre = sim
+        .run(Mode::Detailed, Some(StopCond::Marker(s)), u64::MAX)
+        .unwrap();
+    let insitu = sim
+        .run(Mode::Detailed, Some(StopCond::Marker(e)), u64::MAX)
+        .unwrap();
+    println!(
+        "insitu: insts={} cycles={} ipc={:.2} (pre insts={})",
+        insitu.instructions,
+        insitu.cycles,
+        insitu.instructions as f64 / insitu.cycles as f64,
+        pre.instructions
+    );
     // Region sim: FF to start, detailed to end.
     let mut sim2 = Simulator::new(p.clone(), n, cfg.clone());
-    sim2.watch_pc(s.pc); sim2.watch_pc(e.pc);
-    let ff = sim2.run(Mode::FastForward, Some(StopCond::Marker(s)), u64::MAX).unwrap();
-    let reg = sim2.run(Mode::Detailed, Some(StopCond::Marker(e)), u64::MAX).unwrap();
-    println!("region: insts={} cycles={} ipc={:.2} (ff insts={})",
-        reg.instructions, reg.cycles, reg.instructions as f64 / reg.cycles as f64, ff.instructions);
+    sim2.watch_pc(s.pc);
+    sim2.watch_pc(e.pc);
+    let ff = sim2
+        .run(Mode::FastForward, Some(StopCond::Marker(s)), u64::MAX)
+        .unwrap();
+    let reg = sim2
+        .run(Mode::Detailed, Some(StopCond::Marker(e)), u64::MAX)
+        .unwrap();
+    println!(
+        "region: insts={} cycles={} ipc={:.2} (ff insts={})",
+        reg.instructions,
+        reg.cycles,
+        reg.instructions as f64 / reg.cycles as f64,
+        ff.instructions
+    );
 }

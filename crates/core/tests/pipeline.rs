@@ -40,7 +40,10 @@ fn analysis_invariants() {
     let (p, n) = workload("619.lbm_s.1", WaitPolicy::Passive);
     let analysis = analyze(&p, n, &small_cfg()).unwrap();
 
-    assert!(analysis.profile.slices.len() >= 6, "enough slices to cluster");
+    assert!(
+        analysis.profile.slices.len() >= 6,
+        "enough slices to cluster"
+    );
     assert!(
         analysis.looppoints.len() < analysis.profile.slices.len(),
         "sampling must reduce the workload: {} looppoints for {} slices",
@@ -153,7 +156,10 @@ fn parallel_and_serial_region_simulation_agree() {
     let parallel = simulate_representatives(&analysis, &p, n, &cfg, true).unwrap();
     assert_eq!(serial.len(), parallel.len());
     for (s, par) in serial.iter().zip(&parallel) {
-        assert_eq!(s.stats.cycles, par.stats.cycles, "simulation is deterministic");
+        assert_eq!(
+            s.stats.cycles, par.stats.cycles,
+            "simulation is deterministic"
+        );
         assert_eq!(s.stats.instructions, par.stats.instructions);
     }
 }
@@ -210,13 +216,16 @@ fn checkpoint_driven_simulation_matches_binary_driven() {
     let cfg = SimConfig::gainestown(NTHREADS);
     let analysis = analyze(&p, n, &small_cfg()).unwrap();
     let binary = simulate_representatives(&analysis, &p, n, &cfg, false).unwrap();
-    let ckpt = looppoint::simulate_representatives_checkpointed(&analysis, &p, n, &cfg, 2, false)
-        .unwrap();
+    let ckpt =
+        looppoint::simulate_representatives_checkpointed(&analysis, &p, n, &cfg, 2, false).unwrap();
 
     let pred_b = extrapolate(&binary).total_cycles;
     let pred_c = extrapolate(&ckpt).total_cycles;
     let diff = (pred_b - pred_c).abs() / pred_b;
-    assert!(diff < 0.10, "modes agree: binary {pred_b:.0} vs checkpointed {pred_c:.0}");
+    assert!(
+        diff < 0.10,
+        "modes agree: binary {pred_b:.0} vs checkpointed {pred_c:.0}"
+    );
 
     // And the checkpoint-driven mode skips most fast-forward work.
     let ff_b: u64 = binary.iter().map(|r| r.stats.ff_instructions).sum();

@@ -46,10 +46,7 @@ impl Dcfg {
             let from = self.block(from).leader;
             let to = self.block(to).leader;
             // Call edges land on routine entries; draw them dashed.
-            let style = if self
-                .routines()
-                .iter()
-                .any(|r| r.entry == to && from != to)
+            let style = if self.routines().iter().any(|r| r.entry == to && from != to)
                 && !self.is_loop_header(to)
             {
                 " [style=dashed]"

@@ -53,7 +53,7 @@ impl Dcfg {
     pub(crate) fn build(program: Arc<Program>, entries: Vec<Pc>, builder: DcfgBuilder) -> Dcfg {
         // ---- 1. leader set --------------------------------------------------
         let mut leaders: HashSet<Pc> = entries.iter().copied().collect();
-        for (&(from, to), _) in &builder.edges {
+        for &(from, to) in builder.edges.keys() {
             leaders.insert(to);
             // The fall-through successor of any control transfer starts a
             // block (even if only reached on the not-taken path).

@@ -64,8 +64,8 @@ pub(crate) fn find_loops(
                 if s != entry && routine_entries.contains(&BlockId(s as u32)) {
                     continue;
                 }
-                if !member.contains_key(&s) {
-                    member.insert(s, order.len());
+                if let std::collections::hash_map::Entry::Vacant(e) = member.entry(s) {
+                    e.insert(order.len());
                     order.push(s);
                     stack.push(s);
                 }

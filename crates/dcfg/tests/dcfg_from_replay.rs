@@ -11,7 +11,9 @@ fn build_dcfg(program: &Arc<lp_isa::Program>, nthreads: usize) -> lp_dcfg::Dcfg 
     let mut builder = DcfgBuilder::new(program.clone(), nthreads);
     {
         let obs: &mut dyn ExecObserver = &mut builder;
-        pinball.replay(program.clone(), &mut [obs], u64::MAX).unwrap();
+        pinball
+            .replay(program.clone(), &mut [obs], u64::MAX)
+            .unwrap();
     }
     builder.finish()
 }

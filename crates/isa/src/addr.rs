@@ -76,7 +76,6 @@ impl fmt::Display for Pc {
     }
 }
 
-
 /// A `(PC, count)` execution point: the `count`-th global execution of the
 /// instruction at `pc`.
 ///

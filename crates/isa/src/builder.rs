@@ -74,7 +74,10 @@ impl ProgramBuilder {
     }
 
     fn image_code(&mut self, id: ImageId, prologue_zero: bool) -> CodeBuilder<'_> {
-        let mut cb = CodeBuilder { pb: self, image: id };
+        let mut cb = CodeBuilder {
+            pb: self,
+            image: id,
+        };
         if prologue_zero {
             cb.li(Reg::R31, 0);
         }
@@ -100,7 +103,10 @@ impl ProgramBuilder {
         };
         if fresh {
             let entry = self.new_label();
-            let mut cb = CodeBuilder { pb: self, image: id };
+            let mut cb = CodeBuilder {
+                pb: self,
+                image: id,
+            };
             cb.bind(entry);
             cb.pb.entry_main = Some(entry);
             cb.li(Reg::R31, 0);
@@ -344,12 +350,22 @@ impl<'a> CodeBuilder<'a> {
 
     /// Emits an unconditional jump to `label`.
     pub fn jump(&mut self, label: Label) -> Pc {
-        self.emit_fixup(Inst::Jump { target: Pc::INVALID }, label)
+        self.emit_fixup(
+            Inst::Jump {
+                target: Pc::INVALID,
+            },
+            label,
+        )
     }
 
     /// Emits a call to `label` (may be in another image).
     pub fn call(&mut self, label: Label) -> Pc {
-        self.emit_fixup(Inst::Call { target: Pc::INVALID }, label)
+        self.emit_fixup(
+            Inst::Call {
+                target: Pc::INVALID,
+            },
+            label,
+        )
     }
 
     /// Emits an indirect call through `ra` (holding a [`Pc::to_word`] value).
@@ -403,7 +419,11 @@ impl<'a> CodeBuilder<'a> {
 
     /// Emits a futex wait on `mem[base+off] == expected`.
     pub fn futex_wait(&mut self, base: Reg, off: i64, expected: Reg) -> Pc {
-        self.emit(Inst::FutexWait { base, off, expected })
+        self.emit(Inst::FutexWait {
+            base,
+            off,
+            expected,
+        })
     }
 
     /// Emits a futex wake of up to `count` waiters on `mem[base+off]`.
@@ -433,7 +453,7 @@ impl<'a> CodeBuilder<'a> {
         self.bind(header_label);
         let header = self.here();
         if !name.is_empty() {
-            let l = self.export_label(format!("{name}"));
+            let l = self.export_label(name.to_string());
             debug_assert_eq!(self.pb.resolve(l), header);
         }
         body(self);

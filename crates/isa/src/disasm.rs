@@ -68,11 +68,21 @@ impl fmt::Display for Inst {
             Inst::Halt => write!(f, "halt"),
             Inst::Li { rd, imm } => write!(f, "li      {rd}, {imm:#x}"),
             Inst::Alu { op, rd, ra, rb } => write!(f, "{op:<7} {rd}, {ra}, {rb}"),
-            Inst::AluI { op, rd, ra, imm } => write!(f, "{op}i{:<width$} {rd}, {ra}, {imm:#x}", "", width = 6usize.saturating_sub(op.to_string().len() + 1)),
+            Inst::AluI { op, rd, ra, imm } => write!(
+                f,
+                "{op}i{:<width$} {rd}, {ra}, {imm:#x}",
+                "",
+                width = 6usize.saturating_sub(op.to_string().len() + 1)
+            ),
             Inst::Fpu { op, rd, ra, rb } => write!(f, "{op:<7} {rd}, {ra}, {rb}"),
             Inst::Load { rd, base, off: o } => write!(f, "ld      {rd}, [{base}{}]", off(o)),
             Inst::Store { rs, base, off: o } => write!(f, "st      {rs}, [{base}{}]", off(o)),
-            Inst::Branch { cond, ra, rb, target } => {
+            Inst::Branch {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
                 write!(f, "b{cond:<6} {ra}, {rb}, {target}")
             }
             Inst::Jump { target } => write!(f, "j       {target}"),
@@ -80,20 +90,44 @@ impl fmt::Display for Inst {
             Inst::CallInd { ra } => write!(f, "callr   {ra}"),
             Inst::Ret => write!(f, "ret"),
             Inst::Tid { rd } => write!(f, "tid     {rd}"),
-            Inst::AtomicAdd { rd, base, off: o, rs } => {
+            Inst::AtomicAdd {
+                rd,
+                base,
+                off: o,
+                rs,
+            } => {
                 write!(f, "amoadd  {rd}, [{base}{}], {rs}", off(o))
             }
-            Inst::AtomicXchg { rd, base, off: o, rs } => {
+            Inst::AtomicXchg {
+                rd,
+                base,
+                off: o,
+                rs,
+            } => {
                 write!(f, "amoswap {rd}, [{base}{}], {rs}", off(o))
             }
-            Inst::AtomicCas { rd, base, off: o, expected, new } => {
+            Inst::AtomicCas {
+                rd,
+                base,
+                off: o,
+                expected,
+                new,
+            } => {
                 write!(f, "amocas  {rd}, [{base}{}], {expected}, {new}", off(o))
             }
             Inst::Fence => write!(f, "fence"),
-            Inst::FutexWait { base, off: o, expected } => {
+            Inst::FutexWait {
+                base,
+                off: o,
+                expected,
+            } => {
                 write!(f, "fuwait  [{base}{}], {expected}", off(o))
             }
-            Inst::FutexWake { base, off: o, count } => {
+            Inst::FutexWake {
+                base,
+                off: o,
+                count,
+            } => {
                 write!(f, "fuwake  [{base}{}], {count}", off(o))
             }
         }
@@ -161,11 +195,22 @@ mod tests {
     fn instruction_mnemonics() {
         assert_eq!(Inst::Nop.to_string(), "nop");
         assert_eq!(Inst::Ret.to_string(), "ret");
-        let li = Inst::Li { rd: Reg::R3, imm: 255 };
+        let li = Inst::Li {
+            rd: Reg::R3,
+            imm: 255,
+        };
         assert_eq!(li.to_string(), "li      r3, 0xff");
-        let ld = Inst::Load { rd: Reg::R1, base: Reg::R2, off: 8 };
+        let ld = Inst::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            off: 8,
+        };
         assert_eq!(ld.to_string(), "ld      r1, [r2+0x8]");
-        let st = Inst::Store { rs: Reg::R1, base: Reg::R2, off: -8 };
+        let st = Inst::Store {
+            rs: Reg::R1,
+            base: Reg::R2,
+            off: -8,
+        };
         assert_eq!(st.to_string(), "st      r1, [r2-0x8]");
         let b = Inst::Branch {
             cond: Cond::Ne,

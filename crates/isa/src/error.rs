@@ -73,7 +73,10 @@ mod tests {
             pc: Pc::new(ImageId(0), 7),
         };
         assert_eq!(e.to_string(), "thread 2 fetched invalid pc img0:0x7");
-        let e = MachineError::BadThread { tid: 9, nthreads: 8 };
+        let e = MachineError::BadThread {
+            tid: 9,
+            nthreads: 8,
+        };
         assert!(e.to_string().contains("out of range"));
     }
 

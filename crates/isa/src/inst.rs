@@ -552,7 +552,11 @@ mod tests {
         assert_eq!(AluOp::Div.apply(42, 0), 0);
         assert_eq!(AluOp::Rem.apply(43, 6), 1);
         assert_eq!(AluOp::Rem.apply(43, 0), 43);
-        assert_eq!(AluOp::Shl.apply(1, 65), 2, "shift amount is masked to 6 bits");
+        assert_eq!(
+            AluOp::Shl.apply(1, 65),
+            2,
+            "shift amount is masked to 6 bits"
+        );
         assert_eq!(AluOp::Shr.apply(8, 2), 2);
         assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
     }
@@ -564,7 +568,10 @@ mod tests {
         assert_eq!(f64::from_bits(FpuOp::FAdd.apply(a, b)), 10.0);
         assert_eq!(f64::from_bits(FpuOp::FMul.apply(a, b)), 16.0);
         assert_eq!(f64::from_bits(FpuOp::FDiv.apply(b, a)), 4.0);
-        assert_eq!(f64::from_bits(FpuOp::FSqrt.apply((16.0f64).to_bits(), 0)), 4.0);
+        assert_eq!(
+            f64::from_bits(FpuOp::FSqrt.apply((16.0f64).to_bits(), 0)),
+            4.0
+        );
         assert_eq!(FpuOp::FCmpLt.apply(a, b), 1);
         assert_eq!(FpuOp::FCmpLt.apply(b, a), 0);
     }

@@ -76,8 +76,6 @@ pub use disasm::{describe_marker, describe_pc};
 pub use error::MachineError;
 pub use image::{Image, ImageKind};
 pub use inst::{AluOp, Cond, CtrlKind, FpuOp, Inst, InstClass, Reg, RegFile};
-pub use machine::{
-    CtrlEvent, Machine, MachineState, MemAccess, Retired, StepResult, ThreadState,
-};
+pub use machine::{CtrlEvent, Machine, MachineState, MemAccess, Retired, StepResult, ThreadState};
 pub use mem::Memory;
 pub use program::Program;

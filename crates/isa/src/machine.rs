@@ -185,11 +185,7 @@ impl Machine {
 
     /// Whether live threads exist but none is runnable (futex deadlock).
     pub fn is_deadlocked(&self) -> bool {
-        self.live_threads > 0
-            && !self
-                .threads
-                .iter()
-                .any(|t| t.state == ThreadState::Running)
+        self.live_threads > 0 && !self.threads.iter().any(|t| t.state == ThreadState::Running)
     }
 
     /// The scheduling state of thread `tid`.
@@ -453,7 +449,11 @@ impl Machine {
                 self.threads[tid].regs[rd] = old;
                 mem_access = Some(acc);
             }
-            Inst::FutexWait { base, off, expected } => {
+            Inst::FutexWait {
+                base,
+                off,
+                expected,
+            } => {
                 let acc = self.access(tid, base, off, false, true);
                 if self.mem.load(acc.addr) == self.threads[tid].regs[expected] {
                     // Sleep; the instruction re-executes after wake-up.
@@ -705,8 +705,8 @@ mod tests {
             }
         }
         assert!(matches!(m.thread_state(1), ThreadState::Blocked { .. }));
-        assert!(m.is_deadlocked() == false); // main still runnable
-        // Main sets flag and wakes.
+        assert!(!m.is_deadlocked()); // main still runnable
+                                     // Main sets flag and wakes.
         while m.thread_state(0) == ThreadState::Running {
             m.step(0).unwrap();
         }

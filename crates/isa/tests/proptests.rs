@@ -27,7 +27,7 @@ proptest! {
             AluOp::Add => a.wrapping_add(b),
             AluOp::Sub => a.wrapping_sub(b),
             AluOp::Mul => a.wrapping_mul(b),
-            AluOp::Div => if b == 0 { 0 } else { a / b },
+            AluOp::Div => a.checked_div(b).unwrap_or(0),
             AluOp::Rem => if b == 0 { a } else { a % b },
             AluOp::And => a & b,
             AluOp::Or => a | b,

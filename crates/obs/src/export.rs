@@ -1,0 +1,102 @@
+//! Exporters: Chrome `trace_event` JSON and the flat metrics report.
+
+use crate::json::Value;
+use crate::trace::{TraceArg, TraceEvent};
+
+impl TraceArg {
+    fn to_json(&self) -> Value {
+        match self {
+            TraceArg::U64(v) => Value::from(*v),
+            TraceArg::F64(v) => Value::Num(*v),
+            TraceArg::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+/// Renders events as a Chrome `trace_event` JSON object — loadable in
+/// `chrome://tracing` and <https://ui.perfetto.dev>.
+pub fn chrome_trace_document(events: &[TraceEvent]) -> Value {
+    let mut out: Vec<Value> = Vec::with_capacity(events.len());
+    for e in events {
+        let mut members: Vec<(String, Value)> = vec![
+            ("name".to_string(), Value::Str(e.name.clone())),
+            ("cat".to_string(), Value::Str(e.cat.to_string())),
+            ("ph".to_string(), Value::Str(e.ph.code().to_string())),
+            ("ts".to_string(), Value::from(e.ts_us)),
+            ("pid".to_string(), Value::from(1u64)),
+            ("tid".to_string(), Value::from(e.tid)),
+        ];
+        match e.ph {
+            crate::trace::Phase::Complete => {
+                members.insert(4, ("dur".to_string(), Value::from(e.dur_us)));
+            }
+            crate::trace::Phase::Instant => {
+                // Thread-scoped instant.
+                members.push(("s".to_string(), Value::Str("t".to_string())));
+            }
+            crate::trace::Phase::Counter => {}
+        }
+        if !e.args.is_empty() {
+            members.push((
+                "args".to_string(),
+                Value::Obj(
+                    e.args
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
+        out.push(Value::Obj(members));
+    }
+    Value::Obj(vec![
+        ("traceEvents".to_string(), Value::Arr(out)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        (
+            "otherData".to_string(),
+            Value::Obj(vec![(
+                "producer".to_string(),
+                Value::Str("lp-obs".to_string()),
+            )]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Phase;
+
+    fn ev(name: &str, ph: Phase) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat: "test",
+            ph,
+            ts_us: 5,
+            dur_us: 7,
+            tid: 2,
+            args: vec![("n".to_string(), TraceArg::U64(3))],
+        }
+    }
+
+    #[test]
+    fn chrome_document_shape() {
+        let doc = chrome_trace_document(&[ev("span", Phase::Complete), ev("tick", Phase::Instant)]);
+        let parsed = crate::json::parse(&doc.to_string()).unwrap();
+        let evs = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(evs.len(), 2);
+        let span = &evs[0];
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(span.get("dur").unwrap().as_u64(), Some(7));
+        assert_eq!(span.get("ts").unwrap().as_u64(), Some(5));
+        assert_eq!(span.get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            span.get("args").unwrap().get("n").unwrap().as_u64(),
+            Some(3)
+        );
+        let tick = &evs[1];
+        assert_eq!(tick.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(tick.get("s").unwrap().as_str(), Some("t"));
+        assert!(tick.get("dur").is_none(), "instants carry no duration");
+    }
+}

@@ -1,0 +1,332 @@
+//! # lp-obs — observability for the LoopPoint pipeline
+//!
+//! A std-only (zero external dependencies) observability layer:
+//!
+//! * **Span tracing** — RAII [`SpanGuard`]s with monotonic microsecond
+//!   timestamps, per-thread lanes, and counter attachments, recorded into a
+//!   lock-protected in-memory [`trace::TraceSink`];
+//! * **Metrics registry** — named [`Counter`]s / [`Gauge`]s / log₂-bucketed
+//!   [`Histogram`]s with one-atomic-op updates and a consistent
+//!   [`MetricsRegistry::snapshot`];
+//! * **Exporters** — Chrome `trace_event` JSON (load in `chrome://tracing`
+//!   or <https://ui.perfetto.dev>) and a flat JSON metrics report, plus an
+//!   embedded [`json`] parser so tests and tools can validate both offline;
+//! * **Leveled logging** — [`lp_info!`] / [`lp_debug!`] / [`lp_warn!`]
+//!   gated by a process-global [`LogLevel`].
+//!
+//! ## Handles and cost
+//!
+//! The central type is [`Observer`], a cheap clonable handle that is either
+//! *enabled* (backed by a shared sink+registry) or *disabled* (every
+//! operation a no-op costing one branch). Pipeline layers take an
+//! `Observer` by value/clone — `looppoint::LoopPointConfig` threads one
+//! through the whole pipeline — or fall back to the process-global default
+//! installed with [`set_global`].
+//!
+//! ```
+//! use lp_obs::Observer;
+//!
+//! let obs = Observer::enabled();
+//! {
+//!     let mut span = obs.span("phase.demo", "example");
+//!     obs.counter("work.items").add(3);
+//!     span.arg("items", 3u64);
+//! } // span recorded here
+//! let trace = obs.chrome_trace_json();
+//! assert!(trace.contains("phase.demo"));
+//! assert_eq!(obs.snapshot().counters["work.items"], 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use crate::log::{log_enabled, log_level, set_log_level, LogLevel};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use trace::{SpanGuard, TraceArg, TraceEvent};
+
+use std::fmt;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+use trace::{ActiveSpan, Phase};
+
+#[derive(Debug)]
+pub(crate) struct Inner {
+    pub(crate) epoch: Instant,
+    pub(crate) trace: trace::TraceSink,
+    pub(crate) metrics: MetricsRegistry,
+}
+
+/// A cheap, clonable observability handle: either enabled (shared sink and
+/// registry) or disabled (no-op).
+#[derive(Clone, Default)]
+pub struct Observer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Observer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(i) => write!(f, "Observer(enabled, {} events)", i.trace.len()),
+            None => write!(f, "Observer(disabled)"),
+        }
+    }
+}
+
+impl Observer {
+    /// A fresh enabled observer with its own sink, registry, and epoch.
+    pub fn enabled() -> Self {
+        Observer {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                trace: trace::TraceSink::default(),
+                metrics: MetricsRegistry::default(),
+            })),
+        }
+    }
+
+    /// The no-op observer.
+    pub fn disabled() -> Self {
+        Observer { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Two handles are *same* if they share one sink (clones of one
+    /// enabled observer), or are both disabled.
+    pub fn same_sink(&self, other: &Observer) -> bool {
+        match (&self.inner, &other.inner) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+
+    /// Opens a span in category `cat`; the returned guard records a single
+    /// complete (`"X"`) event from now until it is dropped.
+    pub fn span(&self, name: &str, cat: &'static str) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard::disabled(),
+            Some(inner) => SpanGuard {
+                active: Some(ActiveSpan {
+                    sink: Arc::clone(inner),
+                    name: name.to_string(),
+                    cat,
+                    start_us: trace::micros_since(inner.epoch),
+                    tid: trace::lane_id(),
+                    args: Vec::new(),
+                }),
+            },
+        }
+    }
+
+    /// Records a zero-duration instant event (heartbeats, milestones).
+    pub fn instant(&self, name: &str, cat: &'static str) {
+        if let Some(inner) = &self.inner {
+            inner.trace.record(TraceEvent {
+                name: name.to_string(),
+                cat,
+                ph: Phase::Instant,
+                ts_us: trace::micros_since(inner.epoch),
+                dur_us: 0,
+                tid: trace::lane_id(),
+                args: Vec::new(),
+            });
+        }
+    }
+
+    /// Records a counter sample (`"C"` event) — rendered as a track of
+    /// stacked values in the trace viewer.
+    pub fn counter_sample(&self, name: &str, cat: &'static str, series: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.trace.record(TraceEvent {
+                name: name.to_string(),
+                cat,
+                ph: Phase::Counter,
+                ts_us: trace::micros_since(inner.epoch),
+                dur_us: 0,
+                tid: trace::lane_id(),
+                args: vec![(series.to_string(), TraceArg::F64(value))],
+            });
+        }
+    }
+
+    /// The counter registered under `name` (a no-op handle when disabled).
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::default(),
+            Some(inner) => inner.metrics.counter(name),
+        }
+    }
+
+    /// The gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            None => Gauge::default(),
+            Some(inner) => inner.metrics.gauge(name),
+        }
+    }
+
+    /// The histogram registered under `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            None => Histogram::default(),
+            Some(inner) => inner.metrics.histogram(name),
+        }
+    }
+
+    /// A point-in-time copy of all metrics (empty when disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            None => MetricsSnapshot::default(),
+            Some(inner) => inner.metrics.snapshot(),
+        }
+    }
+
+    /// All trace events recorded so far, sorted by timestamp.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.trace.events(),
+        }
+    }
+
+    /// The Chrome `trace_event` JSON document as a string.
+    pub fn chrome_trace_json(&self) -> String {
+        export::chrome_trace_document(&self.trace_events()).to_string()
+    }
+
+    /// The flat metrics report JSON as a string.
+    pub fn metrics_json(&self) -> String {
+        self.snapshot().to_json().to_string()
+    }
+
+    /// Writes the Chrome trace to `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_trace_json())
+    }
+
+    /// Writes the metrics report to `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_metrics(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.metrics_json())
+    }
+}
+
+static GLOBAL: OnceLock<Observer> = OnceLock::new();
+
+/// Installs the process-global default observer (used by layers that are
+/// not reached by an explicit handle, e.g. `lp-pinball` and `lp-simpoint`).
+/// Can be set once per process.
+///
+/// # Errors
+/// Returns `Err(obs)` (handing the observer back) if one is already set.
+pub fn set_global(obs: Observer) -> Result<(), Observer> {
+    GLOBAL.set(obs)
+}
+
+/// The process-global observer: the one installed via [`set_global`], or a
+/// disabled handle.
+pub fn global() -> Observer {
+    GLOBAL.get().cloned().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_is_free_and_silent() {
+        let obs = Observer::disabled();
+        assert!(!obs.is_enabled());
+        {
+            let mut s = obs.span("x", "t");
+            s.arg("k", 1u64);
+        }
+        obs.instant("i", "t");
+        obs.counter("c").add(5);
+        assert!(obs.trace_events().is_empty());
+        assert_eq!(obs.snapshot(), MetricsSnapshot::default());
+        // Exports are still valid JSON.
+        json::parse(&obs.chrome_trace_json()).unwrap();
+        json::parse(&obs.metrics_json()).unwrap();
+    }
+
+    #[test]
+    fn spans_record_complete_events_with_args() {
+        let obs = Observer::enabled();
+        {
+            let mut outer = obs.span("outer", "t");
+            outer.arg("n", 7u64);
+            let _inner = obs.span("inner", "t");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let evs = obs.trace_events();
+        assert_eq!(evs.len(), 2);
+        for e in &evs {
+            assert_eq!(e.ph, Phase::Complete);
+        }
+        let outer = evs.iter().find(|e| e.name == "outer").unwrap();
+        let inner = evs.iter().find(|e| e.name == "inner").unwrap();
+        assert!(outer.dur_us >= inner.dur_us, "outer encloses inner");
+        assert!(outer.ts_us <= inner.ts_us);
+        assert_eq!(outer.args, vec![("n".to_string(), TraceArg::U64(7))]);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let obs = Observer::enabled();
+        let clone = obs.clone();
+        assert!(obs.same_sink(&clone));
+        clone.counter("shared").add(2);
+        assert_eq!(obs.snapshot().counters["shared"], 2);
+        drop(clone.span("from-clone", "t"));
+        assert_eq!(obs.trace_events().len(), 1);
+        assert!(!obs.same_sink(&Observer::enabled()));
+        assert!(Observer::disabled().same_sink(&Observer::disabled()));
+    }
+
+    #[test]
+    fn chrome_export_parses_and_balances() {
+        let obs = Observer::enabled();
+        drop(obs.span("a", "t"));
+        obs.instant("i", "t");
+        obs.counter_sample("ipc", "t", "ipc", 1.5);
+        let doc = json::parse(&obs.chrome_trace_json()).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(evs.len(), 3);
+        // Every complete event carries a duration; only they do.
+        for e in evs {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            assert_eq!(ph == "X", e.get("dur").is_some());
+        }
+    }
+
+    #[test]
+    fn parallel_spans_land_on_distinct_lanes() {
+        let obs = Observer::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let obs = obs.clone();
+                s.spawn(move || drop(obs.span("worker", "t")));
+            }
+        });
+        let tids: std::collections::HashSet<u64> =
+            obs.trace_events().iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 3, "three threads, three lanes");
+    }
+}

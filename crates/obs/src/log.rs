@@ -1,0 +1,117 @@
+//! Leveled logging: a process-global level gate plus `lp_info!` /
+//! `lp_debug!` / `lp_warn!` macros.
+//!
+//! The level is a single atomic, so a disabled call site costs one relaxed
+//! load. `quiet` silences all library output; `info` is the default
+//! (matching the driver's historical `println!` verbosity); `debug` adds
+//! per-phase diagnostics.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity levels, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LogLevel {
+    /// No library output at all.
+    Quiet = 0,
+    /// Progress messages (the default).
+    Info = 1,
+    /// Per-phase diagnostics.
+    Debug = 2,
+}
+
+impl FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "quiet" | "q" => Ok(LogLevel::Quiet),
+            "info" | "i" => Ok(LogLevel::Info),
+            "debug" | "d" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level '{other}' (expected quiet|info|debug)"
+            )),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Sets the process-global log level.
+pub fn set_log_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-global log level.
+pub fn log_level() -> LogLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => LogLevel::Quiet,
+        1 => LogLevel::Info,
+        _ => LogLevel::Debug,
+    }
+}
+
+/// Whether messages at `level` are currently emitted.
+#[inline]
+pub fn log_enabled(level: LogLevel) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed) && level != LogLevel::Quiet
+}
+
+/// Logs a progress message to stdout at `info` level.
+#[macro_export]
+macro_rules! lp_info {
+    ($($t:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Info) {
+            println!($($t)*);
+        }
+    };
+}
+
+/// Logs a diagnostic message to stdout at `debug` level.
+#[macro_export]
+macro_rules! lp_debug {
+    ($($t:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Debug) {
+            println!("[debug] {}", format_args!($($t)*));
+        }
+    };
+}
+
+/// Logs a warning to stderr (shown at `info` and `debug` levels).
+#[macro_export]
+macro_rules! lp_warn {
+    ($($t:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Info) {
+            eprintln!("warning: {}", format_args!($($t)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!("quiet".parse::<LogLevel>().unwrap(), LogLevel::Quiet);
+        assert_eq!("info".parse::<LogLevel>().unwrap(), LogLevel::Info);
+        assert_eq!("debug".parse::<LogLevel>().unwrap(), LogLevel::Debug);
+        assert!("verbose".parse::<LogLevel>().is_err());
+    }
+
+    #[test]
+    fn gating_is_ordered() {
+        // Note: other tests in this binary share the global; restore it.
+        let prior = log_level();
+        set_log_level(LogLevel::Quiet);
+        assert!(!log_enabled(LogLevel::Info));
+        assert!(!log_enabled(LogLevel::Debug));
+        set_log_level(LogLevel::Info);
+        assert!(log_enabled(LogLevel::Info));
+        assert!(!log_enabled(LogLevel::Debug));
+        set_log_level(LogLevel::Debug);
+        assert!(log_enabled(LogLevel::Debug));
+        set_log_level(prior);
+    }
+}

@@ -1,0 +1,399 @@
+//! The metrics registry: named counters, gauges, and log₂-bucketed
+//! histograms with lock-free updates on the hot path.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones;
+//! look one up once, then update it with a single atomic op per event.
+//! Handles from a disabled [`crate::Observer`] are no-ops.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 holds exactly 0; bucket `i >= 1` holds
+/// `[2^(i-1), 2^i)` — so 1 maps to bucket 1, `u64::MAX` to bucket 64.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (see [`bucket_index`]).
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramCore {
+    fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating accumulate: a sum overflow must not wrap silently.
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(value);
+            match self
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((bucket_lower_bound(i), c));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A monotonically increasing named counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `n` to the counter (no-op when disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A named gauge holding the most recent `f64` sample.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge (no-op when disabled).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+/// A named histogram over `u64` samples, log₂-bucketed.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Records one sample (no-op when disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.record(value);
+        }
+    }
+
+    /// Snapshot of the current distribution (empty when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.as_ref().map(|h| h.snapshot()).unwrap_or_default()
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// `(bucket lower bound, sample count)` for every non-empty bucket,
+    /// in ascending bound order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// The registry: name → metric, created on first use.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+impl MetricsRegistry {
+    /// The counter registered under `name` (created zeroed on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("metrics registry poisoned");
+        let arc = map.entry(name.to_string()).or_default();
+        Counter(Some(Arc::clone(arc)))
+    }
+
+    /// The gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("metrics registry poisoned");
+        let arc = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())));
+        Gauge(Some(Arc::clone(arc)))
+    }
+
+    /// The histogram registered under `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("metrics registry poisoned");
+        let arc = map.entry(name.to_string()).or_default();
+        Histogram(Some(Arc::clone(arc)))
+    }
+
+    /// A consistent point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as the metrics-report JSON document.
+    pub fn to_json(&self) -> Value {
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Value::from(v)))
+                .collect(),
+        );
+        let gauges = Value::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, &v)| (k.clone(), Value::Num(v)))
+                .collect(),
+        );
+        let histograms = Value::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = Value::Arr(
+                        h.buckets
+                            .iter()
+                            .map(|&(lo, c)| Value::Arr(vec![Value::from(lo), Value::from(c)]))
+                            .collect(),
+                    );
+                    (
+                        k.clone(),
+                        Value::Obj(vec![
+                            ("count".to_string(), Value::from(h.count)),
+                            ("sum".to_string(), Value::from(h.sum)),
+                            ("buckets".to_string(), buckets),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("counters".to_string(), counters),
+            ("gauges".to_string(), gauges),
+            ("histograms".to_string(), histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index((1u64 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        // Every bucket's lower bound maps back into that bucket, and the
+        // value just below it maps into the previous one.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            if i >= 2 {
+                assert_eq!(bucket_index(lo - 1), i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_edge_values() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("lat");
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        // Sum saturates instead of wrapping.
+        assert_eq!(s.sum, u64::MAX);
+        assert_eq!(s.buckets, vec![(0, 2), (1, 1), (1u64 << 63, 1)]);
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let reg = MetricsRegistry::default();
+        let c = reg.counter("insts");
+        c.add(40);
+        c.inc();
+        c.inc();
+        // Same name → same underlying cell.
+        assert_eq!(reg.counter("insts").get(), 42);
+
+        let g = reg.gauge("ipc");
+        g.set(1.75);
+        assert_eq!(reg.gauge("ipc").get(), 1.75);
+    }
+
+    #[test]
+    fn disabled_handles_are_noops() {
+        let c = Counter::default();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(2.0);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram::default();
+        h.record(9);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_via_json() {
+        let reg = MetricsRegistry::default();
+        reg.counter("a.b").add(u64::MAX);
+        reg.gauge("g").set(0.5);
+        reg.histogram("h").record(1023);
+        let snap = reg.snapshot();
+        let doc = crate::json::parse(&snap.to_json().to_string()).unwrap();
+        assert_eq!(
+            doc.get("counters").unwrap().get("a.b").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().get("g").unwrap().as_f64(),
+            Some(0.5)
+        );
+        let h = doc.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("sum").unwrap().as_u64(), Some(1023));
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let reg = std::sync::Arc::new(MetricsRegistry::default());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = std::sync::Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("n");
+                    let h = reg.histogram("d");
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i % 17);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("n").get(), 80_000);
+        assert_eq!(reg.histogram("d").snapshot().count, 80_000);
+    }
+}

@@ -1,0 +1,224 @@
+//! The span/event tracing core: RAII span guards with monotonic
+//! timestamps and per-thread lane ids, recorded into a lock-protected
+//! in-memory sink.
+//!
+//! Spans are recorded as Chrome-trace *complete* (`"X"`) events — one
+//! record per span, balanced by construction — plus instant (`"i"`) and
+//! counter (`"C"`) events for heartbeats and sampled values.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A typed span/event argument (serialized into the trace `args` object).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceArg {
+    /// An exact unsigned integer.
+    U64(u64),
+    /// A floating-point value.
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+impl From<u64> for TraceArg {
+    fn from(v: u64) -> Self {
+        TraceArg::U64(v)
+    }
+}
+
+impl From<usize> for TraceArg {
+    fn from(v: usize) -> Self {
+        TraceArg::U64(v as u64)
+    }
+}
+
+impl From<f64> for TraceArg {
+    fn from(v: f64) -> Self {
+        TraceArg::F64(v)
+    }
+}
+
+impl From<&str> for TraceArg {
+    fn from(v: &str) -> Self {
+        TraceArg::Str(v.to_string())
+    }
+}
+
+impl From<String> for TraceArg {
+    fn from(v: String) -> Self {
+        TraceArg::Str(v)
+    }
+}
+
+/// Chrome-trace event phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A complete span (`ph: "X"`, has a duration).
+    Complete,
+    /// A zero-duration instant (`ph: "i"`).
+    Instant,
+    /// A counter sample (`ph: "C"`).
+    Counter,
+}
+
+impl Phase {
+    /// The one-character Chrome-trace phase code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Phase::Complete => "X",
+            Phase::Instant => "i",
+            Phase::Counter => "C",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (span/phase name, counter name).
+    pub name: String,
+    /// Category (the pipeline layer: `"pipeline"`, `"sim"`, …).
+    pub cat: &'static str,
+    /// Event phase.
+    pub ph: Phase,
+    /// Microseconds since the observer's epoch.
+    pub ts_us: u64,
+    /// Span duration in microseconds (complete events only).
+    pub dur_us: u64,
+    /// Recording thread's lane id (stable, small, per-OS-thread).
+    pub tid: u64,
+    /// Named arguments/counters attached to the event.
+    pub args: Vec<(String, TraceArg)>,
+}
+
+/// The lock-protected in-memory event sink.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceSink {
+    /// Appends one event.
+    pub fn record(&self, ev: TraceEvent) {
+        self.events.lock().expect("trace sink poisoned").push(ev);
+    }
+
+    /// Copies out all events recorded so far, sorted by timestamp.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut evs = self.events.lock().expect("trace sink poisoned").clone();
+        evs.sort_by_key(|e| (e.ts_us, e.dur_us));
+        evs
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+static NEXT_LANE: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LANE: u64 = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's stable trace lane id.
+pub fn lane_id() -> u64 {
+    LANE.with(|l| *l)
+}
+
+pub(crate) fn micros_since(epoch: Instant) -> u64 {
+    Instant::now().duration_since(epoch).as_micros() as u64
+}
+
+/// An RAII span: records a single complete (`"X"`) event when dropped,
+/// covering the time from construction to drop on the constructing
+/// thread's lane.
+#[derive(Debug)]
+#[must_use = "a span guard records its span when dropped; binding it to _ drops immediately"]
+pub struct SpanGuard {
+    pub(crate) active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+pub(crate) struct ActiveSpan {
+    pub(crate) sink: Arc<crate::Inner>,
+    pub(crate) name: String,
+    pub(crate) cat: &'static str,
+    pub(crate) start_us: u64,
+    pub(crate) tid: u64,
+    pub(crate) args: Vec<(String, TraceArg)>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (disabled observer).
+    pub fn disabled() -> Self {
+        SpanGuard { active: None }
+    }
+
+    /// Attaches a named argument, visible on the span in the trace viewer.
+    /// Useful for counters only known at span end (instructions, cycles).
+    pub fn arg(&mut self, key: &str, value: impl Into<TraceArg>) {
+        if let Some(a) = &mut self.active {
+            a.args.push((key.to_string(), value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            let end = micros_since(a.sink.epoch);
+            a.sink.trace.record(TraceEvent {
+                name: a.name,
+                cat: a.cat,
+                ph: Phase::Complete,
+                ts_us: a.start_us,
+                dur_us: end.saturating_sub(a.start_us),
+                tid: a.tid,
+                args: a.args,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_orders_by_timestamp() {
+        let sink = TraceSink::default();
+        let mk = |name: &str, ts| TraceEvent {
+            name: name.to_string(),
+            cat: "t",
+            ph: Phase::Instant,
+            ts_us: ts,
+            dur_us: 0,
+            tid: 0,
+            args: Vec::new(),
+        };
+        sink.record(mk("b", 20));
+        sink.record(mk("a", 10));
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "a");
+        assert_eq!(evs[1].name, "b");
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn lanes_are_stable_per_thread() {
+        let a = lane_id();
+        let b = lane_id();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(lane_id).join().unwrap();
+        assert_ne!(a, other);
+    }
+}

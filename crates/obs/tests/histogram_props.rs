@@ -1,0 +1,54 @@
+//! Property tests for the log2 histogram bucketing in `lp_obs::metrics`:
+//! every `u64` lands in exactly one of the 65 buckets, bucket bounds
+//! bracket the value, and the mapping is monotone. Edge values (0, 1,
+//! powers of two, `u64::MAX`) are additionally pinned exactly.
+
+use lp_obs::metrics::{bucket_index, bucket_lower_bound, HISTOGRAM_BUCKETS};
+use lp_obs::Observer;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn every_value_lands_in_a_valid_bucket(v in proptest::prelude::any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        // The bucket's bounds bracket the value.
+        prop_assert!(bucket_lower_bound(i) <= v);
+        if i + 1 < HISTOGRAM_BUCKETS {
+            prop_assert!(v < bucket_lower_bound(i + 1));
+        }
+    }
+
+    #[test]
+    fn bucketing_is_monotone(a in proptest::prelude::any::<u64>(), b in proptest::prelude::any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    #[test]
+    fn recorded_values_show_up_in_snapshots(v in proptest::prelude::any::<u64>()) {
+        let obs = Observer::enabled();
+        obs.histogram("h").record(v);
+        let snap = obs.snapshot();
+        let h = &snap.histograms["h"];
+        prop_assert_eq!(h.count, 1);
+        prop_assert_eq!(h.sum, v);
+        // Exactly one non-empty bucket: the value's, with one sample.
+        let expected = vec![(bucket_lower_bound(bucket_index(v)), 1u64)];
+        prop_assert_eq!(&h.buckets, &expected);
+    }
+}
+
+#[test]
+fn pinned_edges() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(2), 2);
+    assert_eq!(bucket_index(3), 2);
+    assert_eq!(bucket_index(4), 3);
+    assert_eq!(bucket_index(u64::MAX), 64);
+    assert_eq!(bucket_index(1u64 << 63), 64);
+    assert_eq!(bucket_lower_bound(0), 0);
+    assert_eq!(bucket_lower_bound(1), 1);
+    assert_eq!(bucket_lower_bound(64), 1u64 << 63);
+}

@@ -35,7 +35,7 @@ impl OmpRuntime {
         c.li(Reg::R20, n);
         c.alu(AluOp::Div, Reg::R21, Reg::R19, Reg::R20); // base = total / n
         c.alu(AluOp::Rem, Reg::R22, Reg::R19, Reg::R20); // rem  = total % n
-        // start = tid * base + min(tid, rem); len = base + (tid < rem)
+                                                         // start = tid * base + min(tid, rem); len = base + (tid < rem)
         c.alu(AluOp::Mul, Reg::R16, Reg::R18, Reg::R21);
         let ge_rem = c.new_label();
         let start_done = c.new_label();

@@ -80,6 +80,9 @@ impl Pinball {
         marker: Marker,
         watch: &[Pc],
     ) -> Result<(RegionCheckpoint, HashMap<Pc, u64>), PinballError> {
+        let obs = lp_obs::global();
+        let mut span = obs.span("pinball.checkpoint", "pinball");
+        span.arg("marker", marker.to_string());
         let mut rep = self.replayer(program);
         let mut seen: u64 = 0;
         let mut instructions: u64 = 0;
@@ -100,6 +103,8 @@ impl Pinball {
                         event_start,
                         instructions_before: instructions,
                     };
+                    span.arg("instructions_before", instructions);
+                    obs.counter("pinball.checkpoints").inc();
                     return Ok((ckpt, counts));
                 }
             }
@@ -127,7 +132,7 @@ impl Pinball {
 mod tests {
     use super::*;
     use crate::pinball::RecordConfig;
-    use lp_isa::{AluOp, ProgramBuilder, Reg};
+    use lp_isa::{ProgramBuilder, Reg};
     use lp_omp::{OmpRuntime, WaitPolicy, APP_BASE};
 
     fn looped_program(nthreads: usize) -> (Arc<Program>, lp_isa::Pc) {
@@ -187,7 +192,7 @@ mod tests {
         let done = m.mem().load(lp_isa::Addr(APP_BASE));
         // 64th header execution seen; the atomic of that iteration may not
         // have retired yet, but earlier iterations have.
-        assert!(done >= 32 && done < 128, "partial progress, got {done}");
+        assert!((32..128).contains(&done), "partial progress, got {done}");
     }
 
     #[test]

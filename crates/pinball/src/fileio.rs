@@ -106,7 +106,13 @@ impl Pinball {
             });
         }
         let start = MachineState::read_from(r)?;
-        Ok(Pinball::from_parts(name, nthreads, start, events, instructions))
+        Ok(Pinball::from_parts(
+            name,
+            nthreads,
+            start,
+            events,
+            instructions,
+        ))
     }
 
     /// Validates that `program` matches the pinball's recorded program (by

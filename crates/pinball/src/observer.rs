@@ -43,7 +43,6 @@ mod tests {
         };
         obs.on_retire(&r);
         obs.on_retire(&r);
-        drop(obs);
         assert_eq!(count, 2);
     }
 }

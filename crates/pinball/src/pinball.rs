@@ -156,6 +156,9 @@ impl Pinball {
         nthreads: usize,
         cfg: RecordConfig,
     ) -> Result<Pinball, PinballError> {
+        let obs = lp_obs::global();
+        let mut span = obs.span("pinball.record", "pinball");
+        span.arg("nthreads", nthreads);
         let mut machine = Machine::new(program.clone(), nthreads);
         let start = machine.snapshot();
         let mut events = Vec::new();
@@ -209,6 +212,11 @@ impl Pinball {
             tid = (tid + 1) % nthreads;
         }
 
+        span.arg("instructions", instructions);
+        span.arg("events", events.len());
+        obs.counter("pinball.recorded_instructions")
+            .add(instructions);
+        obs.counter("pinball.race_events").add(events.len() as u64);
         Ok(Pinball {
             name: program.name().to_string(),
             nthreads,
@@ -276,6 +284,8 @@ impl Pinball {
         observers: &mut [&mut dyn ExecObserver],
         max_steps: u64,
     ) -> Result<ReplayStats, PinballError> {
+        let trace = lp_obs::global();
+        let mut span = trace.span("pinball.replay", "pinball");
         let mut rep = self.replayer(program);
         let mut stats = ReplayStats {
             per_thread: vec![0; self.nthreads],
@@ -291,6 +301,10 @@ impl Pinball {
                 return Err(PinballError::StepLimit { limit: max_steps });
             }
         }
+        span.arg("instructions", stats.instructions);
+        trace
+            .counter("pinball.replayed_instructions")
+            .add(stats.instructions);
         Ok(stats)
     }
 }

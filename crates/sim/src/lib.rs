@@ -25,8 +25,8 @@
 
 mod core_model;
 mod simulator;
+pub mod stats;
 mod timing;
-mod stats;
 
 pub use core_model::CoreTiming;
 pub use lp_isa::Marker;

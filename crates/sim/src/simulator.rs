@@ -135,6 +135,7 @@ pub struct Simulator {
     sample_interval: Option<u64>,
     ff_instructions: u64,
     ff_wall: std::time::Duration,
+    obs: lp_obs::Observer,
 }
 
 impl Simulator {
@@ -180,7 +181,14 @@ impl Simulator {
             ff_instructions: 0,
             ff_wall: std::time::Duration::ZERO,
             machine,
+            obs: lp_obs::global(),
         }
+    }
+
+    /// Routes this simulator's spans, counters, and IPC heartbeats to
+    /// `obs` instead of the process-global observer.
+    pub fn set_observer(&mut self, obs: lp_obs::Observer) {
+        self.obs = obs;
     }
 
     /// The simulated machine configuration.
@@ -235,7 +243,7 @@ impl Simulator {
         for tid in 0..self.timing.ncores() {
             if self.machine.thread_state(tid) == ThreadState::Running {
                 let now = self.timing.core_now(tid);
-                if best.map_or(true, |(_, b)| now < b) {
+                if best.is_none_or(|(_, b)| now < b) {
                     best = Some((tid, now));
                 }
             }
@@ -266,6 +274,14 @@ impl Simulator {
         }
         let wall_start = Instant::now();
         let detailed = mode == Mode::Detailed;
+        let mut span = self.obs.span(
+            if detailed {
+                "sim.detailed"
+            } else {
+                "sim.fast_forward"
+            },
+            "sim",
+        );
         if detailed {
             self.timing.reset_stats();
         }
@@ -313,11 +329,14 @@ impl Simulator {
                             if sample_insts >= interval {
                                 let cyc = self.timing.max_cycle();
                                 let window_cycles = cyc.saturating_sub(sample_cycle_base).max(1);
+                                let ipc = sample_insts as f64 / window_cycles as f64;
                                 stats.ipc_trace.push(IpcSample {
                                     instructions: stats.instructions,
                                     cycles: cyc - cycles_start,
-                                    ipc: sample_insts as f64 / window_cycles as f64,
+                                    ipc,
                                 });
+                                // Heartbeat: a counter track in the trace.
+                                self.obs.counter_sample("sim.ipc", "sim", "ipc", ipc);
                                 sample_insts = 0;
                                 sample_cycle_base = cyc;
                             }
@@ -381,6 +400,30 @@ impl Simulator {
             self.ff_wall += wall_start.elapsed();
             stats.ff_instructions = self.ff_instructions;
             stats.ff_wall = self.ff_wall;
+        }
+
+        // Observability: close the segment span with its headline numbers
+        // and fold exact counts into the metrics registry.
+        span.arg("instructions", stats.instructions);
+        span.arg("cycles", stats.cycles);
+        if self.obs.is_enabled() {
+            if detailed {
+                let m = &self.obs;
+                m.counter("sim.detailed.instructions")
+                    .add(stats.instructions);
+                m.counter("sim.detailed.cycles").add(stats.cycles);
+                m.counter("sim.detailed.filtered_instructions")
+                    .add(stats.filtered_instructions);
+                m.counter("sim.detailed.segments").inc();
+                m.histogram("sim.segment.instructions")
+                    .record(stats.instructions);
+                m.gauge("sim.last.ipc").set(stats.ipc());
+            } else {
+                self.obs
+                    .counter("sim.ff.instructions")
+                    .add(stats.instructions);
+                self.obs.counter("sim.ff.segments").inc();
+            }
         }
         Ok(stats)
     }
@@ -482,10 +525,8 @@ mod tests {
     #[test]
     fn inorder_is_slower_than_ooo() {
         let (p, _) = two_phase_program(2000);
-        let ooo = simulate_full(p.clone(), 1, lp_uarch::SimConfig::gainestown(1), BUDGET)
-            .unwrap();
-        let ino = simulate_full(p, 1, lp_uarch::SimConfig::gainestown_inorder(1), BUDGET)
-            .unwrap();
+        let ooo = simulate_full(p.clone(), 1, lp_uarch::SimConfig::gainestown(1), BUDGET).unwrap();
+        let ino = simulate_full(p, 1, lp_uarch::SimConfig::gainestown_inorder(1), BUDGET).unwrap();
         assert_eq!(ooo.instructions, ino.instructions, "same functional path");
         assert!(
             ino.cycles > ooo.cycles,
@@ -548,10 +589,14 @@ mod tests {
     #[test]
     fn multithreaded_simulation_completes_and_scales() {
         let cfg8 = lp_uarch::SimConfig::gainestown(8);
-        let s1 = simulate_full(parallel_program(1, WaitPolicy::Passive), 1, cfg8.clone(), BUDGET)
-            .unwrap();
-        let s8 = simulate_full(parallel_program(8, WaitPolicy::Passive), 8, cfg8, BUDGET)
-            .unwrap();
+        let s1 = simulate_full(
+            parallel_program(1, WaitPolicy::Passive),
+            1,
+            cfg8.clone(),
+            BUDGET,
+        )
+        .unwrap();
+        let s8 = simulate_full(parallel_program(8, WaitPolicy::Passive), 8, cfg8, BUDGET).unwrap();
         assert!(
             (s8.cycles as f64) < s1.cycles as f64 / 2.0,
             "8 threads ({}) should be much faster than 1 ({})",
@@ -562,12 +607,20 @@ mod tests {
 
     #[test]
     fn active_policy_retires_spin_instructions() {
-        let passive =
-            simulate_full(parallel_program(4, WaitPolicy::Passive), 4,
-                lp_uarch::SimConfig::gainestown(4), BUDGET).unwrap();
-        let active =
-            simulate_full(parallel_program(4, WaitPolicy::Active), 4,
-                lp_uarch::SimConfig::gainestown(4), BUDGET).unwrap();
+        let passive = simulate_full(
+            parallel_program(4, WaitPolicy::Passive),
+            4,
+            lp_uarch::SimConfig::gainestown(4),
+            BUDGET,
+        )
+        .unwrap();
+        let active = simulate_full(
+            parallel_program(4, WaitPolicy::Active),
+            4,
+            lp_uarch::SimConfig::gainestown(4),
+            BUDGET,
+        )
+        .unwrap();
         assert!(
             active.instructions > passive.instructions,
             "spinning inflates instruction count: active={} passive={}",
@@ -604,11 +657,19 @@ mod tests {
         let (p, hdr) = two_phase_program(50);
         let mut sim = Simulator::new(p, 1, lp_uarch::SimConfig::gainestown(1));
         sim.watch_pc(hdr);
-        sim.run(Mode::FastForward, Some(StopCond::Marker(Marker::new(hdr, 10))), BUDGET)
-            .unwrap();
+        sim.run(
+            Mode::FastForward,
+            Some(StopCond::Marker(Marker::new(hdr, 10))),
+            BUDGET,
+        )
+        .unwrap();
         assert_eq!(sim.watch_count(hdr), 10);
-        sim.run(Mode::Detailed, Some(StopCond::Marker(Marker::new(hdr, 30))), BUDGET)
-            .unwrap();
+        sim.run(
+            Mode::Detailed,
+            Some(StopCond::Marker(Marker::new(hdr, 30))),
+            BUDGET,
+        )
+        .unwrap();
         assert_eq!(sim.watch_count(hdr), 30);
     }
 

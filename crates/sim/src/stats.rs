@@ -92,7 +92,9 @@ impl SimStats {
     }
 }
 
-pub(crate) fn add_mem(into: &mut CoreMemStats, from: CoreMemStats) {
+/// Accumulates `from` into `into`, field by field. Commutative and
+/// associative (plain sums), which the property tests rely on.
+pub fn add_mem(into: &mut CoreMemStats, from: CoreMemStats) {
     into.loads += from.loads;
     into.stores += from.stores;
     into.l1d_misses += from.l1d_misses;
@@ -103,7 +105,9 @@ pub(crate) fn add_mem(into: &mut CoreMemStats, from: CoreMemStats) {
     into.prefetches += from.prefetches;
 }
 
-pub(crate) fn add_branch(into: &mut BranchStats, from: BranchStats) {
+/// Accumulates branch-predictor stats `from` into `into`. Commutative and
+/// associative, like [`add_mem`].
+pub fn add_branch(into: &mut BranchStats, from: BranchStats) {
     into.cond_branches += from.cond_branches;
     into.cond_mispredicts += from.cond_mispredicts;
     into.indirect += from.indirect;

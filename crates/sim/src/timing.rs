@@ -120,7 +120,8 @@ impl TimingModel {
             self.hierarchy.access_inst(tid, r.pc);
         }
         if let Some(acc) = r.mem {
-            self.hierarchy.access_data(tid, acc.addr, acc.write, acc.shared);
+            self.hierarchy
+                .access_data(tid, acc.addr, acc.write, acc.shared);
         }
         self.warm_branch(tid, r);
         let next = self.cores[tid].now() + 1;
@@ -144,7 +145,9 @@ impl TimingModel {
 
         let mut latency = self.cfg.lat.latency(r.class);
         if let Some(acc) = r.mem {
-            let res = self.hierarchy.access_data(tid, acc.addr, acc.write, acc.shared);
+            let res = self
+                .hierarchy
+                .access_data(tid, acc.addr, acc.write, acc.shared);
             if matches!(
                 r.class,
                 InstClass::Load | InstClass::Atomic | InstClass::Futex
@@ -156,8 +159,7 @@ impl TimingModel {
         let (_, complete) = self.cores[tid].dispatch(r.inst.srcs(), r.inst.dst(), latency);
 
         if !self.warm_branch(tid, r) {
-            self.cores[tid]
-                .stall_fetch_until(complete + u64::from(self.cfg.mispredict_penalty));
+            self.cores[tid].stall_fetch_until(complete + u64::from(self.cfg.mispredict_penalty));
         }
         complete
     }

@@ -1,0 +1,117 @@
+//! Property tests for `lp_sim::stats` aggregation helpers: `add_mem` and
+//! `add_branch` are plain field-wise sums, so folding stats from several
+//! simulation segments must be order-independent — commutative,
+//! associative, and with `Default` as the identity. Extrapolation (Eq. 1)
+//! sums region stats in cluster order; these properties are what make that
+//! order arbitrary.
+
+use lp_sim::stats::{add_branch, add_mem};
+use lp_uarch::{BranchStats, CoreMemStats};
+use proptest::prelude::*;
+
+/// Field values are bounded so that summing three of them cannot overflow
+/// a `u64` (the helpers use plain `+=`, as production segment counts stay
+/// far below 2^62).
+const BOUND: u64 = 1 << 32;
+
+fn mem(v: &[u64]) -> CoreMemStats {
+    CoreMemStats {
+        loads: v[0],
+        stores: v[1],
+        l1d_misses: v[2],
+        l2_misses: v[3],
+        l3_misses: v[4],
+        l1i_misses: v[5],
+        invalidations: v[6],
+        prefetches: v[7],
+    }
+}
+
+fn branch(v: &[u64]) -> BranchStats {
+    BranchStats {
+        cond_branches: v[0],
+        cond_mispredicts: v[1],
+        indirect: v[2],
+        indirect_mispredicts: v[3],
+        returns: v[4],
+        return_mispredicts: v[5],
+    }
+}
+
+fn mem_fields() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..BOUND, 8usize)
+}
+
+fn branch_fields() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..BOUND, 6usize)
+}
+
+proptest! {
+    #[test]
+    fn add_mem_commutes(a in mem_fields(), b in mem_fields()) {
+        let mut ab = mem(&a);
+        add_mem(&mut ab, mem(&b));
+        let mut ba = mem(&b);
+        add_mem(&mut ba, mem(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn add_mem_associates(a in mem_fields(), b in mem_fields(), c in mem_fields()) {
+        // (a + b) + c
+        let mut left = mem(&a);
+        add_mem(&mut left, mem(&b));
+        add_mem(&mut left, mem(&c));
+        // a + (b + c)
+        let mut bc = mem(&b);
+        add_mem(&mut bc, mem(&c));
+        let mut right = mem(&a);
+        add_mem(&mut right, bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn add_mem_identity(a in mem_fields()) {
+        let mut x = mem(&a);
+        add_mem(&mut x, CoreMemStats::default());
+        prop_assert_eq!(x, mem(&a));
+        let mut y = CoreMemStats::default();
+        add_mem(&mut y, mem(&a));
+        prop_assert_eq!(y, mem(&a));
+    }
+
+    #[test]
+    fn add_branch_commutes(a in branch_fields(), b in branch_fields()) {
+        let mut ab = branch(&a);
+        add_branch(&mut ab, branch(&b));
+        let mut ba = branch(&b);
+        add_branch(&mut ba, branch(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn add_branch_associates(a in branch_fields(), b in branch_fields(), c in branch_fields()) {
+        let mut left = branch(&a);
+        add_branch(&mut left, branch(&b));
+        add_branch(&mut left, branch(&c));
+        let mut bc = branch(&b);
+        add_branch(&mut bc, branch(&c));
+        let mut right = branch(&a);
+        add_branch(&mut right, bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn totals_are_sums(a in branch_fields(), b in branch_fields()) {
+        let mut ab = branch(&a);
+        add_branch(&mut ab, branch(&b));
+        prop_assert_eq!(
+            ab.total_mispredicts(),
+            branch(&a).total_mispredicts() + branch(&b).total_mispredicts()
+        );
+        prop_assert_eq!(
+            ab.total_branches(),
+            branch(&a).total_branches() + branch(&b).total_branches()
+        );
+    }
+}

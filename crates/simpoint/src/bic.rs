@@ -61,7 +61,10 @@ mod tests {
         let s3 = score(3);
         let s30 = score(30);
         assert!(s3 > s1, "true k should beat k=1: {s3} vs {s1}");
-        assert!(s3 > s30, "true k should beat extreme overfit: {s3} vs {s30}");
+        assert!(
+            s3 > s30,
+            "true k should beat extreme overfit: {s3} vs {s30}"
+        );
     }
 
     #[test]

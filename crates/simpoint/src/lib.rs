@@ -109,17 +109,23 @@ impl Clustering {
 /// Panics if `vectors` is empty.
 pub fn cluster(vectors: &[&[(u64, f64)]], cfg: &SimpointConfig) -> Clustering {
     assert!(!vectors.is_empty(), "need at least one vector");
+    let obs = lp_obs::global();
+    let mut cluster_span = obs.span("simpoint.cluster", "simpoint");
+    cluster_span.arg("vectors", vectors.len());
     let points = project(vectors, cfg.proj_dims, cfg.seed);
     let n = points.len();
     let max_k = cfg.max_k.min(n);
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5ee_d);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
     let mut best: Option<(f64, KmeansResult, usize)> = None;
     let mut all: Vec<(usize, f64, KmeansResult)> = Vec::new();
     for k in 1..=max_k {
+        let mut k_span = obs.span("simpoint.kmeans", "simpoint");
+        k_span.arg("k", k);
         let km = kmeans(&points, k, rng.gen(), cfg.max_iters);
         let bic = bic_score(&points, &km);
-        if best.as_ref().map_or(true, |(b, _, _)| bic > *b) {
+        k_span.arg("bic", bic);
+        if best.as_ref().is_none_or(|(b, _, _)| bic > *b) {
             best = Some((bic, km.clone(), k));
         }
         all.push((k, bic, km));
@@ -128,10 +134,7 @@ pub fn cluster(vectors: &[&[(u64, f64)]], cfg: &SimpointConfig) -> Clustering {
     // Smallest k reaching the threshold fraction of the best score. BIC
     // scores are typically negative; "fraction of best" follows SimPoint's
     // scoring by ranking against the observed range.
-    let min_bic = all
-        .iter()
-        .map(|(_, b, _)| *b)
-        .fold(f64::INFINITY, f64::min);
+    let min_bic = all.iter().map(|(_, b, _)| *b).fold(f64::INFINITY, f64::min);
     let span = (best_bic - min_bic).max(f64::EPSILON);
     let chosen = all
         .iter()
@@ -171,6 +174,12 @@ pub fn cluster(vectors: &[&[(u64, f64)]], cfg: &SimpointConfig) -> Clustering {
         .collect();
     let cluster_sizes: Vec<usize> = cluster_sizes.into_iter().filter(|&s| s > 0).collect();
 
+    cluster_span.arg("chosen_k", dense);
+    cluster_span.arg("bic", bic);
+    obs.gauge("simpoint.chosen_k").set(dense as f64);
+    obs.gauge("simpoint.bic").set(bic);
+    obs.counter("simpoint.clusterings").inc();
+
     Clustering {
         k: dense,
         assignments,
@@ -182,10 +191,7 @@ pub fn cluster(vectors: &[&[(u64, f64)]], cfg: &SimpointConfig) -> Clustering {
 }
 
 pub(crate) fn dist2(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum()
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 #[cfg(test)]
@@ -212,7 +218,11 @@ mod tests {
         let vecs = synth(&[(0, 10), (1000, 10), (2000, 10)]);
         let refs: Vec<&[(u64, f64)]> = vecs.iter().map(|v| v.as_slice()).collect();
         let c = cluster(&refs, &SimpointConfig::default());
-        assert!(c.k >= 3, "three phases should give >= 3 clusters, got {}", c.k);
+        assert!(
+            c.k >= 3,
+            "three phases should give >= 3 clusters, got {}",
+            c.k
+        );
         // All members of one synthetic group share a cluster.
         for g in 0..3 {
             let first = c.assignments[g * 10];

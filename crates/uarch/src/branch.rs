@@ -251,7 +251,9 @@ mod tests {
         let mut x = 0x12345678u64;
         let mut wrong = 0;
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 33) & 1 == 1;
             if !bp.predict_cond(pc(30), taken) {
                 wrong += 1;

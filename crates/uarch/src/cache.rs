@@ -244,10 +244,10 @@ mod tests {
     fn evicted_address_is_line_aligned_roundtrip() {
         let mut c = small();
         c.fill(0x1234); // line 0x1200..? 64B lines → 0x1200? 0x1234/64=0x48 → line base 0x1200
-        // Fill two more lines in the same set to force eviction of 0x1200.
+                        // Fill two more lines in the same set to force eviction of 0x1200.
         let set_stride = 4 * 64;
         c.fill(0x1234 + set_stride);
-        let ev = c.fill(0x1234 + 2 * set_stride as u64);
+        let ev = c.fill(0x1234 + 2 * set_stride);
         assert_eq!(ev, Some(0x1234 & !63));
     }
 

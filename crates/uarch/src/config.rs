@@ -284,6 +284,9 @@ mod tests {
     #[test]
     fn core_model_names() {
         assert_eq!(CoreModel::InOrder.name(), "in-order");
-        assert_eq!(CoreModel::OutOfOrder { rob: 1, width: 1 }.name(), "out-of-order");
+        assert_eq!(
+            CoreModel::OutOfOrder { rob: 1, width: 1 }.name(),
+            "out-of-order"
+        );
     }
 }

@@ -74,9 +74,15 @@ impl MemoryHierarchy {
     /// Builds the hierarchy for `cfg` (one private stack per core).
     pub fn new(cfg: &SimConfig) -> Self {
         MemoryHierarchy {
-            l1i: (0..cfg.ncores).map(|_| SetAssocCache::new(cfg.l1i)).collect(),
-            l1d: (0..cfg.ncores).map(|_| SetAssocCache::new(cfg.l1d)).collect(),
-            l2: (0..cfg.ncores).map(|_| SetAssocCache::new(cfg.l2)).collect(),
+            l1i: (0..cfg.ncores)
+                .map(|_| SetAssocCache::new(cfg.l1i))
+                .collect(),
+            l1d: (0..cfg.ncores)
+                .map(|_| SetAssocCache::new(cfg.l1d))
+                .collect(),
+            l2: (0..cfg.ncores)
+                .map(|_| SetAssocCache::new(cfg.l2))
+                .collect(),
             l3: SetAssocCache::new(cfg.l3),
             mem_latency: cfg.mem_latency,
             prefetch_next_line: cfg.prefetch_next_line,
@@ -105,7 +111,13 @@ impl MemoryHierarchy {
     /// `write` selects store semantics (write-allocate); `shared` marks the
     /// address as belonging to the shared region, enabling coherence
     /// invalidations on writes.
-    pub fn access_data(&mut self, core: usize, addr: Addr, write: bool, shared: bool) -> AccessResult {
+    pub fn access_data(
+        &mut self,
+        core: usize,
+        addr: Addr,
+        write: bool,
+        shared: bool,
+    ) -> AccessResult {
         let a = addr.0;
         let st = &mut self.stats[core];
         if write {
@@ -238,13 +250,20 @@ mod tests {
         let mut h = hierarchy();
         h.access_data(0, Addr(0x3000), false, true);
         h.access_data(1, Addr(0x3000), false, true);
-        assert_eq!(h.access_data(1, Addr(0x3000), false, true).level, CacheLevel::L1);
+        assert_eq!(
+            h.access_data(1, Addr(0x3000), false, true).level,
+            CacheLevel::L1
+        );
         // Core 0 writes the shared line.
         h.access_data(0, Addr(0x3000), true, true);
         assert_eq!(h.stats(1).invalidations, 1);
         // Core 1 now misses its private caches.
         let r = h.access_data(1, Addr(0x3000), false, true);
-        assert!(r.level >= CacheLevel::L3, "line was invalidated, got {:?}", r.level);
+        assert!(
+            r.level >= CacheLevel::L3,
+            "line was invalidated, got {:?}",
+            r.level
+        );
     }
 
     #[test]
@@ -254,7 +273,10 @@ mod tests {
         h.access_data(1, Addr(0x4000), false, true);
         h.access_data(0, Addr(0x4000), true, false); // marked private
         assert_eq!(h.stats(1).invalidations, 0);
-        assert_eq!(h.access_data(1, Addr(0x4000), false, true).level, CacheLevel::L1);
+        assert_eq!(
+            h.access_data(1, Addr(0x4000), false, true).level,
+            CacheLevel::L1
+        );
     }
 
     #[test]
@@ -304,7 +326,11 @@ mod tests {
         let mut pf_l2_misses = 0;
         let mut plain_l2_misses = 0;
         for i in 0..256u64 {
-            if pf.access_data(0, Addr(0x800000 + i * 64), false, false).level > CacheLevel::L2 {
+            if pf
+                .access_data(0, Addr(0x800000 + i * 64), false, false)
+                .level
+                > CacheLevel::L2
+            {
                 pf_l2_misses += 1;
             }
             if plain

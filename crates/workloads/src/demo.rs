@@ -35,9 +35,22 @@ pub fn matrix_demo(variant: usize) -> WorkloadSpec {
             init_arrays: vec![(a, n), (b, n)],
             base_rounds: rounds,
             phases: vec![
-                Phase::Stencil { src: a, dst: b, iters: n, sched: Schedule::Static },
-                Phase::FpCompute { iters: n / 2, depth: 6, div: false, sched: Schedule::Static },
-                Phase::Reduce { iters: n / 2, addr: APP_BASE + 0x100 },
+                Phase::Stencil {
+                    src: a,
+                    dst: b,
+                    iters: n,
+                    sched: Schedule::Static,
+                },
+                Phase::FpCompute {
+                    iters: n / 2,
+                    depth: 6,
+                    div: false,
+                    sched: Schedule::Static,
+                },
+                Phase::Reduce {
+                    iters: n / 2,
+                    addr: APP_BASE + 0x100,
+                },
             ],
             scale_iters: false,
             use_master: false,

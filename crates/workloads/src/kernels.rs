@@ -52,13 +52,7 @@ fn workshare(
 
 /// Sequentially initializes `words` words at `base` (pre-touch / warmup
 /// phase; gives cold-start transients their own code signature).
-pub fn init_array(
-    c: &mut CodeBuilder<'_>,
-    rt: &mut OmpRuntime,
-    name: &str,
-    base: u64,
-    words: u64,
-) {
+pub fn init_array(c: &mut CodeBuilder<'_>, rt: &mut OmpRuntime, name: &str, base: u64, words: u64) {
     rt.emit_static_for(c, name, words, |c, _| {
         c.li(Reg::R1, base as i64);
         c.alui(AluOp::Shl, Reg::R2, Reg::R16, 3);

@@ -45,9 +45,24 @@ pub fn npb_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 8192), (A1, 8192)],
                 base_rounds: 3,
                 phases: vec![
-                    Phase::Stencil { src: A0, dst: A1, iters: 1536, sched: STATIC },
-                    Phase::Stencil { src: A1, dst: A0, iters: 1536, sched: STATIC },
-                    Phase::FpCompute { iters: 1024, depth: 6, div: false, sched: STATIC },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A1,
+                        iters: 1536,
+                        sched: STATIC,
+                    },
+                    Phase::Stencil {
+                        src: A1,
+                        dst: A0,
+                        iters: 1536,
+                        sched: STATIC,
+                    },
+                    Phase::FpCompute {
+                        iters: 1024,
+                        depth: 6,
+                        div: false,
+                        sched: STATIC,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -68,8 +83,16 @@ pub fn npb_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A2, 16384)],
                 base_rounds: 3,
                 phases: vec![
-                    Phase::Random { base: A2, table_words: 16384, iters: 2048, sched: STATIC },
-                    Phase::Reduce { iters: 1024, addr: RESULT },
+                    Phase::Random {
+                        base: A2,
+                        table_words: 16384,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
+                    Phase::Reduce {
+                        iters: 1024,
+                        addr: RESULT,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -90,8 +113,16 @@ pub fn npb_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![],
                 base_rounds: 3,
                 phases: vec![
-                    Phase::FpCompute { iters: 3072, depth: 10, div: true, sched: STATIC },
-                    Phase::Reduce { iters: 512, addr: RESULT },
+                    Phase::FpCompute {
+                        iters: 3072,
+                        depth: 10,
+                        div: true,
+                        sched: STATIC,
+                    },
+                    Phase::Reduce {
+                        iters: 512,
+                        addr: RESULT,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -113,9 +144,24 @@ pub fn npb_workloads() -> Vec<WorkloadSpec> {
                 base_rounds: 2,
                 phases: vec![
                     // Strided passes — the transpose-like access of FFT.
-                    Phase::Stream { base: A0, stride: 1, iters: 2048, sched: STATIC },
-                    Phase::Stream { base: A0, stride: 16, iters: 2048, sched: STATIC },
-                    Phase::FpCompute { iters: 1024, depth: 8, div: false, sched: STATIC },
+                    Phase::Stream {
+                        base: A0,
+                        stride: 1,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
+                    Phase::Stream {
+                        base: A0,
+                        stride: 16,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
+                    Phase::FpCompute {
+                        iters: 1024,
+                        depth: 8,
+                        div: false,
+                        sched: STATIC,
+                    },
                 ],
                 scale_iters: false,
                 use_master: true,
@@ -135,8 +181,17 @@ pub fn npb_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 8192)],
                 base_rounds: 3,
                 phases: vec![
-                    Phase::Histogram { iters: 2048, base: A0, buckets: 4096 },
-                    Phase::Stream { base: A0, stride: 1, iters: 2048, sched: STATIC },
+                    Phase::Histogram {
+                        iters: 2048,
+                        base: A0,
+                        buckets: 4096,
+                    },
+                    Phase::Stream {
+                        base: A0,
+                        stride: 1,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -156,8 +211,18 @@ pub fn npb_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 8192), (A1, 8192)],
                 base_rounds: 3,
                 phases: vec![
-                    Phase::Stencil { src: A0, dst: A1, iters: 1280, sched: STATIC },
-                    Phase::FpCompute { iters: 1280, depth: 7, div: true, sched: STATIC },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A1,
+                        iters: 1280,
+                        sched: STATIC,
+                    },
+                    Phase::FpCompute {
+                        iters: 1280,
+                        depth: 7,
+                        div: true,
+                        sched: STATIC,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -174,8 +239,18 @@ pub fn npb_workloads() -> Vec<WorkloadSpec> {
                 base_rounds: 3,
                 phases: vec![
                     // Fine and coarse grid sweeps.
-                    Phase::Stencil { src: A0, dst: A0 + 8, iters: 2048, sched: STATIC },
-                    Phase::Stencil { src: A1, dst: A1 + 8, iters: 512, sched: STATIC },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A0 + 8,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
+                    Phase::Stencil {
+                        src: A1,
+                        dst: A1 + 8,
+                        iters: 512,
+                        sched: STATIC,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -191,9 +266,24 @@ pub fn npb_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 8192), (A1, 8192)],
                 base_rounds: 3,
                 phases: vec![
-                    Phase::Stencil { src: A0, dst: A1, iters: 1536, sched: STATIC },
-                    Phase::Stream { base: A1, stride: 8, iters: 1024, sched: STATIC },
-                    Phase::FpCompute { iters: 768, depth: 5, div: false, sched: STATIC },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A1,
+                        iters: 1536,
+                        sched: STATIC,
+                    },
+                    Phase::Stream {
+                        base: A1,
+                        stride: 8,
+                        iters: 1024,
+                        sched: STATIC,
+                    },
+                    Phase::FpCompute {
+                        iters: 768,
+                        depth: 5,
+                        div: false,
+                        sched: STATIC,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -227,8 +317,16 @@ pub fn npb_workloads() -> Vec<WorkloadSpec> {
                         spread: 16,
                         sched: Schedule::Dynamic { chunk: 4 },
                     },
-                    Phase::Locked { iters: 256, lock: 3, addr: RESULT + 24 },
-                    Phase::Histogram { iters: 768, base: A2, buckets: 1024 },
+                    Phase::Locked {
+                        iters: 256,
+                        lock: 3,
+                        addr: RESULT + 24,
+                    },
+                    Phase::Histogram {
+                        iters: 768,
+                        base: A2,
+                        buckets: 1024,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,

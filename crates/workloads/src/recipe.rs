@@ -70,15 +70,55 @@ impl InputClass {
 /// A phase inside a workload round: one parallel region running a kernel.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Phase {
-    Stream { base: u64, stride: u64, iters: u64, sched: Schedule },
-    Stencil { src: u64, dst: u64, iters: u64, sched: Schedule },
-    Random { base: u64, table_words: u64, iters: u64, sched: Schedule },
-    IntCompute { iters: u64, depth: u32, sched: Schedule },
-    FpCompute { iters: u64, depth: u32, div: bool, sched: Schedule },
-    Reduce { iters: u64, addr: u64 },
-    Locked { iters: u64, lock: usize, addr: u64 },
-    Histogram { iters: u64, base: u64, buckets: u64 },
-    Skewed { iters: u64, base: u64, spread: u64, sched: Schedule },
+    Stream {
+        base: u64,
+        stride: u64,
+        iters: u64,
+        sched: Schedule,
+    },
+    Stencil {
+        src: u64,
+        dst: u64,
+        iters: u64,
+        sched: Schedule,
+    },
+    Random {
+        base: u64,
+        table_words: u64,
+        iters: u64,
+        sched: Schedule,
+    },
+    IntCompute {
+        iters: u64,
+        depth: u32,
+        sched: Schedule,
+    },
+    FpCompute {
+        iters: u64,
+        depth: u32,
+        div: bool,
+        sched: Schedule,
+    },
+    Reduce {
+        iters: u64,
+        addr: u64,
+    },
+    Locked {
+        iters: u64,
+        lock: usize,
+        addr: u64,
+    },
+    Histogram {
+        iters: u64,
+        base: u64,
+        buckets: u64,
+    },
+    Skewed {
+        iters: u64,
+        base: u64,
+        spread: u64,
+        sched: Schedule,
+    },
 }
 
 impl Phase {
@@ -234,15 +274,38 @@ fn emit_phase(
     let name = format!("{region}.loop");
     let m = iter_mult;
     match *phase {
-        Phase::Stream { base, stride, iters, sched } => {
-            kernels::stream(c, rt, &name, KernelCtx { iters: iters * m, schedule: sched }, base, stride);
+        Phase::Stream {
+            base,
+            stride,
+            iters,
+            sched,
+        } => {
+            kernels::stream(
+                c,
+                rt,
+                &name,
+                KernelCtx {
+                    iters: iters * m,
+                    schedule: sched,
+                },
+                base,
+                stride,
+            );
         }
-        Phase::Stencil { src, dst, iters, sched } => {
+        Phase::Stencil {
+            src,
+            dst,
+            iters,
+            sched,
+        } => {
             kernels::stencil(
                 c,
                 rt,
                 &name,
-                KernelCtx { iters: iters * m, schedule: sched },
+                KernelCtx {
+                    iters: iters * m,
+                    schedule: sched,
+                },
                 src,
                 dst,
             );
@@ -253,31 +316,63 @@ fn emit_phase(
                     c,
                     rt,
                     &format!("{region}.loop2"),
-                    KernelCtx { iters: iters * m, schedule: sched },
+                    KernelCtx {
+                        iters: iters * m,
+                        schedule: sched,
+                    },
                     dst,
                     src,
                 );
             }
         }
-        Phase::Random { base, table_words, iters, sched } => {
+        Phase::Random {
+            base,
+            table_words,
+            iters,
+            sched,
+        } => {
             kernels::random_access(
                 c,
                 rt,
                 &name,
-                KernelCtx { iters: iters * m, schedule: sched },
+                KernelCtx {
+                    iters: iters * m,
+                    schedule: sched,
+                },
                 base,
                 table_words,
             );
         }
-        Phase::IntCompute { iters, depth, sched } => {
-            kernels::int_compute(c, rt, &name, KernelCtx { iters: iters * m, schedule: sched }, depth);
+        Phase::IntCompute {
+            iters,
+            depth,
+            sched,
+        } => {
+            kernels::int_compute(
+                c,
+                rt,
+                &name,
+                KernelCtx {
+                    iters: iters * m,
+                    schedule: sched,
+                },
+                depth,
+            );
         }
-        Phase::FpCompute { iters, depth, div, sched } => {
+        Phase::FpCompute {
+            iters,
+            depth,
+            div,
+            sched,
+        } => {
             kernels::fp_compute(
                 c,
                 rt,
                 &name,
-                KernelCtx { iters: iters * m, schedule: sched },
+                KernelCtx {
+                    iters: iters * m,
+                    schedule: sched,
+                },
                 depth,
                 div,
             );
@@ -287,7 +382,10 @@ fn emit_phase(
                 c,
                 rt,
                 &name,
-                KernelCtx { iters: iters * m, schedule: Schedule::Static },
+                KernelCtx {
+                    iters: iters * m,
+                    schedule: Schedule::Static,
+                },
                 addr,
             );
         }
@@ -296,27 +394,45 @@ fn emit_phase(
                 c,
                 rt,
                 &name,
-                KernelCtx { iters: iters * m, schedule: Schedule::Static },
+                KernelCtx {
+                    iters: iters * m,
+                    schedule: Schedule::Static,
+                },
                 LockId(lock),
                 addr,
             );
         }
-        Phase::Histogram { iters, base, buckets } => {
+        Phase::Histogram {
+            iters,
+            base,
+            buckets,
+        } => {
             kernels::atomic_histogram(
                 c,
                 rt,
                 &name,
-                KernelCtx { iters: iters * m, schedule: Schedule::Static },
+                KernelCtx {
+                    iters: iters * m,
+                    schedule: Schedule::Static,
+                },
                 base,
                 buckets,
             );
         }
-        Phase::Skewed { iters, base, spread, sched } => {
+        Phase::Skewed {
+            iters,
+            base,
+            spread,
+            sched,
+        } => {
             kernels::skewed_work(
                 c,
                 rt,
                 &name,
-                KernelCtx { iters: iters * m, schedule: sched },
+                KernelCtx {
+                    iters: iters * m,
+                    schedule: sched,
+                },
                 base,
                 spread,
             );

@@ -45,9 +45,22 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 4096), (A1, 4096)],
                 base_rounds: 3,
                 phases: vec![
-                    Phase::Stencil { src: A0, dst: A1, iters: 2048, sched: STATIC },
-                    Phase::FpCompute { iters: 1536, depth: 6, div: false, sched: STATIC },
-                    Phase::Reduce { iters: 1024, addr: RESULT },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A1,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
+                    Phase::FpCompute {
+                        iters: 1536,
+                        depth: 6,
+                        div: false,
+                        sched: STATIC,
+                    },
+                    Phase::Reduce {
+                        iters: 1024,
+                        addr: RESULT,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -72,9 +85,22 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 8192), (A1, 8192)],
                 base_rounds: 2,
                 phases: vec![
-                    Phase::Stencil { src: A0, dst: A1, iters: 3072, sched: STATIC },
-                    Phase::FpCompute { iters: 2048, depth: 8, div: true, sched: STATIC },
-                    Phase::Reduce { iters: 1536, addr: RESULT },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A1,
+                        iters: 3072,
+                        sched: STATIC,
+                    },
+                    Phase::FpCompute {
+                        iters: 2048,
+                        depth: 8,
+                        div: true,
+                        sched: STATIC,
+                    },
+                    Phase::Reduce {
+                        iters: 1536,
+                        addr: RESULT,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -101,9 +127,22 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 8192), (A1, 8192)],
                 base_rounds: 2,
                 phases: vec![
-                    Phase::Stencil { src: A0, dst: A1, iters: 2048, sched: STATIC },
-                    Phase::FpCompute { iters: 1024, depth: 10, div: true, sched: dyn4(16) },
-                    Phase::Reduce { iters: 768, addr: RESULT },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A1,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
+                    Phase::FpCompute {
+                        iters: 1024,
+                        depth: 10,
+                        div: true,
+                        sched: dyn4(16),
+                    },
+                    Phase::Reduce {
+                        iters: 768,
+                        addr: RESULT,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -126,8 +165,18 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 16384), (A1, 16384)],
                 base_rounds: 3,
                 phases: vec![
-                    Phase::Stream { base: A0, stride: 8, iters: 2048, sched: STATIC },
-                    Phase::Stencil { src: A0, dst: A1, iters: 2048, sched: STATIC },
+                    Phase::Stream {
+                        base: A0,
+                        stride: 8,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A1,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -151,10 +200,29 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 8192), (A1, 8192), (A2, 4096)],
                 base_rounds: 2,
                 phases: vec![
-                    Phase::Stencil { src: A0, dst: A1, iters: 1536, sched: dyn4(8) },
-                    Phase::Random { base: A2, table_words: 4096, iters: 1024, sched: dyn4(8) },
-                    Phase::FpCompute { iters: 1024, depth: 7, div: false, sched: dyn4(16) },
-                    Phase::IntCompute { iters: 1024, depth: 4, sched: dyn4(16) },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A1,
+                        iters: 1536,
+                        sched: dyn4(8),
+                    },
+                    Phase::Random {
+                        base: A2,
+                        table_words: 4096,
+                        iters: 1024,
+                        sched: dyn4(8),
+                    },
+                    Phase::FpCompute {
+                        iters: 1024,
+                        depth: 7,
+                        div: false,
+                        sched: dyn4(16),
+                    },
+                    Phase::IntCompute {
+                        iters: 1024,
+                        depth: 4,
+                        sched: dyn4(16),
+                    },
                 ],
                 scale_iters: false,
                 use_master: true,
@@ -180,9 +248,24 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 8192), (A1, 8192)],
                 base_rounds: 2,
                 phases: vec![
-                    Phase::Stencil { src: A0, dst: A1, iters: 1536, sched: STATIC },
-                    Phase::FpCompute { iters: 1280, depth: 6, div: false, sched: dyn4(8) },
-                    Phase::Stream { base: A1, stride: 8, iters: 1280, sched: STATIC },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A1,
+                        iters: 1536,
+                        sched: STATIC,
+                    },
+                    Phase::FpCompute {
+                        iters: 1280,
+                        depth: 6,
+                        div: false,
+                        sched: dyn4(8),
+                    },
+                    Phase::Stream {
+                        base: A1,
+                        stride: 8,
+                        iters: 1280,
+                        sched: STATIC,
+                    },
                 ],
                 scale_iters: false,
                 use_master: true,
@@ -207,9 +290,24 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 16384), (A1, 16384)],
                 base_rounds: 2,
                 phases: vec![
-                    Phase::Stream { base: A0, stride: 8, iters: 2048, sched: STATIC },
-                    Phase::Stencil { src: A0, dst: A1, iters: 1536, sched: STATIC },
-                    Phase::FpCompute { iters: 1024, depth: 5, div: false, sched: STATIC },
+                    Phase::Stream {
+                        base: A0,
+                        stride: 8,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A1,
+                        iters: 1536,
+                        sched: STATIC,
+                    },
+                    Phase::FpCompute {
+                        iters: 1024,
+                        depth: 5,
+                        div: false,
+                        sched: STATIC,
+                    },
                 ],
                 scale_iters: false,
                 use_master: true,
@@ -241,10 +339,28 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 16384), (AWIDE, 16384)],
                 base_rounds: 1,
                 phases: vec![
-                    Phase::Stencil { src: A0, dst: AWIDE, iters: 4096, sched: STATIC },
-                    Phase::FpCompute { iters: 4096, depth: 9, div: false, sched: STATIC },
-                    Phase::Stencil { src: AWIDE, dst: A0, iters: 4096, sched: STATIC },
-                    Phase::Reduce { iters: 2048, addr: RESULT },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: AWIDE,
+                        iters: 4096,
+                        sched: STATIC,
+                    },
+                    Phase::FpCompute {
+                        iters: 4096,
+                        depth: 9,
+                        div: false,
+                        sched: STATIC,
+                    },
+                    Phase::Stencil {
+                        src: AWIDE,
+                        dst: A0,
+                        iters: 4096,
+                        sched: STATIC,
+                    },
+                    Phase::Reduce {
+                        iters: 2048,
+                        addr: RESULT,
+                    },
                 ],
                 scale_iters: true,
                 use_master: false,
@@ -270,10 +386,28 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 4096), (A2, 4096)],
                 base_rounds: 2,
                 phases: vec![
-                    Phase::Random { base: A2, table_words: 4096, iters: 1280, sched: dyn4(8) },
-                    Phase::FpCompute { iters: 1280, depth: 8, div: true, sched: dyn4(8) },
-                    Phase::Histogram { iters: 1024, base: A0, buckets: 1024 },
-                    Phase::Locked { iters: 256, lock: 2, addr: RESULT + 8 },
+                    Phase::Random {
+                        base: A2,
+                        table_words: 4096,
+                        iters: 1280,
+                        sched: dyn4(8),
+                    },
+                    Phase::FpCompute {
+                        iters: 1280,
+                        depth: 8,
+                        div: true,
+                        sched: dyn4(8),
+                    },
+                    Phase::Histogram {
+                        iters: 1024,
+                        base: A0,
+                        buckets: 1024,
+                    },
+                    Phase::Locked {
+                        iters: 256,
+                        lock: 2,
+                        addr: RESULT + 8,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -299,10 +433,28 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 8192), (A2, 8192)],
                 base_rounds: 2,
                 phases: vec![
-                    Phase::Random { base: A2, table_words: 8192, iters: 1536, sched: dyn4(16) },
-                    Phase::FpCompute { iters: 1024, depth: 10, div: true, sched: dyn4(16) },
-                    Phase::Histogram { iters: 768, base: A0, buckets: 2048 },
-                    Phase::Locked { iters: 192, lock: 2, addr: RESULT + 8 },
+                    Phase::Random {
+                        base: A2,
+                        table_words: 8192,
+                        iters: 1536,
+                        sched: dyn4(16),
+                    },
+                    Phase::FpCompute {
+                        iters: 1024,
+                        depth: 10,
+                        div: true,
+                        sched: dyn4(16),
+                    },
+                    Phase::Histogram {
+                        iters: 768,
+                        base: A0,
+                        buckets: 2048,
+                    },
+                    Phase::Locked {
+                        iters: 192,
+                        lock: 2,
+                        addr: RESULT + 8,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -325,8 +477,18 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 8192), (A1, 8192)],
                 base_rounds: 3,
                 phases: vec![
-                    Phase::Stencil { src: A0, dst: A1, iters: 2048, sched: STATIC },
-                    Phase::Stencil { src: A1, dst: A0, iters: 2048, sched: STATIC },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A1,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
+                    Phase::Stencil {
+                        src: A1,
+                        dst: A0,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -349,9 +511,24 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A0, 16384), (A1, 8192)],
                 base_rounds: 2,
                 phases: vec![
-                    Phase::Stream { base: A0, stride: 8, iters: 2048, sched: STATIC },
-                    Phase::FpCompute { iters: 1536, depth: 6, div: false, sched: STATIC },
-                    Phase::Stencil { src: A0, dst: A1, iters: 1024, sched: STATIC },
+                    Phase::Stream {
+                        base: A0,
+                        stride: 8,
+                        iters: 2048,
+                        sched: STATIC,
+                    },
+                    Phase::FpCompute {
+                        iters: 1536,
+                        depth: 6,
+                        div: false,
+                        sched: STATIC,
+                    },
+                    Phase::Stencil {
+                        src: A0,
+                        dst: A1,
+                        iters: 1024,
+                        sched: STATIC,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -377,10 +554,28 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A2, 8192)],
                 base_rounds: 2,
                 phases: vec![
-                    Phase::IntCompute { iters: 1536, depth: 6, sched: dyn4(16) },
-                    Phase::Random { base: A2, table_words: 8192, iters: 1536, sched: dyn4(16) },
-                    Phase::Skewed { iters: 512, base: 8, spread: 16, sched: dyn4(4) },
-                    Phase::Locked { iters: 128, lock: 1, addr: RESULT + 16 },
+                    Phase::IntCompute {
+                        iters: 1536,
+                        depth: 6,
+                        sched: dyn4(16),
+                    },
+                    Phase::Random {
+                        base: A2,
+                        table_words: 8192,
+                        iters: 1536,
+                        sched: dyn4(16),
+                    },
+                    Phase::Skewed {
+                        iters: 512,
+                        base: 8,
+                        spread: 16,
+                        sched: dyn4(4),
+                    },
+                    Phase::Locked {
+                        iters: 128,
+                        lock: 1,
+                        addr: RESULT + 16,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -409,10 +604,28 @@ pub fn spec_workloads() -> Vec<WorkloadSpec> {
                 init_arrays: vec![(A2, 8192)],
                 base_rounds: 2,
                 phases: vec![
-                    Phase::Skewed { iters: 768, base: 4, spread: 64, sched: dyn4(2) },
-                    Phase::IntCompute { iters: 1024, depth: 8, sched: dyn4(8) },
-                    Phase::Random { base: A2, table_words: 8192, iters: 1024, sched: dyn4(8) },
-                    Phase::Locked { iters: 256, lock: 1, addr: RESULT + 16 },
+                    Phase::Skewed {
+                        iters: 768,
+                        base: 4,
+                        spread: 64,
+                        sched: dyn4(2),
+                    },
+                    Phase::IntCompute {
+                        iters: 1024,
+                        depth: 8,
+                        sched: dyn4(8),
+                    },
+                    Phase::Random {
+                        base: A2,
+                        table_words: 8192,
+                        iters: 1024,
+                        sched: dyn4(8),
+                    },
+                    Phase::Locked {
+                        iters: 256,
+                        lock: 1,
+                        addr: RESULT + 16,
+                    },
                 ],
                 scale_iters: false,
                 use_master: false,
@@ -455,24 +668,45 @@ mod tests {
 
     #[test]
     fn sync_flags_match_recipes() {
-        use crate::recipe::Phase;
         use crate::kernels::Schedule;
+        use crate::recipe::Phase;
         for s in spec_workloads() {
             let has_dyn = s.recipe.phases.iter().any(|p| {
                 matches!(
                     p,
-                    Phase::Stream { sched: Schedule::Dynamic { .. }, .. }
-                        | Phase::Stencil { sched: Schedule::Dynamic { .. }, .. }
-                        | Phase::Random { sched: Schedule::Dynamic { .. }, .. }
-                        | Phase::IntCompute { sched: Schedule::Dynamic { .. }, .. }
-                        | Phase::FpCompute { sched: Schedule::Dynamic { .. }, .. }
-                        | Phase::Skewed { sched: Schedule::Dynamic { .. }, .. }
+                    Phase::Stream {
+                        sched: Schedule::Dynamic { .. },
+                        ..
+                    } | Phase::Stencil {
+                        sched: Schedule::Dynamic { .. },
+                        ..
+                    } | Phase::Random {
+                        sched: Schedule::Dynamic { .. },
+                        ..
+                    } | Phase::IntCompute {
+                        sched: Schedule::Dynamic { .. },
+                        ..
+                    } | Phase::FpCompute {
+                        sched: Schedule::Dynamic { .. },
+                        ..
+                    } | Phase::Skewed {
+                        sched: Schedule::Dynamic { .. },
+                        ..
+                    }
                 )
             });
             assert_eq!(has_dyn, s.sync.dynamic_for, "{}: dyn4 flag", s.name);
-            let has_lock = s.recipe.phases.iter().any(|p| matches!(p, Phase::Locked { .. }));
+            let has_lock = s
+                .recipe
+                .phases
+                .iter()
+                .any(|p| matches!(p, Phase::Locked { .. }));
             assert_eq!(has_lock, s.sync.lock, "{}: lck flag", s.name);
-            let has_red = s.recipe.phases.iter().any(|p| matches!(p, Phase::Reduce { .. }));
+            let has_red = s
+                .recipe
+                .phases
+                .iter()
+                .any(|p| matches!(p, Phase::Reduce { .. }));
             assert_eq!(has_red, s.sync.reduction, "{}: red flag", s.name);
             assert_eq!(s.recipe.use_master, s.sync.master, "{}: ma flag", s.name);
             assert_eq!(s.recipe.use_single, s.sync.single, "{}: si flag", s.name);

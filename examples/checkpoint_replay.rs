@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = lp_workloads::find("657.xz_s.2").unwrap();
     let nthreads = spec.effective_threads(8);
     let program = build(&spec, InputClass::Train, 8, WaitPolicy::Passive);
-    println!("== pinballs and replay for {} ({} threads) ==\n", spec.name, nthreads);
+    println!(
+        "== pinballs and replay for {} ({} threads) ==\n",
+        spec.name, nthreads
+    );
 
     // Record under flow control (equal thread progress).
     let pinball = Pinball::record(&program, nthreads, RecordConfig::default())?;
@@ -30,11 +33,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = pinball.replay(program.clone(), &mut [], u64::MAX)?;
     let b = pinball.replay(program.clone(), &mut [], u64::MAX)?;
     assert_eq!(a, b);
-    println!("two replays retire identical streams: {} instructions each", a.instructions);
+    println!(
+        "two replays retire identical streams: {} instructions each",
+        a.instructions
+    );
 
     // Take a region checkpoint at a (PC, count) marker found by analysis.
     let analysis = analyze(&program, nthreads, &LoopPointConfig::with_slice_base(8_000))?;
-    let marker = analysis.looppoints.iter().find_map(|r| r.start).expect("a bounded region");
+    let marker = analysis
+        .looppoints
+        .iter()
+        .find_map(|r| r.start)
+        .expect("a bounded region");
     let ckpt = pinball.checkpoint_at(program.clone(), marker)?;
     println!(
         "\ncheckpoint at marker {marker}: skips {} instructions of replay",
@@ -45,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while tail.step()?.is_some() {
         tail_insts += 1;
     }
-    assert_eq!(ckpt.instructions_before() + tail_insts, pinball.instructions());
+    assert_eq!(
+        ckpt.instructions_before() + tail_insts,
+        pinball.instructions()
+    );
     println!("resumed replay completes the remaining {tail_insts} instructions exactly");
 
     // Constrained vs unconstrained timing of the whole app.
@@ -65,6 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A plain functional run gives the same final memory as replay.
     let mut m = Machine::new(program, nthreads);
     m.run_to_completion(u64::MAX)?;
-    println!("\nfunctional run retires {} instructions (scheduling-dependent)", m.global_retired());
+    println!(
+        "\nfunctional run retires {} instructions (scheduling-dependent)",
+        m.global_retired()
+    );
     Ok(())
 }

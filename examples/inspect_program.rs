@@ -10,9 +10,10 @@ use lp_pinball::{Pinball, RecordConfig};
 use lp_workloads::{build, InputClass};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "619.lbm_s.1".into());
-    let spec = lp_workloads::find(&name)
-        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "619.lbm_s.1".into());
+    let spec = lp_workloads::find(&name).unwrap_or_else(|| panic!("unknown workload {name}"));
     let nthreads = spec.effective_threads(4);
     let program = build(&spec, InputClass::Test, 4, WaitPolicy::Passive);
 
@@ -66,9 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(&path, dcfg.to_dot())?;
         println!("\nwrote Graphviz rendering to {path} (render with `dot -Tsvg`)");
     } else {
-        println!(
-            "\n(pass a second argument to write the DCFG as a Graphviz .dot file)"
-        );
+        println!("\n(pass a second argument to write the DCFG as a Graphviz .dot file)");
     }
     Ok(())
 }

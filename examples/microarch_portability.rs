@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nthreads = spec.effective_threads(8);
     let program = build(&spec, InputClass::Train, 8, WaitPolicy::Passive);
 
-    println!("== microarchitecture portability of looppoints ({}) ==\n", spec.name);
+    println!(
+        "== microarchitecture portability of looppoints ({}) ==\n",
+        spec.name
+    );
     // ONE analysis: architecture-level only (no microarchitectural inputs).
     let analysis = analyze(&program, nthreads, &LoopPointConfig::with_slice_base(8_000))?;
     println!(

@@ -15,7 +15,10 @@ use lp_workloads::{build, matrix_demo, InputClass};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nthreads = 8;
     let spec = matrix_demo(1);
-    println!("== LoopPoint quickstart: {} with {} threads ==", spec.name, nthreads);
+    println!(
+        "== LoopPoint quickstart: {} with {} threads ==",
+        spec.name, nthreads
+    );
 
     let program = build(&spec, InputClass::Test, nthreads, WaitPolicy::Passive);
     let simcfg = SimConfig::gainestown(nthreads);
@@ -51,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let err = error_pct(prediction.total_cycles, full.cycles as f64);
     let sp = speedups(&analysis, &results, &full);
 
-    println!("\npredicted runtime: {:>12.0} cycles", prediction.total_cycles);
+    println!(
+        "\npredicted runtime: {:>12.0} cycles",
+        prediction.total_cycles
+    );
     println!("actual runtime:    {:>12} cycles", full.cycles);
     println!("prediction error:  {err:.2}%");
     println!(

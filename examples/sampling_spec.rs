@@ -13,7 +13,9 @@ use lp_uarch::SimConfig;
 use lp_workloads::{build, InputClass};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "627.cam4_s.1".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "627.cam4_s.1".into());
     let spec = lp_workloads::find(&name)
         .unwrap_or_else(|| panic!("unknown workload {name}; try e.g. 627.cam4_s.1"));
     let nthreads = spec.effective_threads(8);
@@ -21,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lp_cfg = LoopPointConfig::with_slice_base(8_000);
 
     println!("== {name}: LoopPoint vs naive MT-SimPoint, active vs passive ==\n");
-    println!("{:<10} {:>16} {:>16}", "policy", "LoopPoint err%", "naive err%");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "policy", "LoopPoint err%", "naive err%"
+    );
     for policy in [WaitPolicy::Passive, WaitPolicy::Active] {
         let program = build(&spec, InputClass::Train, 8, policy);
 
@@ -41,11 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &lp_cfg.simpoint,
             u64::MAX,
         )?;
-        let naive_results =
-            simulate_naive_regions(&naive, &program, nthreads, &simcfg, u64::MAX)?;
+        let naive_results = simulate_naive_regions(&naive, &program, nthreads, &simcfg, u64::MAX)?;
         let naive_err = error_pct(extrapolate_naive(&naive_results), full.cycles as f64);
 
-        println!("{:<10} {:>15.2}% {:>15.2}%", policy.to_string(), lp_err, naive_err);
+        println!(
+            "{:<10} {:>15.2}% {:>15.2}%",
+            policy.to_string(),
+            lp_err,
+            naive_err
+        );
     }
     println!(
         "\nExpected shape (paper §II/§V-A): LoopPoint stays ~2%; the naive adaptation\n\

@@ -7,12 +7,14 @@
 //! run-looppoint -p demo-matrix-2,demo-matrix-3 -w active -i test
 //! run-looppoint -p 627.cam4_s.1 -i train -w active
 //! run-looppoint -p 619.lbm_s.1 --native
+//! run-looppoint -p demo-matrix-1 --trace-out lp.trace.json --metrics-out lp.metrics.json
 //! ```
 
 use looppoint::{
     analyze, error_pct, extrapolate, simulate_representatives_checkpointed, simulate_whole,
     speedups, LoopPointConfig,
 };
+use lp_obs::{lp_debug, lp_info, lp_warn, LogLevel, Observer};
 use lp_omp::WaitPolicy;
 use lp_uarch::SimConfig;
 use lp_workloads::{build, matrix_demo, InputClass, WorkloadSpec};
@@ -27,6 +29,9 @@ struct Args {
     native: bool,
     verbose: bool,
     slice_base: u64,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    log_level: LogLevel,
 }
 
 const USAGE: &str = "\
@@ -46,6 +51,13 @@ OPTIONS:
         --slice-base <n>       per-thread slice size in filtered
                                instructions [default: 8000]
         --native               run the program natively (functional only)
+        --trace-out <path>     write a Chrome trace_event JSON of every
+                               pipeline phase, region simulation, and IPC
+                               heartbeat (open in chrome://tracing or
+                               https://ui.perfetto.dev)
+        --metrics-out <path>   write a flat JSON metrics report (counters,
+                               gauges, log2-bucketed histograms)
+        --log-level <level>    quiet | info | debug [default: info]
     -v, --verbose              print the full analysis report (slices,
                                clusters, symbolized markers)
         --force                start a new end-to-end run (accepted for
@@ -63,15 +75,19 @@ fn parse_args() -> Result<Args, String> {
         native: false,
         verbose: false,
         slice_base: 8_000,
+        trace_out: None,
+        metrics_out: None,
+        log_level: LogLevel::Info,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match arg.as_str() {
             "-p" | "--program" => {
-                args.programs = value("-p")?.split(',').map(|s| s.trim().to_string()).collect();
+                args.programs = value("-p")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
             }
             "-n" | "--ncores" => {
                 args.ncores = value("-n")?
@@ -99,6 +115,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad slice base: {e}"))?;
             }
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--log-level" => {
+                args.log_level = value("--log-level")?.parse()?;
+            }
             "--native" => args.native = true,
             "-v" | "--verbose" => args.verbose = true,
             "--force" | "--reuse-profile" | "--reuse-fullsim" => {
@@ -123,10 +144,17 @@ fn resolve(name: &str) -> Option<WorkloadSpec> {
     }
 }
 
-fn run_one(spec: &WorkloadSpec, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+fn run_one(
+    spec: &WorkloadSpec,
+    args: &Args,
+    obs: &Observer,
+) -> Result<(), Box<dyn std::error::Error>> {
     let nthreads = spec.effective_threads(args.ncores);
     let program = build(spec, args.input, args.ncores, args.policy);
-    println!(
+    let mut run_span = obs.span(&format!("run.{}", spec.name), "driver");
+    run_span.arg("nthreads", nthreads);
+    run_span.arg("input", args.input.name());
+    lp_info!(
         "\n=== {} | input {} | {} threads | {} wait policy ===",
         spec.name,
         args.input.name(),
@@ -138,7 +166,7 @@ fn run_one(spec: &WorkloadSpec, args: &Args) -> Result<(), Box<dyn std::error::E
         let start = std::time::Instant::now();
         let mut m = lp_isa::Machine::new(program, nthreads);
         m.run_to_completion(u64::MAX)?;
-        println!(
+        lp_info!(
             "native run: {} instructions in {:.2?} ({:.1} Minst/s)",
             m.global_retired(),
             start.elapsed(),
@@ -148,36 +176,58 @@ fn run_one(spec: &WorkloadSpec, args: &Args) -> Result<(), Box<dyn std::error::E
     }
 
     let simcfg = SimConfig::gainestown(nthreads.max(args.ncores));
-    let cfg = LoopPointConfig::with_slice_base(args.slice_base);
+    let cfg = LoopPointConfig::with_slice_base(args.slice_base).with_observer(obs.clone());
 
-    println!("[1/4] profiling (record + constrained replays) ...");
+    lp_info!("[1/4] profiling (record + constrained replays) ...");
     let analysis = analyze(&program, nthreads, &cfg)?;
-    println!(
+    lp_info!(
         "      {} slices, {} clusters -> {} looppoints; spin filter removed {:.1}% of instructions",
         analysis.profile.slices.len(),
         analysis.clustering.k,
         analysis.looppoints.len(),
         analysis.profile.filter_ratio() * 100.0
     );
+    lp_debug!(
+        "      clustering: bic={:.2} sse={:.2} sizes={:?}",
+        analysis.clustering.bic,
+        analysis.clustering.sse,
+        analysis.clustering.cluster_sizes
+    );
 
     if args.verbose {
-        println!("\n{}", looppoint::report::analysis_report(&program, &analysis));
+        lp_info!(
+            "\n{}",
+            looppoint::report::analysis_report(&program, &analysis)
+        );
     }
-    println!("[2/4] simulating {} regions (checkpoint-driven, 2-slice warmup) ...", analysis.looppoints.len());
+    lp_info!(
+        "[2/4] simulating {} regions (checkpoint-driven, 2-slice warmup) ...",
+        analysis.looppoints.len()
+    );
     let results =
         simulate_representatives_checkpointed(&analysis, &program, nthreads, &simcfg, 2, false)?;
 
-    println!("[3/4] extrapolating whole-program performance ...");
+    lp_info!("[3/4] extrapolating whole-program performance ...");
     let prediction = extrapolate(&results);
 
     if args.input == InputClass::Ref {
         // As in the paper, no full detailed reference at ref scale.
         let total = analysis.profile.total_filtered;
         let sum: u64 = analysis.looppoints.iter().map(|r| r.filtered_insts).sum();
-        let max = analysis.looppoints.iter().map(|r| r.filtered_insts).max().unwrap_or(1);
-        println!("[4/4] ref inputs: skipping full-application reference (impractical, as in the paper)");
-        println!("      predicted runtime: {:.0} cycles", prediction.total_cycles);
-        println!(
+        let max = analysis
+            .looppoints
+            .iter()
+            .map(|r| r.filtered_insts)
+            .max()
+            .unwrap_or(1);
+        lp_info!(
+            "[4/4] ref inputs: skipping full-application reference (impractical, as in the paper)"
+        );
+        lp_info!(
+            "      predicted runtime: {:.0} cycles",
+            prediction.total_cycles
+        );
+        lp_info!(
             "      theoretical speedup: serial {:.1}x, parallel {:.1}x",
             total as f64 / sum.max(1) as f64,
             total as f64 / max as f64
@@ -185,26 +235,30 @@ fn run_one(spec: &WorkloadSpec, args: &Args) -> Result<(), Box<dyn std::error::E
         return Ok(());
     }
 
-    println!("[4/4] full-application reference simulation ...");
+    lp_info!("[4/4] full-application reference simulation ...");
     let full = simulate_whole(&program, nthreads, &simcfg)?;
     let err = error_pct(prediction.total_cycles, full.cycles as f64);
     let sp = speedups(&analysis, &results, &full);
+    obs.gauge("driver.runtime_error_pct").set(err);
 
-    println!("\nresults:");
-    println!("  predicted runtime : {:>12.0} cycles", prediction.total_cycles);
-    println!("  measured runtime  : {:>12} cycles", full.cycles);
-    println!("  runtime error     : {err:.2}%");
-    println!(
+    lp_info!("\nresults:");
+    lp_info!(
+        "  predicted runtime : {:>12.0} cycles",
+        prediction.total_cycles
+    );
+    lp_info!("  measured runtime  : {:>12} cycles", full.cycles);
+    lp_info!("  runtime error     : {err:.2}%");
+    lp_info!(
         "  branch MPKI       : predicted {:.3}, measured {:.3}",
         prediction.branch_mpki,
         full.branch_mpki()
     );
-    println!(
+    lp_info!(
         "  L2 MPKI           : predicted {:.3}, measured {:.3}",
         prediction.l2_mpki,
         full.l2_mpki()
     );
-    println!(
+    lp_info!(
         "  speedup           : theoretical serial {:.1}x / parallel {:.1}x, actual serial {:.1}x / parallel {:.1}x",
         sp.theoretical_serial, sp.theoretical_parallel, sp.actual_serial, sp.actual_parallel
     );
@@ -219,14 +273,53 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    lp_obs::set_log_level(args.log_level);
+
+    // One enabled observer per process when any export is requested (or at
+    // debug verbosity, so spans are available for inspection); installed
+    // globally so every layer — including the Copy-config crates
+    // lp-pinball and lp-simpoint — records into the same sink.
+    let want_obs =
+        args.trace_out.is_some() || args.metrics_out.is_some() || args.log_level >= LogLevel::Debug;
+    let obs = if want_obs {
+        Observer::enabled()
+    } else {
+        Observer::disabled()
+    };
+    if want_obs && lp_obs::set_global(obs.clone()).is_err() {
+        lp_warn!("global observer already installed; exports may be incomplete");
+    }
+
     for name in &args.programs {
         let Some(spec) = resolve(name) else {
             eprintln!("error: unknown program '{name}' (see --help)");
             return ExitCode::FAILURE;
         };
-        if let Err(e) = run_one(&spec, &args) {
+        if let Err(e) = run_one(&spec, &args, &obs) {
             eprintln!("error: {name}: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = &args.trace_out {
+        match obs.write_chrome_trace(path) {
+            Ok(()) => lp_info!(
+                "trace: {} events -> {path} (open in chrome://tracing or ui.perfetto.dev)",
+                obs.trace_events().len()
+            ),
+            Err(e) => {
+                eprintln!("error: writing trace to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        match obs.write_metrics(path) {
+            Ok(()) => lp_info!("metrics: report -> {path}"),
+            Err(e) => {
+                eprintln!("error: writing metrics to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

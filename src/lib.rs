@@ -17,6 +17,7 @@
 //! | [`simpoint`] | `lp-simpoint` | random projection + k-means + BIC |
 //! | [`looppoint`] | `looppoint` | the methodology itself + baselines |
 //! | [`workloads`] | `lp-workloads` | SPEC-like / NPB-like synthetic suites |
+//! | [`obs`] | `lp-obs` | span tracing, metrics registry, Chrome-trace export |
 //!
 //! See the `examples/` directory for runnable end-to-end demonstrations
 //! (start with `cargo run --release --example quickstart`).
@@ -24,13 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use looppoint;
 pub use lp_bbv as bbv;
 pub use lp_dcfg as dcfg;
 pub use lp_isa as isa;
+pub use lp_obs as obs;
 pub use lp_omp as omp;
 pub use lp_pinball as pinball;
 pub use lp_sim as sim;
 pub use lp_simpoint as simpoint;
 pub use lp_uarch as uarch;
 pub use lp_workloads as workloads;
-pub use looppoint;

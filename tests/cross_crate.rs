@@ -2,13 +2,13 @@
 //! stack (ISA → runtime → pinball → DCFG → BBV → clustering → simulation)
 //! cooperates.
 
-use looppoint_repro::isa::{Machine, Marker};
+use looppoint_repro::isa::Machine;
+use looppoint_repro::looppoint::{analyze, LoopPointConfig};
 use looppoint_repro::omp::WaitPolicy;
 use looppoint_repro::pinball::{Pinball, RecordConfig};
 use looppoint_repro::sim::{Mode, Simulator, StopCond};
 use looppoint_repro::uarch::SimConfig;
 use looppoint_repro::workloads::{build, InputClass};
-use looppoint_repro::looppoint::{analyze, LoopPointConfig};
 
 fn workload(name: &str) -> (std::sync::Arc<looppoint_repro::isa::Program>, usize) {
     let spec = looppoint_repro::workloads::find(name).unwrap();
@@ -28,13 +28,17 @@ fn marker_counts_are_interleaving_invariant() {
     let headers = analysis.dcfg.main_image_loop_headers();
     assert!(!headers.is_empty());
 
-    let count_with = |count: &dyn Fn(&mut dyn FnMut(looppoint_repro::isa::Pc))| {
+    type PcSink<'a> = &'a mut dyn FnMut(looppoint_repro::isa::Pc);
+    let count_with = |count: &dyn Fn(PcSink)| {
         let mut map = std::collections::HashMap::new();
         let mut cb = |pc: looppoint_repro::isa::Pc| {
             *map.entry(pc).or_insert(0u64) += 1;
         };
         count(&mut cb);
-        headers.iter().map(|h| map.get(h).copied().unwrap_or(0)).collect::<Vec<u64>>()
+        headers
+            .iter()
+            .map(|h| map.get(h).copied().unwrap_or(0))
+            .collect::<Vec<u64>>()
     };
 
     // Regime 1: round-robin functional execution.
@@ -54,8 +58,15 @@ fn marker_counts_are_interleaving_invariant() {
 
     // Regime 2: constrained replay of a recorded pinball.
     let rep = count_with(&|cb| {
-        let pb = Pinball::record(&p, n, RecordConfig { quantum: 193, ..Default::default() })
-            .unwrap();
+        let pb = Pinball::record(
+            &p,
+            n,
+            RecordConfig {
+                quantum: 193,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mut r = pb.replayer(p.clone());
         while let Some(ret) = r.step().unwrap() {
             cb(ret.pc);

@@ -1,0 +1,91 @@
+//! `any::<T>()` — whole-domain strategies with edge-case bias.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy over the whole domain of `T` (integers are biased ~12% of
+/// the time toward the edge values `MIN`, `MAX`, 0 and 1, which is where
+/// arithmetic bugs live).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                if rng.next_u64().is_multiple_of(8) {
+                    const EDGES: [$t; 4] = [<$t>::MIN, <$t>::MAX, 0, 1];
+                    EDGES[rng.below(EDGES.len())]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.next_u64().is_multiple_of(8) {
+            const EDGES: [f64; 4] = [0.0, 1.0, -1.0, 1e300];
+            EDGES[rng.below(EDGES.len())]
+        } else {
+            // Uniform over a wide but finite range.
+            (rng.unit_f64() - 0.5) * 2e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_hit_edges_eventually() {
+        let mut r = TestRng::deterministic(5, 5);
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..2000 {
+            match u64::arbitrary(&mut r) {
+                0 => saw_zero = true,
+                u64::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(saw_zero && saw_max);
+    }
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut r = TestRng::deterministic(6, 6);
+        let trues = (0..100).filter(|_| bool::arbitrary(&mut r)).count();
+        assert!(trues > 20 && trues < 80);
+    }
+}

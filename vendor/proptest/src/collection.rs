@@ -1,0 +1,111 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for collection strategies: either an exact size
+/// or a (half-open / inclusive) range of sizes. Mirrors proptest's
+/// `SizeRange` conversions.
+#[derive(Debug, Clone)]
+pub struct SizeSpec {
+    /// Inclusive lower bound.
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeSpec {
+    fn from(n: usize) -> Self {
+        SizeSpec { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeSpec {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range for collection::vec");
+        SizeSpec {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeSpec {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range for collection::vec");
+        SizeSpec {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec`s with lengths drawn from `size` and elements from
+/// `elem`. `size` may be an exact `usize`, a `Range<usize>`, or a
+/// `RangeInclusive<usize>`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeSpec>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeSpec,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.max - self.size.min).max(1);
+        let len = self.size.min + rng.below(span);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let s = vec(0u8..10, 2..7);
+        let mut r = TestRng::deterministic(9, 9);
+        let mut seen_min = false;
+        let mut seen_large = false;
+        for _ in 0..500 {
+            let v = s.generate(&mut r);
+            assert!((2..7).contains(&v.len()));
+            seen_min |= v.len() == 2;
+            seen_large |= v.len() == 6;
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        assert!(seen_min && seen_large);
+    }
+
+    #[test]
+    fn exact_and_inclusive_sizes() {
+        let s = vec(0u8..10, 3usize);
+        let mut r = TestRng::deterministic(1, 1);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut r).len(), 3);
+        }
+        let s = vec(0u8..10, 2..=4);
+        for _ in 0..100 {
+            assert!((2..=4).contains(&s.generate(&mut r).len()));
+        }
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let s = vec(vec(0u64..4, 1..3), 1..4);
+        let mut r = TestRng::deterministic(11, 3);
+        let v = s.generate(&mut r);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|inner| !inner.is_empty()));
+    }
+}

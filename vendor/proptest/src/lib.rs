@@ -1,0 +1,137 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so this
+//! vendored crate re-implements the exact `proptest` surface the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`, doc comments,
+//!   `x in strategy` and `x: Type` parameters);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_oneof!`];
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive` and
+//!   `boxed`;
+//! * [`strategy::Just`], range strategies (`0u64..100`, `0.5f64..2.0`),
+//!   tuple strategies, [`collection::vec`] and [`arbitrary::any`].
+//!
+//! Semantics differences from real proptest, deliberately accepted:
+//! generation is a fixed number of deterministic cases (default 32, seeded
+//! from the test name, so failures reproduce exactly), and there is **no
+//! shrinking** — a failing case panics with the case number so it can be
+//! replayed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use test_runner::ProptestConfig;
+
+/// The `proptest::prelude` — everything the `proptest!` tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop` module path used as `prop::collection::vec(..)`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// Supports the subset of real proptest syntax used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     /// Doc comment.
+///     #[test]
+///     fn my_prop(x in 0u64..100, flag: bool) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // Entry with an explicit config.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    // Internal: no functions left.
+    (@fns ($cfg:expr);) => {};
+    // Internal: one function, then recurse on the remainder.
+    (@fns ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident ( $($params:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let name_seed = $crate::test_runner::fnv1a(stringify!($name));
+            for case in 0..cfg.cases {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::deterministic(name_seed, u64::from(case));
+                $crate::proptest!(@bind __proptest_rng; $($params)*);
+                $body
+            }
+        }
+        $crate::proptest!(@fns ($cfg); $($rest)*);
+    };
+    // Internal: parameter binders ("x in strategy" / "x: Type"), with or
+    // without trailing entries.
+    (@bind $rng:ident;) => {};
+    (@bind $rng:ident; $x:ident in $s:expr) => {
+        let $x = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+    };
+    (@bind $rng:ident; $x:ident in $s:expr, $($rest:tt)*) => {
+        let $x = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    (@bind $rng:ident; $x:ident : $t:ty) => {
+        let $x = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$t>(), &mut $rng);
+    };
+    (@bind $rng:ident; $x:ident : $t:ty, $($rest:tt)*) => {
+        let $x = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$t>(), &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    // Entry without a config (must come after the config arm).
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure, like
+/// `assert!` — this subset does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}

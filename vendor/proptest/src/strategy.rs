@@ -1,0 +1,277 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A recipe for generating values of type [`Strategy::Value`].
+///
+/// This offline subset generates directly (no value trees, no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `depth` levels of `f`-generated
+    /// branches over `self` as the leaf. `_desired_size` and
+    /// `_expected_branch_size` are accepted for API compatibility and
+    /// ignored (depth alone bounds recursion here).
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let branch = f(cur).boxed();
+            cur = Union::new(vec![leaf.clone(), branch]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Picks uniformly among several strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given options; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Numeric types usable as range strategies (`0u64..100`).
+pub trait RangeValue: Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            #[inline]
+            fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                let off = (((rng.next_u64() as u128) * span) >> 64) as i128;
+                ((lo as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangeValue for f64 {
+    #[inline]
+    fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+impl RangeValue for f32 {
+    #[inline]
+    fn draw(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range strategy");
+        lo + (rng.unit_f64() as f32) * (hi - lo)
+    }
+}
+
+impl<T: RangeValue> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::draw(rng, self.start, self.end)
+    }
+}
+
+impl<T: RangeValue> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // Draw in [start, end) and occasionally return end itself, so the
+        // upper bound is reachable without a widening cast.
+        if rng.next_u64().is_multiple_of(257) {
+            *self.end()
+        } else {
+            T::draw(rng, *self.start(), *self.end())
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ );)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic(0xABCD, 7)
+    }
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut r);
+            assert!((10..20).contains(&v));
+            let f = (0.5f64..2.0).generate(&mut r);
+            assert!((0.5..2.0).contains(&f));
+            let i = (-5i16..5).generate(&mut r);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn tuples_and_map() {
+        let s = (0u8..4, 0u8..4).prop_map(|(a, b)| u16::from(a) * 10 + u16::from(b));
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v % 10 < 4 && v / 10 < 4);
+        }
+    }
+
+    #[test]
+    fn union_covers_all_options() {
+        let u = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = [false; 4];
+        let mut r = rng();
+        for _ in 0..200 {
+            seen[u.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursion_bottoms_out() {
+        #[derive(Debug)]
+        #[allow(dead_code)] // Leaf's payload exercises generation, not reads.
+        enum T {
+            Leaf(u8),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(v) => 1 + v.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0u8..4).prop_map(T::Leaf).prop_recursive(3, 8, 2, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(T::Node)
+        });
+        let mut r = rng();
+        let mut max_seen = 0;
+        for _ in 0..200 {
+            let t = s.generate(&mut r);
+            let d = depth(&t);
+            assert!(d <= 3, "depth {d} exceeds bound");
+            max_seen = max_seen.max(d);
+        }
+        assert!(max_seen >= 1, "recursion should sometimes branch");
+    }
+}
