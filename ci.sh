@@ -18,4 +18,17 @@ cargo build --release --offline
 echo "== cargo test =="
 cargo test --workspace --offline -q
 
+echo "== bench-smoke (analysis cost) =="
+# Quick variant of the analysis-cost benchmark: proves the single-pass
+# checkpoint generator still replays exactly once (asserted inside the
+# bench) and that the emitted JSON is well-formed. Writes to target/ so
+# the committed baseline BENCH_analysis.json is never clobbered by CI.
+SMOKE_OUT="$PWD/target/BENCH_analysis.smoke.json"
+cargo bench --offline -p lp-bench --bench analysis_cost -- --smoke --out "$SMOKE_OUT"
+[ -s "$SMOKE_OUT" ] || { echo "bench-smoke: $SMOKE_OUT missing or empty" >&2; exit 1; }
+for key in workload regions replay_passes checkpoint_generation clustering_sweep end_to_end; do
+  grep -q "\"$key\"" "$SMOKE_OUT" || { echo "bench-smoke: $SMOKE_OUT missing key $key" >&2; exit 1; }
+done
+grep -q '"replay_passes": 1' "$SMOKE_OUT" || { echo "bench-smoke: replay_passes != 1" >&2; exit 1; }
+
 echo "CI green."

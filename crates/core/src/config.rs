@@ -3,6 +3,16 @@
 use lp_pinball::RecordConfig;
 use lp_simpoint::SimpointConfig;
 
+/// Default hard step budget for any single simulation or replay.
+///
+/// 4 G retired instructions comfortably covers the scaled workloads (the
+/// largest bench-scale pipelines retire tens of millions); it exists to
+/// turn runaway executions (e.g. a marker that never fires in a buggy
+/// region) into a [`lp_pinball::PinballError::StepLimit`] instead of a
+/// hang. Override per run via [`LoopPointConfig::max_steps`] or the driver
+/// flag `--max-steps`.
+pub const DEFAULT_MAX_STEPS: u64 = 4_000_000_000;
+
 /// Configuration of the end-to-end LoopPoint pipeline.
 ///
 /// Defaults reproduce the paper's settings, scaled ~1000× down in
@@ -20,7 +30,8 @@ pub struct LoopPointConfig {
     pub simpoint: SimpointConfig,
     /// Recording (flow-control) parameters.
     pub record: RecordConfig,
-    /// Hard step budget for any single simulation or replay.
+    /// Hard step budget for any single simulation or replay
+    /// ([`DEFAULT_MAX_STEPS`] by default).
     pub max_steps: u64,
     /// Whether profiling filters library-image (spin) instructions; `false`
     /// is the §IV-F ablation.
@@ -40,7 +51,7 @@ impl Default for LoopPointConfig {
             slice_base: 25_000,
             simpoint: SimpointConfig::default(),
             record: RecordConfig::default(),
-            max_steps: 4_000_000_000,
+            max_steps: DEFAULT_MAX_STEPS,
             filter_spin: true,
             slice_policy: lp_bbv::SlicePolicy::Fixed,
             obs: lp_obs::global(),

@@ -61,19 +61,23 @@ mod coverage;
 mod error;
 mod extrapolate;
 mod pipeline;
+mod pool;
 pub mod report;
 mod simulate;
 mod speedup;
 #[cfg(test)]
 mod testutil;
 
-pub use config::LoopPointConfig;
+pub use config::{LoopPointConfig, DEFAULT_MAX_STEPS};
 pub use coverage::Coverage;
 pub use error::LoopPointError;
 pub use extrapolate::{error_pct, extrapolate, Prediction};
 pub use pipeline::{analyze, Analysis, LoopPointRegion};
 pub use simulate::{
-    simulate_representatives, simulate_representatives_checkpointed, simulate_representatives_opts,
-    simulate_whole, RegionResult,
+    prepare_region_checkpoints, prepare_region_checkpoints_per_region, simulate_prepared,
+    simulate_representatives, simulate_representatives_checkpointed,
+    simulate_representatives_checkpointed_with, simulate_representatives_opts,
+    simulate_representatives_with, simulate_whole, PreparedCheckpoints, PreparedRegion,
+    RegionResult, SimOptions,
 };
 pub use speedup::{human_duration, speedups, SimTimeModel, SpeedupReport};

@@ -1,18 +1,76 @@
 //! Unconstrained, binary-driven simulation of looppoint regions.
 
+use crate::config::DEFAULT_MAX_STEPS;
 use crate::error::LoopPointError;
 use crate::pipeline::{Analysis, LoopPointRegion};
-use lp_isa::Program;
+use crate::pool;
+use lp_isa::{MachineState, Marker, Pc, Program};
 use lp_sim::{Mode, SimError, SimStats, Simulator, StopCond};
 use lp_uarch::SimConfig;
 use std::sync::Arc;
 
-/// A region paired with its optional checkpoint payload: the snapshotted
-/// machine state plus the global `(PC, count)` watch counts at that point.
-type PreparedRegion = (
-    LoopPointRegion,
-    Option<(lp_isa::MachineState, Vec<(lp_isa::Pc, u64)>)>,
-);
+/// Knobs shared by every region-simulation entry point.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Hard step budget for any single fast-forward or detailed run
+    /// (default: [`DEFAULT_MAX_STEPS`]).
+    pub max_steps: u64,
+    /// Simulate regions concurrently on a bounded worker pool.
+    pub parallel: bool,
+    /// Fast-forward warming of caches and predictors (`false` is the
+    /// cold-start ablation).
+    pub warmup: bool,
+    /// Worker-pool width when `parallel`; `None` uses
+    /// [`std::thread::available_parallelism`]. Always clamped to the
+    /// region count.
+    pub pool_size: Option<usize>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            max_steps: DEFAULT_MAX_STEPS,
+            parallel: false,
+            warmup: true,
+            pool_size: None,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Options running regions on the bounded worker pool.
+    #[must_use]
+    pub fn parallel() -> Self {
+        SimOptions {
+            parallel: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// A region paired with its optional checkpoint payload.
+#[derive(Debug, Clone)]
+pub struct PreparedRegion {
+    /// The region to simulate.
+    pub region: LoopPointRegion,
+    /// Snapshotted machine state at the warmup marker plus the global
+    /// `(PC, count)` watch counts at that point; `None` when the region
+    /// starts near program begin and is simulated from reset.
+    pub checkpoint: Option<(MachineState, Vec<(Pc, u64)>)>,
+}
+
+/// Region checkpoints ready for simulation, plus accounting of what their
+/// construction cost.
+#[derive(Debug)]
+pub struct PreparedCheckpoints {
+    /// One prepared entry per looppoint, in looppoint order.
+    pub regions: Vec<PreparedRegion>,
+    /// Full pinball replays performed to build the checkpoints. The
+    /// single-pass generator keeps this at **1** regardless of region
+    /// count (0 when no region needs a checkpoint); the legacy per-region
+    /// path pays one replay per checkpointed region.
+    pub replay_passes: u64,
+}
 
 /// Detailed statistics for one simulated looppoint.
 #[derive(Debug, Clone)]
@@ -59,13 +117,14 @@ fn simulate_one(
 
 /// Simulates every looppoint unconstrained on `simcfg`.
 ///
-/// With `parallel = true`, regions run on separate OS threads — the
-/// deployment §III-J describes (checkpoints simulated in parallel given
-/// enough resources); wall-clock times then feed the *actual parallel*
-/// speedup numbers.
+/// With `parallel = true`, regions run concurrently on a bounded worker
+/// pool — the deployment §III-J describes (checkpoints simulated in
+/// parallel given enough resources); wall-clock times then feed the
+/// *actual parallel* speedup numbers.
 ///
 /// # Errors
-/// The first region failure is returned.
+/// The first region failure is returned; outstanding parallel work is
+/// cancelled.
 pub fn simulate_representatives(
     analysis: &Analysis,
     program: &Arc<Program>,
@@ -80,7 +139,8 @@ pub fn simulate_representatives(
 /// fast-forward warming (`warmup = false` is the cold-start ablation).
 ///
 /// # Errors
-/// The first region failure is returned.
+/// The first region failure is returned; outstanding parallel work is
+/// cancelled.
 pub fn simulate_representatives_opts(
     analysis: &Analysis,
     program: &Arc<Program>,
@@ -89,45 +149,192 @@ pub fn simulate_representatives_opts(
     parallel: bool,
     warmup: bool,
 ) -> Result<Vec<RegionResult>, LoopPointError> {
-    let max_steps = 4_000_000_000;
-    if !parallel {
+    let opts = SimOptions {
+        parallel,
+        warmup,
+        ..Default::default()
+    };
+    simulate_representatives_with(analysis, program, nthreads, simcfg, &opts)
+}
+
+/// Fully-configurable binary-driven region simulation (see [`SimOptions`]).
+///
+/// # Errors
+/// The first region failure is returned; outstanding parallel work is
+/// cancelled.
+pub fn simulate_representatives_with(
+    analysis: &Analysis,
+    program: &Arc<Program>,
+    nthreads: usize,
+    simcfg: &SimConfig,
+    opts: &SimOptions,
+) -> Result<Vec<RegionResult>, LoopPointError> {
+    let run_one = |region: &LoopPointRegion| -> Result<RegionResult, SimError> {
+        simulate_one(
+            region,
+            program,
+            nthreads,
+            simcfg,
+            opts.max_steps,
+            opts.warmup,
+        )
+        .map(|stats| RegionResult {
+            region: region.clone(),
+            stats,
+        })
+    };
+    if !opts.parallel {
         return analysis
             .looppoints
             .iter()
-            .map(|region| {
-                simulate_one(region, program, nthreads, simcfg, max_steps, warmup)
-                    .map(|stats| RegionResult {
-                        region: region.clone(),
-                        stats,
-                    })
-                    .map_err(LoopPointError::from)
-            })
+            .map(|region| run_one(region).map_err(LoopPointError::from))
             .collect();
     }
+    let workers = pool::effective_pool_size(opts.pool_size, analysis.looppoints.len());
+    pool::run_cancelable(&analysis.looppoints, workers, run_one).map_err(LoopPointError::from)
+}
 
-    let results: Vec<Result<RegionResult, SimError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = analysis
-            .looppoints
-            .iter()
-            .map(|region| {
-                scope.spawn(move || {
-                    simulate_one(region, program, nthreads, simcfg, max_steps, warmup).map(
-                        |stats| RegionResult {
-                            region: region.clone(),
-                            stats,
-                        },
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("region simulation thread panicked"))
-            .collect()
-    });
-    results
-        .into_iter()
-        .map(|r| r.map_err(LoopPointError::from))
+/// Builds the per-region checkpoints for
+/// [`simulate_representatives_checkpointed_with`] in a **single pinball
+/// replay**, regardless of region count.
+///
+/// Regions are sorted by warmup-marker position into a multi-marker agenda
+/// and batched through [`lp_pinball::Pinball::checkpoints_at`]; each
+/// region's watch counts are filtered back down to its own start/end PCs,
+/// so the prepared payloads are byte-identical to what the legacy
+/// per-region path produces. Snapshot sizes are recorded into the
+/// `region.checkpoint_bytes` histogram.
+///
+/// # Errors
+/// Replay failures, or a warmup marker the recording never reaches.
+pub fn prepare_region_checkpoints(
+    analysis: &Analysis,
+    program: &Arc<Program>,
+    warmup_slices: usize,
+) -> Result<PreparedCheckpoints, LoopPointError> {
+    let obs = lp_obs::global();
+    let mut span = obs.span("region.checkpoints", "pipeline");
+    span.arg("regions", analysis.looppoints.len());
+
+    // Warmup marker per region, plus the union of watch PCs (watch counts
+    // are *global* execution counts, so the union pass produces the same
+    // values any per-region watch list would see).
+    let mut markers: Vec<Marker> = Vec::new();
+    let mut marker_slots: Vec<Option<usize>> = Vec::with_capacity(analysis.looppoints.len());
+    let mut watch: Vec<Pc> = Vec::new();
+    for region in &analysis.looppoints {
+        let warm_idx = region.slice_index.saturating_sub(warmup_slices);
+        let warm_marker = analysis.profile.slices[warm_idx].start;
+        match warm_marker {
+            None => marker_slots.push(None), // near program start: from reset
+            Some(marker) => {
+                marker_slots.push(Some(markers.len()));
+                markers.push(marker);
+            }
+        }
+        for m in [region.start, region.end].into_iter().flatten() {
+            if !watch.contains(&m.pc) {
+                watch.push(m.pc);
+            }
+        }
+    }
+
+    let batch = analysis
+        .pinball
+        .checkpoints_at(program.clone(), &markers, &watch)?;
+    let replay_passes = u64::from(!markers.is_empty());
+    span.arg("replay_passes", replay_passes);
+
+    let regions = assemble_prepared(analysis, &marker_slots, batch);
+    Ok(PreparedCheckpoints {
+        regions,
+        replay_passes,
+    })
+}
+
+/// The pre-batching checkpoint builder: one full pinball replay **per
+/// region**. Kept as the measured baseline for the analysis-cost benchmark
+/// (`cargo bench --bench analysis_cost`) — O(k·N) against
+/// [`prepare_region_checkpoints`]'s O(N).
+///
+/// # Errors
+/// Replay failures, or a warmup marker the recording never reaches.
+pub fn prepare_region_checkpoints_per_region(
+    analysis: &Analysis,
+    program: &Arc<Program>,
+    warmup_slices: usize,
+) -> Result<PreparedCheckpoints, LoopPointError> {
+    let obs = lp_obs::global();
+    let mut span = obs.span("region.checkpoints", "pipeline");
+    span.arg("regions", analysis.looppoints.len());
+    let mut regions: Vec<PreparedRegion> = Vec::with_capacity(analysis.looppoints.len());
+    let mut replay_passes = 0u64;
+    for region in &analysis.looppoints {
+        let warm_idx = region.slice_index.saturating_sub(warmup_slices);
+        let warm_marker = analysis.profile.slices[warm_idx].start;
+        let checkpoint = match warm_marker {
+            None => None,
+            Some(marker) => {
+                let mut watch = Vec::new();
+                for m in [region.start, region.end].into_iter().flatten() {
+                    watch.push(m.pc);
+                }
+                let (ckpt, counts) =
+                    analysis
+                        .pinball
+                        .checkpoint_at_with_counts(program.clone(), marker, &watch)?;
+                replay_passes += 1;
+                record_checkpoint_size(ckpt.state());
+                let counts: Vec<(Pc, u64)> = counts.into_iter().collect();
+                Some((ckpt.state().clone(), counts))
+            }
+        };
+        regions.push(PreparedRegion {
+            region: region.clone(),
+            checkpoint,
+        });
+    }
+    span.arg("replay_passes", replay_passes);
+    Ok(PreparedCheckpoints {
+        regions,
+        replay_passes,
+    })
+}
+
+fn record_checkpoint_size(state: &MachineState) {
+    lp_obs::global()
+        .histogram("region.checkpoint_bytes")
+        .record(state.encoded_len() as u64);
+}
+
+fn assemble_prepared(
+    analysis: &Analysis,
+    marker_slots: &[Option<usize>],
+    mut batch: lp_pinball::MarkerCheckpoints,
+) -> Vec<PreparedRegion> {
+    analysis
+        .looppoints
+        .iter()
+        .zip(marker_slots)
+        .map(|(region, slot)| {
+            let checkpoint = slot.map(|i| {
+                let (ckpt, counts) = &mut batch[i];
+                record_checkpoint_size(ckpt.state());
+                // Filter the union watch counts down to this region's own
+                // start/end PCs (exactly the legacy per-region payload).
+                let mut own: Vec<(Pc, u64)> = Vec::new();
+                for m in [region.start, region.end].into_iter().flatten() {
+                    if own.iter().all(|&(pc, _)| pc != m.pc) {
+                        own.push((m.pc, counts[&m.pc]));
+                    }
+                }
+                (ckpt.state().clone(), own)
+            });
+            PreparedRegion {
+                region: region.clone(),
+                checkpoint,
+            }
+        })
         .collect()
 }
 
@@ -139,12 +346,14 @@ pub fn simulate_representatives_opts(
 /// This is the deployment the paper's title describes: regions ship as
 /// checkpoints, so no simulation time is spent re-executing the program
 /// prefix — the property behind the large *actual* speedups of §V-B.
-/// Checkpoint construction replays the analysis pinball and is a one-time,
-/// shareable cost (like pinball generation itself); it is not charged to
-/// the per-region simulation time.
+/// Checkpoint construction is a **single** replay of the analysis pinball
+/// (see [`prepare_region_checkpoints`]) and a one-time, shareable cost
+/// (like pinball generation itself); it is not charged to the per-region
+/// simulation time.
 ///
 /// # Errors
-/// The first region failure is returned.
+/// The first region failure is returned; outstanding parallel work is
+/// cancelled.
 pub fn simulate_representatives_checkpointed(
     analysis: &Analysis,
     program: &Arc<Program>,
@@ -153,42 +362,61 @@ pub fn simulate_representatives_checkpointed(
     warmup_slices: usize,
     parallel: bool,
 ) -> Result<Vec<RegionResult>, LoopPointError> {
-    let max_steps: u64 = 4_000_000_000;
-    let obs = lp_obs::global();
-    // Build checkpoints serially (they replay the shared pinball).
-    let ckpt_span = obs.span("region.checkpoints", "pipeline");
-    let mut prepared: Vec<PreparedRegion> = Vec::with_capacity(analysis.looppoints.len());
-    for region in &analysis.looppoints {
-        let warm_idx = region.slice_index.saturating_sub(warmup_slices);
-        let warm_marker = analysis.profile.slices[warm_idx].start;
-        let ckpt = match warm_marker {
-            None => None, // region near program start: simulate from reset
-            Some(marker) => {
-                let mut watch = Vec::new();
-                if let Some(s) = region.start {
-                    watch.push(s.pc);
-                }
-                if let Some(e) = region.end {
-                    watch.push(e.pc);
-                }
-                let (ckpt, counts) =
-                    analysis
-                        .pinball
-                        .checkpoint_at_with_counts(program.clone(), marker, &watch)?;
-                let counts: Vec<(lp_isa::Pc, u64)> = counts.into_iter().collect();
-                Some((ckpt.state().clone(), counts))
-            }
-        };
-        prepared.push((region.clone(), ckpt));
-    }
-    drop(ckpt_span);
+    let opts = SimOptions {
+        parallel,
+        ..Default::default()
+    };
+    simulate_representatives_checkpointed_with(
+        analysis,
+        program,
+        nthreads,
+        simcfg,
+        warmup_slices,
+        &opts,
+    )
+}
 
-    let run_one = |(region, ckpt): &PreparedRegion| -> Result<RegionResult, SimError> {
+/// Fully-configurable checkpoint-driven region simulation (see
+/// [`SimOptions`]): single-pass checkpoint generation, then serial or
+/// bounded-pool region runs.
+///
+/// # Errors
+/// The first region failure is returned; outstanding parallel work is
+/// cancelled.
+pub fn simulate_representatives_checkpointed_with(
+    analysis: &Analysis,
+    program: &Arc<Program>,
+    nthreads: usize,
+    simcfg: &SimConfig,
+    warmup_slices: usize,
+    opts: &SimOptions,
+) -> Result<Vec<RegionResult>, LoopPointError> {
+    let prepared = prepare_region_checkpoints(analysis, program, warmup_slices)?;
+    simulate_prepared(&prepared, program, nthreads, simcfg, opts)
+}
+
+/// Simulates already-prepared region checkpoints (the second half of
+/// [`simulate_representatives_checkpointed_with`]; split out so benchmarks
+/// can time checkpoint construction and simulation separately).
+///
+/// # Errors
+/// The first region failure is returned; outstanding parallel work is
+/// cancelled.
+pub fn simulate_prepared(
+    prepared: &PreparedCheckpoints,
+    program: &Arc<Program>,
+    nthreads: usize,
+    simcfg: &SimConfig,
+    opts: &SimOptions,
+) -> Result<Vec<RegionResult>, LoopPointError> {
+    let max_steps = opts.max_steps;
+    let run_one = |p: &PreparedRegion| -> Result<RegionResult, SimError> {
+        let region = &p.region;
         let obs = lp_obs::global();
         let mut span = obs.span("region.sim", "pipeline");
         span.arg("cluster", region.cluster);
-        span.arg("checkpointed", u64::from(ckpt.is_some()));
-        let mut sim = match ckpt {
+        span.arg("checkpointed", u64::from(p.checkpoint.is_some()));
+        let mut sim = match &p.checkpoint {
             None => Simulator::new(program.clone(), nthreads, simcfg.clone()),
             Some((state, counts)) => {
                 let machine = lp_isa::Machine::from_snapshot(program.clone(), state);
@@ -199,6 +427,7 @@ pub fn simulate_representatives_checkpointed(
                 sim
             }
         };
+        sim.set_ff_warming(opts.warmup);
         if let Some(s) = region.start {
             sim.watch_pc(s.pc);
         }
@@ -218,24 +447,15 @@ pub fn simulate_representatives_checkpointed(
         })
     };
 
-    let results: Vec<Result<RegionResult, SimError>> = if parallel {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = prepared
-                .iter()
-                .map(|p| scope.spawn(move || run_one(p)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("region simulation thread panicked"))
-                .collect()
-        })
-    } else {
-        prepared.iter().map(run_one).collect()
-    };
-    results
-        .into_iter()
-        .map(|r| r.map_err(LoopPointError::from))
-        .collect()
+    if !opts.parallel {
+        return prepared
+            .regions
+            .iter()
+            .map(|p| run_one(p).map_err(LoopPointError::from))
+            .collect();
+    }
+    let workers = pool::effective_pool_size(opts.pool_size, prepared.regions.len());
+    pool::run_cancelable(&prepared.regions, workers, run_one).map_err(LoopPointError::from)
 }
 
 /// Simulates the whole application in detailed mode (the reference run the
@@ -249,6 +469,6 @@ pub fn simulate_whole(
     simcfg: &SimConfig,
 ) -> Result<SimStats, LoopPointError> {
     let _span = lp_obs::global().span("sim.whole", "pipeline");
-    lp_sim::simulate_full(program.clone(), nthreads, simcfg.clone(), 4_000_000_000)
+    lp_sim::simulate_full(program.clone(), nthreads, simcfg.clone(), DEFAULT_MAX_STEPS)
         .map_err(LoopPointError::from)
 }

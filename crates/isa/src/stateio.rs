@@ -102,6 +102,35 @@ impl MachineState {
         Ok(())
     }
 
+    /// Exact byte length [`MachineState::write_to`] would produce, computed
+    /// arithmetically (no serialization). Cheap enough to call on every
+    /// region checkpoint for memory-footprint accounting.
+    pub fn encoded_len(&self) -> usize {
+        let n_regs = Reg::all().count();
+        let mut n = MAGIC.len() + 4; // magic + version
+                                     // Memory pages: count + per page (index + words).
+        n += 8 + self.mem.iter_pages().count() * (8 + MEM_PAGE_WORDS * 8);
+        // Threads.
+        n += 4;
+        for t in &self.threads {
+            n += n_regs * 8; // registers
+            n += 8; // pc
+            n += match t.state {
+                ThreadState::Blocked { .. } => 4 + 8,
+                ThreadState::Running | ThreadState::Halted => 4,
+            };
+            n += 4 + t.call_stack.len() * 8; // call stack
+            n += 8; // retired
+        }
+        // Futex wait queues.
+        n += 4;
+        for queue in self.futex_waiters.values() {
+            n += 8 + 4 + queue.len() * 4;
+        }
+        n += 8 + 4; // global_seq + live_threads
+        n
+    }
+
     /// Reads a state previously produced by [`MachineState::write_to`].
     ///
     /// # Errors
@@ -244,6 +273,14 @@ mod tests {
         assert_eq!(a.global_retired(), b.global_retired());
         assert_eq!(a.mem().load(crate::Addr(0x40)), 99);
         assert_eq!(b.mem().load(crate::Addr(0x40)), 99);
+    }
+
+    #[test]
+    fn encoded_len_matches_serialized_size() {
+        let (_, state) = sample_state();
+        let mut bytes = Vec::new();
+        state.write_to(&mut bytes).unwrap();
+        assert_eq!(state.encoded_len(), bytes.len());
     }
 
     #[test]

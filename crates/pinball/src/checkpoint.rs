@@ -6,6 +6,18 @@ use lp_isa::{MachineState, Marker, Pc, Program};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// A pending multi-marker agenda entry: all requested output slots for one
+/// distinct `(PC, count)` marker.
+#[derive(Debug)]
+struct PendingMarker {
+    count: u64,
+    out_slots: Vec<usize>,
+}
+
+/// One [`Pinball::checkpoints_at`] output per input marker: the checkpoint
+/// plus the global execution counts of every watched PC at that marker.
+pub type MarkerCheckpoints = Vec<(RegionCheckpoint, HashMap<Pc, u64>)>;
+
 /// A checkpoint of the replayed execution at a `(PC, count)` marker.
 ///
 /// This is the region pinball of §IV-C: restoring it and replaying the race
@@ -83,6 +95,7 @@ impl Pinball {
         let obs = lp_obs::global();
         let mut span = obs.span("pinball.checkpoint", "pinball");
         span.arg("marker", marker.to_string());
+        obs.counter("pinball.checkpoint_replays").inc();
         let mut rep = self.replayer(program);
         let mut seen: u64 = 0;
         let mut instructions: u64 = 0;
@@ -110,6 +123,120 @@ impl Pinball {
             }
         }
         Err(PinballError::MarkerNotReached { executed: seen })
+    }
+
+    /// Single-pass, multi-marker checkpoint generation: performs **one**
+    /// replay of the pinball and snapshots the machine at every requested
+    /// `(PC, count)` marker, returning one `(checkpoint, watch counts)`
+    /// pair per input marker, in input order.
+    ///
+    /// This is the batched form of [`Pinball::checkpoint_at_with_counts`]:
+    /// where k independent calls replay the whole recording k times
+    /// (O(k·N) retired instructions before any checkpoint is usable), this
+    /// carries a sorted agenda of pending markers through a single replay
+    /// (O(N)) — the one-logging-pass region-pinball generation of the SPEC
+    /// PinPoints tooling. Results are byte-identical to the per-marker
+    /// path: duplicate and unsorted markers are fine (duplicates share one
+    /// snapshot clone), and every output's watch counts are the global
+    /// execution counts of each `watch` PC at that output's marker.
+    ///
+    /// # Errors
+    /// [`PinballError::MarkerNotReached`] if the recording ends before
+    /// every marker has fired (reporting the first unmet marker in input
+    /// order), plus any replay error.
+    pub fn checkpoints_at(
+        &self,
+        program: Arc<Program>,
+        markers: &[Marker],
+        watch: &[Pc],
+    ) -> Result<MarkerCheckpoints, PinballError> {
+        let obs = lp_obs::global();
+        let mut span = obs.span("pinball.checkpoint_pass", "pinball");
+        span.arg("markers", markers.len());
+        if markers.is_empty() {
+            return Ok(Vec::new());
+        }
+        obs.counter("pinball.checkpoint_replays").inc();
+
+        // Agenda: per marker PC, the pending counts sorted ascending, each
+        // carrying every output slot that requested it (duplicates fold).
+        let mut agenda: HashMap<Pc, Vec<PendingMarker>> = HashMap::new();
+        for (slot, m) in markers.iter().enumerate() {
+            let pending = agenda.entry(m.pc).or_default();
+            match pending.iter_mut().find(|p| p.count == m.count) {
+                Some(p) => p.out_slots.push(slot),
+                None => pending.push(PendingMarker {
+                    count: m.count,
+                    out_slots: vec![slot],
+                }),
+            }
+        }
+        for pending in agenda.values_mut() {
+            pending.sort_by_key(|p| p.count);
+            pending.reverse(); // pop from the back = smallest count first
+        }
+        let mut remaining = agenda.values().map(Vec::len).sum::<usize>();
+
+        let mut out: Vec<Option<(RegionCheckpoint, HashMap<Pc, u64>)>> =
+            (0..markers.len()).map(|_| None).collect();
+        let mut rep = self.replayer(program);
+        let mut instructions: u64 = 0;
+        let mut counts: HashMap<Pc, u64> = watch.iter().map(|&pc| (pc, 0)).collect();
+        // Global execution count per marker PC (the `seen` of the
+        // single-marker path, tracked for every agenda PC at once).
+        let mut seen: HashMap<Pc, u64> = agenda.keys().map(|&pc| (pc, 0)).collect();
+
+        while remaining > 0 {
+            let Some(r) = rep.step()? else { break };
+            instructions += 1;
+            if let Some(c) = counts.get_mut(&r.pc) {
+                *c += 1;
+            }
+            let Some(s) = seen.get_mut(&r.pc) else {
+                continue;
+            };
+            *s += 1;
+            let pending = agenda.get_mut(&r.pc).expect("agenda has every seen pc");
+            while pending.last().is_some_and(|p| p.count == *s) {
+                let fired = pending.pop().expect("checked non-empty");
+                let marker = Marker::new(r.pc, fired.count);
+                let (state, event_start) = rep.snapshot();
+                let mut marker_span = obs.span("pinball.checkpoint_pass.marker", "pinball");
+                marker_span.arg("marker", marker.to_string());
+                marker_span.arg("instructions_before", instructions);
+                drop(marker_span);
+                obs.counter("pinball.checkpoints").inc();
+                for &slot in &fired.out_slots {
+                    out[slot] = Some((
+                        RegionCheckpoint {
+                            name: format!("{}@{}", self.name(), marker),
+                            marker,
+                            state: state.clone(),
+                            event_start,
+                            instructions_before: instructions,
+                        },
+                        counts.clone(),
+                    ));
+                }
+                remaining -= 1;
+            }
+        }
+
+        if remaining > 0 {
+            // Report the first unmet marker in input order.
+            let (slot, _) = markers
+                .iter()
+                .enumerate()
+                .find(|(slot, _)| out[*slot].is_none())
+                .expect("remaining > 0 implies an unmet marker");
+            let executed = seen[&markers[slot].pc];
+            return Err(PinballError::MarkerNotReached { executed });
+        }
+        span.arg("instructions", instructions);
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("all markers fired"))
+            .collect())
     }
 
     /// Creates a replayer resuming from a region checkpoint.
@@ -193,6 +320,81 @@ mod tests {
         // 64th header execution seen; the atomic of that iteration may not
         // have retired yet, but earlier iterations have.
         assert!((32..128).contains(&done), "partial progress, got {done}");
+    }
+
+    fn state_bytes(s: &MachineState) -> Vec<u8> {
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn single_pass_matches_independent_checkpoints() {
+        let (p, hdr) = looped_program(4);
+        let pb = Pinball::record(&p, 4, RecordConfig::default()).unwrap();
+        let entry = p.entry_main();
+        // Unsorted, with a duplicate and a marker at program start.
+        let markers = [
+            Marker::new(hdr, 96),
+            Marker::new(hdr, 8),
+            Marker::new(entry, 1),
+            Marker::new(hdr, 96), // duplicate
+            Marker::new(hdr, 40),
+        ];
+        let watch = [hdr, entry];
+        let batch = pb.checkpoints_at(p.clone(), &markers, &watch).unwrap();
+        assert_eq!(batch.len(), markers.len());
+        for (i, marker) in markers.iter().enumerate() {
+            let (want_ckpt, want_counts) = pb
+                .checkpoint_at_with_counts(p.clone(), *marker, &watch)
+                .unwrap();
+            let (got_ckpt, got_counts) = &batch[i];
+            assert_eq!(got_ckpt.marker(), want_ckpt.marker());
+            assert_eq!(got_ckpt.name(), want_ckpt.name());
+            assert_eq!(got_ckpt.event_start(), want_ckpt.event_start());
+            assert_eq!(
+                got_ckpt.instructions_before(),
+                want_ckpt.instructions_before()
+            );
+            assert_eq!(
+                state_bytes(got_ckpt.state()),
+                state_bytes(want_ckpt.state()),
+                "marker {marker} snapshot must be byte-identical"
+            );
+            assert_eq!(got_counts, &want_counts, "marker {marker} watch counts");
+        }
+    }
+
+    #[test]
+    fn single_pass_duplicates_share_one_snapshot() {
+        let (p, hdr) = looped_program(2);
+        let pb = Pinball::record(&p, 2, RecordConfig::default()).unwrap();
+        let m = Marker::new(hdr, 16);
+        let batch = pb.checkpoints_at(p.clone(), &[m, m, m], &[hdr]).unwrap();
+        assert_eq!(batch.len(), 3);
+        let first = state_bytes(batch[0].0.state());
+        for (ckpt, counts) in &batch {
+            assert_eq!(state_bytes(ckpt.state()), first);
+            assert_eq!(counts[&hdr], 16);
+        }
+    }
+
+    #[test]
+    fn single_pass_empty_markers_do_not_replay() {
+        let (p, _) = looped_program(2);
+        let pb = Pinball::record(&p, 2, RecordConfig::default()).unwrap();
+        let out = pb.checkpoints_at(p, &[], &[]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_pass_unreachable_marker_errors() {
+        let (p, hdr) = looped_program(2);
+        let pb = Pinball::record(&p, 2, RecordConfig::default()).unwrap();
+        let err = pb
+            .checkpoints_at(p, &[Marker::new(hdr, 4), Marker::new(hdr, 1_000_000)], &[])
+            .unwrap_err();
+        assert!(matches!(err, PinballError::MarkerNotReached { executed } if executed == 128));
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod observer;
 mod pinball;
 mod replay;
 
-pub use checkpoint::RegionCheckpoint;
+pub use checkpoint::{MarkerCheckpoints, RegionCheckpoint};
 pub use observer::{ExecObserver, FnObserver};
 pub use pinball::{Pinball, PinballError, RaceEvent, RaceKind, RecordConfig, ReplayStats};
 pub use replay::Replayer;

@@ -55,20 +55,31 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> Kme
         }
     }
 
+    // Cached squared norms: ‖p − c‖² = ‖p‖² − 2 p·c + ‖c‖². Point norms
+    // are computed once per run and centroid norms once per iteration, so
+    // the inner argmin evaluates `‖c‖² − 2 p·c` — one dot product — and
+    // the full distance (for the SSE) is reconstructed incrementally for
+    // the winner only, instead of recomputing a subtract-square-sum per
+    // (point, centroid) pair.
+    let point_norms: Vec<f64> = points.iter().map(|p| dot(p, p)).collect();
+
     // Start unassigned so the first Lloyd iteration always updates
     // centroids (k = 1 must converge to the mean, not the seed point).
     let mut assignments = vec![usize::MAX; points.len()];
     let mut sse = f64::INFINITY;
     for _ in 0..max_iters {
         // Assign.
+        let centroid_norms: Vec<f64> = centroids.iter().map(|c| dot(c, c)).collect();
         let mut changed = false;
         let mut new_sse = 0.0;
         for (i, p) in points.iter().enumerate() {
-            let (mut best_c, mut best_d) = (0usize, f64::INFINITY);
+            // Minimizing ‖p − c‖² over c is minimizing ‖c‖² − 2 p·c (the
+            // ‖p‖² term is constant per point).
+            let (mut best_c, mut best_s) = (0usize, f64::INFINITY);
             for (c, cent) in centroids.iter().enumerate() {
-                let d = dist2(p, cent);
-                if d < best_d {
-                    best_d = d;
+                let s = centroid_norms[c] - 2.0 * dot(p, cent);
+                if s < best_s {
+                    best_s = s;
                     best_c = c;
                 }
             }
@@ -76,7 +87,9 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> Kme
                 assignments[i] = best_c;
                 changed = true;
             }
-            new_sse += best_d;
+            // Clamp: the incremental form can go fractionally negative for
+            // points sitting exactly on their centroid.
+            new_sse += (point_norms[i] + best_s).max(0.0);
         }
         sse = new_sse;
         if !changed {
@@ -106,6 +119,11 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> Kme
         centroids,
         sse,
     }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
 #[cfg(test)]

@@ -44,6 +44,12 @@ pub struct SimpointConfig {
     pub bic_threshold: f64,
     /// Lloyd-iteration budget per k.
     pub max_iters: usize,
+    /// Run the per-k sweep on a bounded thread pool. The k = 1..max_k
+    /// Lloyd runs are independent and each gets a deterministic per-k seed
+    /// (drawn serially up front), so the result is **bit-identical** to
+    /// the serial sweep — `false` only exists for measurement and the
+    /// determinism tests.
+    pub parallel_sweep: bool,
 }
 
 impl Default for SimpointConfig {
@@ -54,6 +60,7 @@ impl Default for SimpointConfig {
             seed: 0x10_0990,
             bic_threshold: 0.9,
             max_iters: 60,
+            parallel_sweep: true,
         }
     }
 }
@@ -116,21 +123,18 @@ pub fn cluster(vectors: &[&[(u64, f64)]], cfg: &SimpointConfig) -> Clustering {
     let n = points.len();
     let max_k = cfg.max_k.min(n);
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
-    let mut best: Option<(f64, KmeansResult, usize)> = None;
-    let mut all: Vec<(usize, f64, KmeansResult)> = Vec::new();
-    for k in 1..=max_k {
-        let mut k_span = obs.span("simpoint.kmeans", "simpoint");
-        k_span.arg("k", k);
-        let km = kmeans(&points, k, rng.gen(), cfg.max_iters);
-        let bic = bic_score(&points, &km);
-        k_span.arg("bic", bic);
-        if best.as_ref().is_none_or(|(b, _, _)| bic > *b) {
-            best = Some((bic, km.clone(), k));
-        }
-        all.push((k, bic, km));
-    }
-    let best_bic = best.as_ref().unwrap().0;
+    // Deterministic per-k seeds, drawn serially up front: the sweep below
+    // may then evaluate the k values in any order (or concurrently) and
+    // still be bit-identical to the historical serial sweep.
+    let seeds: Vec<u64> = {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
+        (1..=max_k).map(|_| rng.gen()).collect()
+    };
+    let all: Vec<(usize, f64, KmeansResult)> = sweep_k(&points, &seeds, cfg, &obs);
+    let best_bic = all
+        .iter()
+        .map(|(_, b, _)| *b)
+        .fold(f64::NEG_INFINITY, f64::max);
     // Smallest k reaching the threshold fraction of the best score. BIC
     // scores are typically negative; "fraction of best" follows SimPoint's
     // scoring by ranking against the observed range.
@@ -188,6 +192,68 @@ pub fn cluster(vectors: &[&[(u64, f64)]], cfg: &SimpointConfig) -> Clustering {
         bic,
         sse: km.sse,
     }
+}
+
+/// Runs the per-k sweep (`k = 1..=seeds.len()`, seed `seeds[k-1]`) either
+/// serially or on a bounded thread pool, returning `(k, bic, result)` in
+/// ascending-k order. Each k is an independent Lloyd run with its own
+/// pre-drawn seed, so scheduling cannot affect the results.
+fn sweep_k(
+    points: &[Vec<f64>],
+    seeds: &[u64],
+    cfg: &SimpointConfig,
+    obs: &lp_obs::Observer,
+) -> Vec<(usize, f64, KmeansResult)> {
+    let run_one = |k: usize, seed: u64| -> (usize, f64, KmeansResult) {
+        let mut k_span = obs.span("simpoint.kmeans", "simpoint");
+        k_span.arg("k", k);
+        let km = kmeans(points, k, seed, cfg.max_iters);
+        let bic = bic_score(points, &km);
+        k_span.arg("bic", bic);
+        (k, bic, km)
+    };
+
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let workers = if cfg.parallel_sweep {
+        hw.min(seeds.len()).max(1)
+    } else {
+        1
+    };
+    obs.gauge("analyze.kmeans.par_k").set(workers as f64);
+    if workers <= 1 {
+        return seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| run_one(i + 1, s))
+            .collect();
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(usize, f64, KmeansResult)>>> =
+        seeds.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                *slots[i].lock().expect("sweep slot poisoned") = Some(run_one(i + 1, seeds[i]));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("every k evaluated")
+        })
+        .collect()
 }
 
 pub(crate) fn dist2(a: &[f64], b: &[f64]) -> f64 {
@@ -254,6 +320,47 @@ mod tests {
         let b = cluster(&refs, &SimpointConfig::default());
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.representatives, b.representatives);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_for_three_seeds() {
+        let vecs = synth(&[(0, 8), (500, 8), (900, 8)]);
+        let refs: Vec<&[(u64, f64)]> = vecs.iter().map(|v| v.as_slice()).collect();
+        for seed in [0x10_0990u64, 7, 0xdead_beef] {
+            let serial = cluster(
+                &refs,
+                &SimpointConfig {
+                    seed,
+                    parallel_sweep: false,
+                    ..Default::default()
+                },
+            );
+            let parallel = cluster(
+                &refs,
+                &SimpointConfig {
+                    seed,
+                    parallel_sweep: true,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(serial.k, parallel.k, "seed {seed}: chosen k");
+            assert_eq!(serial.assignments, parallel.assignments, "seed {seed}");
+            assert_eq!(
+                serial.representatives, parallel.representatives,
+                "seed {seed}"
+            );
+            assert_eq!(serial.cluster_sizes, parallel.cluster_sizes, "seed {seed}");
+            assert_eq!(
+                serial.bic.to_bits(),
+                parallel.bic.to_bits(),
+                "seed {seed}: BIC must be bit-identical"
+            );
+            assert_eq!(
+                serial.sse.to_bits(),
+                parallel.sse.to_bits(),
+                "seed {seed}: SSE must be bit-identical"
+            );
+        }
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! ```
 
 use looppoint::{
-    analyze, error_pct, extrapolate, simulate_representatives_checkpointed, simulate_whole,
-    speedups, LoopPointConfig,
+    analyze, error_pct, extrapolate, simulate_representatives_checkpointed_with, simulate_whole,
+    speedups, LoopPointConfig, SimOptions, DEFAULT_MAX_STEPS,
 };
 use lp_obs::{lp_debug, lp_info, lp_warn, LogLevel, Observer};
 use lp_omp::WaitPolicy;
@@ -29,6 +29,8 @@ struct Args {
     native: bool,
     verbose: bool,
     slice_base: u64,
+    max_steps: u64,
+    pool_size: usize,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     log_level: LogLevel,
@@ -50,6 +52,11 @@ OPTIONS:
     -w, --wait-policy <p>      passive | active [default: passive]
         --slice-base <n>       per-thread slice size in filtered
                                instructions [default: 8000]
+        --max-steps <n>        hard step budget for any single simulation
+                               or replay [default: 4000000000]
+        --pool-size <n>        simulate regions concurrently on a bounded
+                               worker pool of n threads; 0 = serial
+                               [default: 0]
         --native               run the program natively (functional only)
         --trace-out <path>     write a Chrome trace_event JSON of every
                                pipeline phase, region simulation, and IPC
@@ -75,6 +82,8 @@ fn parse_args() -> Result<Args, String> {
         native: false,
         verbose: false,
         slice_base: 8_000,
+        max_steps: DEFAULT_MAX_STEPS,
+        pool_size: 0,
         trace_out: None,
         metrics_out: None,
         log_level: LogLevel::Info,
@@ -114,6 +123,19 @@ fn parse_args() -> Result<Args, String> {
                 args.slice_base = value("--slice-base")?
                     .parse()
                     .map_err(|e| format!("bad slice base: {e}"))?;
+            }
+            "--max-steps" => {
+                args.max_steps = value("--max-steps")?
+                    .parse()
+                    .map_err(|e| format!("bad step budget: {e}"))?;
+                if args.max_steps == 0 {
+                    return Err("--max-steps must be positive".to_string());
+                }
+            }
+            "--pool-size" => {
+                args.pool_size = value("--pool-size")?
+                    .parse()
+                    .map_err(|e| format!("bad pool size: {e}"))?;
             }
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
@@ -176,7 +198,8 @@ fn run_one(
     }
 
     let simcfg = SimConfig::gainestown(nthreads.max(args.ncores));
-    let cfg = LoopPointConfig::with_slice_base(args.slice_base).with_observer(obs.clone());
+    let mut cfg = LoopPointConfig::with_slice_base(args.slice_base).with_observer(obs.clone());
+    cfg.max_steps = args.max_steps;
 
     lp_info!("[1/4] profiling (record + constrained replays) ...");
     let analysis = analyze(&program, nthreads, &cfg)?;
@@ -201,11 +224,23 @@ fn run_one(
         );
     }
     lp_info!(
-        "[2/4] simulating {} regions (checkpoint-driven, 2-slice warmup) ...",
-        analysis.looppoints.len()
+        "[2/4] simulating {} regions (checkpoint-driven, 2-slice warmup{}) ...",
+        analysis.looppoints.len(),
+        if args.pool_size > 0 {
+            format!(", {}-wide pool", args.pool_size)
+        } else {
+            String::new()
+        }
     );
-    let results =
-        simulate_representatives_checkpointed(&analysis, &program, nthreads, &simcfg, 2, false)?;
+    let sim_opts = SimOptions {
+        max_steps: args.max_steps,
+        parallel: args.pool_size > 0,
+        pool_size: (args.pool_size > 0).then_some(args.pool_size),
+        ..Default::default()
+    };
+    let results = simulate_representatives_checkpointed_with(
+        &analysis, &program, nthreads, &simcfg, 2, &sim_opts,
+    )?;
 
     lp_info!("[3/4] extrapolating whole-program performance ...");
     let prediction = extrapolate(&results);
