@@ -31,4 +31,59 @@ for key in workload regions replay_passes checkpoint_generation clustering_sweep
 done
 grep -q '"replay_passes": 1' "$SMOKE_OUT" || { echo "bench-smoke: replay_passes != 1" >&2; exit 1; }
 
+echo "== store-smoke (artifact store) =="
+# Cold run populates a fresh store; warm run must hit and print the
+# served-from-store lines; a flipped byte in a cached artifact must be
+# detected (store.corrupt / quarantine) and transparently recomputed.
+STORE_DIR="$PWD/target/ci-store"
+STORE_LOG="$PWD/target/ci-store.log"
+rm -rf "$STORE_DIR"
+RUNNER=(cargo run --release --offline -q --bin run-looppoint --)
+"${RUNNER[@]}" -p demo-matrix-1 -n 2 --slice-base 4000 --store-dir "$STORE_DIR" > "$STORE_LOG" 2>&1 \
+  || { cat "$STORE_LOG" >&2; echo "store-smoke: cold run failed" >&2; exit 1; }
+grep -Eq 'store: 0 hits, [0-9]+ misses' "$STORE_LOG" || { echo "store-smoke: cold run should only miss" >&2; exit 1; }
+COLD_ERR=$(grep 'runtime error' "$STORE_LOG")
+"${RUNNER[@]}" -p demo-matrix-1 -n 2 --slice-base 4000 --store-dir "$STORE_DIR" > "$STORE_LOG" 2>&1 \
+  || { cat "$STORE_LOG" >&2; echo "store-smoke: warm run failed" >&2; exit 1; }
+grep -q 'analysis served from the artifact store' "$STORE_LOG" || { echo "store-smoke: warm run did not hit" >&2; exit 1; }
+grep -Eq 'store: [1-9][0-9]* hits, 0 misses' "$STORE_LOG" || { echo "store-smoke: warm run should only hit" >&2; exit 1; }
+WARM_ERR=$(grep 'runtime error' "$STORE_LOG")
+[ "$COLD_ERR" = "$WARM_ERR" ] || { echo "store-smoke: warm result differs from cold ($COLD_ERR vs $WARM_ERR)" >&2; exit 1; }
+# Corrupt one cached artifact in place (flip a mid-file byte) and re-run.
+VICTIM=$(ls "$STORE_DIR"/*-clustering.lpa | head -n1)
+SIZE=$(wc -c < "$VICTIM")
+printf '\x5a' | dd of="$VICTIM" bs=1 seek=$((SIZE / 2)) count=1 conv=notrunc status=none
+"${RUNNER[@]}" -p demo-matrix-1 -n 2 --slice-base 4000 --store-dir "$STORE_DIR" > "$STORE_LOG" 2>&1 \
+  || { cat "$STORE_LOG" >&2; echo "store-smoke: corrupt-recovery run failed" >&2; exit 1; }
+grep -q 'quarantining corrupt artifact' "$STORE_LOG" || { echo "store-smoke: corruption not detected" >&2; exit 1; }
+grep -Eq 'store: .* 1 corruptions' "$STORE_LOG" || { echo "store-smoke: store.corrupt not counted" >&2; exit 1; }
+ls "$STORE_DIR"/*.corrupt >/dev/null 2>&1 || { echo "store-smoke: no quarantined file" >&2; exit 1; }
+RECOVERED_ERR=$(grep 'runtime error' "$STORE_LOG")
+[ "$COLD_ERR" = "$RECOVERED_ERR" ] || { echo "store-smoke: recovery result differs from cold" >&2; exit 1; }
+rm -rf "$STORE_DIR"
+
+echo "== bench-smoke (store reuse) =="
+# Quick variant of the store-reuse benchmark: asserts warm==cold bytewise
+# and replay_passes==0 internally; validate the JSON schema here. Writes
+# to target/ so the committed baseline BENCH_store.json is not clobbered.
+STORE_SMOKE_OUT="$PWD/target/BENCH_store.smoke.json"
+cargo bench --offline -p lp-bench --bench store_reuse -- --smoke --out "$STORE_SMOKE_OUT"
+[ -s "$STORE_SMOKE_OUT" ] || { echo "store-bench-smoke: $STORE_SMOKE_OUT missing or empty" >&2; exit 1; }
+for key in workload nthreads slice_base cold sweep store smoke; do
+  grep -q "\"$key\"" "$STORE_SMOKE_OUT" || { echo "store-bench-smoke: missing key $key" >&2; exit 1; }
+done
+for key in cold_ms warm_ms speedup configs artifacts bytes_raw bytes_stored compression_ratio; do
+  grep -q "\"$key\"" "$STORE_SMOKE_OUT" || { echo "store-bench-smoke: missing key $key" >&2; exit 1; }
+done
+# And the committed full-scale baseline keeps the >= 5x warm speedup claim.
+python3 - <<'PY'
+import json, sys
+with open("BENCH_store.json") as f:
+    j = json.load(f)
+for section in ("cold", "sweep"):
+    s = j[section]["speedup"]
+    if s < 5.0:
+        sys.exit(f"BENCH_store.json: {section} speedup {s} < 5x")
+PY
+
 echo "CI green."

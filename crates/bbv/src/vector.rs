@@ -24,6 +24,15 @@ impl SparseVec {
         SparseVec { entries }
     }
 
+    /// Rebuilds a vector from previously captured [`SparseVec::entries`]
+    /// pairs (deserialization path). Entries are re-sorted and zero weights
+    /// dropped, so the result is always in canonical form.
+    pub fn from_entries(mut entries: Vec<(u64, f64)>) -> Self {
+        entries.retain(|&(_, v)| v != 0.0);
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        SparseVec { entries }
+    }
+
     /// The non-zero `(dimension, weight)` pairs, sorted by dimension.
     pub fn entries(&self) -> &[(u64, f64)] {
         &self.entries

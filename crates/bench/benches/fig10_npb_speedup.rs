@@ -30,7 +30,8 @@ fn main() {
             WaitPolicy::Passive,
             &SimConfig::gainestown(8),
             true,
-        );
+        )
+        .unwrap();
         let e16 = evaluate_app_mode(
             &spec,
             InputClass::NpbC,
@@ -38,7 +39,8 @@ fn main() {
             WaitPolicy::Passive,
             &SimConfig::gainestown(16),
             true,
-        );
+        )
+        .unwrap();
         p8.push(e8.speedup.actual_parallel);
         p16.push(e16.speedup.actual_parallel);
         t.row(&[

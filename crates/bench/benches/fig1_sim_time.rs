@@ -43,7 +43,7 @@ fn main() {
         let mut lp_speedups = Vec::new();
         for spec in &specs {
             let (program, nthreads, analysis) =
-                analyze_app(spec, input, SPEC_THREADS, WaitPolicy::Passive);
+                analyze_app(spec, input, SPEC_THREADS, WaitPolicy::Passive).unwrap();
             let total = analysis.profile.total_insts as f64 * scale_back;
             fulls.push(total);
             times.push(total);

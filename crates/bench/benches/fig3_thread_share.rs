@@ -9,7 +9,8 @@ use lp_workloads::InputClass;
 
 fn share_table(name: &str) {
     let spec = lp_workloads::find(name).unwrap();
-    let (_p, nthreads, analysis) = analyze_app(&spec, InputClass::Train, 8, WaitPolicy::Passive);
+    let (_p, nthreads, analysis) =
+        analyze_app(&spec, InputClass::Train, 8, WaitPolicy::Passive).unwrap();
     println!("\n{name} ({nthreads} threads): per-slice per-thread share of filtered instructions");
     let mut headers: Vec<String> = vec!["slice".to_string()];
     headers.extend((0..nthreads).map(|t| format!("t{t}")));

@@ -15,7 +15,7 @@ fn main() {
     );
     let spec = lp_workloads::find("638.imagick_s.1").unwrap();
     let (program, nthreads, analysis) =
-        analyze_app(&spec, InputClass::Train, SPEC_THREADS, WaitPolicy::Passive);
+        analyze_app(&spec, InputClass::Train, SPEC_THREADS, WaitPolicy::Passive).unwrap();
 
     // The region with the largest multiplier, as the figure highlights.
     let region = analysis

@@ -30,14 +30,16 @@ fn main() {
             SPEC_THREADS,
             WaitPolicy::Active,
             &ooo,
-        );
+        )
+        .unwrap();
         let ep = evaluate_app(
             &spec,
             InputClass::Train,
             SPEC_THREADS,
             WaitPolicy::Passive,
             &ooo,
-        );
+        )
+        .unwrap();
         active_errs.push(ea.runtime_error_pct());
         passive_errs.push(ep.runtime_error_pct());
         t.row(&[
@@ -68,7 +70,7 @@ fn main() {
     for spec in spec_workloads() {
         // One analysis, reused for the other microarchitecture.
         let (program, nthreads, analysis) =
-            analyze_app(&spec, InputClass::Train, SPEC_THREADS, WaitPolicy::Passive);
+            analyze_app(&spec, InputClass::Train, SPEC_THREADS, WaitPolicy::Passive).unwrap();
         let results =
             simulate_representatives(&analysis, &program, nthreads, &inorder, true).unwrap();
         let prediction = extrapolate(&results);

@@ -24,14 +24,16 @@ fn main() {
             8,
             WaitPolicy::Passive,
             &SimConfig::gainestown(8),
-        );
+        )
+        .unwrap();
         let r16 = evaluate_app(
             &spec,
             InputClass::NpbC,
             16,
             WaitPolicy::Passive,
             &SimConfig::gainestown(16),
-        );
+        )
+        .unwrap();
         e8.push(r8.runtime_error_pct());
         e16.push(r16.runtime_error_pct());
         t.row(&[

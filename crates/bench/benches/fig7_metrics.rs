@@ -39,14 +39,16 @@ fn main() {
             SPEC_THREADS,
             WaitPolicy::Active,
             &cfg,
-        );
+        )
+        .unwrap();
         let p = evaluate_app(
             &spec,
             InputClass::Train,
             SPEC_THREADS,
             WaitPolicy::Passive,
             &cfg,
-        );
+        )
+        .unwrap();
         let vals = [
             a.cycles_error_pct(),
             p.cycles_error_pct(),

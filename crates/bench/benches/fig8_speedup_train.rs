@@ -34,7 +34,8 @@ fn main() {
             WaitPolicy::Active,
             &cfg,
             true, // checkpoint-driven regions, as the paper deploys them
-        );
+        )
+        .unwrap();
         ts.push(e.speedup.theoretical_serial);
         tp.push(e.speedup.theoretical_parallel);
         as_.push(e.speedup.actual_serial);

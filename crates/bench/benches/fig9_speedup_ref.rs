@@ -29,7 +29,7 @@ fn main() {
     let mut bp_p = Vec::new();
     for spec in spec_workloads() {
         let (program, _n, analysis) =
-            analyze_app(&spec, InputClass::Ref, SPEC_THREADS, WaitPolicy::Passive);
+            analyze_app(&spec, InputClass::Ref, SPEC_THREADS, WaitPolicy::Passive).unwrap();
         let total = analysis.profile.total_filtered as f64;
         let sum: u64 = analysis.looppoints.iter().map(|r| r.filtered_insts).sum();
         let max = analysis

@@ -28,7 +28,7 @@ fn main() {
             .enumerate()
         {
             let (program, nthreads, analysis) =
-                analyze_app(&spec, InputClass::Train, SPEC_THREADS, policy);
+                analyze_app(&spec, InputClass::Train, SPEC_THREADS, policy).unwrap();
             let slice_size = BENCH_SLICE_BASE * nthreads as u64;
             let naive = analyze_naive(
                 &analysis.pinball,

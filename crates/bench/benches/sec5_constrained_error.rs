@@ -27,7 +27,7 @@ fn main() {
     for name in ["657.xz_s.2", "603.bwaves_s.1", "619.lbm_s.1", "644.nab_s.1"] {
         let spec = lp_workloads::find(name).unwrap();
         let (program, nthreads, analysis) =
-            analyze_app(&spec, InputClass::Train, SPEC_THREADS, WaitPolicy::Passive);
+            analyze_app(&spec, InputClass::Train, SPEC_THREADS, WaitPolicy::Passive).unwrap();
         let unconstrained = simulate_whole(&program, nthreads, &cfg).unwrap();
         let constrained =
             simulate_constrained(&analysis.pinball, &program, &cfg, u64::MAX).unwrap();

@@ -20,13 +20,62 @@ pub mod table;
 use looppoint::{
     analyze, error_pct, extrapolate, simulate_representatives,
     simulate_representatives_checkpointed, simulate_whole, speedups, Analysis, LoopPointConfig,
-    Prediction, RegionResult, SpeedupReport,
+    LoopPointError, Prediction, RegionResult, SpeedupReport,
 };
 use lp_omp::WaitPolicy;
 use lp_sim::SimStats;
 use lp_uarch::SimConfig;
 use lp_workloads::{build, InputClass, WorkloadSpec};
+use std::fmt;
 use std::sync::Arc;
+
+/// A pipeline failure inside a bench run, carrying which workload and
+/// which phase failed so a 30-workload sweep names its culprit instead of
+/// panicking with a bare pipeline error.
+pub struct BenchError {
+    /// The workload that failed.
+    pub workload: String,
+    /// The pipeline phase that failed (`"analysis"`, `"region
+    /// simulation"`, `"full simulation"`).
+    pub phase: &'static str,
+    /// The underlying pipeline error.
+    pub source: LoopPointError,
+}
+
+impl BenchError {
+    fn new(workload: &str, phase: &'static str) -> impl FnOnce(LoopPointError) -> BenchError {
+        let workload = workload.to_string();
+        move |source| BenchError {
+            workload,
+            phase,
+            source,
+        }
+    }
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} failed: {}",
+            self.workload, self.phase, self.source
+        )
+    }
+}
+
+// Debug delegates to Display so `Result::unwrap` in a bench target dies
+// with the full "workload: phase failed: cause" message.
+impl fmt::Debug for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// Thread count used for the SPEC-like evaluation (the paper's default).
 pub const SPEC_THREADS: usize = 8;
@@ -86,15 +135,15 @@ pub fn bench_config() -> LoopPointConfig {
 /// Runs the complete LoopPoint pipeline for one workload: analysis, region
 /// simulation (in parallel), extrapolation, full-run reference, speedups.
 ///
-/// # Panics
-/// Panics on any pipeline failure (bench targets want loud failures).
+/// # Errors
+/// [`BenchError`] naming the workload and the failing phase.
 pub fn evaluate_app(
     spec: &WorkloadSpec,
     input: InputClass,
     requested_threads: usize,
     policy: WaitPolicy,
     simcfg: &SimConfig,
-) -> AppEval {
+) -> Result<AppEval, BenchError> {
     evaluate_app_mode(spec, input, requested_threads, policy, simcfg, false)
 }
 
@@ -102,8 +151,8 @@ pub fn evaluate_app(
 /// (`checkpointed = true`, two warmup slices per region) — the mode the
 /// actual-speedup figures (Fig. 8/10) use.
 ///
-/// # Panics
-/// Panics on any pipeline failure.
+/// # Errors
+/// [`BenchError`] naming the workload and the failing phase.
 pub fn evaluate_app_mode(
     spec: &WorkloadSpec,
     input: InputClass,
@@ -111,27 +160,27 @@ pub fn evaluate_app_mode(
     policy: WaitPolicy,
     simcfg: &SimConfig,
     checkpointed: bool,
-) -> AppEval {
+) -> Result<AppEval, BenchError> {
     let nthreads = spec.effective_threads(requested_threads);
     let program = build(spec, input, requested_threads, policy);
     let analysis = analyze(&program, nthreads, &bench_config())
-        .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", spec.name));
+        .map_err(BenchError::new(spec.name, "analysis"))?;
     // Regions run back-to-back: each region's wall time is then measured
     // without host contention, so the *parallel* speedup (full wall over
     // the largest single region, §V-B's "assuming sufficient parallel
     // resources") is computed from clean per-region times.
     let results = if checkpointed {
         simulate_representatives_checkpointed(&analysis, &program, nthreads, simcfg, 2, false)
-            .unwrap_or_else(|e| panic!("{}: region simulation failed: {e}", spec.name))
+            .map_err(BenchError::new(spec.name, "region simulation"))?
     } else {
         simulate_representatives(&analysis, &program, nthreads, simcfg, false)
-            .unwrap_or_else(|e| panic!("{}: region simulation failed: {e}", spec.name))
+            .map_err(BenchError::new(spec.name, "region simulation"))?
     };
     let prediction = extrapolate(&results);
     let full = simulate_whole(&program, nthreads, simcfg)
-        .unwrap_or_else(|e| panic!("{}: full simulation failed: {e}", spec.name));
+        .map_err(BenchError::new(spec.name, "full simulation"))?;
     let speedup = speedups(&analysis, &results, &full);
-    AppEval {
+    Ok(AppEval {
         name: spec.name.to_string(),
         policy,
         nthreads,
@@ -140,26 +189,26 @@ pub fn evaluate_app_mode(
         prediction,
         full,
         speedup,
-    }
+    })
 }
 
 /// Analysis-only evaluation (for `ref`-scale experiments where, exactly as
 /// in the paper, the full detailed reference is impractical and only
 /// theoretical speedups are reported).
 ///
-/// # Panics
-/// Panics on analysis failure.
+/// # Errors
+/// [`BenchError`] naming the workload; the phase is always `"analysis"`.
 pub fn analyze_app(
     spec: &WorkloadSpec,
     input: InputClass,
     requested_threads: usize,
     policy: WaitPolicy,
-) -> (Arc<lp_isa::Program>, usize, Analysis) {
+) -> Result<(Arc<lp_isa::Program>, usize, Analysis), BenchError> {
     let nthreads = spec.effective_threads(requested_threads);
     let program = build(spec, input, requested_threads, policy);
     let analysis = analyze(&program, nthreads, &bench_config())
-        .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", spec.name));
-    (program, nthreads, analysis)
+        .map_err(BenchError::new(spec.name, "analysis"))?;
+    Ok((program, nthreads, analysis))
 }
 
 /// Geometric-mean helper for speedup summaries.

@@ -34,19 +34,45 @@
 //!
 //! ## Quick start
 //!
-//! ```no_run
+//! A complete, runnable pipeline on a miniature two-thread program (a
+//! parallel loop of dependent ALU work). `cargo test --doc` executes this
+//! end-to-end: record, replay, slice, cluster, simulate, extrapolate.
+//!
+//! ```
 //! use looppoint::{analyze, simulate_representatives, extrapolate, LoopPointConfig};
+//! use lp_isa::{AluOp, ProgramBuilder, Reg};
+//! use lp_omp::{OmpRuntime, WaitPolicy};
 //! use lp_uarch::SimConfig;
-//! # fn program() -> std::sync::Arc<lp_isa::Program> { unimplemented!() }
+//! use std::sync::Arc;
 //!
 //! # fn main() -> Result<(), looppoint::LoopPointError> {
-//! let program = program(); // any lp-isa program (see lp-workloads)
-//! let nthreads = 8;
-//! let analysis = analyze(&program, nthreads, &LoopPointConfig::default())?;
+//! // Build a miniature OpenMP-style program: 2 threads, 600 iterations
+//! // of a statically scheduled parallel loop.
+//! let nthreads = 2;
+//! let mut pb = ProgramBuilder::new("doc-demo");
+//! let mut rt = OmpRuntime::build(&mut pb, nthreads, WaitPolicy::Passive);
+//! let mut c = pb.main_code();
+//! rt.emit_main_init(&mut c);
+//! rt.emit_parallel(&mut c, "work", |c, rt| {
+//!     rt.emit_static_for(c, "work.loop", 600, |c, _| {
+//!         c.alui(AluOp::Mul, Reg::R1, Reg::R16, 13);
+//!         c.alui(AluOp::Add, Reg::R2, Reg::R1, 7);
+//!         c.alui(AluOp::Xor, Reg::R3, Reg::R2, 0x2a);
+//!     });
+//! });
+//! rt.emit_shutdown(&mut c);
+//! c.halt();
+//! c.finish();
+//! let program = Arc::new(pb.finish());
+//!
+//! // Analyze (tiny slices so even this miniature program yields several),
+//! // simulate the representatives, extrapolate whole-program runtime.
+//! let analysis = analyze(&program, nthreads, &LoopPointConfig::with_slice_base(500))?;
+//! assert!(!analysis.looppoints.is_empty());
 //! let results = simulate_representatives(
-//!     &analysis, &program, nthreads, &SimConfig::gainestown(8), true)?;
+//!     &analysis, &program, nthreads, &SimConfig::gainestown(nthreads), false)?;
 //! let prediction = extrapolate(&results);
-//! println!("predicted runtime: {} cycles", prediction.total_cycles);
+//! assert!(prediction.total_cycles > 0.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -60,6 +86,7 @@ pub mod constrained;
 mod coverage;
 mod error;
 mod extrapolate;
+pub mod persist;
 mod pipeline;
 mod pool;
 pub mod report;
@@ -72,6 +99,9 @@ pub use config::{LoopPointConfig, DEFAULT_MAX_STEPS};
 pub use coverage::Coverage;
 pub use error::LoopPointError;
 pub use extrapolate::{error_pct, extrapolate, Prediction};
+pub use persist::{
+    analysis_key, analyze_cached, checkpoints_key, prepare_region_checkpoints_cached,
+};
 pub use pipeline::{analyze, Analysis, LoopPointRegion};
 pub use simulate::{
     prepare_region_checkpoints, prepare_region_checkpoints_per_region, simulate_prepared,

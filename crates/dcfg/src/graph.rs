@@ -241,6 +241,44 @@ impl Dcfg {
         }
     }
 
+    /// Reassembles a graph from its serialized components, rebuilding the
+    /// derived lookup structures (the per-image leader index and the
+    /// loop-header set).
+    ///
+    /// This exists for the artifact store: a cached analysis persists the
+    /// blocks/edges/routines/loops (all plain data with public fields) and
+    /// reconstructs the `Dcfg` *without replaying the pinball*. The caller
+    /// is responsible for pairing the parts with the same program they were
+    /// profiled from (the store's content-addressed key guarantees this).
+    pub fn from_raw_parts(
+        program: Arc<Program>,
+        blocks: Vec<BasicBlock>,
+        edges: Vec<Edge>,
+        routines: Vec<Routine>,
+        loops: Vec<LoopInfo>,
+    ) -> Dcfg {
+        let mut index: HashMap<ImageId, Vec<(u32, BlockId)>> = HashMap::new();
+        for b in &blocks {
+            index
+                .entry(b.leader.image)
+                .or_default()
+                .push((b.leader.offset, b.id));
+        }
+        for v in index.values_mut() {
+            v.sort_unstable();
+        }
+        let loop_header_set = loops.iter().map(|l| l.header).collect();
+        Dcfg {
+            program,
+            blocks,
+            index,
+            edges,
+            routines,
+            loops,
+            loop_header_set,
+        }
+    }
+
     /// The program this graph was profiled from.
     pub fn program(&self) -> &Arc<Program> {
         &self.program

@@ -1,0 +1,143 @@
+//! Canonical program bytes for content addressing.
+//!
+//! The artifact store keys cached analyses by *what was analyzed*: the
+//! exact program image, entry points, layout, and initial data. This module
+//! renders a [`Program`] into a single deterministic byte string — same
+//! program, same bytes, on every run and platform — that callers hash
+//! (`lp-store`'s 128-bit digest) into a store key.
+//!
+//! The encoding is write-only by design. It is **not** a serialization
+//! format for loading programs (images carry closures-free plain data, but
+//! a program is always rebuilt by `ProgramBuilder`/`lp-omp`); it only needs
+//! to be injective and stable. Instructions are rendered through their
+//! derived `Debug` form, which spells out every operand of every variant —
+//! two different instruction streams cannot collide, and a new variant is
+//! automatically covered.
+
+use crate::inst::Inst;
+use crate::program::Program;
+
+/// Format tag bumped whenever the canonical rendering changes shape, so
+/// stale store keys can never alias fresh ones.
+const CANON_VERSION: u32 = 1;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_inst(out: &mut Vec<u8>, inst: &Inst) {
+    // Derived Debug is deterministic and spells every field; length-prefix
+    // it so adjacent instructions cannot re-segment into a collision.
+    put_str(out, &format!("{inst:?}"));
+}
+
+impl Program {
+    /// Deterministic canonical byte rendering of the whole program:
+    /// name, every image (id, name, kind, instruction stream), entry
+    /// points, memory layout, initial data, and the sorted symbol table.
+    ///
+    /// Equal programs produce equal bytes; any semantic difference —
+    /// one instruction operand, one symbol, one init word — changes them.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 * self.code_size() + 256);
+        out.extend_from_slice(b"LPPF");
+        out.extend_from_slice(&CANON_VERSION.to_le_bytes());
+        put_str(&mut out, self.name());
+
+        put_u64(&mut out, self.images().len() as u64);
+        for img in self.images() {
+            put_u64(&mut out, u64::from(img.id().0));
+            put_str(&mut out, img.name());
+            put_str(&mut out, &format!("{:?}", img.kind()));
+            put_u64(&mut out, img.len() as u64);
+            for (_, inst) in img.iter() {
+                put_inst(&mut out, inst);
+            }
+        }
+
+        put_u64(&mut out, self.entry_main().to_word());
+        match self.entry_worker() {
+            Some(pc) => {
+                out.push(1);
+                put_u64(&mut out, pc.to_word());
+            }
+            None => out.push(0),
+        }
+
+        let layout = self.layout();
+        put_u64(&mut out, layout.private_base);
+        put_u64(&mut out, layout.private_stride);
+
+        // Init data in builder order (the order is semantically inert —
+        // addresses are distinct — but keeping it avoids a sort and still
+        // yields identical bytes for identically-built programs).
+        put_u64(&mut out, self.init_data().len() as u64);
+        for (addr, word) in self.init_data() {
+            put_u64(&mut out, addr.0);
+            put_u64(&mut out, *word);
+        }
+
+        // Symbols sorted by name: the builder stores them in a HashMap.
+        let mut syms: Vec<(&str, u64)> = self
+            .symbols()
+            .map(|(name, pc)| (name, pc.to_word()))
+            .collect();
+        syms.sort_unstable();
+        put_u64(&mut out, syms.len() as u64);
+        for (name, word) in syms {
+            put_str(&mut out, name);
+            put_u64(&mut out, word);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ProgramBuilder, Reg};
+
+    fn build(name: &str, imm: i64, extra_sym: bool) -> crate::Program {
+        let mut pb = ProgramBuilder::new(name);
+        let mut c = pb.main_code();
+        c.export_label("start");
+        c.li(Reg::R1, imm);
+        if extra_sym {
+            c.export_label("extra");
+        }
+        c.nop();
+        c.halt();
+        c.finish();
+        pb.finish()
+    }
+
+    #[test]
+    fn identical_builds_share_bytes() {
+        let a = build("p", 7, false).canonical_bytes();
+        let b = build("p", 7, false).canonical_bytes();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_semantic_difference_changes_bytes() {
+        let base = build("p", 7, false).canonical_bytes();
+        assert_ne!(base, build("q", 7, false).canonical_bytes(), "name");
+        assert_ne!(base, build("p", 8, false).canonical_bytes(), "operand");
+        assert_ne!(base, build("p", 7, true).canonical_bytes(), "symbols");
+    }
+
+    #[test]
+    fn symbol_order_is_canonical() {
+        // HashMap iteration order varies; canonical bytes must not.
+        for _ in 0..8 {
+            assert_eq!(
+                build("p", 1, true).canonical_bytes(),
+                build("p", 1, true).canonical_bytes()
+            );
+        }
+    }
+}

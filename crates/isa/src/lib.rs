@@ -63,6 +63,7 @@ mod addr;
 mod builder;
 mod disasm;
 mod error;
+mod fingerprint;
 mod image;
 mod inst;
 mod machine;

@@ -101,6 +101,11 @@ impl Program {
         self.symbols.get(name).copied()
     }
 
+    /// Iterates all exported symbols in unspecified order.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, Pc)> {
+        self.symbols.iter().map(|(n, &pc)| (n.as_str(), pc))
+    }
+
     /// Finds the innermost symbol at or before `pc` in the same image,
     /// formatted as `sym+delta`. Purely for human-readable reports.
     pub fn symbolize(&self, pc: Pc) -> String {

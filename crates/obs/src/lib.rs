@@ -44,6 +44,7 @@ pub mod export;
 pub mod json;
 mod log;
 pub mod metrics;
+pub mod names;
 pub mod trace;
 
 pub use crate::log::{log_enabled, log_level, set_log_level, LogLevel};

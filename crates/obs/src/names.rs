@@ -1,0 +1,28 @@
+//! Canonical signal names used across the pipeline.
+//!
+//! Every counter, gauge, and span that more than one crate touches is named
+//! here once, so producers (the store, the pipeline) and consumers (benches,
+//! CI gates, dashboards) cannot drift apart on spelling.
+
+/// Span category for artifact-store operations.
+pub const CAT_STORE: &str = "store";
+
+/// Counter: a requested artifact was found, verified, and decoded.
+pub const STORE_HIT: &str = "store.hit";
+/// Counter: a requested artifact was absent and had to be recomputed.
+pub const STORE_MISS: &str = "store.miss";
+/// Counter: an artifact was removed by LRU eviction under the byte budget.
+pub const STORE_EVICT: &str = "store.evict";
+/// Counter: a stored artifact failed checksum / framing validation and was
+/// quarantined.
+pub const STORE_CORRUPT: &str = "store.corrupt";
+
+/// Gauge: total uncompressed bytes of all live artifacts in the store.
+pub const STORE_BYTES_RAW: &str = "store.bytes_raw";
+/// Gauge: total on-disk (possibly compressed) bytes of all live artifacts.
+pub const STORE_BYTES_COMPRESSED: &str = "store.bytes_compressed";
+
+/// Span: loading + verifying one artifact from disk.
+pub const SPAN_STORE_LOAD: &str = "store.load";
+/// Span: sealing + atomically writing one artifact to disk.
+pub const SPAN_STORE_SAVE: &str = "store.save";

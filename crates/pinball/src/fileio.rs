@@ -115,6 +115,43 @@ impl Pinball {
         ))
     }
 
+    /// Serializes the pinball to owned bytes.
+    ///
+    /// The encoding is **canonical**: [`Pinball::write_to`] sorts every
+    /// hash-map-backed structure (memory pages, futex queues), so equal
+    /// pinballs always produce equal bytes. This is what the artifact store
+    /// persists and what [`Pinball::content_checksum`] hashes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        self.write_to(&mut bytes)
+            .expect("Vec<u8> writes are infallible");
+        bytes
+    }
+
+    /// Deserializes a pinball from bytes produced by [`Pinball::to_bytes`].
+    ///
+    /// # Errors
+    /// `InvalidData` on format violations (see [`Pinball::read_from`]).
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Pinball> {
+        let mut r = bytes;
+        let pb = Pinball::read_from(&mut r)?;
+        if !r.is_empty() {
+            return Err(bad("trailing bytes after pinball"));
+        }
+        Ok(pb)
+    }
+
+    /// 64-bit content checksum over the canonical encoding, streamed (no
+    /// intermediate buffer): two pinballs with the same checksum are the
+    /// same recording for every practical purpose — same race log, same
+    /// start state, same metadata.
+    pub fn content_checksum(&self) -> u64 {
+        let mut h = lp_store::Hash64::checksum();
+        self.write_to(&mut h)
+            .expect("hashing writes are infallible");
+        h.finish()
+    }
+
     /// Validates that `program` matches the pinball's recorded program (by
     /// name — the level of identity a real pinball's metadata provides).
     ///
@@ -211,6 +248,33 @@ mod tests {
         pb.write_to(&mut bytes2).unwrap();
         bytes2.truncate(bytes2.len() - 7);
         assert!(Pinball::read_from(&mut bytes2.as_slice()).is_err());
+    }
+
+    #[test]
+    fn canonical_bytes_and_checksum() {
+        let p = program();
+        let pb = Pinball::record(&p, 3, RecordConfig::default()).unwrap();
+
+        // to_bytes == write_to, and is stable across calls.
+        let mut via_writer = Vec::new();
+        pb.write_to(&mut via_writer).unwrap();
+        assert_eq!(pb.to_bytes(), via_writer);
+        assert_eq!(pb.to_bytes(), pb.to_bytes());
+
+        // Streamed checksum == one-shot checksum of the canonical bytes.
+        assert_eq!(pb.content_checksum(), lp_store::checksum64(&via_writer));
+
+        // A re-recording of the same program has the same checksum; a
+        // different schedule (quantum) changes the race log and thus it.
+        let again = Pinball::record(&p, 3, RecordConfig::default()).unwrap();
+        assert_eq!(pb.content_checksum(), again.content_checksum());
+
+        // from_bytes roundtrip, and trailing garbage is rejected.
+        let loaded = Pinball::from_bytes(&via_writer).unwrap();
+        assert_eq!(loaded.content_checksum(), pb.content_checksum());
+        let mut padded = via_writer.clone();
+        padded.push(0);
+        assert!(Pinball::from_bytes(&padded).is_err());
     }
 
     #[test]

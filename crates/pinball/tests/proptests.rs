@@ -81,3 +81,43 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On-disk pinball serialization is a lossless, canonical round trip
+    /// for any recording — including share-everything programs whose race
+    /// log approaches one event per retired shared access (the maximal
+    /// log for the program). The re-encoded bytes are identical, so the
+    /// content checksum is stable across save/load cycles.
+    #[test]
+    fn fileio_roundtrip_any_recording(
+        nthreads in 1usize..6,
+        iters in 8u64..64,
+        chunk in 1u64..8,
+        quantum in 7u64..300,
+        all_shared in any::<bool>(),
+    ) {
+        // `use_lock = all_shared` piles lock traffic on top of the atomic
+        // adds: every body instruction then touches shared state, pushing
+        // the race log towards its maximum length for the program.
+        let p = random_program(nthreads, WaitPolicy::Passive, iters, chunk, all_shared);
+        let pb = Pinball::record(&p, nthreads, RecordConfig { quantum, max_steps: u64::MAX })
+            .unwrap();
+        prop_assert!(!pb.events().is_empty(), "contended programs log events");
+
+        let bytes = pb.to_bytes();
+        let loaded = Pinball::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(loaded.name(), pb.name());
+        prop_assert_eq!(loaded.nthreads(), pb.nthreads());
+        prop_assert_eq!(loaded.instructions(), pb.instructions());
+        prop_assert_eq!(loaded.events(), pb.events());
+        prop_assert_eq!(loaded.to_bytes(), bytes, "canonical re-encoding");
+        prop_assert_eq!(loaded.content_checksum(), pb.content_checksum());
+
+        // The loaded pinball replays to the same shared state.
+        let a = pb.replay(p.clone(), &mut [], u64::MAX).unwrap();
+        let b = loaded.replay(p, &mut [], u64::MAX).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

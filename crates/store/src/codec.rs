@@ -1,0 +1,359 @@
+//! A std-only LZ77-style compression codec with varint token encoding.
+//!
+//! Checkpoint payloads are dominated by memory pages — long zero runs and
+//! near-duplicate pages — so a byte-oriented LZ with unbounded match
+//! distance gets large wins without any external dependency. The format is
+//! a flat token stream:
+//!
+//! ```text
+//! token := varint t
+//!   t even  → literal run: (t >> 1) raw bytes follow
+//!   t odd   → match: length = MIN_MATCH + (t >> 1),
+//!             followed by varint distance (≥ 1, may be < length:
+//!             overlapping copies encode runs, RLE-style)
+//! ```
+//!
+//! Compression is greedy with a hash-chain matcher (4-byte prefixes,
+//! bounded probes); decompression is a strict validator — any malformed
+//! token, out-of-range distance, or length overshoot is an error, never a
+//! panic or over-allocation.
+
+/// Shortest encodable match. Below this, literals are cheaper.
+const MIN_MATCH: usize = 4;
+/// Hash-chain probe bound per position (compression effort knob).
+const MAX_CHAIN: usize = 32;
+/// log2 of the prefix hash table size.
+const TABLE_BITS: u32 = 15;
+
+/// Codec failure while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The token stream ended mid-token or mid-run.
+    Truncated,
+    /// A varint ran past 10 bytes.
+    BadVarint,
+    /// A match referenced data before the output start.
+    BadDistance {
+        /// The offending distance.
+        dist: u64,
+        /// Bytes produced so far.
+        produced: usize,
+    },
+    /// Output exceeded the declared uncompressed length.
+    LengthOverrun,
+    /// Output fell short of the declared uncompressed length.
+    LengthUnderrun {
+        /// Bytes actually produced.
+        produced: usize,
+        /// Bytes expected.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "compressed stream truncated"),
+            CodecError::BadVarint => write!(f, "malformed varint"),
+            CodecError::BadDistance { dist, produced } => {
+                write!(f, "match distance {dist} exceeds {produced} produced bytes")
+            }
+            CodecError::LengthOverrun => write!(f, "output exceeds declared length"),
+            CodecError::LengthUnderrun { produced, expected } => {
+                write!(f, "output {produced} bytes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends `v` to `out` as a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `data[*pos..]`, advancing `pos`.
+///
+/// # Errors
+/// [`CodecError::Truncated`] / [`CodecError::BadVarint`].
+pub fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *data.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift >= 63 && b > 1 {
+            return Err(CodecError::BadVarint);
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::BadVarint);
+        }
+    }
+}
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let w = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (w.wrapping_mul(0x9e37_79b1) >> (32 - TABLE_BITS)) as usize
+}
+
+fn flush_literals(out: &mut Vec<u8>, lits: &[u8]) {
+    // Long literal runs are split only by the varint width, not a cap.
+    if lits.is_empty() {
+        return;
+    }
+    put_varint(out, (lits.len() as u64) << 1);
+    out.extend_from_slice(lits);
+}
+
+/// Compresses `input`. The output is self-delimiting given the original
+/// length (carried by the container header).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let n = input.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    if n < MIN_MATCH {
+        flush_literals(&mut out, input);
+        return out;
+    }
+    let mut table = vec![u32::MAX; 1 << TABLE_BITS];
+    let mut prev = vec![u32::MAX; n];
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    let last_hashable = n - MIN_MATCH;
+
+    let insert = |table: &mut [u32], prev: &mut [u32], j: usize| {
+        let h = hash4(input, j);
+        prev[j] = table[h];
+        table[h] = j as u32;
+    };
+
+    while i <= last_hashable {
+        let h = hash4(input, i);
+        let mut cand = table[h];
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut probes = 0usize;
+        while cand != u32::MAX && probes < MAX_CHAIN {
+            let c = cand as usize;
+            // Cheap reject: compare the byte one past the current best.
+            if best_len == 0 || input.get(c + best_len) == input.get(i + best_len) {
+                let mut l = 0usize;
+                while i + l < n && input[c + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - c;
+                }
+            }
+            cand = prev[c];
+            probes += 1;
+        }
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, &input[lit_start..i]);
+            put_varint(&mut out, (((best_len - MIN_MATCH) as u64) << 1) | 1);
+            put_varint(&mut out, best_dist as u64);
+            // Index the covered positions so later matches can start inside
+            // this one (cap the work for very long matches: the chain only
+            // needs entry points, and runs self-reference via distance 1).
+            let end = (i + best_len).min(last_hashable + 1);
+            let step = 1 + best_len / 64;
+            let mut j = i;
+            while j < end {
+                insert(&mut table, &mut prev, j);
+                j += step;
+            }
+            i += best_len;
+            lit_start = i;
+        } else {
+            insert(&mut table, &mut prev, i);
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, &input[lit_start..]);
+    out
+}
+
+/// Decompresses `data`, expecting exactly `expected_len` output bytes.
+///
+/// # Errors
+/// Any structural violation of the token stream (see [`CodecError`]).
+pub fn decompress(data: &[u8], expected_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let token = get_varint(data, &mut pos)?;
+        if token & 1 == 0 {
+            let run = (token >> 1) as usize;
+            let end = pos.checked_add(run).ok_or(CodecError::Truncated)?;
+            if end > data.len() {
+                return Err(CodecError::Truncated);
+            }
+            if out.len() + run > expected_len {
+                return Err(CodecError::LengthOverrun);
+            }
+            out.extend_from_slice(&data[pos..end]);
+            pos = end;
+        } else {
+            let len = (token >> 1) as usize + MIN_MATCH;
+            let dist = get_varint(data, &mut pos)?;
+            if dist == 0 || dist as usize > out.len() {
+                return Err(CodecError::BadDistance {
+                    dist,
+                    produced: out.len(),
+                });
+            }
+            if out.len() + len > expected_len {
+                return Err(CodecError::LengthOverrun);
+            }
+            let d = dist as usize;
+            // Overlapping copy: byte-at-a-time semantics.
+            let start = out.len() - d;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != expected_len {
+        return Err(CodecError::LengthUnderrun {
+            produced: out.len(),
+            expected: expected_len,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = compress(data);
+        let d = decompress(&c, data.len()).unwrap();
+        assert_eq!(d, data, "roundtrip of {} bytes", data.len());
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(roundtrip(b""), 0);
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn zero_pages_compress_massively() {
+        let data = vec![0u8; 64 * 1024];
+        let c = compress(&data);
+        assert!(c.len() < 64, "zero page: {} compressed bytes", c.len());
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn repeated_structure_compresses() {
+        // Checkpoint-like: repeating 64-byte records with a small delta.
+        let mut data = Vec::new();
+        for i in 0..2048u64 {
+            let mut rec = [0u8; 64];
+            rec[..8].copy_from_slice(&i.to_le_bytes());
+            data.extend_from_slice(&rec);
+        }
+        let c = compress(&data);
+        assert!(
+            c.len() < data.len() / 4,
+            "structured data: {} of {}",
+            c.len(),
+            data.len()
+        );
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        // Pseudo-random bytes: expansion is bounded by the literal framing.
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xff) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + 16);
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_rle() {
+        let mut data = vec![7u8];
+        data.extend(std::iter::repeat_n(7u8, 999));
+        let c = compress(&data);
+        assert!(c.len() < 16, "RLE run: {} bytes", c.len());
+        assert_eq!(decompress(&c, 1000).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let data = vec![42u8; 512];
+        let c = compress(&data);
+        for cut in [1, c.len() / 2, c.len() - 1] {
+            assert!(decompress(&c[..cut], data.len()).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_expected_len_rejected() {
+        let data = b"hello hello hello hello".to_vec();
+        let c = compress(&data);
+        assert!(matches!(
+            decompress(&c, data.len() + 1),
+            Err(CodecError::LengthUnderrun { .. })
+        ));
+        assert!(decompress(&c, data.len() - 1).is_err());
+    }
+
+    #[test]
+    fn bad_distance_rejected() {
+        // Hand-built stream: match before any literal.
+        let mut s = Vec::new();
+        put_varint(&mut s, 1); // match, len = MIN_MATCH
+        put_varint(&mut s, 5); // dist 5 with 0 produced
+        assert!(matches!(
+            decompress(&s, 4),
+            Err(CodecError::BadDistance { .. })
+        ));
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        // Overlong varint rejected.
+        let bad = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(get_varint(&bad, &mut pos).is_err());
+    }
+}

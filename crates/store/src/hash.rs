@@ -1,0 +1,222 @@
+//! Keyed hashing: SipHash-2-4 (64-bit) plus a 128-bit composite digest.
+//!
+//! The store needs two things from a hash: **content addressing** (a stable
+//! key derived from program bytes and configuration, strong enough that two
+//! different inputs essentially never collide) and **integrity checking**
+//! (any flipped byte in a stored container must change the trailer). Both
+//! are served by SipHash-2-4, a small, well-studied keyed PRF that is
+//! straightforward to implement in safe `std`-only Rust and fully
+//! deterministic across platforms (all arithmetic is explicit
+//! little-endian / wrapping).
+//!
+//! [`Hash64`] is a streaming hasher (it implements [`std::io::Write`], so
+//! existing `write_to(&mut impl Write)` encoders can be piped straight into
+//! it without buffering). [`digest128`] runs two independently-keyed
+//! SipHash instances over the same bytes for a 128-bit content key.
+
+use std::io::{self, Write};
+
+/// Fixed key for checksums (the store is not defending against adversarial
+/// collisions, only corruption — a public fixed key is fine and keeps
+/// digests stable across processes).
+const CHECKSUM_KEY: (u64, u64) = (0x4c50_5354_4f52_4531, 0x6c6f_6f70_706f_696e);
+
+/// Second fixed key pair for the high half of [`digest128`].
+const DIGEST_HI_KEY: (u64, u64) = (0x9e37_79b9_7f4a_7c15, 0x2545_f491_4f6c_dd1d);
+
+#[inline]
+fn sip_round(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13);
+    v[1] ^= v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16);
+    v[3] ^= v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21);
+    v[3] ^= v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17);
+    v[1] ^= v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
+/// Streaming SipHash-2-4 (64-bit output) with an explicit key.
+#[derive(Debug, Clone)]
+pub struct Hash64 {
+    v: [u64; 4],
+    buf: [u8; 8],
+    buf_len: usize,
+    total: u64,
+}
+
+impl Hash64 {
+    /// A hasher keyed with `(k0, k1)`.
+    pub fn with_key(k0: u64, k1: u64) -> Self {
+        Hash64 {
+            v: [
+                k0 ^ 0x736f_6d65_7073_6575,
+                k1 ^ 0x646f_7261_6e64_6f6d,
+                k0 ^ 0x6c79_6765_6e65_7261,
+                k1 ^ 0x7465_6462_7974_6573,
+            ],
+            buf: [0; 8],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    /// The checksum-keyed hasher used by the container format.
+    pub fn checksum() -> Self {
+        Hash64::with_key(CHECKSUM_KEY.0, CHECKSUM_KEY.1)
+    }
+
+    #[inline]
+    fn compress(&mut self, m: u64) {
+        self.v[3] ^= m;
+        sip_round(&mut self.v);
+        sip_round(&mut self.v);
+        self.v[0] ^= m;
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        self.total = self.total.wrapping_add(bytes.len() as u64);
+        let mut rest = bytes;
+        if self.buf_len > 0 {
+            let need = 8 - self.buf_len;
+            let take = need.min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 8 {
+                let m = u64::from_le_bytes(self.buf);
+                self.compress(m);
+                self.buf_len = 0;
+            }
+        }
+        if rest.is_empty() {
+            // Everything was absorbed into the partial buffer above; do not
+            // clobber buf_len.
+            return;
+        }
+        // Invariant: reaching here means the partial buffer is empty (if it
+        // had bytes, it either filled to 8 and was flushed, or it consumed
+        // all of `rest`).
+        debug_assert_eq!(self.buf_len, 0);
+        let mut chunks = rest.chunks_exact(8);
+        for c in &mut chunks {
+            let m = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.compress(m);
+        }
+        let tail = chunks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.buf_len = tail.len();
+    }
+
+    /// Finalizes and returns the 64-bit digest.
+    pub fn finish(mut self) -> u64 {
+        let mut last = [0u8; 8];
+        last[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        last[7] = (self.total & 0xff) as u8;
+        let m = u64::from_le_bytes(last);
+        self.compress(m);
+        self.v[2] ^= 0xff;
+        for _ in 0..4 {
+            sip_round(&mut self.v);
+        }
+        self.v[0] ^ self.v[1] ^ self.v[2] ^ self.v[3]
+    }
+}
+
+impl Write for Hash64 {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.update(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One-shot checksum of `bytes` with the container key.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h = Hash64::checksum();
+    h.update(bytes);
+    h.finish()
+}
+
+/// 128-bit content digest: two independently-keyed SipHash-2-4 runs.
+pub fn digest128(bytes: &[u8]) -> [u8; 16] {
+    let mut lo = Hash64::checksum();
+    let mut hi = Hash64::with_key(DIGEST_HI_KEY.0, DIGEST_HI_KEY.1);
+    lo.update(bytes);
+    hi.update(bytes);
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&lo.finish().to_le_bytes());
+    out[8..].copy_from_slice(&hi.finish().to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let whole = checksum64(&data);
+        for split in [0, 1, 7, 8, 9, 63, 999, data.len()] {
+            let mut h = Hash64::checksum();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), whole, "split at {split}");
+        }
+        // Byte-at-a-time.
+        let mut h = Hash64::checksum();
+        for b in &data {
+            h.update(&[*b]);
+        }
+        assert_eq!(h.finish(), whole);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let mut data = vec![0u8; 4096];
+        data[100] = 7;
+        let base = checksum64(&data);
+        for pos in [0usize, 1, 100, 2048, 4095] {
+            for bit in [0u8, 3, 7] {
+                let mut d = data.clone();
+                d[pos] ^= 1 << bit;
+                assert_ne!(checksum64(&d), base, "flip at {pos}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn length_extension_suffixes_differ() {
+        // Same prefix, different lengths: digests must differ (the length
+        // is folded into the final block).
+        assert_ne!(checksum64(b""), checksum64(b"\0"));
+        assert_ne!(checksum64(b"ab"), checksum64(b"ab\0"));
+    }
+
+    #[test]
+    fn digest128_halves_are_independent() {
+        let a = digest128(b"hello world");
+        let b = digest128(b"hello worle");
+        assert_ne!(a, b);
+        assert_ne!(&a[..8], &a[8..], "keys differ so halves differ");
+    }
+
+    #[test]
+    fn write_impl_feeds_hasher() {
+        use std::io::Write as _;
+        let mut h = Hash64::checksum();
+        h.write_all(b"abcdef").unwrap();
+        assert_eq!(h.finish(), checksum64(b"abcdef"));
+    }
+}

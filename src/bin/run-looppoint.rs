@@ -11,11 +11,13 @@
 //! ```
 
 use looppoint::{
-    analyze, error_pct, extrapolate, simulate_representatives_checkpointed_with, simulate_whole,
-    speedups, LoopPointConfig, SimOptions, DEFAULT_MAX_STEPS,
+    analyze, analyze_cached, error_pct, extrapolate, prepare_region_checkpoints_cached,
+    simulate_prepared, simulate_representatives_checkpointed_with, simulate_whole, speedups,
+    LoopPointConfig, SimOptions, DEFAULT_MAX_STEPS,
 };
 use lp_obs::{lp_debug, lp_info, lp_warn, LogLevel, Observer};
 use lp_omp::WaitPolicy;
+use lp_store::{Store, StoreConfig};
 use lp_uarch::SimConfig;
 use lp_workloads::{build, matrix_demo, InputClass, WorkloadSpec};
 use std::process::ExitCode;
@@ -34,6 +36,9 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     log_level: LogLevel,
+    store_dir: Option<String>,
+    store_max_bytes: Option<u64>,
+    no_store: bool,
 }
 
 const USAGE: &str = "\
@@ -64,6 +69,16 @@ OPTIONS:
                                https://ui.perfetto.dev)
         --metrics-out <path>   write a flat JSON metrics report (counters,
                                gauges, log2-bucketed histograms)
+        --store-dir <path>     persistent artifact store: cache pinballs,
+                               analyses, BBV matrices, clusterings, and
+                               region checkpoints keyed by (program,
+                               threads, config); re-runs skip recording,
+                               replay, slicing, clustering, and checkpoint
+                               generation
+        --store-max-bytes <n>  on-disk byte budget for the store; least
+                               recently used artifacts are evicted
+                               [default: unbounded]
+        --no-store             ignore --store-dir (one-off fresh run)
         --log-level <level>    quiet | info | debug [default: info]
     -v, --verbose              print the full analysis report (slices,
                                clusters, symbolized markers)
@@ -87,6 +102,9 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         metrics_out: None,
         log_level: LogLevel::Info,
+        store_dir: None,
+        store_max_bytes: None,
+        no_store: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -139,6 +157,17 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--store-dir" => args.store_dir = Some(value("--store-dir")?),
+            "--store-max-bytes" => {
+                let n: u64 = value("--store-max-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad store byte budget: {e}"))?;
+                if n == 0 {
+                    return Err("--store-max-bytes must be positive".to_string());
+                }
+                args.store_max_bytes = Some(n);
+            }
+            "--no-store" => args.no_store = true,
             "--log-level" => {
                 args.log_level = value("--log-level")?.parse()?;
             }
@@ -170,6 +199,7 @@ fn run_one(
     spec: &WorkloadSpec,
     args: &Args,
     obs: &Observer,
+    store: Option<&Store>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let nthreads = spec.effective_threads(args.ncores);
     let program = build(spec, args.input, args.ncores, args.policy);
@@ -202,7 +232,13 @@ fn run_one(
     cfg.max_steps = args.max_steps;
 
     lp_info!("[1/4] profiling (record + constrained replays) ...");
-    let analysis = analyze(&program, nthreads, &cfg)?;
+    let (analysis, from_store) = match store {
+        Some(store) => analyze_cached(&program, nthreads, &cfg, store)?,
+        None => (analyze(&program, nthreads, &cfg)?, false),
+    };
+    if from_store {
+        lp_info!("      analysis served from the artifact store (no recording or replay)");
+    }
     lp_info!(
         "      {} slices, {} clusters -> {} looppoints; spin filter removed {:.1}% of instructions",
         analysis.profile.slices.len(),
@@ -238,9 +274,19 @@ fn run_one(
         pool_size: (args.pool_size > 0).then_some(args.pool_size),
         ..Default::default()
     };
-    let results = simulate_representatives_checkpointed_with(
-        &analysis, &program, nthreads, &simcfg, 2, &sim_opts,
-    )?;
+    let results = match store {
+        Some(store) => {
+            let (prepared, ck_hit) =
+                prepare_region_checkpoints_cached(&analysis, &program, nthreads, &cfg, 2, store)?;
+            if ck_hit {
+                lp_info!("      region checkpoints served from the artifact store");
+            }
+            simulate_prepared(&prepared, &program, nthreads, &simcfg, &sim_opts)?
+        }
+        None => simulate_representatives_checkpointed_with(
+            &analysis, &program, nthreads, &simcfg, 2, &sim_opts,
+        )?,
+    };
 
     lp_info!("[3/4] extrapolating whole-program performance ...");
     let prediction = extrapolate(&results);
@@ -325,15 +371,51 @@ fn main() -> ExitCode {
         lp_warn!("global observer already installed; exports may be incomplete");
     }
 
+    let store = match (&args.store_dir, args.no_store) {
+        (Some(dir), false) => {
+            let config = StoreConfig {
+                max_bytes: args.store_max_bytes,
+            };
+            match Store::open_with(dir, config, obs.clone()) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("error: opening artifact store at {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => None,
+    };
+
     for name in &args.programs {
         let Some(spec) = resolve(name) else {
             eprintln!("error: unknown program '{name}' (see --help)");
             return ExitCode::FAILURE;
         };
-        if let Err(e) = run_one(&spec, &args, &obs) {
+        if let Err(e) = run_one(&spec, &args, &obs, store.as_ref()) {
             eprintln!("error: {name}: {e}");
             return ExitCode::FAILURE;
         }
+    }
+
+    if let Some(store) = &store {
+        let s = store.stats();
+        lp_info!(
+            "\nstore: {} hits, {} misses, {} evictions, {} corruptions; {} artifacts on disk \
+             ({} B stored, {} B raw, {:.2}x compression)",
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.corruptions,
+            store.len(),
+            s.bytes_stored,
+            s.bytes_raw,
+            if s.bytes_stored > 0 {
+                s.bytes_raw as f64 / s.bytes_stored as f64
+            } else {
+                1.0
+            }
+        );
     }
 
     if let Some(path) = &args.trace_out {
