@@ -86,4 +86,80 @@ for section in ("cold", "sweep"):
         sys.exit(f"BENCH_store.json: {section} speedup {s} < 5x")
 PY
 
+echo "== telemetry-smoke (live endpoint) =="
+# Start a run with the live endpoint on an ephemeral port, poll /healthz
+# while it is in flight, assert /metrics is Prometheus text with the
+# pipeline's series, and require a clean exit afterwards.
+SERVE_LOG="$PWD/target/ci-serve.log"
+"${RUNNER[@]}" -p demo-matrix-1,demo-matrix-2 -n 4 --slice-base 4000 \
+  --serve-metrics 127.0.0.1:0 --serve-linger-ms 4000 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^telemetry: listening on \([0-9.:]*\).*/\1/p' "$SERVE_LOG" | head -n1)
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SERVE_LOG" >&2; echo "telemetry-smoke: driver died before binding" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { cat "$SERVE_LOG" >&2; echo "telemetry-smoke: no listening line" >&2; exit 1; }
+HEALTH=$(curl -sf --max-time 5 "http://$ADDR/healthz")
+echo "$HEALTH" | grep -q '"status":"ok"' || { echo "telemetry-smoke: bad /healthz: $HEALTH" >&2; exit 1; }
+echo "$HEALTH" | grep -q '"phase"' || { echo "telemetry-smoke: /healthz lacks phase" >&2; exit 1; }
+# Let the run get past analysis so sim_* series exist, then scrape.
+METRICS=""
+for _ in $(seq 1 200); do
+  METRICS=$(curl -sf --max-time 5 "http://$ADDR/metrics" || true)
+  echo "$METRICS" | grep -q '^sim_' && echo "$METRICS" | grep -q '^analyze_' && break
+  sleep 0.1
+done
+echo "$METRICS" | grep -q '^# TYPE ' || { echo "telemetry-smoke: /metrics lacks # TYPE lines" >&2; exit 1; }
+echo "$METRICS" | grep -Eq '^analyze_[a-z_]+ [0-9]' || { echo "telemetry-smoke: no analyze_ series" >&2; exit 1; }
+echo "$METRICS" | grep -Eq '^sim_[a-z_]+' || { echo "telemetry-smoke: no sim_ series" >&2; exit 1; }
+echo "$METRICS" | grep -q '_bucket{le="+Inf"}' || { echo "telemetry-smoke: no histogram bucket series" >&2; exit 1; }
+wait "$SERVE_PID" || { cat "$SERVE_LOG" >&2; echo "telemetry-smoke: driver exited non-zero" >&2; exit 1; }
+# Clean shutdown released the port.
+curl -sf --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1 && { echo "telemetry-smoke: endpoint still up after exit" >&2; exit 1; }
+
+echo "== diag-smoke (accuracy attribution) =="
+# Two workloads through --diag-report; validate the document against the
+# minimal schema and the exact-sum acceptance invariant: per-cluster
+# attributed errors sum to the end-to-end extrapolation error, and each
+# cluster's cause components sum to its error.
+DIAG_OUT="$PWD/target/ci-diag.json"
+DIAG_LOG="$PWD/target/ci-diag.log"
+"${RUNNER[@]}" -p demo-matrix-1,demo-matrix-2 -n 4 --slice-base 4000 \
+  --diag-report "$DIAG_OUT" > "$DIAG_LOG" 2>&1 \
+  || { cat "$DIAG_LOG" >&2; echo "diag-smoke: run failed" >&2; exit 1; }
+grep -q 'accuracy attribution:' "$DIAG_LOG" || { echo "diag-smoke: no attribution table printed" >&2; exit 1; }
+python3 - "$DIAG_OUT" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    reports = json.load(f)
+assert isinstance(reports, list) and len(reports) == 2, f"expected 2 reports, got {reports!r:.80}"
+REPORT_KEYS = {"schema_version", "workload", "nthreads", "k", "predicted_cycles",
+               "actual_cycles", "error_cycles", "error_pct", "clusters", "profile"}
+CLUSTER_KEYS = {"cluster", "slice_index", "multiplier", "weight", "predicted_cycles",
+                "attributed_actual_cycles", "error_cycles", "error_pct",
+                "rep_distance", "mean_member_distance", "components"}
+for r in reports:
+    missing = REPORT_KEYS - r.keys()
+    assert not missing, f"{r.get('workload')}: missing report keys {missing}"
+    assert r["schema_version"] == 1, r["schema_version"]
+    assert r["k"] == len(r["clusters"]) > 0
+    tol = 1e-6 * max(abs(r["error_cycles"]), 1.0)
+    total = sum(c["error_cycles"] for c in r["clusters"])
+    assert abs(total - r["error_cycles"]) <= tol, \
+        f"{r['workload']}: cluster errors {total} != end-to-end {r['error_cycles']}"
+    for c in r["clusters"]:
+        missing = CLUSTER_KEYS - c.keys()
+        assert not missing, f"cluster {c.get('cluster')}: missing keys {missing}"
+        comp = c["components"]
+        s = comp["representativeness"] + comp["warmup"] + comp["extrapolation"]
+        ctol = 1e-6 * max(abs(c["error_cycles"]), 1.0)
+        assert abs(s - c["error_cycles"]) <= ctol, \
+            f"{r['workload']} cluster {c['cluster']}: components {s} != {c['error_cycles']}"
+    assert r["profile"]["wall_us"] > 0 and r["profile"]["phases"], "empty self-profile"
+print(f"diag-smoke: {len(reports)} reports, attribution sums exact")
+PY
+
 echo "CI green."

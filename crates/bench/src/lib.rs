@@ -125,6 +125,22 @@ impl AppEval {
     pub fn cycles_error_pct(&self) -> f64 {
         self.runtime_error_pct()
     }
+
+    /// The accuracy-attribution report for this evaluation: per-cluster
+    /// signed errors (summing exactly to the end-to-end error) split into
+    /// representativeness / warmup / extrapolation causes, plus a
+    /// self-profile of the spans recorded by `obs`. See
+    /// [`looppoint::diagnose`].
+    pub fn diag_report(&self, obs: &lp_obs::Observer) -> lp_diag::DiagReport {
+        looppoint::diagnose(
+            &self.name,
+            self.nthreads,
+            &self.analysis,
+            &self.results,
+            Some(&self.full),
+            obs,
+        )
+    }
 }
 
 /// The default pipeline configuration for bench runs.

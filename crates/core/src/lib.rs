@@ -26,6 +26,8 @@
 //! * [`simulate_representatives`] — binary-driven unconstrained simulation
 //!   of every looppoint with fast-forward warmup (§III-F, §V-A);
 //! * [`extrapolate`] — Eq. 1/2 runtime and metric reconstruction (§III-G);
+//! * [`diagnose`] — per-cluster accuracy attribution of the extrapolation
+//!   error (representativeness / warmup / multiplier residual);
 //! * [`speedups`] — theoretical/actual, serial/parallel speedups (§V-B);
 //! * [`baselines`] — BarrierPoint, naive multi-threaded SimPoint, and
 //!   time-based sampling, for the paper's comparisons;
@@ -84,6 +86,7 @@ pub mod baselines;
 mod config;
 pub mod constrained;
 mod coverage;
+mod diagnose;
 mod error;
 mod extrapolate;
 pub mod persist;
@@ -97,8 +100,10 @@ mod testutil;
 
 pub use config::{LoopPointConfig, DEFAULT_MAX_STEPS};
 pub use coverage::Coverage;
+pub use diagnose::diagnose;
 pub use error::LoopPointError;
 pub use extrapolate::{error_pct, extrapolate, Prediction};
+pub use lp_diag::{DiagReport, SelfProfile};
 pub use persist::{
     analysis_key, analyze_cached, checkpoints_key, prepare_region_checkpoints_cached,
 };

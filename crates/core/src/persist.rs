@@ -36,8 +36,8 @@ use std::sync::Arc;
 
 /// Bumped whenever any payload encoding below changes shape. Folded into
 /// the store key, so old artifacts become unreachable rather than
-/// mis-decoded.
-const PERSIST_VERSION: u64 = 1;
+/// mis-decoded. (v2: clustering carries per-point centroid distances.)
+const PERSIST_VERSION: u64 = 2;
 
 // ---------------------------------------------------------------------------
 // Store keys
@@ -87,6 +87,13 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 
 fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
+}
+
+fn put_f64_slice(out: &mut Vec<u8>, v: &[f64]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        put_f64(out, x);
+    }
 }
 
 fn put_usize_slice(out: &mut Vec<u8>, v: &[usize]) {
@@ -163,6 +170,11 @@ impl<'a> Rd<'a> {
     fn u64_vec(&mut self) -> DecodeResult<Vec<u64>> {
         let n = self.len()?;
         (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn f64_vec(&mut self) -> DecodeResult<Vec<f64>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.f64()).collect()
     }
 
     fn usize_vec(&mut self) -> DecodeResult<Vec<usize>> {
@@ -271,6 +283,7 @@ pub fn encode_clustering(c: &Clustering) -> Vec<u8> {
     put_usize_slice(&mut out, &c.assignments);
     put_usize_slice(&mut out, &c.representatives);
     put_usize_slice(&mut out, &c.cluster_sizes);
+    put_f64_slice(&mut out, &c.point_distances);
     put_f64(&mut out, c.bic);
     put_f64(&mut out, c.sse);
     out
@@ -283,17 +296,26 @@ pub fn decode_clustering(bytes: &[u8]) -> DecodeResult<Clustering> {
     let assignments = r.usize_vec()?;
     let representatives = r.usize_vec()?;
     let cluster_sizes = r.usize_vec()?;
+    let point_distances = r.f64_vec()?;
     let bic = r.f64()?;
     let sse = r.f64()?;
     r.finish()?;
     if representatives.len() != k || cluster_sizes.len() != k {
         return Err(format!("clustering k={k} disagrees with vector lengths"));
     }
+    if point_distances.len() != assignments.len() {
+        return Err(format!(
+            "clustering point_distances len {} disagrees with {} assignments",
+            point_distances.len(),
+            assignments.len()
+        ));
+    }
     Ok(Clustering {
         k,
         assignments,
         representatives,
         cluster_sizes,
+        point_distances,
         bic,
         sse,
     })

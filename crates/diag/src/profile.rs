@@ -1,0 +1,207 @@
+//! Self-profile: where the pipeline's own wall-clock went, summarized
+//! from the recorded trace spans.
+//!
+//! Two views are derived from the Chrome-trace event stream:
+//!
+//! * **per-phase totals** — complete spans aggregated by name (total
+//!   duration, call count, max single duration), sorted by total
+//!   descending, so the dominant cost is the first row;
+//! * **critical path** — starting from the longest *root* span (one not
+//!   enclosed by any other span on the same lane), repeatedly descend
+//!   into the longest directly-enclosed child. The resulting chain names
+//!   the nested phases that actually bound the run's wall-clock.
+
+use lp_obs::trace::Phase;
+use lp_obs::TraceEvent;
+
+/// Aggregated cost of one named span across the whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseCost {
+    /// Span name (e.g. `analyze.clustering`, `region.sim`).
+    pub name: String,
+    /// Sum of all durations, microseconds.
+    pub total_us: u64,
+    /// Number of spans recorded under this name.
+    pub count: u64,
+    /// Longest single span, microseconds.
+    pub max_us: u64,
+}
+
+/// One step of the critical path: a span name and its duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalStep {
+    /// Span name.
+    pub name: String,
+    /// Duration of the chosen span, microseconds.
+    pub dur_us: u64,
+}
+
+/// The pipeline's own cost summary (see the module docs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelfProfile {
+    /// Observed wall-clock: last span end minus first span start,
+    /// microseconds (0 with no complete spans).
+    pub wall_us: u64,
+    /// Per-name totals, sorted by `total_us` descending, then by name.
+    pub phases: Vec<PhaseCost>,
+    /// Longest root-to-leaf span chain (outermost first).
+    pub critical_path: Vec<CriticalStep>,
+}
+
+impl SelfProfile {
+    /// Builds the profile from recorded trace events; only complete
+    /// (`"X"`) spans participate.
+    pub fn from_events(events: &[TraceEvent]) -> SelfProfile {
+        let spans: Vec<&TraceEvent> = events.iter().filter(|e| e.ph == Phase::Complete).collect();
+        if spans.is_empty() {
+            return SelfProfile::default();
+        }
+
+        let start = spans.iter().map(|e| e.ts_us).min().unwrap_or(0);
+        let end = spans.iter().map(|e| e.ts_us + e.dur_us).max().unwrap_or(0);
+
+        let mut by_name: std::collections::BTreeMap<&str, PhaseCost> =
+            std::collections::BTreeMap::new();
+        for e in &spans {
+            let entry = by_name.entry(e.name.as_str()).or_insert_with(|| PhaseCost {
+                name: e.name.clone(),
+                total_us: 0,
+                count: 0,
+                max_us: 0,
+            });
+            entry.total_us += e.dur_us;
+            entry.count += 1;
+            entry.max_us = entry.max_us.max(e.dur_us);
+        }
+        let mut phases: Vec<PhaseCost> = by_name.into_values().collect();
+        phases.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+
+        SelfProfile {
+            wall_us: end.saturating_sub(start),
+            phases,
+            critical_path: critical_path(&spans),
+        }
+    }
+}
+
+/// `a` strictly encloses `b` on the same lane (proper containment; ties
+/// on both endpoints do not count, so a span never encloses itself).
+fn encloses(a: &TraceEvent, b: &TraceEvent) -> bool {
+    a.tid == b.tid
+        && a.ts_us <= b.ts_us
+        && a.ts_us + a.dur_us >= b.ts_us + b.dur_us
+        && (a.ts_us, a.ts_us + a.dur_us) != (b.ts_us, b.ts_us + b.dur_us)
+}
+
+fn critical_path(spans: &[&TraceEvent]) -> Vec<CriticalStep> {
+    // Roots: spans not enclosed by any other span.
+    let root = spans
+        .iter()
+        .filter(|s| !spans.iter().any(|o| encloses(o, s)))
+        .max_by_key(|s| s.dur_us);
+    let Some(mut current) = root.copied() else {
+        return Vec::new();
+    };
+    let mut path = vec![CriticalStep {
+        name: current.name.clone(),
+        dur_us: current.dur_us,
+    }];
+    loop {
+        // Direct children: enclosed by `current` but by no other span that
+        // is itself enclosed by `current` (i.e. nearest enclosure).
+        let children: Vec<&&TraceEvent> = spans
+            .iter()
+            .filter(|s| encloses(current, s))
+            .filter(|s| {
+                !spans
+                    .iter()
+                    .any(|mid| encloses(current, mid) && encloses(mid, s))
+            })
+            .collect();
+        match children.into_iter().max_by_key(|s| s.dur_us) {
+            Some(child) => {
+                path.push(CriticalStep {
+                    name: child.name.clone(),
+                    dur_us: child.dur_us,
+                });
+                current = child;
+            }
+            None => break,
+        }
+        if path.len() > 64 {
+            break; // degenerate nesting guard
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_obs::trace::Phase;
+
+    fn span(name: &str, tid: u64, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat: "pipeline",
+            ph: Phase::Complete,
+            ts_us: ts,
+            dur_us: dur,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_events_give_default_profile() {
+        let p = SelfProfile::from_events(&[]);
+        assert_eq!(p, SelfProfile::default());
+    }
+
+    #[test]
+    fn phases_aggregate_and_sort_by_total() {
+        let events = vec![
+            span("a", 0, 0, 10),
+            span("a", 0, 20, 30),
+            span("b", 0, 60, 100),
+        ];
+        let p = SelfProfile::from_events(&events);
+        assert_eq!(p.wall_us, 160);
+        assert_eq!(p.phases[0].name, "b");
+        assert_eq!(p.phases[0].total_us, 100);
+        assert_eq!(p.phases[1].name, "a");
+        assert_eq!(p.phases[1].total_us, 40);
+        assert_eq!(p.phases[1].count, 2);
+        assert_eq!(p.phases[1].max_us, 30);
+    }
+
+    #[test]
+    fn critical_path_descends_into_longest_children() {
+        // analyze [0,100) encloses slicing [10,70) and clustering [70,95);
+        // slicing encloses replay [20,60).
+        let events = vec![
+            span("analyze", 0, 0, 100),
+            span("analyze.slicing", 0, 10, 60),
+            span("analyze.clustering", 0, 70, 25),
+            span("analyze.slicing.replay", 0, 20, 40),
+            // A long span on another lane that is NOT a root child.
+            span("region.sim", 1, 0, 80),
+        ];
+        let p = SelfProfile::from_events(&events);
+        let names: Vec<&str> = p.critical_path.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["analyze", "analyze.slicing", "analyze.slicing.replay"]
+        );
+        assert_eq!(p.critical_path[0].dur_us, 100);
+    }
+
+    #[test]
+    fn identical_twin_spans_do_not_recurse_forever() {
+        // Two spans with the same interval must not enclose each other.
+        let events = vec![span("x", 0, 0, 10), span("x", 0, 0, 10)];
+        let p = SelfProfile::from_events(&events);
+        assert!(p.critical_path.len() <= 2, "{:?}", p.critical_path);
+        assert_eq!(p.phases[0].count, 2);
+    }
+}

@@ -1,0 +1,286 @@
+//! Crash-safe telemetry export: atomic file writes plus a background
+//! flusher that periodically rewrites the trace/metrics outputs.
+//!
+//! Historically the driver wrote `--trace-out`/`--metrics-out` once, at
+//! the end of a *successful* run — a panic or `kill` lost every recorded
+//! span and counter. [`PeriodicFlusher`] rewrites both files every
+//! interval with the same temp-file + fsync + rename pattern the artifact
+//! store uses, so at any instant the on-disk files are complete, valid
+//! JSON no more than one interval stale.
+
+use crate::names;
+use crate::Observer;
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Writes `bytes` to `path` atomically: unique temp file in the target's
+/// directory, fsync, rename over the target, fsync the directory.
+/// A crash at any point leaves either the old file or the new one —
+/// never a truncated mix.
+///
+/// # Errors
+/// Propagates filesystem errors; the temp file is removed on failure.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, dir.join(file_name))?;
+        // Durability of the rename itself: fsync the directory. Some
+        // platforms refuse to open directories for writing; a failure here
+        // only weakens crash-durability, never correctness, so ignore it.
+        if let Ok(d) = File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Which export files a flush rewrites.
+#[derive(Debug, Clone, Default)]
+pub struct FlushTargets {
+    /// Chrome `trace_event` JSON destination (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
+    /// Flat metrics report JSON destination (`--metrics-out`).
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl FlushTargets {
+    /// Whether there is anything to write at all.
+    pub fn is_empty(&self) -> bool {
+        self.trace_out.is_none() && self.metrics_out.is_none()
+    }
+}
+
+/// Atomically (re)writes every configured export from the observer's
+/// current state. This is the single finalize helper every driver exit
+/// path (success *and* error) routes through.
+///
+/// # Errors
+/// The first filesystem error; remaining targets are still attempted.
+pub fn flush_exports(obs: &Observer, targets: &FlushTargets) -> io::Result<()> {
+    let mut first_err: Option<io::Error> = None;
+    if let Some(path) = &targets.trace_out {
+        if let Err(e) = obs.write_chrome_trace(path) {
+            first_err.get_or_insert(e);
+        }
+    }
+    if let Some(path) = &targets.metrics_out {
+        if let Err(e) = obs.write_metrics(path) {
+            first_err.get_or_insert(e);
+        }
+    }
+    match first_err {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+struct FlushShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// A background thread that calls [`flush_exports`] every `interval`, so
+/// a crashed or killed run still leaves parseable telemetry on disk, at
+/// most one interval stale. Periodic write failures are counted
+/// (`obs.flush.errors`) but never abort the run.
+#[derive(Debug)]
+#[must_use = "dropping the flusher stops periodic flushing; call stop() for a final flush"]
+pub struct PeriodicFlusher {
+    shared: Arc<FlushShared>,
+    handle: Option<JoinHandle<()>>,
+    obs: Observer,
+    targets: FlushTargets,
+}
+
+impl std::fmt::Debug for FlushShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FlushShared")
+    }
+}
+
+impl PeriodicFlusher {
+    /// Starts the flusher thread. With empty `targets` or a disabled
+    /// observer no thread is spawned (stop becomes a cheap no-op).
+    pub fn start(obs: Observer, targets: FlushTargets, interval: Duration) -> PeriodicFlusher {
+        let shared = Arc::new(FlushShared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let handle = if targets.is_empty() || !obs.is_enabled() {
+            None
+        } else {
+            let shared = Arc::clone(&shared);
+            let obs = obs.clone();
+            let targets = targets.clone();
+            std::thread::Builder::new()
+                .name("lp-obs-flush".to_string())
+                .spawn(move || {
+                    let mut stopped = shared.stop.lock().expect("flush lock poisoned");
+                    loop {
+                        let (guard, _timeout) = shared
+                            .wake
+                            .wait_timeout(stopped, interval)
+                            .expect("flush lock poisoned");
+                        stopped = guard;
+                        if *stopped {
+                            break;
+                        }
+                        match flush_exports(&obs, &targets) {
+                            Ok(()) => obs.counter(names::OBS_FLUSH_WRITES).inc(),
+                            Err(_) => obs.counter(names::OBS_FLUSH_ERRORS).inc(),
+                        }
+                    }
+                })
+                .ok()
+        };
+        PeriodicFlusher {
+            shared,
+            handle,
+            obs,
+            targets,
+        }
+    }
+
+    /// Stops the thread and performs one final flush, so the on-disk
+    /// files reflect the very last state (final counters included).
+    ///
+    /// # Errors
+    /// The final flush's first filesystem error.
+    pub fn stop(mut self) -> io::Result<()> {
+        self.signal_and_join();
+        if self.targets.is_empty() {
+            return Ok(());
+        }
+        flush_exports(&self.obs, &self.targets)
+    }
+
+    fn signal_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            *self.shared.stop.lock().expect("flush lock poisoned") = true;
+            self.shared.wake.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PeriodicFlusher {
+    fn drop(&mut self) {
+        // Best-effort: stop the thread and leave a final state on disk
+        // even if stop() was never called (e.g. unwinding).
+        self.signal_and_join();
+        if !self.targets.is_empty() && self.obs.is_enabled() {
+            let _ = flush_exports(&self.obs, &self.targets);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "lp-obs-flush-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let d = tmpdir("atomic");
+        let p = d.join("out.json");
+        write_atomic(&p, b"{\"a\":1}").unwrap();
+        write_atomic(&p, b"{\"a\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "{\"a\":2}");
+        // No temp litter left behind.
+        let leftovers: Vec<_> = fs::read_dir(&d)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn periodic_flusher_writes_before_stop() {
+        let d = tmpdir("periodic");
+        let obs = Observer::enabled();
+        obs.counter("tick").add(1);
+        let targets = FlushTargets {
+            trace_out: Some(d.join("trace.json")),
+            metrics_out: Some(d.join("metrics.json")),
+        };
+        let flusher =
+            PeriodicFlusher::start(obs.clone(), targets.clone(), Duration::from_millis(20));
+        // Wait for at least one periodic flush.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !targets.metrics_out.as_ref().unwrap().exists()
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            targets.metrics_out.as_ref().unwrap().exists(),
+            "periodic flush never produced a metrics file"
+        );
+        // Mid-run files are valid JSON.
+        let mid = fs::read_to_string(targets.metrics_out.as_ref().unwrap()).unwrap();
+        json::parse(&mid).expect("mid-run metrics must parse");
+
+        obs.counter("tick").add(41);
+        flusher.stop().unwrap();
+        let fin = fs::read_to_string(targets.metrics_out.as_ref().unwrap()).unwrap();
+        let doc = json::parse(&fin).unwrap();
+        assert_eq!(
+            doc.get("counters").unwrap().get("tick").unwrap().as_u64(),
+            Some(42),
+            "final flush must include post-periodic updates"
+        );
+        let trace = fs::read_to_string(targets.trace_out.as_ref().unwrap()).unwrap();
+        json::parse(&trace).expect("trace must parse");
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn empty_targets_spawn_nothing_and_stop_is_ok() {
+        let flusher = PeriodicFlusher::start(
+            Observer::enabled(),
+            FlushTargets::default(),
+            Duration::from_millis(1),
+        );
+        assert!(flusher.handle.is_none());
+        flusher.stop().unwrap();
+    }
+}

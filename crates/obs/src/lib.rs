@@ -41,19 +41,25 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flush;
 pub mod json;
 mod log;
 pub mod metrics;
 pub mod names;
+pub mod prometheus;
+pub mod serve;
 pub mod trace;
 
 pub use crate::log::{log_enabled, log_level, set_log_level, LogLevel};
+pub use flush::{write_atomic, FlushTargets, PeriodicFlusher};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use serve::TelemetryServer;
 pub use trace::{SpanGuard, TraceArg, TraceEvent};
 
 use std::fmt;
 use std::path::Path;
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 use trace::{ActiveSpan, Phase};
 
@@ -62,6 +68,11 @@ pub(crate) struct Inner {
     pub(crate) epoch: Instant,
     pub(crate) trace: trace::TraceSink,
     pub(crate) metrics: MetricsRegistry,
+    /// Coarse pipeline phase, surfaced on the `/healthz` endpoint.
+    pub(crate) phase: Mutex<String>,
+    /// Microseconds-since-epoch of the most recent heartbeat (span open,
+    /// phase change, or explicit [`Observer::heartbeat`]).
+    pub(crate) heartbeat_us: AtomicU64,
 }
 
 /// A cheap, clonable observability handle: either enabled (shared sink and
@@ -88,6 +99,8 @@ impl Observer {
                 epoch: Instant::now(),
                 trace: trace::TraceSink::default(),
                 metrics: MetricsRegistry::default(),
+                phase: Mutex::new("init".to_string()),
+                heartbeat_us: AtomicU64::new(0),
             })),
         }
     }
@@ -211,20 +224,74 @@ impl Observer {
         self.snapshot().to_json().to_string()
     }
 
-    /// Writes the Chrome trace to `path`.
+    /// The metrics registry rendered in the Prometheus text exposition
+    /// format (the `/metrics` endpoint payload).
+    pub fn prometheus_text(&self) -> String {
+        prometheus::render(&self.snapshot())
+    }
+
+    /// Writes the Chrome trace to `path` **atomically** (temp + fsync +
+    /// rename): a crash mid-write never leaves a truncated file.
     ///
     /// # Errors
     /// Propagates filesystem errors.
     pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.chrome_trace_json())
+        flush::write_atomic(path.as_ref(), self.chrome_trace_json().as_bytes())
     }
 
-    /// Writes the metrics report to `path`.
+    /// Writes the metrics report to `path` **atomically** (temp + fsync +
+    /// rename).
     ///
     /// # Errors
     /// Propagates filesystem errors.
     pub fn write_metrics(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.metrics_json())
+        flush::write_atomic(path.as_ref(), self.metrics_json().as_bytes())
+    }
+
+    /// Sets the coarse pipeline phase shown on `/healthz` and bumps the
+    /// heartbeat. No-op when disabled.
+    pub fn set_phase(&self, phase: &str) {
+        if let Some(inner) = &self.inner {
+            *inner.phase.lock().expect("phase poisoned") = phase.to_string();
+            self.heartbeat();
+        }
+    }
+
+    /// The current coarse pipeline phase (`""` when disabled).
+    pub fn phase(&self) -> String {
+        match &self.inner {
+            None => String::new(),
+            Some(inner) => inner.phase.lock().expect("phase poisoned").clone(),
+        }
+    }
+
+    /// Records a liveness heartbeat (hot loops call this on their sampling
+    /// cadence; `/healthz` reports the age of the latest one).
+    #[inline]
+    pub fn heartbeat(&self) {
+        if let Some(inner) = &self.inner {
+            inner
+                .heartbeat_us
+                .store(trace::micros_since(inner.epoch), Ordering::Relaxed);
+        }
+    }
+
+    /// Microseconds since the most recent heartbeat (process uptime when
+    /// none was ever recorded; 0 when disabled).
+    pub fn heartbeat_age_us(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => trace::micros_since(inner.epoch)
+                .saturating_sub(inner.heartbeat_us.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Microseconds since this observer was created (0 when disabled).
+    pub fn uptime_us(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => trace::micros_since(inner.epoch),
+        }
     }
 }
 

@@ -1,11 +1,17 @@
 //! Canonical signal names used across the pipeline.
 //!
 //! Every counter, gauge, and span that more than one crate touches is named
-//! here once, so producers (the store, the pipeline) and consumers (benches,
-//! CI gates, dashboards) cannot drift apart on spelling.
+//! here once, so producers (the store, the pipeline, the diagnostics layer)
+//! and consumers (benches, CI gates, the `/metrics` endpoint, dashboards)
+//! cannot drift apart on spelling. [`all_names`] enumerates the set; a unit
+//! test pins uniqueness and the `[a-z0-9_.]+` naming convention.
 
 /// Span category for artifact-store operations.
 pub const CAT_STORE: &str = "store";
+/// Span category for diagnostics (accuracy attribution) operations.
+pub const CAT_DIAG: &str = "diag";
+/// Span category for the live telemetry endpoint.
+pub const CAT_SERVE: &str = "serve";
 
 /// Counter: a requested artifact was found, verified, and decoded.
 pub const STORE_HIT: &str = "store.hit";
@@ -26,3 +32,82 @@ pub const STORE_BYTES_COMPRESSED: &str = "store.bytes_compressed";
 pub const SPAN_STORE_LOAD: &str = "store.load";
 /// Span: sealing + atomically writing one artifact to disk.
 pub const SPAN_STORE_SAVE: &str = "store.save";
+
+/// Counter: accuracy-attribution reports generated.
+pub const DIAG_REPORTS: &str = "diag.reports";
+/// Gauge: end-to-end runtime error (%) of the most recent report.
+pub const DIAG_ERROR_PCT: &str = "diag.error_pct";
+/// Gauge: number of clusters attributed in the most recent report.
+pub const DIAG_CLUSTERS: &str = "diag.clusters";
+/// Span: building one accuracy-attribution report.
+pub const SPAN_DIAG_REPORT: &str = "diag.report";
+
+/// Counter: HTTP requests answered by the live telemetry endpoint.
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Counter: failed/aborted telemetry endpoint connections.
+pub const SERVE_ERRORS: &str = "serve.errors";
+
+/// Counter: successful periodic telemetry flushes (atomic rewrites of
+/// `--trace-out` / `--metrics-out`).
+pub const OBS_FLUSH_WRITES: &str = "obs.flush.writes";
+/// Counter: periodic telemetry flushes that failed (counted, not fatal).
+pub const OBS_FLUSH_ERRORS: &str = "obs.flush.errors";
+
+/// Every canonical signal name defined in this module, for exhaustive
+/// checks (uniqueness, naming convention, dashboards).
+pub const fn all_names() -> &'static [&'static str] {
+    &[
+        STORE_HIT,
+        STORE_MISS,
+        STORE_EVICT,
+        STORE_CORRUPT,
+        STORE_BYTES_RAW,
+        STORE_BYTES_COMPRESSED,
+        SPAN_STORE_LOAD,
+        SPAN_STORE_SAVE,
+        DIAG_REPORTS,
+        DIAG_ERROR_PCT,
+        DIAG_CLUSTERS,
+        SPAN_DIAG_REPORT,
+        SERVE_REQUESTS,
+        SERVE_ERRORS,
+        OBS_FLUSH_WRITES,
+        OBS_FLUSH_ERRORS,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_follow_the_convention() {
+        let names = all_names();
+        let mut seen = std::collections::BTreeSet::new();
+        for name in names {
+            assert!(seen.insert(*name), "duplicate canonical name {name:?}");
+            assert!(!name.is_empty());
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.'),
+                "name {name:?} violates the [a-z0-9_.]+ convention"
+            );
+            assert!(
+                !name.starts_with('.') && !name.ends_with('.'),
+                "name {name:?} has a dangling dot"
+            );
+        }
+    }
+
+    #[test]
+    fn names_sanitize_to_distinct_prometheus_names() {
+        // The `/metrics` endpoint must not merge two canonical names.
+        let mut sanitized = std::collections::BTreeSet::new();
+        for name in all_names() {
+            assert!(
+                sanitized.insert(crate::prometheus::sanitize_name(name)),
+                "{name:?} collides with another name after sanitization"
+            );
+        }
+    }
+}

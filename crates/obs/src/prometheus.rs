@@ -1,0 +1,176 @@
+//! Prometheus text exposition (format 0.0.4) rendered from a
+//! [`MetricsSnapshot`] — the payload of the live `/metrics` endpoint.
+//!
+//! * Counters and gauges render as one sample each, preceded by a
+//!   `# TYPE` line.
+//! * The log₂ [`crate::Histogram`]s render as proper cumulative
+//!   `_bucket{le="..."}` series (`le` is the *inclusive* upper bound of
+//!   each power-of-two bucket) plus `_sum` and `_count`, so standard
+//!   `histogram_quantile()` queries work on them.
+//! * Dotted pipeline names (`store.hit`) are sanitized to the Prometheus
+//!   charset (`store_hit`); see [`sanitize_name`].
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Maps a pipeline metric name onto the Prometheus metric-name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every disallowed character becomes `_`,
+/// and a leading digit is prefixed with `_`.
+///
+/// ```
+/// assert_eq!(lp_obs::prometheus::sanitize_name("store.hit"), "store_hit");
+/// assert_eq!(lp_obs::prometheus::sanitize_name("2fast"), "_2fast");
+/// assert_eq!(lp_obs::prometheus::sanitize_name("sim/ipc-now"), "sim_ipc_now");
+/// ```
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats an `f64` sample the way Prometheus expects (`NaN`, `+Inf`,
+/// `-Inf` spelled out).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Inclusive upper bound (`le` label) of the log₂ bucket whose *lower*
+/// bound is `lo`: the zero bucket holds exactly 0, bucket `[2^i, 2^(i+1))`
+/// has inclusive upper bound `2^(i+1) - 1`.
+fn le_bound(lo: u64) -> String {
+    if lo == 0 {
+        "0".to_string()
+    } else {
+        // lo is a power of two; the bucket covers [lo, 2*lo).
+        match lo.checked_mul(2) {
+            Some(hi) => (hi - 1).to_string(),
+            None => u64::MAX.to_string(),
+        }
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for &(lo, count) in &h.buckets {
+        cumulative += count;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", le_bound(lo));
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Renders a whole snapshot as a Prometheus text-format document:
+/// counters, then gauges, then histograms, each section in name order
+/// (the snapshot's maps are already sorted).
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, &value) in &snapshot.counters {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, &value) in &snapshot.gauges {
+        let name = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_f64(value));
+    }
+    for (name, h) in &snapshot.histograms {
+        render_histogram(&mut out, &sanitize_name(name), h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn sanitize_edge_cases() {
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("ok_name:x"), "ok_name:x");
+        assert_eq!(sanitize_name("a.b.c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("héllo"), "h_llo");
+    }
+
+    #[test]
+    fn every_metric_kind_gets_a_type_line() {
+        let reg = MetricsRegistry::default();
+        reg.counter("c.one").add(3);
+        reg.gauge("g.one").set(1.5);
+        reg.histogram("h.one").record(5);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE c_one counter\nc_one 3\n"));
+        assert!(text.contains("# TYPE g_one gauge\ng_one 1.5\n"));
+        assert!(text.contains("# TYPE h_one histogram\n"));
+        assert!(text.contains("h_one_sum 5\n"));
+        assert!(text.contains("h_one_count 1\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inclusive_le() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("lat");
+        h.record(0); // bucket le="0"
+        h.record(1); // [1,2) -> le="1"
+        h.record(3); // [2,4) -> le="3"
+        h.record(3);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("lat_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("lat_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("lat_sum 7\n"));
+        assert!(text.contains("lat_count 4\n"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("lat_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket series must be cumulative: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn top_bucket_le_does_not_overflow() {
+        assert_eq!(le_bound(1u64 << 63), u64::MAX.to_string());
+        assert_eq!(le_bound(1), "1");
+        assert_eq!(le_bound(2), "3");
+        assert_eq!(le_bound(0), "0");
+    }
+
+    #[test]
+    fn non_finite_gauges_render_prometheus_style() {
+        let reg = MetricsRegistry::default();
+        reg.gauge("nan").set(f64::NAN);
+        reg.gauge("pinf").set(f64::INFINITY);
+        reg.gauge("ninf").set(f64::NEG_INFINITY);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("nan NaN\n"));
+        assert!(text.contains("pinf +Inf\n"));
+        assert!(text.contains("ninf -Inf\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_document() {
+        assert_eq!(render(&MetricsSnapshot::default()), "");
+    }
+}

@@ -1,0 +1,269 @@
+//! The live telemetry endpoint: a std-only HTTP server on a background
+//! thread, so long-running analyses and sweeps can be watched from
+//! *outside* the process.
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics` — the metrics registry in Prometheus text exposition
+//!   format (scrapeable; see [`crate::prometheus`]);
+//! * `GET /healthz` — JSON liveness: current pipeline phase, heartbeat
+//!   age, uptime, and recorded-event count;
+//! * `GET /report` — the most recent diagnostics report JSON installed
+//!   via [`TelemetryServer::set_report`] (404 until one exists).
+//!
+//! The server is deliberately minimal: blocking accept loop, one request
+//! per connection, `Connection: close`, 2-second I/O timeouts. Shutdown
+//! wakes the accept loop with a loopback connection, so [`TelemetryServer`]
+//! never leaks its thread.
+
+use crate::names;
+use crate::Observer;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct Shared {
+    stop: AtomicBool,
+    report: Mutex<Option<String>>,
+    obs: Observer,
+}
+
+/// Handle to the background telemetry server; dropping (or calling
+/// [`TelemetryServer::stop`]) shuts it down and joins the thread.
+#[must_use = "dropping the server handle shuts the endpoint down"]
+pub struct TelemetryServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TelemetryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TelemetryServer({})", self.local_addr)
+    }
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// serving. The bound address is available via
+    /// [`TelemetryServer::local_addr`].
+    ///
+    /// # Errors
+    /// Bind/spawn failures.
+    pub fn start(addr: impl ToSocketAddrs, obs: Observer) -> io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            report: Mutex::new(None),
+            obs,
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("lp-obs-serve".to_string())
+            .spawn(move || serve_loop(&listener, &thread_shared))?;
+        Ok(TelemetryServer {
+            local_addr,
+            shared,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the server actually bound (relevant with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Installs the JSON served at `/report` (replacing any previous one).
+    pub fn set_report(&self, json: String) {
+        *self.shared.report.lock().expect("report slot poisoned") = Some(json);
+    }
+
+    /// Shuts the server down and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shared.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn serve_loop(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                if let Err(_e) = handle_connection(stream, shared) {
+                    shared.obs.counter(names::SERVE_ERRORS).inc();
+                }
+            }
+            Err(_) => shared.obs.counter(names::SERVE_ERRORS).inc(),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    // Cap the request line; everything after it (headers) is ignored.
+    reader.by_ref().take(8192).read_line(&mut request_line)?;
+    shared.obs.counter(names::SERVE_REQUESTS).inc();
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                shared.obs.prometheus_text(),
+            ),
+            "/healthz" => ("200 OK", "application/json", healthz_json(&shared.obs)),
+            "/report" => {
+                let report = shared.report.lock().expect("report slot poisoned").clone();
+                match report {
+                    Some(json) => ("200 OK", "application/json", json),
+                    None => (
+                        "404 Not Found",
+                        "application/json",
+                        "{\"error\":\"no report yet\"}".to_string(),
+                    ),
+                }
+            }
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "try /metrics, /healthz, or /report\n".to_string(),
+            ),
+        }
+    };
+
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn healthz_json(obs: &Observer) -> String {
+    use crate::json::Value;
+    Value::Obj(vec![
+        ("status".to_string(), Value::Str("ok".to_string())),
+        ("phase".to_string(), Value::Str(obs.phase())),
+        (
+            "heartbeat_age_us".to_string(),
+            Value::from(obs.heartbeat_age_us()),
+        ),
+        ("uptime_us".to_string(), Value::from(obs.uptime_us())),
+        (
+            "trace_events".to_string(),
+            Value::from(obs.trace_events().len() as u64),
+        ),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut buf).unwrap();
+        let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_report() {
+        let obs = Observer::enabled();
+        obs.counter("store.hit").add(7);
+        obs.set_phase("testing");
+        let server = TelemetryServer::start("127.0.0.1:0", obs.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("# TYPE store_hit counter"));
+        assert!(body.contains("store_hit 7"));
+        // serve.requests self-counts: a second scrape sees the first.
+        let (_, body2) = http_get(addr, "/metrics");
+        assert!(body2.contains("serve_requests"));
+
+        let (head, body) = http_get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(doc.get("phase").unwrap().as_str(), Some("testing"));
+        assert!(doc.get("heartbeat_age_us").unwrap().as_u64().is_some());
+
+        let (head, _) = http_get(addr, "/report");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        server.set_report("{\"workload\":\"demo\"}".to_string());
+        let (head, body) = http_get(addr, "/report");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(
+            json::parse(&body)
+                .unwrap()
+                .get("workload")
+                .unwrap()
+                .as_str(),
+            Some("demo")
+        );
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.stop();
+        // The port is released: a new bind on the same address succeeds.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "server thread must release the listener");
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let server = TelemetryServer::start("127.0.0.1:0", Observer::enabled()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 405"), "{buf}");
+        server.stop();
+    }
+}

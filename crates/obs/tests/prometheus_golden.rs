@@ -1,0 +1,46 @@
+//! Golden-file test for the Prometheus text exporter: a fixed registry
+//! must render byte-for-byte the pinned document — `# TYPE` lines,
+//! sanitized names, cumulative log₂ `_bucket{le=...}` series, section and
+//! name ordering all included. Any intentional format change must update
+//! the golden string here consciously.
+
+use lp_obs::prometheus::render;
+use lp_obs::Observer;
+
+const GOLDEN: &str = "\
+# TYPE sim_detailed_instructions counter
+sim_detailed_instructions 123456
+# TYPE store_hit counter
+store_hit 3
+# TYPE store_miss counter
+store_miss 1
+# TYPE analyze_k gauge
+analyze_k 12
+# TYPE sim_last_ipc gauge
+sim_last_ipc 1.75
+# TYPE region_checkpoint_bytes histogram
+region_checkpoint_bytes_bucket{le=\"0\"} 1
+region_checkpoint_bytes_bucket{le=\"1\"} 2
+region_checkpoint_bytes_bucket{le=\"3\"} 3
+region_checkpoint_bytes_bucket{le=\"1023\"} 5
+region_checkpoint_bytes_bucket{le=\"+Inf\"} 5
+region_checkpoint_bytes_sum 1539
+region_checkpoint_bytes_count 5
+";
+
+#[test]
+fn fixed_registry_renders_the_golden_document() {
+    let obs = Observer::enabled();
+    obs.counter("store.hit").add(3);
+    obs.counter("store.miss").inc();
+    obs.counter("sim.detailed.instructions").add(123_456);
+    obs.gauge("analyze.k").set(12.0);
+    obs.gauge("sim.last.ipc").set(1.75);
+    let h = obs.histogram("region.checkpoint_bytes");
+    h.record(0); // le="0",    cumulative 1
+    h.record(1); // le="1",    cumulative 2
+    h.record(3); // le="3",    cumulative 3
+    h.record(512); // le="1023"
+    h.record(1023); // le="1023", cumulative 5; sum = 0+1+3+512+1023 = 1539
+    assert_eq!(render(&obs.snapshot()), GOLDEN);
+}

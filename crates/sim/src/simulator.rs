@@ -335,8 +335,11 @@ impl Simulator {
                                     cycles: cyc - cycles_start,
                                     ipc,
                                 });
-                                // Heartbeat: a counter track in the trace.
+                                // Heartbeat: a counter track in the trace,
+                                // plus liveness for `/healthz` watchers.
                                 self.obs.counter_sample("sim.ipc", "sim", "ipc", ipc);
+                                self.obs.gauge("sim.last.ipc").set(ipc);
+                                self.obs.heartbeat();
                                 sample_insts = 0;
                                 sample_cycle_base = cyc;
                             }

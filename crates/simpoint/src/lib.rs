@@ -77,6 +77,12 @@ pub struct Clustering {
     pub representatives: Vec<usize>,
     /// Members per cluster.
     pub cluster_sizes: Vec<usize>,
+    /// Euclidean distance (in the projected BBV space) of every input
+    /// vector to its assigned centroid, in input order. The representative
+    /// of a cluster minimizes this distance among members; downstream
+    /// diagnostics (lp-diag) use these to score how *representative* each
+    /// chosen region is of its cluster.
+    pub point_distances: Vec<f64>,
     /// BIC score of the chosen clustering.
     pub bic: f64,
     /// Sum of squared distances to assigned centroids.
@@ -91,6 +97,31 @@ impl Clustering {
             .enumerate()
             .filter(move |&(_, &c)| c == cluster)
             .map(|(i, _)| i)
+    }
+
+    /// Distance of `cluster`'s representative to the cluster centroid.
+    pub fn representative_distance(&self, cluster: usize) -> f64 {
+        self.point_distances[self.representatives[cluster]]
+    }
+
+    /// `(mean, max)` member→centroid distance for `cluster` — the spread
+    /// the representative's own distance is judged against. `(0, 0)` for
+    /// an empty cluster (cannot happen after dense remapping).
+    pub fn member_distance_stats(&self, cluster: usize) -> (f64, f64) {
+        let mut sum = 0.0f64;
+        let mut max = 0.0f64;
+        let mut n = 0usize;
+        for i in self.members(cluster) {
+            let d = self.point_distances[i];
+            sum += d;
+            max = max.max(d);
+            n += 1;
+        }
+        if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (sum / n as f64, max)
+        }
     }
 }
 
@@ -146,12 +177,15 @@ pub fn cluster(vectors: &[&[(u64, f64)]], cfg: &SimpointConfig) -> Clustering {
         .unwrap_or_else(|| all.last().unwrap());
     let (k, bic, km) = (chosen.0, chosen.1, chosen.2.clone());
 
-    // Representatives: nearest member to each centroid.
+    // Representatives: nearest member to each centroid. The per-point
+    // distances are kept (square-rooted) for downstream diagnostics.
     let mut representatives = vec![usize::MAX; k];
     let mut best_dist = vec![f64::INFINITY; k];
+    let mut point_distances = vec![0.0f64; points.len()];
     for (i, p) in points.iter().enumerate() {
         let c = km.assignments[i];
         let d = dist2(p, &km.centroids[c]);
+        point_distances[i] = d.sqrt();
         if d < best_dist[c] {
             best_dist[c] = d;
             representatives[c] = i;
@@ -189,6 +223,7 @@ pub fn cluster(vectors: &[&[(u64, f64)]], cfg: &SimpointConfig) -> Clustering {
         assignments,
         representatives,
         cluster_sizes,
+        point_distances,
         bic,
         sse: km.sse,
     }
@@ -375,6 +410,25 @@ mod tests {
             },
         );
         assert!(c.k <= 2);
+    }
+
+    #[test]
+    fn point_distances_cover_inputs_and_reps_minimize() {
+        let vecs = synth(&[(0, 10), (1000, 10)]);
+        let refs: Vec<&[(u64, f64)]> = vecs.iter().map(|v| v.as_slice()).collect();
+        let c = cluster(&refs, &SimpointConfig::default());
+        assert_eq!(c.point_distances.len(), refs.len());
+        assert!(c.point_distances.iter().all(|d| d.is_finite() && *d >= 0.0));
+        for (cl, &rep) in c.representatives.iter().enumerate() {
+            let (mean, max) = c.member_distance_stats(cl);
+            let rep_d = c.representative_distance(cl);
+            assert_eq!(rep_d, c.point_distances[rep]);
+            // The representative is the member nearest its centroid.
+            for i in c.members(cl) {
+                assert!(rep_d <= c.point_distances[i] + 1e-12, "cluster {cl}");
+            }
+            assert!(rep_d <= mean + 1e-12 && mean <= max + 1e-12);
+        }
     }
 
     #[test]

@@ -11,16 +11,20 @@
 //! ```
 
 use looppoint::{
-    analyze, analyze_cached, error_pct, extrapolate, prepare_region_checkpoints_cached,
+    analyze, analyze_cached, diagnose, error_pct, extrapolate, prepare_region_checkpoints_cached,
     simulate_prepared, simulate_representatives_checkpointed_with, simulate_whole, speedups,
-    LoopPointConfig, SimOptions, DEFAULT_MAX_STEPS,
+    DiagReport, LoopPointConfig, SimOptions, DEFAULT_MAX_STEPS,
 };
-use lp_obs::{lp_debug, lp_info, lp_warn, LogLevel, Observer};
+use lp_obs::{
+    lp_debug, lp_info, lp_warn, FlushTargets, LogLevel, Observer, PeriodicFlusher, TelemetryServer,
+};
 use lp_omp::WaitPolicy;
 use lp_store::{Store, StoreConfig};
 use lp_uarch::SimConfig;
 use lp_workloads::{build, matrix_demo, InputClass, WorkloadSpec};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 #[derive(Debug)]
 struct Args {
@@ -35,6 +39,10 @@ struct Args {
     pool_size: usize,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    diag_report: Option<String>,
+    serve_metrics: Option<String>,
+    serve_linger_ms: u64,
+    flush_interval_ms: u64,
     log_level: LogLevel,
     store_dir: Option<String>,
     store_max_bytes: Option<u64>,
@@ -69,6 +77,24 @@ OPTIONS:
                                https://ui.perfetto.dev)
         --metrics-out <path>   write a flat JSON metrics report (counters,
                                gauges, log2-bucketed histograms)
+        --diag-report <path>   write accuracy-attribution reports (one JSON
+                               array element per program): per-cluster
+                               signed error split into representativeness,
+                               warmup, and extrapolation causes, plus a
+                               self-profile of the pipeline's own time
+        --serve-metrics <addr> live telemetry endpoint while the run is in
+                               flight (e.g. 127.0.0.1:9184; port 0 picks an
+                               ephemeral one, printed on startup):
+                               GET /metrics (Prometheus text), /healthz
+                               (phase + heartbeat JSON), /report (latest
+                               accuracy report)
+        --serve-linger-ms <n>  keep the telemetry endpoint alive n ms after
+                               the runs finish (lets scrapers catch the
+                               final state) [default: 0]
+        --flush-interval-ms <n> rewrite --trace-out/--metrics-out atomically
+                               every n ms, so a killed run still leaves
+                               valid telemetry at most one interval stale
+                               [default: 5000]
         --store-dir <path>     persistent artifact store: cache pinballs,
                                analyses, BBV matrices, clusterings, and
                                region checkpoints keyed by (program,
@@ -101,6 +127,10 @@ fn parse_args() -> Result<Args, String> {
         pool_size: 0,
         trace_out: None,
         metrics_out: None,
+        diag_report: None,
+        serve_metrics: None,
+        serve_linger_ms: 0,
+        flush_interval_ms: 5_000,
         log_level: LogLevel::Info,
         store_dir: None,
         store_max_bytes: None,
@@ -157,6 +187,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--diag-report" => args.diag_report = Some(value("--diag-report")?),
+            "--serve-metrics" => args.serve_metrics = Some(value("--serve-metrics")?),
+            "--serve-linger-ms" => {
+                args.serve_linger_ms = value("--serve-linger-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad linger interval: {e}"))?;
+            }
+            "--flush-interval-ms" => {
+                args.flush_interval_ms = value("--flush-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad flush interval: {e}"))?;
+                if args.flush_interval_ms == 0 {
+                    return Err("--flush-interval-ms must be positive".to_string());
+                }
+            }
             "--store-dir" => args.store_dir = Some(value("--store-dir")?),
             "--store-max-bytes" => {
                 let n: u64 = value("--store-max-bytes")?
@@ -200,7 +245,8 @@ fn run_one(
     args: &Args,
     obs: &Observer,
     store: Option<&Store>,
-) -> Result<(), Box<dyn std::error::Error>> {
+) -> Result<Option<DiagReport>, Box<dyn std::error::Error>> {
+    let want_diag = args.diag_report.is_some() || args.serve_metrics.is_some();
     let nthreads = spec.effective_threads(args.ncores);
     let program = build(spec, args.input, args.ncores, args.policy);
     let mut run_span = obs.span(&format!("run.{}", spec.name), "driver");
@@ -215,6 +261,7 @@ fn run_one(
     );
 
     if args.native {
+        obs.set_phase(&format!("native:{}", spec.name));
         let start = std::time::Instant::now();
         let mut m = lp_isa::Machine::new(program, nthreads);
         m.run_to_completion(u64::MAX)?;
@@ -224,13 +271,14 @@ fn run_one(
             start.elapsed(),
             m.global_retired() as f64 / start.elapsed().as_secs_f64() / 1e6
         );
-        return Ok(());
+        return Ok(None);
     }
 
     let simcfg = SimConfig::gainestown(nthreads.max(args.ncores));
     let mut cfg = LoopPointConfig::with_slice_base(args.slice_base).with_observer(obs.clone());
     cfg.max_steps = args.max_steps;
 
+    obs.set_phase(&format!("analyze:{}", spec.name));
     lp_info!("[1/4] profiling (record + constrained replays) ...");
     let (analysis, from_store) = match store {
         Some(store) => analyze_cached(&program, nthreads, &cfg, store)?,
@@ -259,6 +307,7 @@ fn run_one(
             looppoint::report::analysis_report(&program, &analysis)
         );
     }
+    obs.set_phase(&format!("simulate-regions:{}", spec.name));
     lp_info!(
         "[2/4] simulating {} regions (checkpoint-driven, 2-slice warmup{}) ...",
         analysis.looppoints.len(),
@@ -288,6 +337,7 @@ fn run_one(
         )?,
     };
 
+    obs.set_phase(&format!("extrapolate:{}", spec.name));
     lp_info!("[3/4] extrapolating whole-program performance ...");
     let prediction = extrapolate(&results);
 
@@ -313,9 +363,12 @@ fn run_one(
             total as f64 / sum.max(1) as f64,
             total as f64 / max as f64
         );
-        return Ok(());
+        // No reference at ref scale: the report still carries weights,
+        // distances, and the self-profile (errors attribute to zero).
+        return Ok(want_diag.then(|| diagnose(spec.name, nthreads, &analysis, &results, None, obs)));
     }
 
+    obs.set_phase(&format!("reference-sim:{}", spec.name));
     lp_info!("[4/4] full-application reference simulation ...");
     let full = simulate_whole(&program, nthreads, &simcfg)?;
     let err = error_pct(prediction.total_cycles, full.cycles as f64);
@@ -343,7 +396,16 @@ fn run_one(
         "  speedup           : theoretical serial {:.1}x / parallel {:.1}x, actual serial {:.1}x / parallel {:.1}x",
         sp.theoretical_serial, sp.theoretical_parallel, sp.actual_serial, sp.actual_parallel
     );
-    Ok(())
+
+    if !want_diag {
+        return Ok(None);
+    }
+    obs.set_phase(&format!("diagnose:{}", spec.name));
+    let report = diagnose(spec.name, nthreads, &analysis, &results, Some(&full), obs);
+    if args.diag_report.is_some() {
+        lp_info!("\n{}", report.render_table());
+    }
+    Ok(Some(report))
 }
 
 fn main() -> ExitCode {
@@ -360,8 +422,11 @@ fn main() -> ExitCode {
     // debug verbosity, so spans are available for inspection); installed
     // globally so every layer — including the Copy-config crates
     // lp-pinball and lp-simpoint — records into the same sink.
-    let want_obs =
-        args.trace_out.is_some() || args.metrics_out.is_some() || args.log_level >= LogLevel::Debug;
+    let want_obs = args.trace_out.is_some()
+        || args.metrics_out.is_some()
+        || args.diag_report.is_some()
+        || args.serve_metrics.is_some()
+        || args.log_level >= LogLevel::Debug;
     let obs = if want_obs {
         Observer::enabled()
     } else {
@@ -387,18 +452,99 @@ fn main() -> ExitCode {
         _ => None,
     };
 
+    // Crash-safe telemetry: the background flusher atomically rewrites the
+    // export files every interval, so a panic or `kill` still leaves valid
+    // JSON at most one interval stale. The final (authoritative) write
+    // happens in `finalize`, on success and failure paths alike.
+    let targets = FlushTargets {
+        trace_out: args.trace_out.as_ref().map(PathBuf::from),
+        metrics_out: args.metrics_out.as_ref().map(PathBuf::from),
+    };
+    let flusher = PeriodicFlusher::start(
+        obs.clone(),
+        targets,
+        Duration::from_millis(args.flush_interval_ms),
+    );
+
+    let server = match &args.serve_metrics {
+        Some(addr) => match TelemetryServer::start(addr.as_str(), obs.clone()) {
+            Ok(server) => {
+                // Plain println (not lp_info): scripts parse this line for
+                // the bound port, independent of --log-level.
+                println!(
+                    "telemetry: listening on {} (GET /metrics, /healthz, /report)",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: binding telemetry endpoint {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let (reports, run_result) = run_all(&args, &obs, store.as_ref(), server.as_ref());
+    finalize(
+        &args,
+        &obs,
+        store.as_ref(),
+        flusher,
+        server,
+        &reports,
+        run_result,
+    )
+}
+
+fn run_all(
+    args: &Args,
+    obs: &Observer,
+    store: Option<&Store>,
+    server: Option<&TelemetryServer>,
+) -> (Vec<DiagReport>, Result<(), String>) {
+    let mut reports = Vec::new();
     for name in &args.programs {
         let Some(spec) = resolve(name) else {
-            eprintln!("error: unknown program '{name}' (see --help)");
-            return ExitCode::FAILURE;
+            return (
+                reports,
+                Err(format!("unknown program '{name}' (see --help)")),
+            );
         };
-        if let Err(e) = run_one(&spec, &args, &obs, store.as_ref()) {
-            eprintln!("error: {name}: {e}");
-            return ExitCode::FAILURE;
+        match run_one(&spec, args, obs, store) {
+            Ok(Some(report)) => {
+                if let Some(server) = server {
+                    server.set_report(report.to_json());
+                }
+                reports.push(report);
+            }
+            Ok(None) => {}
+            Err(e) => return (reports, Err(format!("{name}: {e}"))),
         }
     }
+    (reports, Ok(()))
+}
 
-    if let Some(store) = &store {
+/// The single exit path: every run — clean, failed, or partial — routes
+/// through here so telemetry exports, accuracy reports, and the live
+/// endpoint are finalized consistently.
+fn finalize(
+    args: &Args,
+    obs: &Observer,
+    store: Option<&Store>,
+    flusher: PeriodicFlusher,
+    server: Option<TelemetryServer>,
+    reports: &[DiagReport],
+    run_result: Result<(), String>,
+) -> ExitCode {
+    obs.set_phase("finalize");
+    let mut failed = false;
+    if let Err(e) = &run_result {
+        eprintln!("error: {e}");
+        failed = true;
+    }
+
+    if let Some(store) = store {
         let s = store.stats();
         lp_info!(
             "\nstore: {} hits, {} misses, {} evictions, {} corruptions; {} artifacts on disk \
@@ -418,26 +564,56 @@ fn main() -> ExitCode {
         );
     }
 
-    if let Some(path) = &args.trace_out {
-        match obs.write_chrome_trace(path) {
-            Ok(()) => lp_info!(
-                "trace: {} events -> {path} (open in chrome://tracing or ui.perfetto.dev)",
-                obs.trace_events().len()
-            ),
+    // Accuracy reports: written even when a later workload failed, so
+    // completed reports survive partial runs. Always a JSON array, one
+    // element per diagnosed program.
+    if let Some(path) = &args.diag_report {
+        let doc = lp_obs::json::Value::Arr(reports.iter().map(DiagReport::to_value).collect());
+        match lp_obs::write_atomic(std::path::Path::new(path), doc.to_string().as_bytes()) {
+            Ok(()) => lp_info!("diag: {} report(s) -> {path}", reports.len()),
             Err(e) => {
-                eprintln!("error: writing trace to {path}: {e}");
-                return ExitCode::FAILURE;
+                eprintln!("error: writing diag report to {path}: {e}");
+                failed = true;
             }
         }
     }
-    if let Some(path) = &args.metrics_out {
-        match obs.write_metrics(path) {
-            Ok(()) => lp_info!("metrics: report -> {path}"),
-            Err(e) => {
-                eprintln!("error: writing metrics to {path}: {e}");
-                return ExitCode::FAILURE;
+
+    obs.set_phase("done");
+    let had_targets = args.trace_out.is_some() || args.metrics_out.is_some();
+    match flusher.stop() {
+        Ok(()) => {
+            if had_targets {
+                if let Some(path) = &args.trace_out {
+                    lp_info!(
+                        "trace: {} events -> {path} (open in chrome://tracing or ui.perfetto.dev)",
+                        obs.trace_events().len()
+                    );
+                }
+                if let Some(path) = &args.metrics_out {
+                    lp_info!("metrics: report -> {path}");
+                }
             }
         }
+        Err(e) => {
+            eprintln!("error: writing telemetry exports: {e}");
+            failed = true;
+        }
     }
-    ExitCode::SUCCESS
+
+    if let Some(server) = server {
+        if args.serve_linger_ms > 0 {
+            lp_info!(
+                "telemetry: lingering {} ms before endpoint shutdown",
+                args.serve_linger_ms
+            );
+            std::thread::sleep(Duration::from_millis(args.serve_linger_ms));
+        }
+        server.stop();
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -17,7 +17,8 @@
 //! | [`simpoint`] | `lp-simpoint` | random projection + k-means + BIC |
 //! | [`looppoint`] | `looppoint` | the methodology itself + baselines |
 //! | [`workloads`] | `lp-workloads` | SPEC-like / NPB-like synthetic suites |
-//! | [`obs`] | `lp-obs` | span tracing, metrics registry, Chrome-trace export |
+//! | [`obs`] | `lp-obs` | span tracing, metrics registry, Chrome-trace export, live telemetry endpoint |
+//! | [`diag`] | `lp-diag` | accuracy attribution, error decomposition, self-profiles |
 //!
 //! See the `examples/` directory for runnable end-to-end demonstrations
 //! (start with `cargo run --release --example quickstart`).
@@ -28,6 +29,7 @@
 pub use looppoint;
 pub use lp_bbv as bbv;
 pub use lp_dcfg as dcfg;
+pub use lp_diag as diag;
 pub use lp_isa as isa;
 pub use lp_obs as obs;
 pub use lp_omp as omp;

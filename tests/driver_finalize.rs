@@ -1,0 +1,140 @@
+//! Driver exit-path tests: telemetry must survive *failing* runs.
+//!
+//! Historically `--trace-out`/`--metrics-out` were written only on the
+//! success path, so any pipeline error lost every recorded span and
+//! counter — exactly the runs one most wants telemetry for. The driver now
+//! routes all exits through a single finalize step; these tests pin that
+//! behavior by running the real binary.
+
+use std::path::Path;
+use std::process::Command;
+
+fn driver() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_run-looppoint"))
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("lp-driver-finalize-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn parse_json(path: &Path) -> lp_obs::json::Value {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    lp_obs::json::parse(&text)
+        .unwrap_or_else(|e| panic!("{} must be valid JSON: {e:?}", path.display()))
+}
+
+#[test]
+fn failing_run_still_writes_parseable_telemetry() {
+    let d = tmpdir("fail");
+    let metrics = d.join("metrics.json");
+    let trace = d.join("trace.json");
+    let diag = d.join("diag.json");
+    // A step budget far below what analysis needs forces a pipeline error.
+    let out = driver()
+        .args(["-p", "demo-matrix-1", "-n", "2", "--max-steps", "1000"])
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--diag-report")
+        .arg(&diag)
+        .output()
+        .expect("driver must run");
+    assert!(
+        !out.status.success(),
+        "step-limited run must fail: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("step limit"), "unexpected stderr: {stderr}");
+
+    // All three exports exist and parse, despite the failure.
+    let m = parse_json(&metrics);
+    assert!(m.get("counters").is_some(), "metrics must have counters");
+    let t = parse_json(&trace);
+    assert!(
+        !t.get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .unwrap_or(&[])
+            .is_empty(),
+        "trace must contain the spans recorded before the failure"
+    );
+    // No workload completed, so the report array is empty — but present
+    // and parseable.
+    assert_eq!(parse_json(&diag).as_arr().map(<[_]>::len), Some(0));
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+#[test]
+fn killed_run_leaves_parseable_metrics_at_most_one_interval_stale() {
+    let d = tmpdir("kill");
+    let metrics = d.join("metrics.json");
+    // Enough work to outlive the first flushes, and a short interval so
+    // the file appears quickly.
+    let mut child = driver()
+        .args([
+            "-p",
+            "demo-matrix-1,demo-matrix-2,demo-matrix-3,demo-matrix-1,demo-matrix-2,demo-matrix-3",
+            "-n",
+            "4",
+            "--flush-interval-ms",
+            "50",
+        ])
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("driver must start");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !metrics.exists() && std::time::Instant::now() < deadline {
+        if let Ok(Some(status)) = child.try_wait() {
+            panic!("driver exited ({status}) before the first periodic flush");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(metrics.exists(), "no periodic flush within 30 s");
+    child.kill().expect("kill");
+    let _ = child.wait();
+    // The mid-run file is complete, valid JSON (atomic temp+rename).
+    let m = parse_json(&metrics);
+    assert!(m.get("counters").is_some(), "killed-run metrics truncated");
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+#[test]
+fn successful_run_writes_diag_reports_that_sum() {
+    let d = tmpdir("ok");
+    let diag = d.join("diag.json");
+    let out = driver()
+        .args(["-p", "demo-matrix-1,demo-matrix-2", "-n", "2"])
+        .arg("--diag-report")
+        .arg(&diag)
+        .output()
+        .expect("driver must run");
+    assert!(
+        out.status.success(),
+        "run failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = parse_json(&diag);
+    let reports = doc.as_arr().expect("diag file is a JSON array");
+    assert_eq!(reports.len(), 2, "one report per program");
+    for r in reports {
+        let report = lp_diag::DiagReport::from_value(r).expect("valid diag report");
+        let sum: f64 = report.clusters.iter().map(|c| c.error_cycles).sum();
+        assert!(
+            (sum - report.error_cycles).abs() <= 1e-6 * report.error_cycles.abs().max(1.0),
+            "{}: cluster errors {sum} must sum to total {}",
+            report.workload,
+            report.error_cycles
+        );
+        assert!(!report.clusters.is_empty());
+        assert!(report.profile.wall_us > 0);
+    }
+    let _ = std::fs::remove_dir_all(&d);
+}
