@@ -162,4 +162,70 @@ for r in reports:
 print(f"diag-smoke: {len(reports)} reports, attribution sums exact")
 PY
 
+echo "== farm-smoke (analysis service) =="
+# Start the lp-farm daemon on an ephemeral port, submit three jobs of
+# which two are identical, and assert from /metrics that the service ran
+# exactly 2 computes and served the duplicate by dedup. A drain shutdown
+# must finish all work and leave the daemon with exit code 0.
+FARM_LOG="$PWD/target/ci-farm.log"
+FARM_SUBMIT_LOG="$PWD/target/ci-farm-submit.log"
+"${RUNNER[@]}" serve --farm-listen 127.0.0.1:0 --workers 2 > "$FARM_LOG" 2>&1 &
+FARM_PID=$!
+FARM_ADDR=""
+for _ in $(seq 1 100); do
+  FARM_ADDR=$(sed -n 's/^farm: listening on \([0-9.:]*\).*/\1/p' "$FARM_LOG" | head -n1)
+  [ -n "$FARM_ADDR" ] && break
+  kill -0 "$FARM_PID" 2>/dev/null || { cat "$FARM_LOG" >&2; echo "farm-smoke: daemon died before binding" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$FARM_ADDR" ] || { cat "$FARM_LOG" >&2; echo "farm-smoke: no listening line" >&2; exit 1; }
+"${RUNNER[@]}" submit --farm "$FARM_ADDR" -p demo-matrix-1,demo-matrix-2,demo-matrix-1 \
+  --slice-base 4000 --wait > "$FARM_SUBMIT_LOG" 2>&1 \
+  || { cat "$FARM_SUBMIT_LOG" >&2; echo "farm-smoke: submit failed" >&2; exit 1; }
+grep -q '"dedup_of"' "$FARM_SUBMIT_LOG" || { cat "$FARM_SUBMIT_LOG" >&2; echo "farm-smoke: duplicate was not deduplicated" >&2; exit 1; }
+FARM_METRICS=$(curl -sf --max-time 5 "http://$FARM_ADDR/metrics")
+for want in 'farm_computes 2' 'farm_dedup_hits 1' 'farm_done 3' 'farm_submitted 3'; do
+  echo "$FARM_METRICS" | grep -q "^$want\$" \
+    || { echo "$FARM_METRICS" | grep '^farm_' >&2; echo "farm-smoke: /metrics missing '$want'" >&2; exit 1; }
+done
+echo "$FARM_METRICS" | grep -q '^farm_queue_wait_us_bucket{le="+Inf"}' \
+  || { echo "farm-smoke: no queue-wait histogram" >&2; exit 1; }
+"${RUNNER[@]}" shutdown --farm "$FARM_ADDR" > /dev/null \
+  || { echo "farm-smoke: shutdown request failed" >&2; exit 1; }
+wait "$FARM_PID" || { cat "$FARM_LOG" >&2; echo "farm-smoke: daemon exited non-zero" >&2; exit 1; }
+grep -q 'farm: stopped (3 done, 0 failed, 0 cancelled, 0 requeued' "$FARM_LOG" \
+  || { cat "$FARM_LOG" >&2; echo "farm-smoke: bad shutdown summary" >&2; exit 1; }
+# Clean shutdown released the port.
+curl -sf --max-time 2 "http://$FARM_ADDR/healthz" >/dev/null 2>&1 && { echo "farm-smoke: endpoint still up after exit" >&2; exit 1; }
+
+echo "== bench-smoke (farm throughput) =="
+# Quick variant of the farm-throughput benchmark: asserts one compute per
+# unique spec and full dedup of duplicates internally; validate the JSON
+# schema here. Writes to target/ so the committed baseline BENCH_farm.json
+# is not clobbered.
+FARM_SMOKE_OUT="$PWD/target/BENCH_farm.smoke.json"
+cargo bench --offline -p lp-bench --bench farm_throughput -- --smoke --out "$FARM_SMOKE_OUT"
+[ -s "$FARM_SMOKE_OUT" ] || { echo "farm-bench-smoke: $FARM_SMOKE_OUT missing or empty" >&2; exit 1; }
+for key in workers burst unique_specs wall_ms jobs_per_sec dedup queue_latency_us smoke; do
+  grep -q "\"$key\"" "$FARM_SMOKE_OUT" || { echo "farm-bench-smoke: missing key $key" >&2; exit 1; }
+done
+for key in submitted computes hits ratio p50 p99; do
+  grep -q "\"$key\"" "$FARM_SMOKE_OUT" || { echo "farm-bench-smoke: missing key $key" >&2; exit 1; }
+done
+# And the committed full-scale baseline keeps the multi-tenant dedup claim.
+python3 - <<'PY'
+import json, sys
+with open("BENCH_farm.json") as f:
+    j = json.load(f)
+d = j["dedup"]
+if d["computes"] != j["unique_specs"]:
+    sys.exit(f"BENCH_farm.json: {d['computes']} computes != {j['unique_specs']} unique specs")
+if d["hits"] != d["submitted"] - d["computes"]:
+    sys.exit(f"BENCH_farm.json: dedup hits {d['hits']} inconsistent")
+if d["ratio"] < 0.5:
+    sys.exit(f"BENCH_farm.json: dedup ratio {d['ratio']} < 0.5")
+if j["jobs_per_sec"] <= 0 or j["queue_latency_us"]["p99"] < j["queue_latency_us"]["p50"]:
+    sys.exit("BENCH_farm.json: implausible throughput/latency numbers")
+PY
+
 echo "CI green."

@@ -1,0 +1,183 @@
+//! Farm throughput benchmark: a multi-tenant burst of mixed duplicate
+//! and unique jobs through the real lp-farm service (HTTP wire path,
+//! queue, dedup, worker pool, pipeline backend), emitting
+//! machine-readable `BENCH_farm.json`.
+//!
+//! The burst models the workload the farm exists for: several tenants
+//! submitting overlapping design-space points at once. Each unique
+//! (program, threads, slice-base) combination must be computed exactly
+//! once; every duplicate must ride along as a dedup subscriber. The
+//! bench asserts that invariant against the farm's own counters before
+//! reporting any numbers, then derives:
+//!
+//! * **jobs/sec** — burst size over wall-clock from first submission to
+//!   queue idle;
+//! * **dedup ratio** — deduplicated submissions over total submissions;
+//! * **queue latency p50/p99** — per-compute wait between submission and
+//!   a worker picking the job up, from the job records themselves.
+//!
+//! Run via `cargo bench --bench farm_throughput` (`-- --smoke` for the
+//! CI gate's quick variant; `--out PATH` to redirect the JSON).
+
+use lp_farm::{Farm, FarmConfig, FarmServer, JobSpec, PipelineBackend};
+use lp_obs::{json, names, Observer};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: std::env::var("BENCH_FARM_OUT").unwrap_or_else(|_| "BENCH_farm.json".to_string()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            // `cargo bench` passes --bench through; ignore unknown flags so
+            // the target stays harness-compatible.
+            _ => {}
+        }
+    }
+    args
+}
+
+/// The tenant burst: `repeats` copies of each unique spec, interleaved
+/// the way concurrent tenants would submit them (A B C A B C ...).
+fn burst_specs(unique: usize, repeats: usize, slice_base: u64) -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for round in 0..repeats {
+        for u in 0..unique {
+            let spec = JobSpec {
+                program: format!("demo-matrix-{}", 1 + u % 3),
+                ncores: 2,
+                // Same program at different slice bases is distinct work:
+                // the content key covers the full analysis config.
+                slice_base: slice_base + 500 * (u / 3) as u64,
+                priority: (round % 2) as i64,
+                ..JobSpec::default()
+            };
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+    let (unique, repeats, slice_base, workers) = if args.smoke {
+        (3usize, 4usize, 2_000u64, 2usize)
+    } else {
+        (6, 8, 4_000, 4)
+    };
+
+    let obs = Observer::enabled();
+    let backend = Arc::new(PipelineBackend::new(None, obs.clone()));
+    let cfg = FarmConfig {
+        workers,
+        queue_capacity: unique * repeats + 8,
+        ..FarmConfig::default()
+    };
+    let farm = Farm::start(cfg, backend, obs.clone()).expect("start farm");
+    let server = FarmServer::start("127.0.0.1:0", farm.clone()).expect("bind farm server");
+    let addr = server.local_addr().to_string();
+
+    let specs = burst_specs(unique, repeats, slice_base);
+    let total = specs.len();
+    println!(
+        "farm-throughput benchmark: {total} jobs ({unique} unique x {repeats} tenants) | \
+         {workers} workers {}",
+        if args.smoke { "(smoke)" } else { "" }
+    );
+
+    // One NDJSON POST per tenant round, like concurrent clients would.
+    let t0 = Instant::now();
+    for round in specs.chunks(unique) {
+        let mut body = String::new();
+        for spec in round {
+            body.push_str(&spec.to_value().to_string());
+            body.push('\n');
+        }
+        let (status, _) =
+            lp_obs::http::client_request(&addr, "POST", "/jobs", &body).expect("submit burst");
+        assert_eq!(status, 202, "burst must be accepted");
+    }
+    assert!(
+        farm.wait_idle(Duration::from_secs(600)),
+        "burst did not drain"
+    );
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Correctness gate before any throughput claims: exactly one compute
+    // per unique spec, every other submission deduplicated, all done.
+    let computes = obs.counter(names::FARM_COMPUTES).get();
+    let dedup_hits = obs.counter(names::FARM_DEDUP_HITS).get();
+    assert_eq!(computes as usize, unique, "one compute per unique spec");
+    assert_eq!(
+        dedup_hits as usize,
+        total - unique,
+        "every duplicate must dedup"
+    );
+    let mut waits_us: Vec<u64> = Vec::new();
+    for id in 1..=total as u64 {
+        let rec = farm.job(id).expect("job record");
+        assert_eq!(rec.state, lp_farm::JobState::Done, "job {id} not done");
+        // Followers never start; only actual computes have a queue wait.
+        if rec.started_us > 0 {
+            waits_us.push(rec.started_us.saturating_sub(rec.submitted_us));
+        }
+    }
+    waits_us.sort_unstable();
+    let p50 = percentile(&waits_us, 0.50);
+    let p99 = percentile(&waits_us, 0.99);
+
+    let jobs_per_sec = total as f64 / (wall_ms / 1e3).max(1e-9);
+    let dedup_ratio = dedup_hits as f64 / total as f64;
+    println!(
+        "  {total} jobs in {wall_ms:9.2} ms   {jobs_per_sec:8.2} jobs/s   \
+         {computes} computes + {dedup_hits} dedup ({:.0}% deduped)   \
+         queue wait p50 {p50} us / p99 {p99} us",
+        dedup_ratio * 100.0
+    );
+
+    let json_text = format!(
+        "{{\n  \"workers\": {workers},\n  \"burst\": {total},\n  \"unique_specs\": {unique},\n  \
+         \"slice_base\": {slice_base},\n  \"wall_ms\": {wall_ms:.3},\n  \
+         \"jobs_per_sec\": {jobs_per_sec:.3},\n  \
+         \"dedup\": {{\"submitted\": {total}, \"computes\": {computes}, \"hits\": {dedup_hits}, \"ratio\": {dedup_ratio:.4}}},\n  \
+         \"queue_latency_us\": {{\"p50\": {p50}, \"p99\": {p99}}},\n  \
+         \"smoke\": {}\n}}\n",
+        args.smoke
+    );
+    // Self-validate before writing: the committed baseline and the CI gate
+    // both rely on this file being well-formed.
+    let parsed = json::parse(&json_text).expect("benchmark JSON must parse");
+    for key in [
+        "workers",
+        "burst",
+        "dedup",
+        "queue_latency_us",
+        "jobs_per_sec",
+    ] {
+        assert!(parsed.get(key).is_some(), "missing key {key}");
+    }
+    std::fs::write(&args.out, &json_text).expect("write BENCH_farm.json");
+    println!("\nwrote {}", args.out);
+
+    farm.shutdown(lp_farm::ShutdownMode::Drain);
+    farm.join();
+    server.stop();
+}

@@ -43,6 +43,10 @@ pub struct LoopPointConfig {
     /// process-global observer ([`lp_obs::global`]); set explicitly to
     /// capture a pipeline run in isolation.
     pub obs: lp_obs::Observer,
+    /// Cooperative cancellation flag, checked at phase boundaries (and by
+    /// the `*_with_cancel` simulation entry points between regions). The
+    /// default token is never tripped; *not* part of the content key.
+    pub cancel: crate::CancelToken,
 }
 
 impl Default for LoopPointConfig {
@@ -55,6 +59,7 @@ impl Default for LoopPointConfig {
             filter_spin: true,
             slice_policy: lp_bbv::SlicePolicy::Fixed,
             obs: lp_obs::global(),
+            cancel: crate::CancelToken::default(),
         }
     }
 }
@@ -72,6 +77,15 @@ impl LoopPointConfig {
     #[must_use]
     pub fn with_observer(mut self, obs: lp_obs::Observer) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Installs the cancellation token this pipeline run honors (builder
+    /// style). Trip it from any thread to abort the run at the next phase
+    /// boundary with [`crate::LoopPointError::Cancelled`].
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: crate::CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 }

@@ -18,6 +18,9 @@ pub enum LoopPointError {
         /// Explanation.
         reason: String,
     },
+    /// The run was aborted by a tripped [`crate::CancelToken`] (job
+    /// timeout, explicit cancel, or service shutdown).
+    Cancelled,
 }
 
 impl fmt::Display for LoopPointError {
@@ -26,6 +29,7 @@ impl fmt::Display for LoopPointError {
             LoopPointError::Pinball(e) => write!(f, "pinball stage failed: {e}"),
             LoopPointError::Sim(e) => write!(f, "simulation stage failed: {e}"),
             LoopPointError::NoSlices { reason } => write!(f, "no usable slices: {reason}"),
+            LoopPointError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
@@ -36,6 +40,7 @@ impl Error for LoopPointError {
             LoopPointError::Pinball(e) => Some(e),
             LoopPointError::Sim(e) => Some(e),
             LoopPointError::NoSlices { .. } => None,
+            LoopPointError::Cancelled => None,
         }
     }
 }

@@ -83,12 +83,14 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+mod cancel;
 mod config;
 pub mod constrained;
 mod coverage;
 mod diagnose;
 mod error;
 mod extrapolate;
+mod job;
 pub mod persist;
 mod pipeline;
 mod pool;
@@ -98,11 +100,13 @@ mod speedup;
 #[cfg(test)]
 mod testutil;
 
+pub use cancel::CancelToken;
 pub use config::{LoopPointConfig, DEFAULT_MAX_STEPS};
 pub use coverage::Coverage;
 pub use diagnose::diagnose;
 pub use error::LoopPointError;
 pub use extrapolate::{error_pct, extrapolate, Prediction};
+pub use job::{run_job, JobSummary};
 pub use lp_diag::{DiagReport, SelfProfile};
 pub use persist::{
     analysis_key, analyze_cached, checkpoints_key, prepare_region_checkpoints_cached,
@@ -110,7 +114,7 @@ pub use persist::{
 pub use pipeline::{analyze, Analysis, LoopPointRegion};
 pub use simulate::{
     prepare_region_checkpoints, prepare_region_checkpoints_per_region, simulate_prepared,
-    simulate_representatives, simulate_representatives_checkpointed,
+    simulate_prepared_with_cancel, simulate_representatives, simulate_representatives_checkpointed,
     simulate_representatives_checkpointed_with, simulate_representatives_opts,
     simulate_representatives_with, simulate_whole, PreparedCheckpoints, PreparedRegion,
     RegionResult, SimOptions,

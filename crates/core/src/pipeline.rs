@@ -95,6 +95,7 @@ pub fn analyze(
     let mut analyze_span = obs.span("analyze", "pipeline");
     analyze_span.arg("nthreads", nthreads);
 
+    cfg.cancel.check()?;
     // 1. Reproducible capture (§III-H).
     let pinball = {
         let mut span = obs.span("analyze.record", "pipeline");
@@ -107,6 +108,7 @@ pub fn analyze(
         pinball.instructions()
     );
 
+    cfg.cancel.check()?;
     // 2. DCFG: identify loops (§III-D).
     let dcfg = {
         let mut span = obs.span("analyze.dcfg", "pipeline");
@@ -122,6 +124,7 @@ pub fn analyze(
         });
     }
 
+    cfg.cancel.check()?;
     // 3. Loop-aligned, spin-filtered slicing + per-thread BBVs (§III-B/C).
     let profile = {
         let mut span = obs.span("analyze.slicing", "pipeline");
@@ -142,6 +145,7 @@ pub fn analyze(
         .add(profile.slices.len() as u64);
     lp_obs::lp_debug!("analyze: {} slices profiled", profile.slices.len());
 
+    cfg.cancel.check()?;
     // 4. Cluster slice BBVs (§III-E) and pick representatives.
     let clustering = {
         let mut span = obs.span("analyze.clustering", "pipeline");

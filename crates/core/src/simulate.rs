@@ -409,8 +409,37 @@ pub fn simulate_prepared(
     simcfg: &SimConfig,
     opts: &SimOptions,
 ) -> Result<Vec<RegionResult>, LoopPointError> {
+    simulate_prepared_with_cancel(
+        prepared,
+        program,
+        nthreads,
+        simcfg,
+        opts,
+        &crate::CancelToken::default(),
+    )
+}
+
+/// [`simulate_prepared`] honoring a cooperative [`crate::CancelToken`]:
+/// the token is checked before every region (serial and pooled alike), so
+/// a tripped token aborts the sweep with [`LoopPointError::Cancelled`]
+/// after at most one in-flight region per worker completes. This is the
+/// hook the lp-farm service uses for per-job timeouts and explicit
+/// cancellation.
+///
+/// # Errors
+/// The first region failure — or [`LoopPointError::Cancelled`] — is
+/// returned; outstanding parallel work is cancelled.
+pub fn simulate_prepared_with_cancel(
+    prepared: &PreparedCheckpoints,
+    program: &Arc<Program>,
+    nthreads: usize,
+    simcfg: &SimConfig,
+    opts: &SimOptions,
+    cancel: &crate::CancelToken,
+) -> Result<Vec<RegionResult>, LoopPointError> {
     let max_steps = opts.max_steps;
-    let run_one = |p: &PreparedRegion| -> Result<RegionResult, SimError> {
+    let run_one = |p: &PreparedRegion| -> Result<RegionResult, LoopPointError> {
+        cancel.check()?;
         let region = &p.region;
         let obs = lp_obs::global();
         let mut span = obs.span("region.sim", "pipeline");
@@ -448,14 +477,10 @@ pub fn simulate_prepared(
     };
 
     if !opts.parallel {
-        return prepared
-            .regions
-            .iter()
-            .map(|p| run_one(p).map_err(LoopPointError::from))
-            .collect();
+        return prepared.regions.iter().map(run_one).collect();
     }
     let workers = pool::effective_pool_size(opts.pool_size, prepared.regions.len());
-    pool::run_cancelable(&prepared.regions, workers, run_one).map_err(LoopPointError::from)
+    pool::run_cancelable(&prepared.regions, workers, run_one)
 }
 
 /// Simulates the whole application in detailed mode (the reference run the

@@ -1,0 +1,189 @@
+//! What the farm executes: the [`JobBackend`] trait and the production
+//! [`PipelineBackend`] that runs the full LoopPoint pipeline.
+//!
+//! The queue/supervisor machinery is generic over the backend so the
+//! fault-tolerance tests can plug in deterministic mock backends (panic
+//! on demand, fail N times then succeed, block until cancelled) without
+//! paying for real pipeline runs.
+
+use crate::job::JobSpec;
+use looppoint::{CancelToken, LoopPointConfig, SimOptions};
+use lp_isa::Program;
+use lp_obs::Observer;
+use lp_store::{Store, StoreKeyBuilder};
+use lp_uarch::SimConfig;
+use lp_workloads::{matrix_demo, InputClass, WorkloadSpec};
+use std::sync::Arc;
+
+/// The compute a farm worker performs for one job.
+///
+/// `job_key` must be a *content key*: two specs that would produce the
+/// same result must map to the same key (that is what dedup keys on),
+/// and specs producing different results must differ. `execute` returns
+/// the result as a JSON document (stored verbatim in the job record) or
+/// a human-readable error; it should poll `cancel` and bail out promptly
+/// once tripped.
+pub trait JobBackend: Send + Sync + 'static {
+    /// Content key for dedup (32 lowercase hex chars by convention).
+    ///
+    /// # Errors
+    /// A message when the spec is invalid (unknown program, bad enum).
+    fn job_key(&self, spec: &JobSpec) -> Result<String, String>;
+
+    /// Runs the job to completion (or until `cancel` trips).
+    ///
+    /// # Errors
+    /// A message on any pipeline failure; the farm decides on retry.
+    fn execute(&self, spec: &JobSpec, cancel: &CancelToken) -> Result<String, String>;
+}
+
+/// The production backend: resolves the named workload, builds the
+/// program, and runs [`looppoint::run_job`] — store-backed when the farm
+/// shares an artifact store, so identical work across daemon restarts is
+/// also a cache hit, not just within one process.
+pub struct PipelineBackend {
+    store: Option<Store>,
+    obs: Observer,
+}
+
+impl PipelineBackend {
+    /// A backend writing through `store` (if given) and reporting into
+    /// `obs`.
+    pub fn new(store: Option<Store>, obs: Observer) -> PipelineBackend {
+        PipelineBackend { store, obs }
+    }
+
+    fn resolve(name: &str) -> Option<WorkloadSpec> {
+        match name {
+            "demo-matrix-1" => Some(matrix_demo(1)),
+            "demo-matrix-2" => Some(matrix_demo(2)),
+            "demo-matrix-3" => Some(matrix_demo(3)),
+            other => lp_workloads::find(other),
+        }
+    }
+
+    /// Everything both `job_key` and `execute` need, derived once.
+    fn setup(
+        &self,
+        spec: &JobSpec,
+    ) -> Result<(Arc<Program>, usize, LoopPointConfig, SimConfig), String> {
+        let wspec = Self::resolve(&spec.program)
+            .ok_or_else(|| format!("unknown program '{}'", spec.program))?;
+        let input = match spec.input.as_str() {
+            "test" => InputClass::Test,
+            "train" => InputClass::Train,
+            "ref" => InputClass::Ref,
+            "C" | "c" => InputClass::NpbC,
+            other => return Err(format!("unknown input class '{other}'")),
+        };
+        let policy = match spec.wait_policy.as_str() {
+            "passive" => lp_omp::WaitPolicy::Passive,
+            "active" => lp_omp::WaitPolicy::Active,
+            other => return Err(format!("unknown wait policy '{other}'")),
+        };
+        let nthreads = wspec.effective_threads(spec.ncores);
+        let program = lp_workloads::build(&wspec, input, spec.ncores, policy);
+        let mut cfg =
+            LoopPointConfig::with_slice_base(spec.slice_base).with_observer(self.obs.clone());
+        cfg.max_steps = spec.max_steps;
+        let simcfg = SimConfig::gainestown(nthreads.max(spec.ncores));
+        Ok((program, nthreads, cfg, simcfg))
+    }
+}
+
+impl JobBackend for PipelineBackend {
+    fn job_key(&self, spec: &JobSpec) -> Result<String, String> {
+        let (program, nthreads, cfg, _) = self.setup(spec)?;
+        // The analysis key already folds in the program content, thread
+        // count, and every analysis knob; compose the simulation-side
+        // parameters on top so jobs only dedup when the *whole* result
+        // (summary included) would be identical.
+        let mut kb = StoreKeyBuilder::new("farm/job/v1");
+        kb.field_str(
+            "analysis",
+            &looppoint::analysis_key(&program, nthreads, &cfg).hex(),
+        )
+        .field_u64("max_steps", spec.max_steps);
+        Ok(kb.finish().hex())
+    }
+
+    fn execute(&self, spec: &JobSpec, cancel: &CancelToken) -> Result<String, String> {
+        let (program, nthreads, cfg, simcfg) = self.setup(spec)?;
+        let cfg = cfg.with_cancel(cancel.clone());
+        let opts = SimOptions {
+            max_steps: spec.max_steps,
+            ..Default::default()
+        };
+        let summary = looppoint::run_job(
+            &program,
+            nthreads,
+            &cfg,
+            &simcfg,
+            &opts,
+            2,
+            self.store.as_ref(),
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(summary.to_value().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> JobSpec {
+        JobSpec {
+            program: "demo-matrix-1".to_string(),
+            slice_base: 500,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn key_is_content_addressed() {
+        let backend = PipelineBackend::new(None, Observer::disabled());
+        let a = backend.job_key(&demo_spec()).unwrap();
+        let b = backend.job_key(&demo_spec()).unwrap();
+        assert_eq!(a, b, "identical specs share a key");
+        assert_eq!(a.len(), 32);
+
+        let mut other = demo_spec();
+        other.ncores = 4;
+        assert_ne!(
+            backend.job_key(&other).unwrap(),
+            a,
+            "threads change the key"
+        );
+        let mut other = demo_spec();
+        other.slice_base = 600;
+        assert_ne!(
+            backend.job_key(&other).unwrap(),
+            a,
+            "slicing changes the key"
+        );
+    }
+
+    #[test]
+    fn unknown_program_is_a_key_error() {
+        let backend = PipelineBackend::new(None, Observer::disabled());
+        let mut spec = demo_spec();
+        spec.program = "no-such-app".to_string();
+        let err = backend.job_key(&spec).unwrap_err();
+        assert!(err.contains("unknown program"), "{err}");
+    }
+
+    #[test]
+    fn execute_runs_the_pipeline_and_honors_cancel() {
+        let backend = PipelineBackend::new(None, Observer::disabled());
+        let spec = demo_spec();
+        let out = backend.execute(&spec, &CancelToken::new()).unwrap();
+        let v = lp_obs::json::parse(&out).unwrap();
+        assert!(v.get("predicted_cycles").unwrap().as_f64().unwrap() > 0.0);
+
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        let err = backend.execute(&spec, &tripped).unwrap_err();
+        assert!(err.contains("cancel"), "{err}");
+    }
+}

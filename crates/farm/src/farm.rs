@@ -1,0 +1,1099 @@
+//! The farm core: bounded priority queue, content-key dedup, supervised
+//! worker pool, retry with backoff, and the crash-safe queue journal.
+//!
+//! ## Dedup
+//!
+//! Every accepted job is keyed by its backend content key. The first
+//! submission of a key becomes the *primary* and is the only one that
+//! computes; later submissions while it is in flight become *followers*
+//! (subscribers) that mirror the primary's terminal state and result.
+//! Submissions after a key completed are answered straight from the
+//! completed-work cache. `N` identical concurrent requests therefore cost
+//! exactly one compute.
+//!
+//! ## Fault tolerance
+//!
+//! Workers execute under `catch_unwind`: a panicking backend fails only
+//! its own job, the worker thread retires, and the supervisor respawns a
+//! replacement. Failed attempts retry with exponential backoff plus
+//! jitter up to `max_attempts`; per-job deadlines trip the job's
+//! [`CancelToken`] so a wedged pipeline converts to a retryable timeout.
+//!
+//! ## Durability
+//!
+//! With a journal directory configured, every queue transition rewrites
+//! `farm-queue.json` atomically: queued jobs and running jobs (persisted
+//! as queued, so an interrupted attempt re-runs) survive `SIGKILL`. A
+//! restarted farm re-adopts the journal and resumes — dedup regroups
+//! naturally because restored jobs re-enter through the same enqueue
+//! path.
+
+use crate::backend::JobBackend;
+use crate::job::{now_us, JobRecord, JobSpec, JobState};
+use looppoint::CancelToken;
+use lp_obs::json::Value;
+use lp_obs::{names, Observer};
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Journal file name inside the farm directory.
+pub const JOURNAL_FILE: &str = "farm-queue.json";
+/// Journal format version.
+const JOURNAL_VERSION: u64 = 1;
+
+/// Tuning knobs for a [`Farm`].
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Worker pool width.
+    pub workers: usize,
+    /// Executable-queue capacity; submissions past it are rejected with
+    /// a retry-after hint (dedup followers don't consume capacity).
+    pub queue_capacity: usize,
+    /// Attempts before a job fails permanently.
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+    /// Default per-job wall-clock timeout (ms); `0` disables.
+    pub default_timeout_ms: u64,
+    /// `Retry-After` hint handed to rejected submitters (ms).
+    pub retry_after_ms: u64,
+    /// Terminal records kept in memory for `GET /jobs/{id}`.
+    pub history_limit: usize,
+    /// Journal directory; `None` runs in-memory only.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        FarmConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_attempts: 3,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 5_000,
+            default_timeout_ms: 0,
+            retry_after_ms: 1_000,
+            history_limit: 1_024,
+            dir: None,
+        }
+    }
+}
+
+/// How a submission was accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submitted {
+    /// Newly queued as the primary compute for its key.
+    Queued {
+        /// Assigned job id.
+        id: u64,
+    },
+    /// Attached as a follower of an in-flight primary (one compute).
+    Deduped {
+        /// Assigned job id.
+        id: u64,
+        /// The primary's id.
+        primary: u64,
+    },
+    /// Answered from the completed-work cache; already terminal.
+    Cached {
+        /// Assigned job id.
+        id: u64,
+        /// The completed job whose result was reused.
+        source: u64,
+    },
+}
+
+impl Submitted {
+    /// The id assigned to this submission.
+    pub fn id(&self) -> u64 {
+        match self {
+            Submitted::Queued { id }
+            | Submitted::Deduped { id, .. }
+            | Submitted::Cached { id, .. } => *id,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry after the hinted delay.
+    QueueFull {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The farm is draining or shut down.
+    Draining,
+    /// The spec itself is invalid (unknown program, bad field).
+    BadSpec(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { retry_after_ms } => {
+                write!(f, "queue full; retry after {retry_after_ms} ms")
+            }
+            SubmitError::Draining => write!(f, "farm is draining"),
+            SubmitError::BadSpec(msg) => write!(f, "bad job spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Shutdown style for [`Farm::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Stop accepting, finish every queued and running job, then stop.
+    Drain,
+    /// Stop accepting, interrupt running jobs and requeue them to the
+    /// journal (they resume on the next start), stop promptly.
+    Now,
+}
+
+/// Aggregate queue statistics (`GET /queue`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueSnapshot {
+    /// Executable jobs waiting for a worker.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Terminal-done records retained.
+    pub done: usize,
+    /// Terminal-failed records retained.
+    pub failed: usize,
+    /// Terminal-cancelled records retained.
+    pub cancelled: usize,
+    /// Live worker threads.
+    pub workers: usize,
+    /// Queue capacity.
+    pub capacity: usize,
+    /// Whether the farm has stopped accepting submissions.
+    pub draining: bool,
+}
+
+impl QueueSnapshot {
+    /// The snapshot as a wire JSON object.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("queued".to_string(), Value::Int(self.queued as i128)),
+            ("running".to_string(), Value::Int(self.running as i128)),
+            ("done".to_string(), Value::Int(self.done as i128)),
+            ("failed".to_string(), Value::Int(self.failed as i128)),
+            ("cancelled".to_string(), Value::Int(self.cancelled as i128)),
+            ("workers".to_string(), Value::Int(self.workers as i128)),
+            ("capacity".to_string(), Value::Int(self.capacity as i128)),
+            ("draining".to_string(), Value::Bool(self.draining)),
+        ])
+    }
+}
+
+/// One entry of the executable queue.
+#[derive(Debug, Clone)]
+struct QueuedEntry {
+    id: u64,
+    priority: i64,
+    /// Unix µs before which this entry must not run (retry backoff).
+    not_before_us: u64,
+}
+
+/// Live bookkeeping for a running job.
+struct RunningInfo {
+    cancel: CancelToken,
+    /// Unix µs deadline, if a timeout applies.
+    deadline_us: Option<u64>,
+    timed_out: bool,
+    user_cancelled: bool,
+    /// Shutdown-now: don't consume an attempt, put it back for restart.
+    requeue: bool,
+}
+
+struct FarmState {
+    next_id: u64,
+    jobs: BTreeMap<u64, JobRecord>,
+    queued: Vec<QueuedEntry>,
+    running: HashMap<u64, RunningInfo>,
+    /// key → primary id, while the primary is queued or running.
+    by_key_active: HashMap<String, u64>,
+    /// key → done id, the completed-work cache.
+    by_key_done: HashMap<String, u64>,
+    draining: bool,
+    shutdown_now: bool,
+    workers_alive: usize,
+    /// Terminal ids in completion order, for history pruning.
+    history: Vec<u64>,
+}
+
+struct FarmInner {
+    cfg: FarmConfig,
+    backend: Arc<dyn JobBackend>,
+    obs: Observer,
+    state: Mutex<FarmState>,
+    /// Signalled when work becomes available or the farm terminates.
+    work_ready: Condvar,
+    /// Signalled when the farm may have become idle/drained.
+    idle: Condvar,
+    /// Worker handles, shared with the supervisor for respawn.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// A running analysis farm. Cheap to clone (all clones share one farm).
+#[derive(Clone)]
+pub struct Farm {
+    inner: Arc<FarmInner>,
+}
+
+impl Farm {
+    /// Starts the worker pool and supervisor; re-adopts a persisted
+    /// queue journal when `cfg.dir` holds one.
+    ///
+    /// # Errors
+    /// Journal directory creation/parse failures.
+    pub fn start(cfg: FarmConfig, backend: Arc<dyn JobBackend>, obs: Observer) -> io::Result<Farm> {
+        if let Some(dir) = &cfg.dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(FarmInner {
+            cfg,
+            backend,
+            obs,
+            state: Mutex::new(FarmState {
+                next_id: 1,
+                jobs: BTreeMap::new(),
+                queued: Vec::new(),
+                running: HashMap::new(),
+                by_key_active: HashMap::new(),
+                by_key_done: HashMap::new(),
+                draining: false,
+                shutdown_now: false,
+                workers_alive: 0,
+                history: Vec::new(),
+            }),
+            work_ready: Condvar::new(),
+            idle: Condvar::new(),
+            workers: Mutex::new(Vec::new()),
+            supervisor: Mutex::new(None),
+        });
+        inner.restore_journal()?;
+        inner.obs.gauge(names::FARM_WORKERS).set(workers as f64);
+        {
+            let mut handles = inner.workers.lock().expect("farm workers lock");
+            for i in 0..workers {
+                handles.push(FarmInner::spawn_worker(&inner, i));
+            }
+        }
+        let sup_inner = Arc::clone(&inner);
+        *inner.supervisor.lock().expect("farm supervisor lock") = Some(
+            std::thread::Builder::new()
+                .name("farm-supervisor".to_string())
+                .spawn(move || FarmInner::supervisor_loop(&sup_inner))
+                .expect("spawn farm supervisor"),
+        );
+        Ok(Farm { inner })
+    }
+
+    /// Submits one job.
+    ///
+    /// # Errors
+    /// [`SubmitError`] — invalid spec, full queue, or draining farm.
+    pub fn submit(&self, spec: JobSpec) -> Result<Submitted, SubmitError> {
+        self.inner.submit(spec)
+    }
+
+    /// A snapshot of one job record, if it exists (or ever existed and
+    /// survived history pruning).
+    pub fn job(&self, id: u64) -> Option<JobRecord> {
+        self.inner
+            .state
+            .lock()
+            .expect("farm state lock")
+            .jobs
+            .get(&id)
+            .cloned()
+    }
+
+    /// Cancels a queued or running job. Returns `false` when the id is
+    /// unknown or already terminal. Cancelling a primary with followers
+    /// promotes the first follower to a fresh primary — one tenant's
+    /// cancel never kills another tenant's identical request.
+    pub fn cancel(&self, id: u64) -> bool {
+        self.inner.cancel(id)
+    }
+
+    /// Aggregate queue counts.
+    pub fn queue_snapshot(&self) -> QueueSnapshot {
+        self.inner.queue_snapshot()
+    }
+
+    /// The farm's observer (metrics sink).
+    pub fn observer(&self) -> &Observer {
+        &self.inner.obs
+    }
+
+    /// Initiates shutdown; pair with [`Farm::join`] to wait for it.
+    pub fn shutdown(&self, mode: ShutdownMode) {
+        self.inner.shutdown(mode)
+    }
+
+    /// Blocks until every worker and the supervisor have exited. Call
+    /// after [`Farm::shutdown`].
+    pub fn join(&self) {
+        let mut st = self.inner.state.lock().expect("farm state lock");
+        while st.workers_alive > 0 {
+            st = self.inner.idle.wait(st).expect("farm idle wait");
+        }
+        drop(st);
+        let handles: Vec<_> = self
+            .inner
+            .workers
+            .lock()
+            .expect("farm workers lock")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(sup) = self
+            .inner
+            .supervisor
+            .lock()
+            .expect("farm supervisor lock")
+            .take()
+        {
+            let _ = sup.join();
+        }
+    }
+
+    /// Blocks until no job is queued or running, or `timeout` elapses.
+    /// Returns `true` when idle was reached.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.inner.state.lock().expect("farm state lock");
+        loop {
+            if st.queued.is_empty() && st.running.is_empty() {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .inner
+                .idle
+                .wait_timeout(st, deadline - now)
+                .expect("farm idle wait");
+            st = guard;
+        }
+    }
+}
+
+impl FarmInner {
+    // ---- submission -----------------------------------------------------
+
+    fn submit(self: &Arc<Self>, spec: JobSpec) -> Result<Submitted, SubmitError> {
+        // Key computation happens outside the state lock: for the real
+        // backend it builds the program, which is far too slow to
+        // serialize against the queue.
+        let key = self.backend.job_key(&spec).map_err(SubmitError::BadSpec)?;
+        let mut st = self.state.lock().expect("farm state lock");
+        if st.draining || st.shutdown_now {
+            return Err(SubmitError::Draining);
+        }
+        let outcome = self.enqueue_locked(&mut st, spec, key, None, 0, now_us(), true)?;
+        self.obs.counter(names::FARM_SUBMITTED).inc();
+        if !matches!(outcome, Submitted::Queued { .. }) {
+            self.obs.counter(names::FARM_DEDUP_HITS).inc();
+        }
+        self.refresh_gauges(&st);
+        self.persist_journal(&st);
+        if matches!(outcome, Submitted::Queued { .. }) {
+            self.work_ready.notify_one();
+        }
+        Ok(outcome)
+    }
+
+    /// Core accept path, shared by live submissions and journal restore.
+    /// `id_override` preserves ids across restarts; restore passes
+    /// `enforce_capacity = false` (those jobs were already accepted once
+    /// and must not be dropped on re-adoption).
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_locked(
+        &self,
+        st: &mut FarmState,
+        spec: JobSpec,
+        key: String,
+        id_override: Option<u64>,
+        attempts: u32,
+        submitted_us: u64,
+        enforce_capacity: bool,
+    ) -> Result<Submitted, SubmitError> {
+        // Completed-work cache: answer immediately.
+        if let Some(&source) = st.by_key_done.get(&key) {
+            let result = st.jobs.get(&source).and_then(|r| r.result.clone());
+            let id = id_override.unwrap_or_else(|| Self::take_id(st));
+            let now = now_us();
+            let rec = JobRecord {
+                id,
+                spec,
+                key,
+                state: JobState::Done,
+                attempts: 0,
+                error: None,
+                result,
+                dedup_of: Some(source),
+                subscribers: Vec::new(),
+                submitted_us,
+                started_us: now,
+                finished_us: now,
+            };
+            st.jobs.insert(id, rec);
+            st.history.push(id);
+            self.prune_history(st);
+            self.obs.counter(names::FARM_DONE).inc();
+            return Ok(Submitted::Cached { id, source });
+        }
+        // In-flight dedup: follow the primary.
+        if let Some(&primary) = st.by_key_active.get(&key) {
+            let id = id_override.unwrap_or_else(|| Self::take_id(st));
+            let rec = JobRecord {
+                id,
+                spec,
+                key,
+                state: JobState::Queued,
+                attempts: 0,
+                error: None,
+                result: None,
+                dedup_of: Some(primary),
+                subscribers: Vec::new(),
+                submitted_us,
+                started_us: 0,
+                finished_us: 0,
+            };
+            st.jobs.insert(id, rec);
+            if let Some(p) = st.jobs.get_mut(&primary) {
+                p.subscribers.push(id);
+            }
+            return Ok(Submitted::Deduped { id, primary });
+        }
+        // Fresh primary: bounded by queue capacity.
+        if enforce_capacity && st.queued.len() >= self.cfg.queue_capacity {
+            self.obs.counter(names::FARM_REJECTED).inc();
+            return Err(SubmitError::QueueFull {
+                retry_after_ms: self.cfg.retry_after_ms,
+            });
+        }
+        let id = id_override.unwrap_or_else(|| Self::take_id(st));
+        let priority = spec.priority;
+        let rec = JobRecord {
+            id,
+            spec,
+            key: key.clone(),
+            state: JobState::Queued,
+            attempts,
+            error: None,
+            result: None,
+            dedup_of: None,
+            subscribers: Vec::new(),
+            submitted_us,
+            started_us: 0,
+            finished_us: 0,
+        };
+        st.jobs.insert(id, rec);
+        st.by_key_active.insert(key, id);
+        st.queued.push(QueuedEntry {
+            id,
+            priority,
+            not_before_us: 0,
+        });
+        Ok(Submitted::Queued { id })
+    }
+
+    fn take_id(st: &mut FarmState) -> u64 {
+        let id = st.next_id;
+        st.next_id += 1;
+        id
+    }
+
+    // ---- worker side ----------------------------------------------------
+
+    fn spawn_worker(inner: &Arc<FarmInner>, index: usize) -> JoinHandle<()> {
+        {
+            let mut st = inner.state.lock().expect("farm state lock");
+            st.workers_alive += 1;
+        }
+        let me = Arc::clone(inner);
+        std::thread::Builder::new()
+            .name(format!("farm-worker-{index}"))
+            .spawn(move || {
+                me.worker_loop();
+                let mut st = me.state.lock().expect("farm state lock");
+                st.workers_alive -= 1;
+                drop(st);
+                me.idle.notify_all();
+            })
+            .expect("spawn farm worker")
+    }
+
+    fn worker_loop(self: &Arc<Self>) {
+        while let Some((id, spec, cancel)) = self.pop_ready() {
+            let mut span = self.obs.span(names::SPAN_FARM_EXECUTE, names::CAT_FARM);
+            span.arg("job", id);
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.backend.execute(&spec, &cancel)));
+            drop(span);
+            match outcome {
+                Ok(result) => self.finish_attempt(id, result),
+                Err(panic) => {
+                    let msg = panic_message(panic.as_ref());
+                    self.finish_attempt(id, Err(format!("worker panicked: {msg}")));
+                    // Panic isolation: this worker retires (its stack may
+                    // be poisoned mid-backend); the supervisor respawns a
+                    // replacement thread.
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Blocks until an executable entry is ready (highest priority,
+    /// FIFO within a priority, honoring retry `not_before`), the farm
+    /// drains dry, or shutdown-now is requested.
+    fn pop_ready(&self) -> Option<(u64, JobSpec, CancelToken)> {
+        let mut st = self.state.lock().expect("farm state lock");
+        loop {
+            if st.shutdown_now || (st.draining && st.queued.is_empty()) {
+                return None;
+            }
+            let now = now_us();
+            let mut best: Option<usize> = None;
+            let mut next_wake: Option<u64> = None;
+            for (i, e) in st.queued.iter().enumerate() {
+                if e.not_before_us <= now {
+                    let better = match best {
+                        None => true,
+                        Some(j) => {
+                            let b = &st.queued[j];
+                            (e.priority, std::cmp::Reverse(e.id))
+                                > (b.priority, std::cmp::Reverse(b.id))
+                        }
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                } else {
+                    next_wake = Some(next_wake.map_or(e.not_before_us, |w| w.min(e.not_before_us)));
+                }
+            }
+            if let Some(i) = best {
+                let entry = st.queued.remove(i);
+                let id = entry.id;
+                let spec;
+                let timeout_ms;
+                {
+                    let rec = st.jobs.get_mut(&id).expect("queued job has a record");
+                    rec.state = JobState::Running;
+                    rec.attempts += 1;
+                    rec.started_us = now;
+                    spec = rec.spec.clone();
+                    timeout_ms = if rec.spec.timeout_ms > 0 {
+                        rec.spec.timeout_ms
+                    } else {
+                        self.cfg.default_timeout_ms
+                    };
+                    self.obs
+                        .histogram(names::FARM_QUEUE_WAIT_US)
+                        .record(now.saturating_sub(rec.submitted_us));
+                }
+                let cancel = CancelToken::new();
+                st.running.insert(
+                    id,
+                    RunningInfo {
+                        cancel: cancel.clone(),
+                        deadline_us: (timeout_ms > 0).then(|| now + timeout_ms * 1_000),
+                        timed_out: false,
+                        user_cancelled: false,
+                        requeue: false,
+                    },
+                );
+                self.obs.counter(names::FARM_COMPUTES).inc();
+                self.refresh_gauges(&st);
+                self.persist_journal(&st);
+                return Some((id, spec, cancel));
+            }
+            match next_wake {
+                // Only backoff-delayed entries: sleep until the earliest
+                // becomes ready (or new work arrives).
+                Some(wake) => {
+                    let wait = Duration::from_micros(wake.saturating_sub(now).max(1_000));
+                    let (guard, _) = self
+                        .work_ready
+                        .wait_timeout(st, wait)
+                        .expect("farm work wait");
+                    st = guard;
+                }
+                None => {
+                    st = self.work_ready.wait(st).expect("farm work wait");
+                }
+            }
+        }
+    }
+
+    /// Applies the outcome of one execution attempt.
+    fn finish_attempt(&self, id: u64, outcome: Result<String, String>) {
+        let mut st = self.state.lock().expect("farm state lock");
+        let Some(info) = st.running.remove(&id) else {
+            return; // cancelled-and-removed race; nothing to record
+        };
+        let now = now_us();
+        match outcome {
+            Ok(result) => {
+                self.complete_locked(&mut st, id, JobState::Done, None, Some(result), now);
+            }
+            Err(err) => {
+                if info.requeue {
+                    // Shutdown-now interrupted this attempt: put the job
+                    // back (attempt not consumed) so a restarted farm
+                    // resumes it from the journal.
+                    if let Some(rec) = st.jobs.get_mut(&id) {
+                        rec.state = JobState::Queued;
+                        rec.attempts = rec.attempts.saturating_sub(1);
+                        rec.started_us = 0;
+                        let priority = rec.spec.priority;
+                        st.queued.push(QueuedEntry {
+                            id,
+                            priority,
+                            not_before_us: 0,
+                        });
+                    }
+                } else if info.user_cancelled {
+                    self.complete_locked(&mut st, id, JobState::Cancelled, Some(err), None, now);
+                } else {
+                    let err = if info.timed_out {
+                        format!("deadline exceeded: {err}")
+                    } else {
+                        err
+                    };
+                    let (attempts, priority) = match st.jobs.get(&id) {
+                        Some(r) => (r.attempts, r.spec.priority),
+                        None => (u32::MAX, 0),
+                    };
+                    if attempts < self.cfg.max_attempts {
+                        // Retry with exponential backoff + jitter.
+                        let backoff = self
+                            .cfg
+                            .backoff_base_ms
+                            .saturating_mul(1 << (attempts.saturating_sub(1)).min(16))
+                            .min(self.cfg.backoff_cap_ms);
+                        let jitter = splitmix(id ^ u64::from(attempts) ^ now) % (backoff / 2 + 1);
+                        if let Some(rec) = st.jobs.get_mut(&id) {
+                            rec.state = JobState::Queued;
+                            rec.error = Some(err);
+                        }
+                        st.queued.push(QueuedEntry {
+                            id,
+                            priority,
+                            not_before_us: now + (backoff + jitter) * 1_000,
+                        });
+                        self.obs.counter(names::FARM_RETRY).inc();
+                    } else {
+                        self.complete_locked(&mut st, id, JobState::Failed, Some(err), None, now);
+                    }
+                }
+            }
+        }
+        self.refresh_gauges(&st);
+        self.persist_journal(&st);
+        drop(st);
+        self.work_ready.notify_all();
+        self.idle.notify_all();
+    }
+
+    /// Terminal transition for a primary; mirrors onto subscribers.
+    fn complete_locked(
+        &self,
+        st: &mut FarmState,
+        id: u64,
+        state: JobState,
+        error: Option<String>,
+        result: Option<String>,
+        now: u64,
+    ) {
+        let (key, subscribers) = match st.jobs.get_mut(&id) {
+            Some(rec) => {
+                rec.state = state;
+                rec.error = error.clone();
+                rec.result = result.clone();
+                rec.finished_us = now;
+                (rec.key.clone(), std::mem::take(&mut rec.subscribers))
+            }
+            None => return,
+        };
+        if st.by_key_active.get(&key) == Some(&id) {
+            st.by_key_active.remove(&key);
+        }
+        if state == JobState::Done {
+            st.by_key_done.insert(key.clone(), id);
+        }
+        st.history.push(id);
+        self.count_terminal(state);
+        if let Some(rec) = st.jobs.get(&id) {
+            self.obs
+                .histogram(names::FARM_JOB_LATENCY_US)
+                .record(now.saturating_sub(rec.submitted_us));
+        }
+        match state {
+            JobState::Cancelled => {
+                // The compute was cancelled, but followers still want the
+                // result: promote the first follower to a fresh primary.
+                self.promote_followers(st, &key, subscribers);
+            }
+            _ => {
+                // Done and Failed both propagate: followers asked for the
+                // same compute, so they share its outcome.
+                for &sub in &subscribers {
+                    if let Some(rec) = st.jobs.get_mut(&sub) {
+                        rec.state = state;
+                        rec.error = error.clone();
+                        rec.result = result.clone();
+                        rec.finished_us = now;
+                    }
+                    st.history.push(sub);
+                    self.count_terminal(state);
+                }
+                // Put the list back on the primary: `subscribers` on the
+                // wire reports how many requests shared this compute.
+                if let Some(rec) = st.jobs.get_mut(&id) {
+                    rec.subscribers = subscribers;
+                }
+            }
+        }
+        self.prune_history(st);
+    }
+
+    /// After a primary was cancelled, its first live follower becomes a
+    /// new primary (re-queued), inheriting the remaining followers.
+    fn promote_followers(&self, st: &mut FarmState, key: &str, subscribers: Vec<u64>) {
+        let mut iter = subscribers.into_iter();
+        let Some(new_primary) = iter.next() else {
+            return;
+        };
+        let rest: Vec<u64> = iter.collect();
+        if let Some(rec) = st.jobs.get_mut(&new_primary) {
+            rec.dedup_of = None;
+            rec.subscribers = rest.clone();
+            rec.state = JobState::Queued;
+            let priority = rec.spec.priority;
+            st.by_key_active.insert(key.to_string(), new_primary);
+            st.queued.push(QueuedEntry {
+                id: new_primary,
+                priority,
+                not_before_us: 0,
+            });
+        }
+        for sub in rest {
+            if let Some(rec) = st.jobs.get_mut(&sub) {
+                rec.dedup_of = Some(new_primary);
+            }
+        }
+    }
+
+    fn count_terminal(&self, state: JobState) {
+        match state {
+            JobState::Done => self.obs.counter(names::FARM_DONE).inc(),
+            JobState::Failed => self.obs.counter(names::FARM_FAILED).inc(),
+            JobState::Cancelled => self.obs.counter(names::FARM_CANCELLED).inc(),
+            _ => {}
+        }
+    }
+
+    // ---- cancellation ---------------------------------------------------
+
+    fn cancel(&self, id: u64) -> bool {
+        let mut st = self.state.lock().expect("farm state lock");
+        let Some(rec) = st.jobs.get(&id) else {
+            return false;
+        };
+        match rec.state {
+            JobState::Queued => {
+                let key = rec.key.clone();
+                let dedup_of = rec.dedup_of;
+                let now = now_us();
+                if let Some(primary) = dedup_of {
+                    // A follower: detach from the primary.
+                    if let Some(p) = st.jobs.get_mut(&primary) {
+                        p.subscribers.retain(|&s| s != id);
+                    }
+                    if let Some(rec) = st.jobs.get_mut(&id) {
+                        rec.state = JobState::Cancelled;
+                        rec.finished_us = now;
+                        rec.error = Some("cancelled by request".to_string());
+                    }
+                    st.history.push(id);
+                    self.count_terminal(JobState::Cancelled);
+                } else {
+                    // A queued primary: pull it off the queue and promote
+                    // any followers.
+                    st.queued.retain(|e| e.id != id);
+                    let subscribers = st
+                        .jobs
+                        .get_mut(&id)
+                        .map(|r| std::mem::take(&mut r.subscribers))
+                        .unwrap_or_default();
+                    if st.by_key_active.get(&key) == Some(&id) {
+                        st.by_key_active.remove(&key);
+                    }
+                    if let Some(rec) = st.jobs.get_mut(&id) {
+                        rec.state = JobState::Cancelled;
+                        rec.finished_us = now;
+                        rec.error = Some("cancelled by request".to_string());
+                    }
+                    st.history.push(id);
+                    self.count_terminal(JobState::Cancelled);
+                    self.promote_followers(&mut st, &key, subscribers);
+                }
+                self.refresh_gauges(&st);
+                self.persist_journal(&st);
+                drop(st);
+                self.idle.notify_all();
+                true
+            }
+            JobState::Running => {
+                if let Some(info) = st.running.get_mut(&id) {
+                    info.user_cancelled = true;
+                    info.cancel.cancel();
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    // ---- supervision ----------------------------------------------------
+
+    fn supervisor_loop(inner: &Arc<FarmInner>) {
+        let mut next_worker_index = inner.cfg.workers.max(1);
+        loop {
+            {
+                let mut st = inner.state.lock().expect("farm state lock");
+                // Per-job deadlines: trip the token; the attempt comes
+                // back as a retryable timeout failure.
+                let now = now_us();
+                for info in st.running.values_mut() {
+                    if let Some(deadline) = info.deadline_us {
+                        if now > deadline && !info.timed_out {
+                            info.timed_out = true;
+                            info.cancel.cancel();
+                            inner.obs.counter(names::FARM_TIMEOUT).inc();
+                        }
+                    }
+                }
+                let terminating = st.shutdown_now || st.draining;
+                drop(st);
+                // Respawn workers that retired after a backend panic.
+                let mut handles = inner.workers.lock().expect("farm workers lock");
+                let mut alive = Vec::with_capacity(handles.len());
+                for h in handles.drain(..) {
+                    if h.is_finished() {
+                        let _ = h.join();
+                        if !terminating {
+                            inner.obs.counter(names::FARM_WORKER_RESPAWN).inc();
+                            alive.push(FarmInner::spawn_worker(inner, next_worker_index));
+                            next_worker_index += 1;
+                        }
+                    } else {
+                        alive.push(h);
+                    }
+                }
+                let worker_count = alive.len();
+                *handles = alive;
+                drop(handles);
+                inner
+                    .obs
+                    .gauge(names::FARM_WORKERS)
+                    .set(worker_count as f64);
+                if terminating && worker_count == 0 {
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    fn shutdown(&self, mode: ShutdownMode) {
+        let mut st = self.state.lock().expect("farm state lock");
+        st.draining = true;
+        if mode == ShutdownMode::Now {
+            st.shutdown_now = true;
+            for info in st.running.values_mut() {
+                info.requeue = true;
+                info.cancel.cancel();
+            }
+        }
+        self.persist_journal(&st);
+        drop(st);
+        self.work_ready.notify_all();
+        self.idle.notify_all();
+    }
+
+    // ---- introspection --------------------------------------------------
+
+    fn queue_snapshot(&self) -> QueueSnapshot {
+        let st = self.state.lock().expect("farm state lock");
+        let mut snap = QueueSnapshot {
+            queued: st.queued.len(),
+            running: st.running.len(),
+            workers: st.workers_alive,
+            capacity: self.cfg.queue_capacity,
+            draining: st.draining,
+            ..QueueSnapshot::default()
+        };
+        for rec in st.jobs.values() {
+            match rec.state {
+                JobState::Done => snap.done += 1,
+                JobState::Failed => snap.failed += 1,
+                JobState::Cancelled => snap.cancelled += 1,
+                _ => {}
+            }
+        }
+        snap
+    }
+
+    fn refresh_gauges(&self, st: &FarmState) {
+        self.obs
+            .gauge(names::FARM_QUEUE_DEPTH)
+            .set(st.queued.len() as f64);
+        self.obs
+            .gauge(names::FARM_RUNNING)
+            .set(st.running.len() as f64);
+    }
+
+    fn prune_history(&self, st: &mut FarmState) {
+        while st.history.len() > self.cfg.history_limit {
+            let oldest = st.history.remove(0);
+            if let Some(rec) = st.jobs.get(&oldest) {
+                if rec.state.is_terminal() {
+                    if st.by_key_done.get(&rec.key) == Some(&oldest) {
+                        st.by_key_done.remove(&rec.key);
+                    }
+                    st.jobs.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    // ---- durability -----------------------------------------------------
+
+    /// Rewrites the queue journal atomically. Queued jobs persist as-is;
+    /// running jobs persist as queued (an interrupted attempt re-runs).
+    /// Dedup followers persist as plain jobs — on restore they re-enter
+    /// the enqueue path and regroup under whichever copy lands first.
+    fn persist_journal(&self, st: &FarmState) {
+        let Some(dir) = &self.cfg.dir else { return };
+        let mut jobs = Vec::new();
+        let mut push = |rec: &JobRecord| {
+            jobs.push(Value::Obj(vec![
+                ("id".to_string(), Value::Int(rec.id as i128)),
+                ("key".to_string(), Value::Str(rec.key.clone())),
+                ("attempts".to_string(), Value::Int(rec.attempts as i128)),
+                (
+                    "submitted_us".to_string(),
+                    Value::Int(rec.submitted_us as i128),
+                ),
+                ("spec".to_string(), rec.spec.to_value()),
+            ]));
+        };
+        for rec in st.jobs.values() {
+            match rec.state {
+                JobState::Queued => push(rec),
+                JobState::Running => push(rec),
+                _ => {}
+            }
+        }
+        let doc = Value::Obj(vec![
+            ("version".to_string(), Value::Int(JOURNAL_VERSION as i128)),
+            ("next_id".to_string(), Value::Int(st.next_id as i128)),
+            ("jobs".to_string(), Value::Arr(jobs)),
+        ]);
+        // Best-effort: a journal write failure must not take down the
+        // farm mid-job; the next transition retries.
+        let _ = lp_obs::write_atomic(&dir.join(JOURNAL_FILE), doc.to_string().as_bytes());
+    }
+
+    fn restore_journal(&self) -> io::Result<()> {
+        let Some(dir) = &self.cfg.dir else {
+            return Ok(());
+        };
+        let path = dir.join(JOURNAL_FILE);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let doc = lp_obs::json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
+        let mut st = self.state.lock().expect("farm state lock");
+        if let Some(n) = doc.get("next_id").and_then(Value::as_u64) {
+            st.next_id = st.next_id.max(n);
+        }
+        let jobs = doc.get("jobs").and_then(Value::as_arr).unwrap_or(&[]);
+        for j in jobs {
+            let (Some(id), Some(key), Some(spec_v)) = (
+                j.get("id").and_then(Value::as_u64),
+                j.get("key").and_then(Value::as_str),
+                j.get("spec"),
+            ) else {
+                continue;
+            };
+            let Ok(spec) = JobSpec::from_value(spec_v) else {
+                continue;
+            };
+            let attempts = j.get("attempts").and_then(Value::as_u64).unwrap_or(0) as u32;
+            let submitted = j
+                .get("submitted_us")
+                .and_then(Value::as_u64)
+                .unwrap_or_else(now_us);
+            st.next_id = st.next_id.max(id + 1);
+            // Restored jobs trust the journal's key (no backend call) and
+            // re-dedup naturally through the shared enqueue path.
+            let _ = self.enqueue_locked(
+                &mut st,
+                spec,
+                key.to_string(),
+                Some(id),
+                attempts,
+                submitted,
+                false,
+            );
+        }
+        self.refresh_gauges(&st);
+        Ok(())
+    }
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// SplitMix64 — deterministic jitter without an RNG dependency.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}

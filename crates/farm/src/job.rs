@@ -1,0 +1,327 @@
+//! Job specifications, states, and records — the farm's wire model.
+//!
+//! Everything here serializes to the `lp-obs` JSON value model so the
+//! HTTP API, the crash-safe queue journal, and the test harnesses all
+//! speak one format. A submission is a [`JobSpec`] (one JSON object per
+//! line of a `POST /jobs` body); the farm tracks each as a [`JobRecord`]
+//! whose lifecycle walks [`JobState`]:
+//!
+//! ```text
+//! queued ──▶ running ──▶ done
+//!    ▲          │  └────▶ failed     (after max_attempts)
+//!    └──retry───┘  └────▶ cancelled  (user-requested)
+//! ```
+
+use lp_obs::json::Value;
+
+/// What a tenant asks the farm to run: one end-to-end LoopPoint pipeline
+/// job over a named workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Workload name (`demo-matrix-1`, `627.cam4_s.1`, `npb-cg`, ...).
+    pub program: String,
+    /// Requested thread count.
+    pub ncores: usize,
+    /// Input class: `test` | `train` | `ref` | `C`.
+    pub input: String,
+    /// OpenMP wait policy: `passive` | `active`.
+    pub wait_policy: String,
+    /// Per-thread slice size in filtered instructions.
+    pub slice_base: u64,
+    /// Hard step budget for any single simulation or replay.
+    pub max_steps: u64,
+    /// Scheduling priority; higher runs first, ties FIFO by id.
+    pub priority: i64,
+    /// Per-job wall-clock timeout in ms; `0` uses the farm default.
+    pub timeout_ms: u64,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            program: "demo-matrix-1".to_string(),
+            ncores: 2,
+            input: "test".to_string(),
+            wait_policy: "passive".to_string(),
+            slice_base: 8_000,
+            max_steps: looppoint::DEFAULT_MAX_STEPS,
+            priority: 0,
+            timeout_ms: 0,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parses a spec from one wire JSON object. Only `program` is
+    /// required; every other field falls back to [`JobSpec::default`].
+    ///
+    /// # Errors
+    /// A human-readable message when `program` is missing or a field has
+    /// the wrong type.
+    pub fn from_value(v: &Value) -> Result<JobSpec, String> {
+        let mut spec = JobSpec::default();
+        let Value::Obj(_) = v else {
+            return Err("job spec must be a JSON object".to_string());
+        };
+        spec.program = v
+            .get("program")
+            .and_then(Value::as_str)
+            .ok_or("job spec missing string field 'program'")?
+            .to_string();
+        let u64_field = |name: &str, default: u64| -> Result<u64, String> {
+            match v.get(name) {
+                None => Ok(default),
+                Some(x) => x
+                    .as_u64()
+                    .ok_or(format!("field '{name}' must be a non-negative integer")),
+            }
+        };
+        spec.ncores = u64_field("ncores", spec.ncores as u64)? as usize;
+        if spec.ncores == 0 {
+            return Err("field 'ncores' must be positive".to_string());
+        }
+        spec.slice_base = u64_field("slice_base", spec.slice_base)?;
+        if spec.slice_base == 0 {
+            return Err("field 'slice_base' must be positive".to_string());
+        }
+        spec.max_steps = u64_field("max_steps", spec.max_steps)?;
+        spec.timeout_ms = u64_field("timeout_ms", spec.timeout_ms)?;
+        if let Some(x) = v.get("priority") {
+            spec.priority = match x {
+                Value::Int(i) => i64::try_from(*i).map_err(|_| "field 'priority' out of range")?,
+                _ => return Err("field 'priority' must be an integer".to_string()),
+            };
+        }
+        if let Some(x) = v.get("input") {
+            spec.input = x
+                .as_str()
+                .ok_or("field 'input' must be a string")?
+                .to_string();
+        }
+        if let Some(x) = v.get("wait_policy") {
+            spec.wait_policy = x
+                .as_str()
+                .ok_or("field 'wait_policy' must be a string")?
+                .to_string();
+        }
+        Ok(spec)
+    }
+
+    /// The spec as a wire JSON object (round-trips through
+    /// [`JobSpec::from_value`]).
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("program".to_string(), Value::Str(self.program.clone())),
+            ("ncores".to_string(), Value::Int(self.ncores as i128)),
+            ("input".to_string(), Value::Str(self.input.clone())),
+            (
+                "wait_policy".to_string(),
+                Value::Str(self.wait_policy.clone()),
+            ),
+            (
+                "slice_base".to_string(),
+                Value::Int(self.slice_base as i128),
+            ),
+            ("max_steps".to_string(), Value::Int(self.max_steps as i128)),
+            ("priority".to_string(), Value::Int(self.priority as i128)),
+            (
+                "timeout_ms".to_string(),
+                Value::Int(self.timeout_ms as i128),
+            ),
+        ])
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker (or for a retry backoff to elapse).
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished successfully; `result` holds the summary.
+    Done,
+    /// Permanently failed (all attempts exhausted, or rejected).
+    Failed,
+    /// Cancelled by the submitter before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// Lowercase wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether this state is terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// The farm's full view of one submitted job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Farm-assigned id (monotonic per daemon lifetime, journal-persisted).
+    pub id: u64,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// 32-hex-char content key (identical work shares one key).
+    pub key: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Execution attempts consumed so far.
+    pub attempts: u32,
+    /// Terminal error message, if failed/cancelled.
+    pub error: Option<String>,
+    /// Result JSON text ([`looppoint::JobSummary`] encoding), if done.
+    pub result: Option<String>,
+    /// For dedup followers: the primary job computing this key.
+    pub dedup_of: Option<u64>,
+    /// For primaries: follower job ids awaiting this compute.
+    pub subscribers: Vec<u64>,
+    /// Submission timestamp (unix µs).
+    pub submitted_us: u64,
+    /// Most recent execution start (unix µs), 0 if never started.
+    pub started_us: u64,
+    /// Terminal timestamp (unix µs), 0 until terminal.
+    pub finished_us: u64,
+}
+
+impl JobRecord {
+    /// The record as a wire JSON object (`GET /jobs/{id}` body).
+    pub fn to_value(&self) -> Value {
+        let mut members = vec![
+            ("id".to_string(), Value::Int(self.id as i128)),
+            (
+                "state".to_string(),
+                Value::Str(self.state.as_str().to_string()),
+            ),
+            ("key".to_string(), Value::Str(self.key.clone())),
+            ("attempts".to_string(), Value::Int(self.attempts as i128)),
+            ("spec".to_string(), self.spec.to_value()),
+            (
+                "submitted_us".to_string(),
+                Value::Int(self.submitted_us as i128),
+            ),
+            (
+                "started_us".to_string(),
+                Value::Int(self.started_us as i128),
+            ),
+            (
+                "finished_us".to_string(),
+                Value::Int(self.finished_us as i128),
+            ),
+            (
+                "subscribers".to_string(),
+                Value::Int(self.subscribers.len() as i128),
+            ),
+        ];
+        match self.dedup_of {
+            Some(p) => members.push(("dedup_of".to_string(), Value::Int(p as i128))),
+            None => members.push(("dedup_of".to_string(), Value::Null)),
+        }
+        match &self.error {
+            Some(e) => members.push(("error".to_string(), Value::Str(e.clone()))),
+            None => members.push(("error".to_string(), Value::Null)),
+        }
+        match &self.result {
+            // Embed the result as structured JSON when it parses (it
+            // always should — we wrote it); fall back to a string.
+            Some(r) => members.push((
+                "result".to_string(),
+                lp_obs::json::parse(r).unwrap_or_else(|_| Value::Str(r.clone())),
+            )),
+            None => members.push(("result".to_string(), Value::Null)),
+        }
+        Value::Obj(members)
+    }
+}
+
+/// Current unix time in microseconds.
+pub(crate) fn now_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrips_through_wire_json() {
+        let spec = JobSpec {
+            program: "npb-cg".to_string(),
+            ncores: 4,
+            input: "train".to_string(),
+            wait_policy: "active".to_string(),
+            slice_base: 1234,
+            max_steps: 99,
+            priority: -3,
+            timeout_ms: 2500,
+        };
+        let back = JobSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn spec_defaults_fill_missing_fields() {
+        let v = lp_obs::json::parse(r#"{"program":"demo-matrix-2"}"#).unwrap();
+        let spec = JobSpec::from_value(&v).unwrap();
+        assert_eq!(spec.program, "demo-matrix-2");
+        assert_eq!(spec.ncores, 2);
+        assert_eq!(spec.input, "test");
+        assert_eq!(spec.priority, 0);
+    }
+
+    #[test]
+    fn spec_rejects_bad_shapes() {
+        for bad in [
+            r#"{"ncores":2}"#,                        // missing program
+            r#"{"program":"x","ncores":0}"#,          // zero threads
+            r#"{"program":"x","slice_base":"lots"}"#, // wrong type
+            r#"{"program":"x","priority":"high"}"#,   // wrong type
+            r#"[1,2,3]"#,                             // not an object
+        ] {
+            let v = lp_obs::json::parse(bad).unwrap();
+            assert!(JobSpec::from_value(&v).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn record_wire_shape_is_stable() {
+        let rec = JobRecord {
+            id: 7,
+            spec: JobSpec::default(),
+            key: "ab".repeat(16),
+            state: JobState::Done,
+            attempts: 1,
+            error: None,
+            result: Some(r#"{"regions":3}"#.to_string()),
+            dedup_of: None,
+            subscribers: vec![8, 9],
+            submitted_us: 1,
+            started_us: 2,
+            finished_us: 3,
+        };
+        let v = rec.to_value();
+        assert_eq!(v.get("state").unwrap().as_str(), Some("done"));
+        assert_eq!(v.get("subscribers").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            v.get("result").unwrap().get("regions").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(v.get("error"), Some(&Value::Null));
+    }
+}

@@ -1,0 +1,296 @@
+//! The farm's HTTP front door.
+//!
+//! One request per connection over the shared [`lp_obs::http`] plumbing.
+//! Bodies and multi-job responses are line-delimited JSON (one object per
+//! line), so clients stream submissions without framing beyond newlines.
+//!
+//! | Endpoint                 | Behavior                                     |
+//! |--------------------------|----------------------------------------------|
+//! | `POST /jobs`             | submit; NDJSON in → NDJSON out, one line per job; `503` + `Retry-After` when the queue is full |
+//! | `GET /jobs/{id}`         | full job record                              |
+//! | `POST /jobs/{id}/cancel` | cancel queued/running job                    |
+//! | `GET /queue`             | aggregate queue snapshot                     |
+//! | `GET /metrics`           | Prometheus text (farm.* and pipeline)        |
+//! | `GET /healthz`           | liveness JSON                                |
+//! | `POST /shutdown`         | `?mode=drain` (default) or `?mode=now`       |
+
+use crate::farm::{Farm, ShutdownMode, SubmitError, Submitted};
+use crate::job::JobSpec;
+use lp_obs::http::{self, Request, Response};
+use lp_obs::json::Value;
+use lp_obs::names;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+struct ServerShared {
+    stop: AtomicBool,
+    shutdown: Mutex<Option<ShutdownMode>>,
+    shutdown_cv: Condvar,
+}
+
+/// The accept loop wrapping a [`Farm`].
+pub struct FarmServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl FarmServer {
+    /// Binds `addr` (port `0` picks an ephemeral port) and starts
+    /// serving requests against `farm`.
+    ///
+    /// # Errors
+    /// Bind failures.
+    pub fn start(addr: impl ToSocketAddrs, farm: Farm) -> io::Result<FarmServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            stop: AtomicBool::new(false),
+            shutdown: Mutex::new(None),
+            shutdown_cv: Condvar::new(),
+        });
+        let loop_farm = farm.clone();
+        let loop_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("farm-server".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if loop_shared.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(mut stream) = stream else { continue };
+                    handle_connection(&mut stream, &loop_farm, &loop_shared);
+                    if loop_shared.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn farm server");
+        Ok(FarmServer {
+            addr: local,
+            shared,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a `POST /shutdown` request arrives, returning the
+    /// requested mode. The daemon then typically calls
+    /// [`Farm::shutdown`], [`Farm::join`], and [`FarmServer::stop`].
+    pub fn wait_shutdown(&self) -> ShutdownMode {
+        let mut guard = self.shared.shutdown.lock().expect("farm server lock");
+        loop {
+            if let Some(mode) = *guard {
+                return mode;
+            }
+            guard = self
+                .shared
+                .shutdown_cv
+                .wait(guard)
+                .expect("farm server wait");
+        }
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn stop(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Unblock the accept call.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FarmServer {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, farm: &Farm, shared: &ServerShared) {
+    let response = match http::read_request(stream, http::DEFAULT_MAX_BODY_BYTES) {
+        Ok(req) => {
+            let mut span = farm
+                .observer()
+                .span(names::SPAN_FARM_REQUEST, names::CAT_FARM);
+            span.arg("path", req.path.as_str());
+            route(&req, farm, shared)
+        }
+        Err(http::HttpError::BodyTooLarge { declared, limit }) => Response::new(
+            "413 Payload Too Large",
+            "application/json",
+            format!("{{\"error\":\"body {declared} B exceeds limit {limit} B\"}}"),
+        ),
+        Err(http::HttpError::Malformed(what)) => Response::bad_request(what),
+        Err(http::HttpError::Io(_)) => return,
+    };
+    let _ = http::write_response(stream, &response);
+}
+
+fn route(req: &Request, farm: &Farm, shared: &ServerShared) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/jobs") => submit_batch(req, farm),
+        ("GET", "/queue") => Response::json_ok(farm.queue_snapshot().to_value().to_string()),
+        ("GET", "/metrics") => Response::text_ok(farm.observer().prometheus_text()),
+        ("GET", "/healthz") => {
+            let snap = farm.queue_snapshot();
+            Response::json_ok(
+                Value::Obj(vec![
+                    ("status".to_string(), Value::Str("ok".to_string())),
+                    ("draining".to_string(), Value::Bool(snap.draining)),
+                    ("workers".to_string(), Value::Int(snap.workers as i128)),
+                ])
+                .to_string(),
+            )
+        }
+        ("POST", "/shutdown") => {
+            let mode = match req.query.as_deref() {
+                Some("mode=now") => ShutdownMode::Now,
+                Some("mode=drain") | None => ShutdownMode::Drain,
+                Some(other) => {
+                    return Response::bad_request(&format!("unknown shutdown query '{other}'"))
+                }
+            };
+            let mut guard = shared.shutdown.lock().expect("farm server lock");
+            *guard = Some(mode);
+            shared.shutdown_cv.notify_all();
+            Response::json_ok(format!(
+                "{{\"shutting_down\":true,\"mode\":\"{}\"}}",
+                match mode {
+                    ShutdownMode::Drain => "drain",
+                    ShutdownMode::Now => "now",
+                }
+            ))
+        }
+        ("GET", path) => match parse_job_path(path) {
+            Some(id) => match farm.job(id) {
+                Some(rec) => Response::json_ok(rec.to_value().to_string()),
+                None => Response::not_found(&format!("no job {id}")),
+            },
+            None => Response::not_found(&format!("no route for GET {path}")),
+        },
+        ("POST", path) => match parse_cancel_path(path) {
+            Some(id) => {
+                let cancelled = farm.cancel(id);
+                let state = farm
+                    .job(id)
+                    .map(|r| r.state.as_str().to_string())
+                    .unwrap_or_else(|| "unknown".to_string());
+                Response::json_ok(
+                    Value::Obj(vec![
+                        ("cancelled".to_string(), Value::Bool(cancelled)),
+                        ("state".to_string(), Value::Str(state)),
+                    ])
+                    .to_string(),
+                )
+            }
+            None => Response::not_found(&format!("no route for POST {path}")),
+        },
+        (method, _) => Response::new(
+            "405 Method Not Allowed",
+            "application/json",
+            format!("{{\"error\":\"method {method} not supported\"}}"),
+        ),
+    }
+}
+
+/// `/jobs/{id}` → id.
+fn parse_job_path(path: &str) -> Option<u64> {
+    path.strip_prefix("/jobs/")?.parse().ok()
+}
+
+/// `/jobs/{id}/cancel` → id.
+fn parse_cancel_path(path: &str) -> Option<u64> {
+    path.strip_prefix("/jobs/")?
+        .strip_suffix("/cancel")?
+        .parse()
+        .ok()
+}
+
+/// `POST /jobs`: one JSON job spec per line in, one JSON outcome per
+/// line out (same order). All accepted → `202`; any queue-full rejection
+/// → `503` with a `Retry-After` header; otherwise any bad line → `400`.
+fn submit_batch(req: &Request, farm: &Farm) -> Response {
+    let body = req.body_text();
+    let mut lines_out = String::new();
+    let mut any_full_ms: Option<u64> = None;
+    let mut any_bad = false;
+    let mut any = false;
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        any = true;
+        let outcome = lp_obs::json::parse(line)
+            .map_err(|e| SubmitError::BadSpec(e.to_string()))
+            .and_then(|v| JobSpec::from_value(&v).map_err(SubmitError::BadSpec))
+            .and_then(|spec| farm.submit(spec));
+        let obj = match outcome {
+            Ok(sub) => {
+                let mut members = vec![("id".to_string(), Value::Int(sub.id() as i128))];
+                match sub {
+                    Submitted::Queued { .. } => {
+                        members.push(("state".to_string(), Value::Str("queued".to_string())));
+                    }
+                    Submitted::Deduped { primary, .. } => {
+                        members.push(("state".to_string(), Value::Str("queued".to_string())));
+                        members.push(("dedup_of".to_string(), Value::Int(primary as i128)));
+                    }
+                    Submitted::Cached { source, .. } => {
+                        members.push(("state".to_string(), Value::Str("done".to_string())));
+                        members.push(("dedup_of".to_string(), Value::Int(source as i128)));
+                    }
+                }
+                Value::Obj(members)
+            }
+            Err(SubmitError::QueueFull { retry_after_ms }) => {
+                any_full_ms = Some(any_full_ms.map_or(retry_after_ms, |m| m.max(retry_after_ms)));
+                Value::Obj(vec![
+                    ("error".to_string(), Value::Str("queue full".to_string())),
+                    (
+                        "retry_after_ms".to_string(),
+                        Value::Int(retry_after_ms as i128),
+                    ),
+                ])
+            }
+            Err(SubmitError::Draining) => {
+                any_full_ms = Some(any_full_ms.unwrap_or(1_000));
+                Value::Obj(vec![(
+                    "error".to_string(),
+                    Value::Str("farm is draining".to_string()),
+                )])
+            }
+            Err(SubmitError::BadSpec(msg)) => {
+                any_bad = true;
+                Value::Obj(vec![("error".to_string(), Value::Str(msg))])
+            }
+        };
+        lines_out.push_str(&obj.to_string());
+        lines_out.push('\n');
+    }
+    if !any {
+        return Response::bad_request("empty submission body");
+    }
+    if let Some(ms) = any_full_ms {
+        // Retry-After is specified in whole seconds; round up.
+        return Response::new("503 Service Unavailable", "application/x-ndjson", lines_out)
+            .with_header("Retry-After", ms.div_ceil(1_000).max(1));
+    }
+    if any_bad {
+        return Response::new("400 Bad Request", "application/x-ndjson", lines_out);
+    }
+    Response::new("202 Accepted", "application/x-ndjson", lines_out)
+}

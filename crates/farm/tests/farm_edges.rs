@@ -1,0 +1,484 @@
+//! Fault-tolerance and multi-tenancy edge cases for the farm:
+//! in-flight dedup subscriber accounting, queue-full backpressure with a
+//! retry hint, panic → retry → permanent failure with worker respawn,
+//! per-job deadlines, cancellation promotion, and drain/restart resume
+//! from the persisted queue journal.
+
+use looppoint::CancelToken;
+use lp_farm::{
+    Farm, FarmConfig, FarmServer, JobBackend, JobSpec, JobState, ShutdownMode, SubmitError,
+    Submitted, JOURNAL_FILE,
+};
+use lp_obs::{names, Observer};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+fn spec(program: &str) -> JobSpec {
+    JobSpec {
+        program: program.to_string(),
+        ..JobSpec::default()
+    }
+}
+
+/// Deterministic mock key: the program name, padded — distinct programs
+/// get distinct keys, identical programs share one.
+fn mock_key(spec: &JobSpec) -> Result<String, String> {
+    Ok(format!("{:0<32.32}", spec.program))
+}
+
+/// Blocks every execution until `release()` (or cancellation), counting
+/// computes.
+struct Blocking {
+    computes: AtomicUsize,
+    gate: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Blocking {
+    fn new() -> Arc<Blocking> {
+        Arc::new(Blocking {
+            computes: AtomicUsize::new(0),
+            gate: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn release(&self) {
+        *self.gate.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+impl JobBackend for Blocking {
+    fn job_key(&self, spec: &JobSpec) -> Result<String, String> {
+        mock_key(spec)
+    }
+
+    fn execute(&self, spec: &JobSpec, cancel: &CancelToken) -> Result<String, String> {
+        self.computes.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.gate.lock().unwrap();
+        loop {
+            if *open {
+                return Ok(format!("{{\"program\":\"{}\"}}", spec.program));
+            }
+            if cancel.is_cancelled() {
+                return Err("cancelled mid-flight".to_string());
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(open, Duration::from_millis(5))
+                .unwrap();
+            open = guard;
+        }
+    }
+}
+
+/// Completes instantly; panics on programs named `boom`.
+struct Fast;
+
+impl JobBackend for Fast {
+    fn job_key(&self, spec: &JobSpec) -> Result<String, String> {
+        mock_key(spec)
+    }
+
+    fn execute(&self, spec: &JobSpec, _cancel: &CancelToken) -> Result<String, String> {
+        if spec.program == "boom" {
+            panic!("kaboom: injected backend panic");
+        }
+        Ok(format!("{{\"program\":\"{}\"}}", spec.program))
+    }
+}
+
+fn wait_for(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "lp-farm-test-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn duplicate_submits_share_one_compute() {
+    let backend = Blocking::new();
+    let obs = Observer::enabled();
+    let farm = Farm::start(
+        FarmConfig {
+            workers: 2,
+            ..FarmConfig::default()
+        },
+        backend.clone(),
+        obs.clone(),
+    )
+    .unwrap();
+
+    let a = farm.submit(spec("alpha")).unwrap();
+    let Submitted::Queued { id: primary } = a else {
+        panic!("first submit must queue, got {a:?}");
+    };
+    assert!(
+        wait_for(Duration::from_secs(5), || {
+            farm.job(primary).map(|r| r.state) == Some(JobState::Running)
+        }),
+        "primary never started"
+    );
+
+    // Two identical submissions while the primary is mid-compute: both
+    // become followers, neither computes.
+    let b = farm.submit(spec("alpha")).unwrap();
+    let c = farm.submit(spec("alpha")).unwrap();
+    assert!(
+        matches!(b, Submitted::Deduped { primary: p, .. } if p == primary),
+        "{b:?}"
+    );
+    assert!(
+        matches!(c, Submitted::Deduped { primary: p, .. } if p == primary),
+        "{c:?}"
+    );
+    let rec = farm.job(primary).unwrap();
+    assert_eq!(rec.subscribers.len(), 2, "subscriber count while running");
+
+    backend.release();
+    assert!(farm.wait_idle(Duration::from_secs(10)), "farm stuck");
+
+    for sub in [a.id(), b.id(), c.id()] {
+        let rec = farm.job(sub).unwrap();
+        assert_eq!(rec.state, JobState::Done, "job {sub}");
+        assert_eq!(
+            rec.result.as_deref(),
+            Some("{\"program\":\"alpha\"}"),
+            "followers mirror the primary's result"
+        );
+    }
+    assert_eq!(
+        backend.computes.load(Ordering::SeqCst),
+        1,
+        "exactly one compute"
+    );
+    assert_eq!(obs.counter(names::FARM_DEDUP_HITS).get(), 2);
+
+    // A fourth identical submission after completion: served from the
+    // completed-work cache, no queueing at all.
+    let d = farm.submit(spec("alpha")).unwrap();
+    assert!(matches!(d, Submitted::Cached { .. }), "{d:?}");
+    assert_eq!(farm.job(d.id()).unwrap().state, JobState::Done);
+    assert_eq!(backend.computes.load(Ordering::SeqCst), 1);
+    assert_eq!(obs.counter(names::FARM_DEDUP_HITS).get(), 3);
+
+    farm.shutdown(ShutdownMode::Drain);
+    farm.join();
+}
+
+#[test]
+fn queue_full_rejection_carries_retry_after() {
+    let backend = Blocking::new();
+    let farm = Farm::start(
+        FarmConfig {
+            workers: 1,
+            queue_capacity: 2,
+            retry_after_ms: 7_000,
+            ..FarmConfig::default()
+        },
+        backend.clone(),
+        Observer::enabled(),
+    )
+    .unwrap();
+    let server = FarmServer::start("127.0.0.1:0", farm.clone()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // One running (off-queue), two queued: the queue is now at capacity.
+    let a = farm.submit(spec("w1")).unwrap();
+    assert!(wait_for(Duration::from_secs(5), || {
+        farm.job(a.id()).map(|r| r.state) == Some(JobState::Running)
+    }));
+    farm.submit(spec("w2")).unwrap();
+    farm.submit(spec("w3")).unwrap();
+
+    // Library-level rejection carries the hint...
+    let err = farm.submit(spec("w4")).unwrap_err();
+    assert_eq!(
+        err,
+        SubmitError::QueueFull {
+            retry_after_ms: 7_000
+        }
+    );
+
+    // ...and the HTTP layer converts it to 503 + Retry-After (seconds,
+    // rounded up).
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    let body = "{\"program\":\"w4\"}\n";
+    write!(
+        stream,
+        "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 503"), "{buf}");
+    assert!(buf.contains("Retry-After: 7\r\n"), "{buf}");
+    assert!(buf.contains("\"retry_after_ms\":7000"), "{buf}");
+
+    // Dedup followers do NOT consume capacity: a duplicate of a queued
+    // job is still accepted while fresh work is rejected.
+    let dup = farm.submit(spec("w2")).unwrap();
+    assert!(matches!(dup, Submitted::Deduped { .. }), "{dup:?}");
+
+    backend.release();
+    assert!(farm.wait_idle(Duration::from_secs(10)));
+    farm.shutdown(ShutdownMode::Drain);
+    farm.join();
+    server.stop();
+}
+
+#[test]
+fn panicking_backend_retries_then_fails_and_workers_respawn() {
+    let obs = Observer::enabled();
+    let farm = Farm::start(
+        FarmConfig {
+            workers: 1,
+            max_attempts: 2,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 5,
+            ..FarmConfig::default()
+        },
+        Arc::new(Fast),
+        obs.clone(),
+    )
+    .unwrap();
+
+    let bad = farm.submit(spec("boom")).unwrap();
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            farm.job(bad.id()).map(|r| r.state) == Some(JobState::Failed)
+        }),
+        "job never failed permanently"
+    );
+    let rec = farm.job(bad.id()).unwrap();
+    assert_eq!(rec.attempts, 2, "consumed exactly max_attempts");
+    assert!(
+        rec.error
+            .as_deref()
+            .unwrap_or("")
+            .contains("worker panicked"),
+        "{:?}",
+        rec.error
+    );
+    assert_eq!(
+        obs.counter(names::FARM_RETRY).get(),
+        1,
+        "one retry between attempts"
+    );
+
+    // The panics killed worker threads; the supervisor respawned them —
+    // a fresh job still executes.
+    assert!(
+        wait_for(Duration::from_secs(5), || {
+            obs.counter(names::FARM_WORKER_RESPAWN).get() >= 2
+        }),
+        "workers were not respawned"
+    );
+    let ok = farm.submit(spec("fine")).unwrap();
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            farm.job(ok.id()).map(|r| r.state) == Some(JobState::Done)
+        }),
+        "respawned worker never served the follow-up job"
+    );
+
+    farm.shutdown(ShutdownMode::Drain);
+    farm.join();
+}
+
+#[test]
+fn deadline_trips_cancel_and_counts_as_timeout() {
+    let backend = Blocking::new(); // never released: only the deadline ends it
+    let obs = Observer::enabled();
+    let farm = Farm::start(
+        FarmConfig {
+            workers: 1,
+            max_attempts: 1,
+            ..FarmConfig::default()
+        },
+        backend,
+        obs.clone(),
+    )
+    .unwrap();
+    let mut s = spec("sleepy");
+    s.timeout_ms = 50;
+    let id = farm.submit(s).unwrap().id();
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            farm.job(id).map(|r| r.state) == Some(JobState::Failed)
+        }),
+        "deadline never fired"
+    );
+    let rec = farm.job(id).unwrap();
+    assert!(
+        rec.error
+            .as_deref()
+            .unwrap_or("")
+            .contains("deadline exceeded"),
+        "{:?}",
+        rec.error
+    );
+    assert_eq!(obs.counter(names::FARM_TIMEOUT).get(), 1);
+    farm.shutdown(ShutdownMode::Now);
+    farm.join();
+}
+
+#[test]
+fn cancelling_a_primary_promotes_its_follower() {
+    let backend = Blocking::new();
+    let farm = Farm::start(
+        FarmConfig {
+            workers: 1,
+            ..FarmConfig::default()
+        },
+        backend.clone(),
+        Observer::enabled(),
+    )
+    .unwrap();
+
+    let primary = farm.submit(spec("shared")).unwrap().id();
+    assert!(wait_for(Duration::from_secs(5), || {
+        farm.job(primary).map(|r| r.state) == Some(JobState::Running)
+    }));
+    let follower = farm.submit(spec("shared")).unwrap().id();
+
+    // One tenant cancels; the other's identical request must survive.
+    assert!(farm.cancel(primary));
+    assert!(
+        wait_for(Duration::from_secs(5), || {
+            farm.job(primary).map(|r| r.state) == Some(JobState::Cancelled)
+        }),
+        "cancel never took effect"
+    );
+    backend.release();
+    assert!(farm.wait_idle(Duration::from_secs(10)));
+
+    assert_eq!(farm.job(primary).unwrap().state, JobState::Cancelled);
+    let f = farm.job(follower).unwrap();
+    assert_eq!(f.state, JobState::Done, "promoted follower completed");
+    assert_eq!(f.dedup_of, None, "follower became a primary");
+    assert!(
+        backend.computes.load(Ordering::SeqCst) >= 2,
+        "recomputed after cancel"
+    );
+
+    farm.shutdown(ShutdownMode::Drain);
+    farm.join();
+}
+
+#[test]
+fn shutdown_now_requeues_and_a_restarted_farm_resumes() {
+    let dir = tmpdir("resume");
+    let backend = Blocking::new();
+    let farm = Farm::start(
+        FarmConfig {
+            workers: 1,
+            dir: Some(dir.clone()),
+            ..FarmConfig::default()
+        },
+        backend.clone(),
+        Observer::enabled(),
+    )
+    .unwrap();
+
+    let ids: Vec<u64> = ["r1", "r2", "r3"]
+        .iter()
+        .map(|p| farm.submit(spec(p)).unwrap().id())
+        .collect();
+    assert!(wait_for(Duration::from_secs(5), || {
+        farm.job(ids[0]).map(|r| r.state) == Some(JobState::Running)
+    }));
+
+    // Immediate shutdown: the running job is interrupted and requeued to
+    // disk, the queued ones persist untouched.
+    farm.shutdown(ShutdownMode::Now);
+    farm.join();
+
+    let journal = std::fs::read_to_string(dir.join(JOURNAL_FILE)).unwrap();
+    let doc = lp_obs::json::parse(&journal).unwrap();
+    assert_eq!(
+        doc.get("jobs").unwrap().as_arr().unwrap().len(),
+        3,
+        "all three jobs survive in the journal: {journal}"
+    );
+
+    // A fresh daemon over the same directory resumes the queue; ids are
+    // preserved so tenants can keep polling the same job URLs.
+    let backend2 = Blocking::new();
+    backend2.release();
+    let farm2 = Farm::start(
+        FarmConfig {
+            workers: 2,
+            dir: Some(dir.clone()),
+            ..FarmConfig::default()
+        },
+        backend2,
+        Observer::enabled(),
+    )
+    .unwrap();
+    assert!(
+        farm2.wait_idle(Duration::from_secs(10)),
+        "restored jobs never ran"
+    );
+    for &id in &ids {
+        let rec = farm2.job(id).unwrap();
+        assert_eq!(rec.state, JobState::Done, "restored job {id}");
+    }
+    // New submissions never collide with restored ids.
+    let fresh = farm2.submit(spec("r4")).unwrap().id();
+    assert!(fresh > *ids.iter().max().unwrap());
+
+    farm2.shutdown(ShutdownMode::Drain);
+    farm2.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_finishes_queued_work_before_stopping() {
+    let backend = Blocking::new();
+    backend.release();
+    let farm = Farm::start(
+        FarmConfig {
+            workers: 2,
+            ..FarmConfig::default()
+        },
+        backend,
+        Observer::enabled(),
+    )
+    .unwrap();
+    let ids: Vec<u64> = (0..6)
+        .map(|i| farm.submit(spec(&format!("d{i}"))).unwrap().id())
+        .collect();
+    farm.shutdown(ShutdownMode::Drain);
+    // New work is refused immediately...
+    assert_eq!(
+        farm.submit(spec("late")).unwrap_err(),
+        SubmitError::Draining
+    );
+    farm.join();
+    // ...but everything accepted before the drain completed.
+    for id in ids {
+        assert_eq!(farm.job(id).unwrap().state, JobState::Done, "job {id}");
+    }
+}

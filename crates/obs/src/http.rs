@@ -1,0 +1,360 @@
+//! Minimal HTTP/1.1 request parsing and response writing, shared by the
+//! [`crate::serve::TelemetryServer`] and the `lp-farm` analysis service.
+//!
+//! This is deliberately *not* a web framework: one request per connection,
+//! `Connection: close`, bounded header and body sizes, and only the
+//! features the in-tree servers need (request line, `Content-Length`
+//! bodies, a handful of response headers). Keeping it in one place means
+//! the telemetry endpoint and the farm daemon cannot drift apart on
+//! protocol details — and both inherit fixes (timeouts, caps, framing)
+//! at once.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum accepted size of the request line plus all headers.
+pub const MAX_HEAD_BYTES: u64 = 16 * 1024;
+/// Default cap on request body sizes (submitters batching thousands of
+/// jobs should split their batches).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Per-connection read/write timeout.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A parsed HTTP request: the request line plus an optional body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Path component, query string stripped.
+    pub path: String,
+    /// Query string (text after `?`), if any.
+    pub query: Option<String>,
+    /// Request body (empty unless `Content-Length` was present).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Errors from [`read_request`].
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying socket I/O failed (including timeouts).
+    Io(io::Error),
+    /// The request was malformed (bad request line, bad `Content-Length`).
+    Malformed(&'static str),
+    /// The declared body exceeds the caller's cap.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The cap that was exceeded.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "http i/o: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "request body {declared} B exceeds limit {limit} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads and parses one HTTP request from `stream`.
+///
+/// Sets the connection's read/write timeouts to [`IO_TIMEOUT`], caps the
+/// head at [`MAX_HEAD_BYTES`] and the body at `max_body` bytes. Headers
+/// other than `Content-Length` are parsed past and discarded.
+///
+/// # Errors
+/// I/O failures, malformed framing, or an oversized body.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut head = reader.by_ref().take(MAX_HEAD_BYTES);
+
+    let mut request_line = String::new();
+    head.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing request target"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    // Headers: only Content-Length matters; read until the blank line.
+    let mut content_length: usize = 0;
+    loop {
+        let mut line = String::new();
+        let n = head.read_line(&mut line)?;
+        if n == 0 {
+            break; // EOF before blank line: tolerate (no body).
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            }
+        }
+    }
+
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body)?;
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// An HTTP response ready to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status line text after `HTTP/1.1 ` (e.g. `"200 OK"`).
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) written verbatim.
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A response with no extra headers.
+    pub fn new(status: &'static str, content_type: &'static str, body: String) -> Response {
+        Response {
+            status,
+            content_type,
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// `200 OK` with `application/json`.
+    pub fn json_ok(body: String) -> Response {
+        Response::new("200 OK", "application/json", body)
+    }
+
+    /// `200 OK` with plain text.
+    pub fn text_ok(body: String) -> Response {
+        Response::new("200 OK", "text/plain; charset=utf-8", body)
+    }
+
+    /// `404 Not Found` with a JSON error object.
+    pub fn not_found(msg: &str) -> Response {
+        Response::new(
+            "404 Not Found",
+            "application/json",
+            format!("{{\"error\":{}}}", crate::json::Value::Str(msg.to_string())),
+        )
+    }
+
+    /// `400 Bad Request` with a JSON error object.
+    pub fn bad_request(msg: &str) -> Response {
+        Response::new(
+            "400 Bad Request",
+            "application/json",
+            format!("{{\"error\":{}}}", crate::json::Value::Str(msg.to_string())),
+        )
+    }
+
+    /// Adds a header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl std::fmt::Display) -> Response {
+        self.extra_headers
+            .push((name.to_string(), value.to_string()));
+        self
+    }
+}
+
+/// Writes `response` to `stream` with `Content-Length` framing and
+/// `Connection: close`, then flushes.
+///
+/// # Errors
+/// Socket write failures.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        response.content_type,
+        response.body.len()
+    );
+    for (name, value) in &response.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal blocking HTTP client for test harnesses and the `run-looppoint`
+/// client subcommands: one request, `Connection: close`, returns
+/// `(status_code, body)`.
+///
+/// # Errors
+/// Connect/read/write failures, or an unparseable status line.
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf)?;
+    let (head, payload) = buf
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body split"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn serve_once(
+        handler: impl FnOnce(Result<Request, HttpError>) -> Response + Send + 'static,
+    ) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream, 1024);
+            let resp = handler(req);
+            write_response(&mut stream, &resp).unwrap();
+        });
+        addr
+    }
+
+    #[test]
+    fn roundtrips_get_with_query() {
+        let addr = serve_once(|req| {
+            let req = req.unwrap();
+            assert_eq!(req.method, "GET");
+            assert_eq!(req.path, "/jobs");
+            assert_eq!(req.query.as_deref(), Some("state=queued"));
+            assert!(req.body.is_empty());
+            Response::json_ok("{\"ok\":true}".to_string())
+        });
+        let (status, body) = client_request(&addr, "GET", "/jobs?state=queued", "").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn roundtrips_post_body() {
+        let addr = serve_once(|req| {
+            let req = req.unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.body_text(), "line one\nline two\n");
+            Response::text_ok("accepted".to_string())
+        });
+        let (status, body) =
+            client_request(&addr, "POST", "/jobs", "line one\nline two\n").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "accepted");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let addr = serve_once(|req| match req {
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                assert!(declared > limit);
+                Response::new("413 Payload Too Large", "text/plain", String::new())
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        });
+        let big = "x".repeat(4096);
+        let (status, _) = client_request(&addr, "POST", "/jobs", &big).unwrap();
+        assert_eq!(status, 413);
+    }
+
+    #[test]
+    fn extra_headers_and_retry_after() {
+        let addr = serve_once(|_req| {
+            Response::new(
+                "503 Service Unavailable",
+                "application/json",
+                "{\"error\":\"queue full\"}".to_string(),
+            )
+            .with_header("Retry-After", 2)
+        });
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        write!(stream, "GET / HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 503"), "{buf}");
+        assert!(buf.contains("Retry-After: 2\r\n"), "{buf}");
+    }
+
+    #[test]
+    fn malformed_request_line_is_an_error() {
+        let addr = serve_once(|req| match req {
+            Err(HttpError::Malformed(_)) => Response::bad_request("malformed"),
+            other => panic!("expected Malformed, got {other:?}"),
+        });
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.write_all(b"\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+    }
+}

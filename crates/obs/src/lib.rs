@@ -42,6 +42,7 @@
 
 pub mod export;
 pub mod flush;
+pub mod http;
 pub mod json;
 mod log;
 pub mod metrics;

@@ -47,6 +47,45 @@ pub const SERVE_REQUESTS: &str = "serve.requests";
 /// Counter: failed/aborted telemetry endpoint connections.
 pub const SERVE_ERRORS: &str = "serve.errors";
 
+/// Span category for the lp-farm analysis service.
+pub const CAT_FARM: &str = "farm";
+
+/// Gauge: jobs currently waiting in the farm's bounded priority queue.
+pub const FARM_QUEUE_DEPTH: &str = "farm.queue.depth";
+/// Gauge: jobs currently executing on farm workers.
+pub const FARM_RUNNING: &str = "farm.running";
+/// Gauge: live farm worker threads.
+pub const FARM_WORKERS: &str = "farm.workers";
+/// Counter: jobs accepted into the farm queue.
+pub const FARM_SUBMITTED: &str = "farm.submitted";
+/// Counter: submissions rejected with backpressure (queue full).
+pub const FARM_REJECTED: &str = "farm.rejected";
+/// Counter: submissions answered by an in-flight or completed identical
+/// job (one compute, N subscribers).
+pub const FARM_DEDUP_HITS: &str = "farm.dedup.hits";
+/// Counter: underlying computes actually executed by workers.
+pub const FARM_COMPUTES: &str = "farm.computes";
+/// Counter: jobs that reached the `done` state.
+pub const FARM_DONE: &str = "farm.done";
+/// Counter: jobs that failed permanently (attempts exhausted).
+pub const FARM_FAILED: &str = "farm.failed";
+/// Counter: jobs cancelled before completion.
+pub const FARM_CANCELLED: &str = "farm.cancelled";
+/// Counter: failed attempts re-queued with backoff.
+pub const FARM_RETRY: &str = "farm.retry";
+/// Counter: worker threads respawned after a panic.
+pub const FARM_WORKER_RESPAWN: &str = "farm.worker.respawn";
+/// Counter: job attempts aborted by the per-job timeout.
+pub const FARM_TIMEOUT: &str = "farm.timeout";
+/// Histogram: queued → running wait per job (µs).
+pub const FARM_QUEUE_WAIT_US: &str = "farm.queue.wait_us";
+/// Histogram: submit → terminal-state latency per job (µs).
+pub const FARM_JOB_LATENCY_US: &str = "farm.job.latency_us";
+/// Span: one worker executing one job attempt.
+pub const SPAN_FARM_EXECUTE: &str = "farm.execute";
+/// Span: handling one farm API request.
+pub const SPAN_FARM_REQUEST: &str = "farm.request";
+
 /// Counter: successful periodic telemetry flushes (atomic rewrites of
 /// `--trace-out` / `--metrics-out`).
 pub const OBS_FLUSH_WRITES: &str = "obs.flush.writes";
@@ -71,6 +110,23 @@ pub const fn all_names() -> &'static [&'static str] {
         SPAN_DIAG_REPORT,
         SERVE_REQUESTS,
         SERVE_ERRORS,
+        FARM_QUEUE_DEPTH,
+        FARM_RUNNING,
+        FARM_WORKERS,
+        FARM_SUBMITTED,
+        FARM_REJECTED,
+        FARM_DEDUP_HITS,
+        FARM_COMPUTES,
+        FARM_DONE,
+        FARM_FAILED,
+        FARM_CANCELLED,
+        FARM_RETRY,
+        FARM_WORKER_RESPAWN,
+        FARM_TIMEOUT,
+        FARM_QUEUE_WAIT_US,
+        FARM_JOB_LATENCY_US,
+        SPAN_FARM_EXECUTE,
+        SPAN_FARM_REQUEST,
         OBS_FLUSH_WRITES,
         OBS_FLUSH_ERRORS,
     ]

@@ -16,9 +16,10 @@
 //! wakes the accept loop with a loopback connection, so [`TelemetryServer`]
 //! never leaks its thread.
 
+use crate::http::{self, Response};
 use crate::names;
 use crate::Observer;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -119,61 +120,40 @@ fn serve_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    // Cap the request line; everything after it (headers) is ignored.
-    reader.by_ref().take(8192).read_line(&mut request_line)?;
+fn handle_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    let request = http::read_request(&mut stream, 0);
     shared.obs.counter(names::SERVE_REQUESTS).inc();
 
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
-
-    let (status, content_type, body) = if method != "GET" {
-        (
+    let response = match request {
+        Err(http::HttpError::Io(e)) => return Err(e),
+        Err(_) => Response::bad_request("malformed request"),
+        Ok(req) if req.method != "GET" => Response::new(
             "405 Method Not Allowed",
             "text/plain; charset=utf-8",
             "only GET is supported\n".to_string(),
-        )
-    } else {
-        match path {
-            "/metrics" => (
+        ),
+        Ok(req) => match req.path.as_str() {
+            "/metrics" => Response::new(
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
                 shared.obs.prometheus_text(),
             ),
-            "/healthz" => ("200 OK", "application/json", healthz_json(&shared.obs)),
+            "/healthz" => Response::json_ok(healthz_json(&shared.obs)),
             "/report" => {
                 let report = shared.report.lock().expect("report slot poisoned").clone();
                 match report {
-                    Some(json) => ("200 OK", "application/json", json),
-                    None => (
-                        "404 Not Found",
-                        "application/json",
-                        "{\"error\":\"no report yet\"}".to_string(),
-                    ),
+                    Some(json) => Response::json_ok(json),
+                    None => Response::not_found("no report yet"),
                 }
             }
-            _ => (
+            _ => Response::new(
                 "404 Not Found",
                 "text/plain; charset=utf-8",
                 "try /metrics, /healthz, or /report\n".to_string(),
             ),
-        }
+        },
     };
-
-    let mut stream = reader.into_inner();
-    write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    )?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    http::write_response(&mut stream, &response)
 }
 
 fn healthz_json(obs: &Observer) -> String {
@@ -198,6 +178,7 @@ fn healthz_json(obs: &Observer) -> String {
 mod tests {
     use super::*;
     use crate::json;
+    use std::io::Write;
 
     fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();

@@ -54,10 +54,12 @@ pub mod codec;
 pub mod container;
 pub mod hash;
 pub mod index;
+pub mod lock;
 pub mod store;
 
 pub use container::{ArtifactKind, Container, ContainerError};
 pub use hash::{checksum64, digest128, Hash64};
+pub use lock::DirLock;
 pub use store::{Store, StoreConfig, StoreKey, StoreKeyBuilder, StoreStats};
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ use lp_obs::{names, Observer};
 use crate::container::{self, ArtifactKind};
 use crate::hash::Hash64;
 use crate::index::Index;
+use crate::lock::{DirLock, DEFAULT_TIMEOUT};
 
 /// A 128-bit content-derived store key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -241,6 +242,25 @@ impl Store {
         self.obs.counter(names::STORE_MISS).inc();
     }
 
+    /// Runs `f` on the index under both the in-process mutex **and** the
+    /// cross-process [`DirLock`], with the index refreshed from disk first
+    /// so another process's mutations are merged instead of overwritten —
+    /// the full read-modify-write cycle is atomic across processes sharing
+    /// one store directory. The updated index is saved and gauges
+    /// republished before the lock is released.
+    ///
+    /// # Errors
+    /// Lock acquisition (timeout) or index write failures.
+    fn with_shared_index<R>(&self, f: impl FnOnce(&mut Index) -> R) -> io::Result<R> {
+        let _dirlock = DirLock::acquire(&self.dir, DEFAULT_TIMEOUT)?;
+        let mut index = self.index.lock().expect("store index lock");
+        *index = Index::load(&self.dir);
+        let r = f(&mut index);
+        index.save(&self.dir)?;
+        self.publish_gauges(&index);
+        Ok(r)
+    }
+
     /// Loads and verifies the artifact for `key`/`kind`.
     ///
     /// Returns the decoded payload on a hit. On a miss returns `None`. On a
@@ -256,25 +276,24 @@ impl Store {
         let bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(_) => {
-                // Absent file: also drop any stale index entry.
-                let mut index = self.index.lock().expect("store index lock");
-                if index.remove(&name).is_some() {
-                    let _ = index.save(&self.dir);
-                    self.publish_gauges(&index);
-                }
+                // Absent file: also drop any stale index entry. Best
+                // effort — a contended lock never blocks serving a miss.
+                let _ = self.with_shared_index(|index| index.remove(&name));
                 self.miss();
                 return None;
             }
         };
         match container::open(&bytes, kind) {
             Ok(c) => {
-                let mut index = self.index.lock().expect("store index lock");
-                if !index.touch(&name) {
-                    // File exists but predates the index (or the index was
-                    // rebuilt): adopt it.
-                    index.upsert(&name, kind, bytes.len() as u64, c.payload.len() as u64);
-                }
-                let _ = index.save(&self.dir);
+                // Best effort: a contended lock never blocks serving the
+                // (already decoded) payload; only LRU bookkeeping is lost.
+                let _ = self.with_shared_index(|index| {
+                    if !index.touch(&name) {
+                        // File exists but predates the index (or the index
+                        // was rebuilt): adopt it.
+                        index.upsert(&name, kind, bytes.len() as u64, c.payload.len() as u64);
+                    }
+                });
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 self.obs.counter(names::STORE_HIT).inc();
                 span.arg("bytes", c.payload.len() as u64);
@@ -283,10 +302,7 @@ impl Store {
             Err(e) => {
                 lp_obs::lp_warn!("store: quarantining corrupt artifact {name}: {e}");
                 let _ = fs::rename(&path, self.dir.join(format!("{name}.corrupt")));
-                let mut index = self.index.lock().expect("store index lock");
-                index.remove(&name);
-                let _ = index.save(&self.dir);
-                self.publish_gauges(&index);
+                let _ = self.with_shared_index(|index| index.remove(&name));
                 self.counters.corruptions.fetch_add(1, Ordering::Relaxed);
                 self.obs.counter(names::STORE_CORRUPT).inc();
                 self.miss();
@@ -304,20 +320,21 @@ impl Store {
         span.arg("raw_bytes", payload.len() as u64);
         let sealed = container::seal(kind, payload);
         span.arg("stored_bytes", sealed.len() as u64);
+        // The artifact itself needs no lock: content-addressed name +
+        // atomic rename means concurrent writers of one key race to
+        // install byte-identical files.
         write_atomic(&self.dir, &name, &sealed)?;
-        let mut index = self.index.lock().expect("store index lock");
-        index.upsert(&name, kind, sealed.len() as u64, payload.len() as u64);
-        if let Some(budget) = self.config.max_bytes {
-            for victim in index.eviction_plan(budget) {
-                let _ = fs::remove_file(self.dir.join(&victim));
-                index.remove(&victim);
-                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
-                self.obs.counter(names::STORE_EVICT).inc();
+        self.with_shared_index(|index| {
+            index.upsert(&name, kind, sealed.len() as u64, payload.len() as u64);
+            if let Some(budget) = self.config.max_bytes {
+                for victim in index.eviction_plan(budget) {
+                    let _ = fs::remove_file(self.dir.join(&victim));
+                    index.remove(&victim);
+                    self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.obs.counter(names::STORE_EVICT).inc();
+                }
             }
-        }
-        index.save(&self.dir)?;
-        self.publish_gauges(&index);
-        Ok(())
+        })
     }
 
     /// Whether an artifact file for `key`/`kind` currently exists (no

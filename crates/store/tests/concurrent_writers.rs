@@ -1,0 +1,118 @@
+//! Cross-process store-sharing regression test.
+//!
+//! Before the `DirLock` fix, two processes sharing one `--store-dir` each
+//! held an in-memory LPIX index and saved it wholesale after every
+//! mutation: the last writer silently overwrote the other's entries, so
+//! artifacts fell out of the index ("lost" — wrong LRU order, wrong byte
+//! totals, eviction planning over a partial view). This test spawns two
+//! *real* writer processes (the test binary re-executes itself in helper
+//! mode) hammering one directory and asserts that the final index is
+//! complete and coherent.
+
+use lp_store::{ArtifactKind, Store, StoreKeyBuilder};
+use std::process::Command;
+
+const HELPER_ENV: &str = "LP_STORE_WRITER_HELPER";
+const WRITES_PER_WRITER: usize = 24;
+
+fn writer_key(writer: &str, n: usize) -> lp_store::StoreKey {
+    let mut b = StoreKeyBuilder::new("two-writers/v1");
+    b.field_str("writer", writer).field_u64("n", n as u64);
+    b.finish()
+}
+
+fn writer_payload(writer: &str, n: usize) -> Vec<u8> {
+    // Mildly incompressible, unique per (writer, n).
+    let seed = writer.len() as u64 * 131 + n as u64;
+    let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    (0..256)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect()
+}
+
+/// Helper-mode body: run as a separate process by the test below.
+fn writer_main(dir: &str, name: &str) {
+    let store = Store::open(dir, lp_obs::Observer::disabled()).expect("helper opens store");
+    for n in 0..WRITES_PER_WRITER {
+        store
+            .save(
+                &writer_key(name, n),
+                ArtifactKind::Analysis,
+                &writer_payload(name, n),
+            )
+            .expect("helper save");
+        // Interleave loads so touch/save index cycles contend too.
+        assert!(store
+            .load(&writer_key(name, n), ArtifactKind::Analysis)
+            .is_some());
+    }
+}
+
+#[test]
+fn two_processes_share_a_store_without_losing_artifacts() {
+    if let Ok(spec) = std::env::var(HELPER_ENV) {
+        let (dir, name) = spec.split_once('|').expect("helper spec");
+        writer_main(dir, name);
+        return;
+    }
+
+    let dir = std::env::temp_dir().join(format!(
+        "lp-store-two-writers-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let exe = std::env::current_exe().unwrap();
+
+    let spawn = |name: &str| {
+        Command::new(&exe)
+            .args([
+                "two_processes_share_a_store_without_losing_artifacts",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(HELPER_ENV, format!("{}|{name}", dir.display()))
+            .spawn()
+            .expect("spawn writer process")
+    };
+    let mut a = spawn("alpha");
+    let mut b = spawn("beta");
+    assert!(a.wait().unwrap().success(), "writer alpha failed");
+    assert!(b.wait().unwrap().success(), "writer beta failed");
+
+    // A fresh handle sees a coherent, complete index: every artifact from
+    // both writers present, loadable, and accounted.
+    let store = Store::open(&dir, lp_obs::Observer::disabled()).unwrap();
+    assert_eq!(
+        store.len(),
+        2 * WRITES_PER_WRITER,
+        "index lost artifacts under concurrent writers"
+    );
+    for name in ["alpha", "beta"] {
+        for n in 0..WRITES_PER_WRITER {
+            let got = store.load(&writer_key(name, n), ArtifactKind::Analysis);
+            assert_eq!(
+                got.as_deref(),
+                Some(&writer_payload(name, n)[..]),
+                "lost or corrupted artifact {name}/{n}"
+            );
+        }
+    }
+    let stats = store.stats();
+    assert_eq!(stats.corruptions, 0);
+    assert_eq!(stats.bytes_raw, (2 * WRITES_PER_WRITER * 256) as u64);
+    // No stale lock file survives an orderly shutdown.
+    assert!(
+        !dir.join(lp_store::lock::LOCK_FILE).exists(),
+        "lock file leaked"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

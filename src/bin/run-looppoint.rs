@@ -8,13 +8,24 @@
 //! run-looppoint -p 627.cam4_s.1 -i train -w active
 //! run-looppoint -p 619.lbm_s.1 --native
 //! run-looppoint -p demo-matrix-1 --trace-out lp.trace.json --metrics-out lp.metrics.json
+//!
+//! run-looppoint serve --farm-listen 127.0.0.1:0 --workers 2
+//! run-looppoint submit --farm 127.0.0.1:9190 -p demo-matrix-1,demo-matrix-1 --wait
+//! run-looppoint status --farm 127.0.0.1:9190 [--job 3]
+//! run-looppoint shutdown --farm 127.0.0.1:9190 --mode drain
 //! ```
+//!
+//! Exit codes: `0` success; `1` pipeline/service error (a run failed, a
+//! job failed, the farm rejected work); `2` configuration or usage error
+//! (bad flags, unknown program name, unopenable store, unbindable
+//! address). A killed process dies by signal and reports no exit code.
 
 use looppoint::{
     analyze, analyze_cached, diagnose, error_pct, extrapolate, prepare_region_checkpoints_cached,
     simulate_prepared, simulate_representatives_checkpointed_with, simulate_whole, speedups,
     DiagReport, LoopPointConfig, SimOptions, DEFAULT_MAX_STEPS,
 };
+use lp_farm::{Farm, FarmConfig, FarmServer, PipelineBackend, ShutdownMode};
 use lp_obs::{
     lp_debug, lp_info, lp_warn, FlushTargets, LogLevel, Observer, PeriodicFlusher, TelemetryServer,
 };
@@ -24,7 +35,18 @@ use lp_uarch::SimConfig;
 use lp_workloads::{build, matrix_demo, InputClass, WorkloadSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Exit code for pipeline/service failures.
+const EXIT_PIPELINE: u8 = 1;
+/// Exit code for configuration/usage errors.
+const EXIT_CONFIG: u8 = 2;
+
+fn config_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(EXIT_CONFIG)
+}
 
 #[derive(Debug)]
 struct Args {
@@ -53,7 +75,39 @@ const USAGE: &str = "\
 run-looppoint — end-to-end LoopPoint sampling for one or more programs
 
 USAGE:
-    run-looppoint [OPTIONS]
+    run-looppoint [OPTIONS]                 one-shot pipeline run
+    run-looppoint serve [SERVE OPTIONS]     lp-farm analysis daemon
+    run-looppoint submit --farm <addr> ...  submit jobs to a daemon
+    run-looppoint status --farm <addr>      queue or per-job status
+    run-looppoint shutdown --farm <addr>    drain or stop a daemon
+
+EXIT CODES:
+    0  success
+    1  pipeline/service error (a run or job failed, work was rejected)
+    2  configuration or usage error (bad flags, unknown program,
+       unopenable store, unbindable address)
+
+SERVE OPTIONS (see also --store-dir/--store-max-bytes/--log-level below):
+        --farm-listen <addr>   bind address [default: 127.0.0.1:0 —
+                               ephemeral port, printed on startup]
+        --workers <n>          worker pool width [default: 2]
+        --queue-capacity <n>   bounded queue size; submissions past it
+                               are rejected with Retry-After [default: 64]
+        --max-attempts <n>     attempts before a job fails permanently
+                               [default: 3]
+        --job-timeout-ms <n>   default per-job deadline; 0 = none
+                               [default: 0]
+        --farm-dir <path>      queue journal directory: queued and
+                               running jobs survive restarts
+
+SUBMIT/STATUS/SHUTDOWN OPTIONS:
+        --farm <addr>          daemon address (required)
+        --wait                 submit: poll until every job is terminal
+        --job <id>             status: one job instead of the queue
+        --mode <drain|now>     shutdown: finish everything (drain) or
+                               interrupt and requeue (now) [default: drain]
+        --priority <n>         submit: scheduling priority (higher first)
+        --timeout-ms <n>       submit: per-job deadline override
 
 OPTIONS:
     -p, --program <names>      comma-separated programs (demo-matrix-1..3,
@@ -409,14 +463,29 @@ fn run_one(
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return farm_serve(&argv[1..]),
+        Some("submit") => return farm_submit(&argv[1..]),
+        Some("status") => return farm_status(&argv[1..]),
+        Some("shutdown") => return farm_shutdown(&argv[1..]),
+        _ => {}
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return config_error(&e);
         }
     };
     lp_obs::set_log_level(args.log_level);
+
+    // Unknown program names are a usage error, caught before any work
+    // (or telemetry files) happen, so they exit with the config code.
+    for name in &args.programs {
+        if resolve(name).is_none() {
+            return config_error(&format!("unknown program '{name}' (see --help)"));
+        }
+    }
 
     // One enabled observer per process when any export is requested (or at
     // debug verbosity, so spans are available for inspection); installed
@@ -444,8 +513,7 @@ fn main() -> ExitCode {
             match Store::open_with(dir, config, obs.clone()) {
                 Ok(s) => Some(s),
                 Err(e) => {
-                    eprintln!("error: opening artifact store at {dir}: {e}");
-                    return ExitCode::FAILURE;
+                    return config_error(&format!("opening artifact store at {dir}: {e}"));
                 }
             }
         }
@@ -478,8 +546,7 @@ fn main() -> ExitCode {
                 Some(server)
             }
             Err(e) => {
-                eprintln!("error: binding telemetry endpoint {addr}: {e}");
-                return ExitCode::FAILURE;
+                return config_error(&format!("binding telemetry endpoint {addr}: {e}"));
             }
         },
         None => None,
@@ -612,8 +679,390 @@ fn finalize(
     }
 
     if failed {
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_PIPELINE)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lp-farm service mode
+// ---------------------------------------------------------------------------
+
+/// `run-looppoint serve`: the lp-farm analysis daemon.
+fn farm_serve(args: &[String]) -> ExitCode {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut cfg = FarmConfig::default();
+    let mut store_dir: Option<String> = None;
+    let mut store_max_bytes: Option<u64> = None;
+    let mut log_level = LogLevel::Info;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let parsed: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--farm-listen" => listen = value("--farm-listen")?,
+                "--workers" => {
+                    cfg.workers = value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("bad worker count: {e}"))?;
+                    if cfg.workers == 0 {
+                        return Err("--workers must be positive".to_string());
+                    }
+                }
+                "--queue-capacity" => {
+                    cfg.queue_capacity = value("--queue-capacity")?
+                        .parse()
+                        .map_err(|e| format!("bad queue capacity: {e}"))?;
+                    if cfg.queue_capacity == 0 {
+                        return Err("--queue-capacity must be positive".to_string());
+                    }
+                }
+                "--max-attempts" => {
+                    cfg.max_attempts = value("--max-attempts")?
+                        .parse()
+                        .map_err(|e| format!("bad attempt count: {e}"))?;
+                    if cfg.max_attempts == 0 {
+                        return Err("--max-attempts must be positive".to_string());
+                    }
+                }
+                "--job-timeout-ms" => {
+                    cfg.default_timeout_ms = value("--job-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad timeout: {e}"))?;
+                }
+                "--farm-dir" => cfg.dir = Some(PathBuf::from(value("--farm-dir")?)),
+                "--store-dir" => store_dir = Some(value("--store-dir")?),
+                "--store-max-bytes" => {
+                    store_max_bytes = Some(
+                        value("--store-max-bytes")?
+                            .parse()
+                            .map_err(|e| format!("bad store byte budget: {e}"))?,
+                    );
+                }
+                "--log-level" => log_level = value("--log-level")?.parse()?,
+                "-h" | "--help" => {
+                    print!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown serve argument '{other}'")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            return config_error(&e);
+        }
+    }
+    lp_obs::set_log_level(log_level);
+
+    // The daemon always records: /metrics is part of its contract.
+    let obs = Observer::enabled();
+    if lp_obs::set_global(obs.clone()).is_err() {
+        lp_warn!("global observer already installed; farm metrics may be incomplete");
+    }
+    let store = match &store_dir {
+        Some(dir) => {
+            let config = StoreConfig {
+                max_bytes: store_max_bytes,
+            };
+            match Store::open_with(dir, config, obs.clone()) {
+                Ok(s) => Some(s),
+                Err(e) => return config_error(&format!("opening artifact store at {dir}: {e}")),
+            }
+        }
+        None => None,
+    };
+
+    let backend = Arc::new(PipelineBackend::new(store, obs.clone()));
+    let farm = match Farm::start(cfg, backend, obs) {
+        Ok(f) => f,
+        Err(e) => return config_error(&format!("starting farm: {e}")),
+    };
+    let server = match FarmServer::start(listen.as_str(), farm.clone()) {
+        Ok(s) => s,
+        Err(e) => return config_error(&format!("binding farm endpoint {listen}: {e}")),
+    };
+    // Plain println (not lp_info): scripts parse this line for the port.
+    println!(
+        "farm: listening on {} (POST /jobs, GET /jobs/{{id}}, GET /queue, GET /metrics, POST /shutdown)",
+        server.local_addr()
+    );
+
+    let mode = server.wait_shutdown();
+    lp_info!(
+        "farm: shutdown requested (mode {})",
+        match mode {
+            ShutdownMode::Drain => "drain",
+            ShutdownMode::Now => "now",
+        }
+    );
+    farm.shutdown(mode);
+    farm.join();
+    let snap = farm.queue_snapshot();
+    server.stop();
+    println!(
+        "farm: stopped ({} done, {} failed, {} cancelled, {} requeued to journal)",
+        snap.done,
+        snap.failed,
+        snap.cancelled,
+        snap.queued + snap.running
+    );
+    ExitCode::SUCCESS
+}
+
+/// Shared client-flag parsing for submit/status/shutdown.
+struct ClientArgs {
+    farm: Option<String>,
+    programs: Vec<String>,
+    ncores: usize,
+    input: String,
+    wait_policy: String,
+    slice_base: u64,
+    max_steps: u64,
+    priority: i64,
+    timeout_ms: u64,
+    wait: bool,
+    job: Option<u64>,
+    mode: String,
+}
+
+fn parse_client_args(args: &[String]) -> Result<ClientArgs, String> {
+    let mut c = ClientArgs {
+        farm: None,
+        programs: vec!["demo-matrix-1".to_string()],
+        ncores: 2,
+        input: "test".to_string(),
+        wait_policy: "passive".to_string(),
+        slice_base: 8_000,
+        max_steps: DEFAULT_MAX_STEPS,
+        priority: 0,
+        timeout_ms: 0,
+        wait: false,
+        job: None,
+        mode: "drain".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--farm" => c.farm = Some(value("--farm")?),
+            "-p" | "--program" => {
+                c.programs = value("-p")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "-n" | "--ncores" => {
+                c.ncores = value("-n")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+            }
+            "-i" | "--input-class" => c.input = value("-i")?,
+            "-w" | "--wait-policy" => c.wait_policy = value("-w")?,
+            "--slice-base" => {
+                c.slice_base = value("--slice-base")?
+                    .parse()
+                    .map_err(|e| format!("bad slice base: {e}"))?;
+            }
+            "--max-steps" => {
+                c.max_steps = value("--max-steps")?
+                    .parse()
+                    .map_err(|e| format!("bad step budget: {e}"))?;
+            }
+            "--priority" => {
+                c.priority = value("--priority")?
+                    .parse()
+                    .map_err(|e| format!("bad priority: {e}"))?;
+            }
+            "--timeout-ms" => {
+                c.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad timeout: {e}"))?;
+            }
+            "--wait" => c.wait = true,
+            "--job" => {
+                c.job = Some(
+                    value("--job")?
+                        .parse()
+                        .map_err(|e| format!("bad job id: {e}"))?,
+                );
+            }
+            "--mode" => c.mode = value("--mode")?,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(c)
+}
+
+fn require_farm(c: &ClientArgs) -> Result<String, String> {
+    c.farm
+        .clone()
+        .ok_or_else(|| "--farm <addr> is required (see --help)".to_string())
+}
+
+/// `run-looppoint submit`: POST jobs, optionally poll to completion.
+fn farm_submit(args: &[String]) -> ExitCode {
+    let c = match parse_client_args(args) {
+        Ok(c) => c,
+        Err(e) => return config_error(&e),
+    };
+    let addr = match require_farm(&c) {
+        Ok(a) => a,
+        Err(e) => return config_error(&e),
+    };
+    let mut body = String::new();
+    for program in &c.programs {
+        let spec = lp_farm::JobSpec {
+            program: program.clone(),
+            ncores: c.ncores,
+            input: c.input.clone(),
+            wait_policy: c.wait_policy.clone(),
+            slice_base: c.slice_base,
+            max_steps: c.max_steps,
+            priority: c.priority,
+            timeout_ms: c.timeout_ms,
+        };
+        body.push_str(&spec.to_value().to_string());
+        body.push('\n');
+    }
+    let (status, response) = match lp_obs::http::client_request(&addr, "POST", "/jobs", &body) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: submitting to {addr}: {e}");
+            return ExitCode::from(EXIT_PIPELINE);
+        }
+    };
+    print!("{response}");
+    match status {
+        202 => {}
+        400 => return config_error("farm rejected the job spec (see response above)"),
+        503 => {
+            eprintln!("error: farm is overloaded or draining (see retry_after_ms above)");
+            return ExitCode::from(EXIT_PIPELINE);
+        }
+        other => {
+            eprintln!("error: unexpected status {other} from farm");
+            return ExitCode::from(EXIT_PIPELINE);
+        }
+    }
+    if !c.wait {
+        return ExitCode::SUCCESS;
+    }
+    // Poll every accepted id until terminal.
+    let ids: Vec<u64> = response
+        .lines()
+        .filter_map(|l| lp_obs::json::parse(l).ok())
+        .filter_map(|v| v.get("id").and_then(lp_obs::json::Value::as_u64))
+        .collect();
+    let mut ok = true;
+    for id in ids {
+        loop {
+            let (status, body) =
+                match lp_obs::http::client_request(&addr, "GET", &format!("/jobs/{id}"), "") {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: polling job {id}: {e}");
+                        return ExitCode::from(EXIT_PIPELINE);
+                    }
+                };
+            if status != 200 {
+                eprintln!("error: job {id} vanished (status {status})");
+                ok = false;
+                break;
+            }
+            let state = lp_obs::json::parse(&body)
+                .ok()
+                .and_then(|v| v.get("state").and_then(|s| s.as_str().map(String::from)))
+                .unwrap_or_default();
+            match state.as_str() {
+                "done" => {
+                    println!("{body}");
+                    break;
+                }
+                "failed" | "cancelled" => {
+                    println!("{body}");
+                    ok = false;
+                    break;
+                }
+                _ => std::thread::sleep(Duration::from_millis(200)),
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_PIPELINE)
+    }
+}
+
+/// `run-looppoint status`: GET /queue or GET /jobs/{id}.
+fn farm_status(args: &[String]) -> ExitCode {
+    let c = match parse_client_args(args) {
+        Ok(c) => c,
+        Err(e) => return config_error(&e),
+    };
+    let addr = match require_farm(&c) {
+        Ok(a) => a,
+        Err(e) => return config_error(&e),
+    };
+    let path = match c.job {
+        Some(id) => format!("/jobs/{id}"),
+        None => "/queue".to_string(),
+    };
+    match lp_obs::http::client_request(&addr, "GET", &path, "") {
+        Ok((200, body)) => {
+            println!("{body}");
+            ExitCode::SUCCESS
+        }
+        Ok((status, body)) => {
+            eprintln!("error: status {status}: {body}");
+            ExitCode::from(EXIT_PIPELINE)
+        }
+        Err(e) => {
+            eprintln!("error: querying {addr}: {e}");
+            ExitCode::from(EXIT_PIPELINE)
+        }
+    }
+}
+
+/// `run-looppoint shutdown`: POST /shutdown?mode=...
+fn farm_shutdown(args: &[String]) -> ExitCode {
+    let c = match parse_client_args(args) {
+        Ok(c) => c,
+        Err(e) => return config_error(&e),
+    };
+    let addr = match require_farm(&c) {
+        Ok(a) => a,
+        Err(e) => return config_error(&e),
+    };
+    if c.mode != "drain" && c.mode != "now" {
+        return config_error(&format!("unknown shutdown mode '{}'", c.mode));
+    }
+    match lp_obs::http::client_request(&addr, "POST", &format!("/shutdown?mode={}", c.mode), "") {
+        Ok((200, body)) => {
+            println!("{body}");
+            ExitCode::SUCCESS
+        }
+        Ok((status, body)) => {
+            eprintln!("error: status {status}: {body}");
+            ExitCode::from(EXIT_PIPELINE)
+        }
+        Err(e) => {
+            eprintln!("error: contacting {addr}: {e}");
+            ExitCode::from(EXIT_PIPELINE)
+        }
     }
 }

@@ -5,7 +5,12 @@
 //! counter — exactly the runs one most wants telemetry for. The driver now
 //! routes all exits through a single finalize step; these tests pin that
 //! behavior by running the real binary.
+//!
+//! They also pin the exit-code contract scripts depend on:
+//! `0` success, `1` pipeline/service error, `2` configuration or usage
+//! error, and signal death (no exit code) for killed runs.
 
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 use std::process::Command;
 
@@ -44,9 +49,10 @@ fn failing_run_still_writes_parseable_telemetry() {
         .arg(&diag)
         .output()
         .expect("driver must run");
-    assert!(
-        !out.status.success(),
-        "step-limited run must fail: {}",
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "pipeline errors must exit 1: {}",
         String::from_utf8_lossy(&out.stdout)
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
@@ -98,7 +104,10 @@ fn killed_run_leaves_parseable_metrics_at_most_one_interval_stale() {
     }
     assert!(metrics.exists(), "no periodic flush within 30 s");
     child.kill().expect("kill");
-    let _ = child.wait();
+    let status = child.wait().expect("wait");
+    // Signal death carries no exit code — scripts distinguish it from
+    // the numeric 1/2 error exits.
+    assert_eq!(status.code(), None, "killed run must die by signal");
     // The mid-run file is complete, valid JSON (atomic temp+rename).
     let m = parse_json(&metrics);
     assert!(m.get("counters").is_some(), "killed-run metrics truncated");
@@ -136,5 +145,107 @@ fn successful_run_writes_diag_reports_that_sum() {
         assert!(!report.clusters.is_empty());
         assert!(report.profile.wall_us > 0);
     }
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+#[test]
+fn config_errors_exit_2_before_any_work() {
+    // Unknown flag.
+    let out = driver().arg("--no-such-flag").output().expect("run");
+    assert_eq!(out.status.code(), Some(2), "bad flag must exit 2");
+
+    // Unknown program name: rejected up front, before telemetry files
+    // are created.
+    let d = tmpdir("cfg");
+    let metrics = d.join("metrics.json");
+    let out = driver()
+        .args(["-p", "no-such-workload"])
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "unknown program must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown program"),
+        "unexpected stderr: {stderr}"
+    );
+    assert!(
+        !metrics.exists(),
+        "config errors must not leave telemetry files behind"
+    );
+
+    // Farm client subcommands validate usage the same way.
+    let out = driver()
+        .args(["shutdown", "--farm", "127.0.0.1:1", "--mode", "sideways"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "bad shutdown mode must exit 2");
+    let _ = std::fs::remove_dir_all(&d);
+}
+
+/// Full service-mode round trip through the real binary: `serve` on an
+/// ephemeral port, `submit --wait` twice (second is a dedup hit),
+/// `status`, then `shutdown` — every leg must exit 0.
+#[test]
+fn farm_serve_submit_shutdown_roundtrip() {
+    let d = tmpdir("farm");
+    let mut daemon = driver()
+        .args(["serve", "--farm-listen", "127.0.0.1:0", "--workers", "1"])
+        .arg("--farm-dir")
+        .arg(&d)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon must start");
+    // The first stdout line is the parseable bind announcement.
+    let mut reader = BufReader::new(daemon.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read bind line");
+    let addr = line
+        .strip_prefix("farm: listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected bind line: {line:?}"))
+        .to_string();
+
+    // Two identical submissions: one compute, one dedup/cache hit.
+    for _ in 0..2 {
+        let out = driver()
+            .args([
+                "submit",
+                "--farm",
+                &addr,
+                "-p",
+                "demo-matrix-1",
+                "--wait",
+                "--slice-base",
+                "2000",
+            ])
+            .output()
+            .expect("submit");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "submit --wait failed: {}\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let out = driver()
+        .args(["status", "--farm", &addr])
+        .output()
+        .expect("status");
+    assert_eq!(out.status.code(), Some(0));
+    let snap = lp_obs::json::parse(String::from_utf8_lossy(&out.stdout).trim())
+        .expect("queue snapshot is JSON");
+    assert_eq!(snap.get("done").and_then(|v| v.as_u64()), Some(2));
+
+    let out = driver()
+        .args(["shutdown", "--farm", &addr])
+        .output()
+        .expect("shutdown");
+    assert_eq!(out.status.code(), Some(0));
+    let status = daemon.wait().expect("daemon join");
+    assert_eq!(status.code(), Some(0), "drained daemon must exit 0");
     let _ = std::fs::remove_dir_all(&d);
 }
