@@ -198,6 +198,125 @@ grep -q 'farm: stopped (3 done, 0 failed, 0 cancelled, 0 requeued' "$FARM_LOG" \
 # Clean shutdown released the port.
 curl -sf --max-time 2 "http://$FARM_ADDR/healthz" >/dev/null 2>&1 && { echo "farm-smoke: endpoint still up after exit" >&2; exit 1; }
 
+echo "== trace-smoke (distributed tracing) =="
+# Start the daemon with a store and a small flight-recorder ring, submit
+# two identical jobs (job 1 computes, job 2 dedups onto it), and assert:
+# /jobs/1/trace is a valid Chrome trace_event document with at least one
+# span per lifecycle stage, job 2's trace links back to job 1's trace id
+# via the dedup marker, /trace/recent is parseable NDJSON, /healthz
+# surfaces the recorder occupancy, and the CLI renders the span tree.
+TRACE_STORE="$PWD/target/ci-trace-store"
+TRACE_LOG="$PWD/target/ci-trace.log"
+TRACE_SUBMIT_LOG="$PWD/target/ci-trace-submit.log"
+TRACE_DOC="$PWD/target/ci-trace-job1.json"
+TRACE_DOC2="$PWD/target/ci-trace-job2.json"
+rm -rf "$TRACE_STORE"
+"${RUNNER[@]}" serve --farm-listen 127.0.0.1:0 --workers 2 --trace-capacity 8 \
+  --store-dir "$TRACE_STORE" > "$TRACE_LOG" 2>&1 &
+TRACE_PID=$!
+TRACE_ADDR=""
+for _ in $(seq 1 100); do
+  TRACE_ADDR=$(sed -n 's/^farm: listening on \([0-9.:]*\).*/\1/p' "$TRACE_LOG" | head -n1)
+  [ -n "$TRACE_ADDR" ] && break
+  kill -0 "$TRACE_PID" 2>/dev/null || { cat "$TRACE_LOG" >&2; echo "trace-smoke: daemon died before binding" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$TRACE_ADDR" ] || { cat "$TRACE_LOG" >&2; echo "trace-smoke: no listening line" >&2; exit 1; }
+"${RUNNER[@]}" submit --farm "$TRACE_ADDR" -p demo-matrix-3,demo-matrix-3 \
+  --slice-base 4000 --wait > "$TRACE_SUBMIT_LOG" 2>&1 \
+  || { cat "$TRACE_SUBMIT_LOG" >&2; echo "trace-smoke: submit failed" >&2; exit 1; }
+grep -q '"trace_id"' "$TRACE_SUBMIT_LOG" || { echo "trace-smoke: submit response lacks trace_id" >&2; exit 1; }
+curl -sf --max-time 5 "http://$TRACE_ADDR/jobs/1/trace" > "$TRACE_DOC" \
+  || { echo "trace-smoke: GET /jobs/1/trace failed" >&2; exit 1; }
+curl -sf --max-time 5 "http://$TRACE_ADDR/jobs/2/trace" > "$TRACE_DOC2" \
+  || { echo "trace-smoke: GET /jobs/2/trace failed" >&2; exit 1; }
+python3 - "$TRACE_DOC" "$TRACE_DOC2" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+evs = doc["traceEvents"]
+assert isinstance(evs, list) and evs, "empty traceEvents"
+names = [e["name"] for e in evs]
+# One span or marker per lifecycle stage: enqueue, queue wait, worker
+# attempt, the farm's execute span, the pipeline root, analysis phases,
+# region simulation, store writes, and the terminal marker.
+for want in ("farm.job", "farm.job.queue_wait", "enqueue", "attempt_start",
+             "farm.execute", "job.run", "analyze", "region.sim",
+             "store.save", "terminal"):
+    assert want in names, f"missing lifecycle span/marker {want!r}: {sorted(set(names))}"
+root = next(e for e in evs if e["name"] == "farm.job")
+assert root["ph"] == "X" and root["dur"] > 0, "root must be a Complete span"
+trace1 = root["args"]["trace_id"]
+# Every event that carries a trace id carries the job's.
+for e in evs:
+    args = e.get("args", {})
+    if "trace_id" in args:
+        assert args["trace_id"] == trace1, f"{e['name']} leaked into another trace"
+# Pipeline spans are parented (transitively) under the root span.
+spans = {e["args"]["span_id"]: e for e in evs
+         if e.get("ph") == "X" and "span_id" in e.get("args", {})}
+jr = next(e for e in evs if e["name"] == "job.run")
+hops = 0
+cur = jr["args"].get("parent_span_id")
+while cur in spans and hops < 20:
+    if spans[cur]["name"] == "farm.job":
+        break
+    cur = spans[cur]["args"].get("parent_span_id")
+    hops += 1
+assert cur in spans and spans[cur]["name"] == "farm.job", "job.run not under farm.job"
+# The follower's trace is distinct but links to the primary's trace id.
+with open(sys.argv[2]) as f:
+    doc2 = json.load(f)
+evs2 = doc2["traceEvents"]
+root2 = next(e for e in evs2 if e["name"] == "farm.job")
+assert root2["args"]["trace_id"] != trace1, "follower must have its own trace"
+link = next(e for e in evs2 if e["name"] == "farm.job.dedup_of")
+assert link["args"]["primary"] == 1 and link["args"]["primary_trace_id"] == trace1, link
+print(f"trace-smoke: {len(evs)} primary events, follower linked to {trace1[:8]}…")
+PY
+curl -sf --max-time 5 "http://$TRACE_ADDR/trace/recent?limit=4" | python3 -c "
+import json, sys
+lines = [l for l in sys.stdin.read().splitlines() if l.strip()]
+assert len(lines) == 2, f'expected 2 recent traces, got {len(lines)}'
+for l in lines:
+    s = json.loads(l)
+    assert {'id', 'trace_id', 'state'} <= s.keys(), s
+" || { echo "trace-smoke: bad /trace/recent" >&2; exit 1; }
+curl -sf --max-time 5 "http://$TRACE_ADDR/healthz" | grep -q '"flight_recorder":{"live":0,"finished":2,"capacity":8' \
+  || { echo "trace-smoke: /healthz lacks flight-recorder occupancy" >&2; exit 1; }
+TRACE_TREE=$("${RUNNER[@]}" trace 1 --farm "$TRACE_ADDR") \
+  || { echo "trace-smoke: CLI trace subcommand failed" >&2; exit 1; }
+for want in 'farm.job' 'farm.execute' 'job.run' 'ms'; do
+  echo "$TRACE_TREE" | grep -q "$want" || { echo "$TRACE_TREE" >&2; echo "trace-smoke: tree lacks $want" >&2; exit 1; }
+done
+"${RUNNER[@]}" shutdown --farm "$TRACE_ADDR" > /dev/null \
+  || { echo "trace-smoke: shutdown request failed" >&2; exit 1; }
+wait "$TRACE_PID" || { cat "$TRACE_LOG" >&2; echo "trace-smoke: daemon exited non-zero" >&2; exit 1; }
+# Restart over the same store: the resubmitted job is a store hit, and its
+# trace shows it — store.load spans, no checkpoint regeneration.
+"${RUNNER[@]}" serve --farm-listen 127.0.0.1:0 --workers 2 --trace-capacity 8 \
+  --store-dir "$TRACE_STORE" > "$TRACE_LOG" 2>&1 &
+TRACE_PID=$!
+TRACE_ADDR=""
+for _ in $(seq 1 100); do
+  TRACE_ADDR=$(sed -n 's/^farm: listening on \([0-9.:]*\).*/\1/p' "$TRACE_LOG" | head -n1)
+  [ -n "$TRACE_ADDR" ] && break
+  kill -0 "$TRACE_PID" 2>/dev/null || { cat "$TRACE_LOG" >&2; echo "trace-smoke: restarted daemon died" >&2; exit 1; }
+  sleep 0.1
+done
+"${RUNNER[@]}" submit --farm "$TRACE_ADDR" -p demo-matrix-3 --slice-base 4000 --wait > "$TRACE_SUBMIT_LOG" 2>&1 \
+  || { cat "$TRACE_SUBMIT_LOG" >&2; echo "trace-smoke: warm submit failed" >&2; exit 1; }
+curl -sf --max-time 5 "http://$TRACE_ADDR/jobs/1/trace" | python3 -c "
+import json, sys
+evs = json.load(sys.stdin)['traceEvents']
+names = [e['name'] for e in evs]
+assert 'store.load' in names, f'warm trace has no store.load: {sorted(set(names))}'
+assert 'store_hit' in names, 'warm trace lacks the store_hit marker'
+" || { echo "trace-smoke: warm trace missing store-hit evidence" >&2; exit 1; }
+"${RUNNER[@]}" shutdown --farm "$TRACE_ADDR" > /dev/null
+wait "$TRACE_PID" || { cat "$TRACE_LOG" >&2; echo "trace-smoke: restarted daemon exited non-zero" >&2; exit 1; }
+rm -rf "$TRACE_STORE"
+
 echo "== bench-smoke (farm throughput) =="
 # Quick variant of the farm-throughput benchmark: asserts one compute per
 # unique spec and full dedup of duplicates internally; validate the JSON

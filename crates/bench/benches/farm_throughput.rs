@@ -68,14 +68,6 @@ fn burst_specs(unique: usize, repeats: usize, slice_base: u64) -> Vec<JobSpec> {
     specs
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
-}
-
 fn main() {
     let args = parse_args();
     let (unique, repeats, slice_base, workers) = if args.smoke {
@@ -131,18 +123,20 @@ fn main() {
         total - unique,
         "every duplicate must dedup"
     );
-    let mut waits_us: Vec<u64> = Vec::new();
     for id in 1..=total as u64 {
         let rec = farm.job(id).expect("job record");
         assert_eq!(rec.state, lp_farm::JobState::Done, "job {id} not done");
-        // Followers never start; only actual computes have a queue wait.
-        if rec.started_us > 0 {
-            waits_us.push(rec.started_us.saturating_sub(rec.submitted_us));
-        }
     }
-    waits_us.sort_unstable();
-    let p50 = percentile(&waits_us, 0.50);
-    let p99 = percentile(&waits_us, 0.99);
+    // Queue latency from the farm's own telemetry histogram — the same
+    // log2-bucket quantile estimator every export surface uses, so the
+    // benchmark JSON, /metrics, and --metrics-out never disagree.
+    let waits = obs.snapshot().histograms[names::FARM_QUEUE_WAIT_US].clone();
+    assert_eq!(
+        waits.count, computes,
+        "one queue-wait sample per actual compute"
+    );
+    let p50 = waits.p50() as u64;
+    let p99 = waits.p99() as u64;
 
     let jobs_per_sec = total as f64 / (wall_ms / 1e3).max(1e-9);
     let dedup_ratio = dedup_hits as f64 / total as f64;

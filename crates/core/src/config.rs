@@ -47,6 +47,12 @@ pub struct LoopPointConfig {
     /// the `*_with_cancel` simulation entry points between regions). The
     /// default token is never tripped; *not* part of the content key.
     pub cancel: crate::CancelToken,
+    /// Distributed trace context this run's spans parent under. When set,
+    /// [`crate::run_job`] attaches it for the run's duration, so every
+    /// pipeline/store span carries the caller's trace id (e.g. the farm
+    /// job that requested the analysis). `None` (the default) leaves
+    /// ambient-context behavior unchanged; *not* part of the content key.
+    pub trace: Option<lp_obs::TraceContext>,
 }
 
 impl Default for LoopPointConfig {
@@ -60,6 +66,7 @@ impl Default for LoopPointConfig {
             slice_policy: lp_bbv::SlicePolicy::Fixed,
             obs: lp_obs::global(),
             cancel: crate::CancelToken::default(),
+            trace: None,
         }
     }
 }
@@ -86,6 +93,14 @@ impl LoopPointConfig {
     #[must_use]
     pub fn with_cancel(mut self, cancel: crate::CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Parents this run's spans under `trace` (builder style); see the
+    /// [`LoopPointConfig::trace`] field.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<lp_obs::TraceContext>) -> Self {
+        self.trace = trace;
         self
     }
 }

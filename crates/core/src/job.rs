@@ -94,6 +94,9 @@ pub fn run_job(
     warmup_slices: usize,
     store: Option<&Store>,
 ) -> Result<JobSummary, LoopPointError> {
+    // Attach the caller's trace context (if any) for the whole run, so the
+    // job.run span and everything under it carry the caller's trace id.
+    let _trace_guard = cfg.trace.as_ref().map(|t| t.attach());
     let mut span = cfg.obs.span("job.run", "pipeline");
     span.arg("nthreads", nthreads);
 

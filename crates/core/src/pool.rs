@@ -50,24 +50,32 @@ where
     let cancel = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<Result<R, E>>>> = items.iter().map(|_| Mutex::new(None)).collect();
 
+    // The ambient trace context is thread-local; capture the caller's and
+    // re-attach it in each worker so region-sim spans stay parented under
+    // the pipeline (and, transitively, the farm job) that spawned them.
+    let trace_ctx = lp_obs::tracectx::current();
+
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                if cancel.load(Ordering::Acquire) {
-                    break;
+            scope.spawn(|| {
+                let _trace_guard = trace_ctx.as_ref().map(|c| c.attach());
+                loop {
+                    if cancel.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= items.len() {
+                        break;
+                    }
+                    let busy = active.fetch_add(1, Ordering::Relaxed) + 1;
+                    occupancy.record(busy as u64);
+                    let result = f(&items[idx]);
+                    if result.is_err() {
+                        cancel.store(true, Ordering::Release);
+                    }
+                    *slots[idx].lock().expect("pool slot poisoned") = Some(result);
+                    active.fetch_sub(1, Ordering::Relaxed);
                 }
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= items.len() {
-                    break;
-                }
-                let busy = active.fetch_add(1, Ordering::Relaxed) + 1;
-                occupancy.record(busy as u64);
-                let result = f(&items[idx]);
-                if result.is_err() {
-                    cancel.store(true, Ordering::Release);
-                }
-                *slots[idx].lock().expect("pool slot poisoned") = Some(result);
-                active.fetch_sub(1, Ordering::Relaxed);
             });
         }
     });

@@ -149,6 +149,7 @@ mod tests {
             dur_us: dur,
             tid,
             args: Vec::new(),
+            ctx: None,
         }
     }
 

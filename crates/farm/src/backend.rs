@@ -83,8 +83,12 @@ impl PipelineBackend {
         };
         let nthreads = wspec.effective_threads(spec.ncores);
         let program = lp_workloads::build(&wspec, input, spec.ncores, policy);
-        let mut cfg =
-            LoopPointConfig::with_slice_base(spec.slice_base).with_observer(self.obs.clone());
+        // Inherit the worker's ambient trace context (the job's root, when
+        // invoked from a farm worker) so run_job re-attaches it on its own
+        // thread and every pipeline span joins the job's trace.
+        let mut cfg = LoopPointConfig::with_slice_base(spec.slice_base)
+            .with_observer(self.obs.clone())
+            .with_trace(lp_obs::tracectx::current());
         cfg.max_steps = spec.max_steps;
         let simcfg = SimConfig::gainestown(nthreads.max(spec.ncores));
         Ok((program, nthreads, cfg, simcfg))

@@ -30,9 +30,10 @@
 
 use crate::backend::JobBackend;
 use crate::job::{now_us, JobRecord, JobSpec, JobState};
+use crate::recorder::FlightRecorder;
 use looppoint::CancelToken;
 use lp_obs::json::Value;
-use lp_obs::{names, Observer};
+use lp_obs::{names, Observer, TraceContext};
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -66,6 +67,9 @@ pub struct FarmConfig {
     pub retry_after_ms: u64,
     /// Terminal records kept in memory for `GET /jobs/{id}`.
     pub history_limit: usize,
+    /// Finished per-job traces retained by the flight recorder
+    /// (`GET /jobs/{id}/trace`); oldest-completed evict first.
+    pub trace_capacity: usize,
     /// Journal directory; `None` runs in-memory only.
     pub dir: Option<PathBuf>,
 }
@@ -81,6 +85,7 @@ impl Default for FarmConfig {
             default_timeout_ms: 0,
             retry_after_ms: 1_000,
             history_limit: 1_024,
+            trace_capacity: 256,
             dir: None,
         }
     }
@@ -236,6 +241,7 @@ struct FarmInner {
     cfg: FarmConfig,
     backend: Arc<dyn JobBackend>,
     obs: Observer,
+    recorder: FlightRecorder,
     state: Mutex<FarmState>,
     /// Signalled when work becomes available or the farm terminates.
     work_ready: Condvar,
@@ -263,10 +269,12 @@ impl Farm {
             std::fs::create_dir_all(dir)?;
         }
         let workers = cfg.workers.max(1);
+        let recorder = FlightRecorder::new(cfg.trace_capacity, obs.clone());
         let inner = Arc::new(FarmInner {
             cfg,
             backend,
             obs,
+            recorder,
             state: Mutex::new(FarmState {
                 next_id: 1,
                 jobs: BTreeMap::new(),
@@ -302,12 +310,44 @@ impl Farm {
         Ok(Farm { inner })
     }
 
-    /// Submits one job.
+    /// Submits one job with a fresh root trace context.
     ///
     /// # Errors
     /// [`SubmitError`] — invalid spec, full queue, or draining farm.
     pub fn submit(&self, spec: JobSpec) -> Result<Submitted, SubmitError> {
-        self.inner.submit(spec)
+        self.inner.submit(spec, None)
+    }
+
+    /// Submits one job, parenting its trace under `client` when the
+    /// submitter propagated a `traceparent` header (the job's root span
+    /// becomes a child of the client's span; otherwise a fresh root).
+    ///
+    /// # Errors
+    /// [`SubmitError`] — invalid spec, full queue, or draining farm.
+    pub fn submit_traced(
+        &self,
+        spec: JobSpec,
+        client: Option<&TraceContext>,
+    ) -> Result<Submitted, SubmitError> {
+        self.inner.submit(spec, client)
+    }
+
+    /// The job's flight-recorder trace as a Chrome `trace_event` JSON
+    /// document, or `None` when the id was never seen or has been
+    /// evicted from the bounded ring.
+    pub fn trace_document(&self, id: u64) -> Option<Value> {
+        self.inner.recorder.trace_document(id)
+    }
+
+    /// Summaries of the most recently active job traces (live jobs
+    /// first, then finished, newest first), at most `limit`.
+    pub fn recent_traces(&self, limit: usize) -> Vec<Value> {
+        self.inner.recorder.recent(limit)
+    }
+
+    /// The farm's flight recorder (trace ring) for direct inspection.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
     }
 
     /// A snapshot of one job record, if it exists (or ever existed and
@@ -400,16 +440,23 @@ impl Farm {
 impl FarmInner {
     // ---- submission -----------------------------------------------------
 
-    fn submit(self: &Arc<Self>, spec: JobSpec) -> Result<Submitted, SubmitError> {
+    fn submit(
+        self: &Arc<Self>,
+        spec: JobSpec,
+        client: Option<&TraceContext>,
+    ) -> Result<Submitted, SubmitError> {
         // Key computation happens outside the state lock: for the real
         // backend it builds the program, which is far too slow to
         // serialize against the queue.
         let key = self.backend.job_key(&spec).map_err(SubmitError::BadSpec)?;
+        // The job's root context: a child of the client's propagated
+        // span, or a fresh root for untraced submissions.
+        let ctx = client.map_or_else(TraceContext::new_root, TraceContext::child);
         let mut st = self.state.lock().expect("farm state lock");
         if st.draining || st.shutdown_now {
             return Err(SubmitError::Draining);
         }
-        let outcome = self.enqueue_locked(&mut st, spec, key, None, 0, now_us(), true)?;
+        let outcome = self.enqueue_locked(&mut st, spec, key, ctx, None, 0, now_us(), true)?;
         self.obs.counter(names::FARM_SUBMITTED).inc();
         if !matches!(outcome, Submitted::Queued { .. }) {
             self.obs.counter(names::FARM_DEDUP_HITS).inc();
@@ -432,6 +479,7 @@ impl FarmInner {
         st: &mut FarmState,
         spec: JobSpec,
         key: String,
+        ctx: TraceContext,
         id_override: Option<u64>,
         attempts: u32,
         submitted_us: u64,
@@ -440,8 +488,10 @@ impl FarmInner {
         // Completed-work cache: answer immediately.
         if let Some(&source) = st.by_key_done.get(&key) {
             let result = st.jobs.get(&source).and_then(|r| r.result.clone());
+            let source_trace = st.jobs.get(&source).map(|r| r.trace.trace_id);
             let id = id_override.unwrap_or_else(|| Self::take_id(st));
             let now = now_us();
+            let program = spec.program.clone();
             let rec = JobRecord {
                 id,
                 spec,
@@ -455,16 +505,28 @@ impl FarmInner {
                 submitted_us,
                 started_us: now,
                 finished_us: now,
+                trace: ctx,
             };
             st.jobs.insert(id, rec);
             st.history.push(id);
             self.prune_history(st);
             self.obs.counter(names::FARM_DONE).inc();
+            self.recorder.begin(
+                id,
+                ctx,
+                &program,
+                source_trace.map(|t| (source, t)),
+                "cache_hit",
+                format!("served from completed job {source}"),
+            );
+            self.recorder.finish(id, JobState::Done.as_str());
             return Ok(Submitted::Cached { id, source });
         }
         // In-flight dedup: follow the primary.
         if let Some(&primary) = st.by_key_active.get(&key) {
+            let primary_trace = st.jobs.get(&primary).map(|r| r.trace.trace_id);
             let id = id_override.unwrap_or_else(|| Self::take_id(st));
+            let program = spec.program.clone();
             let rec = JobRecord {
                 id,
                 spec,
@@ -478,11 +540,20 @@ impl FarmInner {
                 submitted_us,
                 started_us: 0,
                 finished_us: 0,
+                trace: ctx,
             };
             st.jobs.insert(id, rec);
             if let Some(p) = st.jobs.get_mut(&primary) {
                 p.subscribers.push(id);
             }
+            self.recorder.begin(
+                id,
+                ctx,
+                &program,
+                primary_trace.map(|t| (primary, t)),
+                "dedup_follow",
+                format!("following in-flight primary {primary}"),
+            );
             return Ok(Submitted::Deduped { id, primary });
         }
         // Fresh primary: bounded by queue capacity.
@@ -494,6 +565,7 @@ impl FarmInner {
         }
         let id = id_override.unwrap_or_else(|| Self::take_id(st));
         let priority = spec.priority;
+        let program = spec.program.clone();
         let rec = JobRecord {
             id,
             spec,
@@ -507,6 +579,7 @@ impl FarmInner {
             submitted_us,
             started_us: 0,
             finished_us: 0,
+            trace: ctx,
         };
         st.jobs.insert(id, rec);
         st.by_key_active.insert(key, id);
@@ -515,6 +588,8 @@ impl FarmInner {
             priority,
             not_before_us: 0,
         });
+        self.recorder
+            .begin(id, ctx, &program, None, "enqueue", String::new());
         Ok(Submitted::Queued { id })
     }
 
@@ -545,11 +620,17 @@ impl FarmInner {
     }
 
     fn worker_loop(self: &Arc<Self>) {
-        while let Some((id, spec, cancel)) = self.pop_ready() {
+        while let Some((id, spec, cancel, ctx)) = self.pop_ready() {
+            // Attach the job's root context for the attempt: the
+            // farm.execute span (and, through the backend, every
+            // pipeline/store span) parents under it.
+            let trace_guard = ctx.attach();
             let mut span = self.obs.span(names::SPAN_FARM_EXECUTE, names::CAT_FARM);
             span.arg("job", id);
             let outcome = catch_unwind(AssertUnwindSafe(|| self.backend.execute(&spec, &cancel)));
             drop(span);
+            drop(trace_guard);
+            self.harvest_spans(id, ctx.trace_id);
             match outcome {
                 Ok(result) => self.finish_attempt(id, result),
                 Err(panic) => {
@@ -564,10 +645,42 @@ impl FarmInner {
         }
     }
 
+    /// Moves the attempt's spans out of the shared sink into the flight
+    /// recorder, deriving store hit/miss lifecycle events from the store
+    /// spans seen. Only loads that actually served payload count as
+    /// hits — the store records a `bytes` arg on success and none on an
+    /// absent or corrupt artifact; a save means the artifact had to be
+    /// computed and written.
+    fn harvest_spans(&self, id: u64, trace_id: lp_obs::TraceId) {
+        let spans = self.obs.take_trace_events(trace_id);
+        if spans.is_empty() {
+            return;
+        }
+        let loads = spans
+            .iter()
+            .filter(|e| {
+                e.name == names::SPAN_STORE_LOAD && e.args.iter().any(|(k, _)| k == "bytes")
+            })
+            .count();
+        let saves = spans
+            .iter()
+            .filter(|e| e.name == names::SPAN_STORE_SAVE)
+            .count();
+        if loads > 0 {
+            self.recorder
+                .event(id, "store_hit", format!("{loads} artifact load(s)"));
+        }
+        if saves > 0 {
+            self.recorder
+                .event(id, "store_miss", format!("{saves} artifact save(s)"));
+        }
+        self.recorder.attach_spans(id, spans);
+    }
+
     /// Blocks until an executable entry is ready (highest priority,
     /// FIFO within a priority, honoring retry `not_before`), the farm
     /// drains dry, or shutdown-now is requested.
-    fn pop_ready(&self) -> Option<(u64, JobSpec, CancelToken)> {
+    fn pop_ready(&self) -> Option<(u64, JobSpec, CancelToken, TraceContext)> {
         let mut st = self.state.lock().expect("farm state lock");
         loop {
             if st.shutdown_now || (st.draining && st.queued.is_empty()) {
@@ -598,12 +711,16 @@ impl FarmInner {
                 let id = entry.id;
                 let spec;
                 let timeout_ms;
+                let ctx;
+                let attempt;
                 {
                     let rec = st.jobs.get_mut(&id).expect("queued job has a record");
                     rec.state = JobState::Running;
                     rec.attempts += 1;
                     rec.started_us = now;
                     spec = rec.spec.clone();
+                    ctx = rec.trace;
+                    attempt = rec.attempts;
                     timeout_ms = if rec.spec.timeout_ms > 0 {
                         rec.spec.timeout_ms
                     } else {
@@ -613,6 +730,8 @@ impl FarmInner {
                         .histogram(names::FARM_QUEUE_WAIT_US)
                         .record(now.saturating_sub(rec.submitted_us));
                 }
+                self.recorder
+                    .event(id, "attempt_start", format!("attempt {attempt}"));
                 let cancel = CancelToken::new();
                 st.running.insert(
                     id,
@@ -627,7 +746,7 @@ impl FarmInner {
                 self.obs.counter(names::FARM_COMPUTES).inc();
                 self.refresh_gauges(&st);
                 self.persist_journal(&st);
-                return Some((id, spec, cancel));
+                return Some((id, spec, cancel, ctx));
             }
             match next_wake {
                 // Only backoff-delayed entries: sleep until the earliest
@@ -673,6 +792,11 @@ impl FarmInner {
                             priority,
                             not_before_us: 0,
                         });
+                        self.recorder.event(
+                            id,
+                            "requeue",
+                            "attempt interrupted by shutdown".to_string(),
+                        );
                     }
                 } else if info.user_cancelled {
                     self.complete_locked(&mut st, id, JobState::Cancelled, Some(err), None, now);
@@ -694,6 +818,11 @@ impl FarmInner {
                             .saturating_mul(1 << (attempts.saturating_sub(1)).min(16))
                             .min(self.cfg.backoff_cap_ms);
                         let jitter = splitmix(id ^ u64::from(attempts) ^ now) % (backoff / 2 + 1);
+                        self.recorder.event(
+                            id,
+                            "retry",
+                            format!("attempt {attempts} failed ({err}); backoff {backoff} ms"),
+                        );
                         if let Some(rec) = st.jobs.get_mut(&id) {
                             rec.state = JobState::Queued;
                             rec.error = Some(err);
@@ -745,6 +874,7 @@ impl FarmInner {
         }
         st.history.push(id);
         self.count_terminal(state);
+        self.recorder.finish(id, state.as_str());
         if let Some(rec) = st.jobs.get(&id) {
             self.obs
                 .histogram(names::FARM_JOB_LATENCY_US)
@@ -768,6 +898,12 @@ impl FarmInner {
                     }
                     st.history.push(sub);
                     self.count_terminal(state);
+                    self.recorder.event(
+                        sub,
+                        "mirrored",
+                        format!("terminal state mirrored from primary {id}"),
+                    );
+                    self.recorder.finish(sub, state.as_str());
                 }
                 // Put the list back on the primary: `subscribers` on the
                 // wire reports how many requests shared this compute.
@@ -798,6 +934,11 @@ impl FarmInner {
                 priority,
                 not_before_us: 0,
             });
+            self.recorder.event(
+                new_primary,
+                "promoted",
+                "primary cancelled; promoted from follower to primary".to_string(),
+            );
         }
         for sub in rest {
             if let Some(rec) = st.jobs.get_mut(&sub) {
@@ -839,6 +980,9 @@ impl FarmInner {
                     }
                     st.history.push(id);
                     self.count_terminal(JobState::Cancelled);
+                    self.recorder
+                        .event(id, "cancel", "cancelled while following".to_string());
+                    self.recorder.finish(id, JobState::Cancelled.as_str());
                 } else {
                     // A queued primary: pull it off the queue and promote
                     // any followers.
@@ -858,6 +1002,9 @@ impl FarmInner {
                     }
                     st.history.push(id);
                     self.count_terminal(JobState::Cancelled);
+                    self.recorder
+                        .event(id, "cancel", "cancelled while queued".to_string());
+                    self.recorder.finish(id, JobState::Cancelled.as_str());
                     self.promote_followers(&mut st, &key, subscribers);
                 }
                 self.refresh_gauges(&st);
@@ -870,6 +1017,8 @@ impl FarmInner {
                 if let Some(info) = st.running.get_mut(&id) {
                     info.user_cancelled = true;
                     info.cancel.cancel();
+                    self.recorder
+                        .event(id, "cancel", "cancelled while running".to_string());
                 }
                 true
             }
@@ -887,12 +1036,17 @@ impl FarmInner {
                 // Per-job deadlines: trip the token; the attempt comes
                 // back as a retryable timeout failure.
                 let now = now_us();
-                for info in st.running.values_mut() {
+                for (&id, info) in &mut st.running {
                     if let Some(deadline) = info.deadline_us {
                         if now > deadline && !info.timed_out {
                             info.timed_out = true;
                             info.cancel.cancel();
                             inner.obs.counter(names::FARM_TIMEOUT).inc();
+                            inner.recorder.event(
+                                id,
+                                "deadline",
+                                "per-job deadline exceeded; cancelling attempt".to_string(),
+                            );
                         }
                     }
                 }
@@ -1008,6 +1162,13 @@ impl FarmInner {
                     "submitted_us".to_string(),
                     Value::Int(rec.submitted_us as i128),
                 ),
+                // The root context persists as its wire encoding so a
+                // restarted farm resumes the job under the SAME trace id
+                // (cross-restart trace continuity).
+                (
+                    "traceparent".to_string(),
+                    Value::Str(rec.trace.to_traceparent()),
+                ),
                 ("spec".to_string(), rec.spec.to_value()),
             ]));
         };
@@ -1061,6 +1222,13 @@ impl FarmInner {
                 .get("submitted_us")
                 .and_then(Value::as_u64)
                 .unwrap_or_else(now_us);
+            // Resume under the persisted trace id when present (malformed
+            // or missing → a fresh root; never an error).
+            let ctx = j
+                .get("traceparent")
+                .and_then(Value::as_str)
+                .and_then(TraceContext::parse_traceparent)
+                .unwrap_or_else(TraceContext::new_root);
             st.next_id = st.next_id.max(id + 1);
             // Restored jobs trust the journal's key (no backend call) and
             // re-dedup naturally through the shared enqueue path.
@@ -1068,6 +1236,7 @@ impl FarmInner {
                 &mut st,
                 spec,
                 key.to_string(),
+                ctx,
                 Some(id),
                 attempts,
                 submitted,

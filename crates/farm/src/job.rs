@@ -195,6 +195,10 @@ pub struct JobRecord {
     pub started_us: u64,
     /// Terminal timestamp (unix µs), 0 until terminal.
     pub finished_us: u64,
+    /// The job's root distributed-trace context (a child of the client's
+    /// propagated `traceparent`, or a fresh root). Every span the job
+    /// produces carries this trace id; `GET /jobs/{id}/trace` keys on it.
+    pub trace: lp_obs::TraceContext,
 }
 
 impl JobRecord {
@@ -225,6 +229,11 @@ impl JobRecord {
                 "subscribers".to_string(),
                 Value::Int(self.subscribers.len() as i128),
             ),
+            (
+                "trace_id".to_string(),
+                Value::Str(self.trace.trace_id.hex()),
+            ),
+            ("span_id".to_string(), Value::Str(self.trace.span_id.hex())),
         ];
         match self.dedup_of {
             Some(p) => members.push(("dedup_of".to_string(), Value::Int(p as i128))),
@@ -314,10 +323,15 @@ mod tests {
             submitted_us: 1,
             started_us: 2,
             finished_us: 3,
+            trace: lp_obs::TraceContext::new_root(),
         };
         let v = rec.to_value();
         assert_eq!(v.get("state").unwrap().as_str(), Some("done"));
         assert_eq!(v.get("subscribers").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            v.get("trace_id").unwrap().as_str(),
+            Some(rec.trace.trace_id.hex().as_str())
+        );
         assert_eq!(
             v.get("result").unwrap().get("regions").unwrap().as_u64(),
             Some(3)

@@ -81,6 +81,7 @@
 pub mod backend;
 pub mod farm;
 pub mod job;
+pub mod recorder;
 pub mod server;
 
 pub use backend::{JobBackend, PipelineBackend};
@@ -88,4 +89,5 @@ pub use farm::{
     Farm, FarmConfig, QueueSnapshot, ShutdownMode, SubmitError, Submitted, JOURNAL_FILE,
 };
 pub use job::{JobRecord, JobSpec, JobState};
+pub use recorder::{FlightRecorder, JobTrace, LifecycleEvent};
 pub use server::FarmServer;

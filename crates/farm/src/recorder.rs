@@ -1,0 +1,559 @@
+//! The per-job flight recorder: a bounded, in-memory ring of finished
+//! job traces plus the live set, each holding the job's harvested span
+//! tree and its structured lifecycle events (enqueue, dedup-follow,
+//! attempt-start, retry, deadline, cancel, store hit/miss, terminal).
+//!
+//! Memory is `O(capacity)`: finished traces evict oldest-completed first
+//! once the ring is full, and a job's pipeline spans are *moved* here out
+//! of the shared [`lp_obs`] trace sink when its attempt ends — so neither
+//! the sink nor the recorder grows without bound under sustained load.
+//!
+//! Timestamps are microseconds on the farm observer's monotonic clock
+//! ([`Observer::uptime_us`]), the same timeline the harvested spans were
+//! recorded on, so synthesized spans (the `farm.job` root, queue-wait,
+//! dedup marker) and real pipeline spans render on one consistent axis.
+//!
+//! Occupancy is published on the observer (`farm.trace.live/finished/
+//! capacity` gauges, `farm.trace.evicted` counter) so `/healthz` and
+//! `/metrics` report ring pressure without touching the recorder lock.
+
+use lp_obs::json::Value;
+use lp_obs::trace::{Phase, TraceArg, TraceEvent};
+use lp_obs::{names, Observer, SpanId, TraceContext, TraceId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// One structured lifecycle transition of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleEvent {
+    /// Microseconds on the recorder's monotonic clock.
+    pub ts_us: u64,
+    /// Stage name: `enqueue`, `dedup_follow`, `cache_hit`, `attempt_start`,
+    /// `retry`, `requeue`, `deadline`, `cancel`, `promoted`, `store_hit`,
+    /// `store_miss`, `terminal`.
+    pub kind: &'static str,
+    /// Human-readable detail (backoff, error, primary id, ...).
+    pub detail: String,
+}
+
+/// Everything the recorder retains about one job.
+#[derive(Debug, Clone)]
+pub struct JobTrace {
+    /// Farm job id.
+    pub id: u64,
+    /// The job's root trace context (child of the client's, if one was
+    /// propagated on the wire).
+    pub ctx: TraceContext,
+    /// Workload name, for listings.
+    pub program: String,
+    /// Terminal wire state; `None` while the job is still in flight.
+    pub state: Option<&'static str>,
+    /// For dedup followers and cache hits: the primary job's id and trace
+    /// id, linking this trace to the one that actually computed.
+    pub dedup_of: Option<(u64, TraceId)>,
+    /// Enqueue time (monotonic µs).
+    pub enqueued_us: u64,
+    /// First attempt start (monotonic µs); 0 if never started.
+    pub first_start_us: u64,
+    /// Terminal time (monotonic µs); 0 while live.
+    pub finished_us: u64,
+    /// Structured lifecycle events, in order.
+    pub events: Vec<LifecycleEvent>,
+    /// Spans harvested from the shared trace sink (pipeline phases,
+    /// region sims, store load/save, `farm.execute` attempts).
+    pub spans: Vec<TraceEvent>,
+}
+
+struct RecorderState {
+    live: HashMap<u64, JobTrace>,
+    /// Finished traces in completion order; front is evicted first.
+    finished: VecDeque<JobTrace>,
+}
+
+/// The bounded flight recorder. One per farm; all methods are `&self`.
+pub struct FlightRecorder {
+    obs: Observer,
+    capacity: usize,
+    state: Mutex<RecorderState>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (live, finished, capacity, evicted) = self.occupancy();
+        write!(
+            f,
+            "FlightRecorder(live {live}, finished {finished}/{capacity}, evicted {evicted})"
+        )
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` finished job traces,
+    /// publishing occupancy on `obs`.
+    pub fn new(capacity: usize, obs: Observer) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        obs.gauge(names::FARM_TRACE_CAPACITY).set(capacity as f64);
+        obs.gauge(names::FARM_TRACE_LIVE).set(0.0);
+        obs.gauge(names::FARM_TRACE_FINISHED).set(0.0);
+        FlightRecorder {
+            obs,
+            capacity,
+            state: Mutex::new(RecorderState {
+                live: HashMap::new(),
+                finished: VecDeque::new(),
+            }),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.obs.uptime_us()
+    }
+
+    /// Starts tracking a job at enqueue time. `first_event` is the accept
+    /// path taken: `enqueue`, `dedup_follow`, or `cache_hit`.
+    pub fn begin(
+        &self,
+        id: u64,
+        ctx: TraceContext,
+        program: &str,
+        dedup_of: Option<(u64, TraceId)>,
+        first_event: &'static str,
+        detail: String,
+    ) {
+        let now = self.now_us();
+        let mut st = self.state.lock().expect("flight recorder poisoned");
+        st.live.insert(
+            id,
+            JobTrace {
+                id,
+                ctx,
+                program: program.to_string(),
+                state: None,
+                dedup_of,
+                enqueued_us: now,
+                first_start_us: 0,
+                finished_us: 0,
+                events: vec![LifecycleEvent {
+                    ts_us: now,
+                    kind: first_event,
+                    detail,
+                }],
+                spans: Vec::new(),
+            },
+        );
+        self.publish_occupancy(&st);
+    }
+
+    /// Appends one lifecycle event to a job (live first, then the
+    /// finished ring — a `promoted` can land just after a terminal).
+    pub fn event(&self, id: u64, kind: &'static str, detail: String) {
+        let now = self.now_us();
+        let mut st = self.state.lock().expect("flight recorder poisoned");
+        let ev = LifecycleEvent {
+            ts_us: now,
+            kind,
+            detail,
+        };
+        if let Some(jt) = st.live.get_mut(&id) {
+            if kind == "attempt_start" && jt.first_start_us == 0 {
+                jt.first_start_us = now;
+            }
+            jt.events.push(ev);
+        } else if let Some(jt) = st.finished.iter_mut().find(|j| j.id == id) {
+            jt.events.push(ev);
+        }
+    }
+
+    /// Moves a batch of harvested spans into a job's trace.
+    pub fn attach_spans(&self, id: u64, spans: Vec<TraceEvent>) {
+        if spans.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock().expect("flight recorder poisoned");
+        if let Some(jt) = st.live.get_mut(&id) {
+            jt.spans.extend(spans);
+        } else if let Some(jt) = st.finished.iter_mut().find(|j| j.id == id) {
+            jt.spans.extend(spans);
+        }
+    }
+
+    /// Marks a job terminal: records the `terminal` event, moves the
+    /// trace from the live set into the finished ring, and evicts the
+    /// oldest-completed trace when the ring exceeds capacity.
+    pub fn finish(&self, id: u64, state: &'static str) {
+        let now = self.now_us();
+        let mut st = self.state.lock().expect("flight recorder poisoned");
+        let Some(mut jt) = st.live.remove(&id) else {
+            return;
+        };
+        jt.state = Some(state);
+        jt.finished_us = now;
+        jt.events.push(LifecycleEvent {
+            ts_us: now,
+            kind: "terminal",
+            detail: state.to_string(),
+        });
+        st.finished.push_back(jt);
+        while st.finished.len() > self.capacity {
+            st.finished.pop_front();
+            self.obs.counter(names::FARM_TRACE_EVICTED).inc();
+        }
+        self.publish_occupancy(&st);
+    }
+
+    fn publish_occupancy(&self, st: &RecorderState) {
+        self.obs
+            .gauge(names::FARM_TRACE_LIVE)
+            .set(st.live.len() as f64);
+        self.obs
+            .gauge(names::FARM_TRACE_FINISHED)
+            .set(st.finished.len() as f64);
+    }
+
+    /// `(live, finished, capacity, evicted)` — the ring's occupancy.
+    pub fn occupancy(&self) -> (usize, usize, usize, u64) {
+        let st = self.state.lock().expect("flight recorder poisoned");
+        let evicted = self.obs.counter(names::FARM_TRACE_EVICTED).get();
+        (st.live.len(), st.finished.len(), self.capacity, evicted)
+    }
+
+    /// The job's full trace as a Chrome `trace_event` JSON document
+    /// (loadable in Perfetto), or `None` when the id is neither live nor
+    /// retained. The document contains the synthesized `farm.job` root
+    /// span (submit → terminal, or → now for live jobs), a queue-wait
+    /// child, the dedup marker for followers, every lifecycle event as an
+    /// instant, and all harvested pipeline/store spans.
+    pub fn trace_document(&self, id: u64) -> Option<Value> {
+        let now = self.now_us();
+        let st = self.state.lock().expect("flight recorder poisoned");
+        let jt = st
+            .live
+            .get(&id)
+            .or_else(|| st.finished.iter().find(|j| j.id == id))?;
+        Some(lp_obs::export::chrome_trace_document(&assemble_events(
+            jt, now,
+        )))
+    }
+
+    /// A snapshot of one retained trace (live or finished).
+    pub fn job_trace(&self, id: u64) -> Option<JobTrace> {
+        let st = self.state.lock().expect("flight recorder poisoned");
+        st.live
+            .get(&id)
+            .or_else(|| st.finished.iter().find(|j| j.id == id))
+            .cloned()
+    }
+
+    /// One summary JSON object per retained trace, newest first (live
+    /// jobs lead), at most `limit`. This is the `GET /trace/recent`
+    /// NDJSON payload: each line carries the job's trace/span ids so an
+    /// operator can correlate farm jobs with external systems.
+    pub fn recent(&self, limit: usize) -> Vec<Value> {
+        let st = self.state.lock().expect("flight recorder poisoned");
+        let mut live: Vec<&JobTrace> = st.live.values().collect();
+        live.sort_by_key(|j| std::cmp::Reverse(j.enqueued_us));
+        live.into_iter()
+            .chain(st.finished.iter().rev())
+            .take(limit)
+            .map(summary_value)
+            .collect()
+    }
+}
+
+fn summary_value(jt: &JobTrace) -> Value {
+    let mut members = vec![
+        ("id".to_string(), Value::Int(jt.id as i128)),
+        ("trace_id".to_string(), Value::Str(jt.ctx.trace_id.hex())),
+        ("span_id".to_string(), Value::Str(jt.ctx.span_id.hex())),
+        (
+            "state".to_string(),
+            match jt.state {
+                Some(s) => Value::Str(s.to_string()),
+                None => Value::Str("live".to_string()),
+            },
+        ),
+        ("program".to_string(), Value::Str(jt.program.clone())),
+        (
+            "enqueued_us".to_string(),
+            Value::Int(jt.enqueued_us as i128),
+        ),
+        (
+            "finished_us".to_string(),
+            Value::Int(jt.finished_us as i128),
+        ),
+        ("events".to_string(), Value::Int(jt.events.len() as i128)),
+        ("spans".to_string(), Value::Int(jt.spans.len() as i128)),
+    ];
+    if let Some((primary, trace)) = &jt.dedup_of {
+        members.push(("dedup_of".to_string(), Value::Int(*primary as i128)));
+        members.push(("dedup_of_trace_id".to_string(), Value::Str(trace.hex())));
+    }
+    Value::Obj(members)
+}
+
+/// Derives a deterministic, non-zero child span id from the root's.
+fn derived_span(root: SpanId, salt: u64) -> SpanId {
+    SpanId((root.0 ^ salt).max(1))
+}
+
+/// Builds the full event list for one job: synthesized farm spans +
+/// lifecycle instants + harvested pipeline spans, timestamp-sorted.
+fn assemble_events(jt: &JobTrace, now_us: u64) -> Vec<TraceEvent> {
+    let end = if jt.finished_us > 0 {
+        jt.finished_us
+    } else {
+        now_us
+    };
+    let mut events = Vec::with_capacity(jt.spans.len() + jt.events.len() + 3);
+    let mut root_args = vec![
+        ("job".to_string(), TraceArg::U64(jt.id)),
+        ("program".to_string(), TraceArg::Str(jt.program.clone())),
+    ];
+    if let Some(state) = jt.state {
+        root_args.push(("state".to_string(), TraceArg::Str(state.to_string())));
+    }
+    events.push(TraceEvent {
+        name: names::SPAN_FARM_JOB.to_string(),
+        cat: names::CAT_FARM,
+        ph: Phase::Complete,
+        ts_us: jt.enqueued_us,
+        dur_us: end.saturating_sub(jt.enqueued_us),
+        tid: 0,
+        args: root_args,
+        ctx: Some(jt.ctx),
+    });
+    if jt.first_start_us > jt.enqueued_us {
+        events.push(TraceEvent {
+            name: names::SPAN_FARM_QUEUE_WAIT.to_string(),
+            cat: names::CAT_FARM,
+            ph: Phase::Complete,
+            ts_us: jt.enqueued_us,
+            dur_us: jt.first_start_us - jt.enqueued_us,
+            tid: 0,
+            args: Vec::new(),
+            ctx: Some(TraceContext {
+                trace_id: jt.ctx.trace_id,
+                span_id: derived_span(jt.ctx.span_id, 0x5157),
+                parent_id: Some(jt.ctx.span_id),
+            }),
+        });
+    }
+    if let Some((primary, trace)) = &jt.dedup_of {
+        events.push(TraceEvent {
+            name: names::SPAN_FARM_DEDUP.to_string(),
+            cat: names::CAT_FARM,
+            ph: Phase::Instant,
+            ts_us: jt.enqueued_us,
+            dur_us: 0,
+            tid: 0,
+            args: vec![
+                ("primary".to_string(), TraceArg::U64(*primary)),
+                ("primary_trace_id".to_string(), TraceArg::Str(trace.hex())),
+            ],
+            ctx: Some(TraceContext {
+                trace_id: jt.ctx.trace_id,
+                span_id: derived_span(jt.ctx.span_id, 0xded0),
+                parent_id: Some(jt.ctx.span_id),
+            }),
+        });
+    }
+    for ev in &jt.events {
+        events.push(TraceEvent {
+            name: ev.kind.to_string(),
+            cat: names::CAT_FARM,
+            ph: Phase::Instant,
+            ts_us: ev.ts_us,
+            dur_us: 0,
+            tid: 0,
+            args: if ev.detail.is_empty() {
+                Vec::new()
+            } else {
+                vec![("detail".to_string(), TraceArg::Str(ev.detail.clone()))]
+            },
+            ctx: Some(jt.ctx),
+        });
+    }
+    events.extend(jt.spans.iter().cloned());
+    events.sort_by_key(|e| (e.ts_us, std::cmp::Reverse(e.dur_us)));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(capacity: usize) -> (FlightRecorder, Observer) {
+        let obs = Observer::enabled();
+        (FlightRecorder::new(capacity, obs.clone()), obs)
+    }
+
+    #[test]
+    fn ring_is_bounded_and_evicts_oldest_first() {
+        let (r, obs) = rec(3);
+        for id in 1..=10u64 {
+            r.begin(
+                id,
+                TraceContext::new_root(),
+                "w",
+                None,
+                "enqueue",
+                String::new(),
+            );
+            r.finish(id, "done");
+        }
+        let (live, finished, capacity, evicted) = r.occupancy();
+        assert_eq!((live, finished, capacity), (0, 3, 3));
+        assert_eq!(evicted, 7);
+        // Oldest-completed evicted: 1..=7 gone, 8..=10 retained.
+        for id in 1..=7 {
+            assert!(r.trace_document(id).is_none(), "job {id} must be evicted");
+        }
+        for id in 8..=10 {
+            assert!(r.trace_document(id).is_some(), "job {id} must be retained");
+        }
+        assert_eq!(obs.gauge(names::FARM_TRACE_FINISHED).get(), 3.0);
+        assert_eq!(obs.counter(names::FARM_TRACE_EVICTED).get(), 7);
+    }
+
+    #[test]
+    fn document_has_root_queue_wait_and_lifecycle() {
+        let (r, obs) = rec(8);
+        let ctx = TraceContext::new_root();
+        r.begin(5, ctx, "demo", None, "enqueue", String::new());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        r.event(5, "attempt_start", "worker 0".to_string());
+        r.attach_spans(
+            5,
+            vec![TraceEvent {
+                name: "job.run".to_string(),
+                cat: "pipeline",
+                ph: Phase::Complete,
+                ts_us: obs.uptime_us(),
+                dur_us: 10,
+                tid: 1,
+                args: Vec::new(),
+                ctx: Some(ctx.child()),
+            }],
+        );
+        r.finish(5, "done");
+        let doc = r.trace_document(5).unwrap();
+        let parsed = lp_obs::json::parse(&doc.to_string()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let names_seen: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Value::as_str))
+            .collect();
+        for expect in [
+            "farm.job",
+            "farm.job.queue_wait",
+            "enqueue",
+            "attempt_start",
+            "terminal",
+            "job.run",
+        ] {
+            assert!(
+                names_seen.contains(&expect),
+                "missing {expect:?}: {names_seen:?}"
+            );
+        }
+        // Every event carries the job's trace id.
+        for e in events {
+            assert_eq!(
+                e.get("args").unwrap().get("trace_id").unwrap().as_str(),
+                Some(ctx.trace_id.hex().as_str()),
+                "event {:?}",
+                e.get("name")
+            );
+        }
+        // The root span is first (earliest ts, longest duration).
+        assert_eq!(names_seen[0], "farm.job");
+    }
+
+    #[test]
+    fn follower_links_to_primary_trace() {
+        let (r, _obs) = rec(4);
+        let primary_ctx = TraceContext::new_root();
+        r.begin(1, primary_ctx, "demo", None, "enqueue", String::new());
+        let follower_ctx = TraceContext::new_root();
+        r.begin(
+            2,
+            follower_ctx,
+            "demo",
+            Some((1, primary_ctx.trace_id)),
+            "dedup_follow",
+            "primary 1".to_string(),
+        );
+        r.finish(1, "done");
+        r.finish(2, "done");
+        let doc = r.trace_document(2).unwrap().to_string();
+        let parsed = lp_obs::json::parse(&doc).unwrap();
+        let dedup = parsed
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("farm.job.dedup_of"))
+            .expect("dedup marker span");
+        let args = dedup.get("args").unwrap();
+        assert_eq!(args.get("primary").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            args.get("primary_trace_id").unwrap().as_str(),
+            Some(primary_ctx.trace_id.hex().as_str())
+        );
+        // The summary line carries the link too.
+        let recent = r.recent(10);
+        let line = recent
+            .iter()
+            .find(|v| v.get("id").and_then(Value::as_u64) == Some(2))
+            .unwrap();
+        assert_eq!(
+            line.get("dedup_of_trace_id").unwrap().as_str(),
+            Some(primary_ctx.trace_id.hex().as_str())
+        );
+    }
+
+    #[test]
+    fn recent_lists_newest_first_live_leading() {
+        let (r, _obs) = rec(8);
+        for id in 1..=4u64 {
+            r.begin(
+                id,
+                TraceContext::new_root(),
+                "w",
+                None,
+                "enqueue",
+                String::new(),
+            );
+        }
+        r.finish(1, "done");
+        r.finish(2, "failed");
+        let recent = r.recent(3);
+        assert_eq!(recent.len(), 3);
+        // Live jobs (3, 4) lead; then the newest finished (2).
+        let states: Vec<&str> = recent
+            .iter()
+            .map(|v| v.get("state").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(states[0], "live");
+        assert_eq!(states[1], "live");
+        assert_eq!(states[2], "failed");
+    }
+
+    #[test]
+    fn events_after_terminal_land_in_the_ring() {
+        let (r, _obs) = rec(2);
+        r.begin(
+            9,
+            TraceContext::new_root(),
+            "w",
+            None,
+            "enqueue",
+            String::new(),
+        );
+        r.finish(9, "cancelled");
+        r.event(9, "promoted", "follower 10 took over".to_string());
+        let jt = r.job_trace(9).unwrap();
+        assert_eq!(jt.events.last().unwrap().kind, "promoted");
+    }
+}

@@ -6,12 +6,14 @@
 //!
 //! | Endpoint                 | Behavior                                     |
 //! |--------------------------|----------------------------------------------|
-//! | `POST /jobs`             | submit; NDJSON in → NDJSON out, one line per job; `503` + `Retry-After` when the queue is full |
-//! | `GET /jobs/{id}`         | full job record                              |
+//! | `POST /jobs`             | submit; NDJSON in → NDJSON out, one line per job; `503` + `Retry-After` when the queue is full; a `traceparent` header parents every submitted job's trace under the client's span |
+//! | `GET /jobs/{id}`         | full job record (includes `trace_id`)        |
+//! | `GET /jobs/{id}/trace`   | the job's flight-recorder trace as Chrome `trace_event` JSON (Perfetto-loadable) |
+//! | `GET /trace/recent`      | NDJSON trace summaries, newest first (`?limit=N`, default 32) |
 //! | `POST /jobs/{id}/cancel` | cancel queued/running job                    |
 //! | `GET /queue`             | aggregate queue snapshot                     |
 //! | `GET /metrics`           | Prometheus text (farm.* and pipeline)        |
-//! | `GET /healthz`           | liveness JSON                                |
+//! | `GET /healthz`           | liveness JSON (includes flight-recorder occupancy) |
 //! | `POST /shutdown`         | `?mode=drain` (default) or `?mode=now`       |
 
 use crate::farm::{Farm, ShutdownMode, SubmitError, Submitted};
@@ -122,11 +124,17 @@ impl Drop for FarmServer {
 fn handle_connection(stream: &mut TcpStream, farm: &Farm, shared: &ServerShared) {
     let response = match http::read_request(stream, http::DEFAULT_MAX_BODY_BYTES) {
         Ok(req) => {
+            // A propagated traceparent parents the request span (and any
+            // jobs this request submits) under the client's trace.
+            let trace_guard = req.trace.as_ref().map(|t| t.attach());
             let mut span = farm
                 .observer()
                 .span(names::SPAN_FARM_REQUEST, names::CAT_FARM);
             span.arg("path", req.path.as_str());
-            route(&req, farm, shared)
+            let response = route(&req, farm, shared);
+            drop(span);
+            drop(trace_guard);
+            response
         }
         Err(http::HttpError::BodyTooLarge { declared, limit }) => Response::new(
             "413 Payload Too Large",
@@ -146,14 +154,38 @@ fn route(req: &Request, farm: &Farm, shared: &ServerShared) -> Response {
         ("GET", "/metrics") => Response::text_ok(farm.observer().prometheus_text()),
         ("GET", "/healthz") => {
             let snap = farm.queue_snapshot();
+            let (live, finished, capacity, evicted) = farm.flight_recorder().occupancy();
             Response::json_ok(
                 Value::Obj(vec![
                     ("status".to_string(), Value::Str("ok".to_string())),
                     ("draining".to_string(), Value::Bool(snap.draining)),
                     ("workers".to_string(), Value::Int(snap.workers as i128)),
+                    (
+                        "flight_recorder".to_string(),
+                        Value::Obj(vec![
+                            ("live".to_string(), Value::Int(live as i128)),
+                            ("finished".to_string(), Value::Int(finished as i128)),
+                            ("capacity".to_string(), Value::Int(capacity as i128)),
+                            ("evicted".to_string(), Value::Int(evicted as i128)),
+                        ]),
+                    ),
                 ])
                 .to_string(),
             )
+        }
+        ("GET", "/trace/recent") => {
+            let limit = req
+                .query
+                .as_deref()
+                .and_then(|q| q.strip_prefix("limit="))
+                .and_then(|n| n.parse::<usize>().ok())
+                .unwrap_or(32);
+            let mut body = String::new();
+            for line in farm.recent_traces(limit) {
+                body.push_str(&line.to_string());
+                body.push('\n');
+            }
+            Response::new("200 OK", "application/x-ndjson", body)
         }
         ("POST", "/shutdown") => {
             let mode = match req.query.as_deref() {
@@ -174,13 +206,23 @@ fn route(req: &Request, farm: &Farm, shared: &ServerShared) -> Response {
                 }
             ))
         }
-        ("GET", path) => match parse_job_path(path) {
-            Some(id) => match farm.job(id) {
-                Some(rec) => Response::json_ok(rec.to_value().to_string()),
-                None => Response::not_found(&format!("no job {id}")),
-            },
-            None => Response::not_found(&format!("no route for GET {path}")),
-        },
+        ("GET", path) => {
+            if let Some(id) = parse_trace_path(path) {
+                return match farm.trace_document(id) {
+                    Some(doc) => Response::json_ok(doc.to_string()),
+                    None => Response::not_found(&format!(
+                        "no trace for job {id} (never seen, or evicted from the flight recorder)"
+                    )),
+                };
+            }
+            match parse_job_path(path) {
+                Some(id) => match farm.job(id) {
+                    Some(rec) => Response::json_ok(rec.to_value().to_string()),
+                    None => Response::not_found(&format!("no job {id}")),
+                },
+                None => Response::not_found(&format!("no route for GET {path}")),
+            }
+        }
         ("POST", path) => match parse_cancel_path(path) {
             Some(id) => {
                 let cancelled = farm.cancel(id);
@@ -211,6 +253,14 @@ fn parse_job_path(path: &str) -> Option<u64> {
     path.strip_prefix("/jobs/")?.parse().ok()
 }
 
+/// `/jobs/{id}/trace` → id.
+fn parse_trace_path(path: &str) -> Option<u64> {
+    path.strip_prefix("/jobs/")?
+        .strip_suffix("/trace")?
+        .parse()
+        .ok()
+}
+
 /// `/jobs/{id}/cancel` → id.
 fn parse_cancel_path(path: &str) -> Option<u64> {
     path.strip_prefix("/jobs/")?
@@ -237,10 +287,13 @@ fn submit_batch(req: &Request, farm: &Farm) -> Response {
         let outcome = lp_obs::json::parse(line)
             .map_err(|e| SubmitError::BadSpec(e.to_string()))
             .and_then(|v| JobSpec::from_value(&v).map_err(SubmitError::BadSpec))
-            .and_then(|spec| farm.submit(spec));
+            .and_then(|spec| farm.submit_traced(spec, req.trace.as_ref()));
         let obj = match outcome {
             Ok(sub) => {
                 let mut members = vec![("id".to_string(), Value::Int(sub.id() as i128))];
+                if let Some(rec) = farm.job(sub.id()) {
+                    members.push(("trace_id".to_string(), Value::Str(rec.trace.trace_id.hex())));
+                }
                 match sub {
                     Submitted::Queued { .. } => {
                         members.push(("state".to_string(), Value::Str("queued".to_string())));

@@ -9,6 +9,7 @@ use lp_farm::{
     Farm, FarmConfig, FarmServer, JobBackend, JobSpec, JobState, ShutdownMode, SubmitError,
     Submitted, JOURNAL_FILE,
 };
+use lp_obs::json::Value;
 use lp_obs::{names, Observer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -452,6 +453,119 @@ fn shutdown_now_requeues_and_a_restarted_farm_resumes() {
     farm2.shutdown(ShutdownMode::Drain);
     farm2.join();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flight_recorder_ring_stays_bounded_across_many_jobs() {
+    let backend = Blocking::new();
+    backend.release();
+    let obs = Observer::enabled();
+    let farm = Farm::start(
+        FarmConfig {
+            workers: 2,
+            trace_capacity: 3,
+            ..FarmConfig::default()
+        },
+        backend,
+        obs.clone(),
+    )
+    .unwrap();
+
+    // 10x the ring capacity, all distinct programs so nothing dedups:
+    // the recorder must retain exactly `capacity` finished traces no
+    // matter how many jobs flow through.
+    let ids: Vec<u64> = (0..30)
+        .map(|i| farm.submit(spec(&format!("t{i}"))).unwrap().id())
+        .collect();
+    assert!(farm.wait_idle(Duration::from_secs(30)), "farm stuck");
+
+    let (live, finished, capacity, evicted) = farm.flight_recorder().occupancy();
+    assert_eq!(live, 0, "no live traces once idle");
+    assert_eq!(finished, 3, "exactly capacity traces retained");
+    assert_eq!(capacity, 3);
+    assert_eq!(evicted, 27, "everything beyond capacity was evicted");
+    assert_eq!(obs.counter(names::FARM_TRACE_EVICTED).get(), 27);
+
+    // Retrievability matches the ring: exactly `capacity` of the ids
+    // still render a trace document, and each is a valid Chrome trace
+    // with a root job span.
+    let retained: Vec<u64> = ids
+        .iter()
+        .copied()
+        .filter(|&id| farm.trace_document(id).is_some())
+        .collect();
+    assert_eq!(retained.len(), 3, "retained {retained:?}");
+    let doc = farm.trace_document(retained[0]).unwrap();
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some(names::SPAN_FARM_JOB)),
+        "root span present in retained trace"
+    );
+
+    farm.shutdown(ShutdownMode::Drain);
+    farm.join();
+}
+
+#[test]
+fn dedup_follower_trace_links_to_the_primary() {
+    let backend = Blocking::new();
+    let farm = Farm::start(
+        FarmConfig {
+            workers: 1,
+            ..FarmConfig::default()
+        },
+        backend.clone(),
+        Observer::enabled(),
+    )
+    .unwrap();
+
+    let primary = farm.submit(spec("linked")).unwrap().id();
+    assert!(wait_for(Duration::from_secs(5), || {
+        farm.job(primary).map(|r| r.state) == Some(JobState::Running)
+    }));
+    let follower = farm.submit(spec("linked")).unwrap().id();
+    backend.release();
+    assert!(farm.wait_idle(Duration::from_secs(10)));
+
+    // Each tenant's job is its own trace...
+    let primary_trace = farm.job(primary).unwrap().trace.trace_id.hex();
+    let follower_trace = farm.job(follower).unwrap().trace.trace_id.hex();
+    assert_ne!(primary_trace, follower_trace, "one trace per submission");
+
+    // ...but the follower's flight-recorder document carries a
+    // `farm.job.dedup_of` marker naming the primary job and its trace
+    // id, so a tenant can pivot from their trace to the compute that
+    // actually served them.
+    let doc = farm.trace_document(follower).unwrap();
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let link = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some(names::SPAN_FARM_DEDUP))
+        .expect("dedup_of marker present in follower trace");
+    let args = link.get("args").unwrap();
+    assert_eq!(args.get("primary").and_then(Value::as_u64), Some(primary));
+    assert_eq!(
+        args.get("primary_trace_id").and_then(Value::as_str),
+        Some(primary_trace.as_str())
+    );
+
+    // The primary's own trace has no dedup marker.
+    let pdoc = farm.trace_document(primary).unwrap();
+    assert!(
+        !pdoc
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some(names::SPAN_FARM_DEDUP)),
+        "primary carries no dedup link"
+    );
+
+    farm.shutdown(ShutdownMode::Drain);
+    farm.join();
 }
 
 #[test]

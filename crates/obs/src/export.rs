@@ -36,16 +36,23 @@ pub fn chrome_trace_document(events: &[TraceEvent]) -> Value {
             }
             crate::trace::Phase::Counter => {}
         }
-        if !e.args.is_empty() {
-            members.push((
-                "args".to_string(),
-                Value::Obj(
-                    e.args
-                        .iter()
-                        .map(|(k, v)| (k.clone(), v.to_json()))
-                        .collect(),
-                ),
-            ));
+        if !e.args.is_empty() || e.ctx.is_some() {
+            let mut args: Vec<(String, Value)> = e
+                .args
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect();
+            // Distributed-trace ids ride in args: Perfetto surfaces them
+            // on the span, and trace consumers reassemble parent/child
+            // links without a side channel.
+            if let Some(ctx) = e.ctx {
+                args.push(("trace_id".to_string(), Value::Str(ctx.trace_id.hex())));
+                args.push(("span_id".to_string(), Value::Str(ctx.span_id.hex())));
+                if let Some(parent) = ctx.parent_id {
+                    args.push(("parent_span_id".to_string(), Value::Str(parent.hex())));
+                }
+            }
+            members.push(("args".to_string(), Value::Obj(args)));
         }
         out.push(Value::Obj(members));
     }
@@ -76,6 +83,7 @@ mod tests {
             dur_us: 7,
             tid: 2,
             args: vec![("n".to_string(), TraceArg::U64(3))],
+            ctx: None,
         }
     }
 
@@ -98,5 +106,31 @@ mod tests {
         assert_eq!(tick.get("ph").unwrap().as_str(), Some("i"));
         assert_eq!(tick.get("s").unwrap().as_str(), Some("t"));
         assert!(tick.get("dur").is_none(), "instants carry no duration");
+    }
+
+    #[test]
+    fn trace_context_ids_ride_in_args() {
+        let root = crate::tracectx::TraceContext::new_root();
+        let child = root.child();
+        let mut e = ev("span", Phase::Complete);
+        e.ctx = Some(child);
+        let doc = chrome_trace_document(&[e]);
+        let parsed = crate::json::parse(&doc.to_string()).unwrap();
+        let span = &parsed.get("traceEvents").unwrap().as_arr().unwrap()[0];
+        let args = span.get("args").unwrap();
+        assert_eq!(
+            args.get("trace_id").unwrap().as_str(),
+            Some(root.trace_id.hex().as_str())
+        );
+        assert_eq!(
+            args.get("span_id").unwrap().as_str(),
+            Some(child.span_id.hex().as_str())
+        );
+        assert_eq!(
+            args.get("parent_span_id").unwrap().as_str(),
+            Some(root.span_id.hex().as_str())
+        );
+        // Pre-existing args survive alongside the ids.
+        assert_eq!(args.get("n").unwrap().as_u64(), Some(3));
     }
 }

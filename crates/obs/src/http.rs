@@ -9,6 +9,7 @@
 //! protocol details — and both inherit fixes (timeouts, caps, framing)
 //! at once.
 
+use crate::tracectx::{TraceContext, TRACEPARENT_HEADER};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -32,6 +33,10 @@ pub struct Request {
     pub query: Option<String>,
     /// Request body (empty unless `Content-Length` was present).
     pub body: Vec<u8>,
+    /// Distributed trace context from a `traceparent` header, if the
+    /// client sent a well-formed one (malformed headers parse to `None`,
+    /// never an error — the server falls back to a fresh root context).
+    pub trace: Option<TraceContext>,
 }
 
 impl Request {
@@ -107,8 +112,10 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         None => (target.to_string(), None),
     };
 
-    // Headers: only Content-Length matters; read until the blank line.
+    // Headers: only Content-Length and traceparent matter; read until
+    // the blank line.
     let mut content_length: usize = 0;
+    let mut trace: Option<TraceContext> = None;
     loop {
         let mut line = String::new();
         let n = head.read_line(&mut line)?;
@@ -120,11 +127,16 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case(TRACEPARENT_HEADER) {
+                // A malformed traceparent must not fail the request:
+                // tracing is best-effort, the payload is what matters.
+                trace = TraceContext::parse_traceparent(value);
             }
         }
     }
@@ -144,6 +156,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         path,
         query,
         body,
+        trace,
     })
 }
 
@@ -244,12 +257,32 @@ pub fn client_request(
     path: &str,
     body: &str,
 ) -> io::Result<(u16, String)> {
+    client_request_traced(addr, method, path, body, None)
+}
+
+/// [`client_request`] with an optional [`TraceContext`] propagated via
+/// the `traceparent` header, so the server can parent its work under the
+/// caller's trace.
+///
+/// # Errors
+/// Connect/read/write failures, or an unparseable status line.
+pub fn client_request_traced(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    trace: Option<&TraceContext>,
+) -> io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let trace_header = match trace {
+        Some(ctx) => format!("{TRACEPARENT_HEADER}: {}\r\n", ctx.to_traceparent()),
+        None => String::new(),
+    };
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n{trace_header}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     )?;
     let mut buf = String::new();
@@ -311,6 +344,42 @@ mod tests {
             client_request(&addr, "POST", "/jobs", "line one\nline two\n").unwrap();
         assert_eq!(status, 200);
         assert_eq!(body, "accepted");
+    }
+
+    #[test]
+    fn traceparent_header_roundtrips() {
+        let ctx = TraceContext::new_root();
+        let expect = ctx;
+        let addr = serve_once(move |req| {
+            let req = req.unwrap();
+            let got = req.trace.expect("traceparent must parse");
+            assert_eq!(got.trace_id, expect.trace_id);
+            assert_eq!(got.span_id, expect.span_id);
+            Response::json_ok("{}".to_string())
+        });
+        let (status, _) = client_request_traced(&addr, "GET", "/x", "", Some(&ctx)).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn malformed_traceparent_is_ignored() {
+        let addr = serve_once(|req| {
+            let req = req.unwrap();
+            assert_eq!(
+                req.trace, None,
+                "garbage header must not poison the request"
+            );
+            Response::json_ok("{}".to_string())
+        });
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        write!(
+            stream,
+            "GET /x HTTP/1.1\r\ntraceparent: not-a-context\r\n\r\n"
+        )
+        .unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
     }
 
     #[test]

@@ -50,12 +50,14 @@ pub mod names;
 pub mod prometheus;
 pub mod serve;
 pub mod trace;
+pub mod tracectx;
 
 pub use crate::log::{log_enabled, log_level, set_log_level, LogLevel};
 pub use flush::{write_atomic, FlushTargets, PeriodicFlusher};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use serve::TelemetryServer;
 pub use trace::{SpanGuard, TraceArg, TraceEvent};
+pub use tracectx::{SpanId, TraceContext, TraceId};
 
 use std::fmt;
 use std::path::Path;
@@ -128,19 +130,37 @@ impl Observer {
 
     /// Opens a span in category `cat`; the returned guard records a single
     /// complete (`"X"`) event from now until it is dropped.
+    ///
+    /// When a [`tracectx::TraceContext`] is attached to the calling thread
+    /// (see [`tracectx::TraceContext::attach`]), the span becomes a child
+    /// of it — it records trace/span/parent ids and keeps its own child
+    /// context attached for its lifetime, so nested spans parent under it
+    /// automatically.
     pub fn span(&self, name: &str, cat: &'static str) -> SpanGuard {
         match &self.inner {
             None => SpanGuard::disabled(),
-            Some(inner) => SpanGuard {
-                active: Some(ActiveSpan {
-                    sink: Arc::clone(inner),
-                    name: name.to_string(),
-                    cat,
-                    start_us: trace::micros_since(inner.epoch),
-                    tid: trace::lane_id(),
-                    args: Vec::new(),
-                }),
-            },
+            Some(inner) => {
+                let (ctx, ctx_guard) = match tracectx::current() {
+                    Some(parent) => {
+                        let child = parent.child();
+                        let guard = child.attach();
+                        (Some(child), Some(guard))
+                    }
+                    None => (None, None),
+                };
+                SpanGuard {
+                    active: Some(ActiveSpan {
+                        sink: Arc::clone(inner),
+                        name: name.to_string(),
+                        cat,
+                        start_us: trace::micros_since(inner.epoch),
+                        tid: trace::lane_id(),
+                        args: Vec::new(),
+                        ctx,
+                        ctx_guard,
+                    }),
+                }
+            }
         }
     }
 
@@ -155,6 +175,7 @@ impl Observer {
                 dur_us: 0,
                 tid: trace::lane_id(),
                 args: Vec::new(),
+                ctx: tracectx::current(),
             });
         }
     }
@@ -171,6 +192,7 @@ impl Observer {
                 dur_us: 0,
                 tid: trace::lane_id(),
                 args: vec![(series.to_string(), TraceArg::F64(value))],
+                ctx: tracectx::current(),
             });
         }
     }
@@ -212,6 +234,18 @@ impl Observer {
         match &self.inner {
             None => Vec::new(),
             Some(inner) => inner.trace.events(),
+        }
+    }
+
+    /// Removes and returns every recorded event belonging to `trace_id`
+    /// (sorted by timestamp). The farm harvests each job's spans out of
+    /// the shared sink into the bounded flight recorder with this, which
+    /// also keeps long-running daemons from accumulating per-job spans
+    /// unboundedly.
+    pub fn take_trace_events(&self, trace_id: tracectx::TraceId) -> Vec<TraceEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.trace.take_by_trace(trace_id),
         }
     }
 
@@ -383,6 +417,40 @@ mod tests {
             let ph = e.get("ph").unwrap().as_str().unwrap();
             assert_eq!(ph == "X", e.get("dur").is_some());
         }
+    }
+
+    #[test]
+    fn spans_parent_under_the_attached_context() {
+        let obs = Observer::enabled();
+        // No context attached: events carry no ids.
+        drop(obs.span("free", "t"));
+        let root = tracectx::TraceContext::new_root();
+        {
+            let _g = root.attach();
+            let outer = obs.span("outer", "t");
+            let inner = obs.span("inner", "t");
+            drop(inner);
+            drop(outer);
+            obs.instant("tick", "t");
+        }
+        let evs = obs.trace_events();
+        let free = evs.iter().find(|e| e.name == "free").unwrap();
+        assert_eq!(free.ctx, None);
+        let outer = evs.iter().find(|e| e.name == "outer").unwrap().ctx.unwrap();
+        let inner = evs.iter().find(|e| e.name == "inner").unwrap().ctx.unwrap();
+        let tick = evs.iter().find(|e| e.name == "tick").unwrap().ctx.unwrap();
+        assert_eq!(outer.trace_id, root.trace_id);
+        assert_eq!(outer.parent_id, Some(root.span_id));
+        assert_eq!(inner.trace_id, root.trace_id);
+        assert_eq!(inner.parent_id, Some(outer.span_id), "spans nest");
+        // The instant fired after both spans closed: it parents on root.
+        assert_eq!(tick.span_id, root.span_id);
+        // Harvesting by trace id drains exactly the trace's events.
+        let taken = obs.take_trace_events(root.trace_id);
+        assert_eq!(taken.len(), 3);
+        let left = obs.trace_events();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].name, "free");
     }
 
     #[test]

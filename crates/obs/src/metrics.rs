@@ -161,6 +161,57 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) from the log₂
+    /// buckets: the target rank's bucket is found by cumulative count,
+    /// then the value is linearly interpolated across the bucket's
+    /// `[2^i, 2^(i+1))` range. Exact for the zero bucket; within one
+    /// bucket width otherwise. Returns `0.0` on an empty histogram.
+    ///
+    /// This is the one shared quantile implementation — the flat-JSON
+    /// metrics export and `BENCH_farm.json`'s queue-wait percentiles both
+    /// come from here.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for &(lo, c) in &self.buckets {
+            let next = seen + c;
+            if next as f64 >= target {
+                if lo == 0 {
+                    return 0.0;
+                }
+                let hi = lo.saturating_mul(2).max(lo);
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    ((target - seen as f64) / c as f64).clamp(0.0, 1.0)
+                };
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            seen = next;
+        }
+        self.buckets.last().map_or(0.0, |&(lo, _)| lo as f64)
+    }
+
+    /// The median ([`HistogramSnapshot::quantile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
 /// The registry: name → metric, created on first use.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -265,6 +316,9 @@ impl MetricsSnapshot {
                         Value::Obj(vec![
                             ("count".to_string(), Value::from(h.count)),
                             ("sum".to_string(), Value::from(h.sum)),
+                            ("p50".to_string(), Value::Num(h.p50())),
+                            ("p90".to_string(), Value::Num(h.p90())),
+                            ("p99".to_string(), Value::Num(h.p99())),
                             ("buckets".to_string(), buckets),
                         ]),
                     )
@@ -372,6 +426,70 @@ mod tests {
         let h = doc.get("histograms").unwrap().get("h").unwrap();
         assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(h.get("sum").unwrap().as_u64(), Some(1023));
+    }
+
+    #[test]
+    fn quantiles_from_log2_buckets() {
+        // Empty → 0.
+        assert_eq!(HistogramSnapshot::default().p50(), 0.0);
+
+        // All samples zero → every quantile is exactly 0.
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("z");
+        h.record(0);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+
+        // A single-bucket distribution interpolates inside the bucket:
+        // 100 samples in [64, 128) → p50 lands mid-bucket, p99 near the top.
+        let h = reg.histogram("one");
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(64, 100)]);
+        assert!((s.p50() - 96.0).abs() < 1.0, "p50 = {}", s.p50());
+        assert!(s.p99() > 124.0 && s.p99() <= 128.0, "p99 = {}", s.p99());
+        // Quantiles are monotone in q.
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
+
+        // Two well-separated buckets: 90 cheap + 10 expensive samples →
+        // p50 sits in the cheap bucket, p99 in the expensive one.
+        let h = reg.histogram("two");
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(5_000);
+        }
+        let s = h.snapshot();
+        assert!(s.p50() >= 8.0 && s.p50() < 16.0, "p50 = {}", s.p50());
+        assert!(s.p99() >= 4096.0 && s.p99() < 8192.0, "p99 = {}", s.p99());
+
+        // q is clamped; the top bucket saturates rather than overflowing.
+        let h = reg.histogram("sat");
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert!(s.quantile(2.0).is_finite());
+        assert!(s.quantile(-1.0) >= 0.0);
+    }
+
+    #[test]
+    fn json_export_carries_quantiles() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("lat");
+        for _ in 0..10 {
+            h.record(100);
+        }
+        let doc = crate::json::parse(&reg.snapshot().to_json().to_string()).unwrap();
+        let lat = doc.get("histograms").unwrap().get("lat").unwrap();
+        let p50 = lat.get("p50").unwrap().as_f64().unwrap();
+        let p99 = lat.get("p99").unwrap().as_f64().unwrap();
+        assert!((64.0..128.0).contains(&p50), "p50 = {p50}");
+        assert!(p50 <= p99 && p99 <= 128.0);
+        assert!(lat.get("p90").is_some());
     }
 
     #[test]

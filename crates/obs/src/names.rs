@@ -86,6 +86,24 @@ pub const SPAN_FARM_EXECUTE: &str = "farm.execute";
 /// Span: handling one farm API request.
 pub const SPAN_FARM_REQUEST: &str = "farm.request";
 
+/// Gauge: in-flight jobs currently tracked by the flight recorder.
+pub const FARM_TRACE_LIVE: &str = "farm.trace.live";
+/// Gauge: finished job traces retained in the flight-recorder ring.
+pub const FARM_TRACE_FINISHED: &str = "farm.trace.finished";
+/// Gauge: configured flight-recorder ring capacity.
+pub const FARM_TRACE_CAPACITY: &str = "farm.trace.capacity";
+/// Counter: finished job traces evicted (oldest-completed first) to keep
+/// the flight recorder within its capacity.
+pub const FARM_TRACE_EVICTED: &str = "farm.trace.evicted";
+/// Span: one job's whole lifetime, submit → terminal (synthesized by the
+/// flight recorder as the root of the per-job trace).
+pub const SPAN_FARM_JOB: &str = "farm.job";
+/// Span: the job's enqueue → first-attempt wait (synthesized).
+pub const SPAN_FARM_QUEUE_WAIT: &str = "farm.job.queue_wait";
+/// Span: marks a dedup follower; its args carry the primary job's id and
+/// trace id (synthesized).
+pub const SPAN_FARM_DEDUP: &str = "farm.job.dedup_of";
+
 /// Counter: successful periodic telemetry flushes (atomic rewrites of
 /// `--trace-out` / `--metrics-out`).
 pub const OBS_FLUSH_WRITES: &str = "obs.flush.writes";
@@ -127,6 +145,13 @@ pub const fn all_names() -> &'static [&'static str] {
         FARM_JOB_LATENCY_US,
         SPAN_FARM_EXECUTE,
         SPAN_FARM_REQUEST,
+        FARM_TRACE_LIVE,
+        FARM_TRACE_FINISHED,
+        FARM_TRACE_CAPACITY,
+        FARM_TRACE_EVICTED,
+        SPAN_FARM_JOB,
+        SPAN_FARM_QUEUE_WAIT,
+        SPAN_FARM_DEDUP,
         OBS_FLUSH_WRITES,
         OBS_FLUSH_ERRORS,
     ]

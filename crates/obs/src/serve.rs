@@ -146,19 +146,39 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                     None => Response::not_found("no report yet"),
                 }
             }
-            _ => Response::new(
+            other => Response::new(
                 "404 Not Found",
-                "text/plain; charset=utf-8",
-                "try /metrics, /healthz, or /report\n".to_string(),
+                "application/json; charset=utf-8",
+                unknown_path_json(other),
             ),
         },
     };
     http::write_response(&mut stream, &response)
 }
 
-fn healthz_json(obs: &Observer) -> String {
+/// JSON error body for unknown paths: names the path that missed and the
+/// routes this server actually has, so a curl typo is self-diagnosing.
+fn unknown_path_json(path: &str) -> String {
     use crate::json::Value;
     Value::Obj(vec![
+        ("error".to_string(), Value::Str("unknown path".to_string())),
+        ("path".to_string(), Value::Str(path.to_string())),
+        (
+            "routes".to_string(),
+            Value::Arr(
+                ["/metrics", "/healthz", "/report"]
+                    .iter()
+                    .map(|r| Value::Str((*r).to_string()))
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string()
+}
+
+fn healthz_json(obs: &Observer) -> String {
+    use crate::json::Value;
+    let mut members = vec![
         ("status".to_string(), Value::Str("ok".to_string())),
         ("phase".to_string(), Value::Str(obs.phase())),
         (
@@ -170,8 +190,47 @@ fn healthz_json(obs: &Observer) -> String {
             "trace_events".to_string(),
             Value::from(obs.trace_events().len() as u64),
         ),
-    ])
-    .to_string()
+    ];
+    // When a flight recorder publishes its occupancy gauges on this
+    // observer, surface them as a nested object so liveness probes see
+    // trace-ring pressure without scraping /metrics.
+    let snap = obs.snapshot();
+    if let Some(cap) = snap.gauges.get(names::FARM_TRACE_CAPACITY) {
+        members.push((
+            "flight_recorder".to_string(),
+            Value::Obj(vec![
+                (
+                    "live".to_string(),
+                    Value::Num(
+                        snap.gauges
+                            .get(names::FARM_TRACE_LIVE)
+                            .copied()
+                            .unwrap_or(0.0),
+                    ),
+                ),
+                (
+                    "finished".to_string(),
+                    Value::Num(
+                        snap.gauges
+                            .get(names::FARM_TRACE_FINISHED)
+                            .copied()
+                            .unwrap_or(0.0),
+                    ),
+                ),
+                ("capacity".to_string(), Value::Num(*cap)),
+                (
+                    "evicted".to_string(),
+                    Value::from(
+                        snap.counters
+                            .get(names::FARM_TRACE_EVICTED)
+                            .copied()
+                            .unwrap_or(0),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    Value::Obj(members).to_string()
 }
 
 #[cfg(test)]
@@ -227,13 +286,49 @@ mod tests {
             Some("demo")
         );
 
-        let (head, _) = http_get(addr, "/nope");
+        // Unknown paths get a JSON error body listing the valid routes.
+        let (head, body) = http_get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("path").unwrap().as_str(), Some("/nope"));
+        let routes: Vec<&str> = doc
+            .get("routes")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(|v| v.as_str())
+            .collect();
+        assert_eq!(routes, vec!["/metrics", "/healthz", "/report"]);
 
         server.stop();
         // The port is released: a new bind on the same address succeeds.
         let rebind = TcpListener::bind(addr);
         assert!(rebind.is_ok(), "server thread must release the listener");
+    }
+
+    #[test]
+    fn healthz_surfaces_flight_recorder_occupancy() {
+        let obs = Observer::enabled();
+        let server = TelemetryServer::start("127.0.0.1:0", obs.clone()).unwrap();
+
+        // Without the capacity gauge the object is absent entirely.
+        let (_, body) = http_get(server.local_addr(), "/healthz");
+        assert!(json::parse(&body).unwrap().get("flight_recorder").is_none());
+
+        obs.gauge(names::FARM_TRACE_CAPACITY).set(256.0);
+        obs.gauge(names::FARM_TRACE_LIVE).set(3.0);
+        obs.gauge(names::FARM_TRACE_FINISHED).set(11.0);
+        obs.counter(names::FARM_TRACE_EVICTED).add(5);
+        let (_, body) = http_get(server.local_addr(), "/healthz");
+        let fr = json::parse(&body).unwrap();
+        let fr = fr.get("flight_recorder").expect("flight_recorder object");
+        assert_eq!(fr.get("capacity").unwrap().as_f64(), Some(256.0));
+        assert_eq!(fr.get("live").unwrap().as_f64(), Some(3.0));
+        assert_eq!(fr.get("finished").unwrap().as_f64(), Some(11.0));
+        assert_eq!(fr.get("evicted").unwrap().as_u64(), Some(5));
+        server.stop();
     }
 
     #[test]

@@ -90,6 +90,9 @@ pub struct TraceEvent {
     pub tid: u64,
     /// Named arguments/counters attached to the event.
     pub args: Vec<(String, TraceArg)>,
+    /// Distributed trace-context ids, when the event was recorded under
+    /// an attached [`crate::tracectx::TraceContext`].
+    pub ctx: Option<crate::tracectx::TraceContext>,
 }
 
 /// The lock-protected in-memory event sink.
@@ -109,6 +112,21 @@ impl TraceSink {
         let mut evs = self.events.lock().expect("trace sink poisoned").clone();
         evs.sort_by_key(|e| (e.ts_us, e.dur_us));
         evs
+    }
+
+    /// Removes and returns every event belonging to `trace_id`, sorted by
+    /// timestamp. Used by the farm to harvest a finished job's spans into
+    /// its flight-recorder entry (which also keeps the shared sink from
+    /// accumulating per-job spans forever).
+    pub fn take_by_trace(&self, trace_id: crate::tracectx::TraceId) -> Vec<TraceEvent> {
+        let mut evs = self.events.lock().expect("trace sink poisoned");
+        let (mut taken, keep): (Vec<TraceEvent>, Vec<TraceEvent>) = evs
+            .drain(..)
+            .partition(|e| e.ctx.is_some_and(|c| c.trace_id == trace_id));
+        *evs = keep;
+        drop(evs);
+        taken.sort_by_key(|e| (e.ts_us, e.dur_us));
+        taken
     }
 
     /// Number of recorded events.
@@ -154,6 +172,11 @@ pub(crate) struct ActiveSpan {
     pub(crate) start_us: u64,
     pub(crate) tid: u64,
     pub(crate) args: Vec<(String, TraceArg)>,
+    /// The span's own trace context (a child of whatever was current at
+    /// open time), plus the guard keeping it attached for the span's
+    /// lifetime so nested spans parent under it.
+    pub(crate) ctx: Option<crate::tracectx::TraceContext>,
+    pub(crate) ctx_guard: Option<crate::tracectx::ContextGuard>,
 }
 
 impl SpanGuard {
@@ -174,6 +197,9 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(a) = self.active.take() {
+            // Detach before recording so the event is not its own parent
+            // scope for anything recorded by the sink itself.
+            drop(a.ctx_guard);
             let end = micros_since(a.sink.epoch);
             a.sink.trace.record(TraceEvent {
                 name: a.name,
@@ -183,6 +209,7 @@ impl Drop for SpanGuard {
                 dur_us: end.saturating_sub(a.start_us),
                 tid: a.tid,
                 args: a.args,
+                ctx: a.ctx,
             });
         }
     }
@@ -203,6 +230,7 @@ mod tests {
             dur_us: 0,
             tid: 0,
             args: Vec::new(),
+            ctx: None,
         };
         sink.record(mk("b", 20));
         sink.record(mk("a", 10));

@@ -1,0 +1,313 @@
+//! Distributed trace context: 128-bit trace ids, 64-bit span ids, and a
+//! `traceparent`-style wire encoding, so one job's causally-linked spans
+//! survive every hop (HTTP submission → farm queue → worker attempt →
+//! pipeline phases → store I/O) and can be reassembled into a single
+//! timeline.
+//!
+//! The design follows the W3C Trace Context header shape
+//! (`00-<32 hex trace id>-<16 hex span id>-01`) without claiming full
+//! spec compliance: version and flags are carried but ignored, and any
+//! malformed header parses to `None` so a receiver falls back to a fresh
+//! root context — propagation failures degrade to disconnected traces,
+//! never to panics.
+//!
+//! ## Ambient context
+//!
+//! A [`TraceContext`] can be *attached* to the current thread
+//! ([`TraceContext::attach`]); while the returned guard lives,
+//! [`current`] returns it and every span opened via
+//! [`crate::Observer::span`] automatically becomes a child. This is how
+//! pre-existing pipeline spans (analyze phases, region sims, store
+//! load/save) get parented under a job's context without threading an
+//! argument through every call site.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wire header name carrying a [`TraceContext`] on HTTP requests.
+pub const TRACEPARENT_HEADER: &str = "traceparent";
+
+/// A 128-bit trace identifier shared by every span of one trace.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u128);
+
+impl TraceId {
+    /// The 32-lowercase-hex wire form.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses exactly 32 lowercase/uppercase hex chars; `None` otherwise.
+    pub fn parse_hex(s: &str) -> Option<TraceId> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl std::fmt::Debug for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TraceId({})", self.hex())
+    }
+}
+
+/// A 64-bit span identifier, unique within its trace.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The 16-lowercase-hex wire form.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses exactly 16 hex chars; `None` otherwise.
+    pub fn parse_hex(s: &str) -> Option<SpanId> {
+        if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(SpanId)
+    }
+}
+
+impl std::fmt::Debug for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SpanId({})", self.hex())
+    }
+}
+
+/// One position in a trace: which trace, which span, and (locally) which
+/// parent span. Only `trace_id` and `span_id` travel on the wire; the
+/// parent link is reconstructed on the receiving side by making the
+/// incoming context the parent of a fresh child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace every descendant span shares.
+    pub trace_id: TraceId,
+    /// This hop's span id.
+    pub span_id: SpanId,
+    /// The parent span within this process, if any.
+    pub parent_id: Option<SpanId>,
+}
+
+/// Deterministic mixer (SplitMix64) over an entropy seed; good enough for
+/// collision-resistant ids without an RNG dependency.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+static ID_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh pseudo-random non-zero 64-bit id: wall clock ⊕ pid ⊕ a global
+/// counter, mixed through SplitMix64.
+fn fresh_u64() -> u64 {
+    let seq = ID_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let pid = u64::from(std::process::id());
+    let v = splitmix64(nanos ^ pid.rotate_left(32) ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    if v == 0 {
+        1
+    } else {
+        v
+    }
+}
+
+impl TraceContext {
+    /// Starts a brand-new trace (fresh random trace id, root span).
+    pub fn new_root() -> TraceContext {
+        let hi = fresh_u64();
+        let lo = fresh_u64();
+        TraceContext {
+            trace_id: TraceId((u128::from(hi) << 64) | u128::from(lo)),
+            span_id: SpanId(fresh_u64()),
+            parent_id: None,
+        }
+    }
+
+    /// A child context: same trace, fresh span id, parented to `self`.
+    pub fn child(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: SpanId(fresh_u64()),
+            parent_id: Some(self.span_id),
+        }
+    }
+
+    /// The `traceparent` wire form: `00-<trace id>-<span id>-01`.
+    pub fn to_traceparent(&self) -> String {
+        format!("00-{}-{}-01", self.trace_id.hex(), self.span_id.hex())
+    }
+
+    /// Parses a `traceparent` header value. Strict on shape (four
+    /// dash-separated fields of 2/32/16/2 hex chars, non-zero ids) but
+    /// lenient on content (version and flags are accepted verbatim).
+    /// Malformed or truncated input yields `None` — callers fall back to
+    /// [`TraceContext::new_root`]; this function never panics.
+    pub fn parse_traceparent(s: &str) -> Option<TraceContext> {
+        let s = s.trim();
+        let mut parts = s.split('-');
+        let version = parts.next()?;
+        let trace = parts.next()?;
+        let span = parts.next()?;
+        let flags = parts.next()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        let two_hex = |f: &str| f.len() == 2 && f.bytes().all(|b| b.is_ascii_hexdigit());
+        if !two_hex(version) || !two_hex(flags) {
+            return None;
+        }
+        let trace_id = TraceId::parse_hex(trace)?;
+        let span_id = SpanId::parse_hex(span)?;
+        if trace_id.0 == 0 || span_id.0 == 0 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id,
+            span_id,
+            parent_id: None,
+        })
+    }
+
+    /// Makes this context the calling thread's current one for the
+    /// lifetime of the returned guard (re-entrant: contexts nest).
+    pub fn attach(&self) -> ContextGuard {
+        STACK.with(|stack| stack.borrow_mut().push(*self));
+        ContextGuard {
+            span_id: self.span_id,
+        }
+    }
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<TraceContext>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The calling thread's innermost attached context, if any.
+pub fn current() -> Option<TraceContext> {
+    STACK.with(|stack| stack.borrow().last().copied())
+}
+
+/// The current context, or a fresh root when none is attached.
+pub fn current_or_root() -> TraceContext {
+    current().unwrap_or_else(TraceContext::new_root)
+}
+
+/// RAII guard from [`TraceContext::attach`]: detaches the context on
+/// drop. Detaching pops the matching stack entry (searched from the
+/// innermost end), so out-of-order drops degrade gracefully instead of
+/// corrupting unrelated contexts.
+#[derive(Debug)]
+#[must_use = "dropping the guard detaches the context immediately"]
+pub struct ContextGuard {
+    span_id: SpanId,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|c| c.span_id == self.span_id) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_are_distinct_and_nonzero() {
+        let a = TraceContext::new_root();
+        let b = TraceContext::new_root();
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_ne!(a.span_id, b.span_id);
+        assert!(a.trace_id.0 != 0 && a.span_id.0 != 0);
+        assert_eq!(a.parent_id, None);
+    }
+
+    #[test]
+    fn children_stay_in_the_trace_and_link_back() {
+        let root = TraceContext::new_root();
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, root.span_id);
+        assert_eq!(child.parent_id, Some(root.span_id));
+    }
+
+    #[test]
+    fn traceparent_roundtrips() {
+        let ctx = TraceContext::new_root();
+        let header = ctx.to_traceparent();
+        assert_eq!(header.len(), 55);
+        let back = TraceContext::parse_traceparent(&header).unwrap();
+        assert_eq!(back.trace_id, ctx.trace_id);
+        assert_eq!(back.span_id, ctx.span_id);
+        assert_eq!(back.parent_id, None);
+    }
+
+    #[test]
+    fn malformed_headers_parse_to_none() {
+        for bad in [
+            "",
+            "00",
+            "garbage",
+            "00-short-0123456789abcdef-01",
+            "00-0123456789abcdef0123456789abcdef-short-01",
+            "00-0123456789abcdef0123456789abcdef-0123456789abcdef",
+            "00-00000000000000000000000000000000-0123456789abcdef-01",
+            "00-0123456789abcdef0123456789abcdef-0000000000000000-01",
+            "zz-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+            "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01-extra",
+            "00-0123456789abcdefg123456789abcdef-0123456789abcdef-01",
+        ] {
+            assert_eq!(TraceContext::parse_traceparent(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn attach_nests_and_detaches_in_order() {
+        assert_eq!(current(), None);
+        let outer = TraceContext::new_root();
+        let g1 = outer.attach();
+        assert_eq!(current(), Some(outer));
+        {
+            let inner = outer.child();
+            let _g2 = inner.attach();
+            assert_eq!(current(), Some(inner));
+        }
+        assert_eq!(current(), Some(outer));
+        drop(g1);
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn out_of_order_drop_is_tolerated() {
+        let a = TraceContext::new_root();
+        let b = a.child();
+        let ga = a.attach();
+        let gb = b.attach();
+        drop(ga); // dropped before the inner guard
+        assert_eq!(current(), Some(b), "inner context survives");
+        drop(gb);
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn current_or_root_synthesizes() {
+        let ctx = current_or_root();
+        assert!(ctx.trace_id.0 != 0);
+        let attached = TraceContext::new_root();
+        let _g = attached.attach();
+        assert_eq!(current_or_root(), attached);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the distributed trace-context wire format in
+//! `lp_obs::tracectx`: any context round-trips through its traceparent
+//! header losslessly, and arbitrary malformed/truncated header strings are
+//! rejected with `None` — the parser must never panic, because headers
+//! arrive from the network.
+
+use lp_obs::tracectx::TraceContext;
+use lp_obs::{SpanId, TraceId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn header_roundtrips_any_nonzero_ids(
+        hi in proptest::prelude::any::<u64>(),
+        lo in proptest::prelude::any::<u64>(),
+        span in proptest::prelude::any::<u64>(),
+    ) {
+        let ctx = TraceContext {
+            trace_id: TraceId((((hi as u128) << 64) | lo as u128).max(1)),
+            span_id: SpanId(span.max(1)),
+            parent_id: None,
+        };
+        let header = ctx.to_traceparent();
+        prop_assert_eq!(header.len(), 55, "00-<32 hex>-<16 hex>-01");
+        let back = TraceContext::parse_traceparent(&header)
+            .expect("well-formed header must parse");
+        prop_assert_eq!(back.trace_id, ctx.trace_id);
+        prop_assert_eq!(back.span_id, ctx.span_id);
+        prop_assert_eq!(back.parent_id, None);
+    }
+
+    #[test]
+    fn arbitrary_strings_never_panic(seed in proptest::prelude::any::<u64>(), len in 0usize..80) {
+        // Printable-ASCII garbage (biased toward header-ish bytes so the
+        // parser's deeper branches get exercised): parse must return (not
+        // panic); and if it does parse, re-encoding is the identity.
+        let mut state = seed;
+        let s: String = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let b = (state >> 33) as u8;
+                match b % 4 {
+                    0 => char::from(b'0' + b % 10),
+                    1 => char::from(b'a' + b % 6),
+                    2 => '-',
+                    _ => char::from(b' ' + b % 95),
+                }
+            })
+            .collect();
+        if let Some(ctx) = TraceContext::parse_traceparent(&s) {
+            let again = TraceContext::parse_traceparent(&ctx.to_traceparent()).unwrap();
+            prop_assert_eq!(again.trace_id, ctx.trace_id);
+            prop_assert_eq!(again.span_id, ctx.span_id);
+        }
+    }
+
+    #[test]
+    fn truncations_of_a_valid_header_are_rejected(cut in 0usize..55) {
+        let header = TraceContext::new_root().to_traceparent();
+        prop_assert!(
+            TraceContext::parse_traceparent(&header[..cut]).is_none(),
+            "truncated header {:?} must not parse", &header[..cut]
+        );
+    }
+
+    #[test]
+    fn corrupting_one_byte_never_panics(pos in 0usize..55, byte in proptest::prelude::any::<u8>()) {
+        let header = TraceContext::new_root().to_traceparent();
+        let mut bytes = header.into_bytes();
+        bytes[pos] = byte;
+        if let Ok(s) = String::from_utf8(bytes) {
+            // May or may not parse (the byte might be a valid hex digit);
+            // either way it must return without panicking.
+            let _ = TraceContext::parse_traceparent(&s);
+        }
+    }
+}
+
+#[test]
+fn zero_ids_are_invalid_on_the_wire() {
+    let zero_trace = format!("00-{}-{:016x}-01", "0".repeat(32), 5u64);
+    assert!(TraceContext::parse_traceparent(&zero_trace).is_none());
+    let zero_span = format!("00-{:032x}-{}-01", 5u128, "0".repeat(16));
+    assert!(TraceContext::parse_traceparent(&zero_span).is_none());
+}
+
+#[test]
+fn malformed_catalogue_is_rejected() {
+    for bad in [
+        "",
+        "00",
+        "hello",
+        "00-xyz-abc-01",
+        "00--",
+        "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331", // missing flags
+        "zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // bad version
+        "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz", // bad flags
+        "00-0af7651916cd43dd8448eb211c80319c-b7ad6b71692033-01", // short span id
+    ] {
+        assert!(
+            TraceContext::parse_traceparent(bad).is_none(),
+            "{bad:?} must be rejected"
+        );
+    }
+}

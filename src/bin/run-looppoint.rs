@@ -79,6 +79,7 @@ USAGE:
     run-looppoint serve [SERVE OPTIONS]     lp-farm analysis daemon
     run-looppoint submit --farm <addr> ...  submit jobs to a daemon
     run-looppoint status --farm <addr>      queue or per-job status
+    run-looppoint trace <job-id> --farm <addr>  print a job's span tree
     run-looppoint shutdown --farm <addr>    drain or stop a daemon
 
 EXIT CODES:
@@ -99,11 +100,15 @@ SERVE OPTIONS (see also --store-dir/--store-max-bytes/--log-level below):
                                [default: 0]
         --farm-dir <path>      queue journal directory: queued and
                                running jobs survive restarts
+        --trace-capacity <n>   finished job traces retained in the
+                               in-memory flight recorder; oldest are
+                               evicted past this [default: 256]
 
 SUBMIT/STATUS/SHUTDOWN OPTIONS:
         --farm <addr>          daemon address (required)
         --wait                 submit: poll until every job is terminal
-        --job <id>             status: one job instead of the queue
+        --job <id>             status: one job instead of the queue;
+                               trace: alternative to the positional id
         --mode <drain|now>     shutdown: finish everything (drain) or
                                interrupt and requeue (now) [default: drain]
         --priority <n>         submit: scheduling priority (higher first)
@@ -468,6 +473,7 @@ fn main() -> ExitCode {
         Some("serve") => return farm_serve(&argv[1..]),
         Some("submit") => return farm_submit(&argv[1..]),
         Some("status") => return farm_status(&argv[1..]),
+        Some("trace") => return farm_trace(&argv[1..]),
         Some("shutdown") => return farm_shutdown(&argv[1..]),
         _ => {}
     }
@@ -737,6 +743,14 @@ fn farm_serve(args: &[String]) -> ExitCode {
                         .map_err(|e| format!("bad timeout: {e}"))?;
                 }
                 "--farm-dir" => cfg.dir = Some(PathBuf::from(value("--farm-dir")?)),
+                "--trace-capacity" => {
+                    cfg.trace_capacity = value("--trace-capacity")?
+                        .parse()
+                        .map_err(|e| format!("bad trace capacity: {e}"))?;
+                    if cfg.trace_capacity == 0 {
+                        return Err("--trace-capacity must be positive".to_string());
+                    }
+                }
                 "--store-dir" => store_dir = Some(value("--store-dir")?),
                 "--store-max-bytes" => {
                     store_max_bytes = Some(
@@ -1036,6 +1050,178 @@ fn farm_status(args: &[String]) -> ExitCode {
             ExitCode::from(EXIT_PIPELINE)
         }
     }
+}
+
+/// `run-looppoint trace`: GET /jobs/{id}/trace and pretty-print the
+/// span tree with per-hop latencies.
+fn farm_trace(args: &[String]) -> ExitCode {
+    // The job id is positional (`trace 3 --farm ...`) or via --job.
+    let (positional, rest): (Option<u64>, &[String]) = match args.first() {
+        Some(first) if !first.starts_with('-') => match first.parse() {
+            Ok(id) => (Some(id), &args[1..]),
+            Err(_) => return config_error(&format!("bad job id '{first}'")),
+        },
+        _ => (None, args),
+    };
+    let c = match parse_client_args(rest) {
+        Ok(c) => c,
+        Err(e) => return config_error(&e),
+    };
+    let Some(id) = positional.or(c.job) else {
+        return config_error("trace needs a job id: run-looppoint trace <job-id> --farm <addr>");
+    };
+    let addr = match require_farm(&c) {
+        Ok(a) => a,
+        Err(e) => return config_error(&e),
+    };
+    match lp_obs::http::client_request(&addr, "GET", &format!("/jobs/{id}/trace"), "") {
+        Ok((200, body)) => match render_trace_tree(id, &body) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: rendering trace for job {id}: {e}");
+                ExitCode::from(EXIT_PIPELINE)
+            }
+        },
+        Ok((status, body)) => {
+            eprintln!("error: status {status}: {body}");
+            ExitCode::from(EXIT_PIPELINE)
+        }
+        Err(e) => {
+            eprintln!("error: querying {addr}: {e}");
+            ExitCode::from(EXIT_PIPELINE)
+        }
+    }
+}
+
+/// Rebuilds the span tree of a Chrome `trace_event` document (using the
+/// `span_id`/`parent_span_id` args the exporter embeds) and renders it
+/// as indented text: one line per span with offset-from-root and
+/// duration, instant markers inlined under the span they belong to.
+fn render_trace_tree(id: u64, body: &str) -> Result<String, String> {
+    use lp_obs::json::Value;
+    use std::collections::HashMap;
+
+    struct Ev {
+        name: String,
+        ts: u64,
+        dur: u64,
+        span: String,
+        parent: String,
+        instant: bool,
+        detail: String,
+    }
+
+    let doc = lp_obs::json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let raw = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("document has no traceEvents array")?;
+    let mut events = Vec::with_capacity(raw.len());
+    for e in raw {
+        let sget = |key: &str| {
+            e.get("args")
+                .and_then(|a| a.get(key))
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string()
+        };
+        let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+        // The dedup marker's payload is worth surfacing inline.
+        let detail = match (sget("detail"), sget("primary_trace_id")) {
+            (d, _) if !d.is_empty() => d,
+            (_, p) if !p.is_empty() => format!(
+                "primary job {} trace {p}",
+                e.get("args")
+                    .and_then(|a| a.get("primary"))
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0)
+            ),
+            _ => String::new(),
+        };
+        events.push(Ev {
+            name: e
+                .get("name")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            ts: e.get("ts").and_then(Value::as_u64).unwrap_or(0),
+            dur: e.get("dur").and_then(Value::as_u64).unwrap_or(0),
+            span: sget("span_id"),
+            parent: sget("parent_span_id"),
+            instant: ph == "i" || ph == "I",
+            detail,
+        });
+    }
+    if events.is_empty() {
+        return Err("trace has no events".to_string());
+    }
+
+    // Tree nodes are the Complete spans, keyed by span id; instants hang
+    // off the span they ran inside (their own span id when it names a
+    // span, else their parent's).
+    let mut span_of: HashMap<&str, usize> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        if !ev.instant && !ev.span.is_empty() {
+            span_of.entry(ev.span.as_str()).or_insert(i);
+        }
+    }
+    let mut children: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut roots = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let home = if ev.instant {
+            span_of
+                .get(ev.span.as_str())
+                .or_else(|| span_of.get(ev.parent.as_str()))
+                .copied()
+        } else {
+            span_of.get(ev.parent.as_str()).copied().filter(|&p| p != i)
+        };
+        match home {
+            Some(p) => children.entry(p).or_default().push(i),
+            None => roots.push(i),
+        }
+    }
+    for kids in children.values_mut() {
+        kids.sort_by_key(|&i| (events[i].ts, events[i].instant));
+    }
+    roots.sort_by_key(|&i| events[i].ts);
+
+    let base = roots.iter().map(|&i| events[i].ts).min().unwrap_or(0);
+    let ms = |us: u64| us as f64 / 1_000.0;
+    let mut out = format!("trace for job {id} ({} events)\n", events.len());
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let ev = &events[i];
+        let indent = "  ".repeat(depth);
+        if ev.instant {
+            let detail = if ev.detail.is_empty() {
+                String::new()
+            } else {
+                format!("  ({})", ev.detail)
+            };
+            out.push_str(&format!(
+                "{indent}@ {:<28} +{:.3} ms{detail}\n",
+                ev.name,
+                ms(ev.ts.saturating_sub(base)),
+            ));
+        } else {
+            out.push_str(&format!(
+                "{indent}{:<30} +{:.3} ms  {:.3} ms\n",
+                ev.name,
+                ms(ev.ts.saturating_sub(base)),
+                ms(ev.dur),
+            ));
+            if let Some(kids) = children.get(&i) {
+                for &k in kids.iter().rev() {
+                    stack.push((k, depth + 1));
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// `run-looppoint shutdown`: POST /shutdown?mode=...
