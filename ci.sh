@@ -317,6 +317,50 @@ assert 'store_hit' in names, 'warm trace lacks the store_hit marker'
 wait "$TRACE_PID" || { cat "$TRACE_LOG" >&2; echo "trace-smoke: restarted daemon exited non-zero" >&2; exit 1; }
 rm -rf "$TRACE_STORE"
 
+echo "== farm-load-smoke (keep-alive burst) =="
+# One daemon with a journal, four concurrent keep-alive clients pushing a
+# mixed batch/single burst through the multiplexed server. The farm-load
+# subcommand itself exits non-zero on any dropped request or a failed
+# drain; on top of that, /metrics must show connection reuse and strictly
+# fewer group-committed journal fsyncs than journaled transitions
+# (one enqueue + one terminal per job, one start per compute).
+LOAD_DIR="$PWD/target/ci-farm-load"
+LOAD_LOG="$PWD/target/ci-farm-load.log"
+LOAD_OUT="$PWD/target/ci-farm-load-out.log"
+rm -rf "$LOAD_DIR"
+"${RUNNER[@]}" serve --farm-listen 127.0.0.1:0 --workers 2 --queue-capacity 64 \
+  --farm-dir "$LOAD_DIR" > "$LOAD_LOG" 2>&1 &
+LOAD_PID=$!
+LOAD_ADDR=""
+for _ in $(seq 1 100); do
+  LOAD_ADDR=$(sed -n 's/^farm: listening on \([0-9.:]*\).*/\1/p' "$LOAD_LOG" | head -n1)
+  [ -n "$LOAD_ADDR" ] && break
+  kill -0 "$LOAD_PID" 2>/dev/null || { cat "$LOAD_LOG" >&2; echo "farm-load-smoke: daemon died before binding" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$LOAD_ADDR" ] || { cat "$LOAD_LOG" >&2; echo "farm-load-smoke: no listening line" >&2; exit 1; }
+"${RUNNER[@]}" farm-load --farm "$LOAD_ADDR" --clients 4 --jobs 24 \
+  -p demo-matrix-1,demo-matrix-2 --slice-base 4000 > "$LOAD_OUT" 2>&1 \
+  || { cat "$LOAD_OUT" >&2; echo "farm-load-smoke: burst dropped requests or failed to drain" >&2; exit 1; }
+grep -Eq 'farm-load: jobs=24 accepted=24 dropped=0 .* drained=true' "$LOAD_OUT" \
+  || { cat "$LOAD_OUT" >&2; echo "farm-load-smoke: bad summary line" >&2; exit 1; }
+LOAD_METRICS=$(curl -sf --max-time 5 "http://$LOAD_ADDR/metrics")
+echo "$LOAD_METRICS" | grep -Eq '^serve_http_keepalive_reuses [1-9][0-9]*$' \
+  || { echo "$LOAD_METRICS" | grep '^serve_' >&2; echo "farm-load-smoke: no keep-alive reuse" >&2; exit 1; }
+echo "$LOAD_METRICS" | python3 -c "
+import sys
+m = dict(l.split() for l in sys.stdin if l[:1].isalpha())
+fsyncs = int(m['farm_journal_fsyncs'])
+transitions = 2 * int(m['farm_done']) + int(m['farm_computes'])
+assert fsyncs >= 1, 'journal never fsynced'
+assert fsyncs < transitions, f'group commit did not batch: {fsyncs} fsyncs / {transitions} transitions'
+print(f'farm-load-smoke: {fsyncs} fsyncs for {transitions} transitions')
+" || { echo "farm-load-smoke: journal group-commit gate failed" >&2; exit 1; }
+"${RUNNER[@]}" shutdown --farm "$LOAD_ADDR" > /dev/null \
+  || { echo "farm-load-smoke: shutdown request failed" >&2; exit 1; }
+wait "$LOAD_PID" || { cat "$LOAD_LOG" >&2; echo "farm-load-smoke: daemon exited non-zero" >&2; exit 1; }
+rm -rf "$LOAD_DIR"
+
 echo "== bench-smoke (farm throughput) =="
 # Quick variant of the farm-throughput benchmark: asserts one compute per
 # unique spec and full dedup of duplicates internally; validate the JSON
@@ -325,13 +369,17 @@ echo "== bench-smoke (farm throughput) =="
 FARM_SMOKE_OUT="$PWD/target/BENCH_farm.smoke.json"
 cargo bench --offline -p lp-bench --bench farm_throughput -- --smoke --out "$FARM_SMOKE_OUT"
 [ -s "$FARM_SMOKE_OUT" ] || { echo "farm-bench-smoke: $FARM_SMOKE_OUT missing or empty" >&2; exit 1; }
-for key in workers burst unique_specs wall_ms jobs_per_sec dedup queue_latency_us smoke; do
+for key in workers burst unique_specs wall_ms jobs_per_sec dedup queue_latency_us \
+            keepalive batch journal_fsyncs journal_transitions smoke; do
   grep -q "\"$key\"" "$FARM_SMOKE_OUT" || { echo "farm-bench-smoke: missing key $key" >&2; exit 1; }
 done
-for key in submitted computes hits ratio p50 p99; do
+for key in submitted computes hits ratio p50 p99 clients reuses batch_posts single_posts; do
   grep -q "\"$key\"" "$FARM_SMOKE_OUT" || { echo "farm-bench-smoke: missing key $key" >&2; exit 1; }
 done
-# And the committed full-scale baseline keeps the multi-tenant dedup claim.
+# And the committed full-scale baseline keeps the multi-tenant dedup claim
+# plus the event-driven data-plane floor: >= 3x the serial-accept
+# baseline's 186 jobs/s on the same 48-job burst, connection reuse, and
+# group-committed fsyncs strictly below journaled transitions.
 python3 - <<'PY'
 import json, sys
 with open("BENCH_farm.json") as f:
@@ -345,6 +393,14 @@ if d["ratio"] < 0.5:
     sys.exit(f"BENCH_farm.json: dedup ratio {d['ratio']} < 0.5")
 if j["jobs_per_sec"] <= 0 or j["queue_latency_us"]["p99"] < j["queue_latency_us"]["p50"]:
     sys.exit("BENCH_farm.json: implausible throughput/latency numbers")
+if j["jobs_per_sec"] < 560:
+    sys.exit(f"BENCH_farm.json: jobs_per_sec {j['jobs_per_sec']} < 560 (3x baseline floor)")
+if j["keepalive"]["reuses"] <= 0:
+    sys.exit("BENCH_farm.json: keep-alive clients never reused a connection")
+if j["batch"]["batch_posts"] <= 0 or j["batch"]["single_posts"] <= 0:
+    sys.exit("BENCH_farm.json: burst must mix batch and single POSTs")
+if not 0 < j["journal_fsyncs"] < j["journal_transitions"]:
+    sys.exit(f"BENCH_farm.json: fsyncs {j['journal_fsyncs']} not below transitions {j['journal_transitions']}")
 PY
 
 echo "CI green."

@@ -3,24 +3,38 @@
 //! queue, dedup, worker pool, pipeline backend), emitting
 //! machine-readable `BENCH_farm.json`.
 //!
-//! The burst models the workload the farm exists for: several tenants
-//! submitting overlapping design-space points at once. Each unique
-//! (program, threads, slice-base) combination must be computed exactly
-//! once; every duplicate must ride along as a dedup subscriber. The
-//! bench asserts that invariant against the farm's own counters before
-//! reporting any numbers, then derives:
+//! Two phases, so the number measures the *data plane* rather than cold
+//! pipeline compute:
 //!
-//! * **jobs/sec** — burst size over wall-clock from first submission to
-//!   queue idle;
+//! 1. **Warm-up (unmeasured)** — a first farm instance computes every
+//!    unique spec once into a shared artifact store, drains, and shuts
+//!    down, leaving its journal checkpointed.
+//! 2. **Burst (measured)** — a fresh farm over the same store and
+//!    journal directory takes the full burst from `clients` concurrent
+//!    keep-alive HTTP clients (each submitting half its share as one
+//!    NDJSON batch POST and half as single POSTs), exactly how tenants
+//!    hit a long-running daemon whose store already holds their design
+//!    space. Wall-clock runs from first submission to queue idle.
+//!
+//! The bench asserts the dedup invariant (one compute per unique spec,
+//! every duplicate a subscriber, everything `done`) before reporting:
+//!
+//! * **jobs/sec** — burst size over measured wall-clock;
 //! * **dedup ratio** — deduplicated submissions over total submissions;
 //! * **queue latency p50/p99** — per-compute wait between submission and
-//!   a worker picking the job up, from the job records themselves.
+//!   a worker picking the job up, from the farm's own histogram;
+//! * **keepalive / batch / journal_fsyncs** — connection reuses across
+//!   the burst, request mix, and group-committed fsyncs (which must stay
+//!   strictly below the number of journaled transitions).
 //!
 //! Run via `cargo bench --bench farm_throughput` (`-- --smoke` for the
 //! CI gate's quick variant; `--out PATH` to redirect the JSON).
 
 use lp_farm::{Farm, FarmConfig, FarmServer, JobSpec, PipelineBackend};
+use lp_obs::http::HttpClient;
 use lp_obs::{json, names, Observer};
+use lp_store::Store;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -68,44 +82,125 @@ fn burst_specs(unique: usize, repeats: usize, slice_base: u64) -> Vec<JobSpec> {
     specs
 }
 
+fn farm_config(workers: usize, capacity: usize, dir: &Path) -> FarmConfig {
+    FarmConfig {
+        workers,
+        queue_capacity: capacity,
+        dir: Some(dir.to_path_buf()),
+        ..FarmConfig::default()
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let (unique, repeats, slice_base, workers) = if args.smoke {
-        (3usize, 4usize, 2_000u64, 2usize)
+    let (unique, repeats, slice_base, workers, clients) = if args.smoke {
+        (3usize, 4usize, 2_000u64, 2usize, 2usize)
     } else {
-        (6, 8, 4_000, 4)
+        (6, 8, 4_000, 4, 4)
     };
+    let total = unique * repeats;
 
-    let obs = Observer::enabled();
-    let backend = Arc::new(PipelineBackend::new(None, obs.clone()));
-    let cfg = FarmConfig {
-        workers,
-        queue_capacity: unique * repeats + 8,
-        ..FarmConfig::default()
-    };
-    let farm = Farm::start(cfg, backend, obs.clone()).expect("start farm");
-    let server = FarmServer::start("127.0.0.1:0", farm.clone()).expect("bind farm server");
-    let addr = server.local_addr().to_string();
+    let bench_dir = std::env::temp_dir().join(format!("lp-bench-farm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&bench_dir);
+    let store_dir = bench_dir.join("store");
+    let farm_dir = bench_dir.join("farm");
+    std::fs::create_dir_all(&farm_dir).expect("create bench dirs");
 
-    let specs = burst_specs(unique, repeats, slice_base);
-    let total = specs.len();
     println!(
         "farm-throughput benchmark: {total} jobs ({unique} unique x {repeats} tenants) | \
-         {workers} workers {}",
+         {workers} workers, {clients} keep-alive clients {}",
         if args.smoke { "(smoke)" } else { "" }
     );
 
-    // One NDJSON POST per tenant round, like concurrent clients would.
-    let t0 = Instant::now();
-    for round in specs.chunks(unique) {
-        let mut body = String::new();
-        for spec in round {
-            body.push_str(&spec.to_value().to_string());
-            body.push('\n');
+    // ---- Phase 1 (unmeasured): compute every unique spec cold into the
+    // shared store, then shut down. The measured phase below exercises
+    // the data plane — wire, queue, dedup, journal — over warm artifacts.
+    {
+        let obs = Observer::enabled();
+        let store = Store::open(&store_dir, obs.clone()).expect("open store");
+        let backend = Arc::new(PipelineBackend::new(Some(store), obs.clone()));
+        let farm = Farm::start(farm_config(workers, total + 8, &farm_dir), backend, obs)
+            .expect("start warm-up farm");
+        for spec in burst_specs(unique, 1, slice_base) {
+            farm.submit(spec).expect("warm-up submit");
         }
-        let (status, _) =
-            lp_obs::http::client_request(&addr, "POST", "/jobs", &body).expect("submit burst");
-        assert_eq!(status, 202, "burst must be accepted");
+        assert!(
+            farm.wait_idle(Duration::from_secs(600)),
+            "warm-up did not drain"
+        );
+        farm.shutdown(lp_farm::ShutdownMode::Drain);
+        farm.join();
+    }
+
+    // ---- Phase 2 (measured): fresh farm, same store + journal dir,
+    // full burst from concurrent keep-alive clients.
+    let obs = Observer::enabled();
+    let store = Store::open(&store_dir, obs.clone()).expect("reopen store");
+    let backend = Arc::new(PipelineBackend::new(Some(store), obs.clone()));
+    let farm = Farm::start(
+        farm_config(workers, total + 8, &farm_dir),
+        backend,
+        obs.clone(),
+    )
+    .expect("start measured farm");
+    let server = FarmServer::start("127.0.0.1:0", farm.clone()).expect("bind farm server");
+    let addr = server.local_addr().to_string();
+
+    // Deal the interleaved burst round-robin across the clients, like
+    // independent tenants each holding one persistent connection.
+    let mut shares: Vec<Vec<String>> = vec![Vec::new(); clients];
+    for (i, spec) in burst_specs(unique, repeats, slice_base)
+        .into_iter()
+        .enumerate()
+    {
+        shares[i % clients].push(spec.to_value().to_string());
+    }
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = shares
+        .into_iter()
+        .map(|share| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::new(addr);
+                let mut ids: Vec<u64> = Vec::new();
+                let mut accept = |(status, body): (u16, String)| {
+                    assert_eq!(status, 202, "burst must be accepted: {body}");
+                    ids.extend(
+                        body.lines()
+                            .filter_map(|l| json::parse(l).ok())
+                            .filter_map(|v| v.get("id").and_then(json::Value::as_u64)),
+                    );
+                };
+                // Half the share as one NDJSON batch, half as single
+                // POSTs — both wire shapes on one reused connection.
+                let batch_n = share.len() / 2;
+                let mut body = share[..batch_n].join("\n");
+                body.push('\n');
+                accept(
+                    client
+                        .request("POST", "/jobs", &body)
+                        .expect("batch submit"),
+                );
+                for line in &share[batch_n..] {
+                    accept(
+                        client
+                            .request("POST", "/jobs", &format!("{line}\n"))
+                            .expect("single submit"),
+                    );
+                }
+                (ids, batch_n.min(1), share.len() - batch_n, client.reuses())
+            })
+        })
+        .collect();
+    let mut ids = Vec::new();
+    let (mut batch_posts, mut single_posts, mut reuses) = (0usize, 0usize, 0u64);
+    for t in threads {
+        let (i, b, s, r) = t.join().expect("client thread panicked");
+        ids.extend(i);
+        batch_posts += b;
+        single_posts += s;
+        reuses += r;
     }
     assert!(
         farm.wait_idle(Duration::from_secs(600)),
@@ -117,16 +212,27 @@ fn main() {
     // per unique spec, every other submission deduplicated, all done.
     let computes = obs.counter(names::FARM_COMPUTES).get();
     let dedup_hits = obs.counter(names::FARM_DEDUP_HITS).get();
+    assert_eq!(ids.len(), total, "every submission must return an id");
     assert_eq!(computes as usize, unique, "one compute per unique spec");
     assert_eq!(
         dedup_hits as usize,
         total - unique,
         "every duplicate must dedup"
     );
-    for id in 1..=total as u64 {
+    for &id in &ids {
         let rec = farm.job(id).expect("job record");
         assert_eq!(rec.state, lp_farm::JobState::Done, "job {id} not done");
     }
+    // Group commit must coalesce: strictly fewer fsyncs than journaled
+    // transitions (one enqueue and one terminal per job, one start per
+    // actual compute).
+    let fsyncs = obs.counter(names::FARM_JOURNAL_FSYNCS).get();
+    let transitions = 2 * total as u64 + computes;
+    assert!(
+        fsyncs < transitions,
+        "group commit must batch: {fsyncs} fsyncs for {transitions} transitions"
+    );
+    assert!(reuses > 0, "keep-alive clients must reuse connections");
     // Queue latency from the farm's own telemetry histogram — the same
     // log2-bucket quantile estimator every export surface uses, so the
     // benchmark JSON, /metrics, and --metrics-out never disagree.
@@ -143,7 +249,8 @@ fn main() {
     println!(
         "  {total} jobs in {wall_ms:9.2} ms   {jobs_per_sec:8.2} jobs/s   \
          {computes} computes + {dedup_hits} dedup ({:.0}% deduped)   \
-         queue wait p50 {p50} us / p99 {p99} us",
+         queue wait p50 {p50} us / p99 {p99} us   \
+         {reuses} keep-alive reuses   {fsyncs} fsyncs / {transitions} transitions",
         dedup_ratio * 100.0
     );
 
@@ -153,6 +260,9 @@ fn main() {
          \"jobs_per_sec\": {jobs_per_sec:.3},\n  \
          \"dedup\": {{\"submitted\": {total}, \"computes\": {computes}, \"hits\": {dedup_hits}, \"ratio\": {dedup_ratio:.4}}},\n  \
          \"queue_latency_us\": {{\"p50\": {p50}, \"p99\": {p99}}},\n  \
+         \"keepalive\": {{\"clients\": {clients}, \"reuses\": {reuses}}},\n  \
+         \"batch\": {{\"batch_posts\": {batch_posts}, \"single_posts\": {single_posts}}},\n  \
+         \"journal_fsyncs\": {fsyncs},\n  \"journal_transitions\": {transitions},\n  \
          \"smoke\": {}\n}}\n",
         args.smoke
     );
@@ -165,6 +275,9 @@ fn main() {
         "dedup",
         "queue_latency_us",
         "jobs_per_sec",
+        "keepalive",
+        "batch",
+        "journal_fsyncs",
     ] {
         assert!(parsed.get(key).is_some(), "missing key {key}");
     }
@@ -174,4 +287,5 @@ fn main() {
     farm.shutdown(lp_farm::ShutdownMode::Drain);
     farm.join();
     server.stop();
+    let _ = std::fs::remove_dir_all(&bench_dir);
 }

@@ -21,15 +21,18 @@
 //!
 //! ## Durability
 //!
-//! With a journal directory configured, every queue transition rewrites
-//! `farm-queue.json` atomically: queued jobs and running jobs (persisted
-//! as queued, so an interrupted attempt re-runs) survive `SIGKILL`. A
+//! With a journal directory configured, every queue transition appends
+//! one record to the v2 journal ([`crate::journal`]): an append-only
+//! transition log with group-committed fsync plus a periodically
+//! compacted snapshot. Queued jobs and running jobs (persisted as
+//! queued, so an interrupted attempt re-runs) survive `SIGKILL`. A
 //! restarted farm re-adopts the journal and resumes — dedup regroups
 //! naturally because restored jobs re-enter through the same enqueue
 //! path.
 
 use crate::backend::JobBackend;
 use crate::job::{now_us, JobRecord, JobSpec, JobState};
+use crate::journal::{Journal, JournalConfig, PersistedJob};
 use crate::recorder::FlightRecorder;
 use looppoint::CancelToken;
 use lp_obs::json::Value;
@@ -42,10 +45,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Journal file name inside the farm directory.
-pub const JOURNAL_FILE: &str = "farm-queue.json";
-/// Journal format version.
-const JOURNAL_VERSION: u64 = 1;
+pub use crate::journal::JOURNAL_FILE;
 
 /// Tuning knobs for a [`Farm`].
 #[derive(Debug, Clone)]
@@ -72,6 +72,12 @@ pub struct FarmConfig {
     pub trace_capacity: usize,
     /// Journal directory; `None` runs in-memory only.
     pub dir: Option<PathBuf>,
+    /// Journal group-commit window (ms): transitions landing within it
+    /// share one fsync. `0` flushes each batch immediately.
+    pub journal_flush_ms: u64,
+    /// Journal compaction trigger: compact when the transition log
+    /// exceeds this multiple of the snapshot size.
+    pub journal_compact_factor: u64,
 }
 
 impl Default for FarmConfig {
@@ -87,6 +93,8 @@ impl Default for FarmConfig {
             history_limit: 1_024,
             trace_capacity: 256,
             dir: None,
+            journal_flush_ms: 1,
+            journal_compact_factor: 4,
         }
     }
 }
@@ -242,6 +250,8 @@ struct FarmInner {
     backend: Arc<dyn JobBackend>,
     obs: Observer,
     recorder: FlightRecorder,
+    /// v2 transition journal; `None` without a configured directory.
+    journal: Option<Journal>,
     state: Mutex<FarmState>,
     /// Signalled when work becomes available or the farm terminates.
     work_ready: Condvar,
@@ -265,9 +275,17 @@ impl Farm {
     /// # Errors
     /// Journal directory creation/parse failures.
     pub fn start(cfg: FarmConfig, backend: Arc<dyn JobBackend>, obs: Observer) -> io::Result<Farm> {
-        if let Some(dir) = &cfg.dir {
-            std::fs::create_dir_all(dir)?;
-        }
+        let journal = match &cfg.dir {
+            Some(dir) => Some(Journal::open(
+                dir,
+                JournalConfig {
+                    flush_ms: cfg.journal_flush_ms,
+                    compact_factor: cfg.journal_compact_factor.max(1),
+                },
+                obs.clone(),
+            )?),
+            None => None,
+        };
         let workers = cfg.workers.max(1);
         let recorder = FlightRecorder::new(cfg.trace_capacity, obs.clone());
         let inner = Arc::new(FarmInner {
@@ -275,6 +293,7 @@ impl Farm {
             backend,
             obs,
             recorder,
+            journal,
             state: Mutex::new(FarmState {
                 next_id: 1,
                 jobs: BTreeMap::new(),
@@ -292,7 +311,7 @@ impl Farm {
             workers: Mutex::new(Vec::new()),
             supervisor: Mutex::new(None),
         });
-        inner.restore_journal()?;
+        inner.restore_journal();
         inner.obs.gauge(names::FARM_WORKERS).set(workers as f64);
         {
             let mut handles = inner.workers.lock().expect("farm workers lock");
@@ -412,6 +431,27 @@ impl Farm {
         {
             let _ = sup.join();
         }
+        // Fold every transition into the snapshot so external readers
+        // (and the next daemon) see one self-contained document.
+        if let Some(journal) = &self.inner.journal {
+            journal.checkpoint();
+        }
+    }
+
+    /// Durability barrier: blocks until every journal record appended so
+    /// far has been fsynced. No-op without a journal directory. The HTTP
+    /// layer takes this once per submission request, so a whole batch
+    /// shares one group commit before the `202` goes out.
+    pub fn sync_journal(&self) {
+        if let Some(journal) = &self.inner.journal {
+            journal.sync();
+        }
+    }
+
+    /// Journal records appended but not yet fsynced (`None` without a
+    /// journal directory).
+    pub fn journal_lag(&self) -> Option<u64> {
+        self.inner.journal.as_ref().map(Journal::lag)
     }
 
     /// Blocks until no job is queued or running, or `timeout` elapses.
@@ -462,7 +502,14 @@ impl FarmInner {
             self.obs.counter(names::FARM_DEDUP_HITS).inc();
         }
         self.refresh_gauges(&st);
-        self.persist_journal(&st);
+        // Cached submissions are terminal on arrival and never enter the
+        // durable set; queued primaries and followers both do.
+        match outcome {
+            Submitted::Queued { id } | Submitted::Deduped { id, .. } => {
+                self.journal_enqueue(&st, id);
+            }
+            Submitted::Cached { .. } => {}
+        }
         if matches!(outcome, Submitted::Queued { .. }) {
             self.work_ready.notify_one();
         }
@@ -745,7 +792,9 @@ impl FarmInner {
                 );
                 self.obs.counter(names::FARM_COMPUTES).inc();
                 self.refresh_gauges(&st);
-                self.persist_journal(&st);
+                if let Some(journal) = &self.journal {
+                    journal.start(id);
+                }
                 return Some((id, spec, cancel, ctx));
             }
             match next_wake {
@@ -797,6 +846,9 @@ impl FarmInner {
                             "requeue",
                             "attempt interrupted by shutdown".to_string(),
                         );
+                        if let Some(journal) = &self.journal {
+                            journal.requeue(id);
+                        }
                     }
                 } else if info.user_cancelled {
                     self.complete_locked(&mut st, id, JobState::Cancelled, Some(err), None, now);
@@ -840,7 +892,6 @@ impl FarmInner {
             }
         }
         self.refresh_gauges(&st);
-        self.persist_journal(&st);
         drop(st);
         self.work_ready.notify_all();
         self.idle.notify_all();
@@ -875,6 +926,9 @@ impl FarmInner {
         st.history.push(id);
         self.count_terminal(state);
         self.recorder.finish(id, state.as_str());
+        if let Some(journal) = &self.journal {
+            journal.terminal(id);
+        }
         if let Some(rec) = st.jobs.get(&id) {
             self.obs
                 .histogram(names::FARM_JOB_LATENCY_US)
@@ -904,6 +958,9 @@ impl FarmInner {
                         format!("terminal state mirrored from primary {id}"),
                     );
                     self.recorder.finish(sub, state.as_str());
+                    if let Some(journal) = &self.journal {
+                        journal.terminal(sub);
+                    }
                 }
                 // Put the list back on the primary: `subscribers` on the
                 // wire reports how many requests shared this compute.
@@ -983,6 +1040,9 @@ impl FarmInner {
                     self.recorder
                         .event(id, "cancel", "cancelled while following".to_string());
                     self.recorder.finish(id, JobState::Cancelled.as_str());
+                    if let Some(journal) = &self.journal {
+                        journal.terminal(id);
+                    }
                 } else {
                     // A queued primary: pull it off the queue and promote
                     // any followers.
@@ -1005,10 +1065,14 @@ impl FarmInner {
                     self.recorder
                         .event(id, "cancel", "cancelled while queued".to_string());
                     self.recorder.finish(id, JobState::Cancelled.as_str());
+                    if let Some(journal) = &self.journal {
+                        journal.terminal(id);
+                    }
+                    // The promoted follower (if any) is already in the
+                    // durable set as a plain job; no record needed.
                     self.promote_followers(&mut st, &key, subscribers);
                 }
                 self.refresh_gauges(&st);
-                self.persist_journal(&st);
                 drop(st);
                 self.idle.notify_all();
                 true
@@ -1092,7 +1156,6 @@ impl FarmInner {
                 info.cancel.cancel();
             }
         }
-        self.persist_journal(&st);
         drop(st);
         self.work_ready.notify_all();
         self.idle.notify_all();
@@ -1146,105 +1209,54 @@ impl FarmInner {
 
     // ---- durability -----------------------------------------------------
 
-    /// Rewrites the queue journal atomically. Queued jobs persist as-is;
-    /// running jobs persist as queued (an interrupted attempt re-runs).
-    /// Dedup followers persist as plain jobs — on restore they re-enter
-    /// the enqueue path and regroup under whichever copy lands first.
-    fn persist_journal(&self, st: &FarmState) {
-        let Some(dir) = &self.cfg.dir else { return };
-        let mut jobs = Vec::new();
-        let mut push = |rec: &JobRecord| {
-            jobs.push(Value::Obj(vec![
-                ("id".to_string(), Value::Int(rec.id as i128)),
-                ("key".to_string(), Value::Str(rec.key.clone())),
-                ("attempts".to_string(), Value::Int(rec.attempts as i128)),
-                (
-                    "submitted_us".to_string(),
-                    Value::Int(rec.submitted_us as i128),
-                ),
-                // The root context persists as its wire encoding so a
-                // restarted farm resumes the job under the SAME trace id
-                // (cross-restart trace continuity).
-                (
-                    "traceparent".to_string(),
-                    Value::Str(rec.trace.to_traceparent()),
-                ),
-                ("spec".to_string(), rec.spec.to_value()),
-            ]));
+    /// Appends the job's `enqueue` record to the transition journal.
+    /// Queued jobs persist as-is; running jobs persist as queued (an
+    /// interrupted attempt re-runs). Dedup followers persist as plain
+    /// jobs — on restore they re-enter the enqueue path and regroup
+    /// under whichever copy lands first.
+    fn journal_enqueue(&self, st: &FarmState, id: u64) {
+        let (Some(journal), Some(rec)) = (&self.journal, st.jobs.get(&id)) else {
+            return;
         };
-        for rec in st.jobs.values() {
-            match rec.state {
-                JobState::Queued => push(rec),
-                JobState::Running => push(rec),
-                _ => {}
-            }
-        }
-        let doc = Value::Obj(vec![
-            ("version".to_string(), Value::Int(JOURNAL_VERSION as i128)),
-            ("next_id".to_string(), Value::Int(st.next_id as i128)),
-            ("jobs".to_string(), Value::Arr(jobs)),
-        ]);
-        // Best-effort: a journal write failure must not take down the
-        // farm mid-job; the next transition retries.
-        let _ = lp_obs::write_atomic(&dir.join(JOURNAL_FILE), doc.to_string().as_bytes());
+        journal.enqueue(PersistedJob {
+            id: rec.id,
+            key: rec.key.clone(),
+            attempts: rec.attempts,
+            submitted_us: rec.submitted_us,
+            // The root context persists as its wire encoding so a
+            // restarted farm resumes the job under the SAME trace id
+            // (cross-restart trace continuity).
+            traceparent: rec.trace.to_traceparent(),
+            spec: rec.spec.clone(),
+        });
     }
 
-    fn restore_journal(&self) -> io::Result<()> {
-        let Some(dir) = &self.cfg.dir else {
-            return Ok(());
-        };
-        let path = dir.join(JOURNAL_FILE);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
-            Err(e) => return Err(e),
-        };
-        let doc = lp_obs::json::parse(&text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
+    /// Re-adopts the durable set replayed by the journal at open.
+    fn restore_journal(&self) {
+        let Some(journal) = &self.journal else { return };
+        let view = journal.view();
         let mut st = self.state.lock().expect("farm state lock");
-        if let Some(n) = doc.get("next_id").and_then(Value::as_u64) {
-            st.next_id = st.next_id.max(n);
-        }
-        let jobs = doc.get("jobs").and_then(Value::as_arr).unwrap_or(&[]);
-        for j in jobs {
-            let (Some(id), Some(key), Some(spec_v)) = (
-                j.get("id").and_then(Value::as_u64),
-                j.get("key").and_then(Value::as_str),
-                j.get("spec"),
-            ) else {
-                continue;
-            };
-            let Ok(spec) = JobSpec::from_value(spec_v) else {
-                continue;
-            };
-            let attempts = j.get("attempts").and_then(Value::as_u64).unwrap_or(0) as u32;
-            let submitted = j
-                .get("submitted_us")
-                .and_then(Value::as_u64)
-                .unwrap_or_else(now_us);
+        st.next_id = st.next_id.max(view.next_id);
+        for job in view.jobs {
             // Resume under the persisted trace id when present (malformed
             // or missing → a fresh root; never an error).
-            let ctx = j
-                .get("traceparent")
-                .and_then(Value::as_str)
-                .and_then(TraceContext::parse_traceparent)
+            let ctx = TraceContext::parse_traceparent(&job.traceparent)
                 .unwrap_or_else(TraceContext::new_root);
-            st.next_id = st.next_id.max(id + 1);
+            st.next_id = st.next_id.max(job.id + 1);
             // Restored jobs trust the journal's key (no backend call) and
             // re-dedup naturally through the shared enqueue path.
             let _ = self.enqueue_locked(
                 &mut st,
-                spec,
-                key.to_string(),
+                job.spec,
+                job.key,
                 ctx,
-                Some(id),
-                attempts,
-                submitted,
+                Some(job.id),
+                job.attempts,
+                job.submitted_us,
                 false,
             );
         }
         self.refresh_gauges(&st);
-        Ok(())
     }
 }
 

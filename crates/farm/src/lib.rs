@@ -81,6 +81,7 @@
 pub mod backend;
 pub mod farm;
 pub mod job;
+pub mod journal;
 pub mod recorder;
 pub mod server;
 
@@ -89,5 +90,6 @@ pub use farm::{
     Farm, FarmConfig, QueueSnapshot, ShutdownMode, SubmitError, Submitted, JOURNAL_FILE,
 };
 pub use job::{JobRecord, JobSpec, JobState};
+pub use journal::{Journal, JournalConfig, JournalView, PersistedJob, JOURNAL_LOG_FILE};
 pub use recorder::{FlightRecorder, JobTrace, LifecycleEvent};
 pub use server::FarmServer;

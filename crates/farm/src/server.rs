@@ -1,8 +1,13 @@
 //! The farm's HTTP front door.
 //!
-//! One request per connection over the shared [`lp_obs::http`] plumbing.
-//! Bodies and multi-job responses are line-delimited JSON (one object per
-//! line), so clients stream submissions without framing beyond newlines.
+//! Served on the shared multiplexed core ([`lp_obs::httpd`]): HTTP/1.1
+//! keep-alive connections with pipelined framing, and *concurrent*
+//! request dispatch on a bounded handler pool — a submission burst from
+//! four tenants no longer serializes behind the accept thread, and a
+//! batch `POST /jobs` (NDJSON, one spec per line → one response line per
+//! job) lands a whole burst in one round trip. Bodies and multi-job
+//! responses are line-delimited JSON (one object per line), so clients
+//! stream submissions without framing beyond newlines.
 //!
 //! | Endpoint                 | Behavior                                     |
 //! |--------------------------|----------------------------------------------|
@@ -19,25 +24,24 @@
 use crate::farm::{Farm, ShutdownMode, SubmitError, Submitted};
 use crate::job::JobSpec;
 use lp_obs::http::{self, Request, Response};
+use lp_obs::httpd::{Handler, HttpServer, ServerConfig};
 use lp_obs::json::Value;
 use lp_obs::names;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
 struct ServerShared {
-    stop: AtomicBool,
     shutdown: Mutex<Option<ShutdownMode>>,
     shutdown_cv: Condvar,
 }
 
-/// The accept loop wrapping a [`Farm`].
+/// The farm's HTTP front: a multiplexed [`HttpServer`] dispatching
+/// concurrently into a shared [`Farm`].
 pub struct FarmServer {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
-    handle: Option<JoinHandle<()>>,
+    server: Option<HttpServer>,
 }
 
 impl FarmServer {
@@ -47,34 +51,40 @@ impl FarmServer {
     /// # Errors
     /// Bind failures.
     pub fn start(addr: impl ToSocketAddrs, farm: Farm) -> io::Result<FarmServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
-            stop: AtomicBool::new(false),
             shutdown: Mutex::new(None),
             shutdown_cv: Condvar::new(),
         });
-        let loop_farm = farm.clone();
-        let loop_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("farm-server".to_string())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if loop_shared.stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(mut stream) = stream else { continue };
-                    handle_connection(&mut stream, &loop_farm, &loop_shared);
-                    if loop_shared.stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                }
-            })
-            .expect("spawn farm server");
+        let obs = farm.observer().clone();
+        let handler_farm = farm.clone();
+        let handler_shared = Arc::clone(&shared);
+        let handler: Handler = Arc::new(move |req: &Request| {
+            // A propagated traceparent parents the request span (and any
+            // jobs this request submits) under the client's trace.
+            let trace_guard = req.trace.as_ref().map(|t| t.attach());
+            let mut span = handler_farm
+                .observer()
+                .span(names::SPAN_FARM_REQUEST, names::CAT_FARM);
+            span.arg("path", req.path.as_str());
+            let response = route(req, &handler_farm, &handler_shared);
+            drop(span);
+            drop(trace_guard);
+            response
+        });
+        let server = HttpServer::start(
+            addr,
+            ServerConfig {
+                max_body: http::DEFAULT_MAX_BODY_BYTES,
+                thread_name: "farm-server".to_string(),
+                ..ServerConfig::default()
+            },
+            handler,
+            obs,
+        )?;
         Ok(FarmServer {
-            addr: local,
+            addr: server.local_addr(),
             shared,
-            handle: Some(handle),
+            server: Some(server),
         })
     }
 
@@ -100,51 +110,20 @@ impl FarmServer {
         }
     }
 
-    /// Stops the accept loop and joins it.
+    /// Stops the server and joins its threads.
     pub fn stop(mut self) {
-        self.shared.stop.store(true, Ordering::Release);
-        // Unblock the accept call.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+        if let Some(server) = self.server.take() {
+            server.stop();
         }
     }
 }
 
 impl Drop for FarmServer {
     fn drop(&mut self) {
-        self.shared.stop.store(true, Ordering::Release);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+        if let Some(server) = self.server.take() {
+            server.stop();
         }
     }
-}
-
-fn handle_connection(stream: &mut TcpStream, farm: &Farm, shared: &ServerShared) {
-    let response = match http::read_request(stream, http::DEFAULT_MAX_BODY_BYTES) {
-        Ok(req) => {
-            // A propagated traceparent parents the request span (and any
-            // jobs this request submits) under the client's trace.
-            let trace_guard = req.trace.as_ref().map(|t| t.attach());
-            let mut span = farm
-                .observer()
-                .span(names::SPAN_FARM_REQUEST, names::CAT_FARM);
-            span.arg("path", req.path.as_str());
-            let response = route(&req, farm, shared);
-            drop(span);
-            drop(trace_guard);
-            response
-        }
-        Err(http::HttpError::BodyTooLarge { declared, limit }) => Response::new(
-            "413 Payload Too Large",
-            "application/json",
-            format!("{{\"error\":\"body {declared} B exceeds limit {limit} B\"}}"),
-        ),
-        Err(http::HttpError::Malformed(what)) => Response::bad_request(what),
-        Err(http::HttpError::Io(_)) => return,
-    };
-    let _ = http::write_response(stream, &response);
 }
 
 fn route(req: &Request, farm: &Farm, shared: &ServerShared) -> Response {
@@ -155,23 +134,24 @@ fn route(req: &Request, farm: &Farm, shared: &ServerShared) -> Response {
         ("GET", "/healthz") => {
             let snap = farm.queue_snapshot();
             let (live, finished, capacity, evicted) = farm.flight_recorder().occupancy();
-            Response::json_ok(
-                Value::Obj(vec![
-                    ("status".to_string(), Value::Str("ok".to_string())),
-                    ("draining".to_string(), Value::Bool(snap.draining)),
-                    ("workers".to_string(), Value::Int(snap.workers as i128)),
-                    (
-                        "flight_recorder".to_string(),
-                        Value::Obj(vec![
-                            ("live".to_string(), Value::Int(live as i128)),
-                            ("finished".to_string(), Value::Int(finished as i128)),
-                            ("capacity".to_string(), Value::Int(capacity as i128)),
-                            ("evicted".to_string(), Value::Int(evicted as i128)),
-                        ]),
-                    ),
-                ])
-                .to_string(),
-            )
+            let mut members = vec![
+                ("status".to_string(), Value::Str("ok".to_string())),
+                ("draining".to_string(), Value::Bool(snap.draining)),
+                ("workers".to_string(), Value::Int(snap.workers as i128)),
+                (
+                    "flight_recorder".to_string(),
+                    Value::Obj(vec![
+                        ("live".to_string(), Value::Int(live as i128)),
+                        ("finished".to_string(), Value::Int(finished as i128)),
+                        ("capacity".to_string(), Value::Int(capacity as i128)),
+                        ("evicted".to_string(), Value::Int(evicted as i128)),
+                    ]),
+                ),
+            ];
+            if let Some(lag) = farm.journal_lag() {
+                members.push(("journal_lag".to_string(), Value::Int(lag as i128)));
+            }
+            Response::json_ok(Value::Obj(members).to_string())
         }
         ("GET", "/trace/recent") => {
             let limit = req
@@ -337,6 +317,10 @@ fn submit_batch(req: &Request, farm: &Farm) -> Response {
     if !any {
         return Response::bad_request("empty submission body");
     }
+    // One durability barrier per HTTP request, after the whole batch is
+    // enqueued: every accepted line shares a single group commit before
+    // the acknowledgment goes out.
+    farm.sync_journal();
     if let Some(ms) = any_full_ms {
         // Retry-After is specified in whole seconds; round up.
         return Response::new("503 Service Unavailable", "application/x-ndjson", lines_out)

@@ -1,16 +1,20 @@
 //! Minimal HTTP/1.1 request parsing and response writing, shared by the
 //! [`crate::serve::TelemetryServer`] and the `lp-farm` analysis service.
 //!
-//! This is deliberately *not* a web framework: one request per connection,
-//! `Connection: close`, bounded header and body sizes, and only the
-//! features the in-tree servers need (request line, `Content-Length`
-//! bodies, a handful of response headers). Keeping it in one place means
-//! the telemetry endpoint and the farm daemon cannot drift apart on
-//! protocol details — and both inherit fixes (timeouts, caps, framing)
-//! at once.
+//! This is deliberately *not* a web framework: bounded header and body
+//! sizes, `Content-Length` framing only, and just the features the
+//! in-tree servers need. The [`RequestParser`] is *incremental* — it is
+//! fed raw bytes and yields complete requests as they become available —
+//! so the same framing code serves both the blocking one-shot
+//! [`read_request`] path and the nonblocking multiplexed event loop in
+//! [`crate::httpd`], including HTTP/1.1 keep-alive with pipelined
+//! requests. [`HttpClient`] is the matching reusable keep-alive client.
+//! Keeping it in one place means the telemetry endpoint and the farm
+//! daemon cannot drift apart on protocol details — and both inherit
+//! fixes (timeouts, caps, framing) at once.
 
 use crate::tracectx::{TraceContext, TRACEPARENT_HEADER};
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -37,6 +41,10 @@ pub struct Request {
     /// client sent a well-formed one (malformed headers parse to `None`,
     /// never an error — the server falls back to a fresh root context).
     pub trace: Option<TraceContext>,
+    /// Whether the client asked for `Connection: close` (HTTP/1.1
+    /// defaults to keep-alive; servers must close after responding to a
+    /// request with this set).
+    pub close: bool,
 }
 
 impl Request {
@@ -82,82 +90,184 @@ impl From<io::Error> for HttpError {
     }
 }
 
-/// Reads and parses one HTTP request from `stream`.
+/// Reads and parses one HTTP request from `stream` (blocking).
 ///
 /// Sets the connection's read/write timeouts to [`IO_TIMEOUT`], caps the
 /// head at [`MAX_HEAD_BYTES`] and the body at `max_body` bytes. Headers
-/// other than `Content-Length` are parsed past and discarded.
+/// other than `Content-Length`, `traceparent`, and `Connection` are
+/// parsed past and discarded.
 ///
 /// # Errors
 /// I/O failures, malformed framing, or an oversized body.
 pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let mut reader = BufReader::new(stream);
-    let mut head = reader.by_ref().take(MAX_HEAD_BYTES);
-
-    let mut request_line = String::new();
-    head.read_line(&mut request_line)?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .filter(|m| !m.is_empty())
-        .ok_or(HttpError::Malformed("empty request line"))?
-        .to_string();
-    let target = parts
-        .next()
-        .ok_or(HttpError::Malformed("missing request target"))?;
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), Some(q.to_string())),
-        None => (target.to_string(), None),
-    };
-
-    // Headers: only Content-Length and traceparent matter; read until
-    // the blank line.
-    let mut content_length: usize = 0;
-    let mut trace: Option<TraceContext> = None;
+    let mut parser = RequestParser::new();
+    // Large chunks so a request that is about to be rejected (oversized
+    // body) is usually consumed in full — closing with unread bytes in
+    // the kernel buffer would RST the client before it sees the error.
+    let mut chunk = [0u8; 16 * 1024];
     loop {
-        let mut line = String::new();
-        let n = head.read_line(&mut line)?;
-        if n == 0 {
-            break; // EOF before blank line: tolerate (no body).
+        if let Some(req) = parser.take_next(max_body)? {
+            return Ok(req);
         }
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
+        if parser.at_eof() {
+            // take_next returned None at EOF: nothing arrived at all.
+            return Err(HttpError::Malformed("empty request line"));
         }
-        if let Some((name, value)) = line.split_once(':') {
-            let name = name.trim();
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
-            } else if name.eq_ignore_ascii_case(TRACEPARENT_HEADER) {
-                // A malformed traceparent must not fail the request:
-                // tracing is best-effort, the payload is what matters.
-                trace = TraceContext::parse_traceparent(value);
+        match stream.read(&mut chunk) {
+            Ok(0) => parser.mark_eof(),
+            Ok(n) => parser.feed(&chunk[..n]),
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Incremental HTTP/1.1 request parser: feed it raw bytes (in whatever
+/// chunks the socket delivers), pull complete [`Request`]s out. Multiple
+/// pipelined requests in one buffer parse as successive [`take_next`]
+/// calls; a partial request stays buffered until more bytes arrive.
+///
+/// [`take_next`]: RequestParser::take_next
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    eof: bool,
+}
+
+impl RequestParser {
+    /// An empty parser.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends raw bytes from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Marks end-of-stream: a head without its terminating blank line is
+    /// then parsed as-is (tolerated, body empty), matching the historical
+    /// one-shot reader; an incomplete declared body becomes an error.
+    pub fn mark_eof(&mut self) {
+        self.eof = true;
+    }
+
+    /// Whether [`RequestParser::mark_eof`] has been called.
+    pub fn at_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Whether no unconsumed bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Parses the next complete request out of the buffer, if one is
+    /// there. `Ok(None)` means "need more bytes" (or, at EOF, "stream
+    /// ended cleanly between requests").
+    ///
+    /// # Errors
+    /// Malformed framing, an oversized head or body, or a body truncated
+    /// by EOF.
+    pub fn take_next(&mut self, max_body: usize) -> Result<Option<Request>, HttpError> {
+        let (head_end, body_start) = match find_head_end(&self.buf) {
+            Some(pair) => pair,
+            None if self.buf.len() as u64 > MAX_HEAD_BYTES => {
+                return Err(HttpError::Malformed("request head too large"));
+            }
+            None if self.eof && !self.buf.is_empty() => (self.buf.len(), self.buf.len()),
+            None => return Ok(None),
+        };
+        if head_end as u64 > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("request head too large"));
+        }
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or(HttpError::Malformed("empty request line"))?
+            .to_string();
+        let target = parts
+            .next()
+            .ok_or(HttpError::Malformed("missing request target"))?;
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (target.to_string(), None),
+        };
+        let mut content_length: usize = 0;
+        let mut trace: Option<TraceContext> = None;
+        let mut close = false;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| HttpError::Malformed("bad content-length"))?;
+                } else if name.eq_ignore_ascii_case(TRACEPARENT_HEADER) {
+                    // A malformed traceparent must not fail the request:
+                    // tracing is best-effort, the payload is what matters.
+                    trace = TraceContext::parse_traceparent(value);
+                } else if name.eq_ignore_ascii_case("connection") {
+                    close = value.trim().eq_ignore_ascii_case("close");
+                }
             }
         }
+        if content_length > max_body {
+            return Err(HttpError::BodyTooLarge {
+                declared: content_length,
+                limit: max_body,
+            });
+        }
+        let body_end = body_start + content_length;
+        if self.buf.len() < body_end {
+            if self.eof {
+                return Err(HttpError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                )));
+            }
+            return Ok(None);
+        }
+        let body = self.buf[body_start..body_end].to_vec();
+        self.buf.drain(..body_end);
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            body,
+            trace,
+            close,
+        }))
     }
+}
 
-    if content_length > max_body {
-        return Err(HttpError::BodyTooLarge {
-            declared: content_length,
-            limit: max_body,
-        });
+/// Finds the head terminator: returns `(head_len, body_start)` for the
+/// first `\r\n\r\n` (or bare `\n\n`) in `buf`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while let Some(off) = buf[i..].iter().position(|&b| b == b'\n') {
+        let at = i + off;
+        if buf[at + 1..].starts_with(b"\r\n") {
+            return Some((at + 1, at + 3));
+        }
+        if buf[at + 1..].starts_with(b"\n") {
+            return Some((at + 1, at + 2));
+        }
+        i = at + 1;
+        if i >= buf.len() {
+            break;
+        }
     }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        reader.read_exact(&mut body)?;
-    }
-    Ok(Request {
-        method,
-        path,
-        query,
-        body,
-        trace,
-    })
+    None
 }
 
 /// An HTTP response ready to be written.
@@ -221,17 +331,17 @@ impl Response {
     }
 }
 
-/// Writes `response` to `stream` with `Content-Length` framing and
-/// `Connection: close`, then flushes.
-///
-/// # Errors
-/// Socket write failures.
-pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+/// Serializes `response` with `Content-Length` framing and an explicit
+/// `Connection: keep-alive` / `close` header, ready to write to a
+/// socket. This is the one response encoder — the multiplexed server,
+/// the blocking fallback, and [`write_response`] all share it.
+pub fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut head = format!(
-        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
     for (name, value) in &response.extra_headers {
         head.push_str(name);
@@ -240,8 +350,18 @@ pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
+    let mut out = head.into_bytes();
+    out.extend_from_slice(response.body.as_bytes());
+    out
+}
+
+/// Writes `response` to `stream` with `Content-Length` framing and
+/// `Connection: close`, then flushes.
+///
+/// # Errors
+/// Socket write failures.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    stream.write_all(&encode_response(response, false))?;
     stream.flush()
 }
 
@@ -296,6 +416,187 @@ pub fn client_request_traced(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
     Ok((status, payload.to_string()))
+}
+
+/// A reusable keep-alive HTTP client: one TCP connection serves many
+/// requests back to back, reconnecting transparently when the server
+/// closed the idle connection in between. This is what the
+/// `run-looppoint` client subcommands and the farm bench drive — against
+/// the multiplexed server a burst of requests costs one TCP + no
+/// per-request connection setup.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: String,
+    stream: Option<TcpStream>,
+    reuses: u64,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// A client for `addr` (`host:port`); connects lazily on the first
+    /// request.
+    pub fn new(addr: impl Into<String>) -> HttpClient {
+        HttpClient {
+            addr: addr.into(),
+            stream: None,
+            reuses: 0,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// How many requests were served on an already-open connection
+    /// (the first request after each connect does not count).
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Sends one request, reusing the open connection when possible.
+    ///
+    /// # Errors
+    /// Connect/read/write failures (after one transparent reconnect
+    /// attempt when a reused connection turned out dead), or an
+    /// unparseable response.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        self.request_traced(method, path, body, None)
+    }
+
+    /// [`HttpClient::request`] with an optional propagated [`TraceContext`].
+    ///
+    /// # Errors
+    /// Connect/read/write failures or an unparseable response.
+    pub fn request_traced(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        trace: Option<&TraceContext>,
+    ) -> io::Result<(u16, String)> {
+        let reused = self.stream.is_some();
+        match self.try_request(method, path, body, trace) {
+            Ok(out) => {
+                if reused {
+                    self.reuses += 1;
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                // A reused connection may have been idle-closed by the
+                // server between requests; retry once on a fresh one.
+                self.stream = None;
+                if reused {
+                    let retry = self.try_request(method, path, body, trace);
+                    if retry.is_err() {
+                        self.stream = None;
+                    }
+                    retry
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        trace: Option<&TraceContext>,
+    ) -> io::Result<(u16, String)> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true).ok();
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("stream just ensured");
+        let trace_header = match trace {
+            Some(ctx) => format!("{TRACEPARENT_HEADER}: {}\r\n", ctx.to_traceparent()),
+            None => String::new(),
+        };
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\n{trace_header}Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        let (status, payload, close) = read_client_response(stream)?;
+        if close {
+            self.stream = None;
+        }
+        Ok((status, payload))
+    }
+}
+
+/// Reads one `Content-Length`-framed response; returns
+/// `(status, body, server_asked_to_close)`.
+fn read_client_response(stream: &mut TcpStream) -> io::Result<(u16, String, bool)> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let (head_end, body_start) = loop {
+        if let Some(pair) = find_head_end(&buf) {
+            break pair;
+        }
+        if buf.len() as u64 > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response head too large",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before response head",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let status: u16 = lines
+        .next()
+        .unwrap_or("")
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length: usize = 0;
+    let mut close = false;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.trim().eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    let mut body = buf[body_start..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8_lossy(&body).into_owned();
+    Ok((status, body, close))
 }
 
 #[cfg(test)]

@@ -46,6 +46,11 @@ pub const SPAN_DIAG_REPORT: &str = "diag.report";
 pub const SERVE_REQUESTS: &str = "serve.requests";
 /// Counter: failed/aborted telemetry endpoint connections.
 pub const SERVE_ERRORS: &str = "serve.errors";
+/// Gauge: connections currently held open by the shared HTTP server.
+pub const SERVE_OPEN_CONNECTIONS: &str = "serve.http.open_connections";
+/// Counter: requests served on an already-established connection
+/// (keep-alive reuse; the first request on a connection does not count).
+pub const SERVE_KEEPALIVE_REUSES: &str = "serve.http.keepalive_reuses";
 
 /// Span category for the lp-farm analysis service.
 pub const CAT_FARM: &str = "farm";
@@ -104,6 +109,14 @@ pub const SPAN_FARM_QUEUE_WAIT: &str = "farm.job.queue_wait";
 /// trace id (synthesized).
 pub const SPAN_FARM_DEDUP: &str = "farm.job.dedup_of";
 
+/// Counter: group-committed fsyncs of the farm's append-only journal
+/// (one per flush window, however many transitions it coalesced).
+pub const FARM_JOURNAL_FSYNCS: &str = "farm.journal.fsyncs";
+/// Counter: journal compactions (append log folded back into a snapshot).
+pub const FARM_JOURNAL_COMPACTIONS: &str = "farm.journal.compactions";
+/// Gauge: journal records appended but not yet fsynced (group-commit lag).
+pub const FARM_JOURNAL_LAG: &str = "farm.journal.lag";
+
 /// Counter: successful periodic telemetry flushes (atomic rewrites of
 /// `--trace-out` / `--metrics-out`).
 pub const OBS_FLUSH_WRITES: &str = "obs.flush.writes";
@@ -128,6 +141,8 @@ pub const fn all_names() -> &'static [&'static str] {
         SPAN_DIAG_REPORT,
         SERVE_REQUESTS,
         SERVE_ERRORS,
+        SERVE_OPEN_CONNECTIONS,
+        SERVE_KEEPALIVE_REUSES,
         FARM_QUEUE_DEPTH,
         FARM_RUNNING,
         FARM_WORKERS,
@@ -152,6 +167,9 @@ pub const fn all_names() -> &'static [&'static str] {
         SPAN_FARM_JOB,
         SPAN_FARM_QUEUE_WAIT,
         SPAN_FARM_DEDUP,
+        FARM_JOURNAL_FSYNCS,
+        FARM_JOURNAL_COMPACTIONS,
+        FARM_JOURNAL_LAG,
         OBS_FLUSH_WRITES,
         OBS_FLUSH_ERRORS,
     ]

@@ -1,6 +1,6 @@
-//! The live telemetry endpoint: a std-only HTTP server on a background
-//! thread, so long-running analyses and sweeps can be watched from
-//! *outside* the process.
+//! The live telemetry endpoint: a std-only HTTP server on the shared
+//! multiplexed core ([`crate::httpd`]), so long-running analyses and
+//! sweeps can be watched from *outside* the process.
 //!
 //! Endpoints:
 //!
@@ -11,34 +11,32 @@
 //! * `GET /report` — the most recent diagnostics report JSON installed
 //!   via [`TelemetryServer::set_report`] (404 until one exists).
 //!
-//! The server is deliberately minimal: blocking accept loop, one request
-//! per connection, `Connection: close`, 2-second I/O timeouts. Shutdown
-//! wakes the accept loop with a loopback connection, so [`TelemetryServer`]
-//! never leaks its thread.
+//! Requests dispatch concurrently on the shared reactor: a scraper's
+//! `/metrics` poll is never stuck behind a slow client dribbling a
+//! `/report` download — one wedged connection costs one pollfd, not the
+//! whole endpoint. Connections are keep-alive with idle timeouts;
+//! [`TelemetryServer`] never leaks its threads.
 
-use crate::http::{self, Response};
+use crate::http::{Request, Response};
+use crate::httpd::{Handler, HttpServer, ServerConfig};
 use crate::names;
 use crate::Observer;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::Duration;
 
 struct Shared {
-    stop: AtomicBool,
     report: Mutex<Option<String>>,
     obs: Observer,
 }
 
 /// Handle to the background telemetry server; dropping (or calling
-/// [`TelemetryServer::stop`]) shuts it down and joins the thread.
+/// [`TelemetryServer::stop`]) shuts it down and joins its threads.
 #[must_use = "dropping the server handle shuts the endpoint down"]
 pub struct TelemetryServer {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    handle: Option<JoinHandle<()>>,
+    server: Option<HttpServer>,
 }
 
 impl std::fmt::Debug for TelemetryServer {
@@ -55,21 +53,28 @@ impl TelemetryServer {
     /// # Errors
     /// Bind/spawn failures.
     pub fn start(addr: impl ToSocketAddrs, obs: Observer) -> io::Result<TelemetryServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            stop: AtomicBool::new(false),
             report: Mutex::new(None),
-            obs,
+            obs: obs.clone(),
         });
-        let thread_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("lp-obs-serve".to_string())
-            .spawn(move || serve_loop(&listener, &thread_shared))?;
+        let handler_shared = Arc::clone(&shared);
+        let handler: Handler = Arc::new(move |req: &Request| handle(req, &handler_shared));
+        let server = HttpServer::start(
+            addr,
+            ServerConfig {
+                // The endpoint serves small GET documents only.
+                max_body: 0,
+                thread_name: "lp-obs-serve".to_string(),
+                ..ServerConfig::default()
+            },
+            handler,
+            obs,
+        )?;
+        let local_addr = server.local_addr();
         Ok(TelemetryServer {
             local_addr,
             shared,
-            handle: Some(handle),
+            server: Some(server),
         })
     }
 
@@ -83,77 +88,50 @@ impl TelemetryServer {
         *self.shared.report.lock().expect("report slot poisoned") = Some(json);
     }
 
-    /// Shuts the server down and joins its thread.
+    /// Shuts the server down and joins its threads.
     pub fn stop(mut self) {
-        self.shutdown_inner();
-    }
-
-    fn shutdown_inner(&mut self) {
-        if let Some(handle) = self.handle.take() {
-            self.shared.stop.store(true, Ordering::SeqCst);
-            // Wake the blocking accept with a throwaway connection.
-            let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
-            let _ = handle.join();
+        if let Some(server) = self.server.take() {
+            server.stop();
         }
     }
 }
 
 impl Drop for TelemetryServer {
     fn drop(&mut self) {
-        self.shutdown_inner();
-    }
-}
-
-fn serve_loop(listener: &TcpListener, shared: &Shared) {
-    for stream in listener.incoming() {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
-        }
-        match stream {
-            Ok(stream) => {
-                if let Err(_e) = handle_connection(stream, shared) {
-                    shared.obs.counter(names::SERVE_ERRORS).inc();
-                }
-            }
-            Err(_) => shared.obs.counter(names::SERVE_ERRORS).inc(),
+        if let Some(server) = self.server.take() {
+            server.stop();
         }
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
-    let request = http::read_request(&mut stream, 0);
-    shared.obs.counter(names::SERVE_REQUESTS).inc();
-
-    let response = match request {
-        Err(http::HttpError::Io(e)) => return Err(e),
-        Err(_) => Response::bad_request("malformed request"),
-        Ok(req) if req.method != "GET" => Response::new(
+fn handle(req: &Request, shared: &Shared) -> Response {
+    if req.method != "GET" {
+        return Response::new(
             "405 Method Not Allowed",
             "text/plain; charset=utf-8",
             "only GET is supported\n".to_string(),
+        );
+    }
+    match req.path.as_str() {
+        "/metrics" => Response::new(
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.obs.prometheus_text(),
         ),
-        Ok(req) => match req.path.as_str() {
-            "/metrics" => Response::new(
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                shared.obs.prometheus_text(),
-            ),
-            "/healthz" => Response::json_ok(healthz_json(&shared.obs)),
-            "/report" => {
-                let report = shared.report.lock().expect("report slot poisoned").clone();
-                match report {
-                    Some(json) => Response::json_ok(json),
-                    None => Response::not_found("no report yet"),
-                }
+        "/healthz" => Response::json_ok(healthz_json(&shared.obs)),
+        "/report" => {
+            let report = shared.report.lock().expect("report slot poisoned").clone();
+            match report {
+                Some(json) => Response::json_ok(json),
+                None => Response::not_found("no report yet"),
             }
-            other => Response::new(
-                "404 Not Found",
-                "application/json; charset=utf-8",
-                unknown_path_json(other),
-            ),
-        },
-    };
-    http::write_response(&mut stream, &response)
+        }
+        other => Response::new(
+            "404 Not Found",
+            "application/json; charset=utf-8",
+            unknown_path_json(other),
+        ),
+    }
 }
 
 /// JSON error body for unknown paths: names the path that missed and the
@@ -237,13 +215,18 @@ fn healthz_json(obs: &Observer) -> String {
 mod tests {
     use super::*;
     use crate::json;
-    use std::io::Write;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
 
     fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let mut buf = String::new();
-        use std::io::Read;
         stream.read_to_string(&mut buf).unwrap();
         let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
         (head.to_string(), body.to_string())
@@ -335,11 +318,44 @@ mod tests {
     fn rejects_non_get() {
         let server = TelemetryServer::start("127.0.0.1:0", Observer::enabled()).unwrap();
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        write!(
+            stream,
+            "POST /metrics HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let mut buf = String::new();
-        use std::io::Read;
         stream.read_to_string(&mut buf).unwrap();
         assert!(buf.starts_with("HTTP/1.1 405"), "{buf}");
+        server.stop();
+    }
+
+    /// The multiplexing regression the serial server failed: a client
+    /// that opens a connection, sends half a request, and stalls must
+    /// not block other clients' `/metrics` polls.
+    #[test]
+    fn slow_client_does_not_block_metrics() {
+        let obs = Observer::enabled();
+        obs.counter("store.hit").add(42);
+        let server = TelemetryServer::start("127.0.0.1:0", obs).unwrap();
+        let addr = server.local_addr();
+
+        // The slow client: a partial request head, then silence, holding
+        // the connection open for the duration of the test.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"GET /report HTTP/1.1\r\nHost: x").unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // let the server adopt it
+
+        // A healthy scraper must get through promptly regardless.
+        let started = Instant::now();
+        let (head, body) = http_get(addr, "/metrics");
+        let elapsed = started.elapsed();
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("store_hit 42"), "{body}");
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "metrics poll stalled behind the slow client: {elapsed:?}"
+        );
+        drop(slow);
         server.stop();
     }
 }

@@ -8,8 +8,14 @@ use lp_obs::prometheus::render;
 use lp_obs::Observer;
 
 const GOLDEN: &str = "\
+# TYPE farm_journal_compactions counter
+farm_journal_compactions 2
+# TYPE farm_journal_fsyncs counter
+farm_journal_fsyncs 17
 # TYPE farm_trace_evicted counter
 farm_trace_evicted 9
+# TYPE serve_http_keepalive_reuses counter
+serve_http_keepalive_reuses 41
 # TYPE sim_detailed_instructions counter
 sim_detailed_instructions 123456
 # TYPE store_hit counter
@@ -18,12 +24,16 @@ store_hit 3
 store_miss 1
 # TYPE analyze_k gauge
 analyze_k 12
+# TYPE farm_journal_lag gauge
+farm_journal_lag 5
 # TYPE farm_trace_capacity gauge
 farm_trace_capacity 256
 # TYPE farm_trace_finished gauge
 farm_trace_finished 7
 # TYPE farm_trace_live gauge
 farm_trace_live 2
+# TYPE serve_http_open_connections gauge
+serve_http_open_connections 4
 # TYPE sim_last_ipc gauge
 sim_last_ipc 1.75
 # TYPE region_checkpoint_bytes histogram
@@ -43,11 +53,16 @@ fn fixed_registry_renders_the_golden_document() {
     obs.counter("store.miss").inc();
     obs.counter("sim.detailed.instructions").add(123_456);
     obs.counter(lp_obs::names::FARM_TRACE_EVICTED).add(9);
+    obs.counter(lp_obs::names::FARM_JOURNAL_FSYNCS).add(17);
+    obs.counter(lp_obs::names::FARM_JOURNAL_COMPACTIONS).add(2);
+    obs.counter(lp_obs::names::SERVE_KEEPALIVE_REUSES).add(41);
     obs.gauge("analyze.k").set(12.0);
     obs.gauge("sim.last.ipc").set(1.75);
     obs.gauge(lp_obs::names::FARM_TRACE_CAPACITY).set(256.0);
     obs.gauge(lp_obs::names::FARM_TRACE_FINISHED).set(7.0);
     obs.gauge(lp_obs::names::FARM_TRACE_LIVE).set(2.0);
+    obs.gauge(lp_obs::names::FARM_JOURNAL_LAG).set(5.0);
+    obs.gauge(lp_obs::names::SERVE_OPEN_CONNECTIONS).set(4.0);
     let h = obs.histogram("region.checkpoint_bytes");
     h.record(0); // le="0",    cumulative 1
     h.record(1); // le="1",    cumulative 2

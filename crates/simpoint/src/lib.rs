@@ -251,7 +251,13 @@ fn sweep_k(
     let hw = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let workers = if cfg.parallel_sweep {
+    // Thread spawn/teardown costs more than the Lloyd iterations it
+    // saves when the sweep is small; points × k approximates the total
+    // work, and below this floor the serial path is faster in practice
+    // (each k is an independent seeded run, so results are identical
+    // either way).
+    const PARALLEL_MIN_WORK: usize = 4_096;
+    let workers = if cfg.parallel_sweep && points.len() * seeds.len() >= PARALLEL_MIN_WORK {
         hw.min(seeds.len()).max(1)
     } else {
         1

@@ -46,16 +46,20 @@ pub enum ArtifactKind {
     Clustering = 4,
     /// Prepared region checkpoints (machine states + watch counts).
     Checkpoints = 5,
+    /// A finished farm job's summary document (terminal pipeline output),
+    /// so a restarted daemon serves repeat work without re-simulating.
+    JobSummary = 6,
 }
 
 impl ArtifactKind {
     /// All defined kinds.
-    pub const ALL: [ArtifactKind; 5] = [
+    pub const ALL: [ArtifactKind; 6] = [
         ArtifactKind::Pinball,
         ArtifactKind::Analysis,
         ArtifactKind::BbvMatrix,
         ArtifactKind::Clustering,
         ArtifactKind::Checkpoints,
+        ArtifactKind::JobSummary,
     ];
 
     /// Decodes a kind from its on-disk discriminant.
@@ -71,6 +75,7 @@ impl ArtifactKind {
             ArtifactKind::BbvMatrix => "bbv",
             ArtifactKind::Clustering => "clustering",
             ArtifactKind::Checkpoints => "checkpoints",
+            ArtifactKind::JobSummary => "jobsummary",
         }
     }
 }

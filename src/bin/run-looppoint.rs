@@ -36,7 +36,7 @@ use lp_workloads::{build, matrix_demo, InputClass, WorkloadSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Exit code for pipeline/service failures.
 const EXIT_PIPELINE: u8 = 1;
@@ -81,6 +81,7 @@ USAGE:
     run-looppoint status --farm <addr>      queue or per-job status
     run-looppoint trace <job-id> --farm <addr>  print a job's span tree
     run-looppoint shutdown --farm <addr>    drain or stop a daemon
+    run-looppoint farm-load --farm <addr>   concurrent keep-alive load burst
 
 EXIT CODES:
     0  success
@@ -100,6 +101,13 @@ SERVE OPTIONS (see also --store-dir/--store-max-bytes/--log-level below):
                                [default: 0]
         --farm-dir <path>      queue journal directory: queued and
                                running jobs survive restarts
+        --journal-flush-ms <n> journal group-commit window: transitions
+                               landing within it share one fsync
+                               [default: 1]
+        --journal-compact-factor <n>
+                               compact the transition log back into the
+                               snapshot once it exceeds this multiple of
+                               the snapshot size [default: 4]
         --trace-capacity <n>   finished job traces retained in the
                                in-memory flight recorder; oldest are
                                evicted past this [default: 256]
@@ -113,6 +121,11 @@ SUBMIT/STATUS/SHUTDOWN OPTIONS:
                                interrupt and requeue (now) [default: drain]
         --priority <n>         submit: scheduling priority (higher first)
         --timeout-ms <n>       submit: per-job deadline override
+        --clients <n>          farm-load: concurrent keep-alive clients
+                               [default: 4]
+        --jobs <n>             farm-load: total jobs across all clients,
+                               sent as a mix of batch and single POSTs
+                               [default: 48]
 
 OPTIONS:
     -p, --program <names>      comma-separated programs (demo-matrix-1..3,
@@ -475,6 +488,7 @@ fn main() -> ExitCode {
         Some("status") => return farm_status(&argv[1..]),
         Some("trace") => return farm_trace(&argv[1..]),
         Some("shutdown") => return farm_shutdown(&argv[1..]),
+        Some("farm-load") => return farm_load(&argv[1..]),
         _ => {}
     }
     let args = match parse_args() {
@@ -743,6 +757,19 @@ fn farm_serve(args: &[String]) -> ExitCode {
                         .map_err(|e| format!("bad timeout: {e}"))?;
                 }
                 "--farm-dir" => cfg.dir = Some(PathBuf::from(value("--farm-dir")?)),
+                "--journal-flush-ms" => {
+                    cfg.journal_flush_ms = value("--journal-flush-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad flush window: {e}"))?;
+                }
+                "--journal-compact-factor" => {
+                    cfg.journal_compact_factor = value("--journal-compact-factor")?
+                        .parse()
+                        .map_err(|e| format!("bad compact factor: {e}"))?;
+                    if cfg.journal_compact_factor == 0 {
+                        return Err("--journal-compact-factor must be positive".to_string());
+                    }
+                }
                 "--trace-capacity" => {
                     cfg.trace_capacity = value("--trace-capacity")?
                         .parse()
@@ -843,6 +870,8 @@ struct ClientArgs {
     wait: bool,
     job: Option<u64>,
     mode: String,
+    clients: usize,
+    jobs: usize,
 }
 
 fn parse_client_args(args: &[String]) -> Result<ClientArgs, String> {
@@ -859,6 +888,8 @@ fn parse_client_args(args: &[String]) -> Result<ClientArgs, String> {
         wait: false,
         job: None,
         mode: "drain".to_string(),
+        clients: 4,
+        jobs: 48,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -911,6 +942,22 @@ fn parse_client_args(args: &[String]) -> Result<ClientArgs, String> {
                 );
             }
             "--mode" => c.mode = value("--mode")?,
+            "--clients" => {
+                c.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("bad client count: {e}"))?;
+                if c.clients == 0 {
+                    return Err("--clients must be positive".to_string());
+                }
+            }
+            "--jobs" => {
+                c.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad job count: {e}"))?;
+                if c.jobs == 0 {
+                    return Err("--jobs must be positive".to_string());
+                }
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -952,7 +999,10 @@ fn farm_submit(args: &[String]) -> ExitCode {
         body.push_str(&spec.to_value().to_string());
         body.push('\n');
     }
-    let (status, response) = match lp_obs::http::client_request(&addr, "POST", "/jobs", &body) {
+    // One keep-alive connection for the submit AND every poll below:
+    // dozens of round trips, one TCP handshake.
+    let mut client = lp_obs::http::HttpClient::new(addr.clone());
+    let (status, response) = match client.request("POST", "/jobs", &body) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: submitting to {addr}: {e}");
@@ -984,14 +1034,13 @@ fn farm_submit(args: &[String]) -> ExitCode {
     let mut ok = true;
     for id in ids {
         loop {
-            let (status, body) =
-                match lp_obs::http::client_request(&addr, "GET", &format!("/jobs/{id}"), "") {
-                    Ok(r) => r,
-                    Err(e) => {
-                        eprintln!("error: polling job {id}: {e}");
-                        return ExitCode::from(EXIT_PIPELINE);
-                    }
-                };
+            let (status, body) = match client.request("GET", &format!("/jobs/{id}"), "") {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: polling job {id}: {e}");
+                    return ExitCode::from(EXIT_PIPELINE);
+                }
+            };
             if status != 200 {
                 eprintln!("error: job {id} vanished (status {status})");
                 ok = false;
@@ -1022,6 +1071,128 @@ fn farm_submit(args: &[String]) -> ExitCode {
     }
 }
 
+/// `run-looppoint farm-load`: concurrent keep-alive burst against one
+/// farm — `--clients` threads each hold one persistent connection and
+/// push their share of `--jobs` submissions, half as a single NDJSON
+/// batch POST and half as individual POSTs, then the main thread polls
+/// /queue until the farm drains. Prints one parseable summary line and
+/// exits non-zero on any dropped request or a failed drain, so ci can
+/// gate on it directly.
+fn farm_load(args: &[String]) -> ExitCode {
+    let c = match parse_client_args(args) {
+        Ok(c) => c,
+        Err(e) => return config_error(&e),
+    };
+    let addr = match require_farm(&c) {
+        Ok(a) => a,
+        Err(e) => return config_error(&e),
+    };
+    let spec_line = |program: &str| {
+        lp_farm::JobSpec {
+            program: program.to_string(),
+            ncores: c.ncores,
+            input: c.input.clone(),
+            wait_policy: c.wait_policy.clone(),
+            slice_base: c.slice_base,
+            max_steps: c.max_steps,
+            priority: c.priority,
+            timeout_ms: c.timeout_ms,
+        }
+        .to_value()
+        .to_string()
+    };
+    // Deal jobs round-robin so every client gets within one of an even
+    // share, cycling programs across the whole burst.
+    let mut shares: Vec<Vec<String>> = vec![Vec::new(); c.clients];
+    for i in 0..c.jobs {
+        shares[i % c.clients].push(spec_line(&c.programs[i % c.programs.len()]));
+    }
+    let started = Instant::now();
+    let threads: Vec<_> = shares
+        .into_iter()
+        .map(|share| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                // (accepted, dropped, batch, single, reuses) for this client.
+                let mut client = lp_obs::http::HttpClient::new(addr);
+                let (mut accepted, mut dropped) = (0usize, 0usize);
+                let batch_n = share.len() / 2;
+                let mut tally = |sent: usize, result: std::io::Result<(u16, String)>| match result {
+                    Ok((status, body)) if status == 202 || status == 503 || status == 400 => {
+                        for line in body.lines().filter(|l| !l.trim().is_empty()) {
+                            let ok = lp_obs::json::parse(line)
+                                .ok()
+                                .is_some_and(|v| v.get("id").is_some());
+                            if ok {
+                                accepted += 1;
+                            } else {
+                                dropped += 1;
+                            }
+                        }
+                    }
+                    _ => dropped += sent,
+                };
+                if batch_n > 0 {
+                    let mut body = share[..batch_n].join("\n");
+                    body.push('\n');
+                    tally(batch_n, client.request("POST", "/jobs", &body));
+                }
+                for line in &share[batch_n..] {
+                    tally(1, client.request("POST", "/jobs", &format!("{line}\n")));
+                }
+                (
+                    accepted,
+                    dropped,
+                    batch_n,
+                    share.len() - batch_n,
+                    client.reuses(),
+                )
+            })
+        })
+        .collect();
+    let (mut accepted, mut dropped, mut batch, mut single, mut reuses) = (0, 0, 0, 0, 0u64);
+    for t in threads {
+        let (a, d, b, s, r) = t.join().expect("load client panicked");
+        accepted += a;
+        dropped += d;
+        batch += b;
+        single += s;
+        reuses += r;
+    }
+    // Drain: the farm is healthy when the whole burst reaches a terminal
+    // state. Cached/deduped submissions settle instantly; cold ones take
+    // one pipeline run each.
+    let mut poll = lp_obs::http::HttpClient::new(addr.clone());
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut drained = false;
+    while Instant::now() < deadline {
+        if let Ok((200, body)) = poll.request("GET", "/queue", "") {
+            let idle = lp_obs::json::parse(&body).ok().is_some_and(|v| {
+                let n = |k: &str| v.get(k).and_then(lp_obs::json::Value::as_u64);
+                n("queued") == Some(0) && n("running") == Some(0)
+            });
+            if idle {
+                drained = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    reuses += poll.reuses();
+    println!(
+        "farm-load: jobs={} accepted={accepted} dropped={dropped} batch={batch} \
+         single={single} reuses={reuses} drained={drained} elapsed_ms={}",
+        c.jobs,
+        started.elapsed().as_millis()
+    );
+    if dropped == 0 && accepted == c.jobs && drained {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: farm-load burst was not fully accepted and drained");
+        ExitCode::from(EXIT_PIPELINE)
+    }
+}
+
 /// `run-looppoint status`: GET /queue or GET /jobs/{id}.
 fn farm_status(args: &[String]) -> ExitCode {
     let c = match parse_client_args(args) {
@@ -1036,7 +1207,7 @@ fn farm_status(args: &[String]) -> ExitCode {
         Some(id) => format!("/jobs/{id}"),
         None => "/queue".to_string(),
     };
-    match lp_obs::http::client_request(&addr, "GET", &path, "") {
+    match lp_obs::http::HttpClient::new(addr.clone()).request("GET", &path, "") {
         Ok((200, body)) => {
             println!("{body}");
             ExitCode::SUCCESS
@@ -1074,7 +1245,11 @@ fn farm_trace(args: &[String]) -> ExitCode {
         Ok(a) => a,
         Err(e) => return config_error(&e),
     };
-    match lp_obs::http::client_request(&addr, "GET", &format!("/jobs/{id}/trace"), "") {
+    match lp_obs::http::HttpClient::new(addr.clone()).request(
+        "GET",
+        &format!("/jobs/{id}/trace"),
+        "",
+    ) {
         Ok((200, body)) => match render_trace_tree(id, &body) {
             Ok(text) => {
                 print!("{text}");
