@@ -361,6 +361,119 @@ print(f'farm-load-smoke: {fsyncs} fsyncs for {transitions} transitions')
 wait "$LOAD_PID" || { cat "$LOAD_LOG" >&2; echo "farm-load-smoke: daemon exited non-zero" >&2; exit 1; }
 rm -rf "$LOAD_DIR"
 
+echo "== cluster-smoke (3-node ring, dedup, failover) =="
+# Three real daemon processes form a consistent-hash ring. Asserts the
+# three cluster claims end to end: (1) the same spec submitted to all
+# three nodes forwards to its key owner and computes exactly once
+# cluster-wide, (2) forwarded ids are minted from the owner's id range,
+# and (3) after kill -9 on a node with a journaled queue, the agreed
+# survivor re-adopts every accepted job under its original id, completes
+# it, and quarantines the dead journal.
+CLUSTER_ROOT="$PWD/target/ci-cluster"
+rm -rf "$CLUSTER_ROOT"
+mkdir -p "$CLUSTER_ROOT"
+read -r CL_PORT_A CL_PORT_B CL_PORT_C <<<"$(python3 - <<'PY'
+import socket
+socks = [socket.socket() for _ in range(3)]
+for s in socks: s.bind(("127.0.0.1", 0))
+print(" ".join(str(s.getsockname()[1]) for s in socks))
+for s in socks: s.close()
+PY
+)"
+CL_ADDR_A="127.0.0.1:$CL_PORT_A"; CL_ADDR_B="127.0.0.1:$CL_PORT_B"; CL_ADDR_C="127.0.0.1:$CL_PORT_C"
+CL_DIR_A="$CLUSTER_ROOT/a"; CL_DIR_B="$CLUSTER_ROOT/b"; CL_DIR_C="$CLUSTER_ROOT/c"
+cluster_node() { # self-addr self-dir peer1 dir1 peer2 dir2 log
+  "${RUNNER[@]}" serve --node-addr "$1" --farm-dir "$2" --store-dir "$2/store" \
+    --workers 1 --heartbeat-ms 100 --failure-threshold 3 \
+    --cluster-peer "$3=$4" --cluster-peer "$5=$6" > "$7" 2>&1 &
+}
+cluster_node "$CL_ADDR_A" "$CL_DIR_A" "$CL_ADDR_B" "$CL_DIR_B" "$CL_ADDR_C" "$CL_DIR_C" "$CLUSTER_ROOT/a.log"; CL_PID_A=$!
+cluster_node "$CL_ADDR_B" "$CL_DIR_B" "$CL_ADDR_A" "$CL_DIR_A" "$CL_ADDR_C" "$CL_DIR_C" "$CLUSTER_ROOT/b.log"; CL_PID_B=$!
+cluster_node "$CL_ADDR_C" "$CL_DIR_C" "$CL_ADDR_A" "$CL_DIR_A" "$CL_ADDR_B" "$CL_DIR_B" "$CLUSTER_ROOT/c.log"; CL_PID_C=$!
+for node in a b c; do
+  ok=""
+  for _ in $(seq 1 150); do
+    grep -q '^cluster: node .* in a 3-member ring' "$CLUSTER_ROOT/$node.log" && { ok=1; break; }
+    sleep 0.1
+  done
+  [ -n "$ok" ] || { cat "$CLUSTER_ROOT/$node.log" >&2; echo "cluster-smoke: node $node never formed the ring" >&2; exit 1; }
+done
+# (1)+(2): one spec, three tenants, one compute, owner-range ids.
+for addr in "$CL_ADDR_A" "$CL_ADDR_B" "$CL_ADDR_C"; do
+  "${RUNNER[@]}" submit --farm "$addr" -p demo-matrix-1 --slice-base 4000 --wait \
+    >> "$CLUSTER_ROOT/submit.log" 2>&1 \
+    || { cat "$CLUSTER_ROOT/submit.log" >&2; echo "cluster-smoke: submit to $addr failed" >&2; exit 1; }
+done
+grep -q '"forwarded_to"' "$CLUSTER_ROOT/submit.log" \
+  || { cat "$CLUSTER_ROOT/submit.log" >&2; echo "cluster-smoke: no submission was forwarded to the key owner" >&2; exit 1; }
+CL_COMPUTES=$(for addr in "$CL_ADDR_A" "$CL_ADDR_B" "$CL_ADDR_C"; do
+  curl -sf --max-time 5 "http://$addr/metrics" | sed -n 's/^farm_computes \([0-9]*\)$/\1/p'
+done | awk '{s+=$1} END {print s+0}')
+[ "$CL_COMPUTES" = "1" ] || { echo "cluster-smoke: expected 1 cluster-wide compute, got $CL_COMPUTES" >&2; exit 1; }
+python3 - "$CL_ADDR_A" "$CL_ADDR_B" "$CL_ADDR_C" "$CLUSTER_ROOT/submit.log" <<'PY'
+import json, sys
+addrs = sorted(sys.argv[1:4], key=lambda a: (a.split(":")[0], int(a.split(":")[1])))
+outcomes = [json.loads(l) for l in open(sys.argv[4]) if l.strip().startswith("{")]
+fwd = [o for o in outcomes if o.get("forwarded_to")]
+assert fwd, "no forwarded outcome recorded"
+for o in fwd:
+    want = addrs.index(o["forwarded_to"]) + 1
+    got = o["id"] >> 40
+    assert got == want, f"id {o['id']} range {got} != owner ordinal {want}"
+print(f"cluster-smoke: 1 compute for 3 tenants, {len(fwd)} forwarded in owner id range")
+PY
+# (3): pin eight unique jobs onto C (forwarded marker bypasses ring
+# forwarding), SIGKILL it the moment the 202 lands — acceptance implies
+# the batch is durable in C's journal, and one worker cannot have
+# drained eight pipeline runs yet.
+CL_BODY=""
+for sb in 6100 6200 6300 6400 6500 6600 6700 6800; do
+  CL_BODY+="{\"program\": \"demo-matrix-2\", \"slice_base\": $sb}"$'\n'
+done
+curl -sf --max-time 10 -H 'x-lp-forwarded: 1' --data-binary "$CL_BODY" \
+  "http://$CL_ADDR_C/jobs" > "$CLUSTER_ROOT/kill-submit.ndjson" \
+  || { echo "cluster-smoke: pinned burst to node C failed" >&2; exit 1; }
+kill -9 "$CL_PID_C"
+CL_IDS=$(python3 -c "
+import json
+print(' '.join(str(json.loads(l)['id']) for l in open('$CLUSTER_ROOT/kill-submit.ndjson') if l.strip()))
+")
+CL_DONE=""
+for _ in $(seq 1 300); do
+  all_done=1
+  for id in $CL_IDS; do
+    state=$(for addr in "$CL_ADDR_A" "$CL_ADDR_B"; do
+      curl -sf --max-time 5 "http://$addr/jobs/$id" 2>/dev/null | python3 -c 'import json,sys
+try: print(json.load(sys.stdin).get("state",""))
+except Exception: pass' 2>/dev/null
+    done | grep -m1 done || true)
+    [ "$state" = "done" ] || { all_done=0; break; }
+  done
+  [ "$all_done" = "1" ] && { CL_DONE=1; break; }
+  sleep 0.2
+done
+[ -n "$CL_DONE" ] || { cat "$CLUSTER_ROOT"/a.log "$CLUSTER_ROOT"/b.log >&2; echo "cluster-smoke: adopted jobs did not complete on a survivor" >&2; exit 1; }
+CL_ADOPTED=$(for addr in "$CL_ADDR_A" "$CL_ADDR_B"; do
+  curl -sf --max-time 5 "http://$addr/metrics" | sed -n 's/^cluster_adopted \([0-9]*\)$/\1/p'
+done | awk '{s+=$1} END {print s+0}')
+[ "$CL_ADOPTED" -ge 1 ] || { echo "cluster-smoke: no survivor adopted the dead queue (cluster_adopted=$CL_ADOPTED)" >&2; exit 1; }
+ls "$CL_DIR_C"/*.adopted >/dev/null 2>&1 \
+  || { ls -la "$CL_DIR_C" >&2; echo "cluster-smoke: dead journal not quarantined" >&2; exit 1; }
+curl -sf --max-time 5 "http://$CL_ADDR_A/cluster/healthz" | python3 -c '
+import json, sys
+h = json.load(sys.stdin)
+assert h["ring_nodes"] == 2, h
+assert h["peers_dead"] == 1, h
+print("cluster-smoke: all adopted jobs done; ring rebalanced to 2 nodes, 1 dead peer")'
+"${RUNNER[@]}" shutdown --farm "$CL_ADDR_A" > /dev/null \
+  || { echo "cluster-smoke: node A shutdown failed" >&2; exit 1; }
+"${RUNNER[@]}" shutdown --farm "$CL_ADDR_B" > /dev/null \
+  || { echo "cluster-smoke: node B shutdown failed" >&2; exit 1; }
+wait "$CL_PID_A" || { cat "$CLUSTER_ROOT/a.log" >&2; echo "cluster-smoke: node A exited non-zero" >&2; exit 1; }
+wait "$CL_PID_B" || { cat "$CLUSTER_ROOT/b.log" >&2; echo "cluster-smoke: node B exited non-zero" >&2; exit 1; }
+wait "$CL_PID_C" 2>/dev/null || true
+rm -rf "$CLUSTER_ROOT"
+
 echo "== bench-smoke (farm throughput) =="
 # Quick variant of the farm-throughput benchmark: asserts one compute per
 # unique spec and full dedup of duplicates internally; validate the JSON
@@ -401,6 +514,48 @@ if j["batch"]["batch_posts"] <= 0 or j["batch"]["single_posts"] <= 0:
     sys.exit("BENCH_farm.json: burst must mix batch and single POSTs")
 if not 0 < j["journal_fsyncs"] < j["journal_transitions"]:
     sys.exit(f"BENCH_farm.json: fsyncs {j['journal_fsyncs']} not below transitions {j['journal_transitions']}")
+PY
+
+echo "== bench-smoke (farm cluster) =="
+# Quick variant of the cluster benchmark: in-process 1/2/3-node rings
+# over the real pipeline backend, with the dedup/forwarding/fetch
+# invariants asserted inside the bench. Writes to target/ so the
+# committed baseline BENCH_cluster.json is not clobbered.
+CLUSTER_SMOKE_OUT="$PWD/target/BENCH_cluster.smoke.json"
+cargo bench --offline -p lp-bench --bench farm_cluster -- --smoke --out "$CLUSTER_SMOKE_OUT"
+[ -s "$CLUSTER_SMOKE_OUT" ] || { echo "cluster-bench-smoke: $CLUSTER_SMOKE_OUT missing or empty" >&2; exit 1; }
+for key in burst unique_specs workers_per_node scaling cross_node_fetch dedup_floor smoke; do
+  grep -q "\"$key\"" "$CLUSTER_SMOKE_OUT" || { echo "cluster-bench-smoke: missing key $key" >&2; exit 1; }
+done
+# The committed full-scale baseline keeps the cluster claims: identical
+# compute count at every ring width (adding nodes never loses dedup),
+# the >= 0.8 cluster-wide dedup floor, real forwarding at width > 1, and
+# a store-served cross-node fetch path with zero pipeline recomputes.
+python3 - <<'PY'
+import json, sys
+with open("BENCH_cluster.json") as f:
+    j = json.load(f)
+if j.get("smoke"):
+    sys.exit("BENCH_cluster.json: committed baseline must be a full run")
+rows = j["scaling"]
+if [r["nodes"] for r in rows] != [1, 2, 3]:
+    sys.exit(f"BENCH_cluster.json: expected 1/2/3-node rows, got {rows}")
+for r in rows:
+    if r["computes"] != j["unique_specs"]:
+        sys.exit(f"BENCH_cluster.json: {r['nodes']} nodes did {r['computes']} computes "
+                 f"!= {j['unique_specs']} unique specs")
+    if r["nodes"] > 1 and r["forwarded"] <= 0:
+        sys.exit(f"BENCH_cluster.json: {r['nodes']}-node ring never forwarded")
+    if r["jobs_per_sec"] <= 0:
+        sys.exit(f"BENCH_cluster.json: implausible throughput at {r['nodes']} nodes")
+if j["dedup_floor"] < 0.8:
+    sys.exit(f"BENCH_cluster.json: dedup floor {j['dedup_floor']} < 0.8")
+fetch = j["cross_node_fetch"]
+if fetch["pipeline_recomputes"] != 0:
+    sys.exit(f"BENCH_cluster.json: cross-node fetch recomputed {fetch['pipeline_recomputes']} times")
+if fetch["store_fetch_hits"] < j["unique_specs"]:
+    sys.exit(f"BENCH_cluster.json: only {fetch['store_fetch_hits']} store fetch hits "
+             f"for {j['unique_specs']} specs")
 PY
 
 echo "CI green."

@@ -1,0 +1,348 @@
+//! Cluster scaling benchmark: the same tenant burst through 1-, 2-, and
+//! 3-node lp-cluster farms (real HTTP wire path, consistent-hash
+//! forwarding, per-node journals and stores, pipeline backend), emitting
+//! machine-readable `BENCH_cluster.json`.
+//!
+//! Per node count the burst is dealt round-robin across the members, the
+//! way independent tenants hit whichever node their load balancer picks.
+//! Duplicate submissions of one spec land on *different* nodes, so
+//! collapsing them to one compute requires the ring: every copy is
+//! forwarded to the key's owner, whose farm-level dedup does the rest.
+//! The bench asserts that invariant (one compute per unique spec,
+//! cluster-wide) before reporting throughput.
+//!
+//! A final phase measures the second cluster-dedup path: each unique
+//! spec is re-submitted to a *non-owner* node with the forwarded marker
+//! set, forcing local handling there — the artifact must arrive by store
+//! fetch from the owner, with zero recomputes.
+//!
+//! Reported per node count:
+//!
+//! * **jobs/sec** — burst size over wall-clock to cluster-wide idle;
+//! * **dedup ratio** — submissions answered without a compute;
+//! * **forwarded** and **forward-hop p50/p99** — cross-node submissions
+//!   and the added latency of the extra hop (first node's histogram).
+//!
+//! Run via `cargo bench --bench farm_cluster` (`-- --smoke` for the CI
+//! gate's quick variant; `--out PATH` to redirect the JSON).
+
+use lp_cluster::{spawn_node, ClusterConfig, NodeSpec, RunningNode};
+use lp_farm::{FarmConfig, JobSpec, PipelineBackend, ShutdownMode};
+use lp_farm_proto::{FarmClient, SubmitOutcome, FORWARDED_HEADER};
+use lp_obs::{json, names, Observer};
+use lp_store::Store;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: std::env::var("BENCH_CLUSTER_OUT")
+            .unwrap_or_else(|_| "BENCH_cluster.json".to_string()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            // `cargo bench` passes --bench through; ignore unknown flags
+            // so the target stays harness-compatible.
+            _ => {}
+        }
+    }
+    args
+}
+
+fn free_addr() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    format!("127.0.0.1:{}", l.local_addr().unwrap().port())
+}
+
+/// The tenant burst: `repeats` copies of each unique spec, interleaved
+/// (A B C A B C ...) so duplicates hit different nodes under
+/// round-robin dealing.
+fn burst_specs(unique: usize, repeats: usize, slice_base: u64) -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for _ in 0..repeats {
+        for u in 0..unique {
+            specs.push(JobSpec {
+                program: format!("demo-matrix-{}", 1 + u % 3),
+                ncores: 2,
+                slice_base: slice_base + 500 * (u / 3) as u64,
+                ..JobSpec::default()
+            });
+        }
+    }
+    specs
+}
+
+struct Member {
+    running: RunningNode,
+    obs: Observer,
+    addr: String,
+}
+
+fn boot(root: &Path, n: usize, workers: usize, capacity: usize) -> Vec<Member> {
+    let addrs: Vec<String> = (0..n).map(|_| free_addr()).collect();
+    let peers: Vec<NodeSpec> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| NodeSpec {
+            addr: a.clone(),
+            dir: Some(root.join(format!("farm-{i}"))),
+        })
+        .collect();
+    addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let obs = Observer::enabled();
+            let store = Arc::new(
+                Store::open(root.join(format!("store-{i}")), obs.clone()).expect("open store"),
+            );
+            let backend = Arc::new(PipelineBackend::new(Some(Arc::clone(&store)), obs.clone()));
+            let running = spawn_node(
+                addr,
+                ClusterConfig {
+                    self_addr: addr.clone(),
+                    peers: peers.clone(),
+                    heartbeat_ms: 200,
+                    ..ClusterConfig::default()
+                },
+                FarmConfig {
+                    workers,
+                    queue_capacity: capacity,
+                    dir: Some(root.join(format!("farm-{i}"))),
+                    ..FarmConfig::default()
+                },
+                backend,
+                Some(store),
+                obs.clone(),
+            )
+            .expect("spawn cluster node");
+            Member {
+                running,
+                obs,
+                addr: addr.clone(),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let (unique, repeats, slice_base, workers) = if args.smoke {
+        (3usize, 4usize, 2_000u64, 2usize)
+    } else {
+        (6, 8, 4_000, 2)
+    };
+    let total = unique * repeats;
+    println!(
+        "farm-cluster benchmark: {total} jobs ({unique} unique x {repeats} tenants) at 1/2/3 nodes {}",
+        if args.smoke { "(smoke)" } else { "" }
+    );
+
+    let bench_root = std::env::temp_dir().join(format!("lp-bench-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&bench_root);
+
+    let mut scale_rows: Vec<String> = Vec::new();
+    let mut fetch_row = String::new();
+    for n in [1usize, 2, 3] {
+        let root = bench_root.join(format!("n{n}"));
+        std::fs::create_dir_all(&root).expect("create bench dirs");
+        let members = boot(&root, n, workers, total + 8);
+
+        let mut clients: Vec<FarmClient> = members
+            .iter()
+            .map(|m| {
+                let mut c = FarmClient::connect(m.addr.clone());
+                c.set_timeout(Duration::from_secs(30));
+                c
+            })
+            .collect();
+
+        // Round-robin burst: tenant i hits node i mod n.
+        let t0 = Instant::now();
+        let mut accepted = 0usize;
+        for (i, spec) in burst_specs(unique, repeats, slice_base)
+            .into_iter()
+            .enumerate()
+        {
+            let (status, outcomes) = clients[i % n]
+                .submit(std::slice::from_ref(&spec), None)
+                .expect("burst submit");
+            assert_eq!(status, 202, "burst must be accepted");
+            assert!(outcomes[0].id().is_some(), "burst line must carry an id");
+            accepted += 1;
+        }
+        for m in &members {
+            assert!(
+                m.running.farm.wait_idle(Duration::from_secs(600)),
+                "cluster did not drain"
+            );
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(accepted, total);
+
+        // Cluster-wide dedup invariant: one compute per unique spec no
+        // matter how many nodes the duplicates were sprayed across.
+        let computes: u64 = members
+            .iter()
+            .map(|m| m.obs.counter(names::FARM_COMPUTES).get())
+            .sum();
+        assert_eq!(
+            computes as usize, unique,
+            "{n}-node cluster must compute each unique spec exactly once"
+        );
+        let forwarded: u64 = members
+            .iter()
+            .map(|m| m.obs.counter(names::CLUSTER_FORWARDED).get())
+            .sum();
+        if n > 1 {
+            assert!(forwarded > 0, "multi-node burst must cross nodes");
+        }
+        let (hop_p50, hop_p99) = members[0]
+            .obs
+            .snapshot()
+            .histograms
+            .get(names::CLUSTER_FORWARD_US)
+            .filter(|hop| hop.count > 0)
+            .map_or((0, 0), |hop| (hop.p50() as u64, hop.p99() as u64));
+        let jobs_per_sec = total as f64 / (wall_ms / 1e3).max(1e-9);
+        let dedup_ratio = (total - unique) as f64 / total as f64;
+        println!(
+            "  {n} node(s): {total} jobs in {wall_ms:9.2} ms   {jobs_per_sec:8.2} jobs/s   \
+             {computes} computes ({:.0}% deduped)   {forwarded} forwarded   \
+             forward hop p50 {hop_p50} us / p99 {hop_p99} us",
+            dedup_ratio * 100.0
+        );
+        scale_rows.push(format!(
+            "{{\"nodes\": {n}, \"wall_ms\": {wall_ms:.3}, \"jobs_per_sec\": {jobs_per_sec:.3}, \
+             \"computes\": {computes}, \"dedup_ratio\": {dedup_ratio:.4}, \
+             \"forwarded\": {forwarded}, \
+             \"forward_hop_us\": {{\"p50\": {hop_p50}, \"p99\": {hop_p99}}}}}"
+        ));
+
+        // At full width, measure the second dedup path: force each
+        // unique spec onto a non-owner node (forwarded marker pins it
+        // there) — the summary must arrive by store fetch, not compute.
+        if n == 3 {
+            let before: u64 = members
+                .iter()
+                .map(|m| m.obs.counter(names::FARM_COMPUTES).get())
+                .sum();
+            let misses_before: u64 = members
+                .iter()
+                .map(|m| m.obs.counter(names::CLUSTER_FETCH_MISSES).get())
+                .sum();
+            let mut fetch_served = 0usize;
+            for (i, spec) in burst_specs(unique, 1, slice_base).into_iter().enumerate() {
+                // Submitting the same spec everywhere guarantees at
+                // least n-1 non-owner nodes see it; round-robin start
+                // point spreads the load.
+                for k in 0..n {
+                    let (status, outcomes) = clients[(i + k) % n]
+                        .submit_with(
+                            std::slice::from_ref(&spec),
+                            None,
+                            &[(FORWARDED_HEADER.to_string(), "1".to_string())],
+                        )
+                        .expect("forced-local submit");
+                    assert_eq!(status, 202);
+                    if let SubmitOutcome::Accepted { .. } = &outcomes[0] {
+                        fetch_served += 1;
+                    }
+                }
+            }
+            for m in &members {
+                assert!(m.running.farm.wait_idle(Duration::from_secs(600)));
+            }
+            let after: u64 = members
+                .iter()
+                .map(|m| m.obs.counter(names::FARM_COMPUTES).get())
+                .sum();
+            // FARM_COMPUTES counts farm-level executes, which fire on
+            // the first submission to each non-owner farm even when the
+            // backend answers from the store. The cluster invariants are
+            // therefore: exactly (n-1) executes per unique spec (the
+            // owner's farm dedups outright), every one of them satisfied
+            // by the store (fetch hit or prior replication — zero new
+            // fetch misses means none fell through to the pipeline).
+            let non_owner_executes = (n as u64 - 1) * unique as u64;
+            assert_eq!(
+                after - before,
+                non_owner_executes,
+                "each unique spec must execute once per non-owner farm and dedup on the owner"
+            );
+            let misses_after: u64 = members
+                .iter()
+                .map(|m| m.obs.counter(names::CLUSTER_FETCH_MISSES).get())
+                .sum();
+            assert_eq!(
+                misses_after, misses_before,
+                "every non-owner execute must be served from the store, not recomputed"
+            );
+            let fetch_hits: u64 = members
+                .iter()
+                .map(|m| m.obs.counter(names::CLUSTER_FETCH_HITS).get())
+                .sum();
+            assert!(
+                fetch_hits >= unique as u64,
+                "nodes outside the replica set must fetch from the owner \
+                 (got {fetch_hits} hits for {unique} specs)"
+            );
+            println!(
+                "  fetch path: {fetch_served} forced-local submissions, \
+                 {non_owner_executes} non-owner executes, {fetch_hits} store fetch hits, \
+                 0 pipeline recomputes"
+            );
+            fetch_row = format!(
+                "{{\"submissions\": {fetch_served}, \"non_owner_executes\": {non_owner_executes}, \
+                 \"store_fetch_hits\": {fetch_hits}, \"pipeline_recomputes\": 0}}"
+            );
+        }
+
+        for m in members {
+            m.running.shutdown(ShutdownMode::Drain);
+        }
+    }
+
+    let dedup_floor = (total - unique) as f64 / total as f64;
+    let json_text = format!(
+        "{{\n  \"burst\": {total},\n  \"unique_specs\": {unique},\n  \"slice_base\": {slice_base},\n  \
+         \"workers_per_node\": {workers},\n  \"scaling\": [\n    {}\n  ],\n  \
+         \"cross_node_fetch\": {},\n  \"dedup_floor\": {dedup_floor:.4},\n  \"smoke\": {}\n}}\n",
+        scale_rows.join(",\n    "),
+        if fetch_row.is_empty() { "null".to_string() } else { fetch_row },
+        args.smoke
+    );
+    // Self-validate before writing: the committed baseline and the CI
+    // gate both rely on this file being well-formed.
+    let parsed = json::parse(&json_text).expect("benchmark JSON must parse");
+    for key in [
+        "burst",
+        "unique_specs",
+        "scaling",
+        "cross_node_fetch",
+        "dedup_floor",
+    ] {
+        assert!(parsed.get(key).is_some(), "missing key {key}");
+    }
+    assert_eq!(
+        parsed
+            .get("scaling")
+            .and_then(json::Value::as_arr)
+            .map(|rows| rows.len()),
+        Some(3),
+        "one scaling row per node count"
+    );
+    std::fs::write(&args.out, &json_text).expect("write BENCH_cluster.json");
+    println!("\nwrote {}", args.out);
+    let _ = std::fs::remove_dir_all(&bench_root);
+}

@@ -118,7 +118,7 @@ fn main() {
     {
         let obs = Observer::enabled();
         let store = Store::open(&store_dir, obs.clone()).expect("open store");
-        let backend = Arc::new(PipelineBackend::new(Some(store), obs.clone()));
+        let backend = Arc::new(PipelineBackend::new(Some(Arc::new(store)), obs.clone()));
         let farm = Farm::start(farm_config(workers, total + 8, &farm_dir), backend, obs)
             .expect("start warm-up farm");
         for spec in burst_specs(unique, 1, slice_base) {
@@ -136,7 +136,7 @@ fn main() {
     // full burst from concurrent keep-alive clients.
     let obs = Observer::enabled();
     let store = Store::open(&store_dir, obs.clone()).expect("reopen store");
-    let backend = Arc::new(PipelineBackend::new(Some(store), obs.clone()));
+    let backend = Arc::new(PipelineBackend::new(Some(Arc::new(store)), obs.clone()));
     let farm = Farm::start(
         farm_config(workers, total + 8, &farm_dir),
         backend,

@@ -1,0 +1,69 @@
+//! The cluster-aware [`JobBackend`] decorator: store fetch-on-miss
+//! before compute, successor replication after.
+//!
+//! The farm's dedup is per-node; the store is the cluster's shared
+//! memory. Wrapping the real backend here turns a *local* store miss
+//! into a cluster question — "has the key's owner (or its replica)
+//! already finished this?" — before paying for the pipeline, and pushes
+//! freshly computed summaries to the ring successor so a single node
+//! death cannot lose the only copy.
+
+use crate::ClusterNode;
+use lp_farm::{JobBackend, JobSpec};
+use lp_store::{ArtifactKind, Store, StoreKey};
+use std::sync::Arc;
+
+/// Wraps an inner backend with cluster-wide dedup. Without a store the
+/// decorator is a transparent pass-through (nothing to seed or
+/// replicate).
+pub struct ClusterBackend {
+    inner: Arc<dyn JobBackend>,
+    node: ClusterNode,
+    store: Option<Arc<Store>>,
+}
+
+impl ClusterBackend {
+    /// Decorates `inner` with fetch-on-miss and replication through
+    /// `node`.
+    pub fn new(inner: Arc<dyn JobBackend>, node: ClusterNode, store: Option<Arc<Store>>) -> Self {
+        ClusterBackend { inner, node, store }
+    }
+}
+
+impl JobBackend for ClusterBackend {
+    fn job_key(&self, spec: &JobSpec) -> Result<String, String> {
+        self.inner.job_key(spec)
+    }
+
+    fn execute(&self, spec: &JobSpec, cancel: &looppoint::CancelToken) -> Result<String, String> {
+        let Some(store) = &self.store else {
+            return self.inner.execute(spec, cancel);
+        };
+        let key = self
+            .inner
+            .job_key(spec)
+            .ok()
+            .and_then(|hex| StoreKey::from_hex(&hex));
+        let Some(key) = key else {
+            // A backend with non-store-shaped keys still executes; it
+            // just cannot participate in artifact exchange.
+            return self.inner.execute(spec, cancel);
+        };
+        // Cluster dedup: seed the local store from the key's owner (or
+        // replica) so the inner backend's own summary-cache check hits
+        // without computing.
+        let had_local = store.contains(&key, ArtifactKind::JobSummary);
+        if !had_local {
+            self.node.fetch_into_store(&key, ArtifactKind::JobSummary);
+        }
+        let had_before = had_local || store.contains(&key, ArtifactKind::JobSummary);
+        let result = self.inner.execute(spec, cancel)?;
+        if !had_before {
+            // Freshly computed here: hand the successor a copy so the
+            // result outlives this node.
+            self.node
+                .replicate(key, ArtifactKind::JobSummary, result.clone().into_bytes());
+        }
+        Ok(result)
+    }
+}

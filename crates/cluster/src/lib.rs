@@ -1,0 +1,784 @@
+//! # lp-cluster — coordinator-light multi-node analysis farm
+//!
+//! One `lp-farm` daemon saturates one machine. This crate federates
+//! several of them into a cluster with no coordinator, no consensus
+//! log, and no new wire stack — just the existing keep-alive HTTP
+//! client, a consistent-hash ring, and the farm's own crash-safe
+//! journal:
+//!
+//! * **Sharding** ([`ring`]): the 128-bit content-key space is carved
+//!   among members by a consistent-hash ring with virtual nodes. Every
+//!   member derives the identical ring from the shared member list, so
+//!   ownership is a pure function — nothing to elect, nothing to sync.
+//! * **Forwarding**: a submission arriving at a non-owner is forwarded
+//!   to the key's owner over a pooled keep-alive [`FarmClient`]; the
+//!   client gets the *owner's* job id back (per-node disjoint id ranges
+//!   make ids meaningful cluster-wide). A forwarded request carries the
+//!   `x-lp-forwarded` marker, capping forwarding at one hop.
+//! * **Cluster-wide dedup** ([`backend::ClusterBackend`]): before
+//!   computing a job, a node asks the key's owner (then the ring
+//!   successor replica) for the finished artifact and seeds its local
+//!   store on a hit — N identical jobs across the cluster cost one
+//!   compute. Freshly computed artifacts replicate asynchronously to
+//!   the successor, so the result survives the owner's death.
+//! * **Failover** ([`membership`]): peers heartbeat each other's
+//!   `/cluster/healthz`. When a member dies, the ring rebalances and
+//!   the agreed adopter — owner of the dead node's name point in the
+//!   survivor ring — re-adopts the dead farm's journaled queue
+//!   ([`lp_farm::Journal::peek`] + [`lp_farm::Farm::adopt`]): accepted
+//!   jobs complete with their original ids and trace contexts even if
+//!   their node is `kill -9`ed mid-queue.
+//!
+//! The design assumption for journal adoption is shared-filesystem
+//! visibility of peer farm directories (the multi-process-per-host and
+//! NFS deployments the smoke tests exercise); peers without a known
+//! directory still shard, forward, dedup, and rebalance — their queued
+//! jobs are simply not recoverable by others.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod membership;
+pub mod ring;
+
+pub use backend::ClusterBackend;
+pub use membership::{Membership, NodeSpec, PeerState, Transition};
+pub use ring::{Ring, DEFAULT_VNODES};
+
+use lp_farm::{Farm, FarmServer, Journal, ServerExtensions};
+use lp_farm_proto::{FarmClient, JobSpec, SubmitOutcome, FORWARDED_HEADER};
+use lp_obs::http::{Request, Response};
+use lp_obs::json::Value;
+use lp_obs::{names, Observer, TraceContext};
+use lp_store::{ArtifactKind, Store, StoreKey};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Width of each node's job-id range: ordinal `k` owns ids
+/// `((k+1) << ID_RANGE_BITS, (k+2) << ID_RANGE_BITS]`. 2^40 ids per
+/// node is unreachable in practice, and the high bits make any id's
+/// home node readable at a glance.
+pub const ID_RANGE_BITS: u32 = 40;
+
+/// Cluster tuning for one node.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This node's advertised `host:port` (must match the farm server's
+    /// bind address as peers dial it).
+    pub self_addr: String,
+    /// Full member list, self included (`addr` or `addr=dir` specs).
+    pub peers: Vec<NodeSpec>,
+    /// Virtual nodes per member on the ring.
+    pub vnodes: usize,
+    /// Heartbeat probe period (ms).
+    pub heartbeat_ms: u64,
+    /// Consecutive failed probes before a peer is declared dead.
+    pub failure_threshold: u32,
+    /// Per-request timeout for forwards/fetches/probes (ms).
+    pub rpc_timeout_ms: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            self_addr: String::new(),
+            peers: Vec::new(),
+            vnodes: DEFAULT_VNODES,
+            heartbeat_ms: 500,
+            failure_threshold: 3,
+            rpc_timeout_ms: 5_000,
+        }
+    }
+}
+
+/// One queued artifact replication.
+struct Replication {
+    key: StoreKey,
+    kind: ArtifactKind,
+    payload: Vec<u8>,
+}
+
+struct NodeInner {
+    cfg: ClusterConfig,
+    obs: Observer,
+    store: Option<Arc<Store>>,
+    membership: Mutex<Membership>,
+    /// Attached after `Farm::start` (the farm's backend needs the node
+    /// first — see [`ClusterNode::backend`]).
+    farm: OnceLock<Farm>,
+    /// Pooled keep-alive clients for forwards and artifact fetches,
+    /// one per peer address; per-peer locks so a slow peer stalls only
+    /// requests to itself.
+    clients: Mutex<HashMap<String, Arc<Mutex<FarmClient>>>>,
+    repl_tx: Mutex<Option<Sender<Replication>>>,
+    stop: AtomicBool,
+}
+
+/// One cluster member's runtime: membership + heartbeats + forwarding +
+/// replication. Cheap to clone; all clones share the node.
+#[derive(Clone)]
+pub struct ClusterNode {
+    inner: Arc<NodeInner>,
+}
+
+/// Threads owned by a started node; joined by [`ClusterNode::stop`].
+pub struct ClusterThreads {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ClusterNode {
+    /// Builds the node state (no threads yet — call
+    /// [`ClusterNode::start_threads`] after the farm is attached).
+    pub fn new(cfg: ClusterConfig, store: Option<Arc<Store>>, obs: Observer) -> ClusterNode {
+        let membership = Membership::new(
+            &cfg.self_addr,
+            &cfg.peers,
+            cfg.vnodes,
+            cfg.failure_threshold,
+        );
+        let node = ClusterNode {
+            inner: Arc::new(NodeInner {
+                cfg,
+                obs,
+                store,
+                membership: Mutex::new(membership),
+                farm: OnceLock::new(),
+                clients: Mutex::new(HashMap::new()),
+                repl_tx: Mutex::new(None),
+                stop: AtomicBool::new(false),
+            }),
+        };
+        node.refresh_gauges();
+        node
+    }
+
+    /// This node's [`lp_farm::FarmConfig::id_base`]: the ordinal-derived
+    /// disjoint id range.
+    pub fn id_base(&self) -> u64 {
+        let ordinal = self.membership().self_ordinal();
+        (ordinal + 1) << ID_RANGE_BITS
+    }
+
+    /// Attaches the started farm (exactly once).
+    pub fn attach_farm(&self, farm: Farm) {
+        let _ = self.inner.farm.set(farm);
+    }
+
+    /// Starts the heartbeat and replication threads. Call after
+    /// [`ClusterNode::attach_farm`].
+    pub fn start_threads(&self) -> ClusterThreads {
+        let mut handles = Vec::new();
+        let (tx, rx) = mpsc::channel::<Replication>();
+        *self.inner.repl_tx.lock().expect("cluster repl lock") = Some(tx);
+        let me = self.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name("cluster-replicate".to_string())
+                .spawn(move || me.replication_loop(&rx))
+                .expect("spawn cluster replication"),
+        );
+        let me = self.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name("cluster-heartbeat".to_string())
+                .spawn(move || me.heartbeat_loop())
+                .expect("spawn cluster heartbeat"),
+        );
+        ClusterThreads { handles }
+    }
+
+    /// Stops the node's threads and joins them.
+    pub fn stop(&self, threads: ClusterThreads) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Dropping the sender wakes the replication loop.
+        *self.inner.repl_tx.lock().expect("cluster repl lock") = None;
+        for h in threads.handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Server hooks wiring `/cluster/*` routes, healthz fields, and
+    /// submission forwarding into a [`FarmServer::start_with`].
+    pub fn extensions(&self) -> ServerExtensions {
+        let route_node = self.clone();
+        let healthz_node = self.clone();
+        let forward_node = self.clone();
+        ServerExtensions {
+            route: Some(Arc::new(move |req: &Request| route_node.route(req))),
+            healthz: Some(Arc::new(move || {
+                vec![("cluster".to_string(), healthz_node.healthz_value())]
+            })),
+            forward: Some(Arc::new(
+                move |spec: &JobSpec, trace: Option<&TraceContext>| {
+                    forward_node.forward_submit(spec, trace)
+                },
+            )),
+        }
+    }
+
+    /// A locked snapshot accessor (private helper).
+    fn membership(&self) -> std::sync::MutexGuard<'_, Membership> {
+        self.inner
+            .membership
+            .lock()
+            .expect("cluster membership lock")
+    }
+
+    /// The cluster healthz/status document (also the `cluster` field of
+    /// the farm's `/healthz`).
+    pub fn healthz_value(&self) -> Value {
+        let m = self.membership();
+        let (alive, dead) = m.counts();
+        Value::Obj(vec![
+            ("node".to_string(), Value::Str(m.self_addr.clone())),
+            ("ordinal".to_string(), Value::Int(m.self_ordinal() as i128)),
+            (
+                "id_base".to_string(),
+                Value::Int(((m.self_ordinal() + 1) << ID_RANGE_BITS) as i128),
+            ),
+            ("ring_nodes".to_string(), Value::Int(m.ring.len() as i128)),
+            ("vnodes".to_string(), Value::Int(m.ring.vnodes() as i128)),
+            ("peers_alive".to_string(), Value::Int(alive as i128)),
+            ("peers_dead".to_string(), Value::Int(dead as i128)),
+            (
+                "owned_fraction".to_string(),
+                Value::Num(m.ring.owned_fraction(&m.self_addr)),
+            ),
+        ])
+    }
+
+    // ---- HTTP routes ----------------------------------------------------
+
+    /// `/cluster/*` routes, hung off the farm server:
+    ///
+    /// | Endpoint | Behavior |
+    /// |---|---|
+    /// | `GET /cluster/healthz` | node id, ring, liveness counts (the heartbeat probe target) |
+    /// | `GET /cluster/peers` | member list + ring document |
+    /// | `POST /cluster/join` | add a member (broadcast to peers unless forwarded) |
+    /// | `GET /cluster/artifact/{hex}?kind=tag` | artifact payload from the local store |
+    /// | `POST /cluster/artifact/{hex}?kind=tag` | save a replicated artifact payload |
+    fn route(&self, req: &Request) -> Option<Response> {
+        let path = req.path.as_str();
+        match (req.method.as_str(), path) {
+            ("GET", "/cluster/healthz") => {
+                Some(Response::json_ok(self.healthz_value().to_string()))
+            }
+            ("GET", "/cluster/peers") => {
+                let m = self.membership();
+                let peers: Vec<Value> = m.peers.iter().map(|p| p.spec.to_value()).collect();
+                Some(Response::json_ok(
+                    Value::Obj(vec![
+                        ("peers".to_string(), Value::Arr(peers)),
+                        ("ring".to_string(), m.ring.to_value()),
+                    ])
+                    .to_string(),
+                ))
+            }
+            ("POST", "/cluster/join") => Some(self.handle_join(req)),
+            ("GET", p) if p.starts_with("/cluster/artifact/") => Some(self.artifact_get(req)),
+            ("POST", p) if p.starts_with("/cluster/artifact/") => Some(self.artifact_put(req)),
+            _ => None,
+        }
+    }
+
+    fn handle_join(&self, req: &Request) -> Response {
+        let body = req.body_text();
+        let Ok(doc) = lp_obs::json::parse(&body) else {
+            return Response::bad_request("join body must be a peer JSON object");
+        };
+        let spec = match NodeSpec::from_value(&doc) {
+            Ok(s) => s,
+            Err(e) => return Response::bad_request(&e),
+        };
+        let (added, peer_addrs) = {
+            let mut m = self.membership();
+            let added = m.add_peer(spec.clone());
+            (added, m.alive_addrs())
+        };
+        self.refresh_gauges();
+        // First-hop joins broadcast to the other members so one POST
+        // teaches the whole cluster; the forwarded marker stops the
+        // broadcast from echoing forever.
+        if added && req.header(FORWARDED_HEADER).is_none() {
+            let self_addr = self.inner.cfg.self_addr.clone();
+            for peer in peer_addrs {
+                if peer == self_addr || peer == spec.addr {
+                    continue;
+                }
+                let doc = spec.to_value().to_string();
+                let _ = self.with_client(&peer, |client| {
+                    client.http().send(
+                        "POST",
+                        "/cluster/join",
+                        &[(FORWARDED_HEADER.to_string(), "1".to_string())],
+                        doc.as_bytes(),
+                        None,
+                        true,
+                    )
+                });
+            }
+        }
+        let m = self.membership();
+        let peers: Vec<Value> = m.peers.iter().map(|p| p.spec.to_value()).collect();
+        Response::json_ok(
+            Value::Obj(vec![
+                ("joined".to_string(), Value::Bool(true)),
+                ("peers".to_string(), Value::Arr(peers)),
+                ("ring".to_string(), m.ring.to_value()),
+            ])
+            .to_string(),
+        )
+    }
+
+    /// Parses `/cluster/artifact/{hex}` + `?kind=tag`.
+    fn parse_artifact(req: &Request) -> Option<(StoreKey, ArtifactKind)> {
+        let hex = req.path.strip_prefix("/cluster/artifact/")?;
+        let key = StoreKey::from_hex(hex)?;
+        let kind = req
+            .query
+            .as_deref()
+            .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("kind=")))
+            .and_then(ArtifactKind::from_tag)
+            .unwrap_or(ArtifactKind::JobSummary);
+        Some((key, kind))
+    }
+
+    fn artifact_get(&self, req: &Request) -> Response {
+        let Some((key, kind)) = Self::parse_artifact(req) else {
+            return Response::bad_request(
+                "bad artifact path (want /cluster/artifact/{32-hex}?kind=tag)",
+            );
+        };
+        let Some(store) = &self.inner.store else {
+            return Response::not_found("this node runs without a store");
+        };
+        match store.load(&key, kind) {
+            Some(payload) => Response::bytes_ok(payload),
+            None => Response::not_found(&format!("no {kind} artifact for {key}")),
+        }
+    }
+
+    fn artifact_put(&self, req: &Request) -> Response {
+        let Some((key, kind)) = Self::parse_artifact(req) else {
+            return Response::bad_request(
+                "bad artifact path (want /cluster/artifact/{32-hex}?kind=tag)",
+            );
+        };
+        let Some(store) = &self.inner.store else {
+            return Response::not_found("this node runs without a store");
+        };
+        match store.save(&key, kind, &req.body) {
+            Ok(()) => Response::json_ok("{\"replicated\":true}".to_string()),
+            Err(e) => Response::new(
+                "500 Internal Server Error",
+                "application/json",
+                format!("{{\"error\":\"artifact save failed: {e}\"}}"),
+            ),
+        }
+    }
+
+    // ---- forwarding -----------------------------------------------------
+
+    /// Forwards a first-hop submission to the key's owner, returning the
+    /// owner's outcome line. `None` accepts locally: owned here, no key,
+    /// single-node ring, or a forward error (local fallback beats
+    /// bouncing the client).
+    fn forward_submit(&self, spec: &JobSpec, trace: Option<&TraceContext>) -> Option<Value> {
+        let farm = self.inner.farm.get()?;
+        // The farm's backend computes the canonical content key (memoized
+        // behind the backend; cheap on the hot path).
+        let key_hex = farm.job_key(spec).ok()?;
+        let key = StoreKey::from_hex(&key_hex)?;
+        let owner = {
+            let m = self.membership();
+            let owner = m.ring.owner(&key.0)?.to_string();
+            if owner == m.self_addr {
+                return None;
+            }
+            owner
+        };
+        let start = std::time::Instant::now();
+        let spec = spec.clone();
+        let outcome = self.with_client(&owner, move |client| {
+            client.submit_with(
+                &[spec],
+                trace,
+                &[(FORWARDED_HEADER.to_string(), "1".to_string())],
+            )
+        });
+        self.inner
+            .obs
+            .histogram(names::CLUSTER_FORWARD_US)
+            .record(start.elapsed().as_micros() as u64);
+        match outcome {
+            Ok((_, lines)) if !lines.is_empty() => {
+                self.inner.obs.counter(names::CLUSTER_FORWARDED).inc();
+                let mut outcome = lines[0].clone();
+                if let SubmitOutcome::Accepted { forwarded_to, .. } = &mut outcome {
+                    *forwarded_to = Some(owner);
+                }
+                Some(outcome.to_value())
+            }
+            _ => {
+                self.inner.obs.counter(names::CLUSTER_FORWARD_ERRORS).inc();
+                None
+            }
+        }
+    }
+
+    // ---- cluster-wide dedup (store fetch / replication) -----------------
+
+    /// Tries to fetch `key`/`kind` from the key's owner (then the
+    /// replica) and seed the local store. Returns whether the artifact
+    /// is now present locally.
+    pub(crate) fn fetch_into_store(&self, key: &StoreKey, kind: ArtifactKind) -> bool {
+        let Some(store) = &self.inner.store else {
+            return false;
+        };
+        let candidates: Vec<String> = {
+            let m = self.membership();
+            m.ring
+                .owners(&key.0, 2)
+                .into_iter()
+                .filter(|n| *n != m.self_addr)
+                .map(str::to_string)
+                .collect()
+        };
+        if candidates.is_empty() {
+            return false;
+        }
+        let mut span = self
+            .inner
+            .obs
+            .span(names::SPAN_CLUSTER_FETCH, names::CAT_CLUSTER);
+        span.arg("key", key.hex());
+        let path = format!("/cluster/artifact/{}?kind={}", key.hex(), kind.tag());
+        for peer in candidates {
+            let path = path.clone();
+            let got = self.with_client(&peer, move |client| {
+                client.http().send("GET", &path, &[], &[], None, true)
+            });
+            if let Ok(resp) = got {
+                if resp.status == 200 && store.save(key, kind, &resp.body).is_ok() {
+                    self.inner.obs.counter(names::CLUSTER_FETCH_HITS).inc();
+                    span.arg("hit_from", peer.as_str());
+                    return true;
+                }
+            }
+        }
+        self.inner.obs.counter(names::CLUSTER_FETCH_MISSES).inc();
+        false
+    }
+
+    /// Queues an asynchronous replication of a freshly computed artifact
+    /// to the key's ring successor.
+    pub(crate) fn replicate(&self, key: StoreKey, kind: ArtifactKind, payload: Vec<u8>) {
+        let tx = self.inner.repl_tx.lock().expect("cluster repl lock");
+        if let Some(tx) = tx.as_ref() {
+            let _ = tx.send(Replication { key, kind, payload });
+        }
+    }
+
+    fn replication_loop(&self, rx: &Receiver<Replication>) {
+        while let Ok(item) = rx.recv() {
+            if self.inner.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            // Target: the first other member clockwise from the key —
+            // the node a fetch-on-miss asks after the owner.
+            let target = {
+                let m = self.membership();
+                m.ring
+                    .owners(&item.key.0, 2)
+                    .into_iter()
+                    .find(|n| *n != m.self_addr)
+                    .map(str::to_string)
+            };
+            let Some(target) = target else { continue };
+            let path = format!(
+                "/cluster/artifact/{}?kind={}",
+                item.key.hex(),
+                item.kind.tag()
+            );
+            let sent = self.with_client(&target, move |client| {
+                client
+                    .http()
+                    .send("POST", &path, &[], &item.payload, None, true)
+            });
+            match sent {
+                Ok(resp) if resp.status == 200 => {
+                    self.inner.obs.counter(names::CLUSTER_REPLICATIONS).inc();
+                }
+                _ => {
+                    self.inner
+                        .obs
+                        .counter(names::CLUSTER_REPLICATION_ERRORS)
+                        .inc();
+                }
+            }
+        }
+    }
+
+    // ---- heartbeats + failover ------------------------------------------
+
+    fn heartbeat_loop(&self) {
+        // Probe clients are private to this thread: a wedged peer must
+        // not stall the forwarding pool.
+        let mut probes: HashMap<String, FarmClient> = HashMap::new();
+        let period = Duration::from_millis(self.inner.cfg.heartbeat_ms.max(10));
+        let probe_timeout = Duration::from_millis(
+            self.inner
+                .cfg
+                .rpc_timeout_ms
+                .min(self.inner.cfg.heartbeat_ms.max(100))
+                .max(50),
+        );
+        while !self.inner.stop.load(Ordering::SeqCst) {
+            let peers: Vec<String> = {
+                let m = self.membership();
+                m.peers
+                    .iter()
+                    .filter(|p| p.spec.addr != m.self_addr)
+                    .map(|p| p.spec.addr.clone())
+                    .collect()
+            };
+            for addr in peers {
+                if self.inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let client = probes.entry(addr.clone()).or_insert_with(|| {
+                    let mut c = FarmClient::connect(addr.clone());
+                    c.set_timeout(probe_timeout);
+                    c
+                });
+                let ok = client
+                    .http()
+                    .send("GET", "/cluster/healthz", &[], &[], None, true)
+                    .map(|r| r.status == 200)
+                    .unwrap_or(false);
+                let transition = self.membership().heartbeat_result(&addr, ok);
+                match transition {
+                    Some(Transition::Died { peer, adopt_here }) => {
+                        self.inner.obs.counter(names::CLUSTER_PEER_DEATHS).inc();
+                        self.refresh_gauges();
+                        if adopt_here {
+                            self.adopt_peer(&peer);
+                        }
+                    }
+                    Some(Transition::Revived { .. }) => {
+                        self.refresh_gauges();
+                    }
+                    None => {}
+                }
+            }
+            std::thread::sleep(period);
+        }
+    }
+
+    /// Re-adopts a dead peer's journaled queue (this node is the agreed
+    /// adopter). The dead journal's files are renamed aside afterwards
+    /// so a resurrected peer starts clean instead of re-running jobs the
+    /// cluster already owns.
+    fn adopt_peer(&self, peer: &NodeSpec) {
+        let Some(dir) = &peer.dir else {
+            return; // no shared filesystem view of this peer
+        };
+        if !self.membership().claim_adoption(&peer.addr) {
+            return;
+        }
+        let Some(farm) = self.inner.farm.get() else {
+            return;
+        };
+        let view = match Journal::peek(dir) {
+            Ok(v) => v,
+            Err(e) => {
+                self.inner
+                    .obs
+                    .counter(names::CLUSTER_REPLICATION_ERRORS)
+                    .inc();
+                eprintln!(
+                    "cluster: cannot read journal of dead peer {}: {e}",
+                    peer.addr
+                );
+                return;
+            }
+        };
+        if view.jobs.is_empty() {
+            return;
+        }
+        let adopted = farm.adopt(view.jobs);
+        self.inner
+            .obs
+            .counter(names::CLUSTER_ADOPTED)
+            .add(adopted as u64);
+        // The adopted jobs are durable in OUR journal now; quarantine
+        // the dead node's files so resurrection doesn't double-run.
+        for name in [lp_farm::JOURNAL_FILE, lp_farm::JOURNAL_LOG_FILE] {
+            let from = dir.join(name);
+            if from.exists() {
+                let _ = std::fs::rename(&from, dir.join(format!("{name}.adopted")));
+            }
+        }
+    }
+
+    // ---- join -----------------------------------------------------------
+
+    /// Joins an existing cluster through `seed`: POSTs this node's spec
+    /// to the seed (which broadcasts it) and returns the full member
+    /// list the seed answered with.
+    ///
+    /// # Errors
+    /// Transport failures or a malformed answer.
+    pub fn join_via(seed: &str, me: &NodeSpec) -> io::Result<Vec<NodeSpec>> {
+        let mut client = FarmClient::connect(seed.to_string());
+        let resp = client.http().send(
+            "POST",
+            "/cluster/join",
+            &[],
+            me.to_value().to_string().as_bytes(),
+            None,
+            true,
+        )?;
+        if resp.status != 200 {
+            return Err(io::Error::other(format!(
+                "join via {seed} answered {}: {}",
+                resp.status,
+                resp.text()
+            )));
+        }
+        let doc = lp_obs::json::parse(&resp.text())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let peers = doc
+            .get("peers")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "join answer lacks peers"))?;
+        peers
+            .iter()
+            .map(|p| {
+                NodeSpec::from_value(p).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            })
+            .collect()
+    }
+
+    // ---- plumbing -------------------------------------------------------
+
+    /// Runs `f` with the pooled client for `addr` (created on first
+    /// use). The pool lock is held only for the lookup; the per-peer
+    /// lock for the call.
+    fn with_client<R>(&self, addr: &str, f: impl FnOnce(&mut FarmClient) -> R) -> R {
+        let slot = {
+            let mut pool = self.inner.clients.lock().expect("cluster client pool lock");
+            Arc::clone(pool.entry(addr.to_string()).or_insert_with(|| {
+                let mut c = FarmClient::connect(addr.to_string());
+                c.set_timeout(Duration::from_millis(
+                    self.inner.cfg.rpc_timeout_ms.max(100),
+                ));
+                Arc::new(Mutex::new(c))
+            }))
+        };
+        let mut client = slot.lock().expect("cluster client lock");
+        f(&mut client)
+    }
+
+    fn refresh_gauges(&self) {
+        let m = self.membership();
+        let (alive, dead) = m.counts();
+        self.inner
+            .obs
+            .gauge(names::CLUSTER_PEERS_ALIVE)
+            .set(alive as f64);
+        self.inner
+            .obs
+            .gauge(names::CLUSTER_PEERS_DEAD)
+            .set(dead as f64);
+        self.inner
+            .obs
+            .gauge(names::CLUSTER_RING_NODES)
+            .set(m.ring.len() as f64);
+        self.inner
+            .obs
+            .gauge(names::CLUSTER_OWNED_FRACTION)
+            .set(m.ring.owned_fraction(&m.self_addr));
+    }
+}
+
+/// Everything a fully wired cluster member runs: node, farm, server,
+/// threads. [`spawn_node`] builds one; the driver and the tests/bench
+/// share this composition.
+pub struct RunningNode {
+    /// The cluster runtime.
+    pub node: ClusterNode,
+    /// The node's farm.
+    pub farm: Farm,
+    /// The HTTP front door (farm + `/cluster/*`).
+    pub server: FarmServer,
+    threads: Option<ClusterThreads>,
+}
+
+impl RunningNode {
+    /// Graceful teardown: farm drain, server stop, cluster threads
+    /// joined.
+    pub fn shutdown(mut self, mode: lp_farm::ShutdownMode) {
+        self.farm.shutdown(mode);
+        self.farm.join();
+        if let Some(threads) = self.threads.take() {
+            self.node.stop(threads);
+        }
+        self.server.stop();
+    }
+
+    /// Crash simulation: stops the HTTP front door and the cluster
+    /// threads *without* draining the farm, leaving the journal exactly
+    /// as `kill -9` would. The farm's worker threads are detached (the
+    /// [`Farm`] handle carries no `Drop`); peers observe the node as
+    /// dead once its port stops answering.
+    pub fn abandon(mut self) {
+        if let Some(threads) = self.threads.take() {
+            self.node.stop(threads);
+        }
+        self.server.stop();
+    }
+}
+
+/// Wires up one cluster member: node state, a [`ClusterBackend`] around
+/// `inner_backend`, the farm (journal in `farm_dir`, id base from the
+/// cluster ordinal), the HTTP server with cluster extensions, and the
+/// heartbeat/replication threads.
+///
+/// The `store` handle, when present, is shared between the cluster node
+/// (artifact serving, fetch-on-miss, replication) and whatever the
+/// caller's `inner_backend` does with its own clone — pass the same
+/// `Arc` to both so a fetched artifact is immediately visible to the
+/// backend's cache check.
+///
+/// # Errors
+/// Farm start or server bind failures.
+pub fn spawn_node(
+    bind: &str,
+    cluster_cfg: ClusterConfig,
+    mut farm_cfg: lp_farm::FarmConfig,
+    inner_backend: Arc<dyn lp_farm::JobBackend>,
+    store: Option<Arc<Store>>,
+    obs: Observer,
+) -> io::Result<RunningNode> {
+    let node = ClusterNode::new(cluster_cfg, store.clone(), obs.clone());
+    farm_cfg.id_base = node.id_base();
+    let backend = Arc::new(ClusterBackend::new(inner_backend, node.clone(), store));
+    let farm = Farm::start(farm_cfg, backend, obs)?;
+    node.attach_farm(farm.clone());
+    let server = FarmServer::start_with(bind, farm.clone(), node.extensions())?;
+    let threads = node.start_threads();
+    Ok(RunningNode {
+        node,
+        farm,
+        server,
+        threads: Some(threads),
+    })
+}

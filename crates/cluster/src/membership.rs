@@ -1,0 +1,352 @@
+//! Cluster membership: who the peers are, who is alive, and the ring
+//! derived from the live set.
+//!
+//! Membership is coordinator-light: every node is configured with (or
+//! fetches, via `--join`) the same static peer list and probes its
+//! peers' `/cluster/healthz` on a heartbeat. Liveness is the only
+//! gossip; the ring itself is a pure function of the alive set, so all
+//! members that agree on liveness agree on ownership.
+
+use crate::ring::Ring;
+use lp_obs::json::Value;
+use std::path::PathBuf;
+
+/// One configured cluster member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Advertised `host:port` of the member's farm server.
+    pub addr: String,
+    /// The member's farm directory (journal + store), when it is
+    /// reachable from this node's filesystem — required for failover
+    /// re-adoption of the member's journaled queue.
+    pub dir: Option<PathBuf>,
+}
+
+impl NodeSpec {
+    /// Parses `addr` or `addr=dir`.
+    ///
+    /// # Errors
+    /// A message when the address part is empty.
+    pub fn parse(s: &str) -> Result<NodeSpec, String> {
+        let (addr, dir) = match s.split_once('=') {
+            Some((a, d)) => (a.trim(), Some(PathBuf::from(d.trim()))),
+            None => (s.trim(), None),
+        };
+        if addr.is_empty() {
+            return Err(format!("bad peer spec '{s}': empty address"));
+        }
+        Ok(NodeSpec {
+            addr: addr.to_string(),
+            dir,
+        })
+    }
+
+    /// Wire JSON for `/cluster/peers`.
+    pub fn to_value(&self) -> Value {
+        let mut members = vec![("addr".to_string(), Value::Str(self.addr.clone()))];
+        if let Some(dir) = &self.dir {
+            members.push((
+                "dir".to_string(),
+                Value::Str(dir.to_string_lossy().into_owned()),
+            ));
+        }
+        members.push(("dir_known".to_string(), Value::Bool(self.dir.is_some())));
+        Value::Obj(members)
+    }
+
+    /// Parses [`NodeSpec::to_value`] output.
+    ///
+    /// # Errors
+    /// A message when `addr` is missing.
+    pub fn from_value(v: &Value) -> Result<NodeSpec, String> {
+        Ok(NodeSpec {
+            addr: v
+                .get("addr")
+                .and_then(Value::as_str)
+                .ok_or("peer object missing 'addr'")?
+                .to_string(),
+            dir: v.get("dir").and_then(Value::as_str).map(PathBuf::from),
+        })
+    }
+}
+
+/// Liveness bookkeeping for one peer.
+#[derive(Debug, Clone)]
+pub struct PeerState {
+    /// The configured member.
+    pub spec: NodeSpec,
+    /// Currently considered alive.
+    pub alive: bool,
+    /// Consecutive failed heartbeats (reset on success).
+    pub failures: u32,
+    /// Whether this node has already adopted the peer's journal since
+    /// it was last seen alive (one adoption per death).
+    pub adopted: bool,
+}
+
+/// The membership table + the ring derived from its alive subset.
+#[derive(Debug)]
+pub struct Membership {
+    /// This node's advertised address.
+    pub self_addr: String,
+    /// All configured members, self included.
+    pub peers: Vec<PeerState>,
+    /// Ring over the alive members.
+    pub ring: Ring,
+    /// Virtual nodes per member.
+    pub vnodes: usize,
+    /// Consecutive heartbeat failures before a peer is declared dead.
+    pub failure_threshold: u32,
+}
+
+/// What a liveness transition asks the node runtime to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transition {
+    /// A peer crossed the failure threshold: the ring was rebuilt
+    /// without it; if this node is the agreed adopter, re-adopt the
+    /// dead peer's journal.
+    Died {
+        /// The dead peer.
+        peer: NodeSpec,
+        /// Whether *this* node is the canonical adopter.
+        adopt_here: bool,
+    },
+    /// A dead peer answered again: re-added to the ring.
+    Revived {
+        /// The revived peer.
+        peer: NodeSpec,
+    },
+}
+
+impl Membership {
+    /// Builds the table for `peers` (self included; it is added if
+    /// absent), all initially alive.
+    pub fn new(
+        self_addr: &str,
+        peers: &[NodeSpec],
+        vnodes: usize,
+        failure_threshold: u32,
+    ) -> Membership {
+        let mut list: Vec<NodeSpec> = peers.to_vec();
+        if !list.iter().any(|p| p.addr == self_addr) {
+            list.push(NodeSpec {
+                addr: self_addr.to_string(),
+                dir: None,
+            });
+        }
+        list.sort_by(|a, b| a.addr.cmp(&b.addr));
+        list.dedup_by(|a, b| a.addr == b.addr);
+        let ring = Ring::build(
+            &list.iter().map(|p| p.addr.clone()).collect::<Vec<_>>(),
+            vnodes,
+        );
+        Membership {
+            self_addr: self_addr.to_string(),
+            peers: list
+                .into_iter()
+                .map(|spec| PeerState {
+                    spec,
+                    alive: true,
+                    failures: 0,
+                    adopted: false,
+                })
+                .collect(),
+            ring,
+            vnodes,
+            failure_threshold: failure_threshold.max(1),
+        }
+    }
+
+    /// This node's ordinal in the sorted member list — the basis of its
+    /// disjoint job-id range (`FarmConfig::id_base`), so adopted jobs
+    /// keep their ids without colliding with the adopter's own.
+    pub fn self_ordinal(&self) -> u64 {
+        self.peers
+            .iter()
+            .position(|p| p.spec.addr == self.self_addr)
+            .unwrap_or(0) as u64
+    }
+
+    /// Addresses of the currently-alive members.
+    pub fn alive_addrs(&self) -> Vec<String> {
+        self.peers
+            .iter()
+            .filter(|p| p.alive)
+            .map(|p| p.spec.addr.clone())
+            .collect()
+    }
+
+    /// `(alive, dead)` member counts.
+    pub fn counts(&self) -> (usize, usize) {
+        let alive = self.peers.iter().filter(|p| p.alive).count();
+        (alive, self.peers.len() - alive)
+    }
+
+    fn rebuild_ring(&mut self) {
+        self.ring = Ring::build(&self.alive_addrs(), self.vnodes);
+    }
+
+    /// Adds (or re-learns) a member, rebuilding the ring. Returns
+    /// whether the membership changed.
+    pub fn add_peer(&mut self, spec: NodeSpec) -> bool {
+        if let Some(existing) = self.peers.iter_mut().find(|p| p.spec.addr == spec.addr) {
+            // Learn a journal dir we did not know (join after static
+            // config); address identity is what matters.
+            if existing.spec.dir.is_none() && spec.dir.is_some() {
+                existing.spec.dir = spec.dir;
+                return true;
+            }
+            return false;
+        }
+        self.peers.push(PeerState {
+            spec,
+            alive: true,
+            failures: 0,
+            adopted: false,
+        });
+        self.peers.sort_by(|a, b| a.spec.addr.cmp(&b.spec.addr));
+        self.rebuild_ring();
+        true
+    }
+
+    /// Records one heartbeat result for `addr`. Returns the liveness
+    /// transition, if this result caused one.
+    pub fn heartbeat_result(&mut self, addr: &str, ok: bool) -> Option<Transition> {
+        let threshold = self.failure_threshold;
+        // The ring *before* this transition decides the adopter, so all
+        // members (which shared that ring) agree on it.
+        let pre_ring = self.ring.clone();
+        let peer = self.peers.iter_mut().find(|p| p.spec.addr == addr)?;
+        if ok {
+            peer.failures = 0;
+            if peer.alive {
+                return None;
+            }
+            peer.alive = true;
+            peer.adopted = false;
+            let spec = peer.spec.clone();
+            self.rebuild_ring();
+            return Some(Transition::Revived { peer: spec });
+        }
+        peer.failures = peer.failures.saturating_add(1);
+        if !peer.alive || peer.failures < threshold {
+            return None;
+        }
+        peer.alive = false;
+        let spec = peer.spec.clone();
+        self.rebuild_ring();
+        let adopt_here = pre_ring
+            .adopter_for(&spec.addr)
+            .is_some_and(|a| a == self.self_addr);
+        Some(Transition::Died {
+            peer: spec,
+            adopt_here,
+        })
+    }
+
+    /// Marks a peer's journal as adopted (idempotence guard). Returns
+    /// `false` when it was already adopted since its death.
+    pub fn claim_adoption(&mut self, addr: &str) -> bool {
+        match self.peers.iter_mut().find(|p| p.spec.addr == addr) {
+            Some(p) if !p.adopted => {
+                p.adopted = true;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(n: usize) -> Vec<NodeSpec> {
+        (0..n)
+            .map(|i| NodeSpec {
+                addr: format!("127.0.0.1:91{i:02}"),
+                dir: Some(PathBuf::from(format!("/tmp/node{i}"))),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parse_accepts_addr_and_addr_eq_dir() {
+        let p = NodeSpec::parse("127.0.0.1:9100=/data/n0").unwrap();
+        assert_eq!(p.addr, "127.0.0.1:9100");
+        assert_eq!(p.dir.as_deref(), Some(std::path::Path::new("/data/n0")));
+        let p = NodeSpec::parse("127.0.0.1:9100").unwrap();
+        assert_eq!(p.dir, None);
+        assert!(NodeSpec::parse("=/data/x").is_err());
+    }
+
+    #[test]
+    fn ordinals_are_distinct_and_stable() {
+        let peers = specs(3);
+        let ordinals: Vec<u64> = peers
+            .iter()
+            .map(|p| Membership::new(&p.addr, &peers, 16, 3).self_ordinal())
+            .collect();
+        let mut sorted = ordinals.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "ordinals must be distinct: {ordinals:?}");
+    }
+
+    #[test]
+    fn death_requires_threshold_and_fires_once() {
+        let peers = specs(3);
+        let mut m = Membership::new("127.0.0.1:9100", &peers, 16, 3);
+        let dead = "127.0.0.1:9101";
+        assert_eq!(m.heartbeat_result(dead, false), None);
+        assert_eq!(m.heartbeat_result(dead, false), None);
+        let t = m
+            .heartbeat_result(dead, false)
+            .expect("third failure kills");
+        assert!(matches!(t, Transition::Died { ref peer, .. } if peer.addr == dead));
+        // Already dead: further failures are silent.
+        assert_eq!(m.heartbeat_result(dead, false), None);
+        assert_eq!(m.counts(), (2, 1));
+        assert!(!m.ring.nodes().iter().any(|n| n == dead));
+        // Exactly one adoption claim per death.
+        assert!(m.claim_adoption(dead));
+        assert!(!m.claim_adoption(dead));
+        // Revival rebuilds the ring and re-arms adoption.
+        let t = m.heartbeat_result(dead, true).expect("revival transitions");
+        assert!(matches!(t, Transition::Revived { .. }));
+        assert!(m.ring.nodes().iter().any(|n| n == dead));
+        assert!(
+            m.heartbeat_result(dead, true).is_none(),
+            "steady alive is silent"
+        );
+    }
+
+    #[test]
+    fn exactly_one_member_adopts_a_death() {
+        let peers = specs(4);
+        let dead = &peers[2].addr;
+        let mut adopters = 0;
+        for me in &peers {
+            if me.addr == *dead {
+                continue;
+            }
+            let mut m = Membership::new(&me.addr, &peers, 16, 1);
+            if let Some(Transition::Died { adopt_here, .. }) = m.heartbeat_result(dead, false) {
+                if adopt_here {
+                    adopters += 1;
+                }
+            }
+        }
+        assert_eq!(adopters, 1, "the survivors must agree on one adopter");
+    }
+
+    #[test]
+    fn add_peer_learns_dirs_and_new_members() {
+        let mut m = Membership::new("127.0.0.1:9100", &specs(2), 16, 3);
+        assert!(!m.add_peer(specs(2)[1].clone()), "known peer is a no-op");
+        let newcomer = NodeSpec::parse("127.0.0.1:9102=/tmp/node2").unwrap();
+        assert!(m.add_peer(newcomer.clone()));
+        assert_eq!(m.counts(), (3, 0));
+        assert!(m.ring.nodes().iter().any(|n| n == &newcomer.addr));
+    }
+}

@@ -1,0 +1,420 @@
+//! In-process multi-node integration tests: forwarding, cluster-wide
+//! dedup through the store, protocol negotiation, and failover
+//! re-adoption — the cluster contracts that need real sockets and real
+//! journals but not real workloads.
+
+use lp_cluster::{spawn_node, ClusterConfig, NodeSpec, Ring, RunningNode};
+use lp_farm::{FarmConfig, JobBackend, JobSpec, ShutdownMode};
+use lp_farm_proto::{FarmClient, FORWARDED_HEADER, PROTO_HEADER};
+use lp_obs::{names, Observer};
+use lp_store::{ArtifactKind, Store, StoreKey};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "lp-cluster-test-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Grabs a free loopback port by binding to `:0` and releasing it.
+fn free_addr() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    format!("127.0.0.1:{}", l.local_addr().unwrap().port())
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, timeout: Duration) -> bool {
+    let start = std::time::Instant::now();
+    while start.elapsed() < timeout {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cond()
+}
+
+/// The content key the mock backend derives — same function on every
+/// node, 32 hex chars so the key participates in the ring and the
+/// store.
+fn mock_key(spec: &JobSpec) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{}|{}|{}", spec.program, spec.input, spec.ncores).bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    let h2 = h.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31);
+    format!("{h:016x}{h2:016x}")
+}
+
+/// Content-keyed mock workload: memoizes its summary in the node's
+/// store (as the real pipeline backend does), counts true computes, and
+/// optionally blocks while `gate` is up so a job can be pinned inside a
+/// node we are about to crash.
+struct MockBackend {
+    computes: Arc<AtomicU64>,
+    store: Option<Arc<Store>>,
+    gate: Option<Arc<AtomicBool>>,
+}
+
+impl JobBackend for MockBackend {
+    fn job_key(&self, spec: &JobSpec) -> Result<String, String> {
+        Ok(mock_key(spec))
+    }
+
+    fn execute(&self, spec: &JobSpec, cancel: &looppoint::CancelToken) -> Result<String, String> {
+        if let Some(gate) = &self.gate {
+            while gate.load(Ordering::SeqCst) {
+                if cancel.is_cancelled() {
+                    return Err("cancelled while gated".to_string());
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        let key = StoreKey::from_hex(&mock_key(spec)).expect("mock keys are store-shaped");
+        if let Some(store) = &self.store {
+            if let Some(cached) = store.load(&key, ArtifactKind::JobSummary) {
+                return String::from_utf8(cached).map_err(|e| e.to_string());
+            }
+        }
+        self.computes.fetch_add(1, Ordering::SeqCst);
+        let summary = format!(r#"{{"program":"{}","regions":3}}"#, spec.program);
+        if let Some(store) = &self.store {
+            store
+                .save(&key, ArtifactKind::JobSummary, summary.as_bytes())
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(summary)
+    }
+}
+
+struct TestNode {
+    running: RunningNode,
+    addr: String,
+    computes: Arc<AtomicU64>,
+    obs: Observer,
+}
+
+impl TestNode {
+    fn client(&self) -> FarmClient {
+        let mut c = FarmClient::connect(self.addr.clone());
+        c.set_timeout(Duration::from_secs(5));
+        c
+    }
+}
+
+/// Boots `addrs.len()` nodes under `root`, each with its own store,
+/// journal, observer, and mock backend; `gates[i]` pins node i's
+/// executes while up.
+fn boot_cluster(root: &Path, addrs: &[String], gates: &[Option<Arc<AtomicBool>>]) -> Vec<TestNode> {
+    let peers: Vec<NodeSpec> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| NodeSpec {
+            addr: a.clone(),
+            dir: Some(root.join(format!("farm-{i}"))),
+        })
+        .collect();
+    addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let obs = Observer::enabled();
+            let store =
+                Arc::new(Store::open(root.join(format!("store-{i}")), obs.clone()).unwrap());
+            let computes = Arc::new(AtomicU64::new(0));
+            let gate = gates.get(i).cloned().flatten();
+            let backend = Arc::new(MockBackend {
+                computes: Arc::clone(&computes),
+                store: Some(Arc::clone(&store)),
+                gate: gate.clone(),
+            });
+            let running = spawn_node(
+                addr,
+                ClusterConfig {
+                    self_addr: addr.clone(),
+                    peers: peers.clone(),
+                    vnodes: 64,
+                    heartbeat_ms: 100,
+                    failure_threshold: 3,
+                    rpc_timeout_ms: 2_000,
+                },
+                FarmConfig {
+                    workers: 2,
+                    dir: Some(root.join(format!("farm-{i}"))),
+                    journal_flush_ms: 0,
+                    ..FarmConfig::default()
+                },
+                backend,
+                Some(store),
+                obs.clone(),
+            )
+            .unwrap();
+            TestNode {
+                running,
+                addr: addr.clone(),
+                computes,
+                obs,
+            }
+        })
+        .collect()
+}
+
+/// A spec whose content key the given ring member owns (and, when
+/// `replicas_exclude` is set, whose 2-owner set avoids that member).
+fn spec_owned_by(ring: &Ring, owner: &str, replicas_exclude: Option<&str>) -> JobSpec {
+    for i in 0..10_000 {
+        let spec = JobSpec {
+            program: format!("wl-{i}"),
+            ..JobSpec::default()
+        };
+        let key = StoreKey::from_hex(&mock_key(&spec)).unwrap();
+        if ring.owner(&key.0) != Some(owner) {
+            continue;
+        }
+        if let Some(excluded) = replicas_exclude {
+            if ring.owners(&key.0, 2).contains(&excluded) {
+                continue;
+            }
+        }
+        return spec;
+    }
+    panic!("no spec found owned by {owner}");
+}
+
+fn ordinal(addrs: &[String], addr: &str) -> u64 {
+    let mut sorted: Vec<&String> = addrs.iter().collect();
+    sorted.sort();
+    sorted.iter().position(|a| *a == addr).unwrap() as u64
+}
+
+#[test]
+fn forwarded_submit_returns_owner_range_id() {
+    let root = tmpdir("forward");
+    let addrs = vec![free_addr(), free_addr()];
+    let nodes = boot_cluster(&root, &addrs, &[None, None]);
+    let ring = Ring::build(&addrs, 64);
+
+    // A spec owned by node B, submitted to node A, must come back with
+    // an id carved from B's range — proof the submission crossed nodes.
+    let spec = spec_owned_by(&ring, &addrs[1], None);
+    let (status, outcomes) = nodes[0]
+        .client()
+        .submit(std::slice::from_ref(&spec), None)
+        .unwrap();
+    assert_eq!(status, 202);
+    let id = outcomes[0].id().expect("forwarded submit accepted");
+    assert_eq!(
+        id >> lp_cluster::ID_RANGE_BITS,
+        ordinal(&addrs, &addrs[1]) + 1,
+        "id {id:#x} not in the owner's range"
+    );
+
+    // The job record lives on the owner and completes there.
+    let mut owner_client = nodes[1].client();
+    assert!(
+        wait_until(
+            || owner_client
+                .job(id)
+                .map(|j| j.is_terminal())
+                .unwrap_or(false),
+            Duration::from_secs(10),
+        ),
+        "forwarded job never finished on the owner"
+    );
+    assert_eq!(owner_client.job(id).unwrap().state, "done");
+    assert_eq!(nodes[1].computes.load(Ordering::SeqCst), 1);
+    assert_eq!(nodes[0].computes.load(Ordering::SeqCst), 0);
+    assert!(nodes[0].obs.counter(names::CLUSTER_FORWARDED).get() >= 1);
+
+    // /healthz on any member reports the cluster block.
+    let health = nodes[0].client().healthz().unwrap();
+    let cluster = health.get("cluster").expect("healthz cluster block");
+    assert_eq!(cluster.get("ring_nodes").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(cluster.get("peers_alive").and_then(|v| v.as_u64()), Some(2));
+
+    for node in nodes {
+        node.running.shutdown(ShutdownMode::Drain);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn incompatible_protocol_version_is_rejected_with_426() {
+    let root = tmpdir("proto");
+    let addrs = vec![free_addr()];
+    let nodes = boot_cluster(&root, &addrs, &[None]);
+
+    let mut raw = lp_obs::http::HttpClient::new(addrs[0].clone());
+    let resp = raw
+        .send(
+            "GET",
+            "/healthz",
+            &[(PROTO_HEADER.to_string(), "999".to_string())],
+            &[],
+            None,
+            true,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 426);
+    // Every response (including the refusal) advertises the server's
+    // version so the client knows what to upgrade to.
+    assert_eq!(resp.header(PROTO_HEADER), Some("1"));
+
+    // Legacy clients (no header) still pass.
+    let resp = raw.send("GET", "/healthz", &[], &[], None, true).unwrap();
+    assert_eq!(resp.status, 200);
+
+    for node in nodes {
+        node.running.shutdown(ShutdownMode::Drain);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cross_node_dedup_fetches_the_owner_artifact_instead_of_computing() {
+    let root = tmpdir("dedup");
+    let addrs = vec![free_addr(), free_addr(), free_addr()];
+    let nodes = boot_cluster(&root, &addrs, &[None, None, None]);
+    let ring = Ring::build(&addrs, 64);
+
+    // Owned by A with a 2-owner set that excludes C: replication will
+    // never seed C's store, so C answering without a compute proves the
+    // fetch-on-miss path.
+    let spec = spec_owned_by(&ring, &addrs[0], Some(&addrs[2]));
+
+    let (status, outcomes) = nodes[0]
+        .client()
+        .submit(std::slice::from_ref(&spec), None)
+        .unwrap();
+    assert_eq!(status, 202);
+    let first_id = outcomes[0].id().unwrap();
+    let mut a_client = nodes[0].client();
+    assert!(wait_until(
+        || a_client
+            .job(first_id)
+            .map(|j| j.is_terminal())
+            .unwrap_or(false),
+        Duration::from_secs(10),
+    ));
+    assert_eq!(nodes[0].computes.load(Ordering::SeqCst), 1);
+
+    // Same work submitted to C, marked forwarded so C must handle it
+    // locally instead of handing it back to A.
+    let (status, outcomes) = nodes[2]
+        .client()
+        .submit_with(
+            &[spec],
+            None,
+            &[(FORWARDED_HEADER.to_string(), "1".to_string())],
+        )
+        .unwrap();
+    assert_eq!(status, 202);
+    let second_id = outcomes[0].id().unwrap();
+    assert_eq!(
+        second_id >> lp_cluster::ID_RANGE_BITS,
+        ordinal(&addrs, &addrs[2]) + 1,
+        "forced-local submit must use C's id range"
+    );
+    let mut c_client = nodes[2].client();
+    assert!(wait_until(
+        || c_client
+            .job(second_id)
+            .map(|j| j.is_terminal())
+            .unwrap_or(false),
+        Duration::from_secs(10),
+    ));
+    let record = c_client.job(second_id).unwrap();
+    assert_eq!(record.state, "done");
+    assert_eq!(
+        record
+            .result
+            .as_ref()
+            .and_then(|r| r.get("regions"))
+            .and_then(|v| v.as_u64()),
+        Some(3),
+        "fetched artifact must parse as the job summary"
+    );
+
+    // The cluster computed once, total; C's answer came over the wire.
+    assert_eq!(nodes[2].computes.load(Ordering::SeqCst), 0);
+    let total: u64 = nodes
+        .iter()
+        .map(|n| n.computes.load(Ordering::SeqCst))
+        .sum();
+    assert_eq!(
+        total, 1,
+        "cluster-wide dedup must collapse N submits to 1 compute"
+    );
+    assert!(nodes[2].obs.counter(names::CLUSTER_FETCH_HITS).get() >= 1);
+
+    for node in nodes {
+        node.running.shutdown(ShutdownMode::Drain);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dead_node_journal_is_adopted_and_completed_by_the_survivor() {
+    let root = tmpdir("adopt");
+    let addrs = vec![free_addr(), free_addr()];
+    // Node B's backend is gated: its job starts but can never finish,
+    // so the journal still holds it when B "crashes".
+    let gate = Arc::new(AtomicBool::new(true));
+    let mut nodes = boot_cluster(&root, &addrs, &[None, Some(Arc::clone(&gate))]);
+    let ring = Ring::build(&addrs, 64);
+
+    let spec = spec_owned_by(&ring, &addrs[1], None);
+    let (status, outcomes) = nodes[1].client().submit(&[spec], None).unwrap();
+    assert_eq!(status, 202);
+    let id = outcomes[0].id().unwrap();
+    assert_eq!(
+        id >> lp_cluster::ID_RANGE_BITS,
+        ordinal(&addrs, &addrs[1]) + 1
+    );
+
+    // Give the journal a beat to persist the enqueue, then crash B
+    // without draining. Its gated worker thread is left behind, still
+    // blocked, exactly like a process that died mid-job.
+    std::thread::sleep(Duration::from_millis(200));
+    let b = nodes.remove(1);
+    b.running.abandon();
+
+    // A's heartbeat declares B dead (3 failures x 100ms), adopts B's
+    // journal, re-runs the job under its original id, and finishes it —
+    // A's backend has no gate.
+    let mut a_client = nodes[0].client();
+    assert!(
+        wait_until(
+            || { a_client.job(id).map(|j| j.state == "done").unwrap_or(false) },
+            Duration::from_secs(15),
+        ),
+        "survivor never completed the dead node's job"
+    );
+    assert!(nodes[0].obs.counter(names::CLUSTER_ADOPTED).get() >= 1);
+    assert!(nodes[0].obs.counter(names::CLUSTER_PEER_DEATHS).get() >= 1);
+    assert_eq!(nodes[0].computes.load(Ordering::SeqCst), 1);
+
+    // The dead node's journal was quarantined so a resurrected B will
+    // not re-run the adopted work.
+    let adopted_marker = std::fs::read_dir(root.join("farm-1"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .any(|e| e.file_name().to_string_lossy().ends_with(".adopted"));
+    assert!(adopted_marker, "adoption must rename the dead journal");
+
+    gate.store(false, Ordering::SeqCst);
+    for node in nodes {
+        node.running.shutdown(ShutdownMode::Drain);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

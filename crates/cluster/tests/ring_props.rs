@@ -1,0 +1,154 @@
+//! Property tests for the consistent-hash ring — the three contracts
+//! the cluster design rests on:
+//!
+//! 1. **Serialization stability**: a ring rebuilt from its wire
+//!    document maps every key to the same owner as the original (peers
+//!    exchanging `/cluster/peers` agree on ownership).
+//! 2. **Balance**: with ≥ 64 virtual nodes, no member owns more than
+//!    `1/n + ε` of the circle — one node cannot become the cluster's
+//!    hot shard.
+//! 3. **Minimal remapping**: a join only moves keys *onto* the
+//!    newcomer, a leave only moves keys *off* the departed node —
+//!    survivors never shuffle keys among themselves, so membership
+//!    churn invalidates the least possible cached/journaled ownership.
+
+use lp_cluster::Ring;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random 16-byte keys from a seed.
+fn keys(seed: u64, n: usize) -> Vec<[u8; 16]> {
+    let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut key = [0u8; 16];
+        for chunk in key.chunks_mut(8) {
+            x = x
+                .wrapping_mul(0x5851_f42d_4c95_7f2d)
+                .wrapping_add(0x1405_7b7e_f767_814f);
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        out.push(key);
+    }
+    out
+}
+
+fn members(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("10.1.0.{}:9{:03}", i + 1, 100 + i))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round-tripping the ring through its wire document preserves the
+    /// key→owner map exactly.
+    #[test]
+    fn owners_survive_serialization_round_trip(
+        n in 1usize..8,
+        vnodes in 1usize..128,
+        seed in any::<u64>(),
+    ) {
+        let ring = Ring::build(&members(n), vnodes);
+        let back = Ring::from_value(&ring.to_value()).expect("wire round trip");
+        prop_assert_eq!(ring.nodes(), back.nodes());
+        prop_assert_eq!(ring.vnodes(), back.vnodes());
+        for key in keys(seed, 256) {
+            prop_assert_eq!(ring.owner(&key), back.owner(&key));
+        }
+    }
+
+    /// With ≥ 64 vnodes no member owns more than 1/n + ε of the circle
+    /// (ε = 1.5/n here: max shard ≤ 2.5× the fair share — virtual
+    /// nodes bound the imbalance; a single-point-per-node ring can hit
+    /// n× the fair share).
+    #[test]
+    fn vnodes_bound_the_shard_imbalance(
+        n in 2usize..9,
+        vnodes in 64usize..193,
+        extra_seed in 0u64..4,
+    ) {
+        // Vary the member names so the property holds for arbitrary
+        // addresses, not one lucky set.
+        let nodes: Vec<String> = (0..n)
+            .map(|i| format!("host-{extra_seed}-{i}.example:9{:03}", 100 + i))
+            .collect();
+        let ring = Ring::build(&nodes, vnodes);
+        let cap = 1.0 / n as f64 + 1.5 / n as f64;
+        for node in ring.nodes() {
+            let f = ring.owned_fraction(node);
+            prop_assert!(
+                f <= cap,
+                "node {} owns {:.4} of the circle (cap {:.4}, n={}, vnodes={})",
+                node, f, cap, n, vnodes
+            );
+        }
+        // And the fractions still tile the whole circle.
+        let sum: f64 = ring.nodes().iter().map(|m| ring.owned_fraction(m)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// A join moves keys only onto the newcomer; a leave moves keys
+    /// only off the departed node. Keys whose owner survives the change
+    /// keep that owner — the minimal-remapping property that makes
+    /// consistent hashing worth its name.
+    #[test]
+    fn join_and_leave_remap_minimally(
+        n in 2usize..7,
+        vnodes in 64usize..129,
+        seed in any::<u64>(),
+    ) {
+        let full = members(n + 1);
+        let newcomer = full[n].clone();
+        let before = Ring::build(&full[..n], vnodes);
+        let after = Ring::build(&full, vnodes);
+        let sample = keys(seed, 512);
+        let mut moved = 0usize;
+        for key in &sample {
+            let old = before.owner(key).unwrap();
+            let new = after.owner(key).unwrap();
+            if old != new {
+                // The only legal move is onto the newcomer.
+                prop_assert_eq!(
+                    new, newcomer.as_str(),
+                    "join moved a key between survivors ({} -> {})", old, new
+                );
+                moved += 1;
+            }
+        }
+        // The newcomer must actually take some load (expected share is
+        // 1/(n+1) of 512 keys; require at least one).
+        prop_assert!(moved > 0, "newcomer took no keys");
+
+        // Leave is the inverse: drop a member from the full ring and
+        // check keys only move off it.
+        let departed = full[0].clone();
+        let shrunk = Ring::build(&full[1..], vnodes);
+        for key in &sample {
+            let old = after.owner(key).unwrap();
+            let new = shrunk.owner(key).unwrap();
+            if old != departed {
+                prop_assert_eq!(
+                    old, new,
+                    "leave moved a key whose owner survived"
+                );
+            } else {
+                prop_assert!(new != departed);
+            }
+        }
+    }
+
+    /// The agreed adopter is deterministic across members and never the
+    /// dead node itself.
+    #[test]
+    fn adopter_agreement(n in 2usize..7, vnodes in 16usize..96, dead_idx in 0usize..7) {
+        let nodes = members(n);
+        let dead = nodes[dead_idx % n].clone();
+        let ring = Ring::build(&nodes, vnodes);
+        let adopter = ring.adopter_for(&dead).expect("survivors exist");
+        prop_assert!(adopter != dead);
+        // Any member rebuilding the same ring picks the same adopter.
+        let again = Ring::build(&nodes, vnodes).adopter_for(&dead).unwrap();
+        prop_assert_eq!(adopter, again);
+    }
+}

@@ -1,0 +1,251 @@
+//! The typed farm client: a keep-alive [`HttpClient`] speaking the
+//! versioned protocol. Tenant CLIs (`submit`, `status`, `trace`,
+//! `farm-load`) and cluster inter-node paths all go through this type,
+//! so negotiation, retry policy, and body parsing live in one place.
+
+use crate::wire::{JobStatus, SubmitOutcome};
+use crate::{JobSpec, PROTO_HEADER, PROTO_VERSION};
+use lp_obs::http::{ClientResponse, HttpClient};
+use lp_obs::json::Value;
+use lp_obs::TraceContext;
+use std::io;
+use std::time::Duration;
+
+/// Errors from [`FarmClient`] calls.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered with a non-success status.
+    Http {
+        /// HTTP status code.
+        status: u16,
+        /// Response body (usually a JSON error object).
+        body: String,
+    },
+    /// The server speaks an incompatible protocol version.
+    VersionMismatch {
+        /// What the server advertised.
+        server: String,
+    },
+    /// The body did not parse as the expected shape.
+    Parse(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "farm transport: {e}"),
+            ProtoError::Http { status, body } => write!(f, "farm answered {status}: {body}"),
+            ProtoError::VersionMismatch { server } => write!(
+                f,
+                "protocol version mismatch: server speaks {server}, this client speaks {PROTO_VERSION}"
+            ),
+            ProtoError::Parse(msg) => write!(f, "bad farm response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// A typed client for one farm node.
+#[derive(Debug)]
+pub struct FarmClient {
+    http: HttpClient,
+}
+
+impl FarmClient {
+    /// A client for `addr` (`host:port`); connects lazily. Every request
+    /// carries `x-lp-proto:` [`PROTO_VERSION`].
+    pub fn connect(addr: impl Into<String>) -> FarmClient {
+        let mut http = HttpClient::new(addr);
+        http.push_default_header(PROTO_HEADER, PROTO_VERSION.to_string());
+        FarmClient { http }
+    }
+
+    /// The node address this client talks to.
+    pub fn addr(&self) -> &str {
+        self.http.addr()
+    }
+
+    /// Sets the per-request timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.http.set_timeout(timeout);
+    }
+
+    /// The underlying transport (keep-alive reuse counters, extra
+    /// headers).
+    pub fn http(&mut self) -> &mut HttpClient {
+        &mut self.http
+    }
+
+    /// Verifies the server's advertised protocol version, if present.
+    fn negotiated(resp: ClientResponse) -> Result<ClientResponse, ProtoError> {
+        if let Some(v) = resp.header(PROTO_HEADER) {
+            if !crate::version_compatible(Some(v)) {
+                return Err(ProtoError::VersionMismatch {
+                    server: v.to_string(),
+                });
+            }
+        }
+        Ok(resp)
+    }
+
+    fn get(&mut self, path: &str) -> Result<ClientResponse, ProtoError> {
+        let resp = self.http.send("GET", path, &[], &[], None, true)?;
+        Self::negotiated(resp)
+    }
+
+    fn get_ok_json(&mut self, path: &str) -> Result<Value, ProtoError> {
+        let resp = self.get(path)?;
+        if resp.status != 200 {
+            return Err(ProtoError::Http {
+                status: resp.status,
+                body: resp.text(),
+            });
+        }
+        lp_obs::json::parse(&resp.text()).map_err(|e| ProtoError::Parse(e.to_string()))
+    }
+
+    /// Submits a batch of specs (one NDJSON line each), optionally
+    /// parented under `trace`, with `extra` request headers (the cluster
+    /// forwarding path adds [`crate::FORWARDED_HEADER`] here). Returns
+    /// the HTTP status and the per-line outcomes, in submission order.
+    /// Content-keyed submissions are idempotent, so stale keep-alive
+    /// connections are retried transparently.
+    ///
+    /// # Errors
+    /// Transport failures, version mismatch, or an unparseable body.
+    /// Per-line rejections are *not* errors; they come back as
+    /// [`SubmitOutcome::Rejected`].
+    pub fn submit_with(
+        &mut self,
+        specs: &[JobSpec],
+        trace: Option<&TraceContext>,
+        extra: &[(String, String)],
+    ) -> Result<(u16, Vec<SubmitOutcome>), ProtoError> {
+        let mut body = String::new();
+        for spec in specs {
+            body.push_str(&spec.to_value().to_string());
+            body.push('\n');
+        }
+        let resp = self
+            .http
+            .send("POST", "/jobs", extra, body.as_bytes(), trace, true)?;
+        let resp = Self::negotiated(resp)?;
+        let text = resp.text();
+        if resp.status != 202 && resp.status != 503 && resp.status != 400 {
+            return Err(ProtoError::Http {
+                status: resp.status,
+                body: text,
+            });
+        }
+        let mut outcomes = Vec::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let v = lp_obs::json::parse(line).map_err(|e| ProtoError::Parse(e.to_string()))?;
+            outcomes.push(SubmitOutcome::from_value(&v).map_err(ProtoError::Parse)?);
+        }
+        Ok((resp.status, outcomes))
+    }
+
+    /// [`FarmClient::submit_with`] without extra headers.
+    ///
+    /// # Errors
+    /// See [`FarmClient::submit_with`].
+    pub fn submit(
+        &mut self,
+        specs: &[JobSpec],
+        trace: Option<&TraceContext>,
+    ) -> Result<(u16, Vec<SubmitOutcome>), ProtoError> {
+        self.submit_with(specs, trace, &[])
+    }
+
+    /// Fetches one job record.
+    ///
+    /// # Errors
+    /// Transport, non-200 status, or an unparseable body.
+    pub fn job(&mut self, id: u64) -> Result<JobStatus, ProtoError> {
+        let v = self.get_ok_json(&format!("/jobs/{id}"))?;
+        JobStatus::from_value(&v).map_err(ProtoError::Parse)
+    }
+
+    /// Fetches a job's Chrome `trace_event` document.
+    ///
+    /// # Errors
+    /// Transport, non-200 status, or an unparseable body.
+    pub fn trace_document(&mut self, id: u64) -> Result<Value, ProtoError> {
+        self.get_ok_json(&format!("/jobs/{id}/trace"))
+    }
+
+    /// Fetches `/healthz`.
+    ///
+    /// # Errors
+    /// Transport, non-200 status, or an unparseable body.
+    pub fn healthz(&mut self) -> Result<Value, ProtoError> {
+        self.get_ok_json("/healthz")
+    }
+
+    /// Fetches `/queue`.
+    ///
+    /// # Errors
+    /// Transport, non-200 status, or an unparseable body.
+    pub fn queue(&mut self) -> Result<Value, ProtoError> {
+        self.get_ok_json("/queue")
+    }
+
+    /// Fetches the Prometheus text document.
+    ///
+    /// # Errors
+    /// Transport or a non-200 status.
+    pub fn metrics(&mut self) -> Result<String, ProtoError> {
+        let resp = self.get("/metrics")?;
+        if resp.status != 200 {
+            return Err(ProtoError::Http {
+                status: resp.status,
+                body: resp.text(),
+            });
+        }
+        Ok(resp.text())
+    }
+
+    /// Cancels a job; returns the server's `{cancelled, state}` object.
+    ///
+    /// # Errors
+    /// Transport, version mismatch, or an unparseable body.
+    pub fn cancel(&mut self, id: u64) -> Result<Value, ProtoError> {
+        let resp = self
+            .http
+            .send("POST", &format!("/jobs/{id}/cancel"), &[], &[], None, true)?;
+        let resp = Self::negotiated(resp)?;
+        lp_obs::json::parse(&resp.text()).map_err(|e| ProtoError::Parse(e.to_string()))
+    }
+
+    /// Requests shutdown (`mode` = `drain` | `now`).
+    ///
+    /// # Errors
+    /// Transport, version mismatch, or a non-200 status.
+    pub fn shutdown(&mut self, mode: &str) -> Result<(), ProtoError> {
+        let resp = self.http.send(
+            "POST",
+            &format!("/shutdown?mode={mode}"),
+            &[],
+            &[],
+            None,
+            true,
+        )?;
+        let resp = Self::negotiated(resp)?;
+        if resp.status != 200 {
+            return Err(ProtoError::Http {
+                status: resp.status,
+                body: resp.text(),
+            });
+        }
+        Ok(())
+    }
+}

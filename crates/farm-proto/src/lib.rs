@@ -1,0 +1,67 @@
+//! # lp-farm-proto — the farm's versioned wire protocol
+//!
+//! Everything that crosses a socket between a farm node and anything
+//! else — tenant CLIs, the load generator, *other farm nodes* — lives
+//! here: the [`JobSpec`] submission model, the parsed response types
+//! ([`SubmitOutcome`], [`JobStatus`]), and the typed keep-alive
+//! [`FarmClient`]. Splitting this out of `lp-farm` means a client
+//! (including a peer node forwarding a submission) links none of the
+//! pipeline; it is a thin layer over [`lp_obs::http`].
+//!
+//! ## Version negotiation
+//!
+//! Every request and response carries an `x-lp-proto: <version>`
+//! header ([`PROTO_HEADER`]). A server answers requests whose version
+//! is absent (legacy) or equal to its own [`PROTO_VERSION`], and
+//! rejects anything else with `426 Upgrade Required` so a mixed-version
+//! cluster fails loudly at the protocol boundary instead of silently
+//! mis-parsing bodies. Clients symmetrically verify the server's
+//! advertised version.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod spec;
+pub mod wire;
+
+pub use client::{FarmClient, ProtoError};
+pub use spec::{JobSpec, DEFAULT_MAX_STEPS};
+pub use wire::{JobStatus, SubmitOutcome};
+
+/// Current wire-protocol version. Bump on any incompatible change to
+/// the request/response bodies or headers.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Header carrying [`PROTO_VERSION`] on every request and response.
+pub const PROTO_HEADER: &str = "x-lp-proto";
+
+/// Header marking a submission already forwarded once by a cluster
+/// node; a receiving node never re-forwards such a request (loop
+/// prevention under ring disagreement).
+pub const FORWARDED_HEADER: &str = "x-lp-forwarded";
+
+/// Whether a request advertising `version` (`None` = header absent)
+/// can be served by this build. Absent means a legacy client; equal
+/// means same protocol; anything else is incompatible.
+pub fn version_compatible(version: Option<&str>) -> bool {
+    match version {
+        None => true,
+        Some(v) => v.trim().parse::<u32>() == Ok(PROTO_VERSION),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_negotiation_accepts_legacy_and_same() {
+        assert!(version_compatible(None));
+        assert!(version_compatible(Some("1")));
+        assert!(version_compatible(Some(" 1 ")));
+        assert!(!version_compatible(Some("2")));
+        assert!(!version_compatible(Some("0")));
+        assert!(!version_compatible(Some("not-a-number")));
+    }
+}

@@ -50,7 +50,7 @@ type ProgramMemoKey = (String, String, String, usize);
 /// shares an artifact store, so identical work across daemon restarts is
 /// also a cache hit, not just within one process.
 pub struct PipelineBackend {
-    store: Option<Store>,
+    store: Option<Arc<Store>>,
     obs: Observer,
     /// `job_key` memo: computing a key builds the whole program, which
     /// is far too slow to repeat for every submission of a hot spec
@@ -66,8 +66,9 @@ pub struct PipelineBackend {
 
 impl PipelineBackend {
     /// A backend writing through `store` (if given) and reporting into
-    /// `obs`.
-    pub fn new(store: Option<Store>, obs: Observer) -> PipelineBackend {
+    /// `obs`. The store arrives shared (`Arc`) so cluster mode can hand
+    /// the same handle to the artifact-exchange layer.
+    pub fn new(store: Option<Arc<Store>>, obs: Observer) -> PipelineBackend {
         PipelineBackend {
             store,
             obs,
@@ -200,7 +201,7 @@ impl JobBackend for PipelineBackend {
             &simcfg,
             &opts,
             2,
-            self.store.as_ref(),
+            self.store.as_deref(),
         )
         .map_err(|e| e.to_string())?;
         let text = summary.to_value().to_string();

@@ -70,6 +70,13 @@ pub struct FarmConfig {
     /// Finished per-job traces retained by the flight recorder
     /// (`GET /jobs/{id}/trace`); oldest-completed evict first.
     pub trace_capacity: usize,
+    /// First job id is `id_base + 1`. Cluster nodes carve the id space
+    /// into disjoint per-node ranges (ordinal-derived high bits) so a
+    /// job id is meaningful cluster-wide: forwarded submissions return
+    /// the owner's id, and adopted jobs keep theirs without colliding
+    /// with the adopter's own. `0` (the default) is the single-node
+    /// behavior: ids from 1.
+    pub id_base: u64,
     /// Journal directory; `None` runs in-memory only.
     pub dir: Option<PathBuf>,
     /// Journal group-commit window (ms): transitions landing within it
@@ -92,6 +99,7 @@ impl Default for FarmConfig {
             retry_after_ms: 1_000,
             history_limit: 1_024,
             trace_capacity: 256,
+            id_base: 0,
             dir: None,
             journal_flush_ms: 1,
             journal_compact_factor: 4,
@@ -287,6 +295,7 @@ impl Farm {
             None => None,
         };
         let workers = cfg.workers.max(1);
+        let id_base = cfg.id_base;
         let recorder = FlightRecorder::new(cfg.trace_capacity, obs.clone());
         let inner = Arc::new(FarmInner {
             cfg,
@@ -295,7 +304,7 @@ impl Farm {
             recorder,
             journal,
             state: Mutex::new(FarmState {
-                next_id: 1,
+                next_id: id_base + 1,
                 jobs: BTreeMap::new(),
                 queued: Vec::new(),
                 running: HashMap::new(),
@@ -329,6 +338,15 @@ impl Farm {
         Ok(Farm { inner })
     }
 
+    /// The backend's content key for `spec` (what dedup keys on and the
+    /// cluster ring shards by), without submitting anything.
+    ///
+    /// # Errors
+    /// A message when the spec is invalid.
+    pub fn job_key(&self, spec: &JobSpec) -> Result<String, String> {
+        self.inner.backend.job_key(spec)
+    }
+
     /// Submits one job with a fresh root trace context.
     ///
     /// # Errors
@@ -349,6 +367,23 @@ impl Farm {
         client: Option<&TraceContext>,
     ) -> Result<Submitted, SubmitError> {
         self.inner.submit(spec, client)
+    }
+
+    /// Adopts jobs persisted by *another* farm's journal (failover
+    /// re-adoption of a dead cluster node's queue). Jobs keep their
+    /// ids, attempt counts, and trace contexts; they re-enter the
+    /// shared enqueue path, so they dedup against this farm's in-flight
+    /// and completed work, and they are journaled here — adopted work
+    /// survives a crash of the adopter too. Capacity is not enforced
+    /// (the jobs were already accepted once); ids already known here
+    /// are skipped. Returns how many jobs were adopted, after a
+    /// durability barrier on the local journal.
+    pub fn adopt(&self, jobs: Vec<crate::journal::PersistedJob>) -> usize {
+        let n = self.inner.adopt(jobs);
+        if n > 0 {
+            self.sync_journal();
+        }
+        n
     }
 
     /// The job's flight-recorder trace as a Chrome `trace_event` JSON
@@ -1257,6 +1292,58 @@ impl FarmInner {
             );
         }
         self.refresh_gauges(&st);
+    }
+
+    /// Foreign-journal adoption (see [`Farm::adopt`]). Unlike
+    /// `restore_journal`, `next_id` is *not* advanced past adopted ids:
+    /// they come from the dead node's disjoint id range, and walking
+    /// into it would defeat the per-node ranges.
+    fn adopt(&self, jobs: Vec<PersistedJob>) -> usize {
+        let mut adopted = 0;
+        let mut queued_any = false;
+        let mut st = self.state.lock().expect("farm state lock");
+        if st.draining || st.shutdown_now {
+            return 0;
+        }
+        for job in jobs {
+            if st.jobs.contains_key(&job.id) {
+                continue; // already known (re-delivered adoption)
+            }
+            let ctx = TraceContext::parse_traceparent(&job.traceparent)
+                .unwrap_or_else(TraceContext::new_root);
+            let outcome = self.enqueue_locked(
+                &mut st,
+                job.spec,
+                job.key,
+                ctx,
+                Some(job.id),
+                job.attempts,
+                job.submitted_us,
+                false,
+            );
+            let Ok(outcome) = outcome else { continue };
+            adopted += 1;
+            self.recorder.event(
+                job.id,
+                "adopted",
+                "re-adopted from a dead peer's journal".to_string(),
+            );
+            match outcome {
+                Submitted::Queued { id } | Submitted::Deduped { id, .. } => {
+                    self.journal_enqueue(&st, id);
+                }
+                Submitted::Cached { .. } => {}
+            }
+            if matches!(outcome, Submitted::Queued { .. }) {
+                queued_any = true;
+            }
+        }
+        self.refresh_gauges(&st);
+        drop(st);
+        if queued_any {
+            self.work_ready.notify_all();
+        }
+        adopted
     }
 }
 

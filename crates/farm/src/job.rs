@@ -14,123 +14,10 @@
 
 use lp_obs::json::Value;
 
-/// What a tenant asks the farm to run: one end-to-end LoopPoint pipeline
-/// job over a named workload.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JobSpec {
-    /// Workload name (`demo-matrix-1`, `627.cam4_s.1`, `npb-cg`, ...).
-    pub program: String,
-    /// Requested thread count.
-    pub ncores: usize,
-    /// Input class: `test` | `train` | `ref` | `C`.
-    pub input: String,
-    /// OpenMP wait policy: `passive` | `active`.
-    pub wait_policy: String,
-    /// Per-thread slice size in filtered instructions.
-    pub slice_base: u64,
-    /// Hard step budget for any single simulation or replay.
-    pub max_steps: u64,
-    /// Scheduling priority; higher runs first, ties FIFO by id.
-    pub priority: i64,
-    /// Per-job wall-clock timeout in ms; `0` uses the farm default.
-    pub timeout_ms: u64,
-}
-
-impl Default for JobSpec {
-    fn default() -> Self {
-        JobSpec {
-            program: "demo-matrix-1".to_string(),
-            ncores: 2,
-            input: "test".to_string(),
-            wait_policy: "passive".to_string(),
-            slice_base: 8_000,
-            max_steps: looppoint::DEFAULT_MAX_STEPS,
-            priority: 0,
-            timeout_ms: 0,
-        }
-    }
-}
-
-impl JobSpec {
-    /// Parses a spec from one wire JSON object. Only `program` is
-    /// required; every other field falls back to [`JobSpec::default`].
-    ///
-    /// # Errors
-    /// A human-readable message when `program` is missing or a field has
-    /// the wrong type.
-    pub fn from_value(v: &Value) -> Result<JobSpec, String> {
-        let mut spec = JobSpec::default();
-        let Value::Obj(_) = v else {
-            return Err("job spec must be a JSON object".to_string());
-        };
-        spec.program = v
-            .get("program")
-            .and_then(Value::as_str)
-            .ok_or("job spec missing string field 'program'")?
-            .to_string();
-        let u64_field = |name: &str, default: u64| -> Result<u64, String> {
-            match v.get(name) {
-                None => Ok(default),
-                Some(x) => x
-                    .as_u64()
-                    .ok_or(format!("field '{name}' must be a non-negative integer")),
-            }
-        };
-        spec.ncores = u64_field("ncores", spec.ncores as u64)? as usize;
-        if spec.ncores == 0 {
-            return Err("field 'ncores' must be positive".to_string());
-        }
-        spec.slice_base = u64_field("slice_base", spec.slice_base)?;
-        if spec.slice_base == 0 {
-            return Err("field 'slice_base' must be positive".to_string());
-        }
-        spec.max_steps = u64_field("max_steps", spec.max_steps)?;
-        spec.timeout_ms = u64_field("timeout_ms", spec.timeout_ms)?;
-        if let Some(x) = v.get("priority") {
-            spec.priority = match x {
-                Value::Int(i) => i64::try_from(*i).map_err(|_| "field 'priority' out of range")?,
-                _ => return Err("field 'priority' must be an integer".to_string()),
-            };
-        }
-        if let Some(x) = v.get("input") {
-            spec.input = x
-                .as_str()
-                .ok_or("field 'input' must be a string")?
-                .to_string();
-        }
-        if let Some(x) = v.get("wait_policy") {
-            spec.wait_policy = x
-                .as_str()
-                .ok_or("field 'wait_policy' must be a string")?
-                .to_string();
-        }
-        Ok(spec)
-    }
-
-    /// The spec as a wire JSON object (round-trips through
-    /// [`JobSpec::from_value`]).
-    pub fn to_value(&self) -> Value {
-        Value::Obj(vec![
-            ("program".to_string(), Value::Str(self.program.clone())),
-            ("ncores".to_string(), Value::Int(self.ncores as i128)),
-            ("input".to_string(), Value::Str(self.input.clone())),
-            (
-                "wait_policy".to_string(),
-                Value::Str(self.wait_policy.clone()),
-            ),
-            (
-                "slice_base".to_string(),
-                Value::Int(self.slice_base as i128),
-            ),
-            ("max_steps".to_string(), Value::Int(self.max_steps as i128)),
-            ("priority".to_string(), Value::Int(self.priority as i128)),
-            (
-                "timeout_ms".to_string(),
-                Value::Int(self.timeout_ms as i128),
-            ),
-        ])
-    }
-}
+// The submission model is owned by the wire-protocol crate so clients
+// (and peer nodes) link none of the pipeline; re-exported here for all
+// existing `lp_farm::JobSpec` users.
+pub use lp_farm_proto::JobSpec;
 
 /// Lifecycle state of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,43 +156,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn spec_roundtrips_through_wire_json() {
-        let spec = JobSpec {
-            program: "npb-cg".to_string(),
-            ncores: 4,
-            input: "train".to_string(),
-            wait_policy: "active".to_string(),
-            slice_base: 1234,
-            max_steps: 99,
-            priority: -3,
-            timeout_ms: 2500,
-        };
-        let back = JobSpec::from_value(&spec.to_value()).unwrap();
-        assert_eq!(back, spec);
-    }
-
-    #[test]
-    fn spec_defaults_fill_missing_fields() {
-        let v = lp_obs::json::parse(r#"{"program":"demo-matrix-2"}"#).unwrap();
-        let spec = JobSpec::from_value(&v).unwrap();
-        assert_eq!(spec.program, "demo-matrix-2");
-        assert_eq!(spec.ncores, 2);
-        assert_eq!(spec.input, "test");
-        assert_eq!(spec.priority, 0);
-    }
-
-    #[test]
-    fn spec_rejects_bad_shapes() {
-        for bad in [
-            r#"{"ncores":2}"#,                        // missing program
-            r#"{"program":"x","ncores":0}"#,          // zero threads
-            r#"{"program":"x","slice_base":"lots"}"#, // wrong type
-            r#"{"program":"x","priority":"high"}"#,   // wrong type
-            r#"[1,2,3]"#,                             // not an object
-        ] {
-            let v = lp_obs::json::parse(bad).unwrap();
-            assert!(JobSpec::from_value(&v).is_err(), "should reject {bad}");
-        }
+    fn proto_default_step_budget_matches_the_pipeline() {
+        // `lp-farm-proto` pins its own copy of the default step budget
+        // (it must not link the pipeline); this is the drift guard.
+        assert_eq!(
+            lp_farm_proto::DEFAULT_MAX_STEPS,
+            looppoint::DEFAULT_MAX_STEPS
+        );
+        assert_eq!(JobSpec::default().max_steps, looppoint::DEFAULT_MAX_STEPS);
     }
 
     #[test]

@@ -185,66 +185,14 @@ impl Journal {
     /// written atomically, so damage there is not a crash artifact).
     pub fn open(dir: &Path, cfg: JournalConfig, obs: Observer) -> io::Result<Journal> {
         std::fs::create_dir_all(dir)?;
-        let snap_path = dir.join(JOURNAL_FILE);
+        let Replayed {
+            view,
+            next_id,
+            seq,
+            snapshot_bytes,
+            log_bytes,
+        } = replay(dir)?;
         let log_path = dir.join(JOURNAL_LOG_FILE);
-
-        let mut view: BTreeMap<u64, PersistedJob> = BTreeMap::new();
-        let mut next_id = 1u64;
-        let mut snap_seq = 0u64;
-        let mut snapshot_bytes = 0u64;
-        match std::fs::read_to_string(&snap_path) {
-            Ok(text) => {
-                snapshot_bytes = text.len() as u64;
-                let doc = lp_obs::json::parse(&text).map_err(|e| {
-                    io::Error::new(io::ErrorKind::InvalidData, format!("{snap_path:?}: {e}"))
-                })?;
-                // v1 documents have no seq; every log record (if a log
-                // even exists) postdates them.
-                snap_seq = doc.get("seq").and_then(Value::as_u64).unwrap_or(0);
-                if let Some(n) = doc.get("next_id").and_then(Value::as_u64) {
-                    next_id = next_id.max(n);
-                }
-                for j in doc.get("jobs").and_then(Value::as_arr).unwrap_or(&[]) {
-                    if let Some(job) = PersistedJob::from_value(j) {
-                        next_id = next_id.max(job.id + 1);
-                        view.insert(job.id, job);
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
-        }
-
-        let mut seq = snap_seq;
-        let mut log_bytes = 0u64;
-        match File::open(&log_path) {
-            Ok(mut f) => {
-                let mut text = String::new();
-                f.read_to_string(&mut text)?;
-                log_bytes = text.len() as u64;
-                for line in text.lines() {
-                    let line = line.trim();
-                    if line.is_empty() {
-                        continue;
-                    }
-                    // A torn tail (SIGKILL mid-append) parses as garbage
-                    // exactly once, at the end: stop replaying there.
-                    let Ok(rec) = lp_obs::json::parse(line) else {
-                        break;
-                    };
-                    let Some(rseq) = rec.get("seq").and_then(Value::as_u64) else {
-                        break;
-                    };
-                    if rseq <= snap_seq {
-                        continue; // already folded into the snapshot
-                    }
-                    seq = seq.max(rseq);
-                    apply_record(&rec, &mut view, &mut next_id);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
-        }
 
         let log_file = OpenOptions::new()
             .create(true)
@@ -277,6 +225,23 @@ impl Journal {
         Ok(Journal {
             inner,
             writer: Some(writer),
+        })
+    }
+
+    /// Read-only replay of the journal in `dir` — the durable set as a
+    /// restarted farm would adopt it — without creating the directory,
+    /// taking any lock, or starting a writer. This is the failover
+    /// primitive: a cluster peer adopting a dead node's queue reads the
+    /// dead farm's journal through here.
+    ///
+    /// # Errors
+    /// Snapshot parse or log read failures (a torn log tail is
+    /// tolerated, as at open). A missing directory replays as empty.
+    pub fn peek(dir: &Path) -> io::Result<JournalView> {
+        let replayed = replay(dir)?;
+        Ok(JournalView {
+            next_id: replayed.next_id,
+            jobs: replayed.view.into_values().collect(),
         })
     }
 
@@ -419,6 +384,89 @@ impl Drop for Journal {
             let _ = h.join();
         }
     }
+}
+
+/// What a snapshot + log replay yields.
+struct Replayed {
+    view: BTreeMap<u64, PersistedJob>,
+    next_id: u64,
+    seq: u64,
+    snapshot_bytes: u64,
+    log_bytes: u64,
+}
+
+/// Replays `dir`'s snapshot and log tail into the materialized durable
+/// set. Shared by [`Journal::open`] (which then appends) and
+/// [`Journal::peek`] (read-only, for failover adoption).
+fn replay(dir: &Path) -> io::Result<Replayed> {
+    let snap_path = dir.join(JOURNAL_FILE);
+    let log_path = dir.join(JOURNAL_LOG_FILE);
+
+    let mut view: BTreeMap<u64, PersistedJob> = BTreeMap::new();
+    let mut next_id = 1u64;
+    let mut snap_seq = 0u64;
+    let mut snapshot_bytes = 0u64;
+    match std::fs::read_to_string(&snap_path) {
+        Ok(text) => {
+            snapshot_bytes = text.len() as u64;
+            let doc = lp_obs::json::parse(&text).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("{snap_path:?}: {e}"))
+            })?;
+            // v1 documents have no seq; every log record (if a log
+            // even exists) postdates them.
+            snap_seq = doc.get("seq").and_then(Value::as_u64).unwrap_or(0);
+            if let Some(n) = doc.get("next_id").and_then(Value::as_u64) {
+                next_id = next_id.max(n);
+            }
+            for j in doc.get("jobs").and_then(Value::as_arr).unwrap_or(&[]) {
+                if let Some(job) = PersistedJob::from_value(j) {
+                    next_id = next_id.max(job.id + 1);
+                    view.insert(job.id, job);
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+
+    let mut seq = snap_seq;
+    let mut log_bytes = 0u64;
+    match File::open(&log_path) {
+        Ok(mut f) => {
+            let mut text = String::new();
+            f.read_to_string(&mut text)?;
+            log_bytes = text.len() as u64;
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                // A torn tail (SIGKILL mid-append) parses as garbage
+                // exactly once, at the end: stop replaying there.
+                let Ok(rec) = lp_obs::json::parse(line) else {
+                    break;
+                };
+                let Some(rseq) = rec.get("seq").and_then(Value::as_u64) else {
+                    break;
+                };
+                if rseq <= snap_seq {
+                    continue; // already folded into the snapshot
+                }
+                seq = seq.max(rseq);
+                apply_record(&rec, &mut view, &mut next_id);
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+
+    Ok(Replayed {
+        view,
+        next_id,
+        seq,
+        snapshot_bytes,
+        log_bytes,
+    })
 }
 
 fn apply_record(rec: &Value, view: &mut BTreeMap<u64, PersistedJob>, next_id: &mut u64) {

@@ -92,4 +92,4 @@ pub use farm::{
 pub use job::{JobRecord, JobSpec, JobState};
 pub use journal::{Journal, JournalConfig, JournalView, PersistedJob, JOURNAL_LOG_FILE};
 pub use recorder::{FlightRecorder, JobTrace, LifecycleEvent};
-pub use server::FarmServer;
+pub use server::{FarmServer, ForwardHook, HealthzHook, RouteHook, ServerExtensions};

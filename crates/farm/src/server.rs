@@ -23,10 +23,12 @@
 
 use crate::farm::{Farm, ShutdownMode, SubmitError, Submitted};
 use crate::job::JobSpec;
+use lp_farm_proto::{FORWARDED_HEADER, PROTO_HEADER, PROTO_VERSION};
 use lp_obs::http::{self, Request, Response};
 use lp_obs::httpd::{Handler, HttpServer, ServerConfig};
 use lp_obs::json::Value;
 use lp_obs::names;
+use lp_obs::TraceContext;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::{Arc, Condvar, Mutex};
@@ -34,6 +36,30 @@ use std::sync::{Arc, Condvar, Mutex};
 struct ServerShared {
     shutdown: Mutex<Option<ShutdownMode>>,
     shutdown_cv: Condvar,
+}
+
+/// Extra-route hook: tried before the built-in routes; `None` falls
+/// through.
+pub type RouteHook = Arc<dyn Fn(&Request) -> Option<Response> + Send + Sync>;
+/// Extra `/healthz` top-level fields.
+pub type HealthzHook = Arc<dyn Fn() -> Vec<(String, Value)> + Send + Sync>;
+/// Submission-forwarding hook: given a parsed spec and the client's
+/// trace context, returns `Some(outcome line)` when another node handled
+/// the submission (consistent-hash owner), `None` to accept locally.
+pub type ForwardHook = Arc<dyn Fn(&JobSpec, Option<&TraceContext>) -> Option<Value> + Send + Sync>;
+
+/// Pluggable server extensions. The cluster layer (`lp-cluster`, which
+/// depends on this crate) hangs its `/cluster/*` routes, healthz
+/// fields, and submission forwarding off these hooks — the farm server
+/// itself stays cluster-agnostic.
+#[derive(Clone, Default)]
+pub struct ServerExtensions {
+    /// Extra routes, tried before the built-ins.
+    pub route: Option<RouteHook>,
+    /// Extra `/healthz` fields.
+    pub healthz: Option<HealthzHook>,
+    /// Submission forwarding (skipped for already-forwarded requests).
+    pub forward: Option<ForwardHook>,
 }
 
 /// The farm's HTTP front: a multiplexed [`HttpServer`] dispatching
@@ -51,6 +77,23 @@ impl FarmServer {
     /// # Errors
     /// Bind failures.
     pub fn start(addr: impl ToSocketAddrs, farm: Farm) -> io::Result<FarmServer> {
+        FarmServer::start_with(addr, farm, ServerExtensions::default())
+    }
+
+    /// [`FarmServer::start`] with cluster/extension hooks installed.
+    ///
+    /// Every response carries the wire-protocol version header
+    /// (`x-lp-proto`); requests advertising an *incompatible* version
+    /// are rejected with `426 Upgrade Required` (absent means a legacy
+    /// client and is accepted).
+    ///
+    /// # Errors
+    /// Bind failures.
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        farm: Farm,
+        ext: ServerExtensions,
+    ) -> io::Result<FarmServer> {
         let shared = Arc::new(ServerShared {
             shutdown: Mutex::new(None),
             shutdown_cv: Condvar::new(),
@@ -66,10 +109,23 @@ impl FarmServer {
                 .observer()
                 .span(names::SPAN_FARM_REQUEST, names::CAT_FARM);
             span.arg("path", req.path.as_str());
-            let response = route(req, &handler_farm, &handler_shared);
+            let response = if !lp_farm_proto::version_compatible(req.header(PROTO_HEADER)) {
+                Response::new(
+                    "426 Upgrade Required",
+                    "application/json",
+                    format!(
+                        "{{\"error\":\"incompatible protocol version (server speaks {PROTO_VERSION})\"}}"
+                    ),
+                )
+            } else {
+                match ext.route.as_ref().and_then(|hook| hook(req)) {
+                    Some(resp) => resp,
+                    None => route(req, &handler_farm, &handler_shared, &ext),
+                }
+            };
             drop(span);
             drop(trace_guard);
-            response
+            response.with_header(PROTO_HEADER, PROTO_VERSION)
         });
         let server = HttpServer::start(
             addr,
@@ -126,9 +182,9 @@ impl Drop for FarmServer {
     }
 }
 
-fn route(req: &Request, farm: &Farm, shared: &ServerShared) -> Response {
+fn route(req: &Request, farm: &Farm, shared: &ServerShared, ext: &ServerExtensions) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/jobs") => submit_batch(req, farm),
+        ("POST", "/jobs") => submit_batch(req, farm, ext),
         ("GET", "/queue") => Response::json_ok(farm.queue_snapshot().to_value().to_string()),
         ("GET", "/metrics") => Response::text_ok(farm.observer().prometheus_text()),
         ("GET", "/healthz") => {
@@ -150,6 +206,9 @@ fn route(req: &Request, farm: &Farm, shared: &ServerShared) -> Response {
             ];
             if let Some(lag) = farm.journal_lag() {
                 members.push(("journal_lag".to_string(), Value::Int(lag as i128)));
+            }
+            if let Some(hook) = &ext.healthz {
+                members.extend(hook());
             }
             Response::json_ok(Value::Obj(members).to_string())
         }
@@ -252,22 +311,38 @@ fn parse_cancel_path(path: &str) -> Option<u64> {
 /// `POST /jobs`: one JSON job spec per line in, one JSON outcome per
 /// line out (same order). All accepted → `202`; any queue-full rejection
 /// → `503` with a `Retry-After` header; otherwise any bad line → `400`.
-fn submit_batch(req: &Request, farm: &Farm) -> Response {
+fn submit_batch(req: &Request, farm: &Farm, ext: &ServerExtensions) -> Response {
     let body = req.body_text();
     let mut lines_out = String::new();
     let mut any_full_ms: Option<u64> = None;
     let mut any_bad = false;
     let mut any = false;
+    // Forwarding applies only to first-hop submissions: a request that
+    // already carries the forwarded marker is owned here by definition
+    // (the owner forwarded it), which also caps any forwarding at one
+    // hop — no loops even under a membership disagreement.
+    let forward = if req.header(FORWARDED_HEADER).is_none() {
+        ext.forward.as_ref()
+    } else {
+        None
+    };
     for line in body.lines() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
         any = true;
-        let outcome = lp_obs::json::parse(line)
+        let parsed = lp_obs::json::parse(line)
             .map_err(|e| SubmitError::BadSpec(e.to_string()))
-            .and_then(|v| JobSpec::from_value(&v).map_err(SubmitError::BadSpec))
-            .and_then(|spec| farm.submit_traced(spec, req.trace.as_ref()));
+            .and_then(|v| JobSpec::from_value(&v).map_err(SubmitError::BadSpec));
+        if let (Ok(spec), Some(hook)) = (&parsed, forward) {
+            if let Some(outcome_line) = hook(spec, req.trace.as_ref()) {
+                lines_out.push_str(&outcome_line.to_string());
+                lines_out.push('\n');
+                continue;
+            }
+        }
+        let outcome = parsed.and_then(|spec| farm.submit_traced(spec, req.trace.as_ref()));
         let obj = match outcome {
             Ok(sub) => {
                 let mut members = vec![("id".to_string(), Value::Int(sub.id() as i128))];

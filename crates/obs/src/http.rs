@@ -37,6 +37,13 @@ pub struct Request {
     pub query: Option<String>,
     /// Request body (empty unless `Content-Length` was present).
     pub body: Vec<u8>,
+    /// All request headers as `(name, value)` pairs, names lowercased
+    /// and values trimmed, in arrival order. `Content-Length`,
+    /// `traceparent`, and `Connection` are additionally parsed into the
+    /// dedicated fields; everything else (e.g. the `x-lp-proto`
+    /// negotiation or `x-lp-forwarded` loop-prevention headers) is only
+    /// available here.
+    pub headers: Vec<(String, String)>,
     /// Distributed trace context from a `traceparent` header, if the
     /// client sent a well-formed one (malformed headers parse to `None`,
     /// never an error — the server falls back to a fresh root context).
@@ -51,6 +58,14 @@ impl Request {
     /// The body as UTF-8 (lossy).
     pub fn body_text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -201,12 +216,14 @@ impl RequestParser {
         let mut content_length: usize = 0;
         let mut trace: Option<TraceContext> = None;
         let mut close = false;
+        let mut headers: Vec<(String, String)> = Vec::new();
         for line in lines {
             if line.is_empty() {
                 continue;
             }
             if let Some((name, value)) = line.split_once(':') {
                 let name = name.trim();
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
                 if name.eq_ignore_ascii_case("content-length") {
                     content_length = value
                         .trim()
@@ -244,6 +261,7 @@ impl RequestParser {
             path,
             query,
             body,
+            headers,
             trace,
             close,
         }))
@@ -279,19 +297,30 @@ pub struct Response {
     pub content_type: &'static str,
     /// Extra headers (name, value) written verbatim.
     pub extra_headers: Vec<(String, String)>,
-    /// Response body.
-    pub body: String,
+    /// Response body. Raw bytes: artifact transfer between cluster
+    /// nodes ships LPAC payloads, which are not UTF-8.
+    pub body: Vec<u8>,
 }
 
 impl Response {
-    /// A response with no extra headers.
-    pub fn new(status: &'static str, content_type: &'static str, body: String) -> Response {
+    /// A response with no extra headers. `body` accepts both `String`
+    /// (JSON/text routes) and `Vec<u8>` (binary artifact routes).
+    pub fn new(
+        status: &'static str,
+        content_type: &'static str,
+        body: impl Into<Vec<u8>>,
+    ) -> Response {
         Response {
             status,
             content_type,
             extra_headers: Vec::new(),
-            body,
+            body: body.into(),
         }
+    }
+
+    /// `200 OK` with raw bytes (`application/octet-stream`).
+    pub fn bytes_ok(body: Vec<u8>) -> Response {
+        Response::new("200 OK", "application/octet-stream", body)
     }
 
     /// `200 OK` with `application/json`.
@@ -351,7 +380,7 @@ pub fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     }
     head.push_str("\r\n");
     let mut out = head.into_bytes();
-    out.extend_from_slice(response.body.as_bytes());
+    out.extend_from_slice(&response.body);
     out
 }
 
@@ -418,18 +447,74 @@ pub fn client_request_traced(
     Ok((status, payload.to_string()))
 }
 
+/// A response as seen by [`HttpClient`]: status code, headers (names
+/// lowercased), and the raw body bytes.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (binary-clean; artifact transfers are not UTF-8).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Whether an I/O error carries the signature of a *stale keep-alive
+/// connection* — the peer's idle reaper closed it between requests, so
+/// the request provably never reached a handler (EOF/RST before any
+/// response byte, or the write itself bounced). Distinct from a timeout
+/// mid-exchange, where the server may already be acting on the request.
+fn is_stale_connection(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+    )
+}
+
 /// A reusable keep-alive HTTP client: one TCP connection serves many
 /// requests back to back, reconnecting transparently when the server
 /// closed the idle connection in between. This is what the
-/// `run-looppoint` client subcommands and the farm bench drive — against
-/// the multiplexed server a burst of requests costs one TCP + no
-/// per-request connection setup.
+/// `run-looppoint` client subcommands, the farm bench, and the cluster
+/// inter-node paths drive — against the multiplexed server a burst of
+/// requests costs one TCP + no per-request connection setup.
+///
+/// ## Stale keep-alive handling
+///
+/// A reused connection may have been idle-closed by the server between
+/// requests. When that happens the request is transparently re-sent
+/// once on a fresh connection: idempotent requests (`GET`/`HEAD`, or
+/// any request sent through [`HttpClient::send`] with
+/// `idempotent = true`) retry on *any* reused-connection failure, while
+/// non-idempotent ones retry only when the error is an unambiguous
+/// stale-connection signature (reset/EOF/broken pipe) — a timeout
+/// mid-exchange could mean the server already acted on the request.
 #[derive(Debug)]
 pub struct HttpClient {
     addr: String,
     stream: Option<TcpStream>,
     reuses: u64,
+    reconnects: u64,
     timeout: Duration,
+    headers: Vec<(String, String)>,
 }
 
 impl HttpClient {
@@ -440,7 +525,9 @@ impl HttpClient {
             addr: addr.into(),
             stream: None,
             reuses: 0,
+            reconnects: 0,
             timeout: Duration::from_secs(10),
+            headers: Vec::new(),
         }
     }
 
@@ -455,11 +542,28 @@ impl HttpClient {
         self.reuses
     }
 
+    /// How many transparent reconnect-and-retry cycles this client has
+    /// performed after a stale keep-alive connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Sets the per-request read/write timeout (default 10 s).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Adds a header sent with every request (e.g. protocol-version
+    /// negotiation). Later pushes of the same name are sent as repeats.
+    pub fn push_default_header(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.headers.push((name.into(), value.into()));
+    }
+
     /// Sends one request, reusing the open connection when possible.
     ///
     /// # Errors
     /// Connect/read/write failures (after one transparent reconnect
-    /// attempt when a reused connection turned out dead), or an
+    /// attempt when a reused connection turned out stale), or an
     /// unparseable response.
     pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
         self.request_traced(method, path, body, None)
@@ -476,8 +580,30 @@ impl HttpClient {
         body: &str,
         trace: Option<&TraceContext>,
     ) -> io::Result<(u16, String)> {
+        let idempotent = matches!(method, "GET" | "HEAD");
+        let resp = self.send(method, path, &[], body.as_bytes(), trace, idempotent)?;
+        Ok((resp.status, resp.text()))
+    }
+
+    /// Full-control request: per-call extra headers, raw body bytes,
+    /// optional trace propagation, and an explicit idempotency claim
+    /// governing the stale keep-alive retry policy (see the type docs).
+    /// Content-keyed submissions are safe to mark idempotent even as
+    /// `POST`s: re-sending them dedups server-side.
+    ///
+    /// # Errors
+    /// Connect/read/write failures or an unparseable response.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(String, String)],
+        body: &[u8],
+        trace: Option<&TraceContext>,
+        idempotent: bool,
+    ) -> io::Result<ClientResponse> {
         let reused = self.stream.is_some();
-        match self.try_request(method, path, body, trace) {
+        match self.try_send(method, path, headers, body, trace) {
             Ok(out) => {
                 if reused {
                     self.reuses += 1;
@@ -485,11 +611,10 @@ impl HttpClient {
                 Ok(out)
             }
             Err(e) => {
-                // A reused connection may have been idle-closed by the
-                // server between requests; retry once on a fresh one.
                 self.stream = None;
-                if reused {
-                    let retry = self.try_request(method, path, body, trace);
+                if reused && (idempotent || is_stale_connection(&e)) {
+                    self.reconnects += 1;
+                    let retry = self.try_send(method, path, headers, body, trace);
                     if retry.is_err() {
                         self.stream = None;
                     }
@@ -501,13 +626,14 @@ impl HttpClient {
         }
     }
 
-    fn try_request(
+    fn try_send(
         &mut self,
         method: &str,
         path: &str,
-        body: &str,
+        headers: &[(String, String)],
+        body: &[u8],
         trace: Option<&TraceContext>,
-    ) -> io::Result<(u16, String)> {
+    ) -> io::Result<ClientResponse> {
         if self.stream.is_none() {
             let stream = TcpStream::connect(&self.addr)?;
             stream.set_read_timeout(Some(self.timeout))?;
@@ -516,29 +642,37 @@ impl HttpClient {
             self.stream = Some(stream);
         }
         let stream = self.stream.as_mut().expect("stream just ensured");
-        let trace_header = match trace {
-            Some(ctx) => format!("{TRACEPARENT_HEADER}: {}\r\n", ctx.to_traceparent()),
-            None => String::new(),
-        };
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\n{trace_header}Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
-            self.addr,
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        if let Some(ctx) = trace {
+            head.push_str(&format!(
+                "{TRACEPARENT_HEADER}: {}\r\n",
+                ctx.to_traceparent()
+            ));
+        }
+        for (name, value) in self.headers.iter().chain(headers.iter()) {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!(
+            "Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
             body.len()
-        );
+        ));
         stream.write_all(head.as_bytes())?;
-        stream.write_all(body.as_bytes())?;
+        stream.write_all(body)?;
         stream.flush()?;
-        let (status, payload, close) = read_client_response(stream)?;
+        let (resp, close) = read_client_response(stream)?;
         if close {
             self.stream = None;
         }
-        Ok((status, payload))
+        Ok(resp)
     }
 }
 
 /// Reads one `Content-Length`-framed response; returns
-/// `(status, body, server_asked_to_close)`.
-fn read_client_response(stream: &mut TcpStream) -> io::Result<(u16, String, bool)> {
+/// `(response, server_asked_to_close)`.
+fn read_client_response(stream: &mut TcpStream) -> io::Result<(ClientResponse, bool)> {
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let (head_end, body_start) = loop {
@@ -571,9 +705,11 @@ fn read_client_response(stream: &mut TcpStream) -> io::Result<(u16, String, bool
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
     let mut content_length: usize = 0;
     let mut close = false;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().map_err(|_| {
                     io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
@@ -595,8 +731,14 @@ fn read_client_response(stream: &mut TcpStream) -> io::Result<(u16, String, bool
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    let body = String::from_utf8_lossy(&body).into_owned();
-    Ok((status, body, close))
+    Ok((
+        ClientResponse {
+            status,
+            headers,
+            body,
+        },
+        close,
+    ))
 }
 
 #[cfg(test)]

@@ -117,6 +117,46 @@ pub const FARM_JOURNAL_COMPACTIONS: &str = "farm.journal.compactions";
 /// Gauge: journal records appended but not yet fsynced (group-commit lag).
 pub const FARM_JOURNAL_LAG: &str = "farm.journal.lag";
 
+/// Span category for the lp-cluster multi-node layer.
+pub const CAT_CLUSTER: &str = "cluster";
+
+/// Counter: submissions forwarded to the content-key owner node.
+pub const CLUSTER_FORWARDED: &str = "cluster.forwarded";
+/// Counter: forwards that failed (owner unreachable / bad response);
+/// the submission is then accepted locally as a fallback.
+pub const CLUSTER_FORWARD_ERRORS: &str = "cluster.forward_errors";
+/// Counter: artifacts fetched from a peer instead of recomputed
+/// (cluster-wide dedup via store fetch-on-miss).
+pub const CLUSTER_FETCH_HITS: &str = "cluster.fetch.hits";
+/// Counter: remote artifact lookups that found nothing (fall through to
+/// a local compute).
+pub const CLUSTER_FETCH_MISSES: &str = "cluster.fetch.misses";
+/// Counter: completed artifacts asynchronously replicated to the key's
+/// ring successor.
+pub const CLUSTER_REPLICATIONS: &str = "cluster.replications";
+/// Counter: replication attempts that failed (best-effort; the artifact
+/// stays on the computing node).
+pub const CLUSTER_REPLICATION_ERRORS: &str = "cluster.replication_errors";
+/// Counter: jobs re-adopted from a dead peer's journal by its ring
+/// successor.
+pub const CLUSTER_ADOPTED: &str = "cluster.adopted";
+/// Counter: peer liveness transitions alive → dead.
+pub const CLUSTER_PEER_DEATHS: &str = "cluster.peer.deaths";
+/// Gauge: peers currently considered alive (self included).
+pub const CLUSTER_PEERS_ALIVE: &str = "cluster.peers.alive";
+/// Gauge: peers currently considered dead.
+pub const CLUSTER_PEERS_DEAD: &str = "cluster.peers.dead";
+/// Gauge: nodes in the consistent-hash ring (alive members).
+pub const CLUSTER_RING_NODES: &str = "cluster.ring.nodes";
+/// Gauge: fraction of the 128-bit key space owned by this node.
+pub const CLUSTER_OWNED_FRACTION: &str = "cluster.owned_fraction";
+/// Histogram: wall time of one submission forward hop (µs).
+pub const CLUSTER_FORWARD_US: &str = "cluster.forward.us";
+/// Span: forwarding one submission to its owner node.
+pub const SPAN_CLUSTER_FORWARD: &str = "cluster.forward";
+/// Span: fetching one artifact from a peer.
+pub const SPAN_CLUSTER_FETCH: &str = "cluster.fetch";
+
 /// Counter: successful periodic telemetry flushes (atomic rewrites of
 /// `--trace-out` / `--metrics-out`).
 pub const OBS_FLUSH_WRITES: &str = "obs.flush.writes";
@@ -170,6 +210,21 @@ pub const fn all_names() -> &'static [&'static str] {
         FARM_JOURNAL_FSYNCS,
         FARM_JOURNAL_COMPACTIONS,
         FARM_JOURNAL_LAG,
+        CLUSTER_FORWARDED,
+        CLUSTER_FORWARD_ERRORS,
+        CLUSTER_FETCH_HITS,
+        CLUSTER_FETCH_MISSES,
+        CLUSTER_REPLICATIONS,
+        CLUSTER_REPLICATION_ERRORS,
+        CLUSTER_ADOPTED,
+        CLUSTER_PEER_DEATHS,
+        CLUSTER_PEERS_ALIVE,
+        CLUSTER_PEERS_DEAD,
+        CLUSTER_RING_NODES,
+        CLUSTER_OWNED_FRACTION,
+        CLUSTER_FORWARD_US,
+        SPAN_CLUSTER_FORWARD,
+        SPAN_CLUSTER_FETCH,
         OBS_FLUSH_WRITES,
         OBS_FLUSH_ERRORS,
     ]

@@ -8,6 +8,12 @@ use lp_obs::prometheus::render;
 use lp_obs::Observer;
 
 const GOLDEN: &str = "\
+# TYPE cluster_adopted counter
+cluster_adopted 1
+# TYPE cluster_fetch_hits counter
+cluster_fetch_hits 2
+# TYPE cluster_forwarded counter
+cluster_forwarded 3
 # TYPE farm_journal_compactions counter
 farm_journal_compactions 2
 # TYPE farm_journal_fsyncs counter
@@ -24,6 +30,12 @@ store_hit 3
 store_miss 1
 # TYPE analyze_k gauge
 analyze_k 12
+# TYPE cluster_owned_fraction gauge
+cluster_owned_fraction 0.5
+# TYPE cluster_peers_alive gauge
+cluster_peers_alive 3
+# TYPE cluster_peers_dead gauge
+cluster_peers_dead 0
 # TYPE farm_journal_lag gauge
 farm_journal_lag 5
 # TYPE farm_trace_capacity gauge
@@ -56,6 +68,12 @@ fn fixed_registry_renders_the_golden_document() {
     obs.counter(lp_obs::names::FARM_JOURNAL_FSYNCS).add(17);
     obs.counter(lp_obs::names::FARM_JOURNAL_COMPACTIONS).add(2);
     obs.counter(lp_obs::names::SERVE_KEEPALIVE_REUSES).add(41);
+    obs.counter(lp_obs::names::CLUSTER_ADOPTED).add(1);
+    obs.counter(lp_obs::names::CLUSTER_FETCH_HITS).add(2);
+    obs.counter(lp_obs::names::CLUSTER_FORWARDED).add(3);
+    obs.gauge(lp_obs::names::CLUSTER_OWNED_FRACTION).set(0.5);
+    obs.gauge(lp_obs::names::CLUSTER_PEERS_ALIVE).set(3.0);
+    obs.gauge(lp_obs::names::CLUSTER_PEERS_DEAD).set(0.0);
     obs.gauge("analyze.k").set(12.0);
     obs.gauge("sim.last.ipc").set(1.75);
     obs.gauge(lp_obs::names::FARM_TRACE_CAPACITY).set(256.0);

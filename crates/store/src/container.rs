@@ -67,6 +67,12 @@ impl ArtifactKind {
         ArtifactKind::ALL.into_iter().find(|k| *k as u16 == v)
     }
 
+    /// Decodes a kind from its [`ArtifactKind::tag`] (the inverse; used
+    /// by wire paths that name kinds in URLs).
+    pub fn from_tag(tag: &str) -> Option<ArtifactKind> {
+        ArtifactKind::ALL.into_iter().find(|k| k.tag() == tag)
+    }
+
     /// Short lowercase tag used in file names and metrics.
     pub fn tag(self) -> &'static str {
         match self {

@@ -43,6 +43,24 @@ impl StoreKey {
         }
         s
     }
+
+    /// Parses a 32-hex-char rendering back into a key (the inverse of
+    /// [`StoreKey::hex`]); `None` on any other shape. Wire paths that
+    /// carry keys as text — farm job keys, cluster artifact routes —
+    /// re-enter the store through here.
+    pub fn from_hex(s: &str) -> Option<StoreKey> {
+        let s = s.trim();
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, chunk) in s.as_bytes().chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = (hi * 16 + lo) as u8;
+        }
+        Some(StoreKey(out))
+    }
 }
 
 impl std::fmt::Display for StoreKey {

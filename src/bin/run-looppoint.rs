@@ -26,6 +26,7 @@ use looppoint::{
     DiagReport, LoopPointConfig, SimOptions, DEFAULT_MAX_STEPS,
 };
 use lp_farm::{Farm, FarmConfig, FarmServer, PipelineBackend, ShutdownMode};
+use lp_farm_proto::FarmClient;
 use lp_obs::{
     lp_debug, lp_info, lp_warn, FlushTargets, LogLevel, Observer, PeriodicFlusher, TelemetryServer,
 };
@@ -111,6 +112,26 @@ SERVE OPTIONS (see also --store-dir/--store-max-bytes/--log-level below):
         --trace-capacity <n>   finished job traces retained in the
                                in-memory flight recorder; oldest are
                                evicted past this [default: 256]
+
+CLUSTER SERVE OPTIONS (multi-node farm; all require --node-addr):
+        --node-addr <addr>     this node's advertised host:port — peers
+                               dial it, and it becomes the bind address
+                               unless --farm-listen says otherwise
+        --cluster-peer <addr[=dir]>
+                               a static cluster member (repeatable);
+                               '=dir' names that peer's --farm-dir so
+                               the agreed survivor can adopt its
+                               journaled queue after a crash
+        --join <addr>          learn the member list from a running node
+                               and announce this one to the cluster
+        --vnodes <n>           virtual nodes per member on the
+                               consistent-hash ring [default: 64]
+        --heartbeat-ms <n>     peer liveness probe period [default: 500]
+        --failure-threshold <n>
+                               consecutive failed probes before a peer
+                               is declared dead [default: 3]
+        --rpc-timeout-ms <n>   forward/fetch/probe timeout
+                               [default: 5000]
 
 SUBMIT/STATUS/SHUTDOWN OPTIONS:
         --farm <addr>          daemon address (required)
@@ -711,11 +732,15 @@ fn finalize(
 
 /// `run-looppoint serve`: the lp-farm analysis daemon.
 fn farm_serve(args: &[String]) -> ExitCode {
-    let mut listen = "127.0.0.1:0".to_string();
+    let mut listen: Option<String> = None;
     let mut cfg = FarmConfig::default();
     let mut store_dir: Option<String> = None;
     let mut store_max_bytes: Option<u64> = None;
     let mut log_level = LogLevel::Info;
+    let mut node_addr: Option<String> = None;
+    let mut cluster_peers: Vec<lp_cluster::NodeSpec> = Vec::new();
+    let mut join_seed: Option<String> = None;
+    let mut ccfg = lp_cluster::ClusterConfig::default();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -726,7 +751,41 @@ fn farm_serve(args: &[String]) -> ExitCode {
         };
         let parsed: Result<(), String> = (|| {
             match arg.as_str() {
-                "--farm-listen" => listen = value("--farm-listen")?,
+                "--farm-listen" => listen = Some(value("--farm-listen")?),
+                "--node-addr" => node_addr = Some(value("--node-addr")?),
+                "--cluster-peer" => {
+                    cluster_peers.push(lp_cluster::NodeSpec::parse(&value("--cluster-peer")?)?);
+                }
+                "--join" => join_seed = Some(value("--join")?),
+                "--vnodes" => {
+                    ccfg.vnodes = value("--vnodes")?
+                        .parse()
+                        .map_err(|e| format!("bad vnode count: {e}"))?;
+                    if ccfg.vnodes == 0 {
+                        return Err("--vnodes must be positive".to_string());
+                    }
+                }
+                "--heartbeat-ms" => {
+                    ccfg.heartbeat_ms = value("--heartbeat-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad heartbeat period: {e}"))?;
+                    if ccfg.heartbeat_ms == 0 {
+                        return Err("--heartbeat-ms must be positive".to_string());
+                    }
+                }
+                "--failure-threshold" => {
+                    ccfg.failure_threshold = value("--failure-threshold")?
+                        .parse()
+                        .map_err(|e| format!("bad failure threshold: {e}"))?;
+                    if ccfg.failure_threshold == 0 {
+                        return Err("--failure-threshold must be positive".to_string());
+                    }
+                }
+                "--rpc-timeout-ms" => {
+                    ccfg.rpc_timeout_ms = value("--rpc-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad rpc timeout: {e}"))?;
+                }
                 "--workers" => {
                     cfg.workers = value("--workers")?
                         .parse()
@@ -812,14 +871,83 @@ fn farm_serve(args: &[String]) -> ExitCode {
                 max_bytes: store_max_bytes,
             };
             match Store::open_with(dir, config, obs.clone()) {
-                Ok(s) => Some(s),
+                Ok(s) => Some(Arc::new(s)),
                 Err(e) => return config_error(&format!("opening artifact store at {dir}: {e}")),
             }
         }
         None => None,
     };
+    let backend = Arc::new(PipelineBackend::new(store.clone(), obs.clone()));
 
-    let backend = Arc::new(PipelineBackend::new(store, obs.clone()));
+    if node_addr.is_none() && (!cluster_peers.is_empty() || join_seed.is_some()) {
+        return config_error("--cluster-peer/--join require --node-addr (see --help)");
+    }
+
+    // Cluster mode: the farm runs behind a ClusterNode — consistent-hash
+    // forwarding, artifact exchange, heartbeat liveness, failover
+    // adoption — and binds the advertised address unless told otherwise.
+    if let Some(node_addr) = node_addr {
+        let listen = listen.unwrap_or_else(|| node_addr.clone());
+        let me = lp_cluster::NodeSpec {
+            addr: node_addr.clone(),
+            dir: cfg.dir.clone(),
+        };
+        if let Some(seed) = &join_seed {
+            match lp_cluster::ClusterNode::join_via(seed, &me) {
+                Ok(learned) => {
+                    for peer in learned {
+                        if !cluster_peers.iter().any(|p| p.addr == peer.addr) {
+                            cluster_peers.push(peer);
+                        }
+                    }
+                }
+                Err(e) => return config_error(&format!("joining cluster via {seed}: {e}")),
+            }
+        }
+        cluster_peers.push(me);
+        ccfg.self_addr = node_addr.clone();
+        ccfg.peers = cluster_peers;
+        let running = match lp_cluster::spawn_node(&listen, ccfg, cfg, backend, store, obs) {
+            Ok(r) => r,
+            Err(e) => return config_error(&format!("starting cluster node at {listen}: {e}")),
+        };
+        // Plain println (not lp_info): scripts parse these lines.
+        println!(
+            "farm: listening on {} (POST /jobs, GET /jobs/{{id}}, GET /queue, GET /metrics, POST /shutdown)",
+            running.server.local_addr()
+        );
+        let members = running
+            .node
+            .healthz_value()
+            .get("ring_nodes")
+            .and_then(lp_obs::json::Value::as_u64)
+            .unwrap_or(1);
+        println!(
+            "cluster: node {node_addr} in a {members}-member ring (GET /cluster/healthz, /cluster/peers)"
+        );
+
+        let mode = running.server.wait_shutdown();
+        lp_info!(
+            "farm: shutdown requested (mode {})",
+            match mode {
+                ShutdownMode::Drain => "drain",
+                ShutdownMode::Now => "now",
+            }
+        );
+        let farm = running.farm.clone();
+        running.shutdown(mode);
+        let snap = farm.queue_snapshot();
+        println!(
+            "farm: stopped ({} done, {} failed, {} cancelled, {} requeued to journal)",
+            snap.done,
+            snap.failed,
+            snap.cancelled,
+            snap.queued + snap.running
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let listen = listen.unwrap_or_else(|| "127.0.0.1:0".to_string());
     let farm = match Farm::start(cfg, backend, obs) {
         Ok(f) => f,
         Err(e) => return config_error(&format!("starting farm: {e}")),
@@ -984,9 +1112,10 @@ fn farm_submit(args: &[String]) -> ExitCode {
         Ok(a) => a,
         Err(e) => return config_error(&e),
     };
-    let mut body = String::new();
-    for program in &c.programs {
-        let spec = lp_farm::JobSpec {
+    let specs: Vec<lp_farm::JobSpec> = c
+        .programs
+        .iter()
+        .map(|program| lp_farm::JobSpec {
             program: program.clone(),
             ncores: c.ncores,
             input: c.input.clone(),
@@ -995,21 +1124,21 @@ fn farm_submit(args: &[String]) -> ExitCode {
             max_steps: c.max_steps,
             priority: c.priority,
             timeout_ms: c.timeout_ms,
-        };
-        body.push_str(&spec.to_value().to_string());
-        body.push('\n');
-    }
-    // One keep-alive connection for the submit AND every poll below:
-    // dozens of round trips, one TCP handshake.
-    let mut client = lp_obs::http::HttpClient::new(addr.clone());
-    let (status, response) = match client.request("POST", "/jobs", &body) {
+        })
+        .collect();
+    // One version-negotiated keep-alive connection for the submit AND
+    // every poll below: dozens of round trips, one TCP handshake.
+    let mut client = FarmClient::connect(addr.clone());
+    let (status, outcomes) = match client.submit(&specs, None) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: submitting to {addr}: {e}");
             return ExitCode::from(EXIT_PIPELINE);
         }
     };
-    print!("{response}");
+    for outcome in &outcomes {
+        println!("{}", outcome.to_value());
+    }
     match status {
         202 => {}
         400 => return config_error("farm rejected the job spec (see response above)"),
@@ -1025,16 +1154,32 @@ fn farm_submit(args: &[String]) -> ExitCode {
     if !c.wait {
         return ExitCode::SUCCESS;
     }
-    // Poll every accepted id until terminal.
-    let ids: Vec<u64> = response
-        .lines()
-        .filter_map(|l| lp_obs::json::parse(l).ok())
-        .filter_map(|v| v.get("id").and_then(lp_obs::json::Value::as_u64))
+    // Poll every accepted id until terminal. A forwarded submission's
+    // record lives on the owner node, so polls follow `forwarded_to`.
+    let targets: Vec<(u64, Option<String>)> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            lp_farm_proto::SubmitOutcome::Accepted {
+                id, forwarded_to, ..
+            } => Some((*id, forwarded_to.clone())),
+            lp_farm_proto::SubmitOutcome::Rejected { .. } => None,
+        })
         .collect();
+    let mut owner_clients: std::collections::HashMap<String, FarmClient> =
+        std::collections::HashMap::new();
     let mut ok = true;
-    for id in ids {
+    for (id, owner) in targets {
+        let poll_client: &mut FarmClient = match &owner {
+            Some(owner_addr) => owner_clients
+                .entry(owner_addr.clone())
+                .or_insert_with(|| FarmClient::connect(owner_addr.clone())),
+            None => &mut client,
+        };
         loop {
-            let (status, body) = match client.request("GET", &format!("/jobs/{id}"), "") {
+            let (status, body) = match poll_client
+                .http()
+                .request("GET", &format!("/jobs/{id}"), "")
+            {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("error: polling job {id}: {e}");
@@ -1113,8 +1258,10 @@ fn farm_load(args: &[String]) -> ExitCode {
         .map(|share| {
             let addr = addr.clone();
             std::thread::spawn(move || {
-                // (accepted, dropped, batch, single, reuses) for this client.
-                let mut client = lp_obs::http::HttpClient::new(addr);
+                // (accepted, dropped, batch, single, reuses) for this
+                // client — raw NDJSON over the proto-negotiated channel.
+                let mut client = FarmClient::connect(addr);
+                let client = client.http();
                 let (mut accepted, mut dropped) = (0usize, 0usize);
                 let batch_n = share.len() / 2;
                 let mut tally = |sent: usize, result: std::io::Result<(u16, String)>| match result {
@@ -1162,7 +1309,8 @@ fn farm_load(args: &[String]) -> ExitCode {
     // Drain: the farm is healthy when the whole burst reaches a terminal
     // state. Cached/deduped submissions settle instantly; cold ones take
     // one pipeline run each.
-    let mut poll = lp_obs::http::HttpClient::new(addr.clone());
+    let mut poll = FarmClient::connect(addr.clone());
+    let poll = poll.http();
     let deadline = Instant::now() + Duration::from_secs(120);
     let mut drained = false;
     while Instant::now() < deadline {
@@ -1207,7 +1355,8 @@ fn farm_status(args: &[String]) -> ExitCode {
         Some(id) => format!("/jobs/{id}"),
         None => "/queue".to_string(),
     };
-    match lp_obs::http::HttpClient::new(addr.clone()).request("GET", &path, "") {
+    let mut client = FarmClient::connect(addr.clone());
+    match client.http().request("GET", &path, "") {
         Ok((200, body)) => {
             println!("{body}");
             ExitCode::SUCCESS
@@ -1245,11 +1394,11 @@ fn farm_trace(args: &[String]) -> ExitCode {
         Ok(a) => a,
         Err(e) => return config_error(&e),
     };
-    match lp_obs::http::HttpClient::new(addr.clone()).request(
-        "GET",
-        &format!("/jobs/{id}/trace"),
-        "",
-    ) {
+    let mut client = FarmClient::connect(addr.clone());
+    match client
+        .http()
+        .request("GET", &format!("/jobs/{id}/trace"), "")
+    {
         Ok((200, body)) => match render_trace_tree(id, &body) {
             Ok(text) => {
                 print!("{text}");
@@ -1412,7 +1561,11 @@ fn farm_shutdown(args: &[String]) -> ExitCode {
     if c.mode != "drain" && c.mode != "now" {
         return config_error(&format!("unknown shutdown mode '{}'", c.mode));
     }
-    match lp_obs::http::client_request(&addr, "POST", &format!("/shutdown?mode={}", c.mode), "") {
+    let mut client = FarmClient::connect(addr.clone());
+    match client
+        .http()
+        .request("POST", &format!("/shutdown?mode={}", c.mode), "")
+    {
         Ok((200, body)) => {
             println!("{body}");
             ExitCode::SUCCESS
