@@ -384,7 +384,7 @@ CL_ADDR_A="127.0.0.1:$CL_PORT_A"; CL_ADDR_B="127.0.0.1:$CL_PORT_B"; CL_ADDR_C="1
 CL_DIR_A="$CLUSTER_ROOT/a"; CL_DIR_B="$CLUSTER_ROOT/b"; CL_DIR_C="$CLUSTER_ROOT/c"
 cluster_node() { # self-addr self-dir peer1 dir1 peer2 dir2 log
   "${RUNNER[@]}" serve --node-addr "$1" --farm-dir "$2" --store-dir "$2/store" \
-    --workers 1 --heartbeat-ms 100 --failure-threshold 3 \
+    --workers 1 --heartbeat-ms 100 --failure-threshold 3 --history-interval-ms 100 \
     --cluster-peer "$3=$4" --cluster-peer "$5=$6" > "$7" 2>&1 &
 }
 cluster_node "$CL_ADDR_A" "$CL_DIR_A" "$CL_ADDR_B" "$CL_DIR_B" "$CL_ADDR_C" "$CL_DIR_C" "$CLUSTER_ROOT/a.log"; CL_PID_A=$!
@@ -422,6 +422,87 @@ for o in fwd:
     assert got == want, f"id {o['id']} range {got} != owner ordinal {want}"
 print(f"cluster-smoke: 1 compute for 3 tenants, {len(fwd)} forwarded in owner id range")
 PY
+# Observability plane, checked while the ring is still three nodes
+# wide: the federated rollup is the exact sum of the per-node counters,
+# the Prometheus rendering labels every node, each node serves >= 2
+# time-series samples, a non-owner proxies /jobs/{id}/trace to the id's
+# home node, the cluster-assembled trace holds the submitter's forward
+# span and the owner's job root in one document, and two frames of the
+# top dashboard render every node row.
+curl -sf --max-time 10 "http://$CL_ADDR_A/cluster/metrics" > "$CLUSTER_ROOT/federated.json" \
+  || { echo "cluster-smoke: GET /cluster/metrics failed" >&2; exit 1; }
+python3 - "$CLUSTER_ROOT/federated.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    j = json.load(f)
+assert len(j["nodes"]) == 3, f"expected 3 federated nodes, got {len(j['nodes'])}"
+assert not j["errors"], f"federation errors: {j['errors']}"
+per_node = [n["metrics"]["counters"].get("farm.submitted", 0) for n in j["nodes"]]
+total = j["rollup"]["counters"]["farm.submitted"]
+assert total == sum(per_node) >= 3, f"rollup {total} != sum of per-node {per_node}"
+ords = sorted(n["ordinal"] for n in j["nodes"])
+assert ords == [0, 1, 2], f"bad node ordinals {ords}"
+print(f"cluster-smoke: federated farm.submitted rollup {total} == sum{per_node}")
+PY
+CL_FED_PROM=$(curl -sf --max-time 10 "http://$CL_ADDR_B/cluster/metrics?format=prometheus") \
+  || { echo "cluster-smoke: federated Prometheus scrape failed" >&2; exit 1; }
+for addr in "$CL_ADDR_A" "$CL_ADDR_B" "$CL_ADDR_C"; do
+  echo "$CL_FED_PROM" | grep -q "cluster_peers_alive{node=\"$addr\"}" \
+    || { echo "cluster-smoke: federated Prometheus lacks node label $addr" >&2; exit 1; }
+done
+echo "$CL_FED_PROM" | grep -q '^farm_submitted{node="' \
+  || { echo "cluster-smoke: no labelled farm_submitted series" >&2; exit 1; }
+echo "$CL_FED_PROM" | grep -Eq '^farm_submitted [0-9]+$' \
+  || { echo "cluster-smoke: no unlabelled farm_submitted rollup line" >&2; exit 1; }
+for addr in "$CL_ADDR_A" "$CL_ADDR_B" "$CL_ADDR_C"; do
+  CL_HIST_N=$(curl -sf --max-time 5 "http://$addr/metrics/history?since=0" | grep -c '"seq"' || true)
+  [ "$CL_HIST_N" -ge 2 ] || { echo "cluster-smoke: $addr served $CL_HIST_N history samples, want >= 2" >&2; exit 1; }
+done
+read -r CL_FWD_ID CL_FWD_OWNER CL_FWD_TRACE <<<"$(python3 - "$CLUSTER_ROOT/submit.log" <<'PY'
+import json, sys
+outcomes = [json.loads(l) for l in open(sys.argv[1]) if l.strip().startswith("{")]
+o = next(o for o in outcomes if o.get("forwarded_to"))
+print(o["id"], o["forwarded_to"], o["trace_id"])
+PY
+)"
+CL_PROXY_VIA=""
+for addr in "$CL_ADDR_A" "$CL_ADDR_B" "$CL_ADDR_C"; do
+  [ "$addr" != "$CL_FWD_OWNER" ] && { CL_PROXY_VIA=$addr; break; }
+done
+curl -sf --max-time 10 "http://$CL_PROXY_VIA/jobs/$CL_FWD_ID/trace" | python3 -c "
+import json, sys
+evs = json.load(sys.stdin)['traceEvents']
+assert any(e['name'] == 'farm.job' for e in evs), 'proxied trace lacks the farm.job root'
+print(f'cluster-smoke: non-owner proxied job $CL_FWD_ID trace ({len(evs)} events) from $CL_FWD_OWNER')
+" || { echo "cluster-smoke: proxied /jobs/$CL_FWD_ID/trace via $CL_PROXY_VIA failed" >&2; exit 1; }
+CL_TRACE_OK=""
+for _ in $(seq 1 50); do
+  if curl -sf --max-time 10 "http://$CL_ADDR_A/cluster/trace/$CL_FWD_TRACE" \
+      > "$CLUSTER_ROOT/merged-trace.json" 2>/dev/null \
+    && python3 - "$CLUSTER_ROOT/merged-trace.json" <<'PY' 2>/dev/null
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+evs = doc["traceEvents"]
+names = {e["name"] for e in evs}
+assert "cluster.forward" in names and "farm.job" in names, sorted(names)
+assert doc["otherData"]["nodes"] >= 2, doc["otherData"]
+pids = {e["pid"] for e in evs if e["name"] in ("cluster.forward", "farm.job")}
+assert len(pids) == 2, f"forward and job root should sit in different node lanes: {pids}"
+PY
+  then CL_TRACE_OK=1; break; fi
+  sleep 0.2
+done
+[ -n "$CL_TRACE_OK" ] || { cat "$CLUSTER_ROOT/merged-trace.json" >&2; \
+  echo "cluster-smoke: merged /cluster/trace/$CL_FWD_TRACE never spanned 2 nodes" >&2; exit 1; }
+CL_TOP=$("${RUNNER[@]}" top --farm "$CL_ADDR_A" --iterations 2 --interval-ms 200) \
+  || { echo "cluster-smoke: top dashboard exited non-zero" >&2; exit 1; }
+echo "$CL_TOP" | grep -q 'lp-farm top — 3 nodes' \
+  || { echo "$CL_TOP" >&2; echo "cluster-smoke: top header missing" >&2; exit 1; }
+for addr in "$CL_ADDR_A" "$CL_ADDR_B" "$CL_ADDR_C"; do
+  echo "$CL_TOP" | grep -q "$addr" \
+    || { echo "$CL_TOP" >&2; echo "cluster-smoke: top lacks a row for $addr" >&2; exit 1; }
+done
 # (3): pin eight unique jobs onto C (forwarded marker bypasses ring
 # forwarding), SIGKILL it the moment the 202 lands — acceptance implies
 # the batch is durable in C's journal, and one worker cannot have
@@ -524,7 +605,7 @@ echo "== bench-smoke (farm cluster) =="
 CLUSTER_SMOKE_OUT="$PWD/target/BENCH_cluster.smoke.json"
 cargo bench --offline -p lp-bench --bench farm_cluster -- --smoke --out "$CLUSTER_SMOKE_OUT"
 [ -s "$CLUSTER_SMOKE_OUT" ] || { echo "cluster-bench-smoke: $CLUSTER_SMOKE_OUT missing or empty" >&2; exit 1; }
-for key in burst unique_specs workers_per_node scaling cross_node_fetch dedup_floor smoke; do
+for key in burst unique_specs workers_per_node scaling cross_node_fetch dedup_floor federation smoke; do
   grep -q "\"$key\"" "$CLUSTER_SMOKE_OUT" || { echo "cluster-bench-smoke: missing key $key" >&2; exit 1; }
 done
 # The committed full-scale baseline keeps the cluster claims: identical
@@ -556,6 +637,11 @@ if fetch["pipeline_recomputes"] != 0:
 if fetch["store_fetch_hits"] < j["unique_specs"]:
     sys.exit(f"BENCH_cluster.json: only {fetch['store_fetch_hits']} store fetch hits "
              f"for {j['unique_specs']} specs")
+fed = j["federation"]
+if not 0 < fed["p50_us"] <= fed["p99_us"]:
+    sys.exit(f"BENCH_cluster.json: implausible federation latency {fed}")
+if fed["nodes"] != 3 or fed["scrapes"] <= 0:
+    sys.exit(f"BENCH_cluster.json: federation must scrape a 3-node ring: {fed}")
 PY
 
 echo "CI green."

@@ -14,7 +14,9 @@
 //! A final phase measures the second cluster-dedup path: each unique
 //! spec is re-submitted to a *non-owner* node with the forwarded marker
 //! set, forcing local handling there — the artifact must arrive by store
-//! fetch from the owner, with zero recomputes.
+//! fetch from the owner, with zero recomputes. The full-width ring also
+//! times the observability plane: p50/p99 of `GET /cluster/metrics`,
+//! which fans out to every peer and merges the rollup per scrape.
 //!
 //! Reported per node count:
 //!
@@ -153,6 +155,7 @@ fn main() {
 
     let mut scale_rows: Vec<String> = Vec::new();
     let mut fetch_row = String::new();
+    let mut federation_row = String::new();
     for n in [1usize, 2, 3] {
         let root = bench_root.join(format!("n{n}"));
         std::fs::create_dir_all(&root).expect("create bench dirs");
@@ -306,6 +309,37 @@ fn main() {
                 "{{\"submissions\": {fetch_served}, \"non_owner_executes\": {non_owner_executes}, \
                  \"store_fetch_hits\": {fetch_hits}, \"pipeline_recomputes\": 0}}"
             );
+
+            // Observability-plane cost at full width: each federated
+            // scrape fans GET /metrics.json out to both peers and merges
+            // the rollup, so the latency distribution bounds how hard a
+            // dashboard can poll the ring. Round-robin the entry node the
+            // way `top` followers would.
+            let scrapes = if args.smoke { 8usize } else { 32 };
+            let mut fed_lat_us: Vec<u64> = Vec::with_capacity(scrapes);
+            for s in 0..scrapes {
+                let f0 = Instant::now();
+                let doc = clients[s % n]
+                    .cluster_metrics()
+                    .expect("federated metrics scrape");
+                fed_lat_us.push(f0.elapsed().as_micros() as u64);
+                let nodes_seen = doc
+                    .get("nodes")
+                    .and_then(json::Value::as_arr)
+                    .map_or(0, |a| a.len());
+                assert_eq!(nodes_seen, n, "every scrape must federate the full ring");
+            }
+            fed_lat_us.sort_unstable();
+            let fed_p50 = fed_lat_us[scrapes / 2];
+            let fed_p99 = fed_lat_us[(scrapes * 99 / 100).min(scrapes - 1)];
+            println!(
+                "  federation: {scrapes} /cluster/metrics scrapes across {n} nodes   \
+                 p50 {fed_p50} us / p99 {fed_p99} us"
+            );
+            federation_row = format!(
+                "{{\"nodes\": {n}, \"scrapes\": {scrapes}, \
+                 \"p50_us\": {fed_p50}, \"p99_us\": {fed_p99}}}"
+            );
         }
 
         for m in members {
@@ -317,9 +351,11 @@ fn main() {
     let json_text = format!(
         "{{\n  \"burst\": {total},\n  \"unique_specs\": {unique},\n  \"slice_base\": {slice_base},\n  \
          \"workers_per_node\": {workers},\n  \"scaling\": [\n    {}\n  ],\n  \
-         \"cross_node_fetch\": {},\n  \"dedup_floor\": {dedup_floor:.4},\n  \"smoke\": {}\n}}\n",
+         \"cross_node_fetch\": {},\n  \"federation\": {},\n  \
+         \"dedup_floor\": {dedup_floor:.4},\n  \"smoke\": {}\n}}\n",
         scale_rows.join(",\n    "),
         if fetch_row.is_empty() { "null".to_string() } else { fetch_row },
+        if federation_row.is_empty() { "null".to_string() } else { federation_row },
         args.smoke
     );
     // Self-validate before writing: the committed baseline and the CI
@@ -330,6 +366,7 @@ fn main() {
         "unique_specs",
         "scaling",
         "cross_node_fetch",
+        "federation",
         "dedup_floor",
     ] {
         assert!(parsed.get(key).is_some(), "missing key {key}");

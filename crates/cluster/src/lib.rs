@@ -28,6 +28,14 @@
 //!   ([`lp_farm::Journal::peek`] + [`lp_farm::Farm::adopt`]): accepted
 //!   jobs complete with their original ids and trace contexts even if
 //!   their node is `kill -9`ed mid-queue.
+//! * **Observability plane**: `GET /cluster/metrics` federates every
+//!   member's metrics into per-node snapshots plus ring-wide rollups
+//!   (JSON or node-labelled Prometheus text); `GET
+//!   /cluster/trace/{trace_id}` assembles one Perfetto-loadable trace
+//!   from every node a submission touched, forward hop and remote
+//!   execution stitched into a single span tree with one pid lane per
+//!   node; and `GET /jobs/{id}/trace` asked of the wrong node proxies
+//!   to the id's home node instead of answering 404.
 //!
 //! The design assumption for journal adoption is shared-filesystem
 //! visibility of peer farm directories (the multi-process-per-host and
@@ -50,9 +58,12 @@ use lp_farm::{Farm, FarmServer, Journal, ServerExtensions};
 use lp_farm_proto::{FarmClient, JobSpec, SubmitOutcome, FORWARDED_HEADER};
 use lp_obs::http::{Request, Response};
 use lp_obs::json::Value;
-use lp_obs::{names, Observer, TraceContext};
+use lp_obs::metrics::MetricsSnapshot;
+use lp_obs::trace::TraceEvent;
+use lp_obs::tracectx::TraceId;
+use lp_obs::{export, federate, names, tracectx, Observer, TraceContext};
 use lp_store::{ArtifactKind, Store, StoreKey};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
@@ -104,6 +115,28 @@ struct Replication {
     payload: Vec<u8>,
 }
 
+/// How many forwarded-submission traces the submit side retains for
+/// cross-node assembly after their events leave the live trace sink.
+const FORWARD_TRACE_RETAIN: usize = 256;
+
+/// Submit-side spans of forwarded jobs. A forwarded job runs on the
+/// owner, so nothing on the submit node ever harvests its trace events
+/// out of the live sink — this ring does, on the heartbeat cadence, so
+/// `/cluster/trace/{id}` can still show the forward hop long after the
+/// submission.
+#[derive(Default)]
+struct ForwardTraces {
+    /// Trace ids recorded this heartbeat tick. Harvesting them now
+    /// could miss the still-open `farm.request` span of the submission
+    /// that created them, so they ripen for one tick first.
+    fresh: Vec<TraceId>,
+    /// Trace ids due for harvest on the next tick.
+    ripe: Vec<TraceId>,
+    /// Harvested `(trace id, submit-side events)`, oldest first;
+    /// bounded by [`FORWARD_TRACE_RETAIN`].
+    retained: VecDeque<(TraceId, Vec<TraceEvent>)>,
+}
+
 struct NodeInner {
     cfg: ClusterConfig,
     obs: Observer,
@@ -117,6 +150,7 @@ struct NodeInner {
     /// requests to itself.
     clients: Mutex<HashMap<String, Arc<Mutex<FarmClient>>>>,
     repl_tx: Mutex<Option<Sender<Replication>>>,
+    forward_traces: Mutex<ForwardTraces>,
     stop: AtomicBool,
 }
 
@@ -151,6 +185,7 @@ impl ClusterNode {
                 farm: OnceLock::new(),
                 clients: Mutex::new(HashMap::new()),
                 repl_tx: Mutex::new(None),
+                forward_traces: Mutex::new(ForwardTraces::default()),
                 stop: AtomicBool::new(false),
             }),
         };
@@ -212,7 +247,19 @@ impl ClusterNode {
         ServerExtensions {
             route: Some(Arc::new(move |req: &Request| route_node.route(req))),
             healthz: Some(Arc::new(move || {
-                vec![("cluster".to_string(), healthz_node.healthz_value())]
+                // The node's cluster identity rides top-level (not just
+                // inside the `cluster` object) so probes and dashboards
+                // can read it without digging.
+                let (node, ordinal, alive) = {
+                    let m = healthz_node.membership();
+                    (m.self_addr.clone(), m.self_ordinal(), m.counts().0)
+                };
+                vec![
+                    ("node".to_string(), Value::Str(node)),
+                    ("ordinal".to_string(), Value::Int(ordinal as i128)),
+                    ("peers_alive".to_string(), Value::Int(alive as i128)),
+                    ("cluster".to_string(), healthz_node.healthz_value()),
+                ]
             })),
             forward: Some(Arc::new(
                 move |spec: &JobSpec, trace: Option<&TraceContext>| {
@@ -264,8 +311,16 @@ impl ClusterNode {
     /// | `POST /cluster/join` | add a member (broadcast to peers unless forwarded) |
     /// | `GET /cluster/artifact/{hex}?kind=tag` | artifact payload from the local store |
     /// | `POST /cluster/artifact/{hex}?kind=tag` | save a replicated artifact payload |
+    /// | `GET /cluster/metrics` | federated metrics: per-node snapshots + ring-wide rollups (`?format=prometheus` for labelled text) |
+    /// | `GET /cluster/trace/{trace_id}` | merged cross-node Chrome trace, one pid lane per node (`?local=1` for this node's fragment) |
+    ///
+    /// It also intercepts `GET /jobs/{id}/trace` for ids homed on
+    /// another node, proxying to the owner instead of answering 404.
     fn route(&self, req: &Request) -> Option<Response> {
         let path = req.path.as_str();
+        if req.method == "GET" && path.starts_with("/jobs/") && path.ends_with("/trace") {
+            return self.proxy_job_trace(req);
+        }
         match (req.method.as_str(), path) {
             ("GET", "/cluster/healthz") => {
                 Some(Response::json_ok(self.healthz_value().to_string()))
@@ -282,6 +337,8 @@ impl ClusterNode {
                 ))
             }
             ("POST", "/cluster/join") => Some(self.handle_join(req)),
+            ("GET", "/cluster/metrics") => Some(self.cluster_metrics(req)),
+            ("GET", p) if p.starts_with("/cluster/trace/") => Some(self.cluster_trace(req)),
             ("GET", p) if p.starts_with("/cluster/artifact/") => Some(self.artifact_get(req)),
             ("POST", p) if p.starts_with("/cluster/artifact/") => Some(self.artifact_put(req)),
             _ => None,
@@ -404,12 +461,30 @@ impl ClusterNode {
             }
             owner
         };
+        // The forward hop is a real span in the submission's trace: the
+        // owner's `farm.job` root parents under it, so the merged
+        // cross-node trace shows submit node → owner as one tree under
+        // one trace id.
+        // Parent preference: the attached `farm.request` span context
+        // (the hook runs on the request thread), else the client's
+        // traceparent, else a fresh root — every forwarded submission
+        // has a trace.
+        let fwd_parent = tracectx::current()
+            .or_else(|| trace.copied())
+            .unwrap_or_else(TraceContext::new_root);
+        let guard = fwd_parent.attach();
+        let mut span = self
+            .inner
+            .obs
+            .span(names::SPAN_CLUSTER_FORWARD, names::CAT_CLUSTER);
+        span.arg("owner", owner.as_str());
+        let fwd_ctx = tracectx::current().unwrap_or(fwd_parent);
         let start = std::time::Instant::now();
         let spec = spec.clone();
         let outcome = self.with_client(&owner, move |client| {
             client.submit_with(
                 &[spec],
-                trace,
+                Some(&fwd_ctx),
                 &[(FORWARDED_HEADER.to_string(), "1".to_string())],
             )
         });
@@ -417,9 +492,12 @@ impl ClusterNode {
             .obs
             .histogram(names::CLUSTER_FORWARD_US)
             .record(start.elapsed().as_micros() as u64);
+        drop(span);
+        drop(guard);
         match outcome {
             Ok((_, lines)) if !lines.is_empty() => {
                 self.inner.obs.counter(names::CLUSTER_FORWARDED).inc();
+                self.remember_forward_trace(fwd_ctx.trace_id);
                 let mut outcome = lines[0].clone();
                 if let SubmitOutcome::Accepted { forwarded_to, .. } = &mut outcome {
                     *forwarded_to = Some(owner);
@@ -431,6 +509,321 @@ impl ClusterNode {
                 None
             }
         }
+    }
+
+    /// Marks `trace_id` for submit-side retention (the next-but-one
+    /// heartbeat tick harvests its events out of the live sink).
+    fn remember_forward_trace(&self, trace_id: TraceId) {
+        if !self.inner.obs.is_enabled() {
+            return;
+        }
+        let mut ft = self
+            .inner
+            .forward_traces
+            .lock()
+            .expect("cluster forward-trace lock");
+        if !ft.fresh.contains(&trace_id) && !ft.ripe.contains(&trace_id) {
+            ft.fresh.push(trace_id);
+        }
+    }
+
+    /// Heartbeat-cadence sweep: harvests ripe forwarded-trace events
+    /// from the live sink into the bounded retained ring, then promotes
+    /// fresh → ripe. Two-phase so a trace is never harvested on the
+    /// same tick its submission's `farm.request` span is still open.
+    fn harvest_forward_traces(&self) {
+        let due: Vec<TraceId> = {
+            let mut ft = self
+                .inner
+                .forward_traces
+                .lock()
+                .expect("cluster forward-trace lock");
+            let due = std::mem::take(&mut ft.ripe);
+            ft.ripe = std::mem::take(&mut ft.fresh);
+            due
+        };
+        for trace_id in due {
+            let events = self.inner.obs.take_trace_events(trace_id);
+            if events.is_empty() {
+                continue;
+            }
+            let mut ft = self
+                .inner
+                .forward_traces
+                .lock()
+                .expect("cluster forward-trace lock");
+            while ft.retained.len() >= FORWARD_TRACE_RETAIN {
+                ft.retained.pop_front();
+            }
+            ft.retained.push_back((trace_id, events));
+        }
+    }
+
+    // ---- observability plane (trace assembly + metrics federation) ------
+
+    /// Satellite fix: `GET /jobs/{id}/trace` asked of a node that never
+    /// ran the job. The id's high bits name its home node
+    /// (`ordinal = (id >> ID_RANGE_BITS) - 1`), so instead of answering
+    /// 404 the node proxies to the owner — one hop, capped by the
+    /// forwarded marker. `None` falls through to the farm's own
+    /// handler: the job is local (or adopted), the id is not
+    /// cluster-shaped, or the owner is unreachable (a local 404 beats a
+    /// 502 here; the caller can retry the owner directly).
+    fn proxy_job_trace(&self, req: &Request) -> Option<Response> {
+        if req.header(FORWARDED_HEADER).is_some() {
+            return None;
+        }
+        let id: u64 = req
+            .path
+            .strip_prefix("/jobs/")?
+            .strip_suffix("/trace")?
+            .parse()
+            .ok()?;
+        let farm = self.inner.farm.get()?;
+        if farm.flight_recorder().has_job(id) {
+            return None;
+        }
+        let ordinal = (id >> ID_RANGE_BITS).checked_sub(1)?;
+        let owner = {
+            let m = self.membership();
+            let addr = m.addr_of_ordinal(ordinal)?;
+            if addr == m.self_addr {
+                return None;
+            }
+            addr
+        };
+        let path = format!("/jobs/{id}/trace");
+        let got = self.with_client(&owner, move |client| {
+            client.http().send(
+                "GET",
+                &path,
+                &[(FORWARDED_HEADER.to_string(), "1".to_string())],
+                &[],
+                None,
+                true,
+            )
+        });
+        match got {
+            Ok(resp) if resp.status == 200 => {
+                self.inner.obs.counter(names::CLUSTER_TRACE_PROXIED).inc();
+                Some(Response::json_ok(resp.text()))
+            }
+            Ok(resp) if resp.status == 404 => Some(Response::not_found(&format!(
+                "job {id} unknown on its home node {owner}"
+            ))),
+            _ => None,
+        }
+    }
+
+    /// This node's events for `trace_id` as a Chrome trace document
+    /// fragment on the node's ordinal-pid lane: flight-recorder job
+    /// spans, retained submit-side forward spans, and whatever is still
+    /// in the live sink. `None` when the node saw nothing of the trace.
+    fn local_trace_fragment(&self, trace_id: TraceId) -> Option<Value> {
+        let farm = self.inner.farm.get()?;
+        let mut events = farm.flight_recorder().events_for_trace(trace_id);
+        {
+            let ft = self
+                .inner
+                .forward_traces
+                .lock()
+                .expect("cluster forward-trace lock");
+            for (tid, evs) in &ft.retained {
+                if *tid == trace_id {
+                    events.extend(evs.iter().cloned());
+                }
+            }
+        }
+        // Not-yet-harvested events (recorder and retention both remove
+        // what they keep from the sink, so this cannot duplicate).
+        events.extend(self.inner.obs.trace_events_for(trace_id));
+        if events.is_empty() {
+            return None;
+        }
+        events.sort_by_key(|e| (e.ts_us, std::cmp::Reverse(e.dur_us)));
+        let (ordinal, addr) = {
+            let m = self.membership();
+            (m.self_ordinal(), m.self_addr.clone())
+        };
+        let mut doc = export::chrome_trace_document_with_pid(&events, ordinal);
+        if let Value::Obj(members) = &mut doc {
+            if let Some((_, Value::Arr(evs))) = members.iter_mut().find(|(k, _)| k == "traceEvents")
+            {
+                evs.insert(
+                    0,
+                    export::process_name_metadata(ordinal, &format!("lp-farm {addr}")),
+                );
+            }
+        }
+        Some(doc)
+    }
+
+    /// `GET /cluster/trace/{32-hex}`: the merged cross-node Chrome
+    /// trace. `?local=1` (or the forwarded marker) answers only this
+    /// node's fragment; otherwise the node fans out to the alive ring
+    /// and stitches every fragment into one Perfetto-loadable document,
+    /// each node on its own ordinal-pid lane. Per-node clocks are
+    /// independent (each fragment's `ts` is that node's process
+    /// uptime), so lanes may be skewed by boot-time deltas; the span
+    /// *tree* — linked by `trace_id`/`span_id`/`parent_span_id` args —
+    /// is exact.
+    fn cluster_trace(&self, req: &Request) -> Response {
+        let hex = req.path.strip_prefix("/cluster/trace/").unwrap_or("");
+        let Some(trace_id) = TraceId::parse_hex(hex) else {
+            return Response::bad_request("bad trace id (want 32 lowercase hex chars)");
+        };
+        let local_only = req.header(FORWARDED_HEADER).is_some()
+            || req
+                .query
+                .as_deref()
+                .is_some_and(|q| q.split('&').any(|kv| kv == "local=1"));
+        if local_only {
+            return match self.local_trace_fragment(trace_id) {
+                Some(doc) => Response::json_ok(doc.to_string()),
+                None => Response::not_found(&format!("no events for trace {hex} on this node")),
+            };
+        }
+        let (self_addr, members): (String, Vec<String>) = {
+            let m = self.membership();
+            (m.self_addr.clone(), m.alive_addrs())
+        };
+        let mut merged: Vec<Value> = Vec::new();
+        let mut nodes = 0u64;
+        for addr in members {
+            let fragment = if addr == self_addr {
+                self.local_trace_fragment(trace_id)
+            } else {
+                let path = format!("/cluster/trace/{hex}?local=1");
+                let got = self.with_client(&addr, move |client| {
+                    client.http().send(
+                        "GET",
+                        &path,
+                        &[(FORWARDED_HEADER.to_string(), "1".to_string())],
+                        &[],
+                        None,
+                        true,
+                    )
+                });
+                match got {
+                    Ok(resp) if resp.status == 200 => lp_obs::json::parse(&resp.text()).ok(),
+                    _ => None,
+                }
+            };
+            if let Some(events) = fragment
+                .as_ref()
+                .and_then(|doc| doc.get("traceEvents"))
+                .and_then(Value::as_arr)
+            {
+                merged.extend(events.iter().cloned());
+                nodes += 1;
+            }
+        }
+        if merged.is_empty() {
+            return Response::not_found(&format!("no node holds events for trace {hex}"));
+        }
+        self.inner.obs.counter(names::CLUSTER_TRACE_ASSEMBLED).inc();
+        Response::json_ok(
+            Value::Obj(vec![
+                ("traceEvents".to_string(), Value::Arr(merged)),
+                ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+                (
+                    "otherData".to_string(),
+                    Value::Obj(vec![
+                        ("producer".to_string(), Value::Str("lp-cluster".to_string())),
+                        ("trace_id".to_string(), Value::Str(hex.to_string())),
+                        ("nodes".to_string(), Value::Int(nodes as i128)),
+                    ]),
+                ),
+            ])
+            .to_string(),
+        )
+    }
+
+    /// `GET /cluster/metrics[?format=prometheus]`: fans out to the
+    /// alive members for their `/metrics.json` snapshots and answers
+    /// per-node metrics plus ring-wide rollups (counters summed, gauges
+    /// summed or max'd per [`names::gauge_rollup`], histograms
+    /// bucket-merged). Unreachable peers degrade to entries in
+    /// `errors` rather than failing the whole document.
+    fn cluster_metrics(&self, req: &Request) -> Response {
+        let start = std::time::Instant::now();
+        let (self_addr, members): (String, Vec<(u64, String)>) = {
+            let m = self.membership();
+            let members = m
+                .peers
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.alive)
+                .map(|(i, p)| (i as u64, p.spec.addr.clone()))
+                .collect();
+            (m.self_addr.clone(), members)
+        };
+        let mut nodes: Vec<(u64, String, MetricsSnapshot)> = Vec::new();
+        let mut errors: Vec<Value> = Vec::new();
+        for (ordinal, addr) in members {
+            if addr == self_addr {
+                nodes.push((ordinal, addr, self.inner.obs.snapshot()));
+                continue;
+            }
+            let fetched = self
+                .with_client(&addr, |client| client.metrics_json())
+                .map_err(|e| e.to_string())
+                .and_then(|doc| MetricsSnapshot::from_json(&doc));
+            match fetched {
+                Ok(snap) => nodes.push((ordinal, addr, snap)),
+                Err(e) => {
+                    self.inner.obs.counter(names::CLUSTER_FEDERATE_ERRORS).inc();
+                    errors.push(Value::Obj(vec![
+                        ("node".to_string(), Value::Str(addr)),
+                        ("error".to_string(), Value::Str(e)),
+                    ]));
+                }
+            }
+        }
+        let labelled: Vec<(String, MetricsSnapshot)> = nodes
+            .iter()
+            .map(|(_, addr, snap)| (addr.clone(), snap.clone()))
+            .collect();
+        let rollup = federate::rollup(
+            &labelled
+                .iter()
+                .map(|(_, snap)| snap.clone())
+                .collect::<Vec<_>>(),
+        );
+        self.inner
+            .obs
+            .histogram(names::CLUSTER_FEDERATE_US)
+            .record(start.elapsed().as_micros() as u64);
+        let want_text = req
+            .query
+            .as_deref()
+            .is_some_and(|q| q.split('&').any(|kv| kv == "format=prometheus"));
+        if want_text {
+            return Response::new(
+                "200 OK",
+                "text/plain; version=0.0.4",
+                federate::render_labelled(&labelled, &rollup),
+            );
+        }
+        let nodes_json: Vec<Value> = nodes
+            .iter()
+            .map(|(ordinal, addr, snap)| {
+                Value::Obj(vec![
+                    ("node".to_string(), Value::Str(addr.clone())),
+                    ("ordinal".to_string(), Value::Int(*ordinal as i128)),
+                    ("metrics".to_string(), snap.to_json()),
+                ])
+            })
+            .collect();
+        Response::json_ok(
+            Value::Obj(vec![
+                ("nodes".to_string(), Value::Arr(nodes_json)),
+                ("rollup".to_string(), rollup.to_json()),
+                ("ring_nodes".to_string(), Value::Int(nodes.len() as i128)),
+                ("errors".to_string(), Value::Arr(errors)),
+            ])
+            .to_string(),
+        )
     }
 
     // ---- cluster-wide dedup (store fetch / replication) -----------------
@@ -578,6 +971,7 @@ impl ClusterNode {
                     None => {}
                 }
             }
+            self.harvest_forward_traces();
             std::thread::sleep(period);
         }
     }

@@ -167,6 +167,17 @@ impl Membership {
             .unwrap_or(0) as u64
     }
 
+    /// The configured member at `ordinal` — its position in the sorted
+    /// member list, the same basis as [`Membership::self_ordinal`] and
+    /// the per-node job-id ranges — alive or dead. `None` when the
+    /// ordinal is out of range (an id from a member this node has never
+    /// heard of).
+    pub fn addr_of_ordinal(&self, ordinal: u64) -> Option<String> {
+        self.peers
+            .get(usize::try_from(ordinal).ok()?)
+            .map(|p| p.spec.addr.clone())
+    }
+
     /// Addresses of the currently-alive members.
     pub fn alive_addrs(&self) -> Vec<String> {
         self.peers
@@ -291,6 +302,17 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 3, "ordinals must be distinct: {ordinals:?}");
+    }
+
+    #[test]
+    fn addr_of_ordinal_inverts_self_ordinal() {
+        let peers = specs(3);
+        let m = Membership::new(&peers[1].addr, &peers, 16, 3);
+        for p in &peers {
+            let ord = Membership::new(&p.addr, &peers, 16, 3).self_ordinal();
+            assert_eq!(m.addr_of_ordinal(ord).as_deref(), Some(p.addr.as_str()));
+        }
+        assert_eq!(m.addr_of_ordinal(99), None);
     }
 
     #[test]

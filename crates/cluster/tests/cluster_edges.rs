@@ -152,6 +152,7 @@ fn boot_cluster(root: &Path, addrs: &[String], gates: &[Option<Arc<AtomicBool>>]
                     workers: 2,
                     dir: Some(root.join(format!("farm-{i}"))),
                     journal_flush_ms: 0,
+                    history_interval_ms: 50,
                     ..FarmConfig::default()
                 },
                 backend,
@@ -356,6 +357,297 @@ fn cross_node_dedup_fetches_the_owner_artifact_instead_of_computing() {
         "cluster-wide dedup must collapse N submits to 1 compute"
     );
     assert!(nodes[2].obs.counter(names::CLUSTER_FETCH_HITS).get() >= 1);
+
+    for node in nodes {
+        node.running.shutdown(ShutdownMode::Drain);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Pulls a string out of an event's `args`.
+fn arg_str<'a>(event: &'a lp_obs::json::Value, key: &str) -> Option<&'a str> {
+    event.get("args")?.get(key)?.as_str()
+}
+
+#[test]
+fn forwarded_job_trace_assembles_across_nodes_into_one_tree() {
+    let root = tmpdir("xtrace");
+    let addrs = vec![free_addr(), free_addr(), free_addr()];
+    let nodes = boot_cluster(&root, &addrs, &[None, None, None]);
+    let ring = Ring::build(&addrs, 64);
+
+    // Submitted to node 0, owned (and executed) by node 1; node 2 is a
+    // bystander that saw nothing of the job.
+    let spec = spec_owned_by(&ring, &addrs[1], None);
+    let (status, outcomes) = nodes[0].client().submit(&[spec], None).unwrap();
+    assert_eq!(status, 202);
+    let (id, trace_hex) = match &outcomes[0] {
+        lp_farm_proto::SubmitOutcome::Accepted { id, trace_id, .. } => (
+            *id,
+            trace_id.clone().expect("accepted outcome carries trace id"),
+        ),
+        other => panic!("submit not accepted: {other:?}"),
+    };
+    let mut owner_client = nodes[1].client();
+    assert!(wait_until(
+        || owner_client
+            .job(id)
+            .map(|j| j.is_terminal())
+            .unwrap_or(false),
+        Duration::from_secs(10),
+    ));
+
+    // Satellite: /jobs/{id}/trace answered by nodes that never ran the
+    // job — the id's high bits name the home node and the request is
+    // proxied there instead of 404ing.
+    for node in [&nodes[0], &nodes[2]] {
+        let doc = node
+            .client()
+            .trace_document(id)
+            .expect("non-owner must proxy the job trace to the home node");
+        assert!(
+            doc.get("traceEvents")
+                .and_then(lp_obs::json::Value::as_arr)
+                .is_some_and(|evs| !evs.is_empty()),
+            "proxied trace must carry the owner's events"
+        );
+    }
+    assert!(nodes[0].obs.counter(names::CLUSTER_TRACE_PROXIED).get() >= 1);
+
+    // Tentpole: the merged cross-node trace, assembled by the
+    // bystander, holds the submit node's forward span AND the owner's
+    // job root in one tree under the submission's trace id, each node
+    // on its own ordinal-pid lane.
+    let doc = nodes[2]
+        .client()
+        .cluster_trace(&trace_hex)
+        .expect("any member assembles the cluster trace");
+    let events = doc
+        .get("traceEvents")
+        .and_then(lp_obs::json::Value::as_arr)
+        .expect("merged document has traceEvents");
+
+    let forward = events
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(names::SPAN_CLUSTER_FORWARD))
+        .expect("merged trace holds the submit node's forward span");
+    let job_root = events
+        .iter()
+        .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(names::SPAN_FARM_JOB))
+        .expect("merged trace holds the owner's job root");
+    assert_eq!(arg_str(forward, "trace_id"), Some(trace_hex.as_str()));
+    assert_eq!(arg_str(job_root, "trace_id"), Some(trace_hex.as_str()));
+    assert_eq!(
+        arg_str(job_root, "parent_span_id"),
+        arg_str(forward, "span_id"),
+        "the owner's job root must parent under the submit node's forward span"
+    );
+    assert_eq!(
+        forward.get("pid").and_then(|p| p.as_u64()),
+        Some(ordinal(&addrs, &addrs[0])),
+        "forward span rides the submit node's ordinal lane"
+    );
+    assert_eq!(
+        job_root.get("pid").and_then(|p| p.as_u64()),
+        Some(ordinal(&addrs, &addrs[1])),
+        "job root rides the owner's ordinal lane"
+    );
+
+    // Each contributing node labels its pid lane with its address.
+    let lane_names: Vec<(u64, String)> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+        .filter_map(|e| {
+            Some((
+                e.get("pid")?.as_u64()?,
+                e.get("args")?.get("name")?.as_str()?.to_string(),
+            ))
+        })
+        .collect();
+    for (node_addr, expect_ordinal) in [(&addrs[0], 0), (&addrs[1], 1)] {
+        let expect_ordinal = ordinal(&addrs, addrs[expect_ordinal].as_str());
+        assert!(
+            lane_names
+                .iter()
+                .any(|(pid, name)| *pid == expect_ordinal && name.contains(node_addr.as_str())),
+            "missing process_name lane for {node_addr}: {lane_names:?}"
+        );
+    }
+    assert!(
+        doc.get("otherData")
+            .and_then(|o| o.get("nodes"))
+            .and_then(|n| n.as_u64())
+            .is_some_and(|n| n >= 2),
+        "at least the submit node and the owner contribute fragments"
+    );
+
+    for node in nodes {
+        node.running.shutdown(ShutdownMode::Drain);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn federated_metrics_roll_up_to_the_sum_and_history_accumulates() {
+    let root = tmpdir("federate");
+    let addrs = vec![free_addr(), free_addr(), free_addr()];
+    let nodes = boot_cluster(&root, &addrs, &[None, None, None]);
+
+    // Six distinct jobs, two owned by each member (so every node's
+    // snapshot carries a farm.submitted series), all entering through
+    // node 0 — forwarding scatters them to their owners.
+    let ring = Ring::build(&addrs, 64);
+    let mut by_owner: std::collections::HashMap<String, Vec<JobSpec>> =
+        std::collections::HashMap::new();
+    for i in 0.. {
+        let spec = JobSpec {
+            program: format!("fed-wl-{i}"),
+            ..JobSpec::default()
+        };
+        let key = StoreKey::from_hex(&mock_key(&spec)).unwrap();
+        let owner = ring.owner(&key.0).unwrap().to_string();
+        let owned = by_owner.entry(owner).or_default();
+        if owned.len() < 2 {
+            owned.push(spec);
+        }
+        if by_owner.len() == addrs.len() && by_owner.values().all(|v| v.len() == 2) {
+            break;
+        }
+    }
+    for spec in by_owner.values().flatten() {
+        let (status, _) = nodes[0]
+            .client()
+            .submit(std::slice::from_ref(spec), None)
+            .unwrap();
+        assert_eq!(status, 202);
+    }
+    for node in &nodes {
+        let mut c = node.client();
+        assert!(wait_until(
+            || c.queue()
+                .ok()
+                .and_then(|q| {
+                    let n = |k: &str| q.get(k).and_then(lp_obs::json::Value::as_u64);
+                    Some(n("queued")? == 0 && n("running")? == 0)
+                })
+                .unwrap_or(false),
+            Duration::from_secs(10),
+        ));
+    }
+
+    // Satellite: every member's /healthz reports its cluster identity
+    // top-level.
+    for (i, node) in nodes.iter().enumerate() {
+        let health = node.client().healthz().unwrap();
+        assert_eq!(
+            health.get("node").and_then(|v| v.as_str()),
+            Some(addrs[i].as_str())
+        );
+        assert_eq!(
+            health.get("ordinal").and_then(|v| v.as_u64()),
+            Some(ordinal(&addrs, &addrs[i]))
+        );
+        assert_eq!(health.get("peers_alive").and_then(|v| v.as_u64()), Some(3));
+    }
+
+    // Tentpole: the federated document carries all three nodes and its
+    // rollup equals the per-node sum, counter by counter.
+    let doc = nodes[0].client().cluster_metrics().unwrap();
+    let per_node = doc
+        .get("nodes")
+        .and_then(lp_obs::json::Value::as_arr)
+        .expect("federated document has nodes");
+    assert_eq!(per_node.len(), 3);
+    let node_counter = |n: &lp_obs::json::Value, name: &str| {
+        n.get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    let summed: u64 = per_node
+        .iter()
+        .map(|n| node_counter(n, names::FARM_SUBMITTED))
+        .sum();
+    let rollup = doc
+        .get("rollup")
+        .and_then(|r| r.get("counters"))
+        .and_then(|c| c.get(names::FARM_SUBMITTED))
+        .and_then(|v| v.as_u64())
+        .expect("rollup carries farm.submitted");
+    assert_eq!(rollup, summed, "rollup must equal the per-node sum");
+    assert!(summed >= 6, "all six submissions land somewhere");
+    assert_eq!(
+        doc.get("errors")
+            .and_then(lp_obs::json::Value::as_arr)
+            .map(|e| e.len()),
+        Some(0),
+        "all members reachable"
+    );
+
+    // The Prometheus rendering labels per-node series and repeats the
+    // rollup unlabelled.
+    let text = {
+        let mut c = nodes[1].client();
+        let resp = c
+            .http()
+            .send(
+                "GET",
+                "/cluster/metrics?format=prometheus",
+                &[],
+                &[],
+                None,
+                true,
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        resp.text()
+    };
+    for addr in &addrs {
+        assert!(
+            text.contains(&format!("farm_submitted{{node=\"{addr}\"}}")),
+            "missing labelled series for {addr}"
+        );
+    }
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("farm_submitted ") && !l.contains('{')),
+        "missing unlabelled rollup series"
+    );
+
+    // Time-series history: the sampler (50 ms cadence here) accumulates
+    // NDJSON samples, and `since=` resumes mid-stream.
+    let mut c = nodes[0].client();
+    assert!(wait_until(
+        || c.metrics_history(0)
+            .map(|body| body.lines().filter(|l| !l.trim().is_empty()).count() >= 2)
+            .unwrap_or(false),
+        Duration::from_secs(5),
+    ));
+    let all = c.metrics_history(0).unwrap();
+    let first_seq = lp_obs::json::parse(all.lines().next().unwrap())
+        .unwrap()
+        .get("seq")
+        .and_then(|s| s.as_u64())
+        .unwrap();
+    let resumed = c.metrics_history(first_seq).unwrap();
+    assert!(
+        resumed.lines().filter(|l| !l.trim().is_empty()).count()
+            < all.lines().filter(|l| !l.trim().is_empty()).count(),
+        "since= must skip already-consumed samples"
+    );
+    let first_resumed = lp_obs::json::parse(resumed.lines().next().unwrap()).unwrap();
+    assert!(
+        first_resumed.get("seq").and_then(|s| s.as_u64()).unwrap() > first_seq,
+        "resumed stream starts after the since marker"
+    );
+    let sample_values = first_resumed.get("values").expect("sample carries values");
+    for label in ["farm.done.rate", "farm.queue.depth", "farm.dedup.ratio"] {
+        assert!(
+            sample_values.get(label).is_some(),
+            "history sample missing series {label}"
+        );
+    }
 
     for node in nodes {
         node.running.shutdown(ShutdownMode::Drain);

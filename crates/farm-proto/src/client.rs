@@ -214,6 +214,51 @@ impl FarmClient {
         Ok(resp.text())
     }
 
+    /// Fetches the node's full metrics snapshot as JSON
+    /// (`GET /metrics.json`) — the federation wire format.
+    ///
+    /// # Errors
+    /// Transport, non-200 status, or an unparseable body.
+    pub fn metrics_json(&mut self) -> Result<Value, ProtoError> {
+        self.get_ok_json("/metrics.json")
+    }
+
+    /// Fetches the node's metrics-history NDJSON (`GET /metrics/history`),
+    /// resuming after sample sequence `since` (0 for everything retained).
+    ///
+    /// # Errors
+    /// Transport or a non-200 status (404 when sampling is disabled).
+    pub fn metrics_history(&mut self, since: u64) -> Result<String, ProtoError> {
+        let resp = self.get(&format!("/metrics/history?since={since}"))?;
+        if resp.status != 200 {
+            return Err(ProtoError::Http {
+                status: resp.status,
+                body: resp.text(),
+            });
+        }
+        Ok(resp.text())
+    }
+
+    /// Fetches the federated cluster metrics document
+    /// (`GET /cluster/metrics`): per-node snapshots plus ring-wide
+    /// rollups. Only cluster nodes serve this route.
+    ///
+    /// # Errors
+    /// Transport, non-200 status, or an unparseable body.
+    pub fn cluster_metrics(&mut self) -> Result<Value, ProtoError> {
+        self.get_ok_json("/cluster/metrics")
+    }
+
+    /// Fetches the merged cross-node Chrome trace for `trace_id` (32
+    /// lowercase hex chars) via `GET /cluster/trace/{trace_id}`. Only
+    /// cluster nodes serve this route.
+    ///
+    /// # Errors
+    /// Transport, non-200 status, or an unparseable body.
+    pub fn cluster_trace(&mut self, trace_id: &str) -> Result<Value, ProtoError> {
+        self.get_ok_json(&format!("/cluster/trace/{trace_id}"))
+    }
+
     /// Cancels a job; returns the server's `{cancelled, state}` object.
     ///
     /// # Errors

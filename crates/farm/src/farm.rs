@@ -85,6 +85,11 @@ pub struct FarmConfig {
     /// Journal compaction trigger: compact when the transition log
     /// exceeds this multiple of the snapshot size.
     pub journal_compact_factor: u64,
+    /// Metrics-history sampling cadence (ms) for `/metrics/history` and
+    /// `run-looppoint top`; `0` disables the sampler.
+    pub history_interval_ms: u64,
+    /// Samples retained by the bounded history ring.
+    pub history_capacity: usize,
 }
 
 impl Default for FarmConfig {
@@ -103,6 +108,8 @@ impl Default for FarmConfig {
             dir: None,
             journal_flush_ms: 1,
             journal_compact_factor: 4,
+            history_interval_ms: 1_000,
+            history_capacity: 512,
         }
     }
 }
@@ -268,6 +275,8 @@ struct FarmInner {
     /// Worker handles, shared with the supervisor for respawn.
     workers: Mutex<Vec<JoinHandle<()>>>,
     supervisor: Mutex<Option<JoinHandle<()>>>,
+    /// Periodic metrics-history sampler; `None` when disabled.
+    history: Option<lp_obs::HistorySampler>,
 }
 
 /// A running analysis farm. Cheap to clone (all clones share one farm).
@@ -297,6 +306,14 @@ impl Farm {
         let workers = cfg.workers.max(1);
         let id_base = cfg.id_base;
         let recorder = FlightRecorder::new(cfg.trace_capacity, obs.clone());
+        let history = (cfg.history_interval_ms > 0 && obs.is_enabled()).then(|| {
+            lp_obs::HistorySampler::start(
+                obs.clone(),
+                lp_obs::timeseries::farm_columns(),
+                cfg.history_interval_ms,
+                cfg.history_capacity,
+            )
+        });
         let inner = Arc::new(FarmInner {
             cfg,
             backend,
@@ -319,6 +336,7 @@ impl Farm {
             idle: Condvar::new(),
             workers: Mutex::new(Vec::new()),
             supervisor: Mutex::new(None),
+            history,
         });
         inner.restore_journal();
         inner.obs.gauge(names::FARM_WORKERS).set(workers as f64);
@@ -471,6 +489,19 @@ impl Farm {
         if let Some(journal) = &self.inner.journal {
             journal.checkpoint();
         }
+        if let Some(history) = &self.inner.history {
+            history.stop();
+        }
+    }
+
+    /// The metrics-history ring fed by the periodic sampler, or `None`
+    /// when sampling is disabled (`history_interval_ms == 0` or a
+    /// disabled observer).
+    pub fn history(&self) -> Option<std::sync::Arc<lp_obs::History>> {
+        self.inner
+            .history
+            .as_ref()
+            .map(lp_obs::HistorySampler::history)
     }
 
     /// Durability barrier: blocks until every journal record appended so

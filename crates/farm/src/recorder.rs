@@ -235,6 +235,31 @@ impl FlightRecorder {
         )))
     }
 
+    /// Whether the recorder retains (live or finished) a trace for `id`.
+    pub fn has_job(&self, id: u64) -> bool {
+        let st = self.state.lock().expect("flight recorder poisoned");
+        st.live.contains_key(&id) || st.finished.iter().any(|j| j.id == id)
+    }
+
+    /// The fully assembled event lists of every retained job belonging to
+    /// `trace_id` (synthesized farm spans + lifecycle instants + harvested
+    /// pipeline spans, as in [`FlightRecorder::trace_document`]),
+    /// timestamp-sorted across jobs. Cross-node trace assembly collects
+    /// this node's fragment of a distributed trace with it.
+    pub fn events_for_trace(&self, trace_id: TraceId) -> Vec<TraceEvent> {
+        let now = self.now_us();
+        let st = self.state.lock().expect("flight recorder poisoned");
+        let mut events: Vec<TraceEvent> = st
+            .live
+            .values()
+            .chain(st.finished.iter())
+            .filter(|jt| jt.ctx.trace_id == trace_id)
+            .flat_map(|jt| assemble_events(jt, now))
+            .collect();
+        events.sort_by_key(|e| (e.ts_us, std::cmp::Reverse(e.dur_us)));
+        events
+    }
+
     /// A snapshot of one retained trace (live or finished).
     pub fn job_trace(&self, id: u64) -> Option<JobTrace> {
         let st = self.state.lock().expect("flight recorder poisoned");
@@ -538,6 +563,24 @@ mod tests {
         assert_eq!(states[0], "live");
         assert_eq!(states[1], "live");
         assert_eq!(states[2], "failed");
+    }
+
+    #[test]
+    fn events_for_trace_collects_only_that_trace() {
+        let (r, _obs) = rec(4);
+        let a = TraceContext::new_root();
+        let b = TraceContext::new_root();
+        r.begin(1, a, "w", None, "enqueue", String::new());
+        r.begin(2, b, "w", None, "enqueue", String::new());
+        r.finish(1, "done");
+        assert!(r.has_job(1) && r.has_job(2) && !r.has_job(3));
+        let evs = r.events_for_trace(a.trace_id);
+        assert!(!evs.is_empty());
+        assert!(evs
+            .iter()
+            .all(|e| e.ctx.is_some_and(|c| c.trace_id == a.trace_id)));
+        assert!(evs.iter().any(|e| e.name == names::SPAN_FARM_JOB));
+        assert!(r.events_for_trace(TraceId(0x1234)).is_empty());
     }
 
     #[test]

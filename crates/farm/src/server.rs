@@ -18,6 +18,8 @@
 //! | `POST /jobs/{id}/cancel` | cancel queued/running job                    |
 //! | `GET /queue`             | aggregate queue snapshot                     |
 //! | `GET /metrics`           | Prometheus text (farm.* and pipeline)        |
+//! | `GET /metrics.json`      | the full metrics snapshot as JSON (what `/cluster/metrics` federates) |
+//! | `GET /metrics/history`   | NDJSON time-series samples (`?since=SEQ` resumes incrementally); `404` when sampling is disabled |
 //! | `GET /healthz`           | liveness JSON (includes flight-recorder occupancy) |
 //! | `POST /shutdown`         | `?mode=drain` (default) or `?mode=now`       |
 
@@ -187,6 +189,26 @@ fn route(req: &Request, farm: &Farm, shared: &ServerShared, ext: &ServerExtensio
         ("POST", "/jobs") => submit_batch(req, farm, ext),
         ("GET", "/queue") => Response::json_ok(farm.queue_snapshot().to_value().to_string()),
         ("GET", "/metrics") => Response::text_ok(farm.observer().prometheus_text()),
+        ("GET", "/metrics.json") => Response::json_ok(farm.observer().metrics_json()),
+        ("GET", "/metrics/history") => match farm.history() {
+            None => Response::not_found(
+                "metrics history sampling is disabled (history_interval_ms = 0)",
+            ),
+            Some(history) => {
+                let since = req
+                    .query
+                    .as_deref()
+                    .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("since=")))
+                    .and_then(|n| n.parse::<u64>().ok())
+                    .unwrap_or(0);
+                let samples = history.since(since);
+                Response::new(
+                    "200 OK",
+                    "application/x-ndjson",
+                    history.to_ndjson(&samples),
+                )
+            }
+        },
         ("GET", "/healthz") => {
             let snap = farm.queue_snapshot();
             let (live, finished, capacity, evicted) = farm.flight_recorder().occupancy();

@@ -16,6 +16,14 @@ impl TraceArg {
 /// Renders events as a Chrome `trace_event` JSON object — loadable in
 /// `chrome://tracing` and <https://ui.perfetto.dev>.
 pub fn chrome_trace_document(events: &[TraceEvent]) -> Value {
+    chrome_trace_document_with_pid(events, 1)
+}
+
+/// [`chrome_trace_document`] with an explicit `pid` on every event, so a
+/// multi-node trace can give each node its own process lane (the cluster
+/// layer uses the node's ring ordinal). Pair it with
+/// [`process_name_metadata`] to label the lane in the viewer.
+pub fn chrome_trace_document_with_pid(events: &[TraceEvent], pid: u64) -> Value {
     let mut out: Vec<Value> = Vec::with_capacity(events.len());
     for e in events {
         let mut members: Vec<(String, Value)> = vec![
@@ -23,7 +31,7 @@ pub fn chrome_trace_document(events: &[TraceEvent]) -> Value {
             ("cat".to_string(), Value::Str(e.cat.to_string())),
             ("ph".to_string(), Value::Str(e.ph.code().to_string())),
             ("ts".to_string(), Value::from(e.ts_us)),
-            ("pid".to_string(), Value::from(1u64)),
+            ("pid".to_string(), Value::from(pid)),
             ("tid".to_string(), Value::from(e.tid)),
         ];
         match e.ph {
@@ -69,6 +77,22 @@ pub fn chrome_trace_document(events: &[TraceEvent]) -> Value {
     ])
 }
 
+/// A Chrome-trace `process_name` metadata event (`ph: "M"`): names the
+/// `pid` lane in the trace viewer. The cluster layer prepends one per
+/// node so a merged trace shows node addresses instead of bare ordinals.
+pub fn process_name_metadata(pid: u64, name: &str) -> Value {
+    Value::Obj(vec![
+        ("name".to_string(), Value::Str("process_name".to_string())),
+        ("ph".to_string(), Value::Str("M".to_string())),
+        ("pid".to_string(), Value::from(pid)),
+        ("tid".to_string(), Value::from(0u64)),
+        (
+            "args".to_string(),
+            Value::Obj(vec![("name".to_string(), Value::Str(name.to_string()))]),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +130,24 @@ mod tests {
         assert_eq!(tick.get("ph").unwrap().as_str(), Some("i"));
         assert_eq!(tick.get("s").unwrap().as_str(), Some("t"));
         assert!(tick.get("dur").is_none(), "instants carry no duration");
+    }
+
+    #[test]
+    fn pid_override_and_process_name_metadata() {
+        let doc = chrome_trace_document_with_pid(&[ev("span", Phase::Complete)], 3);
+        let parsed = crate::json::parse(&doc.to_string()).unwrap();
+        let span = &parsed.get("traceEvents").unwrap().as_arr().unwrap()[0];
+        assert_eq!(span.get("pid").unwrap().as_u64(), Some(3));
+
+        let meta = crate::json::parse(&process_name_metadata(3, "lp-farm 127.0.0.1:9").to_string())
+            .unwrap();
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(meta.get("name").unwrap().as_str(), Some("process_name"));
+        assert_eq!(meta.get("pid").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            meta.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("lp-farm 127.0.0.1:9")
+        );
     }
 
     #[test]

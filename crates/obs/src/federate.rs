@@ -1,0 +1,221 @@
+//! Metrics federation: merging per-node [`MetricsSnapshot`]s into a
+//! ring-wide rollup and rendering the combined view as labelled
+//! Prometheus text.
+//!
+//! Counters sum; gauges sum or max per the [`names::gauge_rollup`]
+//! policy table; histograms merge bucket-by-bucket (same log₂ bounds on
+//! every node, so a merge-join by lower bound is exact). The labelled
+//! renderer emits every node's series tagged `node="addr"` plus the
+//! unlabelled rollup, so one scrape of `/cluster/metrics` yields both
+//! the per-node breakdown and the ring total.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::names::{self, GaugeRollup};
+use crate::prometheus::{fmt_f64, le_bound, sanitize_name};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Merges two histograms of identical bucketing scheme: counts and sums
+/// saturate, buckets merge-join by lower bound.
+pub fn merge_histograms(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut buckets: BTreeMap<u64, u64> = a.buckets.iter().copied().collect();
+    for &(lo, c) in &b.buckets {
+        let cell = buckets.entry(lo).or_insert(0);
+        *cell = cell.saturating_add(c);
+    }
+    HistogramSnapshot {
+        count: a.count.saturating_add(b.count),
+        sum: a.sum.saturating_add(b.sum),
+        buckets: buckets.into_iter().collect(),
+    }
+}
+
+/// Folds per-node snapshots into one ring-wide rollup: counters summed,
+/// gauges combined per [`names::gauge_rollup`], histograms bucket-merged.
+pub fn rollup(nodes: &[MetricsSnapshot]) -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::default();
+    for snap in nodes {
+        for (name, &v) in &snap.counters {
+            let cell = out.counters.entry(name.clone()).or_insert(0);
+            *cell = cell.saturating_add(v);
+        }
+        for (name, &v) in &snap.gauges {
+            match out.gauges.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let cur = *e.get();
+                    *e.get_mut() = match names::gauge_rollup(name) {
+                        GaugeRollup::Sum => cur + v,
+                        GaugeRollup::Max => cur.max(v),
+                    };
+                }
+            }
+        }
+        for (name, h) in &snap.histograms {
+            match out.histograms.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    *e.get_mut() = merge_histograms(e.get(), h);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn label_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the federated view as Prometheus text: for every metric name
+/// (the sorted union over all nodes), one `# TYPE` line, each node's
+/// sample labelled `node="addr"`, then the unlabelled `rollup` sample.
+/// Histograms get per-node cumulative `_bucket{node=…,le=…}` series plus
+/// the merged unlabelled series.
+pub fn render_labelled(nodes: &[(String, MetricsSnapshot)], rollup: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for name in rollup.counters.keys() {
+        let sname = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {sname} counter");
+        for (node, snap) in nodes {
+            if let Some(v) = snap.counters.get(name) {
+                let _ = writeln!(out, "{sname}{{node=\"{}\"}} {v}", label_escape(node));
+            }
+        }
+        let _ = writeln!(out, "{sname} {}", rollup.counters[name]);
+    }
+    for name in rollup.gauges.keys() {
+        let sname = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {sname} gauge");
+        for (node, snap) in nodes {
+            if let Some(&v) = snap.gauges.get(name) {
+                let _ = writeln!(
+                    out,
+                    "{sname}{{node=\"{}\"}} {}",
+                    label_escape(node),
+                    fmt_f64(v)
+                );
+            }
+        }
+        let _ = writeln!(out, "{sname} {}", fmt_f64(rollup.gauges[name]));
+    }
+    for (name, merged) in &rollup.histograms {
+        let sname = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {sname} histogram");
+        for (node, snap) in nodes {
+            let Some(h) = snap.histograms.get(name) else {
+                continue;
+            };
+            let node = label_escape(node);
+            let mut cumulative = 0u64;
+            for &(lo, c) in &h.buckets {
+                cumulative += c;
+                let _ = writeln!(
+                    out,
+                    "{sname}_bucket{{node=\"{node}\",le=\"{}\"}} {cumulative}",
+                    le_bound(lo)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{sname}_bucket{{node=\"{node}\",le=\"+Inf\"}} {}",
+                h.count
+            );
+            let _ = writeln!(out, "{sname}_sum{{node=\"{node}\"}} {}", h.sum);
+            let _ = writeln!(out, "{sname}_count{{node=\"{node}\"}} {}", h.count);
+        }
+        let mut cumulative = 0u64;
+        for &(lo, c) in &merged.buckets {
+            cumulative += c;
+            let _ = writeln!(
+                out,
+                "{sname}_bucket{{le=\"{}\"}} {cumulative}",
+                le_bound(lo)
+            );
+        }
+        let _ = writeln!(out, "{sname}_bucket{{le=\"+Inf\"}} {}", merged.count);
+        let _ = writeln!(out, "{sname}_sum {}", merged.sum);
+        let _ = writeln!(out, "{sname}_count {}", merged.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn snap(submitted: u64, depth: f64, ring: f64, waits: &[u64]) -> MetricsSnapshot {
+        let reg = MetricsRegistry::default();
+        reg.counter(names::FARM_SUBMITTED).add(submitted);
+        reg.gauge(names::FARM_QUEUE_DEPTH).set(depth);
+        reg.gauge(names::CLUSTER_RING_NODES).set(ring);
+        for &w in waits {
+            reg.histogram(names::FARM_QUEUE_WAIT_US).record(w);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn rollup_sums_counters_and_applies_gauge_policy() {
+        let a = snap(10, 2.0, 3.0, &[0, 100]);
+        let b = snap(32, 5.0, 3.0, &[100, 7_000]);
+        let r = rollup(&[a.clone(), b.clone()]);
+        assert_eq!(r.counters[names::FARM_SUBMITTED], 42);
+        // Queue depth is an occupancy → sums.
+        assert_eq!(r.gauges[names::FARM_QUEUE_DEPTH], 7.0);
+        // Ring size is an agreement gauge → max, not 6.
+        assert_eq!(r.gauges[names::CLUSTER_RING_NODES], 3.0);
+        // Histogram counts/sums add; the shared bucket merges.
+        let h = &r.histograms[names::FARM_QUEUE_WAIT_US];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 7_200);
+        assert_eq!(h.buckets, vec![(0, 1), (64, 2), (4096, 1)]);
+        // The merged quantile still works.
+        assert!(h.p99() >= 4096.0);
+
+        // Saturation instead of wrap-around.
+        let mut big = MetricsSnapshot::default();
+        big.counters.insert("c".to_string(), u64::MAX);
+        let r = rollup(&[big.clone(), big]);
+        assert_eq!(r.counters["c"], u64::MAX);
+    }
+
+    #[test]
+    fn labelled_render_carries_per_node_and_rollup_series() {
+        let a = snap(10, 2.0, 3.0, &[100]);
+        let b = snap(32, 5.0, 3.0, &[7_000]);
+        let nodes = vec![
+            ("127.0.0.1:7101".to_string(), a),
+            ("127.0.0.1:7102".to_string(), b),
+        ];
+        let r = rollup(&[nodes[0].1.clone(), nodes[1].1.clone()]);
+        let text = render_labelled(&nodes, &r);
+        assert!(text.contains("farm_submitted{node=\"127.0.0.1:7101\"} 10\n"));
+        assert!(text.contains("farm_submitted{node=\"127.0.0.1:7102\"} 32\n"));
+        assert!(text.contains("\nfarm_submitted 42\n"));
+        assert!(text.contains("farm_queue_wait_us_count{node=\"127.0.0.1:7101\"} 1\n"));
+        assert!(text.contains("\nfarm_queue_wait_us_count 2\n"));
+        // Exactly one TYPE line per metric name.
+        assert_eq!(text.matches("# TYPE farm_submitted counter").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(label_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

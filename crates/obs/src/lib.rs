@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod federate;
 pub mod flush;
 pub mod http;
 pub mod httpd;
@@ -53,6 +54,7 @@ pub mod metrics;
 pub mod names;
 pub mod prometheus;
 pub mod serve;
+pub mod timeseries;
 pub mod trace;
 pub mod tracectx;
 
@@ -61,6 +63,7 @@ pub use flush::{write_atomic, FlushTargets, PeriodicFlusher};
 pub use httpd::{HttpServer, ReactorMode, ServerConfig};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use serve::TelemetryServer;
+pub use timeseries::{History, HistoryColumn, HistorySampler, Sample};
 pub use trace::{SpanGuard, TraceArg, TraceEvent};
 pub use tracectx::{SpanId, TraceContext, TraceId};
 
@@ -251,6 +254,16 @@ impl Observer {
         match &self.inner {
             None => Vec::new(),
             Some(inner) => inner.trace.take_by_trace(trace_id),
+        }
+    }
+
+    /// Copies (without removing) every recorded event belonging to
+    /// `trace_id`, sorted by timestamp. Cross-node trace assembly peeks
+    /// with this so spans that have not been harvested yet still show up.
+    pub fn trace_events_for(&self, trace_id: tracectx::TraceId) -> Vec<TraceEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.trace.events_for_trace(trace_id),
         }
     }
 

@@ -331,6 +331,66 @@ impl MetricsSnapshot {
             ("histograms".to_string(), histograms),
         ])
     }
+
+    /// Parses a document produced by [`MetricsSnapshot::to_json`] back into
+    /// a snapshot, so one node can federate another node's `/metrics.json`.
+    /// Quantile fields are ignored (they are derived from the buckets).
+    pub fn from_json(doc: &Value) -> Result<MetricsSnapshot, String> {
+        fn members<'a>(doc: &'a Value, key: &str) -> Result<&'a [(String, Value)], String> {
+            match doc.get(key) {
+                Some(Value::Obj(members)) => Ok(members),
+                Some(_) => Err(format!("metrics field {key:?} is not an object")),
+                None => Err(format!("metrics document is missing {key:?}")),
+            }
+        }
+        let mut snap = MetricsSnapshot::default();
+        for (name, v) in members(doc, "counters")? {
+            let v = v
+                .as_u64()
+                .ok_or_else(|| format!("counter {name:?} is not a u64"))?;
+            snap.counters.insert(name.clone(), v);
+        }
+        for (name, v) in members(doc, "gauges")? {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| format!("gauge {name:?} is not a number"))?;
+            snap.gauges.insert(name.clone(), v);
+        }
+        for (name, h) in members(doc, "histograms")? {
+            let count = h
+                .get("count")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("histogram {name:?} is missing count"))?;
+            let sum = h
+                .get("sum")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("histogram {name:?} is missing sum"))?;
+            let raw = h
+                .get("buckets")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("histogram {name:?} is missing buckets"))?;
+            let mut buckets = Vec::with_capacity(raw.len());
+            for pair in raw {
+                let (lo, c) = match pair.as_arr() {
+                    Some([lo, c]) => (lo.as_u64(), c.as_u64()),
+                    _ => (None, None),
+                };
+                match (lo, c) {
+                    (Some(lo), Some(c)) => buckets.push((lo, c)),
+                    _ => return Err(format!("histogram {name:?} has a malformed bucket")),
+                }
+            }
+            snap.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    count,
+                    sum,
+                    buckets,
+                },
+            );
+        }
+        Ok(snap)
+    }
 }
 
 #[cfg(test)]
@@ -426,6 +486,25 @@ mod tests {
         let h = doc.get("histograms").unwrap().get("h").unwrap();
         assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(h.get("sum").unwrap().as_u64(), Some(1023));
+    }
+
+    #[test]
+    fn snapshot_parses_back_from_json() {
+        let reg = MetricsRegistry::default();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(-2.5);
+        let h = reg.histogram("h");
+        h.record(0);
+        h.record(100);
+        let snap = reg.snapshot();
+        let doc = crate::json::parse(&snap.to_json().to_string()).unwrap();
+        let back = MetricsSnapshot::from_json(&doc).unwrap();
+        assert_eq!(back, snap);
+
+        // Malformed documents are rejected, not mis-parsed.
+        assert!(MetricsSnapshot::from_json(&Value::Null).is_err());
+        let bad = crate::json::parse(r#"{"counters":{"c":-1},"gauges":{},"histograms":{}}"#);
+        assert!(MetricsSnapshot::from_json(&bad.unwrap()).is_err());
     }
 
     #[test]

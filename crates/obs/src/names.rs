@@ -157,11 +157,51 @@ pub const SPAN_CLUSTER_FORWARD: &str = "cluster.forward";
 /// Span: fetching one artifact from a peer.
 pub const SPAN_CLUSTER_FETCH: &str = "cluster.fetch";
 
+/// Histogram: wall time of one `/cluster/metrics` federation fan-out
+/// across the live members (µs).
+pub const CLUSTER_FEDERATE_US: &str = "cluster.federate.us";
+/// Counter: peers that failed to answer a metrics-federation fan-out
+/// (their column is omitted from that response).
+pub const CLUSTER_FEDERATE_ERRORS: &str = "cluster.federate.errors";
+/// Counter: merged cluster traces assembled by this node
+/// (`/cluster/trace/{trace_id}` fan-outs).
+pub const CLUSTER_TRACE_ASSEMBLED: &str = "cluster.trace.assembled";
+/// Counter: job-trace requests proxied to the owner node because the id
+/// belongs to another member's range.
+pub const CLUSTER_TRACE_PROXIED: &str = "cluster.trace.proxied";
+
 /// Counter: successful periodic telemetry flushes (atomic rewrites of
 /// `--trace-out` / `--metrics-out`).
 pub const OBS_FLUSH_WRITES: &str = "obs.flush.writes";
 /// Counter: periodic telemetry flushes that failed (counted, not fatal).
 pub const OBS_FLUSH_ERRORS: &str = "obs.flush.errors";
+/// Counter: samples appended to the in-process metrics history ring.
+pub const OBS_HISTORY_SAMPLES: &str = "obs.history.samples";
+
+/// How one gauge federates across cluster members in a
+/// [`crate::federate`] rollup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaugeRollup {
+    /// Per-node values are independent occupancies (queue depth, running
+    /// jobs, store bytes): the ring-wide value is their sum.
+    Sum,
+    /// Per-node values describe the same ring-wide quantity (ring size,
+    /// liveness counts) or a worst-of (journal lag): take the maximum.
+    Max,
+}
+
+/// The federation policy for a gauge name. Agreement gauges — every node
+/// reports (approximately) the same ring-wide value — and worst-of
+/// gauges take the max so the rollup is not inflated by the member
+/// count; every other gauge is a per-node occupancy and sums.
+pub fn gauge_rollup(name: &str) -> GaugeRollup {
+    match name {
+        CLUSTER_RING_NODES | CLUSTER_PEERS_ALIVE | CLUSTER_PEERS_DEAD | FARM_JOURNAL_LAG => {
+            GaugeRollup::Max
+        }
+        _ => GaugeRollup::Sum,
+    }
+}
 
 /// Every canonical signal name defined in this module, for exhaustive
 /// checks (uniqueness, naming convention, dashboards).
@@ -225,8 +265,13 @@ pub const fn all_names() -> &'static [&'static str] {
         CLUSTER_FORWARD_US,
         SPAN_CLUSTER_FORWARD,
         SPAN_CLUSTER_FETCH,
+        CLUSTER_FEDERATE_US,
+        CLUSTER_FEDERATE_ERRORS,
+        CLUSTER_TRACE_ASSEMBLED,
+        CLUSTER_TRACE_PROXIED,
         OBS_FLUSH_WRITES,
         OBS_FLUSH_ERRORS,
+        OBS_HISTORY_SAMPLES,
     ]
 }
 

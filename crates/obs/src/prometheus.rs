@@ -39,7 +39,7 @@ pub fn sanitize_name(name: &str) -> String {
 
 /// Formats an `f64` sample the way Prometheus expects (`NaN`, `+Inf`,
 /// `-Inf` spelled out).
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
     } else if v.is_infinite() {
@@ -52,7 +52,7 @@ fn fmt_f64(v: f64) -> String {
 /// Inclusive upper bound (`le` label) of the log₂ bucket whose *lower*
 /// bound is `lo`: the zero bucket holds exactly 0, bucket `[2^i, 2^(i+1))`
 /// has inclusive upper bound `2^(i+1) - 1`.
-fn le_bound(lo: u64) -> String {
+pub(crate) fn le_bound(lo: u64) -> String {
     if lo == 0 {
         "0".to_string()
     } else {

@@ -1,0 +1,505 @@
+//! Bounded-memory metrics history: a lock-free single-writer ring of
+//! periodic samples over a configurable set of columns.
+//!
+//! A [`HistorySampler`] thread snapshots the [`crate::Observer`]'s
+//! registry every `interval_ms` and appends one [`Sample`] — a timestamp
+//! plus one `f64` per [`HistoryColumn`] (raw counters, rates derived from
+//! counter deltas, gauges, ratios, histogram quantiles) — into a
+//! fixed-capacity [`History`] ring. Readers (`/metrics/history?since=`,
+//! `run-looppoint top`) pull incrementally by sample sequence number and
+//! never block the writer: each slot is a seqlock, so a reader that races
+//! an overwrite simply skips that slot instead of seeing a torn sample.
+
+use crate::names;
+use crate::Observer;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What one history column samples from the metrics registry.
+#[derive(Debug, Clone, PartialEq)]
+enum Source {
+    /// The raw counter value.
+    Counter(String),
+    /// Per-second rate derived from consecutive counter deltas.
+    Rate(String),
+    /// The gauge value.
+    Gauge(String),
+    /// `numerator / denominator` of two counters (0 when the denominator
+    /// is 0) — e.g. the dedup ratio.
+    Ratio(String, String),
+    /// A quantile of a histogram's current cumulative distribution.
+    Quantile(String, f64),
+}
+
+/// One sampled column of the history ring: a label (the column name in
+/// the NDJSON export) plus the registry signal it is derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryColumn {
+    /// Column label in exports (derived from the signal name).
+    pub label: String,
+    source: Source,
+}
+
+impl HistoryColumn {
+    /// Samples the raw value of counter `name`.
+    pub fn counter(name: &str) -> Self {
+        HistoryColumn {
+            label: name.to_string(),
+            source: Source::Counter(name.to_string()),
+        }
+    }
+
+    /// Samples the per-second rate of counter `name` (delta between
+    /// consecutive samples over elapsed time); labelled `{name}.rate`.
+    pub fn rate(name: &str) -> Self {
+        HistoryColumn {
+            label: format!("{name}.rate"),
+            source: Source::Rate(name.to_string()),
+        }
+    }
+
+    /// Samples gauge `name`.
+    pub fn gauge(name: &str) -> Self {
+        HistoryColumn {
+            label: name.to_string(),
+            source: Source::Gauge(name.to_string()),
+        }
+    }
+
+    /// Samples `num / den` of two counters under an explicit `label`
+    /// (0 when `den` is 0).
+    pub fn ratio(label: &str, num: &str, den: &str) -> Self {
+        HistoryColumn {
+            label: label.to_string(),
+            source: Source::Ratio(num.to_string(), den.to_string()),
+        }
+    }
+
+    /// Samples the `q`-quantile of histogram `name`; labelled
+    /// `{name}.p{q*100}` (e.g. `.p50`, `.p99`).
+    pub fn quantile(name: &str, q: f64) -> Self {
+        HistoryColumn {
+            label: format!("{name}.p{:.0}", q * 100.0),
+            source: Source::Quantile(name.to_string(), q),
+        }
+    }
+}
+
+/// The standard per-farm history columns: throughput, occupancy, journal
+/// lag, dedup ratio, and queue-wait quantiles — what `run-looppoint top`
+/// renders per node.
+pub fn farm_columns() -> Vec<HistoryColumn> {
+    vec![
+        HistoryColumn::rate(names::FARM_DONE),
+        HistoryColumn::counter(names::FARM_SUBMITTED),
+        HistoryColumn::gauge(names::FARM_QUEUE_DEPTH),
+        HistoryColumn::gauge(names::FARM_RUNNING),
+        HistoryColumn::gauge(names::FARM_WORKERS),
+        HistoryColumn::gauge(names::FARM_JOURNAL_LAG),
+        HistoryColumn::ratio(
+            "farm.dedup.ratio",
+            names::FARM_DEDUP_HITS,
+            names::FARM_SUBMITTED,
+        ),
+        HistoryColumn::quantile(names::FARM_QUEUE_WAIT_US, 0.50),
+        HistoryColumn::quantile(names::FARM_QUEUE_WAIT_US, 0.99),
+    ]
+}
+
+/// One sample read back out of a [`History`] ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// 1-based monotone sequence number (pass the last seen value as
+    /// `since` to read incrementally).
+    pub seq: u64,
+    /// Microseconds since the observer's epoch at sampling time.
+    pub ts_us: u64,
+    /// One value per column, in [`History::labels`] order.
+    pub values: Vec<f64>,
+}
+
+struct Slot {
+    /// Seqlock word: `2n+1` while sample `n` (0-based) is being written
+    /// into this slot, `2n+2` once it is complete, 0 when never written.
+    seq: AtomicU64,
+    ts_us: AtomicU64,
+    /// `f64::to_bits` of each column value.
+    values: Box<[AtomicU64]>,
+}
+
+/// A fixed-capacity ring of samples: single writer, wait-free reads.
+///
+/// Memory is bounded at construction (`capacity × columns` atomics);
+/// pushing the `capacity+1`-th sample overwrites the oldest. Readers
+/// validate each slot's seqlock word before and after copying it, so a
+/// read racing the writer skips the slot rather than returning torn data.
+pub struct History {
+    labels: Vec<String>,
+    slots: Box<[Slot]>,
+    /// Number of samples pushed so far.
+    head: AtomicU64,
+}
+
+impl std::fmt::Debug for History {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("History")
+            .field("labels", &self.labels)
+            .field("capacity", &self.slots.len())
+            .field("total", &self.total())
+            .finish()
+    }
+}
+
+impl History {
+    /// A ring holding the latest `capacity` samples (at least 1) over the
+    /// given column labels.
+    pub fn new(labels: Vec<String>, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let cols = labels.len();
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                ts_us: AtomicU64::new(0),
+                values: (0..cols).map(|_| AtomicU64::new(0)).collect(),
+            })
+            .collect();
+        History {
+            labels,
+            slots,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// The column labels, in value order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Ring capacity (retained sample count).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total samples pushed since creation (== latest sequence number).
+    pub fn total(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Appends one sample. **Single-writer**: only the sampler thread may
+    /// call this; `values` beyond the column count are ignored, missing
+    /// ones read as 0.
+    pub fn push(&self, ts_us: u64, values: &[f64]) {
+        let n = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        slot.seq.store(2 * n + 1, Ordering::Release);
+        // Order the data stores after the odd mark.
+        fence(Ordering::Release);
+        slot.ts_us.store(ts_us, Ordering::Relaxed);
+        for (cell, v) in slot.values.iter().zip(values) {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+        for cell in slot.values.iter().skip(values.len()) {
+            cell.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+        slot.seq.store(2 * n + 2, Ordering::Release);
+        self.head.store(n + 1, Ordering::Release);
+    }
+
+    /// All retained samples with `seq > after`, oldest first. `since(0)`
+    /// returns everything still in the ring; passing the last `seq` seen
+    /// resumes incrementally. Slots overwritten mid-read are skipped.
+    pub fn since(&self, after: u64) -> Vec<Sample> {
+        let head = self.head.load(Ordering::Acquire);
+        let oldest = head.saturating_sub(self.slots.len() as u64);
+        let mut out = Vec::new();
+        for n in oldest.max(after)..head {
+            let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+            let expect = 2 * n + 2;
+            if slot.seq.load(Ordering::Acquire) != expect {
+                continue;
+            }
+            let ts_us = slot.ts_us.load(Ordering::Relaxed);
+            let values: Vec<f64> = slot
+                .values
+                .iter()
+                .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+                .collect();
+            // Re-validate: if the writer lapped us mid-copy, drop it.
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Acquire) != expect {
+                continue;
+            }
+            out.push(Sample {
+                seq: n + 1,
+                ts_us,
+                values,
+            });
+        }
+        out
+    }
+
+    /// Renders samples as NDJSON — one
+    /// `{"seq":N,"ts_us":T,"values":{label:value,…}}` object per line
+    /// (the `/metrics/history` payload).
+    pub fn to_ndjson(&self, samples: &[Sample]) -> String {
+        use crate::json::Value;
+        let mut out = String::new();
+        for s in samples {
+            let values = Value::Obj(
+                self.labels
+                    .iter()
+                    .zip(&s.values)
+                    .map(|(l, &v)| (l.clone(), Value::from(v)))
+                    .collect(),
+            );
+            let line = Value::Obj(vec![
+                ("seq".to_string(), Value::from(s.seq)),
+                ("ts_us".to_string(), Value::from(s.ts_us)),
+                ("values".to_string(), values),
+            ]);
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The background thread that feeds a [`History`] ring from an
+/// [`Observer`]'s registry on a fixed cadence. Stop it explicitly with
+/// [`HistorySampler::stop`]; dropping without stopping leaves the thread
+/// running until process exit (like farm workers, the sampler is owned
+/// by a long-lived daemon).
+pub struct HistorySampler {
+    history: Arc<History>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for HistorySampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistorySampler")
+            .field("history", &self.history)
+            .finish()
+    }
+}
+
+impl HistorySampler {
+    /// Starts sampling `columns` from `obs` every `interval_ms`
+    /// (minimum 1) into a fresh ring of `capacity` samples.
+    pub fn start(
+        obs: Observer,
+        columns: Vec<HistoryColumn>,
+        interval_ms: u64,
+        capacity: usize,
+    ) -> Self {
+        let labels = columns.iter().map(|c| c.label.clone()).collect();
+        let history = Arc::new(History::new(labels, capacity));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let interval = Duration::from_millis(interval_ms.max(1));
+        let thread = {
+            let history = Arc::clone(&history);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("obs-history".to_string())
+                .spawn(move || sampler_loop(&obs, &columns, &history, &stop, interval))
+                .expect("spawn obs-history sampler")
+        };
+        HistorySampler {
+            history,
+            stop,
+            thread: Mutex::new(Some(thread)),
+        }
+    }
+
+    /// The ring being filled (share it with readers).
+    pub fn history(&self) -> Arc<History> {
+        Arc::clone(&self.history)
+    }
+
+    /// Stops and joins the sampler thread. Idempotent.
+    pub fn stop(&self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().expect("history sampler stop flag poisoned") = true;
+        cvar.notify_all();
+        if let Some(t) = self
+            .thread
+            .lock()
+            .expect("history sampler thread slot poisoned")
+            .take()
+        {
+            let _ = t.join();
+        }
+    }
+}
+
+fn sampler_loop(
+    obs: &Observer,
+    columns: &[HistoryColumn],
+    history: &History,
+    stop: &(Mutex<bool>, Condvar),
+    interval: Duration,
+) {
+    let samples_total = obs.counter(names::OBS_HISTORY_SAMPLES);
+    // Previous counter values for rate columns, previous sample instant.
+    let mut prev_counts: Vec<u64> = vec![0; columns.len()];
+    let mut prev_at: Option<Instant> = None;
+    let (lock, cvar) = stop;
+    loop {
+        {
+            let mut stopped = lock.lock().expect("history sampler stop flag poisoned");
+            while !*stopped {
+                let (guard, timeout) = cvar
+                    .wait_timeout(stopped, interval)
+                    .expect("history sampler stop flag poisoned");
+                stopped = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            if *stopped {
+                return;
+            }
+        }
+        let snap = obs.snapshot();
+        let now = Instant::now();
+        let dt_s = prev_at.map(|t| now.duration_since(t).as_secs_f64());
+        let mut values = Vec::with_capacity(columns.len());
+        for (i, col) in columns.iter().enumerate() {
+            let v = match &col.source {
+                Source::Counter(name) => snap.counters.get(name).copied().unwrap_or(0) as f64,
+                Source::Rate(name) => {
+                    let cur = snap.counters.get(name).copied().unwrap_or(0);
+                    let delta = cur.saturating_sub(prev_counts[i]);
+                    prev_counts[i] = cur;
+                    match dt_s {
+                        Some(dt) if dt > 0.0 => delta as f64 / dt,
+                        _ => 0.0,
+                    }
+                }
+                Source::Gauge(name) => snap.gauges.get(name).copied().unwrap_or(0.0),
+                Source::Ratio(num, den) => {
+                    let n = snap.counters.get(num).copied().unwrap_or(0) as f64;
+                    let d = snap.counters.get(den).copied().unwrap_or(0) as f64;
+                    if d == 0.0 {
+                        0.0
+                    } else {
+                        n / d
+                    }
+                }
+                Source::Quantile(name, q) => {
+                    snap.histograms.get(name).map_or(0.0, |h| h.quantile(*q))
+                }
+            };
+            values.push(v);
+        }
+        prev_at = Some(now);
+        history.push(obs.uptime_us(), &values);
+        samples_total.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_retains_the_latest_capacity_samples() {
+        let h = History::new(vec!["a".to_string(), "b".to_string()], 4);
+        assert_eq!(h.capacity(), 4);
+        for i in 0..10u64 {
+            h.push(i * 100, &[i as f64, -(i as f64)]);
+        }
+        assert_eq!(h.total(), 10);
+        let all = h.since(0);
+        assert_eq!(all.len(), 4, "only the last `capacity` survive");
+        assert_eq!(all[0].seq, 7);
+        assert_eq!(all[3].seq, 10);
+        assert_eq!(all[3].ts_us, 900);
+        assert_eq!(all[3].values, vec![9.0, -9.0]);
+        // Incremental read: only what came after `since`.
+        let tail = h.since(9);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].seq, 10);
+        assert!(h.since(10).is_empty());
+        // `since` beyond head is empty, not a panic.
+        assert!(h.since(99).is_empty());
+    }
+
+    #[test]
+    fn ndjson_lines_parse_back() {
+        let h = History::new(vec!["x.rate".to_string()], 2);
+        h.push(5, &[1.5]);
+        h.push(10, &[2.0]);
+        let text = h.to_ndjson(&h.since(0));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let doc = crate::json::parse(lines[1]).unwrap();
+        assert_eq!(doc.get("seq").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("ts_us").unwrap().as_u64(), Some(10));
+        assert_eq!(
+            doc.get("values").unwrap().get("x.rate").unwrap().as_f64(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn concurrent_reads_never_see_torn_samples() {
+        // Writer pushes (v, -v) pairs; any torn read would break the
+        // invariant values[0] == -values[1].
+        let h = Arc::new(History::new(vec!["v".to_string(), "neg".to_string()], 8));
+        let writer = {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    h.push(i, &[i as f64, -(i as f64)]);
+                }
+            })
+        };
+        let mut seen = 0u64;
+        while !writer.is_finished() {
+            for s in h.since(seen) {
+                assert_eq!(s.values[0], -s.values[1], "torn sample at seq {}", s.seq);
+                assert!(s.seq > seen);
+                seen = s.seq;
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(h.total(), 50_000);
+    }
+
+    #[test]
+    fn sampler_derives_rates_ratios_and_quantiles() {
+        let obs = Observer::enabled();
+        obs.counter(names::FARM_SUBMITTED).add(10);
+        obs.counter(names::FARM_DEDUP_HITS).add(5);
+        obs.gauge(names::FARM_QUEUE_DEPTH).set(3.0);
+        for _ in 0..20 {
+            obs.histogram(names::FARM_QUEUE_WAIT_US).record(100);
+        }
+        let sampler = HistorySampler::start(obs.clone(), farm_columns(), 5, 64);
+        let h = sampler.history();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while h.total() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sampler.stop();
+        sampler.stop(); // idempotent
+        let samples = h.since(0);
+        assert!(samples.len() >= 3, "sampler produced {}", samples.len());
+        let labels = h.labels();
+        let col = |label: &str| labels.iter().position(|l| l == label).unwrap();
+        let last = samples.last().unwrap();
+        assert_eq!(last.values[col("farm.submitted")], 10.0);
+        assert_eq!(last.values[col("farm.queue.depth")], 3.0);
+        assert_eq!(last.values[col("farm.dedup.ratio")], 0.5);
+        let p50 = last.values[col("farm.queue.wait_us.p50")];
+        assert!((64.0..128.0).contains(&p50), "p50 = {p50}");
+        // Nothing was completed, so the done-rate stays 0.
+        assert_eq!(last.values[col("farm.done.rate")], 0.0);
+        assert_eq!(
+            obs.snapshot().counters[names::OBS_HISTORY_SAMPLES],
+            h.total()
+        );
+    }
+}

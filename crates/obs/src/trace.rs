@@ -129,6 +129,23 @@ impl TraceSink {
         taken
     }
 
+    /// Copies out (without removing) every event belonging to `trace_id`,
+    /// sorted by timestamp. The non-destructive sibling of
+    /// [`TraceSink::take_by_trace`], used by cross-node trace assembly to
+    /// peek at spans whose harvest has not happened yet.
+    pub fn events_for_trace(&self, trace_id: crate::tracectx::TraceId) -> Vec<TraceEvent> {
+        let mut evs: Vec<TraceEvent> = self
+            .events
+            .lock()
+            .expect("trace sink poisoned")
+            .iter()
+            .filter(|e| e.ctx.is_some_and(|c| c.trace_id == trace_id))
+            .cloned()
+            .collect();
+        evs.sort_by_key(|e| (e.ts_us, e.dur_us));
+        evs
+    }
+
     /// Number of recorded events.
     pub fn len(&self) -> usize {
         self.events.lock().expect("trace sink poisoned").len()

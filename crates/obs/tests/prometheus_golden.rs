@@ -4,6 +4,7 @@
 //! name ordering all included. Any intentional format change must update
 //! the golden string here consciously.
 
+use lp_obs::federate::{render_labelled, rollup};
 use lp_obs::prometheus::render;
 use lp_obs::Observer;
 
@@ -88,4 +89,62 @@ fn fixed_registry_renders_the_golden_document() {
     h.record(512); // le="1023"
     h.record(1023); // le="1023", cumulative 5; sum = 0+1+3+512+1023 = 1539
     assert_eq!(render(&obs.snapshot()), GOLDEN);
+}
+
+/// The federated (`/cluster/metrics?format=prometheus`) rendering: every
+/// node's series labelled `node="addr"`, then the unlabelled ring-wide
+/// rollup — counters summed, `farm.queue.depth` summed but
+/// `cluster.ring.nodes` max'd (the agreement-gauge policy), histogram
+/// buckets merged.
+const GOLDEN_FEDERATED: &str = "\
+# TYPE farm_submitted counter
+farm_submitted{node=\"127.0.0.1:7101\"} 2
+farm_submitted{node=\"127.0.0.1:7102\"} 4
+farm_submitted 6
+# TYPE cluster_ring_nodes gauge
+cluster_ring_nodes{node=\"127.0.0.1:7101\"} 2
+cluster_ring_nodes{node=\"127.0.0.1:7102\"} 2
+cluster_ring_nodes 2
+# TYPE farm_queue_depth gauge
+farm_queue_depth{node=\"127.0.0.1:7101\"} 1
+farm_queue_depth{node=\"127.0.0.1:7102\"} 3
+farm_queue_depth 4
+# TYPE farm_queue_wait_us histogram
+farm_queue_wait_us_bucket{node=\"127.0.0.1:7101\",le=\"0\"} 1
+farm_queue_wait_us_bucket{node=\"127.0.0.1:7101\",le=\"127\"} 2
+farm_queue_wait_us_bucket{node=\"127.0.0.1:7101\",le=\"+Inf\"} 2
+farm_queue_wait_us_sum{node=\"127.0.0.1:7101\"} 100
+farm_queue_wait_us_count{node=\"127.0.0.1:7101\"} 2
+farm_queue_wait_us_bucket{node=\"127.0.0.1:7102\",le=\"127\"} 1
+farm_queue_wait_us_bucket{node=\"127.0.0.1:7102\",le=\"+Inf\"} 1
+farm_queue_wait_us_sum{node=\"127.0.0.1:7102\"} 100
+farm_queue_wait_us_count{node=\"127.0.0.1:7102\"} 1
+farm_queue_wait_us_bucket{le=\"0\"} 1
+farm_queue_wait_us_bucket{le=\"127\"} 3
+farm_queue_wait_us_bucket{le=\"+Inf\"} 3
+farm_queue_wait_us_sum 200
+farm_queue_wait_us_count 3
+";
+
+#[test]
+fn federated_registries_render_the_labelled_golden_document() {
+    let a = Observer::enabled();
+    a.counter(lp_obs::names::FARM_SUBMITTED).add(2);
+    a.gauge(lp_obs::names::FARM_QUEUE_DEPTH).set(1.0);
+    a.gauge(lp_obs::names::CLUSTER_RING_NODES).set(2.0);
+    a.histogram(lp_obs::names::FARM_QUEUE_WAIT_US).record(0);
+    a.histogram(lp_obs::names::FARM_QUEUE_WAIT_US).record(100);
+
+    let b = Observer::enabled();
+    b.counter(lp_obs::names::FARM_SUBMITTED).add(4);
+    b.gauge(lp_obs::names::FARM_QUEUE_DEPTH).set(3.0);
+    b.gauge(lp_obs::names::CLUSTER_RING_NODES).set(2.0);
+    b.histogram(lp_obs::names::FARM_QUEUE_WAIT_US).record(100);
+
+    let nodes = vec![
+        ("127.0.0.1:7101".to_string(), a.snapshot()),
+        ("127.0.0.1:7102".to_string(), b.snapshot()),
+    ];
+    let merged = rollup(&[nodes[0].1.clone(), nodes[1].1.clone()]);
+    assert_eq!(render_labelled(&nodes, &merged), GOLDEN_FEDERATED);
 }

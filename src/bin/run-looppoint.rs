@@ -81,6 +81,12 @@ USAGE:
     run-looppoint submit --farm <addr> ...  submit jobs to a daemon
     run-looppoint status --farm <addr>      queue or per-job status
     run-looppoint trace <job-id> --farm <addr>  print a job's span tree
+                                            (a 32-hex trace id instead of a
+                                            job id fetches the merged
+                                            cross-node cluster trace)
+    run-looppoint top --farm <addr>         live cluster dashboard: per-node
+                                            jobs/s, queue depth, dedup %,
+                                            queue-wait quantiles, sparklines
     run-looppoint shutdown --farm <addr>    drain or stop a daemon
     run-looppoint farm-load --farm <addr>   concurrent keep-alive load burst
 
@@ -112,6 +118,13 @@ SERVE OPTIONS (see also --store-dir/--store-max-bytes/--log-level below):
         --trace-capacity <n>   finished job traces retained in the
                                in-memory flight recorder; oldest are
                                evicted past this [default: 256]
+        --history-interval-ms <n>
+                               metrics time-series sampling period for
+                               GET /metrics/history; 0 disables sampling
+                               [default: 1000]
+        --history-capacity <n> history ring size: samples retained per
+                               series before the oldest are overwritten
+                               [default: 512]
 
 CLUSTER SERVE OPTIONS (multi-node farm; all require --node-addr):
         --node-addr <addr>     this node's advertised host:port — peers
@@ -147,6 +160,13 @@ SUBMIT/STATUS/SHUTDOWN OPTIONS:
         --jobs <n>             farm-load: total jobs across all clients,
                                sent as a mix of batch and single POSTs
                                [default: 48]
+
+TOP OPTIONS:
+        --farm <addr>          any cluster member (required); single
+                               farms work too (one-row dashboard)
+        --interval-ms <n>      refresh period [default: 1000]
+        --iterations <n>       render n frames then exit; 0 = refresh
+                               until Ctrl-C [default: 0]
 
 OPTIONS:
     -p, --program <names>      comma-separated programs (demo-matrix-1..3,
@@ -508,6 +528,7 @@ fn main() -> ExitCode {
         Some("submit") => return farm_submit(&argv[1..]),
         Some("status") => return farm_status(&argv[1..]),
         Some("trace") => return farm_trace(&argv[1..]),
+        Some("top") => return farm_top(&argv[1..]),
         Some("shutdown") => return farm_shutdown(&argv[1..]),
         Some("farm-load") => return farm_load(&argv[1..]),
         _ => {}
@@ -835,6 +856,19 @@ fn farm_serve(args: &[String]) -> ExitCode {
                         .map_err(|e| format!("bad trace capacity: {e}"))?;
                     if cfg.trace_capacity == 0 {
                         return Err("--trace-capacity must be positive".to_string());
+                    }
+                }
+                "--history-interval-ms" => {
+                    cfg.history_interval_ms = value("--history-interval-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad history interval: {e}"))?;
+                }
+                "--history-capacity" => {
+                    cfg.history_capacity = value("--history-capacity")?
+                        .parse()
+                        .map_err(|e| format!("bad history capacity: {e}"))?;
+                    if cfg.history_capacity == 0 {
+                        return Err("--history-capacity must be positive".to_string());
                     }
                 }
                 "--store-dir" => store_dir = Some(value("--store-dir")?),
@@ -1372,40 +1406,54 @@ fn farm_status(args: &[String]) -> ExitCode {
     }
 }
 
-/// `run-looppoint trace`: GET /jobs/{id}/trace and pretty-print the
-/// span tree with per-hop latencies.
+/// `run-looppoint trace`: pretty-print a span tree with per-hop
+/// latencies. A numeric id fetches `GET /jobs/{id}/trace` (any cluster
+/// member answers — non-owners proxy to the id's home node); a 32-hex
+/// trace id fetches the merged cross-node `GET /cluster/trace/{id}`.
 fn farm_trace(args: &[String]) -> ExitCode {
-    // The job id is positional (`trace 3 --farm ...`) or via --job.
-    let (positional, rest): (Option<u64>, &[String]) = match args.first() {
-        Some(first) if !first.starts_with('-') => match first.parse() {
-            Ok(id) => (Some(id), &args[1..]),
-            Err(_) => return config_error(&format!("bad job id '{first}'")),
-        },
+    // The id is positional (`trace 3 --farm ...`) or via --job.
+    enum Target {
+        Job(u64),
+        Trace(String),
+    }
+    let (positional, rest): (Option<Target>, &[String]) = match args.first() {
+        Some(first) if !first.starts_with('-') => {
+            if let Ok(id) = first.parse::<u64>() {
+                (Some(Target::Job(id)), &args[1..])
+            } else if first.len() == 32 && first.chars().all(|c| c.is_ascii_hexdigit()) {
+                (Some(Target::Trace(first.to_lowercase())), &args[1..])
+            } else {
+                return config_error(&format!("bad job or trace id '{first}'"));
+            }
+        }
         _ => (None, args),
     };
     let c = match parse_client_args(rest) {
         Ok(c) => c,
         Err(e) => return config_error(&e),
     };
-    let Some(id) = positional.or(c.job) else {
-        return config_error("trace needs a job id: run-looppoint trace <job-id> --farm <addr>");
+    let Some(target) = positional.or(c.job.map(Target::Job)) else {
+        return config_error(
+            "trace needs a job id or 32-hex trace id: run-looppoint trace <id> --farm <addr>",
+        );
     };
     let addr = match require_farm(&c) {
         Ok(a) => a,
         Err(e) => return config_error(&e),
     };
+    let (path, title) = match &target {
+        Target::Job(id) => (format!("/jobs/{id}/trace"), format!("job {id}")),
+        Target::Trace(hex) => (format!("/cluster/trace/{hex}"), format!("trace {hex}")),
+    };
     let mut client = FarmClient::connect(addr.clone());
-    match client
-        .http()
-        .request("GET", &format!("/jobs/{id}/trace"), "")
-    {
-        Ok((200, body)) => match render_trace_tree(id, &body) {
+    match client.http().request("GET", &path, "") {
+        Ok((200, body)) => match render_trace_tree(&title, &body) {
             Ok(text) => {
                 print!("{text}");
                 ExitCode::SUCCESS
             }
             Err(e) => {
-                eprintln!("error: rendering trace for job {id}: {e}");
+                eprintln!("error: rendering trace for {title}: {e}");
                 ExitCode::from(EXIT_PIPELINE)
             }
         },
@@ -1420,11 +1468,263 @@ fn farm_trace(args: &[String]) -> ExitCode {
     }
 }
 
+/// `run-looppoint top`: a polling ASCII dashboard over the cluster's
+/// federated metrics (`GET /cluster/metrics`) and each node's
+/// time-series history (`GET /metrics/history?since=`) — per-node
+/// jobs/s, queue depth, dedup %, queue-wait p50/p99, and a jobs/s
+/// sparkline. Refreshes in place on a TTY until Ctrl-C (or for
+/// `--iterations` frames). A plain single farm renders as a one-row
+/// dashboard via its own `/metrics.json`.
+fn farm_top(args: &[String]) -> ExitCode {
+    let mut farm_addr: Option<String> = None;
+    let mut interval_ms: u64 = 1_000;
+    let mut iterations: u64 = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let parsed: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--farm" => farm_addr = Some(value("--farm")?),
+                "--interval-ms" => {
+                    interval_ms = value("--interval-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad refresh interval: {e}"))?;
+                    if interval_ms == 0 {
+                        return Err("--interval-ms must be positive".to_string());
+                    }
+                }
+                "--iterations" => {
+                    iterations = value("--iterations")?
+                        .parse()
+                        .map_err(|e| format!("bad iteration count: {e}"))?;
+                }
+                "-h" | "--help" => {
+                    print!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown top argument '{other}'")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            return config_error(&e);
+        }
+    }
+    let Some(addr) = farm_addr else {
+        return config_error("--farm <addr> is required (see --help)");
+    };
+
+    /// Live per-node poll state: a keep-alive history client, the last
+    /// sample sequence consumed, and a bounded jobs/s ring for the
+    /// sparkline.
+    struct NodeView {
+        client: FarmClient,
+        since: u64,
+        rates: std::collections::VecDeque<f64>,
+        latest: std::collections::HashMap<String, f64>,
+    }
+    const SPARK_WIDTH: usize = 24;
+
+    let is_tty = {
+        use std::io::IsTerminal;
+        std::io::stdout().is_terminal()
+    };
+    let mut entry = FarmClient::connect(addr.clone());
+    let mut views: std::collections::HashMap<String, NodeView> = std::collections::HashMap::new();
+    let mut frame: u64 = 0;
+    loop {
+        frame += 1;
+        // Federated view; a plain (non-cluster) farm 404s the cluster
+        // route, so fall back to its own snapshot as a one-node list.
+        let (nodes, errors): (Vec<(String, i128, lp_obs::json::Value)>, usize) = match entry
+            .cluster_metrics()
+        {
+            Ok(doc) => {
+                let nodes = doc
+                    .get("nodes")
+                    .and_then(lp_obs::json::Value::as_arr)
+                    .map(|arr| {
+                        arr.iter()
+                            .filter_map(|n| {
+                                Some((
+                                    n.get("node")?.as_str()?.to_string(),
+                                    n.get("ordinal").and_then(|o| o.as_u64()).unwrap_or(0) as i128,
+                                    n.get("metrics")?.clone(),
+                                ))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let errors = doc
+                    .get("errors")
+                    .and_then(lp_obs::json::Value::as_arr)
+                    .map_or(0, |e| e.len());
+                (nodes, errors)
+            }
+            Err(_) => match entry.metrics_json() {
+                Ok(doc) => (vec![(addr.clone(), 0, doc)], 0),
+                Err(e) => {
+                    eprintln!("error: polling {addr}: {e}");
+                    return ExitCode::from(EXIT_PIPELINE);
+                }
+            },
+        };
+
+        // Pull each node's fresh history samples over its own keep-alive
+        // connection, resuming from the last consumed sequence.
+        for (node, _, _) in &nodes {
+            let view = views.entry(node.clone()).or_insert_with(|| NodeView {
+                client: FarmClient::connect(node.clone()),
+                since: 0,
+                rates: std::collections::VecDeque::new(),
+                latest: std::collections::HashMap::new(),
+            });
+            let Ok(ndjson) = view.client.metrics_history(view.since) else {
+                continue;
+            };
+            for line in ndjson.lines().filter(|l| !l.trim().is_empty()) {
+                let Ok(sample) = lp_obs::json::parse(line) else {
+                    continue;
+                };
+                if let Some(seq) = sample.get("seq").and_then(|s| s.as_u64()) {
+                    view.since = view.since.max(seq);
+                }
+                if let Some(values) = sample.get("values") {
+                    if let lp_obs::json::Value::Obj(members) = values {
+                        for (k, v) in members {
+                            if let Some(f) = v.as_f64() {
+                                view.latest.insert(k.clone(), f);
+                            }
+                        }
+                    }
+                    if let Some(rate) = values.get("farm.done.rate").and_then(|v| v.as_f64()) {
+                        while view.rates.len() >= SPARK_WIDTH {
+                            view.rates.pop_front();
+                        }
+                        view.rates.push_back(rate);
+                    }
+                }
+            }
+        }
+
+        let mut out = String::new();
+        let counter = |m: &lp_obs::json::Value, name: &str| {
+            m.get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+        };
+        let gauge = |m: &lp_obs::json::Value, name: &str| {
+            m.get("gauges")
+                .and_then(|g| g.get(name))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+        };
+        let (mut submitted, mut done, mut queued, mut running) = (0.0, 0.0, 0.0, 0.0);
+        for (_, _, m) in &nodes {
+            submitted += counter(m, "farm.submitted");
+            done += counter(m, "farm.done");
+            queued += gauge(m, "farm.queue.depth");
+            running += gauge(m, "farm.running");
+        }
+        out.push_str(&format!(
+            "lp-farm top — {} node{} via {addr} — frame {frame}{}\n",
+            nodes.len(),
+            if nodes.len() == 1 { "" } else { "s" },
+            if errors > 0 {
+                format!(" — {errors} unreachable")
+            } else {
+                String::new()
+            },
+        ));
+        out.push_str(&format!(
+            "cluster: {submitted:.0} submitted, {done:.0} done, {queued:.0} queued, {running:.0} running\n\n",
+        ));
+        out.push_str(&format!(
+            "{:<21} {:>3} {:>7} {:>5} {:>4} {:>6} {:>8} {:>8}  {}\n",
+            "NODE", "ORD", "JOBS/S", "QUEUE", "RUN", "DEDUP%", "P50MS", "P99MS", "JOBS/S HISTORY"
+        ));
+        for (node, ordinal, m) in &nodes {
+            let (rate, p50, p99, spark) = match views.get_mut(node) {
+                Some(v) => (
+                    v.latest.get("farm.done.rate").copied().unwrap_or(0.0),
+                    v.latest
+                        .get("farm.queue.wait_us.p50")
+                        .copied()
+                        .unwrap_or(0.0)
+                        / 1_000.0,
+                    v.latest
+                        .get("farm.queue.wait_us.p99")
+                        .copied()
+                        .unwrap_or(0.0)
+                        / 1_000.0,
+                    sparkline(v.rates.make_contiguous(), SPARK_WIDTH),
+                ),
+                None => (0.0, 0.0, 0.0, String::new()),
+            };
+            let sub = counter(m, "farm.submitted");
+            let dedup = if sub > 0.0 {
+                100.0 * counter(m, "farm.dedup.hits") / sub
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<21} {:>3} {:>7.1} {:>5.0} {:>4.0} {:>6.1} {:>8.2} {:>8.2}  {}\n",
+                node,
+                ordinal,
+                rate,
+                gauge(m, "farm.queue.depth"),
+                gauge(m, "farm.running"),
+                dedup,
+                p50,
+                p99,
+                spark,
+            ));
+        }
+        if is_tty {
+            // Clear + home, then the frame: flicker-free in-place refresh.
+            print!("\x1b[2J\x1b[H{out}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        } else {
+            println!("{out}");
+        }
+        if iterations > 0 && frame >= iterations {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+/// An ASCII sparkline of `values` scaled to their max, right-aligned in
+/// a `width`-char field (recent samples rightmost).
+fn sparkline(values: &[f64], width: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#@";
+    let max = values.iter().cloned().fold(0.0_f64, f64::max);
+    let mut out = String::with_capacity(width);
+    for _ in values.len()..width {
+        out.push(' ');
+    }
+    for v in values.iter().rev().take(width).rev() {
+        let idx = if max > 0.0 {
+            ((v / max) * (RAMP.len() - 1) as f64).round() as usize
+        } else {
+            0
+        };
+        out.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+    }
+    out
+}
+
 /// Rebuilds the span tree of a Chrome `trace_event` document (using the
 /// `span_id`/`parent_span_id` args the exporter embeds) and renders it
 /// as indented text: one line per span with offset-from-root and
 /// duration, instant markers inlined under the span they belong to.
-fn render_trace_tree(id: u64, body: &str) -> Result<String, String> {
+fn render_trace_tree(title: &str, body: &str) -> Result<String, String> {
     use lp_obs::json::Value;
     use std::collections::HashMap;
 
@@ -1453,6 +1753,9 @@ fn render_trace_tree(id: u64, body: &str) -> Result<String, String> {
                 .to_string()
         };
         let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+        if ph == "M" {
+            continue; // viewer metadata (process_name lanes), not a span
+        }
         // The dedup marker's payload is worth surfacing inline.
         let detail = match (sget("detail"), sget("primary_trace_id")) {
             (d, _) if !d.is_empty() => d,
@@ -1515,7 +1818,7 @@ fn render_trace_tree(id: u64, body: &str) -> Result<String, String> {
 
     let base = roots.iter().map(|&i| events[i].ts).min().unwrap_or(0);
     let ms = |us: u64| us as f64 / 1_000.0;
-    let mut out = format!("trace for job {id} ({} events)\n", events.len());
+    let mut out = format!("trace for {title} ({} events)\n", events.len());
     let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
     while let Some((i, depth)) = stack.pop() {
         let ev = &events[i];
