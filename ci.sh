@@ -644,4 +644,64 @@ if fed["nodes"] != 3 or fed["scrapes"] <= 0:
     sys.exit(f"BENCH_cluster.json: federation must scrape a 3-node ring: {fed}")
 PY
 
+echo "== live-smoke (one-pass online sampling) =="
+# One-pass live run with no profiling prequel: the acceptance workload
+# must finish with fewer than 40% of its regions simulated in detail
+# (i.e. most regions predicted online, never 100% detailed) and a final
+# cycle estimate within the pinned 10% error bound of the full-detail
+# reference the subcommand computes alongside it.
+LIVE_LOG="$PWD/target/ci-live.log"
+"${RUNNER[@]}" live -p npb-cg -n 2 --slice-base 2000 --log-level quiet > "$LIVE_LOG" 2>&1 \
+  || { cat "$LIVE_LOG" >&2; echo "live-smoke: live run failed" >&2; exit 1; }
+grep '^{' "$LIVE_LOG" | tail -n1 | python3 -c "
+import json, sys
+j = json.loads(sys.stdin.read())
+assert j['mode'] == 'live', j
+assert j['regions'] > 0 and j['clusters'] > 0, j
+assert 0 < j['detailed_regions'] < j['regions'], \
+    f'live run must mix detail and prediction: {j[\"detailed_regions\"]}/{j[\"regions\"]}'
+assert j['detailed_pct'] < 0.40, \
+    f'detailed fraction {j[\"detailed_pct\"]:.3f} breaches the 40% ceiling'
+assert j['err_pct'] < 10.0, \
+    f'live estimate error {j[\"err_pct\"]:.2f}% breaches the pinned 10% bound'
+print(f'live-smoke: {j[\"detailed_regions\"]}/{j[\"regions\"]} regions detailed '
+      f'({j[\"detailed_pct\"]*100:.1f}%), err {j[\"err_pct\"]:.2f}% vs full detail')
+" || { cat "$LIVE_LOG" >&2; echo "live-smoke: acceptance gate failed" >&2; exit 1; }
+
+echo "== bench-smoke (live sampling) =="
+# Quick variant of the live-sampling benchmark (full detail vs two-phase
+# vs live on one workload); validate the JSON schema here. Writes to
+# target/ so the committed baseline BENCH_live.json is not clobbered.
+LIVE_SMOKE_OUT="$PWD/target/BENCH_live.smoke.json"
+cargo bench --offline -p lp-bench --bench live_sampling -- --smoke --out "$LIVE_SMOKE_OUT"
+[ -s "$LIVE_SMOKE_OUT" ] || { echo "live-bench-smoke: $LIVE_SMOKE_OUT missing or empty" >&2; exit 1; }
+for key in slice_base rows smoke workload full two_phase live \
+            est_cycles err_pct detailed_regions detailed_pct predicted_cycles; do
+  grep -q "\"$key\"" "$LIVE_SMOKE_OUT" || { echo "live-bench-smoke: missing key $key" >&2; exit 1; }
+done
+# And the committed full-scale baseline keeps the live-mode claims: every
+# workload's live estimate within the 10% bound with a sub-100% detailed
+# fraction, and the acceptance workload under the 40% ceiling.
+python3 - <<'PY'
+import json, sys
+with open("BENCH_live.json") as f:
+    j = json.load(f)
+if j.get("smoke"):
+    sys.exit("BENCH_live.json: committed baseline must be a full run")
+rows = j["rows"]
+if len(rows) < 3:
+    sys.exit(f"BENCH_live.json: expected >= 3 workloads, got {len(rows)}")
+for r in rows:
+    live = r["live"]
+    if not 0 < live["detailed_regions"] < live["regions"]:
+        sys.exit(f"BENCH_live.json: {r['workload']} live run did not mix detail and prediction")
+    if live["err_pct"] >= 10.0:
+        sys.exit(f"BENCH_live.json: {r['workload']} live err {live['err_pct']}% >= 10%")
+cg = next((r for r in rows if r["workload"] == "npb-cg"), None)
+if cg is None:
+    sys.exit("BENCH_live.json: acceptance workload npb-cg missing")
+if cg["live"]["detailed_pct"] >= 0.40:
+    sys.exit(f"BENCH_live.json: npb-cg detailed fraction {cg['live']['detailed_pct']} >= 40%")
+PY
+
 echo "CI green."

@@ -68,6 +68,15 @@ impl SparseVec {
 
     /// Euclidean distance to another sparse vector.
     pub fn distance(&self, other: &SparseVec) -> f64 {
+        self.dist_sq_to(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to another sparse vector, computed by a
+    /// single merge walk over the two sorted entry lists — no allocation,
+    /// no square root. This is the hot-path primitive shared by batch
+    /// k-means and the online (live-mode) classifier; [`SparseVec::distance`]
+    /// is exactly `dist_sq_to(..).sqrt()`.
+    pub fn dist_sq_to(&self, other: &SparseVec) -> f64 {
         let mut i = 0;
         let mut j = 0;
         let mut acc = 0.0f64;
@@ -97,7 +106,96 @@ impl SparseVec {
                 (None, None) => break,
             }
         }
-        acc.sqrt()
+        acc
+    }
+
+    /// Squared Euclidean distance between the *L1-normalized* views of the
+    /// two vectors, scaling each weight on the fly — the non-allocating
+    /// equivalent of `self.normalized().dist_sq_to(&other.normalized())`
+    /// (bit-identical: the same divisions, subtractions, and summation
+    /// order). The previous hot path cloned both operands via
+    /// [`SparseVec::normalized`] per comparison; online classification
+    /// compares one region vector against every live centroid, so those
+    /// clones dominated.
+    pub fn dist_sq_to_normalized(&self, other: &SparseVec) -> f64 {
+        let la = self.l1();
+        let lb = other.l1();
+        let sa = if la == 0.0 { 1.0 } else { la };
+        let sb = if lb == 0.0 { 1.0 } else { lb };
+        let mut i = 0;
+        let mut j = 0;
+        let mut acc = 0.0f64;
+        while i < self.entries.len() || j < other.entries.len() {
+            match (self.entries.get(i), other.entries.get(j)) {
+                (Some(&(ka, va)), Some(&(kb, vb))) => {
+                    if ka == kb {
+                        let d = va / sa - vb / sb;
+                        acc += d * d;
+                        i += 1;
+                        j += 1;
+                    } else if ka < kb {
+                        let a = va / sa;
+                        acc += a * a;
+                        i += 1;
+                    } else {
+                        let b = vb / sb;
+                        acc += b * b;
+                        j += 1;
+                    }
+                }
+                (Some(&(_, va)), None) => {
+                    let a = va / sa;
+                    acc += a * a;
+                    i += 1;
+                }
+                (None, Some(&(_, vb))) => {
+                    let b = vb / sb;
+                    acc += b * b;
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        acc
+    }
+
+    /// Decaying centroid update: `self ← (1 − alpha)·self + alpha·point`,
+    /// merging the two sorted entry lists in one pass. Entries present in
+    /// only one operand decay (or fade in) accordingly; exact zeros are
+    /// dropped to keep the canonical form.
+    pub fn decay_toward(&mut self, point: &SparseVec, alpha: f64) {
+        let keep = 1.0 - alpha;
+        let mut merged = Vec::with_capacity(self.entries.len() + point.entries.len());
+        let mut i = 0;
+        let mut j = 0;
+        while i < self.entries.len() || j < point.entries.len() {
+            match (self.entries.get(i), point.entries.get(j)) {
+                (Some(&(ka, va)), Some(&(kb, vb))) => {
+                    if ka == kb {
+                        merged.push((ka, keep * va + alpha * vb));
+                        i += 1;
+                        j += 1;
+                    } else if ka < kb {
+                        merged.push((ka, keep * va));
+                        i += 1;
+                    } else {
+                        merged.push((kb, alpha * vb));
+                        j += 1;
+                    }
+                }
+                (Some(&(ka, va)), None) => {
+                    merged.push((ka, keep * va));
+                    i += 1;
+                }
+                (None, Some(&(kb, vb))) => {
+                    merged.push((kb, alpha * vb));
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        merged.retain(|&(_, v)| v != 0.0);
+        self.entries = merged;
     }
 }
 
@@ -142,6 +240,87 @@ mod tests {
         assert!((a.distance(&c) - 2.0).abs() < 1e-12, "shared dim");
         // Symmetry.
         assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    /// The pre-refactor distance implementation, kept verbatim as the
+    /// reference: allocate normalized copies, then walk. The micro-assert
+    /// below pins the non-allocating rewrite to it bit-for-bit, so batch
+    /// clustering results cannot drift.
+    fn legacy_normalized_distance_sq(a: &SparseVec, b: &SparseVec) -> f64 {
+        let (a, b) = (a.normalized(), b.normalized());
+        let mut i = 0;
+        let mut j = 0;
+        let mut acc = 0.0f64;
+        while i < a.entries.len() || j < b.entries.len() {
+            match (a.entries.get(i), b.entries.get(j)) {
+                (Some(&(ka, va)), Some(&(kb, vb))) => {
+                    if ka == kb {
+                        acc += (va - vb) * (va - vb);
+                        i += 1;
+                        j += 1;
+                    } else if ka < kb {
+                        acc += va * va;
+                        i += 1;
+                    } else {
+                        acc += vb * vb;
+                        j += 1;
+                    }
+                }
+                (Some(&(_, va)), None) => {
+                    acc += va * va;
+                    i += 1;
+                }
+                (None, Some(&(_, vb))) => {
+                    acc += vb * vb;
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn dist_sq_to_is_bit_identical_to_the_allocating_path() {
+        // A spread of overlap patterns: disjoint, partial, identical,
+        // empty, and awkward magnitudes that exercise rounding.
+        let cases = [
+            vec_of(&[(0, 3), (7, 11), (1 << 40, 5)]),
+            vec_of(&[(0, 1)]),
+            vec_of(&[(7, 11), (9, 2)]),
+            vec_of(&[(2, 1_000_000_007), (3, 1)]),
+            SparseVec::default(),
+            vec_of(&[(0, 3), (1, 4), (2, 5), (3, 6), (4, 7)]),
+        ];
+        for a in &cases {
+            for b in &cases {
+                // distance == sqrt(dist_sq_to), exactly.
+                assert_eq!(
+                    a.distance(b).to_bits(),
+                    a.dist_sq_to(b).sqrt().to_bits(),
+                    "{a:?} vs {b:?}"
+                );
+                // The fused normalized walk matches normalize-then-walk
+                // bit-for-bit (same divisions, same summation order).
+                assert_eq!(
+                    a.dist_sq_to_normalized(b).to_bits(),
+                    legacy_normalized_distance_sq(a, b).to_bits(),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decay_toward_blends_and_fades() {
+        let mut c = vec_of(&[(0, 4), (1, 8)]);
+        let p = vec_of(&[(1, 4), (2, 16)]);
+        c.decay_toward(&p, 0.25);
+        assert_eq!(c.entries(), &[(0, 3.0), (1, 7.0), (2, 4.0)]);
+        // alpha = 1 replaces the centroid outright.
+        let mut c = vec_of(&[(0, 4)]);
+        c.decay_toward(&p, 1.0);
+        assert_eq!(c.entries(), p.entries());
     }
 
     #[test]

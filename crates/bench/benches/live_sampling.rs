@@ -1,0 +1,150 @@
+//! Live-sampling benchmark: one-pass online sampling (Pac-Sim-style)
+//! against both baselines, emitting a machine-readable `BENCH_live.json`.
+//!
+//! For each workload, three runs over the identical program:
+//!
+//! 1. **Full detail** — `simulate_whole`, the ground truth (and the cost
+//!    ceiling);
+//! 2. **Two-phase** — the classic LoopPoint pipeline (`run_job`): a
+//!    profiling prequel, clustering, then representative simulation;
+//! 3. **Live** — `analyze_live`: no prequel, regions classified online,
+//!    unmatched regions simulated in detail from warm checkpoints,
+//!    matched regions predicted from their cluster's last detailed IPC.
+//!
+//! The JSON records, per workload, each mode's cycle estimate, error
+//! versus full detail, wall-clock, and — for live — the detailed-region
+//! fraction the acceptance gate pins (< 40%). Run via `cargo bench
+//! --bench live_sampling` (`-- --smoke` for the CI gate's single-workload
+//! variant; `--out PATH` to redirect the JSON).
+
+use looppoint::{error_pct, run_job, simulate_whole, LiveConfig, LoopPointConfig, SimOptions};
+use lp_obs::json;
+use lp_omp::WaitPolicy;
+use lp_uarch::SimConfig;
+use lp_workloads::{build, matrix_demo, InputClass, WorkloadSpec};
+use std::time::Instant;
+
+const NTHREADS: usize = 2;
+const SLICE_BASE: u64 = 2_000;
+const WARMUP_SLICES: usize = 2;
+
+struct Args {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: std::env::var("BENCH_LIVE_OUT").unwrap_or_else(|_| "BENCH_live.json".to_string()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            // `cargo bench` passes --bench through; ignore unknown flags so
+            // the target stays harness-compatible.
+            _ => {}
+        }
+    }
+    args
+}
+
+fn resolve(name: &str) -> Option<WorkloadSpec> {
+    match name {
+        "demo-matrix-1" => Some(matrix_demo(1)),
+        "demo-matrix-2" => Some(matrix_demo(2)),
+        "demo-matrix-3" => Some(matrix_demo(3)),
+        other => lp_workloads::find(other),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let workloads: &[&str] = if args.smoke {
+        &["npb-cg"]
+    } else {
+        &["npb-cg", "demo-matrix-3", "npb-ft"]
+    };
+
+    println!(
+        "live-sampling benchmark: {} threads | slice base {SLICE_BASE} {}",
+        NTHREADS,
+        if args.smoke { "(smoke)" } else { "" }
+    );
+
+    let mut rows = String::new();
+    for (i, name) in workloads.iter().enumerate() {
+        let spec = resolve(name).expect("bench workload exists");
+        let nthreads = spec.effective_threads(NTHREADS);
+        let program = build(&spec, InputClass::Test, NTHREADS, WaitPolicy::Passive);
+        let simcfg = SimConfig::gainestown(nthreads.max(NTHREADS));
+
+        // 1. Ground truth.
+        let t = Instant::now();
+        let full = simulate_whole(&program, nthreads, &simcfg).unwrap();
+        let full_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // 2. Two-phase LoopPoint.
+        let mut cfg = LoopPointConfig::with_slice_base(SLICE_BASE);
+        cfg.max_steps = looppoint::DEFAULT_MAX_STEPS;
+        let t = Instant::now();
+        let two_phase = run_job(
+            &program,
+            nthreads,
+            &cfg,
+            &simcfg,
+            &SimOptions::default(),
+            WARMUP_SLICES,
+            None,
+        )
+        .unwrap();
+        let two_phase_ms = t.elapsed().as_secs_f64() * 1e3;
+        let two_phase_err = error_pct(two_phase.predicted_cycles, full.cycles as f64);
+
+        // 3. Live (one pass, online).
+        let live_cfg = LiveConfig::with_slice_base(SLICE_BASE);
+        let t = Instant::now();
+        let live =
+            looppoint::analyze_live(&program, nthreads, &live_cfg, &simcfg, &mut |_| {}).unwrap();
+        let live_ms = t.elapsed().as_secs_f64() * 1e3;
+        let live_err = error_pct(live.est_total_cycles, full.cycles as f64);
+
+        println!(
+            "  {name:<16} full {:>9} cyc ({full_ms:7.1} ms) | two-phase err {two_phase_err:5.2}% ({two_phase_ms:7.1} ms) | live err {live_err:5.2}%, {:.1}% detailed ({live_ms:7.1} ms)",
+            full.cycles,
+            live.detailed_fraction() * 100.0,
+        );
+
+        rows.push_str(&format!(
+            "  {{\"workload\": \"{name}\", \"nthreads\": {nthreads},\n   \
+             \"full\": {{\"cycles\": {}, \"ms\": {full_ms:.1}}},\n   \
+             \"two_phase\": {{\"predicted_cycles\": {:.1}, \"err_pct\": {two_phase_err:.3}, \"regions\": {}, \"clusters\": {}, \"ms\": {two_phase_ms:.1}}},\n   \
+             \"live\": {{\"est_cycles\": {:.1}, \"err_pct\": {live_err:.3}, \"regions\": {}, \"clusters\": {}, \"detailed_regions\": {}, \"detailed_pct\": {:.4}, \"ms\": {live_ms:.1}}}}}{}\n",
+            full.cycles,
+            two_phase.predicted_cycles,
+            two_phase.regions,
+            two_phase.clusters,
+            live.est_total_cycles,
+            live.regions.len(),
+            live.clusters.len(),
+            live.detailed_regions,
+            live.detailed_fraction(),
+            if i + 1 == workloads.len() { "" } else { "," },
+        ));
+    }
+
+    let json_text = format!(
+        "{{\n \"slice_base\": {SLICE_BASE},\n \"rows\": [\n{rows} ],\n \"smoke\": {}\n}}\n",
+        args.smoke
+    );
+    // Self-validate before writing: the committed baseline and the CI gate
+    // both rely on this file being well-formed.
+    let parsed = json::parse(&json_text).expect("benchmark JSON must parse");
+    for key in ["slice_base", "rows", "smoke"] {
+        assert!(parsed.get(key).is_some(), "missing key {key}");
+    }
+    std::fs::write(&args.out, &json_text).expect("write BENCH_live.json");
+    println!("\nwrote {}", args.out);
+}

@@ -314,12 +314,19 @@ impl ClusterNode {
     /// | `GET /cluster/metrics` | federated metrics: per-node snapshots + ring-wide rollups (`?format=prometheus` for labelled text) |
     /// | `GET /cluster/trace/{trace_id}` | merged cross-node Chrome trace, one pid lane per node (`?local=1` for this node's fragment) |
     ///
-    /// It also intercepts `GET /jobs/{id}/trace` for ids homed on
-    /// another node, proxying to the owner instead of answering 404.
+    /// It also intercepts `GET /jobs/{id}/trace` and plain
+    /// `GET /jobs/{id}` (the job record plus any streamed live
+    /// partial-result lines) for ids homed on another node, proxying to
+    /// the owner instead of answering 404.
     fn route(&self, req: &Request) -> Option<Response> {
         let path = req.path.as_str();
-        if req.method == "GET" && path.starts_with("/jobs/") && path.ends_with("/trace") {
-            return self.proxy_job_trace(req);
+        if req.method == "GET" && path.starts_with("/jobs/") {
+            if path.ends_with("/trace") {
+                return self.proxy_job_trace(req);
+            }
+            if let Some(resp) = self.proxy_job_record(req) {
+                return Some(resp);
+            }
         }
         match (req.method.as_str(), path) {
             ("GET", "/cluster/healthz") => {
@@ -607,6 +614,57 @@ impl ClusterNode {
             Ok(resp) if resp.status == 200 => {
                 self.inner.obs.counter(names::CLUSTER_TRACE_PROXIED).inc();
                 Some(Response::json_ok(resp.text()))
+            }
+            Ok(resp) if resp.status == 404 => Some(Response::not_found(&format!(
+                "job {id} unknown on its home node {owner}"
+            ))),
+            _ => None,
+        }
+    }
+
+    /// Plain `GET /jobs/{id}` asked of a node that does not own the
+    /// job: proxy to the id's home node so followers can watch a live
+    /// job's streamed partials (and read any record) through whichever
+    /// cluster node they happen to talk to. The query string (`?since=N`
+    /// incremental polling) passes through verbatim, and the owner's
+    /// NDJSON body comes back untouched. Same fall-through rules as
+    /// [`Self::proxy_job_trace`]: `None` lets the local farm answer.
+    fn proxy_job_record(&self, req: &Request) -> Option<Response> {
+        if req.header(FORWARDED_HEADER).is_some() {
+            return None;
+        }
+        let id: u64 = req.path.strip_prefix("/jobs/")?.parse().ok()?;
+        let farm = self.inner.farm.get()?;
+        if farm.job(id).is_some() {
+            return None;
+        }
+        let ordinal = (id >> ID_RANGE_BITS).checked_sub(1)?;
+        let owner = {
+            let m = self.membership();
+            let addr = m.addr_of_ordinal(ordinal)?;
+            if addr == m.self_addr {
+                return None;
+            }
+            addr
+        };
+        let path = match &req.query {
+            Some(q) => format!("/jobs/{id}?{q}"),
+            None => format!("/jobs/{id}"),
+        };
+        let got = self.with_client(&owner, move |client| {
+            client.http().send(
+                "GET",
+                &path,
+                &[(FORWARDED_HEADER.to_string(), "1".to_string())],
+                &[],
+                None,
+                true,
+            )
+        });
+        match got {
+            Ok(resp) if resp.status == 200 => {
+                self.inner.obs.counter(names::CLUSTER_JOB_PROXIED).inc();
+                Some(Response::new("200 OK", "application/x-ndjson", resp.text()))
             }
             Ok(resp) if resp.status == 404 => Some(Response::not_found(&format!(
                 "job {id} unknown on its home node {owner}"

@@ -28,6 +28,9 @@
 //! * [`extrapolate`] — Eq. 1/2 runtime and metric reconstruction (§III-G);
 //! * [`diagnose`] — per-cluster accuracy attribution of the extrapolation
 //!   error (representativeness / warmup / multiplier residual);
+//! * [`analyze_live`] — Pac-Sim-style *online* sampling: one pass, no
+//!   profiling prequel, per-region simulate-or-predict (with
+//!   [`diagnose_live`] for the same error decomposition);
 //! * [`speedups`] — theoretical/actual, serial/parallel speedups (§V-B);
 //! * [`baselines`] — BarrierPoint, naive multi-threaded SimPoint, and
 //!   time-based sampling, for the paper's comparisons;
@@ -91,6 +94,7 @@ mod diagnose;
 mod error;
 mod extrapolate;
 mod job;
+mod live;
 pub mod persist;
 mod pipeline;
 mod pool;
@@ -107,7 +111,12 @@ pub use diagnose::diagnose;
 pub use error::LoopPointError;
 pub use extrapolate::{error_pct, extrapolate, Prediction};
 pub use job::{run_job, JobSummary};
+pub use live::{
+    analyze_live, diagnose_live, run_live_job, LiveClusterSummary, LiveConfig, LiveOutcome,
+    LiveRegionRecord, LiveRepStats, LiveSummary,
+};
 pub use lp_diag::{DiagReport, SelfProfile};
+pub use lp_live::{LiveProgress, OnlineConfig};
 pub use persist::{
     analysis_key, analyze_cached, checkpoints_key, prepare_region_checkpoints_cached,
 };

@@ -1,0 +1,112 @@
+//! Property tests for the live (online) sampling subsystem.
+//!
+//! Two bridges between the one-pass world and the two-phase pipeline:
+//! the online clusterer must not *merge* structure the batch clusterer
+//! found (feeding it the recorded BBVs of a two-phase profile with a
+//! tight threshold yields at least the batch cluster count), and the
+//! simulate/predict decision log must be a pure function of its inputs
+//! (replaying the same pseudo-random region stream reproduces the log
+//! line for line).
+
+use looppoint::{analyze, LoopPointConfig};
+use lp_bbv::SparseVec;
+use lp_live::{Action, OnlineClassifier, OnlineConfig};
+use lp_omp::WaitPolicy;
+use lp_workloads::{build, matrix_demo, InputClass};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const NTHREADS: usize = 4;
+
+/// The two-phase profile is expensive (record + replays) and read-only
+/// here, so every proptest case shares one.
+fn batch_profile() -> &'static (Vec<SparseVec>, Vec<u64>, usize) {
+    static PROFILE: OnceLock<(Vec<SparseVec>, Vec<u64>, usize)> = OnceLock::new();
+    PROFILE.get_or_init(|| {
+        let spec = matrix_demo(1);
+        let n = spec.effective_threads(NTHREADS);
+        let p = build(&spec, InputClass::Test, NTHREADS, WaitPolicy::Passive);
+        let analysis = analyze(&p, n, &LoopPointConfig::with_slice_base(4_000)).unwrap();
+        let bbvs: Vec<SparseVec> = analysis
+            .profile
+            .slices
+            .iter()
+            .map(|s| s.bbv.clone())
+            .collect();
+        let weights: Vec<u64> = analysis
+            .profile
+            .slices
+            .iter()
+            .map(|s| s.filtered_insts)
+            .collect();
+        (bbvs, weights, analysis.clustering.k)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Feeding the recorded two-phase BBVs to the online clusterer with
+    /// a tight distance threshold spawns at least as many clusters as
+    /// batch k-means chose: one pass may over-segment (it cannot see
+    /// the future), but it must never collapse phases the offline
+    /// clustering told apart.
+    #[test]
+    fn tight_online_clustering_reproduces_at_least_batch_k(threshold in 0.01f64..0.10) {
+        let (bbvs, weights, batch_k) = batch_profile();
+        let mut clf = OnlineClassifier::new(OnlineConfig {
+            threshold,
+            ..OnlineConfig::default()
+        });
+        for (i, bbv) in bbvs.iter().enumerate() {
+            let d = clf.classify(i, bbv, weights[i]);
+            // Give every detailed decision a sample so the classifier
+            // exercises its full predict path too.
+            if matches!(d.action, Action::Detail(_)) {
+                clf.observe_detailed(d.cluster, i, d.distance, 1.0);
+            }
+        }
+        prop_assert!(
+            clf.k() >= *batch_k,
+            "online k {} < batch k {batch_k} at threshold {threshold}",
+            clf.k()
+        );
+        prop_assert_eq!(clf.decisions().len(), bbvs.len());
+    }
+
+    /// The simulate/predict decision log is a pure function of the
+    /// region stream: replaying the same seeded pseudo-random stream of
+    /// BBVs and detailed-sample IPCs reproduces it line for line.
+    #[test]
+    fn decision_log_is_deterministic_for_a_fixed_seed(seed in any::<u64>(), regions in 8usize..64) {
+        let run = |seed: u64| -> Vec<String> {
+            // Tiny xorshift stream — the test needs reproducible variety,
+            // not statistical quality.
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut clf = OnlineClassifier::new(OnlineConfig::default());
+            for i in 0..regions {
+                let mut map = std::collections::HashMap::new();
+                for _ in 0..4 {
+                    *map.entry(next() % 16).or_insert(0u64) += next() % 100 + 1;
+                }
+                let bbv = SparseVec::from_map(&map);
+                let d = clf.classify(i, &bbv, 1_000);
+                if matches!(d.action, Action::Detail(_)) {
+                    let ipc = 0.5 + (next() % 40) as f64 / 10.0;
+                    clf.observe_detailed(d.cluster, i, d.distance, ipc);
+                }
+            }
+            clf.decisions().iter().map(|d| d.log_line()).collect()
+        };
+        let first = run(seed);
+        let second = run(seed);
+        prop_assert_eq!(&first, &second, "decision log must be deterministic");
+        prop_assert_eq!(first.len(), regions);
+    }
+}

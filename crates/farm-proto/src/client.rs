@@ -166,13 +166,49 @@ impl FarmClient {
         self.submit_with(specs, trace, &[])
     }
 
-    /// Fetches one job record.
+    /// Fetches one job record. `GET /jobs/{id}` answers in NDJSON with
+    /// the record as the final line; skipping the partials with a large
+    /// `since` keeps the round trip as cheap as the pre-streaming wire.
     ///
     /// # Errors
     /// Transport, non-200 status, or an unparseable body.
     pub fn job(&mut self, id: u64) -> Result<JobStatus, ProtoError> {
-        let v = self.get_ok_json(&format!("/jobs/{id}"))?;
-        JobStatus::from_value(&v).map_err(ProtoError::Parse)
+        Ok(self.job_stream(id, usize::MAX)?.1)
+    }
+
+    /// Fetches a job's streamed partial-result lines starting at index
+    /// `since`, plus the current record (always the response's last
+    /// NDJSON line). Live jobs emit one `LiveProgress` JSON document per
+    /// region; pipeline jobs stream nothing, so the partials come back
+    /// empty. Poll with `since` = total lines seen so far to only pay
+    /// for what is new.
+    ///
+    /// # Errors
+    /// Transport, non-200 status, or an unparseable body.
+    pub fn job_stream(
+        &mut self,
+        id: u64,
+        since: usize,
+    ) -> Result<(Vec<Value>, JobStatus), ProtoError> {
+        let resp = self.get(&format!("/jobs/{id}?since={since}"))?;
+        if resp.status != 200 {
+            return Err(ProtoError::Http {
+                status: resp.status,
+                body: resp.text(),
+            });
+        }
+        let text = resp.text();
+        let mut lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let last = lines
+            .pop()
+            .ok_or_else(|| ProtoError::Parse("empty /jobs/{id} response".to_string()))?;
+        let record = lp_obs::json::parse(last).map_err(|e| ProtoError::Parse(e.to_string()))?;
+        let status = JobStatus::from_value(&record).map_err(ProtoError::Parse)?;
+        let mut partials = Vec::with_capacity(lines.len());
+        for line in lines {
+            partials.push(lp_obs::json::parse(line).map_err(|e| ProtoError::Parse(e.to_string()))?);
+        }
+        Ok((partials, status))
     }
 
     /// Fetches a job's Chrome `trace_event` document.

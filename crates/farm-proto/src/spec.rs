@@ -30,6 +30,9 @@ pub struct JobSpec {
     pub priority: i64,
     /// Per-job wall-clock timeout in ms; `0` uses the farm default.
     pub timeout_ms: u64,
+    /// Sampling mode: `pipeline` (two-phase LoopPoint, the default) or
+    /// `live` (Pac-Sim-style online sampling, streaming partial results).
+    pub mode: String,
 }
 
 impl Default for JobSpec {
@@ -43,6 +46,7 @@ impl Default for JobSpec {
             max_steps: DEFAULT_MAX_STEPS,
             priority: 0,
             timeout_ms: 0,
+            mode: "pipeline".to_string(),
         }
     }
 }
@@ -100,6 +104,18 @@ impl JobSpec {
                 .ok_or("field 'wait_policy' must be a string")?
                 .to_string();
         }
+        if let Some(x) = v.get("mode") {
+            spec.mode = x
+                .as_str()
+                .ok_or("field 'mode' must be a string")?
+                .to_string();
+            if spec.mode != "pipeline" && spec.mode != "live" {
+                return Err(format!(
+                    "field 'mode' must be 'pipeline' or 'live', got '{}'",
+                    spec.mode
+                ));
+            }
+        }
         Ok(spec)
     }
 
@@ -124,6 +140,7 @@ impl JobSpec {
                 "timeout_ms".to_string(),
                 Value::Int(self.timeout_ms as i128),
             ),
+            ("mode".to_string(), Value::Str(self.mode.clone())),
         ])
     }
 }
@@ -143,6 +160,7 @@ mod tests {
             max_steps: 99,
             priority: -3,
             timeout_ms: 2500,
+            mode: "live".to_string(),
         };
         let back = JobSpec::from_value(&spec.to_value()).unwrap();
         assert_eq!(back, spec);
@@ -156,6 +174,7 @@ mod tests {
         assert_eq!(spec.ncores, 2);
         assert_eq!(spec.input, "test");
         assert_eq!(spec.priority, 0);
+        assert_eq!(spec.mode, "pipeline", "pre-live specs default to pipeline");
     }
 
     #[test]
@@ -165,6 +184,7 @@ mod tests {
             r#"{"program":"x","ncores":0}"#,          // zero threads
             r#"{"program":"x","slice_base":"lots"}"#, // wrong type
             r#"{"program":"x","priority":"high"}"#,   // wrong type
+            r#"{"program":"x","mode":"batch"}"#,      // unknown mode
             r#"[1,2,3]"#,                             // not an object
         ] {
             let v = lp_obs::json::parse(bad).unwrap();

@@ -36,11 +36,29 @@ pub trait JobBackend: Send + Sync + 'static {
     /// # Errors
     /// A message on any pipeline failure; the farm decides on retry.
     fn execute(&self, spec: &JobSpec, cancel: &CancelToken) -> Result<String, String>;
+
+    /// Like [`JobBackend::execute`], but the backend may emit partial
+    /// results — one JSON document per call — through `progress` while
+    /// the job runs. The farm buffers these per job and streams them to
+    /// `GET /jobs/{id}` followers. The default ignores the sink and runs
+    /// `execute`, so backends without partials need no changes.
+    ///
+    /// # Errors
+    /// As [`JobBackend::execute`].
+    fn execute_streaming(
+        &self,
+        spec: &JobSpec,
+        cancel: &CancelToken,
+        progress: &mut dyn FnMut(String),
+    ) -> Result<String, String> {
+        let _ = progress;
+        self.execute(spec, cancel)
+    }
 }
 
 /// Spec fields the content key depends on: (program, input, wait
-/// policy, ncores, slice_base, max_steps).
-type KeyMemoKey = (String, String, String, usize, u64, u64);
+/// policy, ncores, slice_base, max_steps, mode).
+type KeyMemoKey = (String, String, String, usize, u64, u64, String);
 /// Spec fields program expansion depends on: (program, input, wait
 /// policy, ncores).
 type ProgramMemoKey = (String, String, String, usize);
@@ -146,6 +164,7 @@ impl PipelineBackend {
             spec.ncores,
             spec.slice_base,
             spec.max_steps,
+            spec.mode.clone(),
         );
         if let Some(key) = self.key_memo.lock().expect("key memo lock").get(&memo_key) {
             return Ok(*key);
@@ -160,7 +179,8 @@ impl PipelineBackend {
             "analysis",
             &looppoint::analysis_key(&program, nthreads, &cfg).hex(),
         )
-        .field_u64("max_steps", spec.max_steps);
+        .field_u64("max_steps", spec.max_steps)
+        .field_str("mode", &spec.mode);
         let key = kb.finish();
         self.key_memo
             .lock()
@@ -176,6 +196,15 @@ impl JobBackend for PipelineBackend {
     }
 
     fn execute(&self, spec: &JobSpec, cancel: &CancelToken) -> Result<String, String> {
+        self.execute_streaming(spec, cancel, &mut |_| {})
+    }
+
+    fn execute_streaming(
+        &self,
+        spec: &JobSpec,
+        cancel: &CancelToken,
+        progress: &mut dyn FnMut(String),
+    ) -> Result<String, String> {
         // Terminal-summary cache: the job key is a content key over the
         // whole result, so a stored summary under it IS the answer —
         // repeat work across daemon restarts skips the pipeline (and its
@@ -189,22 +218,39 @@ impl JobBackend for PipelineBackend {
             }
         }
         let (program, nthreads, cfg, simcfg) = self.setup(spec)?;
-        let cfg = cfg.with_cancel(cancel.clone());
-        let opts = SimOptions {
-            max_steps: spec.max_steps,
-            ..Default::default()
+        let text = if spec.mode == "live" {
+            let live_cfg = looppoint::LiveConfig {
+                slice_base: spec.slice_base,
+                max_steps: spec.max_steps,
+                obs: self.obs.clone(),
+                cancel: cancel.clone(),
+                trace: lp_obs::tracectx::current(),
+                ..looppoint::LiveConfig::default()
+            };
+            let summary =
+                looppoint::run_live_job(&program, nthreads, &live_cfg, &simcfg, &mut |p| {
+                    progress(p.to_value().to_string());
+                })
+                .map_err(|e| e.to_string())?;
+            summary.to_value().to_string()
+        } else {
+            let cfg = cfg.with_cancel(cancel.clone());
+            let opts = SimOptions {
+                max_steps: spec.max_steps,
+                ..Default::default()
+            };
+            let summary = looppoint::run_job(
+                &program,
+                nthreads,
+                &cfg,
+                &simcfg,
+                &opts,
+                2,
+                self.store.as_deref(),
+            )
+            .map_err(|e| e.to_string())?;
+            summary.to_value().to_string()
         };
-        let summary = looppoint::run_job(
-            &program,
-            nthreads,
-            &cfg,
-            &simcfg,
-            &opts,
-            2,
-            self.store.as_deref(),
-        )
-        .map_err(|e| e.to_string())?;
-        let text = summary.to_value().to_string();
         if let Some(store) = &self.store {
             // Best-effort: losing the summary cache only costs a rerun.
             let _ = store.save(&key, ArtifactKind::JobSummary, text.as_bytes());

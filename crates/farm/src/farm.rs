@@ -258,6 +258,11 @@ struct FarmState {
     workers_alive: usize,
     /// Terminal ids in completion order, for history pruning.
     history: Vec<u64>,
+    /// Per-job streamed partial results (NDJSON lines, one JSON document
+    /// each) — live jobs append here as they run; `GET /jobs/{id}`
+    /// streams them to followers. Keyed by primary id; cleared at each
+    /// attempt start so retries never show a dead attempt's partials.
+    progress: HashMap<u64, Vec<String>>,
 }
 
 struct FarmInner {
@@ -331,6 +336,7 @@ impl Farm {
                 shutdown_now: false,
                 workers_alive: 0,
                 history: Vec::new(),
+                progress: HashMap::new(),
             }),
             work_ready: Condvar::new(),
             idle: Condvar::new(),
@@ -432,6 +438,19 @@ impl Farm {
             .jobs
             .get(&id)
             .cloned()
+    }
+
+    /// The job's streamed partial-result lines starting at index
+    /// `since`, or `None` for an unknown id. Dedup followers see the
+    /// primary's stream (partials are a property of the computation, not
+    /// the submission). Empty for jobs whose backend never streams
+    /// (pipeline mode) and for jobs not yet started.
+    pub fn progress(&self, id: u64, since: usize) -> Option<Vec<String>> {
+        let st = self.inner.state.lock().expect("farm state lock");
+        let rec = st.jobs.get(&id)?;
+        let primary = rec.dedup_of.unwrap_or(id);
+        let lines = st.progress.get(&primary).map(Vec::as_slice).unwrap_or(&[]);
+        Some(lines[since.min(lines.len())..].to_vec())
     }
 
     /// Cancels a queued or running job. Returns `false` when the id is
@@ -740,7 +759,10 @@ impl FarmInner {
             let trace_guard = ctx.attach();
             let mut span = self.obs.span(names::SPAN_FARM_EXECUTE, names::CAT_FARM);
             span.arg("job", id);
-            let outcome = catch_unwind(AssertUnwindSafe(|| self.backend.execute(&spec, &cancel)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.backend
+                    .execute_streaming(&spec, &cancel, &mut |line| self.push_progress(id, line))
+            }));
             drop(span);
             drop(trace_guard);
             self.harvest_spans(id, ctx.trace_id);
@@ -756,6 +778,14 @@ impl FarmInner {
                 }
             }
         }
+    }
+
+    /// Appends one streamed partial-result line to the job's progress
+    /// buffer (a brief state-lock hold — the backend calls this from the
+    /// middle of a simulation, so it must never block on queue work).
+    fn push_progress(&self, id: u64, line: String) {
+        let mut st = self.state.lock().expect("farm state lock");
+        st.progress.entry(id).or_default().push(line);
     }
 
     /// Moves the attempt's spans out of the shared sink into the flight
@@ -843,6 +873,10 @@ impl FarmInner {
                         .histogram(names::FARM_QUEUE_WAIT_US)
                         .record(now.saturating_sub(rec.submitted_us));
                 }
+                // A fresh attempt streams from scratch; stale partials
+                // from a failed or timed-out attempt would mislead
+                // followers.
+                st.progress.remove(&id);
                 self.recorder
                     .event(id, "attempt_start", format!("attempt {attempt}"));
                 let cancel = CancelToken::new();
@@ -1268,6 +1302,7 @@ impl FarmInner {
                         st.by_key_done.remove(&rec.key);
                     }
                     st.jobs.remove(&oldest);
+                    st.progress.remove(&oldest);
                 }
             }
         }

@@ -12,7 +12,7 @@
 //! | Endpoint                 | Behavior                                     |
 //! |--------------------------|----------------------------------------------|
 //! | `POST /jobs`             | submit; NDJSON in → NDJSON out, one line per job; `503` + `Retry-After` when the queue is full; a `traceparent` header parents every submitted job's trace under the client's span |
-//! | `GET /jobs/{id}`         | full job record (includes `trace_id`)        |
+//! | `GET /jobs/{id}`         | NDJSON: streamed partial results (`?since=N` skips already-seen lines), then the full job record (includes `trace_id`) as the final line |
 //! | `GET /jobs/{id}/trace`   | the job's flight-recorder trace as Chrome `trace_event` JSON (Perfetto-loadable) |
 //! | `GET /trace/recent`      | NDJSON trace summaries, newest first (`?limit=N`, default 32) |
 //! | `POST /jobs/{id}/cancel` | cancel queued/running job                    |
@@ -278,7 +278,28 @@ fn route(req: &Request, farm: &Farm, shared: &ServerShared, ext: &ServerExtensio
             }
             match parse_job_path(path) {
                 Some(id) => match farm.job(id) {
-                    Some(rec) => Response::json_ok(rec.to_value().to_string()),
+                    Some(rec) => {
+                        // NDJSON: any streamed partial-result lines the
+                        // job has emitted (from `?since=N`, so pollers
+                        // only pay for what is new), then the job record
+                        // as the final line. Non-streaming jobs degrade
+                        // to a one-line body — the record — so every
+                        // consumer parses the LAST line for the record.
+                        let since = req
+                            .query
+                            .as_deref()
+                            .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("since=")))
+                            .and_then(|n| n.parse::<usize>().ok())
+                            .unwrap_or(0);
+                        let mut body = String::new();
+                        for line in farm.progress(id, since).unwrap_or_default() {
+                            body.push_str(&line);
+                            body.push('\n');
+                        }
+                        body.push_str(&rec.to_value().to_string());
+                        body.push('\n');
+                        Response::new("200 OK", "application/x-ndjson", body)
+                    }
                     None => Response::not_found(&format!("no job {id}")),
                 },
                 None => Response::not_found(&format!("no route for GET {path}")),

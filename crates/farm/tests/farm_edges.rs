@@ -596,3 +596,134 @@ fn drain_finishes_queued_work_before_stopping() {
         assert_eq!(farm.job(id).unwrap().state, JobState::Done, "job {id}");
     }
 }
+
+/// Emits three partial-result lines, then blocks until released — the
+/// shape of a live job mid-run.
+struct Streaming {
+    gate: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Streaming {
+    fn new() -> Arc<Streaming> {
+        Arc::new(Streaming {
+            gate: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn release(&self) {
+        *self.gate.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+impl JobBackend for Streaming {
+    fn job_key(&self, spec: &JobSpec) -> Result<String, String> {
+        mock_key(spec)
+    }
+
+    fn execute(&self, spec: &JobSpec, cancel: &CancelToken) -> Result<String, String> {
+        self.execute_streaming(spec, cancel, &mut |_| {})
+    }
+
+    fn execute_streaming(
+        &self,
+        spec: &JobSpec,
+        cancel: &CancelToken,
+        progress: &mut dyn FnMut(String),
+    ) -> Result<String, String> {
+        for i in 1..=3u64 {
+            progress(format!("{{\"regions\":{i},\"done\":false}}"));
+        }
+        let mut open = self.gate.lock().unwrap();
+        loop {
+            if *open {
+                return Ok(format!("{{\"program\":\"{}\"}}", spec.program));
+            }
+            if cancel.is_cancelled() {
+                return Err("cancelled mid-flight".to_string());
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(open, Duration::from_millis(5))
+                .unwrap();
+            open = guard;
+        }
+    }
+}
+
+#[test]
+fn streamed_partials_reach_followers_in_process_and_over_http() {
+    let backend = Streaming::new();
+    let farm = Farm::start(
+        FarmConfig {
+            workers: 1,
+            ..FarmConfig::default()
+        },
+        backend.clone(),
+        Observer::enabled(),
+    )
+    .unwrap();
+    let server = FarmServer::start("127.0.0.1:0", farm.clone()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let primary = farm.submit(spec("live1")).unwrap().id();
+    assert!(
+        wait_for(Duration::from_secs(5), || {
+            farm.progress(primary, 0).is_some_and(|p| p.len() == 3)
+        }),
+        "partials never arrived"
+    );
+
+    // `since` slices incrementally: a poller that has seen 2 lines only
+    // pays for the third; past-the-end yields an empty page.
+    let tail = farm.progress(primary, 2).unwrap();
+    assert_eq!(tail, vec!["{\"regions\":3,\"done\":false}".to_string()]);
+    assert_eq!(farm.progress(primary, 17).unwrap(), Vec::<String>::new());
+    assert_eq!(farm.progress(9999, 0), None, "unknown id is None");
+
+    // A dedup follower watches the primary's stream.
+    let follower = farm.submit(spec("live1")).unwrap();
+    assert!(
+        matches!(follower, Submitted::Deduped { .. }),
+        "{follower:?}"
+    );
+    assert_eq!(
+        farm.progress(follower.id(), 0).unwrap().len(),
+        3,
+        "followers see the primary's partials"
+    );
+
+    // The HTTP view: NDJSON, partials first, record last.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    write!(
+        stream,
+        "GET /jobs/{primary}?since=1 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+    assert!(buf.contains("Content-Type: application/x-ndjson"), "{buf}");
+    let body = buf.split("\r\n\r\n").nth(1).unwrap();
+    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 3, "2 partials past since=1 + record: {body}");
+    assert_eq!(lines[0], "{\"regions\":2,\"done\":false}");
+    let record = lp_obs::json::parse(lines[2]).unwrap();
+    assert_eq!(
+        record.get("state").and_then(Value::as_str),
+        Some("running"),
+        "last line is the job record"
+    );
+
+    backend.release();
+    assert!(farm.wait_idle(Duration::from_secs(10)), "farm stuck");
+    assert_eq!(farm.job(primary).unwrap().state, JobState::Done);
+    // Partials survive completion for late followers.
+    assert_eq!(farm.progress(primary, 0).unwrap().len(), 3);
+    farm.shutdown(ShutdownMode::Drain);
+    farm.join();
+    server.stop();
+}

@@ -1,0 +1,488 @@
+//! Incremental (online) k-means-style classification of region BBVs.
+//!
+//! Batch LoopPoint collects every region vector first and sweeps k; live
+//! mode sees one vector at a time and must decide immediately. The
+//! [`OnlineClassifier`] keeps a growing set of centroids in the
+//! L1-normalized sparse BBV space:
+//!
+//! * a region farther than the spawn threshold from every centroid starts
+//!   a **new cluster** (and must be simulated in detail — nothing is known
+//!   about its behaviour);
+//! * a matched region folds into its centroid with a **decaying update**
+//!   (`c ← (1−α)·c + α·p`, [`SparseVec::decay_toward`]), tracking phase
+//!   drift the way online k-means does;
+//! * the nearest-centroid scan uses the same **cached squared-norm**
+//!   expansion as lp-simpoint's batch k-means
+//!   (`‖p−c‖² = ‖p‖² − 2p·c + ‖c‖²`, with `‖c‖²` cached per centroid), so
+//!   each candidate costs one sparse dot product.
+//!
+//! The simulate/predict policy rides on top: a matched cluster predicts
+//! from its last detailed IPC unless its confidence has decayed — a
+//! per-cluster prediction-error EWMA above the bound, or too many
+//! predictions since the last detailed observation (staleness), triggers
+//! re-simulation. The staleness interval is adaptive: each confirming
+//! detailed sample doubles it (up to a cap), each disagreeing one snaps
+//! it back, so microarchitectural drift the BBV cannot see (warming
+//! caches across phase re-occurrences) is caught early while stable
+//! clusters converge to rare spot checks. Every decision is recorded,
+//! there is no randomness, and iteration order is by cluster id, so the
+//! decision log is a pure function of the region stream.
+
+use lp_bbv::SparseVec;
+
+/// Tuning of the online classifier and the simulate/predict policy.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// Spawn threshold: a region whose L1-normalized BBV lies farther than
+    /// this Euclidean distance from every centroid starts a new cluster.
+    /// Normalized non-negative vectors are at most `√2` apart.
+    pub threshold: f64,
+    /// Decaying-centroid step size (`c ← (1−α)·c + α·p` on every match).
+    pub centroid_alpha: f64,
+    /// Prediction-error EWMA step size.
+    pub err_alpha: f64,
+    /// Re-simulate a matched cluster when its error EWMA exceeds this
+    /// (relative IPC error, e.g. `0.05` = 5 %).
+    pub max_err: f64,
+    /// Initial staleness interval: a fresh (or recently-wrong) cluster is
+    /// re-simulated after this many consecutive predictions. Each detailed
+    /// observation that *confirms* the prediction doubles the interval
+    /// (exponential confirmation back-off); a disagreeing one snaps it
+    /// back here. This catches microarchitectural drift — e.g. a phase
+    /// whose first sample ran on cold caches but whose re-occurrences hit
+    /// warm ones — which is invisible to the BBV itself.
+    pub min_recheck: u64,
+    /// Upper bound on the adaptive staleness interval: even a
+    /// long-confirmed cluster is re-simulated at least every `max_age`
+    /// predictions.
+    pub max_age: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            threshold: 0.2,
+            centroid_alpha: 0.25,
+            err_alpha: 0.3,
+            max_err: 0.05,
+            min_recheck: 2,
+            max_age: 64,
+        }
+    }
+}
+
+/// Why a region was sent to detailed simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetailReason {
+    /// No centroid within the spawn threshold: new behaviour.
+    NewCluster,
+    /// The matched cluster has no detailed IPC yet.
+    NoSample,
+    /// The matched cluster's prediction-error EWMA exceeded the bound.
+    LowConfidence,
+    /// Too many predictions since the cluster's last detailed run.
+    Stale,
+}
+
+impl DetailReason {
+    /// Stable lowercase label (used in logs and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            DetailReason::NewCluster => "new_cluster",
+            DetailReason::NoSample => "no_sample",
+            DetailReason::LowConfidence => "low_confidence",
+            DetailReason::Stale => "stale",
+        }
+    }
+}
+
+/// What to do with a region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Simulate the region in detail.
+    Detail(DetailReason),
+    /// Skip detail; predict the region's cycles from this IPC (the
+    /// matched cluster's most recent detailed IPC).
+    Predict {
+        /// IPC to extrapolate the region's cycle count from.
+        ipc: f64,
+    },
+}
+
+/// One recorded classification decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Region index the decision is for.
+    pub region: usize,
+    /// Cluster the region was assigned to (possibly freshly spawned).
+    pub cluster: usize,
+    /// Whether this region spawned its cluster.
+    pub spawned: bool,
+    /// Distance of the region's normalized BBV to the (pre-update)
+    /// centroid; `0` for a spawning region (it *is* the centroid).
+    pub distance: f64,
+    /// The action taken.
+    pub action: Action,
+}
+
+impl Decision {
+    /// Compact single-line rendering, stable across runs (the determinism
+    /// property test compares these).
+    pub fn log_line(&self) -> String {
+        let act = match self.action {
+            Action::Detail(r) => format!("detail:{}", r.label()),
+            Action::Predict { ipc } => format!("predict:ipc={ipc:.6}"),
+        };
+        format!(
+            "region={} cluster={} spawned={} dist={:.6} {}",
+            self.region, self.cluster, self.spawned, self.distance, act
+        )
+    }
+}
+
+/// One live cluster: centroid, cached norm, and policy state.
+#[derive(Debug, Clone)]
+pub struct OnlineCluster {
+    /// L1-normalized centroid.
+    centroid: SparseVec,
+    /// Cached `‖centroid‖²` (the lp-simpoint k-means trick).
+    centroid_norm_sq: f64,
+    /// Member regions folded into this cluster (including the spawner).
+    pub members: u64,
+    /// Spin-filtered instructions across all member regions.
+    pub filtered_insts: u64,
+    /// IPC of the cluster's most recent detailed simulation.
+    pub last_ipc: Option<f64>,
+    /// EWMA of the relative IPC prediction error, updated on every
+    /// detailed observation after the first.
+    pub err_ewma: f64,
+    /// Predictions since the last detailed observation.
+    pub age: u64,
+    /// Current adaptive staleness interval (see
+    /// [`OnlineConfig::min_recheck`]): re-simulate when `age` reaches it.
+    pub recheck: u64,
+    /// Region index of the last detailed member (the live representative).
+    pub last_detailed_region: usize,
+    /// Classify-time distance of that representative to the centroid.
+    pub last_detailed_distance: f64,
+    /// Sum of classify-time member distances (for the mean).
+    pub sum_distance: f64,
+}
+
+impl OnlineCluster {
+    /// The current (L1-normalized) centroid.
+    pub fn centroid(&self) -> &SparseVec {
+        &self.centroid
+    }
+
+    /// Mean classify-time distance of members to the centroid.
+    pub fn mean_member_distance(&self) -> f64 {
+        if self.members == 0 {
+            0.0
+        } else {
+            self.sum_distance / self.members as f64
+        }
+    }
+}
+
+fn norm_sq(v: &SparseVec) -> f64 {
+    v.entries().iter().map(|&(_, w)| w * w).sum()
+}
+
+fn sparse_dot(a: &SparseVec, b: &SparseVec) -> f64 {
+    let (a, b) = (a.entries(), b.entries());
+    let mut i = 0;
+    let mut j = 0;
+    let mut acc = 0.0f64;
+    while i < a.len() && j < b.len() {
+        let (ka, va) = a[i];
+        let (kb, vb) = b[j];
+        if ka == kb {
+            acc += va * vb;
+            i += 1;
+            j += 1;
+        } else if ka < kb {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    acc
+}
+
+/// The streaming classifier + simulate/predict policy (see module docs).
+#[derive(Debug)]
+pub struct OnlineClassifier {
+    cfg: OnlineConfig,
+    clusters: Vec<OnlineCluster>,
+    decisions: Vec<Decision>,
+}
+
+impl OnlineClassifier {
+    /// Creates an empty classifier.
+    pub fn new(cfg: OnlineConfig) -> Self {
+        assert!(cfg.threshold > 0.0, "spawn threshold must be positive");
+        assert!(
+            (0.0..=1.0).contains(&cfg.centroid_alpha) && (0.0..=1.0).contains(&cfg.err_alpha),
+            "EWMA weights must lie in [0, 1]"
+        );
+        assert!(cfg.min_recheck >= 1, "staleness interval must be positive");
+        OnlineClassifier {
+            cfg,
+            clusters: Vec::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Classifies one region BBV and decides simulate-vs-predict. The
+    /// decision is recorded in the log and returned.
+    pub fn classify(&mut self, region: usize, bbv: &SparseVec, filtered_insts: u64) -> Decision {
+        let p = bbv.normalized();
+        let p_norm_sq = norm_sq(&p);
+
+        // Nearest centroid via the cached-norm expansion: argmin over
+        // clusters of ‖c‖² − 2·p·c (the ‖p‖² term is common).
+        let mut best: Option<(usize, f64)> = None;
+        for (c, cl) in self.clusters.iter().enumerate() {
+            let score = cl.centroid_norm_sq - 2.0 * sparse_dot(&p, &cl.centroid);
+            if best.is_none_or(|(_, b)| score < b) {
+                best = Some((c, score));
+            }
+        }
+
+        // Exact distance for the winner via the shared non-allocating
+        // primitive (numerically cleaner than ‖p‖² + score).
+        let nearest = best.map(|(c, _)| (c, p.dist_sq_to(self.clusters[c].centroid()).sqrt()));
+        let decision = match nearest {
+            Some((c, distance)) if distance <= self.cfg.threshold => {
+                let cl = &mut self.clusters[c];
+                cl.centroid.decay_toward(&p, self.cfg.centroid_alpha);
+                cl.centroid_norm_sq = norm_sq(&cl.centroid);
+                cl.members += 1;
+                cl.filtered_insts += filtered_insts;
+                cl.sum_distance += distance;
+                let action = match cl.last_ipc {
+                    None => Action::Detail(DetailReason::NoSample),
+                    Some(_) if cl.age + 1 >= cl.recheck => Action::Detail(DetailReason::Stale),
+                    Some(_) if cl.err_ewma > self.cfg.max_err => {
+                        Action::Detail(DetailReason::LowConfidence)
+                    }
+                    Some(ipc) => {
+                        cl.age += 1;
+                        Action::Predict { ipc }
+                    }
+                };
+                Decision {
+                    region,
+                    cluster: c,
+                    spawned: false,
+                    distance,
+                    action,
+                }
+            }
+            _ => {
+                // Farther than the threshold from everything (or the very
+                // first region): spawn a cluster seeded at this point.
+                let c = self.clusters.len();
+                self.clusters.push(OnlineCluster {
+                    centroid_norm_sq: p_norm_sq,
+                    centroid: p,
+                    members: 1,
+                    filtered_insts,
+                    last_ipc: None,
+                    err_ewma: 0.0,
+                    age: 0,
+                    recheck: self.cfg.min_recheck,
+                    last_detailed_region: region,
+                    last_detailed_distance: 0.0,
+                    sum_distance: 0.0,
+                });
+                Decision {
+                    region,
+                    cluster: c,
+                    spawned: true,
+                    distance: 0.0,
+                    action: Action::Detail(DetailReason::NewCluster),
+                }
+            }
+        };
+        self.decisions.push(decision.clone());
+        decision
+    }
+
+    /// Feeds back the outcome of a detailed region simulation: updates the
+    /// cluster's prediction-error EWMA against what it *would* have
+    /// predicted, adapts the staleness interval (confirming samples double
+    /// it, disagreeing ones snap it back), resets the age, and installs
+    /// the new IPC sample.
+    pub fn observe_detailed(&mut self, cluster: usize, region: usize, distance: f64, ipc: f64) {
+        let ea = self.cfg.err_alpha;
+        let cl = &mut self.clusters[cluster];
+        if let Some(prev) = cl.last_ipc {
+            if ipc > 0.0 {
+                let err = ((prev - ipc) / ipc).abs();
+                cl.err_ewma = (1.0 - ea) * cl.err_ewma + ea * err;
+                cl.recheck = if err <= self.cfg.max_err {
+                    (cl.recheck * 2).min(self.cfg.max_age)
+                } else {
+                    self.cfg.min_recheck
+                };
+            }
+        }
+        cl.last_ipc = Some(ipc);
+        cl.age = 0;
+        cl.last_detailed_region = region;
+        cl.last_detailed_distance = distance;
+    }
+
+    /// Clusters spawned so far.
+    pub fn k(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The live clusters, by id.
+    pub fn clusters(&self) -> &[OnlineCluster] {
+        &self.clusters
+    }
+
+    /// The full decision log, in region order.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn vec_of(pairs: &[(u64, u64)]) -> SparseVec {
+        let map: HashMap<u64, u64> = pairs.iter().copied().collect();
+        SparseVec::from_map(&map)
+    }
+
+    #[test]
+    fn first_region_spawns_and_details() {
+        let mut c = OnlineClassifier::new(OnlineConfig::default());
+        let d = c.classify(0, &vec_of(&[(0, 10), (1, 5)]), 100);
+        assert!(d.spawned);
+        assert_eq!(d.action, Action::Detail(DetailReason::NewCluster));
+        assert_eq!(c.k(), 1);
+    }
+
+    #[test]
+    fn matched_region_predicts_after_a_sample() {
+        let mut c = OnlineClassifier::new(OnlineConfig::default());
+        let v = vec_of(&[(0, 10), (1, 5)]);
+        let d0 = c.classify(0, &v, 100);
+        c.observe_detailed(d0.cluster, 0, d0.distance, 1.5);
+        let d1 = c.classify(1, &v, 100);
+        assert!(!d1.spawned);
+        assert_eq!(d1.cluster, d0.cluster);
+        assert_eq!(d1.action, Action::Predict { ipc: 1.5 });
+        // Without a detailed sample the match would have been re-simulated.
+        let far = vec_of(&[(50, 10)]);
+        let d2 = c.classify(2, &far, 100);
+        assert!(d2.spawned);
+        let d3 = c.classify(3, &far, 100);
+        assert_eq!(d3.action, Action::Detail(DetailReason::NoSample));
+    }
+
+    #[test]
+    fn distant_region_spawns_a_second_cluster() {
+        let mut c = OnlineClassifier::new(OnlineConfig::default());
+        c.classify(0, &vec_of(&[(0, 10)]), 100);
+        let d = c.classify(1, &vec_of(&[(99, 10)]), 100);
+        assert!(d.spawned);
+        assert_eq!(d.cluster, 1);
+        assert_eq!(c.k(), 2);
+    }
+
+    #[test]
+    fn staleness_backs_off_on_confirmation_and_snaps_back_on_drift() {
+        let cfg = OnlineConfig {
+            min_recheck: 2,
+            max_age: 8,
+            ..Default::default()
+        };
+        let mut c = OnlineClassifier::new(cfg);
+        let v = vec_of(&[(0, 10)]);
+        let d = c.classify(0, &v, 10);
+        c.observe_detailed(d.cluster, 0, d.distance, 2.0);
+        assert_eq!(c.clusters()[0].recheck, 2);
+
+        // Confirming samples double the interval: 2 → 4 → 8 (capped).
+        let mut stale_at = Vec::new();
+        for i in 1..=20 {
+            match c.classify(i, &v, 10).action {
+                Action::Detail(DetailReason::Stale) => {
+                    stale_at.push(i);
+                    c.observe_detailed(0, i, 0.0, 2.0);
+                }
+                Action::Predict { .. } => {}
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(stale_at, vec![2, 6, 14], "intervals 2, 4, 8");
+        assert_eq!(c.clusters()[0].recheck, 8, "capped at max_age");
+
+        // A disagreeing sample snaps the interval back to min_recheck.
+        let d = c.classify(21, &v, 10);
+        assert!(matches!(d.action, Action::Predict { .. }));
+        c.observe_detailed(0, 21, 0.0, 4.0);
+        assert_eq!(c.clusters()[0].recheck, 2);
+    }
+
+    #[test]
+    fn low_confidence_triggers_resimulation() {
+        let cfg = OnlineConfig {
+            max_err: 0.05,
+            err_alpha: 1.0,
+            max_age: 1000,
+            ..Default::default()
+        };
+        let mut c = OnlineClassifier::new(cfg);
+        let v = vec_of(&[(0, 10)]);
+        let d = c.classify(0, &v, 10);
+        c.observe_detailed(d.cluster, 0, d.distance, 2.0);
+        // Second detailed observation wildly off: EWMA jumps to 100 %.
+        let d1 = c.classify(1, &v, 10);
+        assert_eq!(d1.action, Action::Predict { ipc: 2.0 });
+        c.observe_detailed(0, 1, 0.0, 1.0);
+        assert!(c.clusters()[0].err_ewma > 0.5);
+        let d2 = c.classify(2, &v, 10);
+        assert_eq!(d2.action, Action::Detail(DetailReason::LowConfidence));
+        // A clean observation restores confidence.
+        c.observe_detailed(0, 2, 0.0, 1.0);
+        let d3 = c.classify(3, &v, 10);
+        assert_eq!(d3.action, Action::Predict { ipc: 1.0 });
+    }
+
+    #[test]
+    fn centroid_drifts_toward_members() {
+        let mut c = OnlineClassifier::new(OnlineConfig {
+            threshold: 1.5,
+            ..Default::default()
+        });
+        c.classify(0, &vec_of(&[(0, 10)]), 10);
+        // Nearby but not identical member pulls the centroid.
+        c.classify(1, &vec_of(&[(0, 9), (1, 1)]), 10);
+        let centroid = c.clusters()[0].centroid();
+        assert!(centroid.entries().iter().any(|&(d, _)| d == 1));
+    }
+
+    #[test]
+    fn bookkeeping_feeds_diagnostics() {
+        let mut c = OnlineClassifier::new(OnlineConfig::default());
+        let v = vec_of(&[(0, 10), (1, 2)]);
+        let d0 = c.classify(0, &v, 100);
+        c.observe_detailed(d0.cluster, 0, d0.distance, 1.0);
+        c.classify(1, &v, 150);
+        let cl = &c.clusters()[0];
+        assert_eq!(cl.members, 2);
+        assert_eq!(cl.filtered_insts, 250);
+        assert_eq!(cl.last_detailed_region, 0);
+        assert!(cl.mean_member_distance() >= 0.0);
+        assert_eq!(c.decisions().len(), 2);
+    }
+}

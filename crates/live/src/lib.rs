@@ -1,0 +1,38 @@
+//! # lp-live — Pac-Sim-style online sampling
+//!
+//! The two-phase LoopPoint pipeline needs a complete record → slice →
+//! cluster profiling pass before the first region can be simulated.
+//! Pac-Sim (Liu & Sabu et al., the direct successor in PAPERS.md) shows
+//! the profiling prequel can be dropped: regions are classified *live*
+//! during a single execution, and each region is either simulated in
+//! detail (new or low-confidence behaviour) or predicted from its
+//! cluster's last detailed IPC.
+//!
+//! This crate holds the three simulator-independent pieces:
+//!
+//! * [`StreamingSlicer`] — single-pass loop-aligned slicing with online
+//!   loop-header discovery, emitting a spin-filtered per-thread BBV at
+//!   each region boundary;
+//! * [`OnlineClassifier`] — incremental k-means-style clustering
+//!   (distance-threshold spawning, decaying centroids, the cached
+//!   squared-norm scan from lp-simpoint) plus the simulate/predict
+//!   confidence policy (prediction-error EWMA + staleness age);
+//! * [`LiveProgress`] — the NDJSON partial-result row streamed through
+//!   the farm while a live job runs.
+//!
+//! The execution loop that drives them against the simulator lives in
+//! `looppoint::analyze_live` (the core crate), keeping this crate free of
+//! timing-model dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classifier;
+mod progress;
+mod slicer;
+
+pub use classifier::{
+    Action, Decision, DetailReason, OnlineClassifier, OnlineCluster, OnlineConfig,
+};
+pub use progress::LiveProgress;
+pub use slicer::{LiveRegion, StreamingSlicer};

@@ -1,0 +1,104 @@
+//! Streaming partial results: one [`LiveProgress`] snapshot per region.
+//!
+//! Live jobs emit these as NDJSON lines — the farm buffers them per job
+//! and `GET /jobs/{id}` streams them to followers, so a long-running live
+//! analysis is observable while it runs (regions seen, clusters spawned,
+//! detailed-simulation fraction, running IPC estimate).
+
+use lp_obs::json::Value;
+
+/// A point-in-time summary of a live run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveProgress {
+    /// Regions classified so far.
+    pub regions: u64,
+    /// Clusters spawned so far.
+    pub clusters: u64,
+    /// Regions simulated in detail so far.
+    pub detailed: u64,
+    /// Regions predicted (skipped) so far.
+    pub predicted: u64,
+    /// Fraction of regions simulated in detail (`0..=1`).
+    pub detailed_pct: f64,
+    /// Running whole-program cycle estimate.
+    pub est_cycles: f64,
+    /// Running IPC estimate (instructions so far over estimated cycles).
+    pub est_ipc: f64,
+    /// Whether the run is complete (the last line of a stream).
+    pub done: bool,
+}
+
+impl LiveProgress {
+    /// The progress snapshot as a JSON object (stable field names — this
+    /// is the farm's `LiveProgress` NDJSON wire format).
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("regions".to_string(), Value::Int(self.regions as i128)),
+            ("clusters".to_string(), Value::Int(self.clusters as i128)),
+            ("detailed".to_string(), Value::Int(self.detailed as i128)),
+            ("predicted".to_string(), Value::Int(self.predicted as i128)),
+            ("detailed_pct".to_string(), Value::Num(self.detailed_pct)),
+            ("est_cycles".to_string(), Value::Num(self.est_cycles)),
+            ("est_ipc".to_string(), Value::Num(self.est_ipc)),
+            ("done".to_string(), Value::Bool(self.done)),
+        ])
+    }
+
+    /// Parses a snapshot from its [`LiveProgress::to_value`] shape.
+    /// Returns `None` when required fields are missing or mistyped.
+    pub fn from_value(v: &Value) -> Option<LiveProgress> {
+        Some(LiveProgress {
+            regions: v.get("regions")?.as_u64()?,
+            clusters: v.get("clusters")?.as_u64()?,
+            detailed: v.get("detailed")?.as_u64()?,
+            predicted: v.get("predicted")?.as_u64()?,
+            detailed_pct: v.get("detailed_pct")?.as_f64()?,
+            est_cycles: v.get("est_cycles")?.as_f64()?,
+            est_ipc: v.get("est_ipc")?.as_f64()?,
+            done: matches!(v.get("done"), Some(Value::Bool(true))),
+        })
+    }
+
+    /// One-line human rendering (the driver's `status --follow` view).
+    pub fn render(&self) -> String {
+        format!(
+            "regions {:>4}  clusters {:>3}  detailed {:>4} ({:>5.1}%)  est cycles {:.0}  est IPC {:.3}{}",
+            self.regions,
+            self.clusters,
+            self.detailed,
+            self.detailed_pct * 100.0,
+            self.est_cycles,
+            self.est_ipc,
+            if self.done { "  [done]" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_json() {
+        let p = LiveProgress {
+            regions: 12,
+            clusters: 3,
+            detailed: 5,
+            predicted: 7,
+            detailed_pct: 5.0 / 12.0,
+            est_cycles: 123_456.0,
+            est_ipc: 1.87,
+            done: true,
+        };
+        let text = p.to_value().to_string();
+        let back = LiveProgress::from_value(&lp_obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+        assert!(p.render().contains("[done]"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let v = lp_obs::json::parse("{\"regions\": 1}").unwrap();
+        assert!(LiveProgress::from_value(&v).is_none());
+    }
+}

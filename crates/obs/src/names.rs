@@ -169,6 +169,33 @@ pub const CLUSTER_TRACE_ASSEMBLED: &str = "cluster.trace.assembled";
 /// Counter: job-trace requests proxied to the owner node because the id
 /// belongs to another member's range.
 pub const CLUSTER_TRACE_PROXIED: &str = "cluster.trace.proxied";
+/// Counter: job-record requests (`GET /jobs/{id}`, including live
+/// partial-result streams) proxied to the owner node because the id
+/// belongs to another member's range.
+pub const CLUSTER_JOB_PROXIED: &str = "cluster.job.proxied";
+
+/// Span category for the lp-live online-sampling subsystem.
+pub const CAT_LIVE: &str = "live";
+
+/// Counter: regions classified by a live run.
+pub const LIVE_REGIONS: &str = "live.regions";
+/// Counter: regions simulated in detail by a live run.
+pub const LIVE_DETAILED: &str = "live.regions.detailed";
+/// Counter: regions predicted (skipped) by a live run.
+pub const LIVE_PREDICTED: &str = "live.regions.predicted";
+/// Counter: re-simulations of an already-known cluster, triggered by the
+/// confidence/staleness policy (excludes first-contact detail runs).
+pub const LIVE_RESIMS: &str = "live.resims";
+/// Gauge: clusters spawned by the most recent live run.
+pub const LIVE_CLUSTERS: &str = "live.clusters";
+/// Gauge: detailed-simulation region fraction of the most recent live run.
+pub const LIVE_DETAILED_PCT: &str = "live.detailed_pct";
+/// Gauge: running IPC estimate of the most recent live run.
+pub const LIVE_EST_IPC: &str = "live.est_ipc";
+/// Span: one whole live-mode run (single pass plus detailed re-runs).
+pub const SPAN_LIVE_RUN: &str = "live.run";
+/// Span: one detailed region re-simulation inside a live run.
+pub const SPAN_LIVE_DETAIL: &str = "live.region.detail";
 
 /// Counter: successful periodic telemetry flushes (atomic rewrites of
 /// `--trace-out` / `--metrics-out`).
@@ -269,6 +296,16 @@ pub const fn all_names() -> &'static [&'static str] {
         CLUSTER_FEDERATE_ERRORS,
         CLUSTER_TRACE_ASSEMBLED,
         CLUSTER_TRACE_PROXIED,
+        CLUSTER_JOB_PROXIED,
+        LIVE_REGIONS,
+        LIVE_DETAILED,
+        LIVE_PREDICTED,
+        LIVE_RESIMS,
+        LIVE_CLUSTERS,
+        LIVE_DETAILED_PCT,
+        LIVE_EST_IPC,
+        SPAN_LIVE_RUN,
+        SPAN_LIVE_DETAIL,
         OBS_FLUSH_WRITES,
         OBS_FLUSH_ERRORS,
         OBS_HISTORY_SAMPLES,

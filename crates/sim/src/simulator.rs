@@ -185,6 +185,47 @@ impl Simulator {
         }
     }
 
+    /// Creates a simulator resuming from a machine state **with warm
+    /// microarchitectural state** — the live-mode rewind: pairing a
+    /// functional snapshot with the [`Simulator::timing_checkpoint`] taken
+    /// at the same instant yields a simulator whose caches and predictors
+    /// reflect the entire execution history up to the snapshot, exactly as
+    /// if it had simulated from program start. Segment statistics stay
+    /// correct because cycle counts are deltas from segment entry.
+    ///
+    /// # Panics
+    /// Panics if the machine's thread count differs from the timing
+    /// state's core count.
+    pub fn from_machine_warm(machine: Machine, timing: TimingModel) -> Self {
+        let nthreads = machine.num_threads();
+        assert_eq!(
+            nthreads,
+            timing.ncores(),
+            "timing checkpoint is for {} cores, machine has {nthreads} threads",
+            timing.ncores()
+        );
+        let parked = (0..nthreads)
+            .map(|tid| matches!(machine.thread_state(tid), ThreadState::Blocked { .. }))
+            .collect();
+        Simulator {
+            timing,
+            parked,
+            watch: Vec::new(),
+            sample_interval: None,
+            ff_instructions: 0,
+            ff_wall: std::time::Duration::ZERO,
+            machine,
+            obs: lp_obs::global(),
+        }
+    }
+
+    /// Clones the current microarchitectural state (core clocks, cache
+    /// hierarchy, branch predictors) — the warm half of a live-mode
+    /// snapshot, consumed by [`Simulator::from_machine_warm`].
+    pub fn timing_checkpoint(&self) -> TimingModel {
+        self.timing.clone()
+    }
+
     /// Routes this simulator's spans, counters, and IPC heartbeats to
     /// `obs` instead of the process-global observer.
     pub fn set_observer(&mut self, obs: lp_obs::Observer) {
@@ -266,6 +307,29 @@ impl Simulator {
         stop: Option<StopCond>,
         max_steps: u64,
     ) -> Result<SimStats, SimError> {
+        self.run_with(mode, stop, max_steps, &mut |_| false)
+    }
+
+    /// [`Simulator::run`] with a per-retire observer hook: `hook` sees
+    /// every retired instruction of the segment (after timing accounting,
+    /// before marker bookkeeping) and may end the segment cleanly by
+    /// returning `true` — the retired instruction that triggered the stop
+    /// belongs to the segment that ends at it, exactly like a marker hit.
+    ///
+    /// This is the observer surface live-mode profiling drives: a
+    /// streaming slicer rides the one functional execution instead of a
+    /// separate recording pass.
+    ///
+    /// # Errors
+    /// As [`Simulator::run`]; a hook-triggered stop is never an error,
+    /// even when a `stop` condition was also given but not yet reached.
+    pub fn run_with(
+        &mut self,
+        mode: Mode,
+        stop: Option<StopCond>,
+        max_steps: u64,
+        hook: &mut dyn FnMut(&lp_isa::Retired) -> bool,
+    ) -> Result<SimStats, SimError> {
         if let Some(StopCond::Marker(m)) = stop {
             assert!(
                 self.watch.iter().any(|(p, _)| *p == m.pc),
@@ -344,6 +408,19 @@ impl Simulator {
                                 sample_cycle_base = cyc;
                             }
                         }
+                    }
+
+                    if hook(&r) {
+                        // Count the stop instruction against any watched
+                        // markers first, so `watch_count` stays exact for
+                        // resumed segments.
+                        for (pc, count) in &mut self.watch {
+                            if *pc == r.pc {
+                                *count += 1;
+                            }
+                        }
+                        stopped_at_marker = true;
+                        break 'outer;
                     }
 
                     // Marker bookkeeping last: the marker occurrence itself
@@ -674,6 +751,47 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sim.watch_count(hdr), 30);
+    }
+
+    #[test]
+    fn hook_stop_ends_segment_cleanly_and_resumes() {
+        let (p, hdr) = two_phase_program(50);
+        let mut sim = Simulator::new(p, 1, lp_uarch::SimConfig::gainestown(1));
+        sim.watch_pc(hdr);
+        let mut seen = 0u64;
+        let stats = sim
+            .run_with(Mode::FastForward, None, BUDGET, &mut |_| {
+                seen += 1;
+                seen == 100
+            })
+            .unwrap();
+        assert_eq!(stats.instructions, 100, "hook stop is exact");
+        // The same simulator resumes where the hook stopped it.
+        let rest = sim.run(Mode::Detailed, None, BUDGET).unwrap();
+        assert!(rest.instructions > 0);
+        assert_eq!(sim.watch_count(hdr), 50, "watch counts stay exact");
+    }
+
+    #[test]
+    fn hook_stop_beats_an_unreached_marker() {
+        let (p, hdr) = two_phase_program(50);
+        let mut sim = Simulator::new(p, 1, lp_uarch::SimConfig::gainestown(1));
+        sim.watch_pc(hdr);
+        let mut seen = 0u64;
+        // The marker would only fire on the 40th header execution; the
+        // hook stops after 10 instructions, and that is not an error.
+        let stats = sim
+            .run_with(
+                Mode::FastForward,
+                Some(StopCond::Marker(Marker::new(hdr, 40))),
+                BUDGET,
+                &mut |_| {
+                    seen += 1;
+                    seen == 10
+                },
+            )
+            .unwrap();
+        assert_eq!(stats.instructions, 10);
     }
 
     #[test]

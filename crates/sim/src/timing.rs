@@ -14,7 +14,13 @@ use lp_isa::{CtrlKind, Inst, InstClass, Retired};
 use lp_uarch::{BranchPredictor, CacheLevel, MemoryHierarchy, SimConfig};
 
 /// Timing state for one multicore machine.
-#[derive(Debug)]
+///
+/// `Clone` captures the complete microarchitectural state — core clocks,
+/// cache hierarchy contents, branch-predictor tables — so a simulator can
+/// be forked *warm* (see `Simulator::from_machine_warm`): the live-mode
+/// snapshot ring pairs one of these with a functional `MachineState` to
+/// rewind a region without losing cache warmth.
+#[derive(Debug, Clone)]
 pub struct TimingModel {
     cfg: SimConfig,
     warm_during_ff: bool,

@@ -25,7 +25,7 @@ mod projection;
 
 pub use bic::bic_score;
 pub use kmeans::{kmeans, KmeansResult};
-pub use projection::project;
+pub use projection::{project, project_one};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -9,23 +9,30 @@ pub fn project(vectors: &[&[(u64, f64)]], dims: usize, seed: u64) -> Vec<Vec<f64
     assert!(dims > 0);
     vectors
         .iter()
-        .map(|entries| {
-            let l1: f64 = entries.iter().map(|&(_, w)| w).sum();
-            let scale = if l1 > 0.0 { 1.0 / l1 } else { 0.0 };
-            let mut out = vec![0.0f64; dims];
-            for &(d, w) in entries.iter() {
-                let wn = w * scale;
-                for (j, slot) in out.iter_mut().enumerate() {
-                    if sign(d, j as u64, seed) {
-                        *slot += wn;
-                    } else {
-                        *slot -= wn;
-                    }
-                }
-            }
-            out
-        })
+        .map(|entries| project_one(entries, dims, seed))
         .collect()
+}
+
+/// Projects a single sparse vector — the same arithmetic [`project`]
+/// applies per vector, exposed so online (live-mode) classification can
+/// place incrementally built BBVs into the *same* projected space a batch
+/// clustering over the same profile would use.
+pub fn project_one(entries: &[(u64, f64)], dims: usize, seed: u64) -> Vec<f64> {
+    assert!(dims > 0);
+    let l1: f64 = entries.iter().map(|&(_, w)| w).sum();
+    let scale = if l1 > 0.0 { 1.0 / l1 } else { 0.0 };
+    let mut out = vec![0.0f64; dims];
+    for &(d, w) in entries.iter() {
+        let wn = w * scale;
+        for (j, slot) in out.iter_mut().enumerate() {
+            if sign(d, j as u64, seed) {
+                *slot += wn;
+            } else {
+                *slot -= wn;
+            }
+        }
+    }
+    out
 }
 
 fn sign(dim: u64, j: u64, seed: u64) -> bool {

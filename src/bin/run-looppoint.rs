@@ -77,6 +77,12 @@ run-looppoint — end-to-end LoopPoint sampling for one or more programs
 
 USAGE:
     run-looppoint [OPTIONS]                 one-shot pipeline run
+    run-looppoint live [OPTIONS]            one-shot Pac-Sim-style online
+                                            sampling: no profiling prequel,
+                                            regions classified as the
+                                            program runs, compared against
+                                            a full-detail reference (one
+                                            JSON summary line per program)
     run-looppoint serve [SERVE OPTIONS]     lp-farm analysis daemon
     run-looppoint submit --farm <addr> ...  submit jobs to a daemon
     run-looppoint status --farm <addr>      queue or per-job status
@@ -149,8 +155,14 @@ CLUSTER SERVE OPTIONS (multi-node farm; all require --node-addr):
 SUBMIT/STATUS/SHUTDOWN OPTIONS:
         --farm <addr>          daemon address (required)
         --wait                 submit: poll until every job is terminal
+        --live                 submit/farm-load: run jobs in live mode
+                               (online sampling, streaming LiveProgress
+                               partials over GET /jobs/{id})
         --job <id>             status: one job instead of the queue;
                                trace: alternative to the positional id
+        --follow               status: with --job, poll the job's NDJSON
+                               stream and render LiveProgress lines in
+                               place until the job is terminal
         --mode <drain|now>     shutdown: finish everything (drain) or
                                interrupt and requeue (now) [default: drain]
         --priority <n>         submit: scheduling priority (higher first)
@@ -227,7 +239,7 @@ OPTIONS:
     -h, --help                 print this help
 ";
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         programs: vec!["demo-matrix-1".to_string()],
         ncores: 8,
@@ -249,7 +261,7 @@ fn parse_args() -> Result<Args, String> {
         store_max_bytes: None,
         no_store: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter().cloned();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match arg.as_str() {
@@ -521,6 +533,112 @@ fn run_one(
     Ok(Some(report))
 }
 
+/// `run-looppoint live`: Pac-Sim-style one-shot online sampling — no
+/// profiling prequel. Classifies regions as the program runs, streams
+/// per-region progress, then compares the live estimate against a
+/// full-detail reference run. One machine-parseable JSON summary line
+/// per program on stdout (what ci's live-smoke gate reads).
+fn live_run(argv: &[String]) -> ExitCode {
+    let args = match parse_args(argv) {
+        Ok(a) => a,
+        Err(e) => return config_error(&e),
+    };
+    lp_obs::set_log_level(args.log_level);
+    for name in &args.programs {
+        if resolve(name).is_none() {
+            return config_error(&format!("unknown program '{name}' (see --help)"));
+        }
+    }
+    let obs = Observer::enabled();
+    let mut reports: Vec<lp_obs::json::Value> = Vec::new();
+    for name in &args.programs {
+        let spec = resolve(name).expect("names were validated above");
+        let nthreads = spec.effective_threads(args.ncores);
+        let program = build(&spec, args.input, args.ncores, args.policy);
+        let simcfg = SimConfig::gainestown(nthreads.max(args.ncores));
+        let mut cfg =
+            looppoint::LiveConfig::with_slice_base(args.slice_base).with_observer(obs.clone());
+        cfg.max_steps = args.max_steps;
+        lp_info!(
+            "\n=== {} | live (online sampling) | input {} | {} threads ===",
+            spec.name,
+            args.input.name(),
+            nthreads
+        );
+        let outcome = match looppoint::analyze_live(&program, nthreads, &cfg, &simcfg, &mut |p| {
+            lp_info!("      {}", p.render());
+        }) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: live run for {}: {e}", spec.name);
+                return ExitCode::from(EXIT_PIPELINE);
+            }
+        };
+        let full = match simulate_whole(&program, nthreads, &simcfg) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: full-detail reference for {}: {e}", spec.name);
+                return ExitCode::from(EXIT_PIPELINE);
+            }
+        };
+        let err = error_pct(outcome.est_total_cycles, full.cycles as f64);
+        lp_info!(
+            "  live estimate    : {:.0} cycles (IPC {:.3})",
+            outcome.est_total_cycles,
+            outcome.est_ipc()
+        );
+        lp_info!(
+            "  full detail      : {} cycles (IPC {:.3})",
+            full.cycles,
+            full.ipc()
+        );
+        lp_info!("  cycles error     : {err:.2}%");
+        lp_info!(
+            "  detailed regions : {}/{} ({:.1}%), {} clusters",
+            outcome.detailed_regions,
+            outcome.regions.len(),
+            outcome.detailed_fraction() * 100.0,
+            outcome.clusters.len()
+        );
+        if args.verbose {
+            for line in outcome.decision_log() {
+                lp_info!("      {line}");
+            }
+        }
+        if args.diag_report.is_some() {
+            let report = looppoint::diagnose_live(spec.name, nthreads, &outcome, Some(&full), &obs);
+            lp_info!("\n{}", report.render_table());
+            reports.push(report.to_value());
+        }
+        let mut summary = match looppoint::LiveSummary::from_outcome(&outcome).to_value() {
+            lp_obs::json::Value::Obj(members) => members,
+            _ => unreachable!("LiveSummary::to_value returns an object"),
+        };
+        summary.insert(
+            0,
+            (
+                "program".to_string(),
+                lp_obs::json::Value::Str(spec.name.to_string()),
+            ),
+        );
+        summary.push((
+            "full_cycles".to_string(),
+            lp_obs::json::Value::Int(full.cycles as i128),
+        ));
+        summary.push(("full_ipc".to_string(), lp_obs::json::Value::Num(full.ipc())));
+        summary.push(("err_pct".to_string(), lp_obs::json::Value::Num(err)));
+        println!("{}", lp_obs::json::Value::Obj(summary));
+    }
+    if let Some(path) = &args.diag_report {
+        let doc = lp_obs::json::Value::Arr(reports).to_string();
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::from(EXIT_PIPELINE);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -531,9 +649,10 @@ fn main() -> ExitCode {
         Some("top") => return farm_top(&argv[1..]),
         Some("shutdown") => return farm_shutdown(&argv[1..]),
         Some("farm-load") => return farm_load(&argv[1..]),
+        Some("live") => return live_run(&argv[1..]),
         _ => {}
     }
-    let args = match parse_args() {
+    let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
             return config_error(&e);
@@ -1032,6 +1151,8 @@ struct ClientArgs {
     wait: bool,
     job: Option<u64>,
     mode: String,
+    live: bool,
+    follow: bool,
     clients: usize,
     jobs: usize,
 }
@@ -1050,6 +1171,8 @@ fn parse_client_args(args: &[String]) -> Result<ClientArgs, String> {
         wait: false,
         job: None,
         mode: "drain".to_string(),
+        live: false,
+        follow: false,
         clients: 4,
         jobs: 48,
     };
@@ -1104,6 +1227,8 @@ fn parse_client_args(args: &[String]) -> Result<ClientArgs, String> {
                 );
             }
             "--mode" => c.mode = value("--mode")?,
+            "--live" => c.live = true,
+            "--follow" => c.follow = true,
             "--clients" => {
                 c.clients = value("--clients")?
                     .parse()
@@ -1158,6 +1283,7 @@ fn farm_submit(args: &[String]) -> ExitCode {
             max_steps: c.max_steps,
             priority: c.priority,
             timeout_ms: c.timeout_ms,
+            mode: if c.live { "live" } else { "pipeline" }.to_string(),
         })
         .collect();
     // One version-negotiated keep-alive connection for the submit AND
@@ -1210,10 +1336,13 @@ fn farm_submit(args: &[String]) -> ExitCode {
             None => &mut client,
         };
         loop {
-            let (status, body) = match poll_client
-                .http()
-                .request("GET", &format!("/jobs/{id}"), "")
-            {
+            // `since=MAX` skips the streamed partials: a plain poll only
+            // needs the record line.
+            let (status, body) = match poll_client.http().request(
+                "GET",
+                &format!("/jobs/{id}?since={}", usize::MAX),
+                "",
+            ) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("error: polling job {id}: {e}");
@@ -1225,17 +1354,25 @@ fn farm_submit(args: &[String]) -> ExitCode {
                 ok = false;
                 break;
             }
-            let state = lp_obs::json::parse(&body)
+            // NDJSON body: any streamed partials, then the record as the
+            // last line (the only line a plain poll cares about).
+            let record = body
+                .lines()
+                .rev()
+                .find(|l| !l.trim().is_empty())
+                .unwrap_or_default()
+                .to_string();
+            let state = lp_obs::json::parse(&record)
                 .ok()
                 .and_then(|v| v.get("state").and_then(|s| s.as_str().map(String::from)))
                 .unwrap_or_default();
             match state.as_str() {
                 "done" => {
-                    println!("{body}");
+                    println!("{record}");
                     break;
                 }
                 "failed" | "cancelled" => {
-                    println!("{body}");
+                    println!("{record}");
                     ok = false;
                     break;
                 }
@@ -1276,6 +1413,7 @@ fn farm_load(args: &[String]) -> ExitCode {
             max_steps: c.max_steps,
             priority: c.priority,
             timeout_ms: c.timeout_ms,
+            mode: if c.live { "live" } else { "pipeline" }.to_string(),
         }
         .to_value()
         .to_string()
@@ -1375,7 +1513,10 @@ fn farm_load(args: &[String]) -> ExitCode {
     }
 }
 
-/// `run-looppoint status`: GET /queue or GET /jobs/{id}.
+/// `run-looppoint status`: GET /queue or GET /jobs/{id}; with
+/// `--follow` and a job id, polls `?since=N` and renders the job's
+/// streamed `LiveProgress` lines in place until the job is terminal
+/// (a plain wait loop for jobs that stream nothing, e.g. pipeline mode).
 fn farm_status(args: &[String]) -> ExitCode {
     let c = match parse_client_args(args) {
         Ok(c) => c,
@@ -1385,6 +1526,12 @@ fn farm_status(args: &[String]) -> ExitCode {
         Ok(a) => a,
         Err(e) => return config_error(&e),
     };
+    if c.follow {
+        let Some(id) = c.job else {
+            return config_error("--follow needs --job <id>");
+        };
+        return follow_job(&addr, id);
+    }
     let path = match c.job {
         Some(id) => format!("/jobs/{id}"),
         None => "/queue".to_string(),
@@ -1402,6 +1549,79 @@ fn farm_status(args: &[String]) -> ExitCode {
         Err(e) => {
             eprintln!("error: querying {addr}: {e}");
             ExitCode::from(EXIT_PIPELINE)
+        }
+    }
+}
+
+/// The `status --follow` loop: one keep-alive connection, incremental
+/// `GET /jobs/{id}?since=N` polls. Each streamed `LiveProgress` line
+/// redraws a single terminal line (carriage return, no newline) so a
+/// live job reads as a ticking dashboard; lines that are not progress
+/// documents print verbatim. Exits 0 on `done`, 1 on any other terminal
+/// state.
+fn follow_job(addr: &str, id: u64) -> ExitCode {
+    use std::io::Write as _;
+    let mut client = FarmClient::connect(addr.to_string());
+    let mut since = 0usize;
+    let mut in_place = false;
+    loop {
+        let (status, body) =
+            match client
+                .http()
+                .request("GET", &format!("/jobs/{id}?since={since}"), "")
+            {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: following job {id}: {e}");
+                    return ExitCode::from(EXIT_PIPELINE);
+                }
+            };
+        if status != 200 {
+            eprintln!("error: job {id}: status {status}: {body}");
+            return ExitCode::from(EXIT_PIPELINE);
+        }
+        let mut lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+        let Some(record_line) = lines.pop() else {
+            eprintln!("error: empty response for job {id}");
+            return ExitCode::from(EXIT_PIPELINE);
+        };
+        for line in &lines {
+            match lp_obs::json::parse(line)
+                .ok()
+                .and_then(|v| looppoint::LiveProgress::from_value(&v))
+            {
+                Some(p) => {
+                    print!("\r{}", p.render());
+                    let _ = std::io::stdout().flush();
+                    in_place = true;
+                }
+                None => {
+                    if in_place {
+                        println!();
+                        in_place = false;
+                    }
+                    println!("{line}");
+                }
+            }
+        }
+        since += lines.len();
+        let state = lp_obs::json::parse(record_line)
+            .ok()
+            .and_then(|v| v.get("state").and_then(|s| s.as_str().map(String::from)))
+            .unwrap_or_default();
+        match state.as_str() {
+            "done" | "failed" | "cancelled" => {
+                if in_place {
+                    println!();
+                }
+                println!("{record_line}");
+                return if state == "done" {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(EXIT_PIPELINE)
+                };
+            }
+            _ => std::thread::sleep(Duration::from_millis(200)),
         }
     }
 }
